@@ -1,0 +1,50 @@
+//! The GTP baseline (paper §6.1).
+//!
+//! "Instead of creating multiple pattern trees for various subparts of the
+//! query, an abstract generalized tree is used to capture the semantics for
+//! the entire query. … Similar to TAX, aggregates, RETURN paths etc.
+//! (everything that corresponds to '+' or '*' pattern tree edge in TLC) are
+//! addressed via a grouping procedure that potentially includes splitting
+//! the trees, grouping and then merging the results (a DAG-like procedure).
+//! But GTP is more efficient than TAX because the generalized tree captures
+//! the semantics for the entire query allowing pattern tree reuse."
+//!
+//! Plan generation lives in the shared translator
+//! ([`tlc::translate_with_style`] with [`tlc::Style::Gtp`]).
+
+use tlc::{Plan, Result, Style};
+use xmldb::Database;
+
+/// Compiles a query into a GTP-style plan.
+pub fn gtp_plan(query: &str, db: &Database) -> Result<Plan> {
+    tlc::compile_with_style(query, db, Style::Gtp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtp_matches_tlc_output_and_groups() {
+        let mut db = Database::new();
+        db.load_xml(
+            "auction.xml",
+            r#"<site><open_auctions>
+                 <open_auction><bidder/><bidder/><quantity>5</quantity></open_auction>
+                 <open_auction><bidder/><quantity>2</quantity></open_auction>
+               </open_auctions></site>"#,
+        )
+        .unwrap();
+        let q = r#"FOR $o IN document("auction.xml")//open_auction
+                   WHERE count($o/bidder) > 1 RETURN $o/quantity"#;
+        let gtp = gtp_plan(q, &db).unwrap();
+        let tlc_plan = tlc::compile(q, &db).unwrap();
+        assert_eq!(
+            tlc::execute_to_string(&db, &gtp).unwrap(),
+            tlc::execute_to_string(&db, &tlc_plan).unwrap()
+        );
+        let rendered = gtp.display(Some(&db)).to_string();
+        assert!(rendered.contains("GroupBy"), "{rendered}");
+        assert!(!rendered.contains("Materialize"), "GTP skips early materialization");
+    }
+}

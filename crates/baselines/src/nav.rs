@@ -1,0 +1,718 @@
+//! The navigational baseline (paper §6.1).
+//!
+//! "The algorithm traverses down a path by recursively getting all children
+//! of a node and checking them for a condition on content or name before
+//! proceeding on the next iteration."
+//!
+//! Characteristics the paper measures (§6.3) and this implementation
+//! reproduces structurally:
+//!
+//! * every path step visits *all* children of every context node (no
+//!   indexes), so cost grows with path length and fan-out;
+//! * `//` steps walk entire subtrees;
+//! * joins are nested loops over binding tuples;
+//! * selectivity does not help: the same traversals run even when the
+//!   result is empty;
+//! * aggregates (`count`) iterate over all the counted nodes.
+//!
+//! The interpreter evaluates the FLWOR AST directly, tuple at a time, and
+//! produces output byte-identical to the algebraic engines.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use tlc::{Error, Result};
+use xmldb::serialize::{escape_attr, escape_text, serialize_subtree};
+use xmldb::{Database, NodeId, NodeKind};
+use xquery::{
+    AggFunc, Axis, BindingKind, BindingSource, CmpOp, Flwor, Literal, NodeTest, PathRoot,
+    Quantifier, ReturnExpr, SimplePath, WhereExpr,
+};
+
+/// Traversal counters for the navigational engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NavStats {
+    /// Nodes visited while stepping through paths and reading values.
+    pub nodes_visited: u64,
+    /// Binding tuples enumerated.
+    pub tuples: u64,
+}
+
+/// Evaluates a query navigationally; returns the serialized result and the
+/// traversal counters.
+pub fn evaluate_nav(db: &Database, q: &Flwor) -> Result<(String, NavStats)> {
+    let mut ev = Nav { db, stats: NavStats::default(), memo: HashMap::new() };
+    let mut ctx = Ctx { vars: HashMap::new() };
+    let items = ev.flwor(&mut ctx, q)?;
+    let mut out = String::new();
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        ev.serialize(item, &mut out);
+    }
+    Ok((out, ev.stats))
+}
+
+/// A constructed element (RETURN constructors build these).
+#[derive(Debug)]
+struct CTree {
+    tag: String,
+    attrs: Vec<(String, String)>,
+    children: Vec<Item>,
+}
+
+/// One value flowing through the interpreter.
+#[derive(Debug, Clone)]
+enum Item {
+    /// A stored node (its whole subtree).
+    Node(NodeId),
+    /// A constructed element.
+    Tree(Rc<CTree>),
+    /// Computed text (text() steps, aggregates, literals).
+    Text(Rc<str>),
+}
+
+#[derive(Debug, Clone)]
+enum BindVal {
+    One(Item),
+    Seq(Rc<Vec<Item>>),
+}
+
+struct Ctx {
+    vars: HashMap<String, BindVal>,
+}
+
+/// Memoization key for path evaluation: the path's address plus the
+/// identity of the context the path starts from. A navigational evaluator
+/// running a nested-loops join walks each binding's paths once per binding,
+/// not once per joined tuple — without this, join queries would be
+/// quadratic with full-traversal constants, which matches neither a real
+/// navigational engine nor the paper's NAV column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CacheCtx {
+    Doc,
+    Node(NodeId),
+}
+
+struct Nav<'a> {
+    db: &'a Database,
+    stats: NavStats,
+    memo: HashMap<(usize, CacheCtx), Rc<Vec<Item>>>,
+}
+
+impl<'a> Nav<'a> {
+    // ---------------- paths ----------------
+
+    fn path_start(&mut self, ctx: &Ctx, path: &SimplePath) -> Result<Vec<Item>> {
+        match &path.root {
+            PathRoot::Document(name) => {
+                let doc = self
+                    .db
+                    .document_by_name(name)
+                    .map_err(|_| Error::UnknownDocument(name.clone()))?;
+                Ok(vec![Item::Node(self.db.root(doc))])
+            }
+            PathRoot::Var(v) => match ctx.vars.get(v) {
+                Some(BindVal::One(item)) => Ok(vec![item.clone()]),
+                Some(BindVal::Seq(items)) => Ok(items.as_ref().clone()),
+                None => Err(Error::UnboundVariable(v.clone())),
+            },
+        }
+    }
+
+    fn eval_path(&mut self, ctx: &Ctx, path: &SimplePath) -> Result<Vec<Item>> {
+        // Memoize per (path, context identity): re-walking the same stored
+        // subtree for every tuple of a nested-loops join is work no real
+        // evaluator repeats.
+        let cache_ctx = match &path.root {
+            PathRoot::Document(_) => Some(CacheCtx::Doc),
+            // Only stable identities are safe cache keys: stored nodes and
+            // the document root. Constructed trees and LET sequences are
+            // per-tuple values whose heap addresses can be reused.
+            PathRoot::Var(v) => match ctx.vars.get(v) {
+                Some(BindVal::One(Item::Node(n))) => Some(CacheCtx::Node(*n)),
+                _ => None,
+            },
+        };
+        let key = cache_ctx.map(|c| (path as *const SimplePath as usize, c));
+        if let Some(k) = &key {
+            if let Some(hit) = self.memo.get(k) {
+                return Ok(hit.as_ref().clone());
+            }
+        }
+        let result = self.eval_path_uncached(ctx, path)?;
+        if let Some(k) = key {
+            self.memo.insert(k, Rc::new(result.clone()));
+        }
+        Ok(result)
+    }
+
+    fn eval_path_uncached(&mut self, ctx: &Ctx, path: &SimplePath) -> Result<Vec<Item>> {
+        let mut cur = self.path_start(ctx, path)?;
+        let mut steps = path.steps.as_slice();
+        // `$a/mya` where $a is a sequence of constructed `<mya>` elements
+        // denotes those elements themselves (same leniency as the algebraic
+        // translator's root-tag fallback).
+        if let Some(first) = steps.first() {
+            if let NodeTest::Tag(t) = &first.test {
+                let all_rooted = !cur.is_empty()
+                    && cur.iter().all(|i| matches!(i, Item::Tree(ct) if ct.tag == *t));
+                if all_rooted {
+                    steps = &steps[1..];
+                }
+            }
+        }
+        for step in steps {
+            let mut next = Vec::new();
+            match &step.test {
+                NodeTest::Text => {
+                    for item in &cur {
+                        let v = self.value(item);
+                        next.push(Item::Text(v.into()));
+                    }
+                }
+                NodeTest::Tag(t) => {
+                    for item in &cur {
+                        self.step_named(item, t, step.axis, false, &mut next);
+                    }
+                }
+                NodeTest::Attribute(a) => {
+                    let name = format!("@{a}");
+                    for item in &cur {
+                        self.step_named(item, &name, step.axis, true, &mut next);
+                    }
+                }
+            }
+            cur = next;
+        }
+        Ok(cur)
+    }
+
+    /// One named step: visit all children (recursively for `//`), keeping
+    /// those whose tag matches. Matching is by *name*, through the node API
+    /// — the paper's navigational evaluator works "checking them for a
+    /// condition on content or name", i.e. it inspects each node rather
+    /// than comparing pre-resolved ids (it has no query compiler).
+    fn step_named(&mut self, item: &Item, want: &str, axis: Axis, attr: bool, out: &mut Vec<Item>) {
+        match item {
+            Item::Text(_) => {}
+            Item::Node(n) => self.step_node(*n, want, axis, attr, out),
+            Item::Tree(t) => {
+                for c in &t.children {
+                    match c {
+                        Item::Tree(ct) => {
+                            if !attr && ct.tag == want {
+                                out.push(c.clone());
+                            }
+                            if axis == Axis::Descendant {
+                                self.step_named(c, want, axis, attr, out);
+                            }
+                        }
+                        Item::Node(n) => {
+                            // A grafted stored subtree: test the node itself,
+                            // then descend normally.
+                            let rec = self.db.node(*n);
+                            self.stats.nodes_visited += 1;
+                            let name = rec.tag_name();
+                            if &*name == want && (attr == (rec.kind() == NodeKind::Attribute)) {
+                                out.push(c.clone());
+                            }
+                            if axis == Axis::Descendant {
+                                self.step_node(*n, want, axis, attr, out);
+                            }
+                        }
+                        Item::Text(_) => {}
+                    }
+                }
+                if !attr {
+                    return;
+                }
+                // Attribute steps also read the constructed attributes.
+                for (name, value) in &t.attrs {
+                    if format!("@{name}") == want {
+                        out.push(Item::Text(value.as_str().into()));
+                    }
+                }
+            }
+        }
+    }
+
+    fn step_node(&mut self, n: NodeId, want: &str, axis: Axis, _attr: bool, out: &mut Vec<Item>) {
+        let node = self.db.node(n);
+        for c in node.children() {
+            self.stats.nodes_visited += 1;
+            // Per-node inspection through the generic node API: fetch the
+            // tag name and compare (no compiled/interned fast path).
+            let name = c.tag_name();
+            if &*name == want {
+                out.push(Item::Node(c.id()));
+            }
+            if axis == Axis::Descendant {
+                self.step_node(c.id(), want, axis, _attr, out);
+            }
+        }
+    }
+
+    /// String value of an item; visiting cost is charged for stored nodes.
+    fn value(&mut self, item: &Item) -> String {
+        match item {
+            Item::Node(n) => {
+                let node = self.db.node(*n);
+                self.stats.nodes_visited += u64::from(node.end() - n.pre) + 1;
+                node.string_value()
+            }
+            Item::Tree(t) => {
+                let mut s = String::new();
+                for c in &t.children {
+                    s.push_str(&self.value(c));
+                }
+                s
+            }
+            Item::Text(t) => t.to_string(),
+        }
+    }
+
+    // ---------------- FLWOR ----------------
+
+    fn flwor(&mut self, ctx: &mut Ctx, q: &Flwor) -> Result<Vec<Item>> {
+        // Each entry: (order keys, the tuple's return items).
+        let mut tuples: Vec<(Vec<Option<String>>, Vec<Item>)> = Vec::new();
+        self.bind_loop(ctx, q, 0, &mut tuples)?;
+        if let Some(ob) = &q.order_by {
+            let mut idx: Vec<usize> = (0..tuples.len()).collect();
+            idx.sort_by(|&a, &b| {
+                let ord = compare_keys(&tuples[a].0, &tuples[b].0);
+                if ob.descending {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+            let mut out = Vec::new();
+            for i in idx {
+                out.extend(tuples[i].1.iter().cloned());
+            }
+            return Ok(out);
+        }
+        Ok(tuples.into_iter().flat_map(|(_, items)| items).collect())
+    }
+
+    fn bind_loop(
+        &mut self,
+        ctx: &mut Ctx,
+        q: &Flwor,
+        depth: usize,
+        out: &mut Vec<(Vec<Option<String>>, Vec<Item>)>,
+    ) -> Result<()> {
+        if depth == q.bindings.len() {
+            self.stats.tuples += 1;
+            if let Some(w) = &q.where_expr {
+                if !self.where_holds(ctx, w)? {
+                    return Ok(());
+                }
+            }
+            let keys = match &q.order_by {
+                Some(ob) => ob
+                    .keys
+                    .iter()
+                    .map(|k| {
+                        let items = self.eval_path(ctx, k)?;
+                        Ok(items.first().map(|i| self.value(i)))
+                    })
+                    .collect::<Result<Vec<_>>>()?,
+                None => Vec::new(),
+            };
+            let items = self.ret(ctx, &q.ret)?;
+            out.push((keys, items));
+            return Ok(());
+        }
+        let b = &q.bindings[depth];
+        // Save any shadowed outer binding and restore it on scope exit —
+        // `FOR $p … LET $a := FOR $p …` must not destroy the outer $p.
+        let shadowed = ctx.vars.get(&b.var).cloned();
+        match (&b.kind, &b.source) {
+            (BindingKind::For, BindingSource::Path(p)) => {
+                let items = self.eval_path(ctx, p)?;
+                for item in items {
+                    ctx.vars.insert(b.var.clone(), BindVal::One(item));
+                    self.bind_loop(ctx, q, depth + 1, out)?;
+                }
+            }
+            (BindingKind::Let, BindingSource::Path(p)) => {
+                let items = self.eval_path(ctx, p)?;
+                ctx.vars.insert(b.var.clone(), BindVal::Seq(Rc::new(items)));
+                self.bind_loop(ctx, q, depth + 1, out)?;
+            }
+            (BindingKind::Let, BindingSource::Subquery(sub)) => {
+                let items = self.flwor(ctx, sub)?;
+                ctx.vars.insert(b.var.clone(), BindVal::Seq(Rc::new(items)));
+                self.bind_loop(ctx, q, depth + 1, out)?;
+            }
+            (BindingKind::For, BindingSource::Subquery(sub)) => {
+                let items = self.flwor(ctx, sub)?;
+                for item in items {
+                    ctx.vars.insert(b.var.clone(), BindVal::One(item));
+                    self.bind_loop(ctx, q, depth + 1, out)?;
+                }
+            }
+        }
+        match shadowed {
+            Some(v) => {
+                ctx.vars.insert(b.var.clone(), v);
+            }
+            None => {
+                ctx.vars.remove(&b.var);
+            }
+        }
+        Ok(())
+    }
+
+    // ---------------- WHERE ----------------
+
+    fn where_holds(&mut self, ctx: &mut Ctx, w: &WhereExpr) -> Result<bool> {
+        match w {
+            WhereExpr::And(a, b) => Ok(self.where_holds(ctx, a)? && self.where_holds(ctx, b)?),
+            WhereExpr::Or(a, b) => Ok(self.where_holds(ctx, a)? || self.where_holds(ctx, b)?),
+            WhereExpr::Comparison { path, op, value } => {
+                let items = self.eval_path(ctx, path)?;
+                for item in items {
+                    let v = self.value(&item);
+                    if literal_cmp(*op, &v, value) {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            WhereExpr::AggrComparison { func, path, op, value } => {
+                let items = self.eval_path(ctx, path)?;
+                let agg = self.aggregate(*func, &items);
+                Ok(literal_cmp(*op, &agg, value))
+            }
+            WhereExpr::ValueJoin { left, op, right } => {
+                let l = self.eval_path(ctx, left)?;
+                let r = self.eval_path(ctx, right)?;
+                // Nested loops — the navigational join.
+                for li in &l {
+                    let lv = self.value(li);
+                    for ri in &r {
+                        let rv = self.value(ri);
+                        if text_cmp(*op, &lv, &rv) {
+                            return Ok(true);
+                        }
+                    }
+                }
+                Ok(false)
+            }
+            WhereExpr::Quantified { quant, var, path, cond_path, op, value } => {
+                let items = self.eval_path(ctx, path)?;
+                let shadowed = ctx.vars.get(var).cloned();
+                let mut all = true;
+                let mut any = false;
+                for item in items {
+                    ctx.vars.insert(var.clone(), BindVal::One(item));
+                    let holds = {
+                        let c_items = self.eval_path(ctx, cond_path)?;
+                        c_items.iter().any(|i| {
+                            let v = self.value_imm(i);
+                            literal_cmp(*op, &v, value)
+                        })
+                    };
+                    match &shadowed {
+                        Some(v) => {
+                            ctx.vars.insert(var.clone(), v.clone());
+                        }
+                        None => {
+                            ctx.vars.remove(var);
+                        }
+                    }
+                    all &= holds;
+                    any |= holds;
+                }
+                Ok(match quant {
+                    Quantifier::Every => all,
+                    Quantifier::Some => any,
+                })
+            }
+        }
+    }
+
+    /// Value without mutating stats (borrow-friendly inside closures); the
+    /// visits are charged separately by the caller's path evaluation.
+    fn value_imm(&self, item: &Item) -> String {
+        match item {
+            Item::Node(n) => self.db.node(*n).string_value(),
+            Item::Tree(t) => t.children.iter().map(|c| self.value_imm(c)).collect(),
+            Item::Text(t) => t.to_string(),
+        }
+    }
+
+    fn aggregate(&mut self, func: AggFunc, items: &[Item]) -> String {
+        if func == AggFunc::Count {
+            return items.len().to_string();
+        }
+        let nums: Vec<f64> = items
+            .iter()
+            .filter_map(|i| self.value(i).trim().parse::<f64>().ok())
+            .collect();
+        if nums.is_empty() {
+            return "empty".to_string();
+        }
+        let v = match func {
+            AggFunc::Sum => nums.iter().sum(),
+            AggFunc::Avg => nums.iter().sum::<f64>() / nums.len() as f64,
+            AggFunc::Min => nums.iter().copied().fold(f64::INFINITY, f64::min),
+            AggFunc::Max => nums.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            AggFunc::Count => unreachable!(),
+        };
+        format_num(v)
+    }
+
+    // ---------------- RETURN ----------------
+
+    fn ret(&mut self, ctx: &mut Ctx, r: &ReturnExpr) -> Result<Vec<Item>> {
+        match r {
+            ReturnExpr::Path(p) => self.eval_path(ctx, p),
+            ReturnExpr::Text(t) => Ok(vec![Item::Text(t.as_str().into())]),
+            ReturnExpr::Aggr(f, p) => {
+                let items = self.eval_path(ctx, p)?;
+                let v = self.aggregate(*f, &items);
+                Ok(vec![Item::Text(v.into())])
+            }
+            ReturnExpr::Subquery(sub) => self.flwor(ctx, sub),
+            ReturnExpr::Element { tag, attrs, children } => {
+                let mut built_attrs = Vec::with_capacity(attrs.len());
+                for (name, path) in attrs {
+                    let items = self.eval_path(ctx, path)?;
+                    let v: String = items.iter().map(|i| self.value_imm(i)).collect();
+                    // Charge the value reads.
+                    for i in &items {
+                        let _ = self.value(i);
+                    }
+                    built_attrs.push((name.clone(), v));
+                }
+                let mut built_children = Vec::new();
+                for c in children {
+                    built_children.extend(self.ret(ctx, c)?);
+                }
+                Ok(vec![Item::Tree(Rc::new(CTree {
+                    tag: tag.clone(),
+                    attrs: built_attrs,
+                    children: built_children,
+                }))])
+            }
+        }
+    }
+
+    // ---------------- output ----------------
+
+    fn serialize(&self, item: &Item, out: &mut String) {
+        match item {
+            Item::Node(n) => out.push_str(&serialize_subtree(self.db, *n)),
+            Item::Text(t) => escape_text(t, out),
+            Item::Tree(t) => {
+                out.push('<');
+                out.push_str(&t.tag);
+                for (name, value) in &t.attrs {
+                    out.push(' ');
+                    out.push_str(name);
+                    out.push_str("=\"");
+                    escape_attr(value, out);
+                    out.push('"');
+                }
+                if t.children.is_empty() {
+                    out.push_str("/>");
+                    return;
+                }
+                out.push('>');
+                for c in &t.children {
+                    self.serialize(c, out);
+                }
+                out.push_str("</");
+                out.push_str(&t.tag);
+                out.push('>');
+            }
+        }
+    }
+}
+
+fn format_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn literal_cmp(op: CmpOp, actual: &str, lit: &Literal) -> bool {
+    match lit {
+        Literal::Number(n) => {
+            if op == CmpOp::Contains {
+                return false;
+            }
+            match actual.trim().parse::<f64>() {
+                Ok(a) => a.partial_cmp(n).is_some_and(|o| ord_holds(op, o)),
+                Err(_) => false,
+            }
+        }
+        Literal::Str(s) => match op {
+            CmpOp::Contains => actual.contains(s.as_str()),
+            _ => ord_holds(op, actual.cmp(s.as_str())),
+        },
+    }
+}
+
+fn text_cmp(op: CmpOp, a: &str, b: &str) -> bool {
+    // Numeric when both parse (matching the algebraic join-key coercion).
+    if let (Ok(x), Ok(y)) = (a.trim().parse::<f64>(), b.trim().parse::<f64>()) {
+        return x.partial_cmp(&y).is_some_and(|o| ord_holds(op, o));
+    }
+    if op == CmpOp::Contains {
+        return a.contains(b);
+    }
+    ord_holds(op, a.cmp(b))
+}
+
+fn ord_holds(op: CmpOp, o: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        CmpOp::Eq => o == Equal,
+        CmpOp::Ne => o != Equal,
+        CmpOp::Lt => o == Less,
+        CmpOp::Le => o != Greater,
+        CmpOp::Gt => o == Greater,
+        CmpOp::Ge => o != Less,
+        CmpOp::Contains => false,
+    }
+}
+
+fn compare_keys(a: &[Option<String>], b: &[Option<String>]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let ord = match (x, y) {
+            (Some(x), Some(y)) => match (x.trim().parse::<f64>(), y.trim().parse::<f64>()) {
+                (Ok(nx), Ok(ny)) => nx.total_cmp(&ny),
+                _ => x.cmp(y),
+            },
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => std::cmp::Ordering::Equal,
+        };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.load_xml(
+            "auction.xml",
+            r#"<site>
+              <people>
+                <person id="person0"><name>Ann</name><age>30</age></person>
+                <person id="person1"><name>Bo</name><age>20</age></person>
+              </people>
+              <open_auctions>
+                <open_auction>
+                  <bidder><personref person="person0"/></bidder>
+                  <bidder><personref person="person1"/></bidder>
+                  <quantity>5</quantity>
+                </open_auction>
+                <open_auction>
+                  <bidder><personref person="person0"/></bidder>
+                  <quantity>1</quantity>
+                </open_auction>
+              </open_auctions>
+            </site>"#,
+        )
+        .unwrap();
+        db
+    }
+
+    fn run(db: &Database, q: &str) -> String {
+        let ast = xquery::parse(q).unwrap();
+        evaluate_nav(db, &ast).unwrap().0
+    }
+
+    #[test]
+    fn simple_path_and_predicate() {
+        let d = db();
+        let out = run(&d, r#"FOR $p IN document("auction.xml")//person WHERE $p/age > 25 RETURN $p/name"#);
+        assert_eq!(out, "<name>Ann</name>");
+    }
+
+    #[test]
+    fn nav_visits_nodes() {
+        let d = db();
+        let ast = xquery::parse(r#"FOR $p IN document("auction.xml")//person RETURN $p/name"#).unwrap();
+        let (_, stats) = evaluate_nav(&d, &ast).unwrap();
+        assert!(stats.nodes_visited > 10, "descendant steps walk the tree: {stats:?}");
+        assert_eq!(stats.tuples, 2);
+    }
+
+    #[test]
+    fn counts_and_joins() {
+        let d = db();
+        let out = run(
+            &d,
+            r#"FOR $p IN document("auction.xml")//person
+               FOR $o IN document("auction.xml")//open_auction
+               WHERE count($o/bidder) > 1 AND $p/age > 25
+                 AND $p/@id = $o/bidder//@person
+               RETURN <person name={$p/name/text()}> $o/bidder </person>"#,
+        );
+        assert_eq!(out.matches("<person name=\"Ann\">").count(), 1);
+        assert_eq!(out.matches("<bidder>").count(), 2);
+    }
+
+    #[test]
+    fn let_subquery() {
+        let d = db();
+        let out = run(
+            &d,
+            r#"FOR $p IN document("auction.xml")//person
+               LET $a := FOR $o IN document("auction.xml")//open_auction
+                         WHERE $p/@id = $o/bidder//@person
+                         RETURN <mya>{$o/quantity/text()}</mya>
+               WHERE $p/age > 25
+               RETURN <res name={$p/name/text()}>{$a/mya}</res>"#,
+        );
+        assert_eq!(out, "<res name=\"Ann\"><mya>5</mya><mya>1</mya></res>");
+    }
+
+    #[test]
+    fn order_by_descending() {
+        let d = db();
+        let out = run(
+            &d,
+            r#"FOR $p IN document("auction.xml")//person ORDER BY $p/age DESCENDING RETURN $p/age"#,
+        );
+        assert_eq!(out, "<age>30</age>\n<age>20</age>");
+    }
+
+    #[test]
+    fn every_quantifier() {
+        let d = db();
+        let out = run(
+            &d,
+            r#"FOR $o IN document("auction.xml")//open_auction
+               WHERE EVERY $b IN $o/quantity SATISFIES $b > 2
+               RETURN $o/quantity"#,
+        );
+        assert_eq!(out, "<quantity>5</quantity>");
+    }
+
+    #[test]
+    fn aggregate_in_return() {
+        let d = db();
+        let out = run(
+            &d,
+            r#"FOR $o IN document("auction.xml")//open_auction RETURN <n>{count($o/bidder)}</n>"#,
+        );
+        assert_eq!(out, "<n>2</n>\n<n>1</n>");
+    }
+}

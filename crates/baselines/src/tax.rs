@@ -1,0 +1,53 @@
+//! The TAX baseline (paper §6.1).
+//!
+//! "The TAX algebra plan consists of a sequence of operators that takes a
+//! pattern tree as argument. … For the FOR/WHERE part TAX will generate a
+//! selection … followed by a projection and a duplicate elimination … The
+//! entire subtree is retrieved for such nodes, because it is assumed to be
+//! used later in the query. For the RETURN clause TAX will create a
+//! selection for every path. Then a join operator will be used to stitch
+//! together the RETURN clause paths with the FOR/WHERE parts … TAX does not
+//! support annotated edges in its pattern trees, and to compensate for that
+//! it uses a grouping procedure."
+//!
+//! The plan generation lives in the shared translator
+//! ([`tlc::translate_with_style`] with [`tlc::Style::Tax`]); this module is
+//! the engine-facing entry point. See `crates/tlc/src/translate.rs` for the
+//! exact operator substitutions and `crates/tlc/src/ops/{grouping,
+//! materialize}.rs` for the baseline-specific physical operators.
+
+use tlc::{Plan, Result, Style};
+use xmldb::Database;
+
+/// Compiles a query into a TAX-style plan.
+pub fn tax_plan(query: &str, db: &Database) -> Result<Plan> {
+    tlc::compile_with_style(query, db, Style::Tax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tax_matches_tlc_output() {
+        let mut db = Database::new();
+        db.load_xml(
+            "auction.xml",
+            r#"<site><people>
+                 <person id="p0"><name>Ann</name><age>30</age></person>
+                 <person id="p1"><name>Bo</name><age>19</age></person>
+               </people></site>"#,
+        )
+        .unwrap();
+        let q = r#"FOR $p IN document("auction.xml")//person
+                   WHERE $p/age > 25 RETURN <r name={$p/name/text()}>{$p/age}</r>"#;
+        let tax = tax_plan(q, &db).unwrap();
+        let tlc_plan = tlc::compile(q, &db).unwrap();
+        assert_eq!(
+            tlc::execute_to_string(&db, &tax).unwrap(),
+            tlc::execute_to_string(&db, &tlc_plan).unwrap()
+        );
+        let rendered = tax.display(Some(&db)).to_string();
+        assert!(rendered.contains("Materialize"), "{rendered}");
+    }
+}

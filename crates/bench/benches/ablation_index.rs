@@ -1,0 +1,64 @@
+//! Ablation A2 (DESIGN.md): the access-path choice of §6.2 — "on all
+//! queries that had a condition on content we used a value index".
+//!
+//! The same selective predicate (`@id = "person0"`) evaluated two ways over
+//! identical data:
+//!
+//! * **value-index served** — the predicate sits on the APT node, where the
+//!   matcher resolves it against the content-value index;
+//! * **scan** — the predicate is applied as a post-select Filter, so the
+//!   pattern match enumerates every `person` via the tag index first.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tlc::ops::filter::{FilterMode, FilterPred};
+use tlc::{Apt, ContentPred, LclId, MSpec, Plan, PredValue};
+use xmldb::AxisRel;
+use xquery::CmpOp;
+
+fn plans(db: &xmldb::Database) -> (Plan, Plan) {
+    let person = db.interner().lookup("person").unwrap();
+    let at_id = db.interner().lookup("@id").unwrap();
+    let pred = ContentPred { op: CmpOp::Eq, value: PredValue::Str("person0".into()) };
+
+    // Indexed: predicate inside the pattern.
+    let mut apt = Apt::for_document("auction.xml", LclId(1));
+    let p = apt.add(None, AxisRel::Descendant, MSpec::One, person, None, LclId(2));
+    apt.add(Some(p), AxisRel::Child, MSpec::One, at_id, Some(pred.clone()), LclId(3));
+    let indexed = Plan::Select { input: None, apt };
+
+    // Scan: match every person/@id, filter afterwards.
+    let mut apt = Apt::for_document("auction.xml", LclId(1));
+    let p = apt.add(None, AxisRel::Descendant, MSpec::One, person, None, LclId(2));
+    apt.add(Some(p), AxisRel::Child, MSpec::One, at_id, None, LclId(3));
+    let scan = Plan::Filter {
+        input: Box::new(Plan::Select { input: None, apt }),
+        lcl: LclId(3),
+        pred: FilterPred::Content(pred),
+        mode: FilterMode::Alo,
+    };
+    (indexed, scan)
+}
+
+fn index_ablation(c: &mut Criterion) {
+    let db = bench::setup(0.05);
+    let (indexed, scan) = plans(&db);
+    // Same answers, different access paths.
+    assert_eq!(
+        tlc::execute_to_string(&db, &indexed).unwrap(),
+        tlc::execute_to_string(&db, &scan).unwrap()
+    );
+    let mut group = c.benchmark_group("ablation_index");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.bench_function("value_index_served", |b| {
+        b.iter(|| black_box(tlc::execute(&db, &indexed).unwrap().0.len()))
+    });
+    group.bench_function("tag_scan_then_filter", |b| {
+        b.iter(|| black_box(tlc::execute(&db, &scan).unwrap().0.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, index_ablation);
+criterion_main!(benches);

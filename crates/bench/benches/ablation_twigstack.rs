@@ -1,0 +1,51 @@
+//! Ablation A3: pattern-matching strategy — the binary-structural-join
+//! matcher that drives the TLC operators vs the holistic twig join
+//! (TwigStack, the paper's reference [3]) on the same flat twig over XMark
+//! data.
+//!
+//! Both produce the same match set; the interesting dimension is how each
+//! scales with twig selectivity (TwigStack never enumerates partial matches
+//! that cannot extend; the binary matcher may).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tlc::physical::twigstack::{twig_join, Twig};
+use tlc::{Apt, LclId, MSpec, Plan};
+use xmldb::AxisRel;
+
+fn twig_benches(c: &mut Criterion) {
+    let db = bench::setup(0.02);
+    let t = |n: &str| db.interner().lookup(n).unwrap();
+
+    // The Q1-ish twig: open_auction[//bidder//@person][/quantity].
+    let mut twig = Twig::new(t("open_auction"));
+    let b = twig.add(0, AxisRel::Child, t("bidder"));
+    twig.add(b, AxisRel::Descendant, t("@person"));
+    twig.add(0, AxisRel::Child, t("quantity"));
+
+    let mut apt = Apt::for_document("auction.xml", LclId(1));
+    let oa = apt.add(None, AxisRel::Descendant, MSpec::One, t("open_auction"), None, LclId(2));
+    let bid = apt.add(Some(oa), AxisRel::Child, MSpec::One, t("bidder"), None, LclId(3));
+    apt.add(Some(bid), AxisRel::Descendant, MSpec::One, t("@person"), None, LclId(4));
+    apt.add(Some(oa), AxisRel::Child, MSpec::One, t("quantity"), None, LclId(5));
+    let plan = Plan::Select { input: None, apt };
+
+    // Same matches, two strategies.
+    let twig_count = twig_join(&db, &twig).len();
+    let (trees, _) = tlc::execute(&db, &plan).unwrap();
+    assert_eq!(twig_count, trees.len(), "strategies must agree before timing");
+
+    let mut group = c.benchmark_group("ablation_twigstack");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.bench_function("interval_matcher", |b| {
+        b.iter(|| black_box(tlc::execute(&db, &plan).unwrap().0.len()))
+    });
+    group.bench_function("twigstack_holistic", |b| {
+        b.iter(|| black_box(twig_join(&db, &twig).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, twig_benches);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Paper-style experiment driver.
+//!
+//! ```text
+//! experiments fig15 [--factor F] [--budget SECS]
+//! experiments fig16 [--factor F]
+//! experiments fig17 [--factors F1,F2,...]
+//! experiments stats [--factor F]     # per-engine ExecStats (redundancy metrics)
+//! experiments all   [--factor F]
+//! ```
+
+use baselines::Engine;
+use bench::{
+    fig15, fig16, fig17, render_fig15, render_fig16, render_fig17, setup, DEFAULT_FACTOR,
+    FIG17_FACTORS,
+};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let factor = flag_value(&args, "--factor").and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_FACTOR);
+    let budget = Duration::from_secs_f64(
+        flag_value(&args, "--budget").and_then(|v| v.parse().ok()).unwrap_or(120.0),
+    );
+    let factors: Vec<f64> = flag_value(&args, "--factors")
+        .map(|v| v.split(',').filter_map(|s| s.parse().ok()).collect())
+        .unwrap_or_else(|| FIG17_FACTORS.to_vec());
+
+    match cmd {
+        "fig15" => run_fig15(factor, budget),
+        "fig16" => run_fig16(factor, budget),
+        "fig17" => run_fig17(&factors, budget),
+        "stats" => run_stats(factor),
+        "all" => {
+            run_fig15(factor, budget);
+            println!();
+            run_fig16(factor, budget);
+            println!();
+            run_fig17(&factors, budget);
+            println!();
+            run_stats(factor);
+        }
+        other => {
+            eprintln!("unknown command {other:?}; use fig15|fig16|fig17|stats|all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn run_fig15(factor: f64, budget: Duration) {
+    eprintln!("generating XMark factor {factor} ...");
+    let db = setup(factor);
+    eprintln!("database: {} nodes", db.node_count());
+    let rows = fig15(&db, budget);
+    print!("{}", render_fig15(&rows, factor));
+}
+
+fn run_fig16(factor: f64, budget: Duration) {
+    let db = setup(factor);
+    let rows = fig16(&db, budget);
+    print!("{}", render_fig16(&rows, factor));
+}
+
+fn run_fig17(factors: &[f64], budget: Duration) {
+    let rows = fig17(factors, budget);
+    print!("{}", render_fig17(&rows, factors));
+}
+
+/// The redundancy metrics behind the timings: per-query, per-engine
+/// ExecStats counters (index probes, nodes inspected, subtrees
+/// materialized) — the paper's §4 argument made quantitative.
+fn run_stats(factor: f64) {
+    let db = setup(factor);
+    println!(
+        "Execution counters, factor {factor} (probes / nodes inspected / subtrees materialized; NAV: nodes visited)"
+    );
+    println!("{:<6} {:>28} {:>28} {:>28} {:>12}", "query", "TLC", "GTP", "TAX", "NAV");
+    for q in queries::all_queries() {
+        let mut cells = Vec::new();
+        for engine in [Engine::Tlc, Engine::Gtp, Engine::Tax] {
+            let cell = match baselines::plan_for(engine, q.text, &db)
+                .and_then(|p| tlc::execute(&db, &p))
+            {
+                Ok((_, s)) => format!("{:>8}/{:>12}/{:>6}", s.probes, s.nodes_inspected, s.subtrees_materialized),
+                Err(_) => format!("{:>28}", "ERR"),
+            };
+            cells.push(cell);
+        }
+        let nav = xquery::parse(q.text)
+            .ok()
+            .and_then(|ast| baselines::evaluate_nav(&db, &ast).ok())
+            .map(|(_, s)| format!("{:>12}", s.nodes_visited))
+            .unwrap_or_else(|| format!("{:>12}", "ERR"));
+        println!("{:<6} {} {} {} {}", q.name, cells[0], cells[1], cells[2], nav);
+    }
+}

@@ -1,0 +1,234 @@
+//! `tlc-shell` — an interactive console for the TLC reproduction.
+//!
+//! ```text
+//! tlc-shell [--factor F | --load FILE.xml | --db FILE.tlcx]
+//!           [--engine tlc|opt|gtp|tax|nav]
+//! ```
+//!
+//! Type a query (multi-line; finish with an empty line or `;`), or one of
+//! the commands:
+//!
+//! ```text
+//! .engine tlc|opt|costed|gtp|tax|nav  switch evaluator
+//! .explain                      toggle plan display
+//! .stats                        toggle execution counters
+//! .analyze                      toggle per-operator timings
+//! .bench <name>                 run a Figure 15 workload query by name
+//! .queries                      list the workload queries
+//! .save <file.tlcx>             snapshot the database to disk
+//! .help  .quit
+//! ```
+
+use baselines::Engine;
+use std::io::{BufRead, Write};
+
+struct Shell {
+    db: xmldb::Database,
+    engine: Engine,
+    explain: bool,
+    stats: bool,
+    analyze: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = flag(&args, "--engine").map(parse_engine).unwrap_or(Engine::Tlc);
+    let db = if let Some(file) = flag(&args, "--db") {
+        match xmldb::load_file(std::path::Path::new(file)) {
+            Ok(db) => {
+                eprintln!("loaded snapshot {file}: {} nodes", db.node_count());
+                db
+            }
+            Err(e) => {
+                eprintln!("cannot load snapshot {file}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else if let Some(file) = flag(&args, "--load") {
+        let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+            eprintln!("cannot read {file}: {e}");
+            std::process::exit(1);
+        });
+        let mut db = xmldb::Database::new();
+        if let Err(e) = db.load_xml("auction.xml", &text) {
+            eprintln!("cannot parse {file}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("loaded {file} as document(\"auction.xml\"): {} nodes", db.node_count());
+        db
+    } else {
+        let factor: f64 = flag(&args, "--factor").and_then(|f| f.parse().ok()).unwrap_or(0.01);
+        eprintln!("generating XMark data at factor {factor} ...");
+        let db = xmark::auction_database(factor);
+        eprintln!("document(\"auction.xml\"): {} nodes", db.node_count());
+        db
+    };
+
+    let mut shell = Shell { db, engine, explain: false, stats: false, analyze: false };
+    eprintln!("engine: {} — type .help for commands", shell.engine.name());
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            eprint!("tlc> ");
+        } else {
+            eprint!("...> ");
+        }
+        std::io::stderr().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            if !shell.command(trimmed) {
+                break;
+            }
+            continue;
+        }
+        if trimmed.is_empty() || trimmed.ends_with(';') {
+            buffer.push_str(trimmed.trim_end_matches(';'));
+            let query = buffer.trim().to_string();
+            buffer.clear();
+            if !query.is_empty() {
+                shell.run(&query);
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+    }
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn parse_engine(s: &str) -> Engine {
+    match s.to_ascii_lowercase().as_str() {
+        "opt" => Engine::TlcOpt,
+        "costed" => Engine::TlcCosted,
+        "gtp" => Engine::Gtp,
+        "tax" => Engine::Tax,
+        "nav" => Engine::Nav,
+        _ => Engine::Tlc,
+    }
+}
+
+impl Shell {
+    /// Handles a dot-command; returns false to quit.
+    fn command(&mut self, cmd: &str) -> bool {
+        let mut parts = cmd.split_whitespace();
+        match parts.next().unwrap_or("") {
+            ".quit" | ".exit" => return false,
+            ".engine" => {
+                if let Some(e) = parts.next() {
+                    self.engine = parse_engine(e);
+                }
+                println!("engine: {}", self.engine.name());
+            }
+            ".explain" => {
+                self.explain = !self.explain;
+                println!("explain: {}", self.explain);
+            }
+            ".stats" => {
+                self.stats = !self.stats;
+                println!("stats: {}", self.stats);
+            }
+            ".analyze" => {
+                self.analyze = !self.analyze;
+                println!("analyze: {}", self.analyze);
+            }
+            ".save" => match parts.next() {
+                Some(path) => match xmldb::save_file(&self.db, std::path::Path::new(path)) {
+                    Ok(()) => println!("snapshot written to {path}"),
+                    Err(e) => println!("error: {e}"),
+                },
+                None => println!("usage: .save <file.tlcx>"),
+            },
+            ".queries" => {
+                for q in queries::all_queries() {
+                    println!("{:<6} {}", q.name, q.comment);
+                }
+            }
+            ".bench" => match parts.next().and_then(queries::query) {
+                Some(q) => self.run(q.text),
+                None => println!("usage: .bench <x1..x20|Q1|Q2|x10a>"),
+            },
+            ".help" => {
+                println!(
+                    ".engine tlc|opt|costed|gtp|tax|nav  switch evaluator\n\
+                     .explain                      toggle plan display\n\
+                     .stats                        toggle execution counters\n\
+                     .analyze                      toggle per-operator timings\n\
+                     .bench <name>                 run a workload query\n\
+                     .queries                      list workload queries\n\
+                     .save <file.tlcx>             snapshot the database\n\
+                     .quit                         leave"
+                );
+            }
+            other => println!("unknown command {other}; try .help"),
+        }
+        true
+    }
+
+    fn run(&mut self, query: &str) {
+        let started = std::time::Instant::now();
+        if self.engine == Engine::Nav {
+            match xquery::parse(query) {
+                Ok(ast) => match baselines::evaluate_nav(&self.db, &ast) {
+                    Ok((out, stats)) => {
+                        println!("{out}");
+                        if self.stats {
+                            println!(
+                                "-- {} nodes visited, {} tuples, {:?}",
+                                stats.nodes_visited,
+                                stats.tuples,
+                                started.elapsed()
+                            );
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                },
+                Err(e) => println!("error: {e}"),
+            }
+            return;
+        }
+        match baselines::plan_for(self.engine, query, &self.db) {
+            Ok(plan) => {
+                if self.explain {
+                    println!("{}", plan.display(Some(&self.db)));
+                }
+                if self.analyze {
+                    match tlc::execute_traced(&self.db, &plan) {
+                        Ok((trees, _, traces)) => {
+                            println!("{}", tlc::serialize_results(&self.db, &trees));
+                            println!("{}", tlc::render_trace(&traces));
+                        }
+                        Err(e) => println!("error: {e}"),
+                    }
+                    return;
+                }
+                match tlc::execute(&self.db, &plan) {
+                    Ok((trees, stats)) => {
+                        println!("{}", tlc::serialize_results(&self.db, &trees));
+                        if self.stats {
+                            println!(
+                                "-- {} tree(s), {} pattern matches, {} probes, {} nodes inspected, {:?}",
+                                trees.len(),
+                                stats.pattern_matches,
+                                stats.probes,
+                                stats.nodes_inspected,
+                                started.elapsed()
+                            );
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

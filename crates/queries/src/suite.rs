@@ -1,0 +1,289 @@
+//! The query texts and their Figure 15 metadata.
+
+/// One benchmark query.
+#[derive(Debug, Clone, Copy)]
+pub struct QuerySpec {
+    /// Name as it appears in Figure 15 (`x1` … `x20`, `Q1`, `Q2`, `x10a`).
+    pub name: &'static str,
+    /// The query text (Figure 5 fragment).
+    pub text: &'static str,
+    /// The paper's Comments column for this query.
+    pub comment: &'static str,
+    /// Whether the §4 rewrites apply (the Figure 16 set).
+    pub rewritable: bool,
+}
+
+macro_rules! q {
+    ($name:literal, $comment:literal, $rw:literal, $text:literal) => {
+        QuerySpec { name: $name, text: $text, comment: $comment, rewritable: $rw }
+    };
+}
+
+/// The Figure 16 queries (rewrites applicable).
+pub const FIG16_QUERIES: [&str; 4] = ["x3", "x5", "Q1", "Q2"];
+
+/// The Figure 17 scalability queries.
+pub const FIG17_QUERIES: [&str; 5] = ["x3", "x5", "x13", "Q1", "Q2"];
+
+/// All 23 queries of Figure 15, in table order.
+pub fn all_queries() -> &'static [QuerySpec] {
+    QUERIES
+}
+
+/// Extended workload beyond Figure 15: exercises the grammar corners the
+/// XMark adaptation does not reach (OR, SOME, multi-key ORDER BY, FOR over
+/// a variable path, a FLWOR in RETURN position). Used by the cross-engine
+/// equivalence tests.
+pub fn extended_queries() -> &'static [QuerySpec] {
+    EXTENDED
+}
+
+/// Looks a query up by name.
+pub fn query(name: &str) -> Option<&'static QuerySpec> {
+    QUERIES.iter().find(|q| q.name == name)
+}
+
+static QUERIES: &[QuerySpec] = &[
+    q!("x1", "1 A/R, single OT", false, r#"
+        FOR $p IN document("auction.xml")//person
+        WHERE $p/@id = "person0"
+        RETURN $p/name"#),
+    q!("x2", "1 A/R, lots OT", false, r#"
+        FOR $i IN document("auction.xml")//open_auction/bidder/increase
+        RETURN <increase>{$i/text()}</increase>"#),
+    q!("x3", "J, 2 A/R, avg OT", true, r#"
+        FOR $p IN document("auction.xml")//person
+        FOR $a IN document("auction.xml")//open_auction
+        WHERE count($a/bidder) > 3 AND $p/@id = $a/bidder/personref/@person
+        RETURN <res name={$p/name/text()}>{$a/bidder}</res>"#),
+    q!("x4", "1 A/R, two OT", false, r#"
+        FOR $o IN document("auction.xml")//open_auction
+        WHERE $o/initial > 299
+        RETURN $o/initial"#),
+    q!("x5", "small count, 1 A/R", true, r#"
+        FOR $o IN document("auction.xml")//open_auction
+        WHERE $o/quantity = 3 AND count($o/bidder) > 5 AND $o/bidder/increase > 25
+        RETURN <n>{count($o/bidder)}</n>"#),
+    q!("x6", "big count, '//'", false, r#"
+        FOR $r IN document("auction.xml")//regions
+        RETURN count($r//item)"#),
+    q!("x7", "3 big counts, '//'", false, r#"
+        FOR $s IN document("auction.xml")/site
+        RETURN <counts>
+          <descriptions>{count($s//description)}</descriptions>
+          <mails>{count($s//mail)}</mails>
+          <texts>{count($s//text)}</texts>
+        </counts>"#),
+    q!("x8", "J, LET, 2 A/R", false, r#"
+        FOR $p IN document("auction.xml")//person
+        LET $a := FOR $t IN document("auction.xml")//closed_auction
+                  WHERE $t/buyer/@person = $p/@id
+                  RETURN <tx>{$t/price/text()}</tx>
+        RETURN <item person={$p/name/text()}>{count($a/tx)}</item>"#),
+    q!("x9", "2J, LETs, 2 A/R", false, r#"
+        FOR $p IN document("auction.xml")//person
+        LET $a := FOR $t IN document("auction.xml")//closed_auction
+                  WHERE $t/seller/@person = $p/@id AND $t/price > 100
+                  RETURN <sale>{$t/price/text()}</sale>
+        LET $b := FOR $o IN document("auction.xml")//open_auction
+                  WHERE $o/seller/@person = $p/@id
+                  RETURN <open>{$o/current/text()}</open>
+        RETURN <person name={$p/name/text()}>{count($a/sale)}</person>"#),
+    q!("x10", "LET, 12 A/R, lots OT", false, r#"
+        FOR $p IN document("auction.xml")//person
+        LET $a := FOR $o IN document("auction.xml")//open_auction
+                  WHERE $o/seller/@person = $p/@id
+                  RETURN <rec>
+                    <f1>{$o/initial/text()}</f1>
+                    <f2>{$o/current/text()}</f2>
+                    <f3>{$o/quantity/text()}</f3>
+                    <f4>{$o/type/text()}</f4>
+                    <f5>{$o/interval/start/text()}</f5>
+                    <f6>{$o/interval/end/text()}</f6>
+                    <f7>{$o/itemref/@item/text()}</f7>
+                    <f8>{$o/seller/@person/text()}</f8>
+                    <f9>{$o/annotation/happiness/text()}</f9>
+                    <f10>{$o/annotation/author/@person/text()}</f10>
+                    <f11>{count($o/bidder)}</f11>
+                    <f12>{$o/privacy/text()}</f12>
+                  </rec>
+        RETURN <person name={$p/name/text()}>{$a/rec}</person>"#),
+    q!("x11", "count, LET, lots OT", false, r#"
+        FOR $p IN document("auction.xml")//person
+        LET $l := FOR $i IN document("auction.xml")//item
+                  WHERE $i/location = $p/address/country
+                  RETURN <match>{$i/name/text()}</match>
+        RETURN <items name={$p/name/text()}>{count($l/match)}</items>"#),
+    q!("x12", "count, LET, avg OT", false, r#"
+        FOR $p IN document("auction.xml")//person
+        LET $l := FOR $i IN document("auction.xml")//item
+                  WHERE $i/location = $p/address/country
+                  RETURN <match>{$i/name/text()}</match>
+        WHERE $p/profile/@income > 65000
+        RETURN <items name={$p/name/text()}>{count($l/match)}</items>"#),
+    q!("x13", "2 A/R, avg OT", false, r#"
+        FOR $i IN document("auction.xml")//australia/item
+        RETURN <item name={$i/name/text()}>{$i/description}</item>"#),
+    q!("x14", "'//', contains on desc", false, r#"
+        FOR $i IN document("auction.xml")//item
+        WHERE contains($i/description, "gold")
+        RETURN $i/name"#),
+    q!("x15", "long path, return $var", false, r#"
+        FOR $t IN document("auction.xml")//closed_auction/annotation/description/parlist/listitem/parlist/listitem/text
+        RETURN $t"#),
+    q!("x16", "long path, 1 A/R", false, r#"
+        FOR $t IN document("auction.xml")//closed_auction/annotation/description/parlist/listitem/parlist/listitem/text
+        RETURN <text>{$t/text()}</text>"#),
+    q!("x17", "1 A/R, lots OT", false, r#"
+        FOR $p IN document("auction.xml")//person
+        WHERE contains($p/emailaddress, "mailto:")
+        RETURN $p/name"#),
+    q!("x18", "1 A/R, lots OT", false, r#"
+        FOR $o IN document("auction.xml")//open_auction
+        WHERE $o/initial > 10
+        RETURN $o/initial"#),
+    q!("x19", "'//', 2 A/R, sort, lots OT", false, r#"
+        FOR $i IN document("auction.xml")//item
+        ORDER BY $i/location
+        RETURN <item name={$i/name/text()}>{$i/location}</item>"#),
+    q!("x20", "4 counts", false, r#"
+        FOR $s IN document("auction.xml")/site
+        RETURN <counts>
+          <people>{count($s//person)}</people>
+          <open>{count($s//open_auction)}</open>
+          <closed>{count($s//closed_auction)}</closed>
+          <items>{count($s//item)}</items>
+        </counts>"#),
+    q!("Q1", "'//', J, count, 2 A/R", true, r#"
+        FOR $p IN document("auction.xml")//person
+        FOR $o IN document("auction.xml")//open_auction
+        WHERE count($o/bidder) > 5 AND $p/age > 25
+          AND $p/@id = $o/bidder//@person
+        RETURN <person name={$p/name/text()}> $o/bidder </person>"#),
+    q!("Q2", "'//', J, count, 2 A/R, LET", true, r#"
+        FOR $p IN document("auction.xml")//person
+        LET $a := FOR $o IN document("auction.xml")//open_auction
+                  WHERE count($o/bidder) > 5
+                    AND $p/@id = $o/bidder//@person
+                  RETURN <myauction> {$o/bidder}
+                           <myquan>{$o/quantity/text()}</myquan>
+                         </myauction>
+        WHERE $p/age > 25
+          AND EVERY $i IN $a/myquan SATISFIES $i > 2
+        RETURN <person name={$p/name/text()}>{$a/bidder}</person>"#),
+    q!("x10a", "LET, 12 A/R, few OT", false, r#"
+        FOR $p IN document("auction.xml")//person
+        LET $a := FOR $o IN document("auction.xml")//open_auction
+                  WHERE $o/seller/@person = $p/@id
+                  RETURN <rec>
+                    <f1>{$o/initial/text()}</f1>
+                    <f2>{$o/current/text()}</f2>
+                    <f3>{$o/quantity/text()}</f3>
+                    <f4>{$o/type/text()}</f4>
+                    <f5>{$o/interval/start/text()}</f5>
+                    <f6>{$o/interval/end/text()}</f6>
+                    <f7>{$o/itemref/@item/text()}</f7>
+                    <f8>{$o/seller/@person/text()}</f8>
+                    <f9>{$o/annotation/happiness/text()}</f9>
+                    <f10>{$o/annotation/author/@person/text()}</f10>
+                    <f11>{count($o/bidder)}</f11>
+                    <f12>{$o/privacy/text()}</f12>
+                  </rec>
+        WHERE $p/@id = "person3"
+        RETURN <person name={$p/name/text()}>{$a/rec}</person>"#),
+];
+
+static EXTENDED: &[QuerySpec] = &[
+    q!("e1-or", "disjunctive predicate (UNION translation)", false, r#"
+        FOR $p IN document("auction.xml")//person
+        WHERE $p/@id = "person0" OR $p/age > 65
+        RETURN $p/name"#),
+    q!("e2-some", "existential quantifier", false, r#"
+        FOR $o IN document("auction.xml")//open_auction
+        WHERE SOME $i IN $o/bidder/increase SATISFIES $i > 28
+        RETURN $o/@id/text()"#),
+    q!("e3-multisort", "two ORDER BY keys", false, r#"
+        FOR $i IN document("auction.xml")//item
+        ORDER BY $i/location, $i/quantity
+        RETURN <i loc={$i/location/text()}>{$i/quantity/text()}</i>"#),
+    q!("e4-forvar", "FOR over a variable path", false, r#"
+        FOR $o IN document("auction.xml")//open_auction
+        FOR $b IN $o/bidder
+        WHERE $b/increase > 28
+        RETURN <big auction={$o/@id/text()}>{$b/increase/text()}</big>"#),
+    q!("e5-retsub", "FLWOR in RETURN position (desugared LET)", false, r#"
+        FOR $p IN document("auction.xml")//person
+        WHERE $p/@id = "person1"
+        RETURN <seller name={$p/name/text()}>{
+          FOR $o IN document("auction.xml")//open_auction
+          WHERE $o/seller/@person = $p/@id
+          RETURN <sale>{$o/initial/text()}</sale>
+        }</seller>"#),
+    q!("e6-minmax", "min/max/avg aggregates", false, r#"
+        FOR $s IN document("auction.xml")/site
+        RETURN <prices>
+          <lo>{min($s//closed_auction/price)}</lo>
+          <hi>{max($s//closed_auction/price)}</hi>
+          <mean>{avg($s//closed_auction/price)}</mean>
+        </prices>"#),
+    q!("e7-everydeep", "EVERY with a condition path", false, r#"
+        FOR $o IN document("auction.xml")//open_auction
+        WHERE EVERY $b IN $o/bidder SATISFIES $b/increase > 2
+        RETURN $o/@id/text()"#),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_full_figure_15_roster_is_present() {
+        assert_eq!(QUERIES.len(), 23);
+        for i in 1..=20 {
+            assert!(query(&format!("x{i}")).is_some(), "x{i} missing");
+        }
+        assert!(query("Q1").is_some() && query("Q2").is_some() && query("x10a").is_some());
+        assert!(query("nope").is_none());
+    }
+
+    #[test]
+    fn all_queries_parse() {
+        for q in all_queries() {
+            xquery::parse(q.text).unwrap_or_else(|e| panic!("{} fails to parse: {e}", q.name));
+        }
+    }
+
+    #[test]
+    fn extended_queries_parse() {
+        for q in extended_queries() {
+            xquery::parse(q.text).unwrap_or_else(|e| panic!("{} fails to parse: {e}", q.name));
+        }
+        assert_eq!(extended_queries().len(), 7);
+    }
+
+    #[test]
+    fn every_query_compiles_under_every_plan_style() {
+        let db = xmark_mini();
+        for q in all_queries().iter().chain(extended_queries()) {
+            for style in [tlc::Style::Tlc, tlc::Style::Gtp, tlc::Style::Tax] {
+                let plan = tlc::compile_with_style(q.text, &db, style)
+                    .unwrap_or_else(|e| panic!("{} under {style:?}: {e}", q.name));
+                assert!(plan.operator_count() >= 2, "{} {style:?}", q.name);
+            }
+        }
+    }
+
+    fn xmark_mini() -> xmldb::Database {
+        xmark::auction_database(0.001)
+    }
+
+    #[test]
+    fn figure_16_and_17_sets_reference_real_queries() {
+        for n in FIG16_QUERIES {
+            assert!(query(n).is_some_and(|q| q.rewritable), "{n} must be rewritable");
+        }
+        for n in FIG17_QUERIES {
+            assert!(query(n).is_some());
+        }
+    }
+}

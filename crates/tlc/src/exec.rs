@@ -1,0 +1,307 @@
+//! Plan execution: set-at-a-time, bottom-up, pipelined (paper §5).
+
+use crate::error::Result;
+use crate::ops;
+use crate::plan::Plan;
+use crate::stats::ExecStats;
+use crate::tree::{ResultTree, TempIdGen};
+use std::time::{Duration, Instant};
+use xmldb::Database;
+
+/// Execution context: temporary-id generator plus counters.
+#[derive(Debug, Default)]
+pub struct ExecCtx {
+    /// Temporary node identifier source (paper §5.1, Property 4).
+    pub tmp: TempIdGen,
+    /// Counters.
+    pub stats: ExecStats,
+}
+
+impl ExecCtx {
+    /// Fresh context.
+    pub fn new() -> Self {
+        ExecCtx::default()
+    }
+}
+
+/// Executes a plan, returning the result sequence and execution counters.
+pub fn execute(db: &Database, plan: &Plan) -> Result<(Vec<ResultTree>, ExecStats)> {
+    let mut ctx = ExecCtx::new();
+    let trees = run(db, plan, &mut ctx)?;
+    Ok((trees, ctx.stats))
+}
+
+/// Executes a plan and serializes the result (the typical caller surface).
+pub fn execute_to_string(db: &Database, plan: &Plan) -> Result<String> {
+    let (trees, _) = execute(db, plan)?;
+    Ok(crate::output::serialize_results(db, &trees))
+}
+
+/// One operator's measurements from a traced execution.
+#[derive(Debug, Clone)]
+pub struct OpTrace {
+    /// Short operator description.
+    pub label: String,
+    /// Nesting depth in the plan (0 = the plan root).
+    pub depth: usize,
+    /// Trees the operator produced.
+    pub out_trees: usize,
+    /// Time spent in this operator alone (children excluded).
+    pub own_time: Duration,
+}
+
+/// Executes a plan recording per-operator timings and output cardinalities —
+/// an "EXPLAIN ANALYZE" for TLC plans. Entries are in plan order (root
+/// first, inputs following, like [`Plan::display`]).
+pub fn execute_traced(db: &Database, plan: &Plan) -> Result<(Vec<ResultTree>, ExecStats, Vec<OpTrace>)> {
+    let mut ctx = ExecCtx::new();
+    let mut traces = Vec::new();
+    let (trees, _) = run_traced(db, plan, &mut ctx, 0, &mut traces)?;
+    Ok((trees, ctx.stats, traces))
+}
+
+/// Renders a trace table.
+pub fn render_trace(traces: &[OpTrace]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:>9}  {:>7}  operator
+", "own time", "trees"));
+    for t in traces {
+        out.push_str(&format!(
+            "{:>8.3}ms  {:>7}  {}{}
+",
+            t.own_time.as_secs_f64() * 1e3,
+            t.out_trees,
+            "  ".repeat(t.depth),
+            t.label
+        ));
+    }
+    out
+}
+
+fn op_label(plan: &Plan, db: &Database) -> String {
+    match plan {
+        Plan::Select { apt, .. } => format!("Select[{}]", apt.display(Some(db))),
+        Plan::Filter { lcl, mode, .. } => format!("Filter[{lcl} mode={mode:?}]"),
+        Plan::Join { spec, .. } => format!("Join[root={} right={}]", spec.root_lcl, spec.right_mspec),
+        Plan::Project { keep, .. } => format!("Project[{} class(es)]", keep.len()),
+        Plan::DupElim { on, kind, .. } => format!("DupElim[{kind:?} on {} class(es)]", on.len()),
+        Plan::Aggregate { func, over, .. } => format!("Aggregate[{}({over})]", func.name()),
+        Plan::Construct { spec, .. } => format!("Construct[{} item(s)]", spec.len()),
+        Plan::Sort { keys, .. } => format!("Sort[{} key(s)]", keys.len()),
+        Plan::Flatten { parent, child, .. } => format!("Flatten[{parent}, {child}]"),
+        Plan::Shadow { parent, child, .. } => format!("Shadow[{parent}, {child}]"),
+        Plan::Illuminate { lcl, .. } => format!("Illuminate[{lcl}]"),
+        Plan::GroupBy { by, collect, .. } => format!("GroupBy[by {by} collect {collect}]"),
+        Plan::Materialize { lcls, .. } => format!("Materialize[{} class(es)]", lcls.len()),
+        Plan::Union { inputs, .. } => format!("Union[{} branch(es)]", inputs.len()),
+    }
+}
+
+/// Traced evaluation: returns (trees, total time including children).
+fn run_traced(
+    db: &Database,
+    plan: &Plan,
+    ctx: &mut ExecCtx,
+    depth: usize,
+    traces: &mut Vec<OpTrace>,
+) -> Result<(Vec<ResultTree>, Duration)> {
+    let slot = traces.len();
+    traces.push(OpTrace { label: op_label(plan, db), depth, out_trees: 0, own_time: Duration::ZERO });
+    let started = Instant::now();
+    let mut child_time = Duration::ZERO;
+    let eval_input = |p: &Plan, ctx: &mut ExecCtx, traces: &mut Vec<OpTrace>, child_time: &mut Duration| -> Result<Vec<ResultTree>> {
+        let (trees, t) = run_traced(db, p, ctx, depth + 1, traces)?;
+        *child_time += t;
+        Ok(trees)
+    };
+    let trees = match plan {
+        Plan::Select { input, apt } => {
+            let inputs = match input {
+                Some(i) => eval_input(i, ctx, traces, &mut child_time)?,
+                None => Vec::new(),
+            };
+            ops::select(db, apt, inputs, &mut ctx.stats)?
+        }
+        Plan::Filter { input, lcl, pred, mode } => {
+            let inputs = eval_input(input, ctx, traces, &mut child_time)?;
+            ops::filter(db, inputs, *lcl, pred, *mode, &mut ctx.stats)
+        }
+        Plan::Join { left, right, spec } => {
+            let l = eval_input(left, ctx, traces, &mut child_time)?;
+            let r = eval_input(right, ctx, traces, &mut child_time)?;
+            ops::join(db, l, r, spec, &mut ctx.tmp, &mut ctx.stats)?
+        }
+        Plan::Project { input, keep } => {
+            let inputs = eval_input(input, ctx, traces, &mut child_time)?;
+            ops::project(inputs, keep, &mut ctx.stats)
+        }
+        Plan::DupElim { input, on, kind } => {
+            let inputs = eval_input(input, ctx, traces, &mut child_time)?;
+            ops::duplicate_elimination(db, inputs, on, *kind, &mut ctx.stats)?
+        }
+        Plan::Aggregate { input, func, over, new_lcl } => {
+            let inputs = eval_input(input, ctx, traces, &mut child_time)?;
+            ops::aggregate(db, inputs, *func, *over, *new_lcl, &mut ctx.tmp, &mut ctx.stats)
+        }
+        Plan::Construct { input, spec } => {
+            let inputs = eval_input(input, ctx, traces, &mut child_time)?;
+            ops::construct(db, inputs, spec, &mut ctx.tmp, &mut ctx.stats)?
+        }
+        Plan::Sort { input, keys } => {
+            let inputs = eval_input(input, ctx, traces, &mut child_time)?;
+            ops::sort_by_keys(db, inputs, keys)
+        }
+        Plan::Flatten { input, parent, child } => {
+            let inputs = eval_input(input, ctx, traces, &mut child_time)?;
+            ops::flatten(inputs, *parent, *child, &mut ctx.stats)?
+        }
+        Plan::Shadow { input, parent, child } => {
+            let inputs = eval_input(input, ctx, traces, &mut child_time)?;
+            ops::shadow(inputs, *parent, *child, &mut ctx.stats)?
+        }
+        Plan::Illuminate { input, lcl } => {
+            let inputs = eval_input(input, ctx, traces, &mut child_time)?;
+            ops::illuminate(inputs, *lcl, &mut ctx.stats)
+        }
+        Plan::GroupBy { input, by, collect } => {
+            let inputs = eval_input(input, ctx, traces, &mut child_time)?;
+            ops::grouping_procedure(db, inputs, *by, *collect, &mut ctx.stats)?
+        }
+        Plan::Materialize { input, lcls } => {
+            let inputs = eval_input(input, ctx, traces, &mut child_time)?;
+            ops::materialize(db, inputs, lcls, &mut ctx.stats)
+        }
+        Plan::Union { inputs, dedup_on } => {
+            let mut branches = Vec::with_capacity(inputs.len());
+            for p in inputs {
+                branches.push(eval_input(p, ctx, traces, &mut child_time)?);
+            }
+            ops::union_all(db, branches, dedup_on, &mut ctx.stats)?
+        }
+    };
+    let total = started.elapsed();
+    traces[slot].out_trees = trees.len();
+    traces[slot].own_time = total.saturating_sub(child_time);
+    Ok((trees, total))
+}
+
+fn run(db: &Database, plan: &Plan, ctx: &mut ExecCtx) -> Result<Vec<ResultTree>> {
+    match plan {
+        Plan::Select { input, apt } => {
+            let inputs = match input {
+                Some(i) => run(db, i, ctx)?,
+                None => Vec::new(),
+            };
+            ops::select(db, apt, inputs, &mut ctx.stats)
+        }
+        Plan::Filter { input, lcl, pred, mode } => {
+            let inputs = run(db, input, ctx)?;
+            Ok(ops::filter(db, inputs, *lcl, pred, *mode, &mut ctx.stats))
+        }
+        Plan::Join { left, right, spec } => {
+            let l = run(db, left, ctx)?;
+            let r = run(db, right, ctx)?;
+            ops::join(db, l, r, spec, &mut ctx.tmp, &mut ctx.stats)
+        }
+        Plan::Project { input, keep } => {
+            let inputs = run(db, input, ctx)?;
+            Ok(ops::project(inputs, keep, &mut ctx.stats))
+        }
+        Plan::DupElim { input, on, kind } => {
+            let inputs = run(db, input, ctx)?;
+            ops::duplicate_elimination(db, inputs, on, *kind, &mut ctx.stats)
+        }
+        Plan::Aggregate { input, func, over, new_lcl } => {
+            let inputs = run(db, input, ctx)?;
+            Ok(ops::aggregate(db, inputs, *func, *over, *new_lcl, &mut ctx.tmp, &mut ctx.stats))
+        }
+        Plan::Construct { input, spec } => {
+            let inputs = run(db, input, ctx)?;
+            ops::construct(db, inputs, spec, &mut ctx.tmp, &mut ctx.stats)
+        }
+        Plan::Sort { input, keys } => {
+            let inputs = run(db, input, ctx)?;
+            Ok(ops::sort_by_keys(db, inputs, keys))
+        }
+        Plan::Flatten { input, parent, child } => {
+            let inputs = run(db, input, ctx)?;
+            ops::flatten(inputs, *parent, *child, &mut ctx.stats)
+        }
+        Plan::Shadow { input, parent, child } => {
+            let inputs = run(db, input, ctx)?;
+            ops::shadow(inputs, *parent, *child, &mut ctx.stats)
+        }
+        Plan::Illuminate { input, lcl } => {
+            let inputs = run(db, input, ctx)?;
+            Ok(ops::illuminate(inputs, *lcl, &mut ctx.stats))
+        }
+        Plan::GroupBy { input, by, collect } => {
+            let inputs = run(db, input, ctx)?;
+            ops::grouping_procedure(db, inputs, *by, *collect, &mut ctx.stats)
+        }
+        Plan::Materialize { input, lcls } => {
+            let inputs = run(db, input, ctx)?;
+            Ok(ops::materialize(db, inputs, lcls, &mut ctx.stats))
+        }
+        Plan::Union { inputs, dedup_on } => {
+            let branches = inputs
+                .iter()
+                .map(|p| run(db, p, ctx))
+                .collect::<Result<Vec<_>>>()?;
+            ops::union_all(db, branches, dedup_on, &mut ctx.stats)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical_class::LclId;
+    use crate::pattern::{Apt, ContentPred, MSpec, PredValue};
+    use xmldb::AxisRel;
+    use xquery::CmpOp;
+
+    #[test]
+    fn execute_a_small_select_plan() {
+        let mut db = Database::new();
+        db.load_xml("e.xml", "<r><p><age>30</age></p><p><age>10</age></p></r>").unwrap();
+        let p = db.interner().lookup("p").unwrap();
+        let age = db.interner().lookup("age").unwrap();
+        let mut apt = Apt::for_document("e.xml", LclId(1));
+        let pn = apt.add(None, AxisRel::Descendant, MSpec::One, p, None, LclId(2));
+        apt.add(
+            Some(pn),
+            AxisRel::Child,
+            MSpec::One,
+            age,
+            Some(ContentPred { op: CmpOp::Gt, value: PredValue::Num(20.0) }),
+            LclId(3),
+        );
+        let plan = Plan::Select { input: None, apt };
+        let (trees, stats) = execute(&db, &plan).unwrap();
+        assert_eq!(trees.len(), 1);
+        assert_eq!(stats.pattern_matches, 1);
+    }
+
+    #[test]
+    fn traced_execution_matches_plain_and_reports_ops() {
+        let mut db = Database::new();
+        db.load_xml("e.xml", "<r><p><age>30</age></p><p><age>10</age></p></r>").unwrap();
+        let plan = crate::compile(
+            r#"FOR $p IN document("e.xml")//p WHERE $p/age > 20 RETURN $p/age"#,
+            &db,
+        )
+        .unwrap();
+        let (plain, _) = execute(&db, &plan).unwrap();
+        let (traced, _, traces) = execute_traced(&db, &plan).unwrap();
+        assert_eq!(
+            crate::output::serialize_results(&db, &plain),
+            crate::output::serialize_results(&db, &traced)
+        );
+        assert_eq!(traces.len(), plan.operator_count());
+        assert_eq!(traces[0].depth, 0);
+        assert!(traces.iter().any(|t| t.label.starts_with("Construct")));
+        let table = render_trace(&traces);
+        assert!(table.contains("operator"), "{table}");
+    }
+}

@@ -1,0 +1,137 @@
+//! A guided tour of the TLC algebra (documentation only — no code).
+//!
+//! This module walks through the paper's core ideas with small, runnable
+//! examples. Every code block below is a doctest; `cargo test` executes
+//! them all.
+//!
+//! # 1. The problem: heterogeneous sets
+//!
+//! XML collections are heterogeneous — `book` elements may have one author
+//! or five, an optional price, and so on. Bulk algebras want homogeneous
+//! inputs. Classical pattern trees force homogeneity by *fanning out*: a
+//! two-node pattern `book/author` produces one witness tree per (book,
+//! author) *pair*, losing the original clustering.
+//!
+//! # 2. Annotated pattern trees
+//!
+//! TLC's pattern edges carry a matching specification. `-` fans out like a
+//! classical pattern; `+`/`*` cluster all matching relatives into a single
+//! witness tree; `?`/`*` make the branch optional:
+//!
+//! ```
+//! use tlc::{Apt, LclId, MSpec, Plan};
+//! use xmldb::AxisRel;
+//!
+//! let mut db = xmldb::Database::new();
+//! db.load_xml("lib.xml",
+//!     "<lib>\
+//!        <book><author>A</author><author>B</author><price>9</price></book>\
+//!        <book><author>C</author></book>\
+//!      </lib>").unwrap();
+//! let tag = |n: &str| db.interner().lookup(n).unwrap();
+//!
+//! // book[-] with author[+] and price[?]
+//! let mut apt = Apt::for_document("lib.xml", LclId(1));
+//! let book = apt.add(None, AxisRel::Descendant, MSpec::One, tag("book"), None, LclId(2));
+//! apt.add(Some(book), AxisRel::Child, MSpec::Plus, tag("author"), None, LclId(3));
+//! apt.add(Some(book), AxisRel::Child, MSpec::Opt, tag("price"), None, LclId(4));
+//!
+//! let (trees, _) = tlc::execute(&db, &Plan::Select { input: None, apt }).unwrap();
+//! assert_eq!(trees.len(), 2, "one witness tree per book, not per (book, author)");
+//! assert_eq!(trees[0].members(LclId(3)).len(), 2, "authors clustered by '+'");
+//! assert_eq!(trees[1].members(LclId(4)).len(), 0, "missing price allowed by '?'");
+//! ```
+//!
+//! # 3. Logical classes
+//!
+//! The witness trees above are heterogeneous (2 authors vs 1, price vs no
+//! price) — but every node carries the *logical class* of the pattern node
+//! it matched, so operators address "the authors" uniformly with
+//! `members(LclId(3))`. That indirection is the paper's central idea: the
+//! logical class reduction of any witness tree is isomorphic to the
+//! pattern, hence homogeneous.
+//!
+//! # 4. From XQuery to plans
+//!
+//! The Figure 6 translator compiles the paper's FLWOR fragment into plans
+//! of these operators:
+//!
+//! ```
+//! let mut db = xmldb::Database::new();
+//! db.load_xml("lib.xml",
+//!     "<lib>\
+//!        <book><author>A</author><author>B</author><price>9</price></book>\
+//!        <book><author>C</author></book>\
+//!      </lib>").unwrap();
+//!
+//! let plan = tlc::compile(
+//!     r#"FOR $b IN document("lib.xml")//book
+//!        WHERE count($b/author) > 1
+//!        RETURN <hit>{$b/author}</hit>"#,
+//!     &db,
+//! ).unwrap();
+//! assert_eq!(
+//!     tlc::execute_to_string(&db, &plan).unwrap(),
+//!     "<hit><author>A</author><author>B</author></hit>",
+//! );
+//! ```
+//!
+//! # 5. Eliminating redundancy
+//!
+//! When a query uses the same tag under different edge annotations (a
+//! count *and* a join through `author`, say), naive plans access those
+//! nodes twice. The §4 rewrites remove the duplication:
+//!
+//! ```
+//! let mut db = xmldb::Database::new();
+//! db.load_xml("lib.xml",
+//!     r#"<lib>
+//!          <book><author ref="a"/><author ref="b"/><title>X</title></book>
+//!          <book><author ref="a"/><title>Y</title></book>
+//!          <person id="a"/><person id="b"/>
+//!        </lib>"#).unwrap();
+//! let plan = tlc::compile(
+//!     r#"FOR $p IN document("lib.xml")//person
+//!        FOR $b IN document("lib.xml")//book
+//!        WHERE count($b/author) > 1 AND $p/@id = $b/author/@ref
+//!        RETURN <r>{$b/author}</r>"#,
+//!     &db,
+//! ).unwrap();
+//! let optimized = tlc::rewrite::optimize(&plan);
+//! // Same answers…
+//! assert_eq!(
+//!     tlc::execute_to_string(&db, &plan).unwrap(),
+//!     tlc::execute_to_string(&db, &optimized).unwrap(),
+//! );
+//! // …fewer data accesses.
+//! let (_, plain) = tlc::execute(&db, &plan).unwrap();
+//! let (_, opt) = tlc::execute(&db, &optimized).unwrap();
+//! assert!(opt.nodes_inspected < plain.nodes_inspected);
+//! ```
+//!
+//! # 6. Comparing against the baselines
+//!
+//! The same query can be compiled in TAX or GTP style (see
+//! [`crate::Style`]); the plans share this crate's executor but pay the
+//! grouping-procedure and materialization costs those algebras require:
+//!
+//! ```
+//! use tlc::Style;
+//! let mut db = xmldb::Database::new();
+//! db.load_xml("lib.xml",
+//!     "<lib><book><author>A</author><author>B</author></book></lib>").unwrap();
+//! let q = r#"FOR $b IN document("lib.xml")//book RETURN <n>{count($b/author)}</n>"#;
+//! let tlc_out = tlc::execute_to_string(&db, &tlc::compile(q, &db).unwrap()).unwrap();
+//! for style in [Style::Gtp, Style::Tax] {
+//!     let plan = tlc::compile_with_style(q, &db, style).unwrap();
+//!     assert_eq!(tlc::execute_to_string(&db, &plan).unwrap(), tlc_out);
+//! }
+//! ```
+//!
+//! # 7. Where to go next
+//!
+//! * [`crate::pattern`] — APT construction and matching specifications.
+//! * [`mod@crate::translate`] — the full Figure 6 algorithm.
+//! * [`crate::rewrite`] — Flatten and Shadow/Illuminate.
+//! * [`crate::physical`] — structural joins, nest-joins, TwigStack.
+//! * `examples/` and the `tlc-shell` binary for interactive exploration.

@@ -1,0 +1,140 @@
+//! Aggregate-Function — `AF[fname, LCL_a, newLCL](S)` (paper §2.3).
+//!
+//! Applies an aggregate over each tree's members of `LCL_a` and adds the
+//! result as a temporary node, sibling of those members (or under the root
+//! when the class is empty). Per the paper, an empty class yields `0` for
+//! `count` and the flag `empty` for every other function.
+
+use crate::logical_class::LclId;
+use crate::stats::ExecStats;
+use crate::tree::{RSource, ResultTree, TempIdGen};
+use xmldb::Database;
+use xquery::AggFunc;
+
+/// Runs the aggregate, tagging the created node with `new_lcl`.
+pub fn aggregate(
+    db: &Database,
+    inputs: Vec<ResultTree>,
+    func: AggFunc,
+    over: LclId,
+    new_lcl: LclId,
+    tmp: &mut TempIdGen,
+    stats: &mut ExecStats,
+) -> Vec<ResultTree> {
+    let tag = db.interner().intern(func.name());
+    inputs
+        .into_iter()
+        .map(|mut t| {
+            let members = t.members(over);
+            let content = match func {
+                AggFunc::Count => format_num(members.len() as f64),
+                _ => {
+                    let nums: Vec<f64> = members.iter().filter_map(|&m| t.num(db, m)).collect();
+                    if nums.is_empty() {
+                        "empty".to_string()
+                    } else {
+                        let v = match func {
+                            AggFunc::Sum => nums.iter().sum(),
+                            AggFunc::Avg => nums.iter().sum::<f64>() / nums.len() as f64,
+                            AggFunc::Min => nums.iter().copied().fold(f64::INFINITY, f64::min),
+                            AggFunc::Max => nums.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                            AggFunc::Count => unreachable!(),
+                        };
+                        format_num(v)
+                    }
+                }
+            };
+            // Sibling of the members: attach under the first member's
+            // parent; with no members, under the tree root.
+            let parent = members
+                .first()
+                .and_then(|&m| t.node(m).parent)
+                .unwrap_or(t.root());
+            let node = t.add_node(parent, RSource::Temp { id: tmp.fresh(), tag, content: Some(content.into()) });
+            t.assign_lcl(node, new_lcl);
+            stats.trees_built += 1;
+            t
+        })
+        .collect()
+}
+
+/// Formats without a trailing `.0` for integral values (counts, money sums).
+pub fn format_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldb::NodeId;
+
+    fn setup(values: &[&str]) -> (Database, ResultTree) {
+        let mut db = Database::new();
+        let body: String = values.iter().map(|v| format!("<x>{v}</x>")).collect();
+        db.load_xml("a.xml", &format!("<r>{body}</r>")).unwrap();
+        let root: NodeId = db.nodes_with_tag("r")[0];
+        let mut t = ResultTree::with_root(RSource::Base(root));
+        for &x in db.nodes_with_tag("x") {
+            let id = t.add_node(t.root(), RSource::Base(x));
+            t.assign_lcl(id, LclId(1));
+        }
+        (db, t)
+    }
+
+    fn run(db: &Database, t: ResultTree, f: AggFunc) -> String {
+        let mut tmp = TempIdGen::new();
+        let mut s = ExecStats::new();
+        let out = aggregate(db, vec![t], f, LclId(1), LclId(2), &mut tmp, &mut s);
+        let agg = out[0].singleton(LclId(2)).unwrap();
+        out[0].value(db, agg)
+    }
+
+    #[test]
+    fn count_sum_avg_min_max() {
+        let (db, t) = setup(&["10", "20", "30"]);
+        assert_eq!(run(&db, t.clone(), AggFunc::Count), "3");
+        assert_eq!(run(&db, t.clone(), AggFunc::Sum), "60");
+        assert_eq!(run(&db, t.clone(), AggFunc::Avg), "20");
+        assert_eq!(run(&db, t.clone(), AggFunc::Min), "10");
+        assert_eq!(run(&db, t, AggFunc::Max), "30");
+    }
+
+    #[test]
+    fn empty_class_yields_zero_count_and_empty_flag() {
+        let (db, _) = setup(&["1"]);
+        let root = db.nodes_with_tag("r")[0];
+        let t = ResultTree::with_root(RSource::Base(root));
+        assert_eq!(run(&db, t.clone(), AggFunc::Count), "0");
+        assert_eq!(run(&db, t, AggFunc::Sum), "empty");
+    }
+
+    #[test]
+    fn aggregate_node_is_sibling_of_members() {
+        let (db, t) = setup(&["1", "2"]);
+        let mut tmp = TempIdGen::new();
+        let mut s = ExecStats::new();
+        let out = aggregate(&db, vec![t], AggFunc::Count, LclId(1), LclId(2), &mut tmp, &mut s);
+        let tree = &out[0];
+        let agg = tree.singleton(LclId(2)).unwrap();
+        let member = tree.members(LclId(1))[0];
+        assert_eq!(tree.node(agg).parent, tree.node(member).parent);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn non_numeric_members_are_ignored_by_numeric_aggs() {
+        let (db, t) = setup(&["5", "abc", "7"]);
+        assert_eq!(run(&db, t.clone(), AggFunc::Sum), "12");
+        assert_eq!(run(&db, t, AggFunc::Count), "3", "count counts nodes, not numbers");
+    }
+
+    #[test]
+    fn fractional_formatting() {
+        assert_eq!(format_num(2.5), "2.5");
+        assert_eq!(format_num(4.0), "4");
+    }
+}

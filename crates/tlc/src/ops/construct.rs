@@ -1,0 +1,336 @@
+//! Construct — `C[c](S)` (paper §2.3).
+//!
+//! Takes an annotated construct-pattern tree: an APT-like specification with
+//! "facilities for tagging, renaming, and arbitrary tree assembly". Our
+//! specification mirrors the boxes in Figures 7/8: constructed elements with
+//! optional class labels, attribute values drawn from class text, embedded
+//! references to classes of the input tree (whole subtrees), and literal
+//! text.
+//!
+//! Hidden references (`hidden: true`) implement the Figure 8 detail where
+//! nodes needed by a *later* operator (the deferred join value (9), the
+//! dedup key (5)) must "survive the project, construct etc." — they are
+//! copied into the constructed tree but shadowed, so they never appear in
+//! serialized output yet remain readable through the `_all` accessors.
+
+use crate::error::Result;
+use crate::logical_class::LclId;
+use crate::stats::ExecStats;
+use crate::tree::{RNodeId, RSource, ResultTree, TempIdGen};
+use xmldb::Database;
+
+/// Value of a constructed attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstructValue {
+    /// Concatenated text of a class's members (e.g. `(12).text()`).
+    LclText(LclId),
+    /// A literal string.
+    Literal(String),
+}
+
+/// One item of a construct-pattern tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstructItem {
+    /// `<tag attr=...> children </tag>` — a fresh temporary element.
+    Element {
+        /// The constructed tag name.
+        tag: String,
+        /// Class label for the constructed node, when later operators need
+        /// to reference it (e.g. `myquan` (15) feeding Filter 10 in Fig. 8).
+        lcl: Option<LclId>,
+        /// Attributes.
+        attrs: Vec<(String, ConstructValue)>,
+        /// Content items.
+        children: Vec<ConstructItem>,
+    },
+    /// Insert the member subtrees of a class, keeping their labels.
+    LclRef {
+        /// The referenced class.
+        lcl: LclId,
+        /// Copy as shadowed (invisible in output, readable by later joins).
+        hidden: bool,
+    },
+    /// Insert the concatenated text value of a class as a text node.
+    LclText(LclId),
+    /// Literal text content.
+    Text(String),
+}
+
+/// Runs the construct. Each input tree produces one output tree per
+/// top-level root the specification generates (a single `Element` spec gives
+/// exactly one output per input; a bare class reference gives one output per
+/// member).
+pub fn construct(
+    db: &Database,
+    inputs: Vec<ResultTree>,
+    spec: &[ConstructItem],
+    tmp: &mut TempIdGen,
+    stats: &mut ExecStats,
+) -> Result<Vec<ResultTree>> {
+    let mut out = Vec::with_capacity(inputs.len());
+    for t in &inputs {
+        for item in spec {
+            build_roots(db, t, item, tmp, &mut out)?;
+        }
+    }
+    stats.trees_built += out.len() as u64;
+    Ok(out)
+}
+
+/// Builds top-level output trees for one spec item.
+fn build_roots(
+    db: &Database,
+    src: &ResultTree,
+    item: &ConstructItem,
+    tmp: &mut TempIdGen,
+    out: &mut Vec<ResultTree>,
+) -> Result<()> {
+    match item {
+        ConstructItem::Element { .. } | ConstructItem::Text(_) | ConstructItem::LclText(_) => {
+            // Single synthetic root.
+            let mut tree = ResultTree::with_root(RSource::Temp {
+                id: tmp.fresh(),
+                tag: db.interner().doc_tag(), // placeholder; replaced below
+                content: None,
+            });
+            // Rebuild properly: create the item under a scratch root, then
+            // re-root. Simpler: build into a scratch tree and extract.
+            let root = tree.root();
+            build_into(db, src, item, tmp, &mut tree, root)?;
+            // The scratch root has exactly one child: promote it.
+            let child = tree.node(root).children[0];
+            out.push(extract_subtree(&tree, child));
+            Ok(())
+        }
+        ConstructItem::LclRef { lcl, hidden } => {
+            let members = if *hidden { src.members_all(*lcl).to_vec() } else { src.members(*lcl) };
+            for m in members {
+                out.push(extract_subtree(src, m));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Copies the subtree rooted at `at` into a fresh tree.
+fn extract_subtree(src: &ResultTree, at: RNodeId) -> ResultTree {
+    let mut dst = ResultTree::with_root(src.node(at).source.clone());
+    for &lcl in &src.node(at).lcls {
+        dst.assign_lcl(dst.root(), lcl);
+    }
+    let root = dst.root();
+    copy_children(src, at, &mut dst, root);
+    dst
+}
+
+fn copy_children(src: &ResultTree, from: RNodeId, dst: &mut ResultTree, to: RNodeId) {
+    for &c in &src.node(from).children {
+        let copy = dst.add_node(to, src.node(c).source.clone());
+        if src.node(c).shadowed {
+            dst.set_shadowed(copy, true);
+        }
+        for &lcl in &src.node(c).lcls {
+            dst.assign_lcl(copy, lcl);
+        }
+        copy_children(src, c, dst, copy);
+    }
+}
+
+/// Builds a spec item as a child of `parent` in `dst`.
+fn build_into(
+    db: &Database,
+    src: &ResultTree,
+    item: &ConstructItem,
+    tmp: &mut TempIdGen,
+    dst: &mut ResultTree,
+    parent: RNodeId,
+) -> Result<()> {
+    match item {
+        ConstructItem::Element { tag, lcl, attrs, children } => {
+            let tag_id = db.interner().intern(tag);
+            let el = dst.add_node(parent, RSource::Temp { id: tmp.fresh(), tag: tag_id, content: None });
+            if let Some(l) = lcl {
+                dst.assign_lcl(el, *l);
+            }
+            for (name, value) in attrs {
+                let atag = db.interner().intern(&format!("@{name}"));
+                let text = match value {
+                    ConstructValue::Literal(s) => s.clone(),
+                    ConstructValue::LclText(l) => class_text(db, src, *l),
+                };
+                dst.add_node(el, RSource::Temp { id: tmp.fresh(), tag: atag, content: Some(text.into()) });
+            }
+            for c in children {
+                build_into(db, src, c, tmp, dst, el)?;
+            }
+            Ok(())
+        }
+        ConstructItem::LclRef { lcl, hidden } => {
+            let members = if *hidden { src.members_all(*lcl).to_vec() } else { src.members(*lcl) };
+            for m in members {
+                let copy = dst.add_node(parent, src.node(m).source.clone());
+                if *hidden {
+                    dst.set_shadowed(copy, true);
+                }
+                for &l in &src.node(m).lcls {
+                    dst.assign_lcl(copy, l);
+                }
+                // A hidden survivor only needs its identity and value (join
+                // keys, dedup); copying its matched subtree would re-register
+                // descendant classes and duplicate them in the output.
+                if !*hidden {
+                    copy_children(src, m, dst, copy);
+                }
+            }
+            Ok(())
+        }
+        ConstructItem::LclText(lcl) => {
+            let text = class_text(db, src, *lcl);
+            dst.add_node(
+                parent,
+                RSource::Temp { id: tmp.fresh(), tag: db.interner().text_tag(), content: Some(text.into()) },
+            );
+            Ok(())
+        }
+        ConstructItem::Text(s) => {
+            dst.add_node(
+                parent,
+                RSource::Temp { id: tmp.fresh(), tag: db.interner().text_tag(), content: Some(s.clone().into()) },
+            );
+            Ok(())
+        }
+    }
+}
+
+fn class_text(db: &Database, src: &ResultTree, lcl: LclId) -> String {
+    src.members(lcl).iter().map(|&m| src.value(db, m)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Database, ResultTree) {
+        let mut db = Database::new();
+        db.load_xml("c.xml", "<r><name>Ann</name><b>x</b><b>y</b></r>").unwrap();
+        let mut t = ResultTree::with_root(RSource::Base(db.nodes_with_tag("r")[0]));
+        let n = db.nodes_with_tag("name")[0];
+        let root = t.root();
+        let name = t.add_node(root, RSource::Base(n));
+        t.assign_lcl(name, LclId(12));
+        for &b in db.nodes_with_tag("b") {
+            let id = t.add_node(root, RSource::Base(b));
+            t.assign_lcl(id, LclId(13));
+        }
+        (db, t)
+    }
+
+    #[test]
+    fn q1_style_construct() {
+        let (db, t) = setup();
+        // <person name={(12).text()}> (13) </person> — the Figure 7 box 10.
+        let spec = vec![ConstructItem::Element {
+            tag: "person".into(),
+            lcl: Some(LclId(14)),
+            attrs: vec![("name".into(), ConstructValue::LclText(LclId(12)))],
+            children: vec![ConstructItem::LclRef { lcl: LclId(13), hidden: false }],
+        }];
+        let mut tmp = TempIdGen::new();
+        let mut s = ExecStats::new();
+        let out = construct(&db, vec![t], &spec, &mut tmp, &mut s).unwrap();
+        assert_eq!(out.len(), 1);
+        let tree = &out[0];
+        tree.check_invariants().unwrap();
+        assert!(tree.singleton(LclId(14)).is_some(), "constructed element is labelled");
+        assert_eq!(tree.members(LclId(13)).len(), 2, "referenced class labels survive");
+        // name attribute value resolved.
+        let root = tree.root();
+        let attr = tree.node(root).children[0];
+        let RSource::Temp { content, .. } = &tree.node(attr).source else { panic!() };
+        assert_eq!(content.as_deref(), Some("Ann"));
+    }
+
+    #[test]
+    fn bare_class_reference_fans_out() {
+        let (db, t) = setup();
+        let spec = vec![ConstructItem::LclRef { lcl: LclId(13), hidden: false }];
+        let mut tmp = TempIdGen::new();
+        let mut s = ExecStats::new();
+        let out = construct(&db, vec![t], &spec, &mut tmp, &mut s).unwrap();
+        assert_eq!(out.len(), 2, "one output tree per member");
+        assert!(out.iter().all(|t| t.members(LclId(13)).len() == 1));
+    }
+
+    #[test]
+    fn hidden_refs_are_shadowed_copies() {
+        let (db, t) = setup();
+        let spec = vec![ConstructItem::Element {
+            tag: "wrap".into(),
+            lcl: None,
+            attrs: vec![],
+            children: vec![ConstructItem::LclRef { lcl: LclId(12), hidden: true }],
+        }];
+        let mut tmp = TempIdGen::new();
+        let mut s = ExecStats::new();
+        let out = construct(&db, vec![t], &spec, &mut tmp, &mut s).unwrap();
+        let tree = &out[0];
+        assert!(tree.members(LclId(12)).is_empty(), "hidden from visible accessors");
+        assert_eq!(tree.members_all(LclId(12)).len(), 1, "readable via _all");
+    }
+
+    #[test]
+    fn literal_text_and_class_text() {
+        let (db, t) = setup();
+        let spec = vec![ConstructItem::Element {
+            tag: "out".into(),
+            lcl: None,
+            attrs: vec![],
+            children: vec![
+                ConstructItem::Text("hello ".into()),
+                ConstructItem::LclText(LclId(12)),
+            ],
+        }];
+        let mut tmp = TempIdGen::new();
+        let mut s = ExecStats::new();
+        let out = construct(&db, vec![t], &spec, &mut tmp, &mut s).unwrap();
+        assert_eq!(out[0].value(&db, out[0].root()), "hello Ann");
+    }
+
+    #[test]
+    fn empty_class_reference_constructs_empty_element() {
+        let (db, t) = setup();
+        let spec = vec![ConstructItem::Element {
+            tag: "empty".into(),
+            lcl: None,
+            attrs: vec![],
+            children: vec![ConstructItem::LclRef { lcl: LclId(99), hidden: false }],
+        }];
+        let mut tmp = TempIdGen::new();
+        let mut s = ExecStats::new();
+        let out = construct(&db, vec![t], &spec, &mut tmp, &mut s).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].node(out[0].root()).children.len(), 0);
+    }
+
+    #[test]
+    fn nested_elements() {
+        let (db, t) = setup();
+        let spec = vec![ConstructItem::Element {
+            tag: "a".into(),
+            lcl: None,
+            attrs: vec![],
+            children: vec![ConstructItem::Element {
+                tag: "b".into(),
+                lcl: Some(LclId(20)),
+                attrs: vec![],
+                children: vec![ConstructItem::LclText(LclId(12))],
+            }],
+        }];
+        let mut tmp = TempIdGen::new();
+        let mut s = ExecStats::new();
+        let out = construct(&db, vec![t], &spec, &mut tmp, &mut s).unwrap();
+        let tree = &out[0];
+        let b = tree.singleton(LclId(20)).unwrap();
+        assert_eq!(tree.value(&db, b), "Ann");
+    }
+}

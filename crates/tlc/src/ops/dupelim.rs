@@ -1,0 +1,135 @@
+//! Duplicate-Elimination — `DE[nl, ci](S)` (paper §2.3).
+//!
+//! Eliminates duplicate trees based on the listed classes, which must each
+//! bind to at most one node per tree (a singleton or empty; more is an
+//! error, per §2.3). The `ci` parameter chooses whether the key is the node
+//! *identifier* (the cheap `NodeIDDE` the translator emits after joins —
+//! "all identifiers are already in memory", footnote 3) or the node
+//! *content*.
+
+use crate::error::{Error, Result};
+use crate::logical_class::LclId;
+use crate::stats::ExecStats;
+use crate::tree::{IdentKey, ResultTree};
+use std::collections::HashSet;
+use xmldb::Database;
+
+/// Key kind for duplicate elimination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DedupKind {
+    /// Compare node identifiers (the translator's `NodeIDDE`).
+    NodeId,
+    /// Compare node content (string values).
+    Content,
+}
+
+/// Runs duplicate elimination, keeping the first occurrence of each key.
+pub fn duplicate_elimination(
+    db: &Database,
+    inputs: Vec<ResultTree>,
+    on: &[LclId],
+    kind: DedupKind,
+    _stats: &mut ExecStats,
+) -> Result<Vec<ResultTree>> {
+    let mut seen: HashSet<Vec<Option<DedupKey>>> = HashSet::with_capacity(inputs.len());
+    let mut out = Vec::with_capacity(inputs.len());
+    for t in inputs {
+        let mut key = Vec::with_capacity(on.len());
+        for &lcl in on {
+            let members = t.members_all(lcl);
+            match members.len() {
+                0 => key.push(None),
+                1 => key.push(Some(match kind {
+                    DedupKind::NodeId => DedupKey::Ident(t.node(members[0]).ident()),
+                    DedupKind::Content => DedupKey::Content(t.value(db, members[0])),
+                })),
+                n => return Err(Error::NotSingleton { lcl, found: n }),
+            }
+        }
+        if seen.insert(key) {
+            out.push(t);
+        }
+    }
+    Ok(out)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum DedupKey {
+    Ident(IdentKey),
+    Content(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::RSource;
+    use xmldb::NodeId;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.load_xml("d.xml", "<r><x>same</x><x>same</x><x>other</x></r>").unwrap();
+        db
+    }
+
+    fn tree(n: NodeId) -> ResultTree {
+        let mut t = ResultTree::with_root(RSource::Base(n));
+        t.assign_lcl(t.root(), LclId(1));
+        t
+    }
+
+    #[test]
+    fn node_id_dedup_keeps_distinct_nodes() {
+        let d = db();
+        let xs = d.nodes_with_tag("x");
+        let inputs = vec![tree(xs[0]), tree(xs[0]), tree(xs[1])];
+        let mut s = ExecStats::new();
+        let out = duplicate_elimination(&d, inputs, &[LclId(1)], DedupKind::NodeId, &mut s).unwrap();
+        assert_eq!(out.len(), 2, "same node id collapses, distinct ids stay");
+    }
+
+    #[test]
+    fn content_dedup_collapses_equal_values() {
+        let d = db();
+        let xs = d.nodes_with_tag("x");
+        let inputs = vec![tree(xs[0]), tree(xs[1]), tree(xs[2])];
+        let mut s = ExecStats::new();
+        let out = duplicate_elimination(&d, inputs, &[LclId(1)], DedupKind::Content, &mut s).unwrap();
+        assert_eq!(out.len(), 2, "the two 'same' values collapse");
+    }
+
+    #[test]
+    fn empty_class_is_a_valid_key_component() {
+        let d = db();
+        let xs = d.nodes_with_tag("x");
+        let mut no_class = ResultTree::with_root(RSource::Base(xs[0]));
+        no_class.assign_lcl(no_class.root(), LclId(2)); // different class
+        let inputs = vec![tree(xs[0]), no_class.clone(), no_class];
+        let mut s = ExecStats::new();
+        let out = duplicate_elimination(&d, inputs, &[LclId(1)], DedupKind::NodeId, &mut s).unwrap();
+        assert_eq!(out.len(), 2, "the two class-less trees share the None key");
+    }
+
+    #[test]
+    fn multi_member_class_is_an_error() {
+        let d = db();
+        let xs = d.nodes_with_tag("x");
+        let mut t = tree(xs[0]);
+        let extra = t.add_node(t.root(), RSource::Base(xs[1]));
+        t.assign_lcl(extra, LclId(1));
+        let mut s = ExecStats::new();
+        assert!(duplicate_elimination(&d, vec![t], &[LclId(1)], DedupKind::NodeId, &mut s).is_err());
+    }
+
+    #[test]
+    fn first_occurrence_wins() {
+        let d = db();
+        let xs = d.nodes_with_tag("x");
+        let mut second = tree(xs[0]);
+        second.add_node(second.root(), RSource::Base(xs[2]));
+        let inputs = vec![tree(xs[0]), second];
+        let mut s = ExecStats::new();
+        let out = duplicate_elimination(&d, inputs, &[LclId(1)], DedupKind::NodeId, &mut s).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 1, "the first (childless) tree was kept");
+    }
+}

@@ -1,0 +1,178 @@
+//! Filter — `F[LCL_f, p, m](S)` (paper §2.3).
+//!
+//! Keeps the input trees whose class members satisfy the predicate under the
+//! given iteration mode:
+//!
+//! * **Every (E)** — default: the predicate must hold at *all* members; an
+//!   empty class passes (footnote 2 of the paper).
+//! * **ALO** — at least one member satisfies the predicate (existential).
+//! * **EX** — exactly one member satisfies it.
+
+use crate::logical_class::LclId;
+use crate::pattern::ContentPred;
+use crate::stats::ExecStats;
+use crate::tree::ResultTree;
+use xmldb::Database;
+use xquery::CmpOp;
+
+/// Iteration mode over the class members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterMode {
+    /// Universal quantification (paper default). Empty class ⇒ pass.
+    Every,
+    /// "At least one" — existential quantification.
+    Alo,
+    /// "Exactly one" member satisfies the predicate.
+    Ex,
+}
+
+/// The filter predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterPred {
+    /// Compare the member's value against a literal.
+    Content(ContentPred),
+    /// Compare the member's value against the value of another class's
+    /// singleton member within the same tree (used for within-tree value
+    /// joins).
+    CmpLcl {
+        /// Comparison operator.
+        op: CmpOp,
+        /// The other class; must be a singleton in each tree.
+        other: LclId,
+    },
+}
+
+/// Runs the filter.
+pub fn filter(
+    db: &Database,
+    inputs: Vec<ResultTree>,
+    lcl: LclId,
+    pred: &FilterPred,
+    mode: FilterMode,
+    _stats: &mut ExecStats,
+) -> Vec<ResultTree> {
+    inputs
+        .into_iter()
+        .filter(|t| {
+            let members = t.members(lcl);
+            let sat = members.iter().filter(|&&m| eval(db, t, m, pred)).count();
+            match mode {
+                FilterMode::Every => sat == members.len(),
+                FilterMode::Alo => sat >= 1,
+                FilterMode::Ex => sat == 1,
+            }
+        })
+        .collect()
+}
+
+fn eval(db: &Database, tree: &ResultTree, member: crate::tree::RNodeId, pred: &FilterPred) -> bool {
+    let value = tree.value(db, member);
+    match pred {
+        FilterPred::Content(p) => p.eval_str(&value),
+        FilterPred::CmpLcl { op, other } => {
+            let Some(o) = tree.singleton_all(*other) else {
+                return false;
+            };
+            let other_value = tree.value(db, o);
+            let p = crate::pattern::ContentPred {
+                op: *op,
+                value: match other_value.trim().parse::<f64>() {
+                    Ok(n) if value.trim().parse::<f64>().is_ok() => crate::pattern::PredValue::Num(n),
+                    _ => crate::pattern::PredValue::Str(other_value.as_str().into()),
+                },
+            };
+            p.eval_str(&value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{ContentPred, PredValue};
+    use crate::tree::{RSource, ResultTree};
+    use xmldb::{DocId, NodeId};
+
+    fn tree_with_ages(db_doc: &Database, ages: &[u32]) -> ResultTree {
+        // Build a tree whose class (1) members are the age elements of the doc.
+        let mut t = ResultTree::with_root(RSource::Base(NodeId::new(DocId(0), 0)));
+        let all_ages = db_doc.nodes_with_tag("age");
+        for (i, _) in ages.iter().enumerate() {
+            let id = t.add_node(t.root(), RSource::Base(all_ages[i]));
+            t.assign_lcl(id, LclId(1));
+        }
+        t
+    }
+
+    fn db(ages: &[u32]) -> Database {
+        let mut db = Database::new();
+        let body: String = ages.iter().map(|a| format!("<age>{a}</age>")).collect();
+        db.load_xml("t.xml", &format!("<r>{body}</r>")).unwrap();
+        db
+    }
+
+    fn gt(n: f64) -> FilterPred {
+        FilterPred::Content(ContentPred { op: CmpOp::Gt, value: PredValue::Num(n) })
+    }
+
+    #[test]
+    fn every_mode_requires_all() {
+        let d = db(&[30, 40]);
+        let t = tree_with_ages(&d, &[30, 40]);
+        let mut s = ExecStats::new();
+        assert_eq!(filter(&d, vec![t.clone()], LclId(1), &gt(25.0), FilterMode::Every, &mut s).len(), 1);
+        assert_eq!(filter(&d, vec![t], LclId(1), &gt(35.0), FilterMode::Every, &mut s).len(), 0);
+    }
+
+    #[test]
+    fn every_mode_passes_empty_class() {
+        let d = db(&[30]);
+        let t = ResultTree::with_root(RSource::Base(NodeId::new(DocId(0), 0)));
+        let mut s = ExecStats::new();
+        assert_eq!(filter(&d, vec![t], LclId(1), &gt(99.0), FilterMode::Every, &mut s).len(), 1);
+    }
+
+    #[test]
+    fn alo_mode_is_existential() {
+        let d = db(&[10, 40]);
+        let t = tree_with_ages(&d, &[10, 40]);
+        let mut s = ExecStats::new();
+        assert_eq!(filter(&d, vec![t.clone()], LclId(1), &gt(35.0), FilterMode::Alo, &mut s).len(), 1);
+        assert_eq!(filter(&d, vec![t], LclId(1), &gt(50.0), FilterMode::Alo, &mut s).len(), 0);
+    }
+
+    #[test]
+    fn ex_mode_requires_exactly_one() {
+        let d = db(&[10, 40, 50]);
+        let t = tree_with_ages(&d, &[10, 40, 50]);
+        let mut s = ExecStats::new();
+        assert_eq!(filter(&d, vec![t.clone()], LclId(1), &gt(45.0), FilterMode::Ex, &mut s).len(), 1);
+        assert_eq!(filter(&d, vec![t.clone()], LclId(1), &gt(35.0), FilterMode::Ex, &mut s).len(), 0);
+        assert_eq!(filter(&d, vec![t], LclId(1), &gt(99.0), FilterMode::Ex, &mut s).len(), 0);
+    }
+
+    #[test]
+    fn cmp_lcl_compares_two_classes() {
+        let d = db(&[10, 40]);
+        let mut t = tree_with_ages(&d, &[10, 40]);
+        // class (2) singleton = the second age (40).
+        let m = t.members(LclId(1))[1];
+        t.assign_lcl(m, LclId(2));
+        let pred = FilterPred::CmpLcl { op: CmpOp::Lt, other: LclId(2) };
+        let mut s = ExecStats::new();
+        // Every member of (1) < value of (2)? 10 < 40 but !(40 < 40) → fails.
+        assert_eq!(filter(&d, vec![t.clone()], LclId(1), &pred, FilterMode::Every, &mut s).len(), 0);
+        assert_eq!(filter(&d, vec![t], LclId(1), &pred, FilterMode::Alo, &mut s).len(), 1);
+    }
+
+    #[test]
+    fn shadowed_members_are_invisible() {
+        let d = db(&[10, 40]);
+        let mut t = tree_with_ages(&d, &[10, 40]);
+        let low = t.members(LclId(1))[0];
+        t.set_shadowed(low, true);
+        let mut s = ExecStats::new();
+        // With the 10 shadowed, EVERY > 25 passes.
+        assert_eq!(filter(&d, vec![t], LclId(1), &gt(25.0), FilterMode::Every, &mut s).len(), 1);
+    }
+}

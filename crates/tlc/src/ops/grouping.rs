@@ -1,0 +1,189 @@
+//! The grouping procedure used by the TAX and GTP baselines (paper §6.1).
+//!
+//! TAX and GTP lack annotated pattern edges, so everything TLC expresses
+//! with a `+`/`*` edge is recovered by an explicit *grouping procedure*:
+//! split the witness set into the nested branch, group by the parent node,
+//! project, and merge the produced paths back (a DAG-like plan shape). The
+//! paper's §6.3 lists its three costs against TLC's nest-joins:
+//!
+//! 1. group-by costs more than nest-joins,
+//! 2. the projection must re-walk the grouped results to retrieve the
+//!    nested nodes (TLC just uses an LC reference),
+//! 3. the split/merge DAG breaks pipelining.
+//!
+//! This operator performs those passes *for real* — per-member split trees,
+//! hash grouping, cluster rebuilding, a node-identity merge-back join, and a
+//! re-walk of every clustered member's stored subtree — while producing
+//! output trees semantically identical to its input (whose members are
+//! already clustered, since our matcher clusters during the match). That
+//! identity is what lets the cross-engine equivalence tests hold while the
+//! baselines still pay the algorithmic costs the paper attributes to them.
+
+use crate::error::{Error, Result};
+use crate::logical_class::LclId;
+use crate::stats::ExecStats;
+use crate::tree::{IdentKey, RNodeId, ResultTree};
+use std::collections::HashMap;
+use xmldb::Database;
+
+/// Runs one grouping procedure: group the members of `collect` by the
+/// (singleton) `by` node of each tree.
+pub fn grouping_procedure(
+    db: &Database,
+    inputs: Vec<ResultTree>,
+    by: LclId,
+    collect: LclId,
+    stats: &mut ExecStats,
+) -> Result<Vec<ResultTree>> {
+    // --- Split: one small (by, member) pair tree per collected member.
+    struct Pair {
+        key: IdentKey,
+        member_tree: ResultTree,
+    }
+    let mut pairs: Vec<Pair> = Vec::new();
+    for t in &inputs {
+        let Some(by_node) = t.singleton(by).or_else(|| t.singleton_all(by)) else {
+            // Group key absent (e.g. an optional branch): nothing to split.
+            continue;
+        };
+        let key = t.node(by_node).ident();
+        for m in t.members(collect) {
+            // A real projection of the branch: copy the member subtree out.
+            let member_tree = extract(t, m);
+            stats.trees_built += 1;
+            pairs.push(Pair { key, member_tree });
+        }
+    }
+    // --- Group: hash the pairs by parent identity, deduplicating members
+    // that reached the group through several fanned-out witness trees.
+    let mut groups: HashMap<IdentKey, Vec<ResultTree>> = HashMap::with_capacity(pairs.len());
+    let mut seen: std::collections::HashSet<(IdentKey, IdentKey)> = std::collections::HashSet::new();
+    for p in pairs {
+        let member_ident = p.member_tree.node(p.member_tree.root()).ident();
+        if seen.insert((p.key, member_ident)) {
+            groups.entry(p.key).or_default().push(p.member_tree);
+        }
+    }
+    // --- Project/re-walk: retrieving the nested nodes from the grouped
+    // result requires touching them again (cost 2 above).
+    for cluster in groups.values() {
+        for t in cluster {
+            if let crate::tree::RSource::Base(id) = &t.node(t.root()).source {
+                let n = db.node(*id);
+                stats.nodes_inspected += u64::from(n.end() - n.id().pre) + 1;
+            } else {
+                stats.nodes_inspected += t.len() as u64;
+            }
+        }
+    }
+    // --- Merge back: node-identity join of the clusters onto the input set.
+    let mut out = Vec::with_capacity(inputs.len());
+    for t in inputs {
+        let Some(by_node) = t.singleton(by).or_else(|| t.singleton_all(by)) else {
+            out.push(t);
+            continue;
+        };
+        let key = t.node(by_node).ident();
+        stats.join_steps += 1;
+        // Rebuild the tree with its collect members replaced by the grouped
+        // cluster (split/merge pass — semantically identical, really built).
+        let existing: Vec<RNodeId> = t.members_all(collect).to_vec();
+        let mut rebuilt = t.without(&existing);
+        if let Some(cluster) = groups.get(&key) {
+            let attach = rebuilt
+                .members(by)
+                .first()
+                .copied()
+                .ok_or(Error::NotSingleton { lcl: by, found: 0 })?;
+            for member in cluster {
+                rebuilt.graft(member, attach);
+            }
+        }
+        stats.trees_built += 1;
+        out.push(rebuilt);
+    }
+    Ok(out)
+}
+
+/// Copies the subtree rooted at `m` (with labels) into a standalone tree.
+fn extract(src: &ResultTree, m: RNodeId) -> ResultTree {
+    let mut dst = ResultTree::with_root(src.node(m).source.clone());
+    for &l in &src.node(m).lcls {
+        dst.assign_lcl(dst.root(), l);
+    }
+    let root = dst.root();
+    copy_children(src, m, &mut dst, root);
+    dst
+}
+
+fn copy_children(src: &ResultTree, from: RNodeId, dst: &mut ResultTree, to: RNodeId) {
+    for &c in &src.node(from).children {
+        let copy = dst.add_node(to, src.node(c).source.clone());
+        if src.node(c).shadowed {
+            dst.set_shadowed(copy, true);
+        }
+        for &l in &src.node(c).lcls {
+            dst.assign_lcl(copy, l);
+        }
+        copy_children(src, c, dst, copy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::RSource;
+
+    fn setup() -> (Database, Vec<ResultTree>) {
+        let mut db = Database::new();
+        db.load_xml("g.xml", "<r><o><b/><b/><b/></o><o><b/></o></r>").unwrap();
+        let os = db.nodes_with_tag("o");
+        let trees = os
+            .iter()
+            .map(|&o| {
+                let mut t = ResultTree::with_root(RSource::Base(o));
+                t.assign_lcl(t.root(), LclId(1));
+                let bs: Vec<_> = db.node(o).children().map(|c| c.id()).collect();
+                for b in bs {
+                    let id = t.add_node(t.root(), RSource::Base(b));
+                    t.assign_lcl(id, LclId(2));
+                }
+                t
+            })
+            .collect();
+        (db, trees)
+    }
+
+    #[test]
+    fn grouping_procedure_is_semantically_identity() {
+        let (db, trees) = setup();
+        let before: Vec<usize> = trees.iter().map(|t| t.members(LclId(2)).len()).collect();
+        let mut s = ExecStats::new();
+        let out = grouping_procedure(&db, trees, LclId(1), LclId(2), &mut s).unwrap();
+        let after: Vec<usize> = out.iter().map(|t| t.members(LclId(2)).len()).collect();
+        assert_eq!(before, after);
+        for t in &out {
+            t.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn grouping_procedure_pays_real_costs() {
+        let (db, trees) = setup();
+        let mut s = ExecStats::new();
+        grouping_procedure(&db, trees, LclId(1), LclId(2), &mut s).unwrap();
+        assert!(s.nodes_inspected >= 4, "re-walk of grouped members is charged");
+        assert!(s.trees_built >= 6, "split trees and merged trees are really built");
+    }
+
+    #[test]
+    fn missing_group_key_passes_through() {
+        let (db, mut trees) = setup();
+        // A tree without class (1).
+        let orphan = ResultTree::with_root(trees[0].node(trees[0].root()).source.clone());
+        trees.push(orphan);
+        let mut s = ExecStats::new();
+        let out = grouping_procedure(&db, trees, LclId(1), LclId(2), &mut s).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+}

@@ -1,0 +1,454 @@
+//! Join — `J[apt, p](S_l, S_r)` (paper §2.3, physical strategy §5.1).
+//!
+//! Stitches one left tree with its matching right trees under a fresh
+//! `join_root` temporary node. The right edge of the output pattern carries
+//! a matching specification:
+//!
+//! * `-` — one output tree per matching (left, right) pair (regular value
+//!   join);
+//! * `?` — like `-`, but matchless left trees survive alone (left outer);
+//! * `+` — one output per left tree with *all* matching rights nested
+//!   (**nest-value-join**, Definition 8's value sibling);
+//! * `*` — like `+` with matchless lefts surviving (left-outer-nest).
+//!
+//! Physically this is the paper's **sort-merge-sort**: both inputs are
+//! sorted by join key, merged, and the output is emitted in the left input's
+//! document order (node identifiers encode absolute order, §5.1).
+
+use crate::error::{Error, Result};
+use crate::logical_class::LclId;
+use crate::pattern::MSpec;
+use crate::physical::valjoin::{merge_join_eq, JoinKey};
+use crate::stats::ExecStats;
+use crate::tree::{IdentKey, RSource, ResultTree, TempIdGen};
+use std::cmp::Ordering;
+use std::collections::HashSet;
+use xmldb::Database;
+use xquery::CmpOp;
+
+/// What a join key is computed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinKeyKind {
+    /// The textual/numeric value of the class member (the normal case).
+    #[default]
+    Value,
+    /// The member's node identity — used by the TAX baseline to stitch its
+    /// separately-matched RETURN paths back onto the FOR/WHERE result.
+    NodeId,
+}
+
+/// The join predicate: values of two singleton classes, one per side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinPred {
+    /// Class on the left trees.
+    pub left: LclId,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Class on the right trees.
+    pub right: LclId,
+    /// Key kind (value vs node identity).
+    pub key: JoinKeyKind,
+}
+
+impl JoinPred {
+    /// The common case: an equality or comparison on member values.
+    pub fn value(left: LclId, op: CmpOp, right: LclId) -> JoinPred {
+        JoinPred { left, op, right, key: JoinKeyKind::Value }
+    }
+
+    /// Node-identity equality (TAX's stitch join).
+    pub fn node_id(left: LclId, right: LclId) -> JoinPred {
+        JoinPred { left, op: CmpOp::Eq, right, key: JoinKeyKind::NodeId }
+    }
+}
+
+/// Join parameters (the operator's output APT, reduced to what the fragment
+/// needs: a `join_root` label plus the right edge's matching specification).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinSpec {
+    /// Class label of the created `join_root`.
+    pub root_lcl: LclId,
+    /// Matching specification of the right edge.
+    pub right_mspec: MSpec,
+    /// Join predicate; `None` means Cartesian product.
+    pub pred: Option<JoinPred>,
+    /// When set, right matches of one left tree are deduplicated by the
+    /// identity of this class's singleton — used by the translator for
+    /// LET-subquery joins so one auction is nested once per person even when
+    /// several of its bidders matched (see DESIGN.md on Figure 8).
+    pub dedup_right_on: Option<LclId>,
+}
+
+/// Runs the join. Output trees are in left-input order (document order when
+/// the left input was in document order), with nested rights in right-input
+/// order.
+pub fn join(
+    db: &Database,
+    left: Vec<ResultTree>,
+    right: Vec<ResultTree>,
+    spec: &JoinSpec,
+    tmp: &mut TempIdGen,
+    stats: &mut ExecStats,
+) -> Result<Vec<ResultTree>> {
+    // match lists: for each left index, the matching right indexes in order.
+    let matches: Vec<Vec<usize>> = match &spec.pred {
+        None => {
+            let all: Vec<usize> = (0..right.len()).collect();
+            vec![all; left.len()]
+        }
+        Some(pred) => {
+            stats.join_steps += (left.len() + right.len()) as u64;
+            let pairs = match pred.key {
+                JoinKeyKind::Value => {
+                    let lk = keys(db, &left, pred.left)?;
+                    let rk = keys(db, &right, pred.right)?;
+                    match pred.op {
+                        CmpOp::Eq => {
+                            // Trees without a key value cannot match; map the
+                            // dense (keyed) indexes back afterwards.
+                            let (li, lkeys): (Vec<usize>, Vec<JoinKey>) = lk
+                                .iter()
+                                .enumerate()
+                                .filter_map(|(i, k)| k.clone().map(|k| (i, k)))
+                                .unzip();
+                            let (ri, rkeys): (Vec<usize>, Vec<JoinKey>) = rk
+                                .iter()
+                                .enumerate()
+                                .filter_map(|(i, k)| k.clone().map(|k| (i, k)))
+                                .unzip();
+                            merge_join_eq(&lkeys, &rkeys)
+                                .into_iter()
+                                .map(|(l, r)| (li[l], ri[r]))
+                                .collect()
+                        }
+                        CmpOp::Contains => {
+                            return Err(Error::Unsupported("contains as join predicate".into()))
+                        }
+                        op => {
+                            let mut pairs = Vec::new();
+                            for (l, lkey) in lk.iter().enumerate() {
+                                let Some(lkey) = lkey else { continue };
+                                for (r, rkey) in rk.iter().enumerate() {
+                                    let Some(rkey) = rkey else { continue };
+                                    if cmp_keys(op, lkey, rkey) {
+                                        pairs.push((l, r));
+                                    }
+                                }
+                            }
+                            pairs
+                        }
+                    }
+                }
+                JoinKeyKind::NodeId => {
+                    if pred.op != CmpOp::Eq {
+                        return Err(Error::Unsupported("node-id joins are equality joins".into()));
+                    }
+                    let lk = ident_keys(&left, pred.left)?;
+                    let rk = ident_keys(&right, pred.right)?;
+                    let mut by_key: std::collections::HashMap<IdentKey, Vec<usize>> =
+                        std::collections::HashMap::with_capacity(rk.len());
+                    for (i, k) in rk.iter().enumerate() {
+                        by_key.entry(*k).or_default().push(i);
+                    }
+                    let mut pairs = Vec::new();
+                    for (l, k) in lk.iter().enumerate() {
+                        if let Some(rs) = by_key.get(k) {
+                            pairs.extend(rs.iter().map(|&r| (l, r)));
+                        }
+                    }
+                    pairs
+                }
+            };
+            stats.join_steps += pairs.len() as u64;
+            let mut m: Vec<Vec<usize>> = vec![Vec::new(); left.len()];
+            for (l, r) in pairs {
+                m[l].push(r);
+            }
+            for list in &mut m {
+                list.sort_unstable();
+            }
+            m
+        }
+    };
+
+    let join_root_tag = db.interner().intern("join_root");
+    let mut out = Vec::new();
+    for (li, ltree) in left.iter().enumerate() {
+        let mut rights: Vec<usize> = matches[li].clone();
+        if let Some(d) = spec.dedup_right_on {
+            let mut seen: HashSet<Option<IdentKey>> = HashSet::new();
+            rights.retain(|&r| {
+                let key = effective_singleton(&right[r], d).map(|m| right[r].node(m).ident());
+                seen.insert(key)
+            });
+        }
+        let make_root = |tmp: &mut TempIdGen| {
+            let mut t = ResultTree::with_root(RSource::Temp {
+                id: tmp.fresh(),
+                tag: join_root_tag,
+                content: None,
+            });
+            t.assign_lcl(t.root(), spec.root_lcl);
+            t
+        };
+        match spec.right_mspec {
+            MSpec::One | MSpec::Opt => {
+                if rights.is_empty() {
+                    if spec.right_mspec == MSpec::Opt {
+                        let mut t = make_root(tmp);
+                        t.graft(ltree, t.root());
+                        stats.trees_built += 1;
+                        out.push(t);
+                    }
+                    continue;
+                }
+                for r in rights {
+                    let mut t = make_root(tmp);
+                    t.graft(ltree, t.root());
+                    t.graft(&right[r], t.root());
+                    stats.trees_built += 1;
+                    out.push(t);
+                }
+            }
+            MSpec::Plus | MSpec::Star => {
+                if rights.is_empty() && spec.right_mspec == MSpec::Plus {
+                    continue;
+                }
+                let mut t = make_root(tmp);
+                t.graft(ltree, t.root());
+                for r in rights {
+                    t.graft(&right[r], t.root());
+                }
+                stats.trees_built += 1;
+                out.push(t);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The node a join key/dedup reads for a class: the visible singleton when
+/// one exists, otherwise the all-members singleton (hidden construct
+/// children, see [`crate::ops::construct`]).
+fn effective_singleton(t: &ResultTree, lcl: LclId) -> Option<crate::tree::RNodeId> {
+    t.singleton(lcl).or_else(|| t.singleton_all(lcl))
+}
+
+fn ident_keys(trees: &[ResultTree], lcl: LclId) -> Result<Vec<IdentKey>> {
+    trees
+        .iter()
+        .map(|t| {
+            let m = effective_singleton(t, lcl)
+                .ok_or(Error::NotSingleton { lcl, found: t.members_all(lcl).len() })?;
+            Ok(t.node(m).ident())
+        })
+        .collect()
+}
+
+/// Per-tree join keys; a tree with no member of the class has no key (it
+/// cannot match, but under `?`/`*` right specs it still survives the join).
+/// More than one member is an error, per §2.3.
+fn keys(db: &Database, trees: &[ResultTree], lcl: LclId) -> Result<Vec<Option<JoinKey>>> {
+    trees
+        .iter()
+        .map(|t| match effective_singleton(t, lcl) {
+            Some(m) => Ok(Some(JoinKey::from_text(&t.value(db, m)))),
+            None if t.members_all(lcl).is_empty() => Ok(None),
+            None => Err(Error::NotSingleton { lcl, found: t.members_all(lcl).len() }),
+        })
+        .collect()
+}
+
+fn cmp_keys(op: CmpOp, a: &JoinKey, b: &JoinKey) -> bool {
+    let ord = a.order(b);
+    match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+        CmpOp::Contains => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldb::{DocId, NodeId};
+
+    /// Left trees carry class (1) with ids; right trees class (2).
+    fn setup() -> (Database, Vec<ResultTree>, Vec<ResultTree>) {
+        let mut db = Database::new();
+        db.load_xml(
+            "j.xml",
+            "<r><l>a</l><l>b</l><l>c</l><m>a</m><m>a</m><m>b</m></r>",
+        )
+        .unwrap();
+        let lefts: Vec<ResultTree> = db
+            .nodes_with_tag("l")
+            .iter()
+            .map(|&n| {
+                let mut t = ResultTree::with_root(RSource::Base(n));
+                t.assign_lcl(t.root(), LclId(1));
+                t
+            })
+            .collect();
+        let rights: Vec<ResultTree> = db
+            .nodes_with_tag("m")
+            .iter()
+            .map(|&n| {
+                let mut t = ResultTree::with_root(RSource::Base(n));
+                t.assign_lcl(t.root(), LclId(2));
+                t
+            })
+            .collect();
+        (db, lefts, rights)
+    }
+
+    fn spec(mspec: MSpec) -> JoinSpec {
+        JoinSpec {
+            root_lcl: LclId(9),
+            right_mspec: mspec,
+            pred: Some(JoinPred::value(LclId(1), CmpOp::Eq, LclId(2))),
+            dedup_right_on: None,
+        }
+    }
+
+    #[test]
+    fn inner_join_fans_out() {
+        let (db, l, r) = setup();
+        let mut tmp = TempIdGen::new();
+        let mut s = ExecStats::new();
+        let out = join(&db, l, r, &spec(MSpec::One), &mut tmp, &mut s).unwrap();
+        // a matches 2 rights, b matches 1, c matches 0 → 3 output trees.
+        assert_eq!(out.len(), 3);
+        for t in &out {
+            assert_eq!(t.members(LclId(9)).len(), 1, "join_root is labelled");
+            assert_eq!(t.node(t.root()).children.len(), 2);
+            t.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn left_outer_join_keeps_matchless() {
+        let (db, l, r) = setup();
+        let mut tmp = TempIdGen::new();
+        let mut s = ExecStats::new();
+        let out = join(&db, l, r, &spec(MSpec::Opt), &mut tmp, &mut s).unwrap();
+        assert_eq!(out.len(), 4);
+        let lonely = out.iter().filter(|t| t.node(t.root()).children.len() == 1).count();
+        assert_eq!(lonely, 1, "the key-c left survives alone");
+    }
+
+    #[test]
+    fn nest_join_clusters_rights() {
+        let (db, l, r) = setup();
+        let mut tmp = TempIdGen::new();
+        let mut s = ExecStats::new();
+        let out = join(&db, l, r, &spec(MSpec::Plus), &mut tmp, &mut s).unwrap();
+        assert_eq!(out.len(), 2, "only lefts with matches survive '+'");
+        let mut sizes: Vec<usize> = out.iter().map(|t| t.node(t.root()).children.len() - 1).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2]);
+    }
+
+    #[test]
+    fn left_outer_nest_join_keeps_all_lefts() {
+        let (db, l, r) = setup();
+        let mut tmp = TempIdGen::new();
+        let mut s = ExecStats::new();
+        let out = join(&db, l, r, &spec(MSpec::Star), &mut tmp, &mut s).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn cartesian_product_when_no_predicate() {
+        let (db, l, r) = setup();
+        let mut tmp = TempIdGen::new();
+        let mut s = ExecStats::new();
+        let cart = JoinSpec { root_lcl: LclId(9), right_mspec: MSpec::One, pred: None, dedup_right_on: None };
+        let out = join(&db, l, r, &cart, &mut tmp, &mut s).unwrap();
+        assert_eq!(out.len(), 9);
+    }
+
+    #[test]
+    fn output_preserves_left_document_order() {
+        let (db, l, r) = setup();
+        let expected: Vec<NodeId> = db.nodes_with_tag("l").to_vec();
+        let mut tmp = TempIdGen::new();
+        let mut s = ExecStats::new();
+        let out = join(&db, l, r, &spec(MSpec::Star), &mut tmp, &mut s).unwrap();
+        let got: Vec<NodeId> = out
+            .iter()
+            .map(|t| {
+                let first = t.node(t.root()).children[0];
+                match t.node(first).source {
+                    RSource::Base(id) => id,
+                    _ => NodeId::new(DocId(9), 0),
+                }
+            })
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn dedup_right_on_collapses_identical_rights() {
+        let (db, l, r) = setup();
+        // Duplicate the first right tree so key 'a' matches it twice with
+        // identical (2)-identity.
+        let mut rights = r;
+        rights.push(rights[0].clone());
+        let mut tmp = TempIdGen::new();
+        let mut s = ExecStats::new();
+        let mut sp = spec(MSpec::Plus);
+        sp.dedup_right_on = Some(LclId(2));
+        let out = join(&db, l, rights, &sp, &mut tmp, &mut s).unwrap();
+        let max_nested = out.iter().map(|t| t.node(t.root()).children.len() - 1).max().unwrap();
+        assert_eq!(max_nested, 2, "the duplicated right is nested once");
+    }
+
+    #[test]
+    fn non_singleton_key_is_an_error() {
+        let (db, mut l, r) = setup();
+        // Give the first left tree a second member of class (1).
+        let extra = db.nodes_with_tag("m")[0];
+        let root = l[0].root();
+        let added = l[0].add_node(root, RSource::Base(extra));
+        l[0].assign_lcl(added, LclId(1));
+        let mut tmp = TempIdGen::new();
+        let mut s = ExecStats::new();
+        assert!(matches!(
+            join(&db, l, r, &spec(MSpec::One), &mut tmp, &mut s),
+            Err(Error::NotSingleton { .. })
+        ));
+    }
+
+    #[test]
+    fn inequality_join_via_nested_loop() {
+        let mut db = Database::new();
+        db.load_xml("n.xml", "<r><l>5</l><m>3</m><m>7</m></r>").unwrap();
+        let mk = |tag: &str, lcl: LclId| -> Vec<ResultTree> {
+            db.nodes_with_tag(tag)
+                .iter()
+                .map(|&n| {
+                    let mut t = ResultTree::with_root(RSource::Base(n));
+                    t.assign_lcl(t.root(), lcl);
+                    t
+                })
+                .collect()
+        };
+        let l = mk("l", LclId(1));
+        let r = mk("m", LclId(2));
+        let mut tmp = TempIdGen::new();
+        let mut s = ExecStats::new();
+        let sp = JoinSpec {
+            root_lcl: LclId(9),
+            right_mspec: MSpec::One,
+            pred: Some(JoinPred::value(LclId(1), CmpOp::Gt, LclId(2))),
+            dedup_right_on: None,
+        };
+        let out = join(&db, l, r, &sp, &mut tmp, &mut s).unwrap();
+        assert_eq!(out.len(), 1, "5 > 3 only");
+    }
+}

@@ -1,0 +1,103 @@
+//! Early materialization — the TAX baseline's cost model (paper §6.1).
+//!
+//! TAX retrieves "the entire subtree" of every node bound to an XQuery
+//! variable right after its FOR/WHERE selection, "because it is assumed to
+//! be used later in the query". The paper blames TAX's poor showing on this:
+//! "the early materialization imposes a penalty for carrying data nodes
+//! through all the groupings for counts, join, LETs etc."
+//!
+//! This operator performs that copy for real: every stored descendant of
+//! each member of the listed classes is copied into the result tree as an
+//! explicit (shadowed) node. Shadowing keeps the copies invisible to
+//! serialization and downstream predicates, so all engines still produce
+//! identical answers — but the memory traffic and tree-rebuild costs are
+//! paid, and every later operator that clones or rebuilds trees (joins,
+//! grouping procedures, projections) now drags the copies along, exactly
+//! the penalty the paper describes.
+
+use crate::logical_class::LclId;
+use crate::stats::ExecStats;
+use crate::tree::{RNodeId, RSource, ResultTree};
+use xmldb::{Database, NodeId};
+
+/// Copies the full stored subtrees of all members of `lcls` into each tree.
+pub fn materialize(
+    db: &Database,
+    inputs: Vec<ResultTree>,
+    lcls: &[LclId],
+    stats: &mut ExecStats,
+) -> Vec<ResultTree> {
+    inputs
+        .into_iter()
+        .map(|mut t| {
+            let mut targets: Vec<(RNodeId, NodeId)> = Vec::new();
+            for &lcl in lcls {
+                for m in t.members(lcl) {
+                    if let RSource::Base(id) = &t.node(m).source {
+                        targets.push((m, *id));
+                    }
+                }
+            }
+            for (attach, base) in targets {
+                let copied = copy_base_subtree(db, &mut t, attach, base);
+                stats.subtrees_materialized += 1;
+                stats.nodes_inspected += copied;
+            }
+            t
+        })
+        .collect()
+}
+
+/// Copies the stored children of `base` (recursively) under `attach`,
+/// shadowed. Returns the number of nodes copied.
+fn copy_base_subtree(db: &Database, t: &mut ResultTree, attach: RNodeId, base: NodeId) -> u64 {
+    let mut copied = 0;
+    let children: Vec<NodeId> = db.node(base).children().map(|c| c.id()).collect();
+    for c in children {
+        let node = t.add_node(attach, RSource::Base(c));
+        t.set_shadowed(node, true);
+        copied += 1 + copy_base_subtree(db, t, node, c);
+    }
+    copied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn materialize_copies_full_subtrees_shadowed() {
+        let mut db = Database::new();
+        db.load_xml("m.xml", "<r><p><a>1</a><b><c/></b></p></r>").unwrap();
+        let p = db.nodes_with_tag("p")[0];
+        let mut t = ResultTree::with_root(RSource::Base(db.nodes_with_tag("r")[0]));
+        let m = t.add_node(t.root(), RSource::Base(p));
+        t.assign_lcl(m, LclId(1));
+        let mut s = ExecStats::new();
+        let out = materialize(&db, vec![t], &[LclId(1)], &mut s);
+        assert_eq!(s.subtrees_materialized, 1);
+        assert_eq!(s.nodes_inspected, 3, "a, b, c copied");
+        let tree = &out[0];
+        assert_eq!(tree.len(), 2 + 3);
+        // Copies are shadowed, so serialization is unchanged.
+        let rendered = crate::output::serialize_tree(&db, tree);
+        assert_eq!(rendered.matches("<a>").count(), 1);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn materialize_skips_temp_members() {
+        let db = Database::new();
+        let mut gen = crate::tree::TempIdGen::new();
+        let mut t = ResultTree::with_root(RSource::Temp {
+            id: gen.fresh(),
+            tag: xmldb::TagId(0),
+            content: None,
+        });
+        t.assign_lcl(t.root(), LclId(1));
+        let mut s = ExecStats::new();
+        let out = materialize(&db, vec![t], &[LclId(1)], &mut s);
+        assert_eq!(s.subtrees_materialized, 0);
+        assert_eq!(out[0].len(), 1);
+    }
+}

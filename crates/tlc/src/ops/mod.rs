@@ -1,0 +1,49 @@
+//! The TLC algebraic operators (paper §2.3 and §4).
+//!
+//! Every operator maps one or more sets of trees to one set of trees.
+//! Operators reference nodes exclusively through logical class labels, so a
+//! heterogeneous input behaves as if it were homogeneous (its logical class
+//! reduction). The modules are:
+//!
+//! * [`mod@select`] — Select `S[apt]`: APT match against base data or as a
+//!   pattern-tree extension of the input (§4.1).
+//! * [`mod@filter`] — Filter `F[lcl, p, m]` with Every / at-least-one / exactly-
+//!   one modes.
+//! * [`mod@join`] — Join `J[apt, p]`: value join (sort-merge-sort) stitching a
+//!   left tree with one or more right trees under a `join_root`, with all
+//!   four matching specifications on the right edge.
+//! * [`mod@project`] — Project `P[nl]`.
+//! * [`mod@dupelim`] — Duplicate-Elimination `DE[nl, ci]` by node identity or
+//!   content.
+//! * [`mod@aggregate`] — Aggregate-Function `AF[fname, lcl, newLCL]`.
+//! * [`mod@construct`] — Construct `C[c]` with annotated construct-pattern trees.
+//! * [`mod@sort`] — Sort by class values, plus document-order restoration.
+//! * [`restructure`] — Flatten (Definition 5), Shadow (Definition 6) and
+//!   Illuminate (Definition 7).
+//! * [`mod@union_all`] — Union (used for OR translation).
+
+pub mod aggregate;
+pub mod construct;
+pub mod dupelim;
+pub mod filter;
+pub mod grouping;
+pub mod join;
+pub mod materialize;
+pub mod project;
+pub mod restructure;
+pub mod select;
+pub mod sort;
+pub mod union_all;
+
+pub use aggregate::aggregate;
+pub use construct::{construct, ConstructItem, ConstructValue};
+pub use dupelim::{duplicate_elimination, DedupKind};
+pub use filter::{filter, FilterMode, FilterPred};
+pub use grouping::grouping_procedure;
+pub use join::{join, JoinKeyKind, JoinPred, JoinSpec};
+pub use materialize::materialize;
+pub use project::project;
+pub use restructure::{flatten, illuminate, shadow};
+pub use select::select;
+pub use sort::{sort_by_keys, sort_doc_order, SortKey};
+pub use union_all::union_all;

@@ -1,0 +1,101 @@
+//! Project — `P[nl](S)` (paper §2.3).
+//!
+//! Retains only the nodes belonging to the listed classes; the input tree's
+//! root is always retained so the output stays a tree (the paper retains it
+//! "if the output is not a tree"). Kept nodes re-attach to their nearest
+//! kept ancestor. Shadowed members of kept classes are retained — shadowing
+//! hides nodes from operations but deliberately keeps them in intermediate
+//! results (§4.3).
+//!
+//! Two node categories are exempt from dropping:
+//!
+//! * children of kept *temporary* nodes — constructed content (attribute and
+//!   text temporaries, nested construct output) is integral to its element,
+//!   unlike the matched children of a base node, whose stored subtree is
+//!   implied anyway;
+//! * nothing else — matched (classed) children of base nodes not in the
+//!   keep list are dropped exactly as in Figure 7's Project 6.
+
+use crate::logical_class::LclId;
+use crate::stats::ExecStats;
+use crate::tree::{RNodeId, RSource, ResultTree};
+
+/// Runs the projection.
+pub fn project(inputs: Vec<ResultTree>, keep: &[LclId], stats: &mut ExecStats) -> Vec<ResultTree> {
+    let out: Vec<ResultTree> = inputs
+        .into_iter()
+        .map(|t| {
+            let mut kept = vec![false; t.len()];
+            mark(&t, t.root(), false, keep, &mut kept);
+            t.rebuild(|id| kept[id.0 as usize])
+        })
+        .collect();
+    stats.trees_built += out.len() as u64;
+    out
+}
+
+fn mark(t: &ResultTree, at: RNodeId, parent_kept_temp: bool, keep: &[LclId], kept: &mut [bool]) {
+    let n = t.node(at);
+    let is_kept = parent_kept_temp || n.lcls.iter().any(|l| keep.contains(l));
+    kept[at.0 as usize] = is_kept;
+    let descend_kept_temp = is_kept && matches!(n.source, RSource::Temp { .. });
+    for &c in &n.children {
+        mark(t, c, descend_kept_temp, keep, kept);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::RSource;
+    use xmldb::{DocId, NodeId};
+
+    fn base(pre: u32) -> RSource {
+        RSource::Base(NodeId::new(DocId(0), pre))
+    }
+
+    #[test]
+    fn project_keeps_only_listed_classes() {
+        let mut t = ResultTree::with_root(base(0));
+        let a = t.add_node(t.root(), base(1));
+        let b = t.add_node(a, base(2));
+        let c = t.add_node(t.root(), base(3));
+        t.assign_lcl(a, LclId(1));
+        t.assign_lcl(b, LclId(2));
+        t.assign_lcl(c, LclId(3));
+        let mut s = ExecStats::new();
+        let out = project(vec![t], &[LclId(2), LclId(3)], &mut s);
+        assert_eq!(out.len(), 1);
+        let p = &out[0];
+        p.check_invariants().unwrap();
+        // Root + b (reparented to root) + c.
+        assert_eq!(p.len(), 3);
+        assert!(p.members(LclId(1)).is_empty());
+        assert_eq!(p.members(LclId(2)).len(), 1);
+        assert_eq!(p.members(LclId(3)).len(), 1);
+        // b now hangs off the root.
+        let b_new = p.members(LclId(2))[0];
+        assert_eq!(p.node(b_new).parent, Some(p.root()));
+    }
+
+    #[test]
+    fn shadowed_members_survive_projection() {
+        let mut t = ResultTree::with_root(base(0));
+        let a = t.add_node(t.root(), base(1));
+        t.assign_lcl(a, LclId(1));
+        t.set_shadowed(a, true);
+        let mut s = ExecStats::new();
+        let out = project(vec![t], &[LclId(1)], &mut s);
+        assert_eq!(out[0].len(), 2);
+        assert!(out[0].is_shadowed(out[0].members_all(LclId(1))[0]));
+    }
+
+    #[test]
+    fn empty_keep_list_leaves_only_roots() {
+        let mut t = ResultTree::with_root(base(0));
+        t.add_node(t.root(), base(1));
+        let mut s = ExecStats::new();
+        let out = project(vec![t], &[], &mut s);
+        assert_eq!(out[0].len(), 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Flatten, Shadow and Illuminate (paper §4, Definitions 5–7).
+//!
+//! These three operators exist to *eliminate redundant pattern matching*:
+//!
+//! * **Flatten** `FL[P, C]` breaks a tree with a nested (grouped) class `C`
+//!   under `P` into one tree per member, dropping the other members — so a
+//!   `*`-matched cluster can be re-used where `-` semantics are needed
+//!   without re-matching against the database (Figure 9).
+//! * **Shadow** `SH[P, C]` does the same fan-out but *retains* the other
+//!   members as shadowed nodes (Figure 11) — invisible to every operator…
+//! * **Illuminate** `IL[C]` …until illuminated again. Note the asymmetry the
+//!   paper points out: Shadow multiplies trees, Illuminate never changes the
+//!   tree count.
+
+use crate::error::{Error, Result};
+use crate::logical_class::LclId;
+use crate::stats::ExecStats;
+use crate::tree::{RNodeId, ResultTree};
+
+/// Flatten (Definition 5). `parent` must be a singleton class; `child` must
+/// bind to children of the parent member. Each input tree yields one output
+/// tree per `child` member, retaining only that member (other members and
+/// their subtrees are dropped).
+pub fn flatten(
+    inputs: Vec<ResultTree>,
+    parent: LclId,
+    child: LclId,
+    stats: &mut ExecStats,
+) -> Result<Vec<ResultTree>> {
+    let mut out = Vec::new();
+    for t in inputs {
+        let members = check_parent_child(&t, parent, child)?;
+        for &keep in &members {
+            let drop: Vec<RNodeId> = members.iter().copied().filter(|&m| m != keep).collect();
+            out.push(t.without(&drop));
+            stats.trees_built += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// Shadow (Definition 6): like Flatten, but the non-kept members are
+/// shadowed instead of dropped, so a later Illuminate can bring them back
+/// without touching the database.
+pub fn shadow(
+    inputs: Vec<ResultTree>,
+    parent: LclId,
+    child: LclId,
+    stats: &mut ExecStats,
+) -> Result<Vec<ResultTree>> {
+    let mut out = Vec::new();
+    for t in inputs {
+        let members = check_parent_child(&t, parent, child)?;
+        for &keep in &members {
+            let mut copy = t.clone();
+            for &m in &members {
+                if m != keep {
+                    copy.set_shadowed(m, true);
+                }
+            }
+            out.push(copy);
+            stats.trees_built += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// Illuminate (Definition 7): renders all shadowed members of `lcl` (and
+/// their subtrees) active again. The number of trees is unchanged.
+pub fn illuminate(inputs: Vec<ResultTree>, lcl: LclId, _stats: &mut ExecStats) -> Vec<ResultTree> {
+    inputs
+        .into_iter()
+        .map(|mut t| {
+            for m in t.members_all(lcl).to_vec() {
+                t.set_shadowed(m, false);
+            }
+            t
+        })
+        .collect()
+}
+
+/// Validates the P/C contract shared by Flatten and Shadow and returns the
+/// visible members of `child`.
+fn check_parent_child(t: &ResultTree, parent: LclId, child: LclId) -> Result<Vec<RNodeId>> {
+    let p = t
+        .singleton(parent)
+        .ok_or(Error::NotSingleton { lcl: parent, found: t.members(parent).len() })?;
+    let members = t.members(child);
+    for &m in &members {
+        if t.node(m).parent != Some(p) {
+            return Err(Error::Unsupported(format!(
+                "class {child} member is not a child of the {parent} member"
+            )));
+        }
+    }
+    Ok(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::RSource;
+    use xmldb::{DocId, NodeId};
+
+    fn base(pre: u32) -> RSource {
+        RSource::Base(NodeId::new(DocId(0), pre))
+    }
+
+    /// The Figure 11 input: B1 with A1, A2, A3 (class A under class B).
+    fn fig11_tree() -> ResultTree {
+        let mut t = ResultTree::with_root(base(0));
+        t.assign_lcl(t.root(), LclId(1)); // B
+        for pre in [1, 2, 3] {
+            let a = t.add_node(t.root(), base(pre));
+            t.assign_lcl(a, LclId(2)); // A
+        }
+        t
+    }
+
+    #[test]
+    fn figure_11_flatten_vs_shadow() {
+        let mut s = ExecStats::new();
+        // Flatten: three trees, each with exactly one A and nothing else.
+        let flat = flatten(vec![fig11_tree()], LclId(1), LclId(2), &mut s).unwrap();
+        assert_eq!(flat.len(), 3);
+        for t in &flat {
+            assert_eq!(t.members(LclId(2)).len(), 1);
+            assert_eq!(t.len(), 2, "other As are physically gone");
+        }
+        // Shadow: three trees, each with one visible A and two shadowed.
+        let sh = shadow(vec![fig11_tree()], LclId(1), LclId(2), &mut s).unwrap();
+        assert_eq!(sh.len(), 3);
+        for t in &sh {
+            assert_eq!(t.members(LclId(2)).len(), 1);
+            assert_eq!(t.members_all(LclId(2)).len(), 3, "shadowed As retained");
+            assert_eq!(t.len(), 4);
+        }
+        // Each member is the visible one exactly once.
+        let visible: Vec<RNodeId> = sh.iter().map(|t| t.members(LclId(2))[0]).collect();
+        assert_eq!(visible.len(), 3);
+        assert!(visible.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn illuminate_restores_members_without_changing_tree_count() {
+        let mut s = ExecStats::new();
+        let sh = shadow(vec![fig11_tree()], LclId(1), LclId(2), &mut s).unwrap();
+        let lit = illuminate(sh, LclId(2), &mut s);
+        assert_eq!(lit.len(), 3, "Illuminate does not affect the number of trees");
+        for t in &lit {
+            assert_eq!(t.members(LclId(2)).len(), 3);
+        }
+    }
+
+    #[test]
+    fn flatten_drops_subtrees_of_other_members() {
+        let mut t = fig11_tree();
+        let a0 = t.members(LclId(2))[0];
+        let sub = t.add_node(a0, base(9));
+        t.assign_lcl(sub, LclId(3));
+        let mut s = ExecStats::new();
+        let flat = flatten(vec![t], LclId(1), LclId(2), &mut s).unwrap();
+        // The tree keeping a0 still has the (3) node, the other two do not.
+        let with_sub = flat.iter().filter(|t| !t.members(LclId(3)).is_empty()).count();
+        assert_eq!(with_sub, 1);
+    }
+
+    #[test]
+    fn flatten_of_empty_class_yields_no_trees() {
+        let mut t = ResultTree::with_root(base(0));
+        t.assign_lcl(t.root(), LclId(1));
+        let mut s = ExecStats::new();
+        let flat = flatten(vec![t], LclId(1), LclId(2), &mut s).unwrap();
+        assert!(flat.is_empty(), "Definition 5 iterates over (p, c) pairs");
+    }
+
+    #[test]
+    fn non_singleton_parent_is_an_error() {
+        let mut t = fig11_tree();
+        let extra = t.add_node(t.root(), base(7));
+        t.assign_lcl(extra, LclId(1));
+        let mut s = ExecStats::new();
+        assert!(flatten(vec![t], LclId(1), LclId(2), &mut s).is_err());
+    }
+
+    #[test]
+    fn non_child_member_is_an_error() {
+        let mut t = fig11_tree();
+        let a0 = t.members(LclId(2))[0];
+        let grandchild = t.add_node(a0, base(8));
+        t.assign_lcl(grandchild, LclId(2));
+        let mut s = ExecStats::new();
+        assert!(shadow(vec![t], LclId(1), LclId(2), &mut s).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Sort — by class values (ORDER BY) and by document order (§5.1).
+//!
+//! The value sort backs the ORDER BY clause; the document-order sort is the
+//! final "sort" of the paper's sort-merge-sort join strategy, re-establishing
+//! document order from root node identifiers (Property 3 of Figure 13).
+
+use crate::logical_class::LclId;
+use crate::physical::valjoin::JoinKey;
+use crate::tree::ResultTree;
+use xmldb::Database;
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    /// The class whose (singleton) member value is the key.
+    pub lcl: LclId,
+    /// Descending order when true.
+    pub descending: bool,
+}
+
+/// Stable sort by the key values. Trees missing a key value sort last.
+pub fn sort_by_keys(db: &Database, mut inputs: Vec<ResultTree>, keys: &[SortKey]) -> Vec<ResultTree> {
+    let extracted: Vec<Vec<Option<JoinKey>>> = inputs
+        .iter()
+        .map(|t| {
+            keys.iter()
+                .map(|k| t.singleton_all(k.lcl).map(|m| JoinKey::from_text(&t.value(db, m))))
+                .collect()
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..inputs.len()).collect();
+    order.sort_by(|&a, &b| {
+        for (ki, k) in keys.iter().enumerate() {
+            let ord = match (&extracted[a][ki], &extracted[b][ki]) {
+                (Some(x), Some(y)) => x.order(y),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => std::cmp::Ordering::Equal,
+            };
+            let ord = if k.descending { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    // Apply the permutation.
+    let mut slots: Vec<Option<ResultTree>> = inputs.drain(..).map(Some).collect();
+    order.into_iter().map(|i| slots[i].take().expect("permutation is a bijection")).collect()
+}
+
+/// Sorts trees into document order by their root identity (base roots by
+/// document position, temporary roots by creation order after all base data).
+pub fn sort_doc_order(mut inputs: Vec<ResultTree>) -> Vec<ResultTree> {
+    inputs.sort_by_key(ResultTree::order_key);
+    inputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::RSource;
+
+    fn setup(values: &[&str]) -> (Database, Vec<ResultTree>) {
+        let mut db = Database::new();
+        let body: String = values.iter().map(|v| format!("<x>{v}</x>")).collect();
+        db.load_xml("s.xml", &format!("<r>{body}</r>")).unwrap();
+        let trees = db
+            .nodes_with_tag("x")
+            .iter()
+            .map(|&n| {
+                let mut t = ResultTree::with_root(RSource::Base(n));
+                t.assign_lcl(t.root(), LclId(1));
+                t
+            })
+            .collect();
+        (db, trees)
+    }
+
+    fn values(db: &Database, trees: &[ResultTree]) -> Vec<String> {
+        trees.iter().map(|t| t.value(db, t.root())).collect()
+    }
+
+    #[test]
+    fn ascending_numeric_sort() {
+        let (db, trees) = setup(&["30", "10", "20"]);
+        let out = sort_by_keys(&db, trees, &[SortKey { lcl: LclId(1), descending: false }]);
+        assert_eq!(values(&db, &out), vec!["10", "20", "30"]);
+    }
+
+    #[test]
+    fn descending_string_sort() {
+        let (db, trees) = setup(&["apple", "cherry", "banana"]);
+        let out = sort_by_keys(&db, trees, &[SortKey { lcl: LclId(1), descending: true }]);
+        assert_eq!(values(&db, &out), vec!["cherry", "banana", "apple"]);
+    }
+
+    #[test]
+    fn missing_keys_sort_last_and_sort_is_stable() {
+        let (db, mut trees) = setup(&["b", "a"]);
+        // A tree without class (1).
+        let orphan = ResultTree::with_root(trees[0].node(trees[0].root()).source.clone());
+        trees.insert(0, orphan);
+        let out = sort_by_keys(&db, trees, &[SortKey { lcl: LclId(1), descending: false }]);
+        let last = &out[2];
+        assert!(last.members(LclId(1)).is_empty(), "keyless tree is last");
+    }
+
+    #[test]
+    fn doc_order_restoration() {
+        let (db, trees) = setup(&["c", "a", "b"]);
+        let shuffled = vec![trees[2].clone(), trees[0].clone(), trees[1].clone()];
+        let out = sort_doc_order(shuffled);
+        assert_eq!(values(&db, &out), vec!["c", "a", "b"], "document order, not value order");
+    }
+}

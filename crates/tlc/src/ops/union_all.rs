@@ -1,0 +1,66 @@
+//! Union — used by the translator for OR (`ORExp ::= ... OR ...` is
+//! "translated to UNION of the operators produced both sides", Figure 6),
+//! followed by a node-id duplicate elimination so a tree qualifying under
+//! both disjuncts appears once.
+
+use crate::error::Result;
+use crate::logical_class::LclId;
+use crate::ops::dupelim::{duplicate_elimination, DedupKind};
+use crate::ops::sort::sort_doc_order;
+use crate::stats::ExecStats;
+use crate::tree::ResultTree;
+use xmldb::Database;
+
+/// Concatenates the branches, restores document order, and removes node-id
+/// duplicates over `dedup_on` (typically the FOR-variable classes).
+pub fn union_all(
+    db: &Database,
+    branches: Vec<Vec<ResultTree>>,
+    dedup_on: &[LclId],
+    stats: &mut ExecStats,
+) -> Result<Vec<ResultTree>> {
+    let merged: Vec<ResultTree> = branches.into_iter().flatten().collect();
+    let ordered = sort_doc_order(merged);
+    if dedup_on.is_empty() {
+        return Ok(ordered);
+    }
+    duplicate_elimination(db, ordered, dedup_on, DedupKind::NodeId, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::RSource;
+
+    #[test]
+    fn union_merges_orders_and_dedups() {
+        let mut db = Database::new();
+        db.load_xml("u.xml", "<r><x/><x/><x/></r>").unwrap();
+        let xs = db.nodes_with_tag("x");
+        let mk = |n| {
+            let mut t = ResultTree::with_root(RSource::Base(n));
+            t.assign_lcl(t.root(), LclId(1));
+            t
+        };
+        // Branch 1 matched x2 and x0; branch 2 matched x0 and x1.
+        let b1 = vec![mk(xs[2]), mk(xs[0])];
+        let b2 = vec![mk(xs[0]), mk(xs[1])];
+        let mut s = ExecStats::new();
+        let out = union_all(&db, vec![b1, b2], &[LclId(1)], &mut s).unwrap();
+        assert_eq!(out.len(), 3);
+        // Document order restored.
+        let roots: Vec<_> = out.iter().map(|t| t.order_key()).collect();
+        assert!(roots.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn union_without_dedup_keeps_duplicates() {
+        let mut db = Database::new();
+        db.load_xml("u.xml", "<r><x/></r>").unwrap();
+        let x = db.nodes_with_tag("x")[0];
+        let mk = || ResultTree::with_root(RSource::Base(x));
+        let mut s = ExecStats::new();
+        let out = union_all(&db, vec![vec![mk()], vec![mk()]], &[], &mut s).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Serialization of result trees to XML text.
+//!
+//! Base nodes expand to their full stored subtree (the paper's RETURN
+//! semantics: "the complete subtree rooted at each qualifying node").
+//! Temporary nodes serialize from their tag/content/children; shadowed nodes
+//! are invisible (§4.3). A tree rooted at a document root (a raw witness
+//! tree) falls back to serializing its explicit children, which keeps debug
+//! output usable.
+
+use crate::tree::{RNodeId, RSource, ResultTree};
+use xmldb::serialize::{escape_attr, escape_text, serialize_subtree};
+use xmldb::{Database, NodeKind};
+
+/// Serializes one result tree.
+pub fn serialize_tree(db: &Database, tree: &ResultTree) -> String {
+    let mut out = String::new();
+    write_node(db, tree, tree.root(), &mut out);
+    out
+}
+
+/// Serializes a whole result sequence, one tree per line.
+pub fn serialize_results(db: &Database, trees: &[ResultTree]) -> String {
+    let mut out = String::new();
+    for (i, t) in trees.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&serialize_tree(db, t));
+    }
+    out
+}
+
+fn write_node(db: &Database, tree: &ResultTree, id: RNodeId, out: &mut String) {
+    if tree.node(id).shadowed {
+        return;
+    }
+    match &tree.node(id).source {
+        RSource::Base(n) => {
+            if db.node(*n).kind() == NodeKind::DocRoot {
+                for &c in &tree.node(id).children {
+                    write_node(db, tree, c, out);
+                }
+            } else {
+                out.push_str(&serialize_subtree(db, *n));
+            }
+        }
+        RSource::Temp { tag, content, .. } => {
+            let name = db.interner().name(*tag);
+            if &*name == "#text" {
+                escape_text(content.as_deref().unwrap_or(""), out);
+                return;
+            }
+            if let Some(attr_name) = name.strip_prefix('@') {
+                out.push_str(attr_name);
+                out.push_str("=\"");
+                escape_attr(content.as_deref().unwrap_or(""), out);
+                out.push('"');
+                return;
+            }
+            // Element: attributes first, then content and children.
+            out.push('<');
+            out.push_str(&name);
+            let mut content_children = Vec::new();
+            for &c in &tree.node(id).children {
+                if tree.node(c).shadowed {
+                    continue;
+                }
+                if let RSource::Temp { tag: ct, content: cc, .. } = &tree.node(c).source {
+                    let cname = db.interner().name(*ct);
+                    if let Some(an) = cname.strip_prefix('@') {
+                        out.push(' ');
+                        out.push_str(an);
+                        out.push_str("=\"");
+                        escape_attr(cc.as_deref().unwrap_or(""), out);
+                        out.push('"');
+                        continue;
+                    }
+                    // Empty text temporaries (e.g. a text() of a missing
+                    // path) contribute nothing; skipping them keeps
+                    // `<e/>` vs `<e></e>` canonical.
+                    if &*cname == "#text" && cc.as_deref().unwrap_or("").is_empty() {
+                        continue;
+                    }
+                }
+                content_children.push(c);
+            }
+            if content_children.is_empty() && content.is_none() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            if let Some(c) = content {
+                escape_text(c, out);
+            }
+            for c in content_children {
+                write_node(db, tree, c, out);
+            }
+            out.push_str("</");
+            out.push_str(&name);
+            out.push('>');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical_class::LclId;
+    use crate::tree::TempIdGen;
+
+    #[test]
+    fn base_nodes_expand_to_full_subtrees() {
+        let mut db = Database::new();
+        db.load_xml("o.xml", "<r><b d=\"1\"><inc>7</inc></b></r>").unwrap();
+        let b = db.nodes_with_tag("b")[0];
+        let t = ResultTree::with_root(RSource::Base(b));
+        assert_eq!(serialize_tree(&db, &t), "<b d=\"1\"><inc>7</inc></b>");
+    }
+
+    #[test]
+    fn temp_elements_with_attrs_and_text() {
+        let mut db = Database::new();
+        db.load_xml("o.xml", "<r/>").unwrap();
+        let mut gen = TempIdGen::new();
+        let person = db.interner().intern("person");
+        let at_name = db.interner().intern("@name");
+        let text = db.interner().text_tag();
+        let mut t = ResultTree::with_root(RSource::Temp { id: gen.fresh(), tag: person, content: None });
+        let root = t.root();
+        t.add_node(root, RSource::Temp { id: gen.fresh(), tag: at_name, content: Some("Ann & Bo".into()) });
+        t.add_node(root, RSource::Temp { id: gen.fresh(), tag: text, content: Some("x<y".into()) });
+        assert_eq!(serialize_tree(&db, &t), "<person name=\"Ann &amp; Bo\">x&lt;y</person>");
+    }
+
+    #[test]
+    fn shadowed_children_are_invisible() {
+        let mut db = Database::new();
+        db.load_xml("o.xml", "<r><a/><b/></r>").unwrap();
+        let mut gen = TempIdGen::new();
+        let wrap = db.interner().intern("wrap");
+        let mut t = ResultTree::with_root(RSource::Temp { id: gen.fresh(), tag: wrap, content: None });
+        let root = t.root();
+        let a = t.add_node(root, RSource::Base(db.nodes_with_tag("a")[0]));
+        t.add_node(root, RSource::Base(db.nodes_with_tag("b")[0]));
+        t.assign_lcl(a, LclId(1));
+        t.set_shadowed(a, true);
+        assert_eq!(serialize_tree(&db, &t), "<wrap><b/></wrap>");
+    }
+
+    #[test]
+    fn doc_root_serializes_children_only() {
+        let mut db = Database::new();
+        let d = db.load_xml("o.xml", "<r><a/></r>").unwrap();
+        let mut t = ResultTree::with_root(RSource::Base(db.root(d)));
+        let root = t.root();
+        t.add_node(root, RSource::Base(db.nodes_with_tag("a")[0]));
+        assert_eq!(serialize_tree(&db, &t), "<a/>");
+    }
+
+    #[test]
+    fn result_sequence_is_newline_separated() {
+        let mut db = Database::new();
+        db.load_xml("o.xml", "<r><a/><b/></r>").unwrap();
+        let ts = vec![
+            ResultTree::with_root(RSource::Base(db.nodes_with_tag("a")[0])),
+            ResultTree::with_root(RSource::Base(db.nodes_with_tag("b")[0])),
+        ];
+        assert_eq!(serialize_results(&db, &ts), "<a/>\n<b/>");
+    }
+}

@@ -1,0 +1,391 @@
+//! Annotated pattern trees (paper §2.1, Definitions 1–3).
+//!
+//! An APT is a pattern tree whose edges carry a *matching specification*
+//! ([`MSpec`]): `-` (exactly one match per parent match), `?` (zero or one),
+//! `+` (all matches, at least one) or `*` (all matches, possibly none). The
+//! grouping specifications `+`/`*` are what let a single match produce
+//! heterogeneous witness trees — all siblings matching a pattern node are
+//! clustered into one witness tree instead of fanning out.
+//!
+//! Every APT node carries the logical class label its matches will be tagged
+//! with, which is how downstream operators refer to them (§2.2).
+//!
+//! An APT is anchored either at a document root (a `Select` reading base
+//! data) or at an existing logical class of the input trees (*pattern tree
+//! reuse / extension*, §4.1 — e.g. Selects 8 and 9 of Figure 7).
+
+use crate::logical_class::LclId;
+use std::fmt;
+use xmldb::{AxisRel, Database, NodeId, TagId};
+use xquery::CmpOp;
+
+/// Matching specification of an APT edge (Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MSpec {
+    /// `-` : exactly one match per witness tree; no match ⇒ parent match dies.
+    One,
+    /// `?` : zero or one match per witness tree.
+    Opt,
+    /// `+` : all matches clustered into one witness tree; at least one required.
+    Plus,
+    /// `*` : all matches clustered; zero allowed.
+    Star,
+}
+
+impl MSpec {
+    /// True for `+` and `*`: all relatives are grouped into one witness tree.
+    pub fn groups(self) -> bool {
+        matches!(self, MSpec::Plus | MSpec::Star)
+    }
+
+    /// True for `?` and `*`: a parent match survives with no child match.
+    pub fn optional(self) -> bool {
+        matches!(self, MSpec::Opt | MSpec::Star)
+    }
+
+    /// The paper's symbol.
+    pub fn symbol(self) -> char {
+        match self {
+            MSpec::One => '-',
+            MSpec::Opt => '?',
+            MSpec::Plus => '+',
+            MSpec::Star => '*',
+        }
+    }
+}
+
+impl fmt::Display for MSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// Literal operand of a content predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredValue {
+    /// Numeric comparison.
+    Num(f64),
+    /// String comparison (or `contains` needle).
+    Str(Box<str>),
+}
+
+impl From<&xquery::Literal> for PredValue {
+    fn from(l: &xquery::Literal) -> Self {
+        match l {
+            xquery::Literal::Number(n) => PredValue::Num(*n),
+            xquery::Literal::Str(s) => PredValue::Str(s.as_str().into()),
+        }
+    }
+}
+
+/// A content predicate on an APT node (the `P_v` of Definition 2, beyond the
+/// tag test).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentPred {
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// The literal operand.
+    pub value: PredValue,
+}
+
+impl ContentPred {
+    /// Evaluates the predicate against a textual value.
+    pub fn eval_str(&self, actual: &str) -> bool {
+        match (&self.value, self.op) {
+            (PredValue::Str(s), CmpOp::Contains) => actual.contains(&**s),
+            (PredValue::Str(s), op) => cmp_holds(op, actual.cmp(&**s)),
+            (PredValue::Num(_), CmpOp::Contains) => false,
+            (PredValue::Num(n), op) => match actual.trim().parse::<f64>() {
+                Ok(a) => a.partial_cmp(n).is_some_and(|ord| cmp_holds(op, ord)),
+                Err(_) => false,
+            },
+        }
+    }
+
+    /// Evaluates the predicate against a base node's value.
+    pub fn eval_node(&self, db: &Database, node: NodeId) -> bool {
+        match &self.value {
+            PredValue::Num(n) if self.op != CmpOp::Contains => match db.node(node).num_value() {
+                Some(a) => a.partial_cmp(n).is_some_and(|ord| cmp_holds(self.op, ord)),
+                None => false,
+            },
+            _ => self.eval_str(&db.node(node).string_value()),
+        }
+    }
+}
+
+fn cmp_holds(op: CmpOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        CmpOp::Eq => ord == Equal,
+        CmpOp::Ne => ord != Equal,
+        CmpOp::Lt => ord == Less,
+        CmpOp::Le => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::Ge => ord != Less,
+        CmpOp::Contains => unreachable!("contains handled before ordering"),
+    }
+}
+
+/// Where an APT is anchored.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AptRoot {
+    /// At a document's synthetic root (`doc_root` in the figures); matches
+    /// read base data. The root itself is tagged with `lcl`.
+    Document {
+        /// Logical document name, e.g. `auction.xml`.
+        name: String,
+        /// Class label assigned to the document root node.
+        lcl: LclId,
+    },
+    /// At the members of an existing class of the input trees (pattern tree
+    /// extension, §4.1).
+    Lcl(LclId),
+}
+
+/// One APT node below the anchor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AptNode {
+    /// Parent node index; `None` means attached directly to the anchor.
+    pub parent: Option<usize>,
+    /// Structural axis of the edge from the parent.
+    pub axis: AxisRel,
+    /// Matching specification of the edge from the parent.
+    pub mspec: MSpec,
+    /// Tag test (attribute tags are interned with their `@`).
+    pub tag: TagId,
+    /// Optional content predicate.
+    pub pred: Option<ContentPred>,
+    /// Class label assigned to matches of this node.
+    pub lcl: LclId,
+}
+
+/// An annotated pattern tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Apt {
+    /// The anchor.
+    pub root: AptRoot,
+    /// The pattern nodes (parent indexes always precede children).
+    pub nodes: Vec<AptNode>,
+}
+
+impl Apt {
+    /// New APT anchored at a document root.
+    pub fn for_document(name: impl Into<String>, root_lcl: LclId) -> Apt {
+        Apt { root: AptRoot::Document { name: name.into(), lcl: root_lcl }, nodes: Vec::new() }
+    }
+
+    /// New APT anchored at an existing class.
+    pub fn extending(lcl: LclId) -> Apt {
+        Apt { root: AptRoot::Lcl(lcl), nodes: Vec::new() }
+    }
+
+    /// Adds a pattern node; returns its index.
+    pub fn add(
+        &mut self,
+        parent: Option<usize>,
+        axis: AxisRel,
+        mspec: MSpec,
+        tag: TagId,
+        pred: Option<ContentPred>,
+        lcl: LclId,
+    ) -> usize {
+        debug_assert!(parent.is_none_or(|p| p < self.nodes.len()));
+        self.nodes.push(AptNode { parent, axis, mspec, tag, pred, lcl });
+        self.nodes.len() - 1
+    }
+
+    /// Indexes of the children of `parent` (`None` = anchor children).
+    pub fn children_of(&self, parent: Option<usize>) -> impl Iterator<Item = usize> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(move |(_, n)| n.parent == parent)
+            .map(|(i, _)| i)
+    }
+
+    /// Finds the pattern node carrying a class label.
+    pub fn node_with_lcl(&self, lcl: LclId) -> Option<usize> {
+        self.nodes.iter().position(|n| n.lcl == lcl)
+    }
+
+    /// The anchor's class label, if it has one.
+    pub fn root_lcl(&self) -> LclId {
+        match &self.root {
+            AptRoot::Document { lcl, .. } => *lcl,
+            AptRoot::Lcl(lcl) => *lcl,
+        }
+    }
+
+    /// Class labels of every pattern node (anchor included).
+    pub fn all_lcls(&self) -> Vec<LclId> {
+        let mut out = vec![self.root_lcl()];
+        out.extend(self.nodes.iter().map(|n| n.lcl));
+        out
+    }
+
+    /// Index set of the subtree rooted at pattern node `at` (inclusive).
+    pub fn subtree_indexes(&self, at: usize) -> Vec<usize> {
+        let mut out = vec![at];
+        let mut i = 0;
+        while i < out.len() {
+            let cur = out[i];
+            out.extend(self.children_of(Some(cur)));
+            i += 1;
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// A copy of this APT without the subtree rooted at `at`.
+    pub fn without_subtree(&self, at: usize) -> Apt {
+        let dead = self.subtree_indexes(at);
+        let mut map: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut out = Apt { root: self.root.clone(), nodes: Vec::new() };
+        for (i, n) in self.nodes.iter().enumerate() {
+            if dead.binary_search(&i).is_ok() {
+                continue;
+            }
+            let mut n = n.clone();
+            n.parent = n.parent.and_then(|p| map[p]);
+            map[i] = Some(out.nodes.len());
+            // A surviving node whose parent died would dangle; subtree
+            // removal guarantees this cannot happen.
+            out.nodes.push(n);
+        }
+        out
+    }
+
+    /// Renders the APT in a compact single-line form for plan displays,
+    /// resolving tags through `db` when available.
+    pub fn display<'a>(&'a self, db: Option<&'a Database>) -> AptDisplay<'a> {
+        AptDisplay { apt: self, db }
+    }
+}
+
+/// Display adapter for [`Apt`].
+pub struct AptDisplay<'a> {
+    apt: &'a Apt,
+    db: Option<&'a Database>,
+}
+
+impl fmt::Display for AptDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.apt.root {
+            AptRoot::Document { name, lcl } => write!(f, "doc({name}){lcl}")?,
+            AptRoot::Lcl(lcl) => write!(f, "{lcl}")?,
+        }
+        self.fmt_children(f, None)
+    }
+}
+
+impl AptDisplay<'_> {
+    fn fmt_children(&self, f: &mut fmt::Formatter<'_>, parent: Option<usize>) -> fmt::Result {
+        let kids: Vec<usize> = self.apt.children_of(parent).collect();
+        if kids.is_empty() {
+            return Ok(());
+        }
+        write!(f, "[")?;
+        for (i, k) in kids.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let n = &self.apt.nodes[*k];
+            let axis = match n.axis {
+                AxisRel::Child => "/",
+                AxisRel::Descendant => "//",
+            };
+            let tag = match self.db {
+                Some(db) => db.interner().name(n.tag).to_string(),
+                None => format!("#{}", n.tag.0),
+            };
+            write!(f, "{axis}{}{}{}", n.mspec, tag, n.lcl)?;
+            if n.pred.is_some() {
+                write!(f, "°")?;
+            }
+            self.fmt_children(f, Some(*k))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Apt {
+        // doc(a)(2)[//-person(3)[/-@id(7), /-age(10)°]]
+        let mut apt = Apt::for_document("a.xml", LclId(2));
+        let person = apt.add(None, AxisRel::Descendant, MSpec::One, TagId(10), None, LclId(3));
+        apt.add(Some(person), AxisRel::Child, MSpec::One, TagId(11), None, LclId(7));
+        apt.add(
+            Some(person),
+            AxisRel::Child,
+            MSpec::One,
+            TagId(12),
+            Some(ContentPred { op: CmpOp::Gt, value: PredValue::Num(25.0) }),
+            LclId(10),
+        );
+        apt
+    }
+
+    #[test]
+    fn children_and_lookup() {
+        let apt = sample();
+        assert_eq!(apt.children_of(None).count(), 1);
+        assert_eq!(apt.children_of(Some(0)).count(), 2);
+        assert_eq!(apt.node_with_lcl(LclId(7)), Some(1));
+        assert_eq!(apt.node_with_lcl(LclId(99)), None);
+        assert_eq!(apt.root_lcl(), LclId(2));
+        assert_eq!(apt.all_lcls().len(), 4);
+    }
+
+    #[test]
+    fn subtree_and_removal() {
+        let apt = sample();
+        assert_eq!(apt.subtree_indexes(0), vec![0, 1, 2]);
+        assert_eq!(apt.subtree_indexes(1), vec![1]);
+        let pruned = apt.without_subtree(1);
+        assert_eq!(pruned.nodes.len(), 2);
+        assert!(pruned.node_with_lcl(LclId(7)).is_none());
+        assert!(pruned.node_with_lcl(LclId(10)).is_some());
+        // Parent of the surviving leaf still the person node.
+        let age = pruned.node_with_lcl(LclId(10)).unwrap();
+        assert_eq!(pruned.nodes[age].parent, Some(pruned.node_with_lcl(LclId(3)).unwrap()));
+    }
+
+    #[test]
+    fn mspec_properties() {
+        assert!(MSpec::Plus.groups() && MSpec::Star.groups());
+        assert!(!MSpec::One.groups() && !MSpec::Opt.groups());
+        assert!(MSpec::Opt.optional() && MSpec::Star.optional());
+        assert!(!MSpec::One.optional() && !MSpec::Plus.optional());
+        assert_eq!(MSpec::One.to_string(), "-");
+    }
+
+    #[test]
+    fn content_pred_string_and_numeric() {
+        let eq = ContentPred { op: CmpOp::Eq, value: PredValue::Str("person0".into()) };
+        assert!(eq.eval_str("person0"));
+        assert!(!eq.eval_str("person1"));
+        let gt = ContentPred { op: CmpOp::Gt, value: PredValue::Num(25.0) };
+        assert!(gt.eval_str("26"));
+        assert!(gt.eval_str(" 30 "));
+        assert!(!gt.eval_str("25"));
+        assert!(!gt.eval_str("abc"));
+        let has = ContentPred { op: CmpOp::Contains, value: PredValue::Str("old".into()) };
+        assert!(has.eval_str("gold coin"));
+        assert!(!has.eval_str("silver"));
+        let ne = ContentPred { op: CmpOp::Ne, value: PredValue::Str("x".into()) };
+        assert!(ne.eval_str("y"));
+        assert!(!ne.eval_str("x"));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let apt = sample();
+        let s = apt.display(None).to_string();
+        assert!(s.starts_with("doc(a.xml)(2)["), "{s}");
+        assert!(s.contains("//-#10(3)"), "{s}");
+    }
+}

@@ -1,0 +1,22 @@
+//! Physical operators (paper §5).
+//!
+//! * [`structural`] — merge-based structural joins over interval-encoded
+//!   node lists, including the paper's **nest-structural-join**
+//!   (Definition 8, Figure 14) and both left-outer variants.
+//! * [`twigstack`] — holistic twig joins (TwigStack, reference \[3\] of the
+//!   paper), an alternative flat-pattern matcher used by the ablation
+//!   benches.
+//! * [`valjoin`] — the **sort-merge-sort** value join of §5.1 (sort by join
+//!   key, merge, re-sort by node id to restore document order) and its nest
+//!   variants.
+
+pub mod structural;
+pub mod twigstack;
+pub mod valjoin;
+
+pub use structural::{
+    candidates_in, left_outer_nest_structural_join, left_outer_structural_join,
+    nest_structural_join, structural_join, INode,
+};
+pub use twigstack::{twig_join, twig_join_naive, Twig};
+pub use valjoin::{merge_join_eq, nested_loop_join, JoinKey};

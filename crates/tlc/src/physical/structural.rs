@@ -1,0 +1,226 @@
+//! Structural joins and nest-structural-joins (paper §5.2, Definition 8).
+//!
+//! All functions take node lists **sorted in document order** (which the tag
+//! and value indexes guarantee) and exploit the interval encoding for
+//! merge-style evaluation. The *nest* variants differ from the regular ones
+//! exactly as Figure 14 shows: instead of one output pair per matching
+//! (ancestor, descendant) combination, each ancestor produces a single
+//! output with all its matching descendants clustered — this is the physical
+//! primitive behind `+`/`*` pattern edges, replacing the grouping procedure
+//! TAX and GTP must run.
+
+use xmldb::{AxisRel, Database, NodeId};
+
+/// An interval-encoded node: everything a structural join needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct INode {
+    /// The node id (document + pre rank).
+    pub id: NodeId,
+    /// Pre rank of the last descendant.
+    pub end: u32,
+    /// Depth.
+    pub level: u16,
+}
+
+impl INode {
+    /// Loads interval data from the store.
+    pub fn of(db: &Database, id: NodeId) -> INode {
+        let n = db.node(id);
+        INode { id, end: n.end(), level: n.level() }
+    }
+
+    /// Does `self` stand in `axis` relation (as ancestor/parent) to `d`?
+    #[inline]
+    pub fn relates(&self, d: &INode, axis: AxisRel) -> bool {
+        self.id.doc == d.id.doc
+            && axis.holds(self.id.pre, self.end, self.level, d.id.pre, d.level)
+    }
+}
+
+/// Loads interval views for a sorted id list.
+pub fn inodes(db: &Database, ids: &[NodeId]) -> Vec<INode> {
+    ids.iter().map(|&id| INode::of(db, id)).collect()
+}
+
+/// Returns the sub-slice of a document-ordered posting list that falls
+/// strictly inside the interval `(anc.pre, anc.end]` of the same document —
+/// the candidate descendants of `anc`. This is the index probe the pattern
+/// matcher runs for every (bound node, pattern child) pair.
+pub fn candidates_in<'a>(postings: &'a [NodeId], anc: &INode) -> &'a [NodeId] {
+    let lo = postings.partition_point(|n| *n <= anc.id);
+    let hi = postings.partition_point(|n| (n.doc, n.pre) <= (anc.id.doc, anc.end));
+    &postings[lo..hi]
+}
+
+/// Regular structural join: one output pair per matching (ancestor,
+/// descendant) combination. Returns index pairs into the inputs, in
+/// (ancestor, descendant) document order.
+pub fn structural_join(anc: &[INode], desc: &[INode], axis: AxisRel) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for (ai, a) in anc.iter().enumerate() {
+        // Descendants are sorted; skip those entirely before this ancestor.
+        while start < desc.len()
+            && (desc[start].id.doc < a.id.doc
+                || (desc[start].id.doc == a.id.doc && desc[start].id.pre <= a.id.pre))
+        {
+            start += 1;
+        }
+        // Ancestors may nest, so we cannot advance `start` permanently past
+        // a match; scan from `start` while inside the interval.
+        let mut i = start;
+        while i < desc.len() && desc[i].id.doc == a.id.doc && desc[i].id.pre <= a.end {
+            if a.relates(&desc[i], axis) {
+                out.push((ai, i));
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Nest-structural-join (Definition 8): one output per ancestor with all its
+/// matching descendants clustered. Ancestors without matches produce nothing.
+pub fn nest_structural_join(anc: &[INode], desc: &[INode], axis: AxisRel) -> Vec<(usize, Vec<usize>)> {
+    left_outer_nest_structural_join(anc, desc, axis)
+        .into_iter()
+        .filter(|(_, ds)| !ds.is_empty())
+        .collect()
+}
+
+/// Left-outer-nest-structural-join: like the nest join, but ancestors
+/// without matches still appear (with an empty cluster) — the physical
+/// operator for `*` edges.
+pub fn left_outer_nest_structural_join(
+    anc: &[INode],
+    desc: &[INode],
+    axis: AxisRel,
+) -> Vec<(usize, Vec<usize>)> {
+    let mut out = Vec::with_capacity(anc.len());
+    let mut start = 0usize;
+    for (ai, a) in anc.iter().enumerate() {
+        while start < desc.len()
+            && (desc[start].id.doc < a.id.doc
+                || (desc[start].id.doc == a.id.doc && desc[start].id.pre <= a.id.pre))
+        {
+            start += 1;
+        }
+        let mut group = Vec::new();
+        let mut i = start;
+        while i < desc.len() && desc[i].id.doc == a.id.doc && desc[i].id.pre <= a.end {
+            if a.relates(&desc[i], axis) {
+                group.push(i);
+            }
+            i += 1;
+        }
+        out.push((ai, group));
+    }
+    out
+}
+
+/// Left-outer structural join: one output per (ancestor, descendant) pair,
+/// plus one `(ancestor, None)` output for matchless ancestors — the physical
+/// operator for `?` edges.
+pub fn left_outer_structural_join(
+    anc: &[INode],
+    desc: &[INode],
+    axis: AxisRel,
+) -> Vec<(usize, Option<usize>)> {
+    let mut out = Vec::new();
+    for (ai, group) in left_outer_nest_structural_join(anc, desc, axis) {
+        if group.is_empty() {
+            out.push((ai, None));
+        } else {
+            out.extend(group.into_iter().map(|d| (ai, Some(d))));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldb::Database;
+
+    /// Builds the Figure 14 sample data: `<A1><D1/><D2/><E1/><B1/></A1>`.
+    fn fig14_db() -> Database {
+        let mut db = Database::new();
+        db.load_xml("f.xml", "<A><D/><D/><E/><B/></A>").unwrap();
+        db
+    }
+
+    #[test]
+    fn figure_14_structural_vs_nest() {
+        let db = fig14_db();
+        let a = inodes(&db, db.nodes_with_tag("A"));
+        let d = inodes(&db, db.nodes_with_tag("D"));
+        // Regular join: one output tree per pair — (A1,D1), (A1,D2).
+        let pairs = structural_join(&a, &d, AxisRel::Child);
+        assert_eq!(pairs, vec![(0, 0), (0, 1)]);
+        // Nest join: a single output with D1, D2 clustered under A1.
+        let nested = nest_structural_join(&a, &d, AxisRel::Child);
+        assert_eq!(nested, vec![(0, vec![0, 1])]);
+    }
+
+    #[test]
+    fn outer_variants_keep_matchless_ancestors() {
+        let db = fig14_db();
+        let a = inodes(&db, db.nodes_with_tag("A"));
+        let zebra: Vec<INode> = Vec::new();
+        assert_eq!(nest_structural_join(&a, &zebra, AxisRel::Child), vec![]);
+        assert_eq!(left_outer_nest_structural_join(&a, &zebra, AxisRel::Child), vec![(0, vec![])]);
+        assert_eq!(left_outer_structural_join(&a, &zebra, AxisRel::Child), vec![(0, None)]);
+        let d = inodes(&db, db.nodes_with_tag("D"));
+        assert_eq!(
+            left_outer_structural_join(&a, &d, AxisRel::Child),
+            vec![(0, Some(0)), (0, Some(1))]
+        );
+    }
+
+    #[test]
+    fn child_vs_descendant_axis() {
+        let mut db = Database::new();
+        db.load_xml("n.xml", "<a><b><c/></b><c/></a>").unwrap();
+        let a = inodes(&db, db.nodes_with_tag("a"));
+        let c = inodes(&db, db.nodes_with_tag("c"));
+        assert_eq!(structural_join(&a, &c, AxisRel::Descendant).len(), 2);
+        assert_eq!(structural_join(&a, &c, AxisRel::Child).len(), 1);
+    }
+
+    #[test]
+    fn nested_ancestors_all_match() {
+        // Ancestors can nest: both `s` elements contain the inner `x`.
+        let mut db = Database::new();
+        db.load_xml("n.xml", "<s><s><x/></s></s>").unwrap();
+        let s = inodes(&db, db.nodes_with_tag("s"));
+        let x = inodes(&db, db.nodes_with_tag("x"));
+        let pairs = structural_join(&s, &x, AxisRel::Descendant);
+        assert_eq!(pairs.len(), 2, "both nested ancestors must match");
+    }
+
+    #[test]
+    fn candidates_in_is_an_interval_slice() {
+        let mut db = Database::new();
+        db.load_xml("n.xml", "<r><p><k/><k/></p><p><k/></p></r>").unwrap();
+        let p = inodes(&db, db.nodes_with_tag("p"));
+        let k = db.nodes_with_tag("k");
+        assert_eq!(candidates_in(k, &p[0]).len(), 2);
+        assert_eq!(candidates_in(k, &p[1]).len(), 1);
+        let r = inodes(&db, db.nodes_with_tag("r"));
+        assert_eq!(candidates_in(k, &r[0]).len(), 3);
+    }
+
+    #[test]
+    fn multi_document_lists_do_not_cross_match() {
+        let mut db = Database::new();
+        db.load_xml("a.xml", "<a><b/></a>").unwrap();
+        db.load_xml("b.xml", "<a><b/></a>").unwrap();
+        let a = inodes(&db, db.nodes_with_tag("a"));
+        let b = inodes(&db, db.nodes_with_tag("b"));
+        let pairs = structural_join(&a, &b, AxisRel::Child);
+        assert_eq!(pairs.len(), 2);
+        for (ai, bi) in pairs {
+            assert_eq!(a[ai].id.doc, b[bi].id.doc);
+        }
+    }
+}

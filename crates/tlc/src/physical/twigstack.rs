@@ -1,0 +1,475 @@
+//! Holistic twig joins — TwigStack (Bruno, Koudas, Srivastava, SIGMOD 2002).
+//!
+//! The paper's §5.2 builds pattern matching from *binary* structural joins
+//! ("implemented as described in \[1, 3, 5\]"); reference \[3\] is the holistic
+//! alternative that matches a whole twig in one pass over the tag streams
+//! with bounded intermediate results. This module implements TwigStack as
+//! an alternative flat-pattern matcher:
+//!
+//! * one sorted stream (tag-index postings) and one stack per pattern node;
+//! * `get_next` steers the streams so a node is only pushed when it has a
+//!   possible extension to a full twig match (optimal for
+//!   ancestor-descendant edges);
+//! * root-to-leaf path solutions are emitted as stacks pop, then merge-
+//!   joined on their shared branch nodes into full twig tuples.
+//!
+//! Parent-child edges are handled by post-filtering (TwigStack is known to
+//! be suboptimal, not incorrect, for them). The ablation bench
+//! `ablation_twigstack` compares this against the interval matcher that
+//! drives the TLC operators.
+
+use crate::physical::structural::INode;
+use std::collections::HashMap;
+use xmldb::{AxisRel, Database, NodeId, TagId};
+
+/// A flat twig pattern (no matching specifications — the classical setting).
+#[derive(Debug, Clone)]
+pub struct Twig {
+    nodes: Vec<TwigNode>,
+}
+
+/// One twig node.
+#[derive(Debug, Clone)]
+struct TwigNode {
+    parent: Option<usize>,
+    tag: TagId,
+    axis: AxisRel,
+}
+
+impl Twig {
+    /// Creates a twig with the given root tag.
+    pub fn new(root: TagId) -> Twig {
+        Twig { nodes: vec![TwigNode { parent: None, tag: root, axis: AxisRel::Descendant }] }
+    }
+
+    /// Adds a child pattern node; returns its index.
+    pub fn add(&mut self, parent: usize, axis: AxisRel, tag: TagId) -> usize {
+        debug_assert!(parent < self.nodes.len());
+        self.nodes.push(TwigNode { parent: Some(parent), tag, axis });
+        self.nodes.len() - 1
+    }
+
+    /// Number of pattern nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the twig has only its root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    fn children(&self, q: usize) -> impl Iterator<Item = usize> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(move |(_, n)| n.parent == Some(q))
+            .map(|(i, _)| i)
+    }
+
+    fn is_leaf(&self, q: usize) -> bool {
+        self.children(q).next().is_none()
+    }
+
+    fn leaves(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&q| self.is_leaf(q)).collect()
+    }
+
+    /// Pattern nodes on the root-to-`q` path, root first.
+    fn path_to(&self, q: usize) -> Vec<usize> {
+        let mut path = vec![q];
+        let mut cur = q;
+        while let Some(p) = self.nodes[cur].parent {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// One full twig match: `tuple[i]` binds twig node `i`.
+pub type TwigTuple = Vec<NodeId>;
+
+/// Runs the holistic twig join, returning every match tuple.
+pub fn twig_join(db: &Database, twig: &Twig) -> Vec<TwigTuple> {
+    let n = twig.len();
+    let streams: Vec<Vec<INode>> = twig
+        .nodes
+        .iter()
+        .map(|tn| db.tag_index().get(tn.tag).iter().map(|&id| INode::of(db, id)).collect())
+        .collect();
+    let mut ts = TwigStack {
+        twig,
+        streams: &streams,
+        cursor: vec![0; n],
+        stacks: vec![Vec::new(); n],
+        path_solutions: vec![Vec::new(); n],
+    };
+    ts.run();
+    let path_solutions = ts.path_solutions;
+    merge_paths(db, twig, path_solutions)
+}
+
+/// A stack entry: the data node plus the index of its parent-stack entry at
+/// push time (-1 when the parent stack was empty / q is the twig root).
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    node: INode,
+    parent_top: isize,
+}
+
+struct TwigStack<'a> {
+    twig: &'a Twig,
+    streams: &'a [Vec<INode>],
+    cursor: Vec<usize>,
+    stacks: Vec<Vec<Entry>>,
+    /// Per-leaf path solutions: each maps the root-to-leaf pattern path to
+    /// data nodes (aligned with `Twig::path_to(leaf)`).
+    path_solutions: Vec<Vec<Vec<NodeId>>>,
+}
+
+impl TwigStack<'_> {
+    fn head(&self, q: usize) -> Option<INode> {
+        self.streams[q].get(self.cursor[q]).copied()
+    }
+
+    fn advance(&mut self, q: usize) {
+        self.cursor[q] += 1;
+    }
+
+    /// The classical getNext: returns a pattern node whose head stream
+    /// element is guaranteed to participate in a solution rooted at it.
+    fn get_next(&mut self, q: usize) -> usize {
+        if self.twig.is_leaf(q) {
+            return q;
+        }
+        let children: Vec<usize> = self.twig.children(q).collect();
+        let mut heads: Vec<(usize, Option<INode>)> = Vec::with_capacity(children.len());
+        for qi in children {
+            let ni = self.get_next(qi);
+            if ni != qi {
+                return ni;
+            }
+            heads.push((qi, self.head(qi)));
+        }
+        // Sentinel semantics: an exhausted child stream reads +infinity.
+        let alive: Vec<(usize, INode)> =
+            heads.iter().filter_map(|(qi, h)| h.map(|h| (*qi, h))).collect();
+        if alive.is_empty() {
+            // Every child is at infinity: nothing below q can extend, and q
+            // itself becomes useless — drain it so exhaustion bubbles up.
+            while self.head(q).is_some() {
+                self.advance(q);
+            }
+            return q;
+        }
+        let nmin = alive.iter().min_by_key(|(_, h)| h.id).expect("non-empty").0;
+        if alive.len() < heads.len() {
+            // Some child is at infinity: no *new* q entry can ever reach all
+            // leaves, so drain q's stream entirely; surviving children still
+            // stream under q's existing stack entries.
+            while self.head(q).is_some() {
+                self.advance(q);
+            }
+            return nmin;
+        }
+        let nmax_l = alive.iter().map(|(_, h)| h.id).max().expect("non-empty");
+        while self.head(q).is_some_and(|h| (h.id.doc, h.end) < (nmax_l.doc, nmax_l.pre)) {
+            self.advance(q);
+        }
+        match (self.head(q), self.head(nmin)) {
+            (Some(hq), Some(hmin)) if hq.id < hmin.id => q,
+            _ => nmin,
+        }
+    }
+
+    fn clean_stack(&mut self, q: usize, until: NodeId) {
+        while self.stacks[q]
+            .last()
+            .is_some_and(|e| e.node.id.doc < until.doc || (e.node.id.doc == until.doc && e.node.end < until.pre))
+        {
+            self.stacks[q].pop();
+        }
+    }
+
+    fn run(&mut self) {
+        loop {
+            let q = self.get_next(0);
+            // Exhausted streams act as +infinity sentinels; `get_next` only
+            // hands back an exhausted node once nothing anywhere below the
+            // root can extend a solution, so this is global termination.
+            let Some(head) = self.head(q) else { break };
+            if let Some(p) = self.twig.nodes[q].parent {
+                self.clean_stack(p, head.id);
+            }
+            let parent_ok = match self.twig.nodes[q].parent {
+                None => true,
+                Some(p) => !self.stacks[p].is_empty(),
+            };
+            if parent_ok {
+                self.clean_stack(q, head.id);
+                let parent_top = match self.twig.nodes[q].parent {
+                    None => -1,
+                    Some(p) => self.stacks[p].len() as isize - 1,
+                };
+                self.stacks[q].push(Entry { node: head, parent_top });
+                self.advance(q);
+                if self.twig.is_leaf(q) {
+                    self.emit_paths(q);
+                    self.stacks[q].pop();
+                }
+            } else {
+                self.advance(q);
+            }
+        }
+    }
+
+    /// Emits every root-to-leaf path solution ending at the just-pushed leaf
+    /// entry (the classical showSolutions, expanding the stack encoding).
+    fn emit_paths(&mut self, leaf: usize) {
+        let path = self.twig.path_to(leaf);
+        let mut out = Vec::new();
+        let leaf_entry = *self.stacks[leaf].last().expect("just pushed");
+        self.expand(&path, path.len() - 1, leaf_entry, &mut vec![leaf_entry.node.id], &mut out);
+        self.path_solutions[leaf].extend(out);
+    }
+
+    fn expand(
+        &self,
+        path: &[usize],
+        depth: usize,
+        entry: Entry,
+        acc: &mut Vec<NodeId>,
+        out: &mut Vec<Vec<NodeId>>,
+    ) {
+        if depth == 0 {
+            let mut solution: Vec<NodeId> = acc.clone();
+            solution.reverse();
+            out.push(solution);
+            return;
+        }
+        let parent_q = path[depth - 1];
+        // Every entry of the parent stack up to the recorded top is an
+        // ancestor of this entry (the stack-encoding property).
+        let top = entry.parent_top;
+        for i in 0..=top {
+            let pe = self.stacks[parent_q][i as usize];
+            acc.push(pe.node.id);
+            self.expand(path, depth - 1, pe, acc, out);
+            acc.pop();
+        }
+    }
+}
+
+/// Merge phase: joins per-leaf path solutions on their shared pattern-node
+/// prefixes, then applies parent-child post-filters.
+fn merge_paths(db: &Database, twig: &Twig, path_solutions: Vec<Vec<Vec<NodeId>>>) -> Vec<TwigTuple> {
+    let leaves = twig.leaves();
+    // Start from the first leaf's solutions as partial tuples.
+    let mut covered: Vec<usize> = twig.path_to(leaves[0]);
+    let mut tuples: Vec<HashMap<usize, NodeId>> = path_solutions[leaves[0]]
+        .iter()
+        .map(|sol| covered.iter().copied().zip(sol.iter().copied()).collect())
+        .collect();
+    for &leaf in &leaves[1..] {
+        let path = twig.path_to(leaf);
+        let shared: Vec<usize> = path.iter().copied().filter(|q| covered.contains(q)).collect();
+        // Hash the new leaf's paths by their shared-node bindings.
+        let mut by_key: HashMap<Vec<NodeId>, Vec<&Vec<NodeId>>> = HashMap::new();
+        for sol in &path_solutions[leaf] {
+            let key: Vec<NodeId> = shared
+                .iter()
+                .map(|q| sol[path.iter().position(|p| p == q).expect("shared ⊆ path")])
+                .collect();
+            by_key.entry(key).or_default().push(sol);
+        }
+        let mut next = Vec::new();
+        for t in &tuples {
+            let key: Vec<NodeId> = shared.iter().map(|q| t[q]).collect();
+            if let Some(sols) = by_key.get(&key) {
+                for sol in sols {
+                    let mut merged = t.clone();
+                    for (i, q) in path.iter().enumerate() {
+                        merged.insert(*q, sol[i]);
+                    }
+                    next.push(merged);
+                }
+            }
+        }
+        tuples = next;
+        let fresh: Vec<usize> = path.iter().copied().filter(|q| !covered.contains(q)).collect();
+        covered.extend(fresh);
+    }
+    // Post-filter parent-child edges and order columns by pattern index.
+    let mut out = Vec::with_capacity(tuples.len());
+    'tuple: for t in tuples {
+        for (q, tn) in twig.nodes.iter().enumerate() {
+            if let Some(p) = tn.parent {
+                let parent = t[&p];
+                let child = t[&q];
+                match tn.axis {
+                    AxisRel::Child => {
+                        if !db.is_parent(parent, child) {
+                            continue 'tuple;
+                        }
+                    }
+                    AxisRel::Descendant => {
+                        if !db.is_ancestor(parent, child) {
+                            continue 'tuple;
+                        }
+                    }
+                }
+            }
+        }
+        out.push((0..twig.len()).map(|q| t[&q]).collect());
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Reference implementation: naive nested-loop twig evaluation, used by the
+/// tests to validate TwigStack.
+pub fn twig_join_naive(db: &Database, twig: &Twig) -> Vec<TwigTuple> {
+    let mut out = Vec::new();
+    let candidates: Vec<&[NodeId]> =
+        twig.nodes.iter().map(|tn| db.tag_index().get(tn.tag)).collect();
+    let mut tuple: Vec<NodeId> = Vec::with_capacity(twig.len());
+    naive_rec(db, twig, &candidates, 0, &mut tuple, &mut out);
+    out.sort_unstable();
+    out
+}
+
+fn naive_rec(
+    db: &Database,
+    twig: &Twig,
+    candidates: &[&[NodeId]],
+    q: usize,
+    tuple: &mut Vec<NodeId>,
+    out: &mut Vec<TwigTuple>,
+) {
+    if q == twig.len() {
+        out.push(tuple.clone());
+        return;
+    }
+    for &c in candidates[q] {
+        let ok = match twig.nodes[q].parent {
+            None => true,
+            Some(p) => {
+                let parent = tuple[p];
+                match twig.nodes[q].axis {
+                    AxisRel::Child => db.is_parent(parent, c),
+                    AxisRel::Descendant => db.is_ancestor(parent, c),
+                }
+            }
+        };
+        if ok {
+            tuple.push(c);
+            naive_rec(db, twig, candidates, q + 1, tuple, out);
+            tuple.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(xml: &str) -> Database {
+        let mut d = Database::new();
+        d.load_xml("t.xml", xml).unwrap();
+        d
+    }
+
+    fn tag(d: &Database, n: &str) -> TagId {
+        d.interner().intern(n)
+    }
+
+    #[test]
+    fn simple_path_twig() {
+        let d = db("<r><a><b><c/></b></a><a><c/></a><b/></r>");
+        let mut twig = Twig::new(tag(&d, "a"));
+        let b = twig.add(0, AxisRel::Descendant, tag(&d, "b"));
+        twig.add(b, AxisRel::Descendant, tag(&d, "c"));
+        let fast = twig_join(&d, &twig);
+        let naive = twig_join_naive(&d, &twig);
+        assert_eq!(fast, naive);
+        assert_eq!(fast.len(), 1, "only the first a has b//c");
+    }
+
+    #[test]
+    fn branching_twig() {
+        let d = db(
+            "<r>\
+               <p><n>x</n><g>1</g></p>\
+               <p><n>y</n></p>\
+               <p><g>2</g></p>\
+               <p><n>z</n><g>3</g><g>4</g></p>\
+             </r>",
+        );
+        let mut twig = Twig::new(tag(&d, "p"));
+        twig.add(0, AxisRel::Descendant, tag(&d, "n"));
+        twig.add(0, AxisRel::Descendant, tag(&d, "g"));
+        let fast = twig_join(&d, &twig);
+        let naive = twig_join_naive(&d, &twig);
+        assert_eq!(fast, naive);
+        // p1×(n,g)=1, p4×(n,{g,g})=2.
+        assert_eq!(fast.len(), 3);
+    }
+
+    #[test]
+    fn parent_child_post_filter() {
+        let d = db("<r><a><x><b/></x></a><a><b/></a></r>");
+        let mut twig = Twig::new(tag(&d, "a"));
+        twig.add(0, AxisRel::Child, tag(&d, "b"));
+        let fast = twig_join(&d, &twig);
+        assert_eq!(fast, twig_join_naive(&d, &twig));
+        assert_eq!(fast.len(), 1, "only the direct child matches");
+    }
+
+    #[test]
+    fn recursive_ancestors() {
+        let d = db("<r><s><s><t/></s></s></r>");
+        let mut twig = Twig::new(tag(&d, "s"));
+        twig.add(0, AxisRel::Descendant, tag(&d, "t"));
+        let fast = twig_join(&d, &twig);
+        let naive = twig_join_naive(&d, &twig);
+        assert_eq!(fast, naive);
+        assert_eq!(fast.len(), 2, "both nested s elements match");
+    }
+
+    #[test]
+    fn empty_stream_means_no_matches() {
+        let d = db("<r><a/></r>");
+        let mut twig = Twig::new(tag(&d, "a"));
+        twig.add(0, AxisRel::Descendant, tag(&d, "zebra"));
+        assert!(twig_join(&d, &twig).is_empty());
+    }
+
+    #[test]
+    fn twigstack_matches_naive_on_xmark_patterns() {
+        let d = {
+            let mut db = Database::new();
+            // A miniature auction-shaped document with plenty of nesting.
+            db.load_xml(
+                "t.xml",
+                "<site><open_auctions>\
+                   <open_auction><bidder><personref/></bidder><bidder><personref/></bidder><quantity/></open_auction>\
+                   <open_auction><bidder><personref/></bidder></open_auction>\
+                   <open_auction><quantity/></open_auction>\
+                 </open_auctions></site>",
+            )
+            .unwrap();
+            db
+        };
+        let mut twig = Twig::new(tag(&d, "open_auction"));
+        let b = twig.add(0, AxisRel::Child, tag(&d, "bidder"));
+        twig.add(b, AxisRel::Descendant, tag(&d, "personref"));
+        twig.add(0, AxisRel::Child, tag(&d, "quantity"));
+        let fast = twig_join(&d, &twig);
+        let naive = twig_join_naive(&d, &twig);
+        assert_eq!(fast, naive);
+        assert_eq!(fast.len(), 2, "first auction's two bidders × its quantity");
+    }
+}

@@ -1,0 +1,155 @@
+//! Value joins: the sort-merge-sort strategy of §5.1.
+//!
+//! The paper's node identifiers indicate absolute document order, so a value
+//! join can sort both inputs by join key, merge, and then re-sort the output
+//! by the left input's node id to restore document order — giving "better
+//! performance and linear scalability without sacrificing document
+//! ordering". The merge itself lives here; the re-sort happens in the Join
+//! operator, which owns the trees.
+
+use std::cmp::Ordering;
+
+/// A normalized join key: numeric when the text parses as a number, textual
+/// otherwise. Numbers never equal strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinKey {
+    /// Numeric key.
+    Num(f64),
+    /// Textual key.
+    Str(String),
+}
+
+impl JoinKey {
+    /// Normalizes raw text into a key.
+    pub fn from_text(s: &str) -> JoinKey {
+        match s.trim().parse::<f64>() {
+            Ok(n) => JoinKey::Num(n),
+            Err(_) => JoinKey::Str(s.to_string()),
+        }
+    }
+
+    /// Total order over keys (numbers before strings).
+    pub fn order(&self, other: &JoinKey) -> Ordering {
+        match (self, other) {
+            (JoinKey::Num(a), JoinKey::Num(b)) => a.total_cmp(b),
+            (JoinKey::Str(a), JoinKey::Str(b)) => a.cmp(b),
+            (JoinKey::Num(_), JoinKey::Str(_)) => Ordering::Less,
+            (JoinKey::Str(_), JoinKey::Num(_)) => Ordering::Greater,
+        }
+    }
+}
+
+/// Equi-join by sort-merge. Inputs are key lists (one key per tree); output
+/// is every matching `(left_index, right_index)` pair. Cost is
+/// `O(n log n + m log m + output)` rather than the nested-loop `O(n·m)`.
+pub fn merge_join_eq(left: &[JoinKey], right: &[JoinKey]) -> Vec<(usize, usize)> {
+    let mut li: Vec<usize> = (0..left.len()).collect();
+    let mut ri: Vec<usize> = (0..right.len()).collect();
+    li.sort_by(|a, b| left[*a].order(&left[*b]));
+    ri.sort_by(|a, b| right[*a].order(&right[*b]));
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < li.len() && j < ri.len() {
+        match left[li[i]].order(&right[ri[j]]) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                // Emit the full group × group block.
+                let key = &left[li[i]];
+                let i_end = (i..li.len()).find(|&k| left[li[k]].order(key) != Ordering::Equal).unwrap_or(li.len());
+                let j_end = (j..ri.len()).find(|&k| right[ri[k]].order(key) != Ordering::Equal).unwrap_or(ri.len());
+                for &l in &li[i..i_end] {
+                    for &r in &ri[j..j_end] {
+                        out.push((l, r));
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    out
+}
+
+/// Fallback for non-equality join predicates: nested loops with a caller-
+/// supplied predicate. (The paper's TIMBER setup likewise has no join-value
+/// index; non-equi joins are rare in the workload.)
+pub fn nested_loop_join(
+    left: &[JoinKey],
+    right: &[JoinKey],
+    pred: impl Fn(&JoinKey, &JoinKey) -> bool,
+) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (l, lk) in left.iter().enumerate() {
+        for (r, rk) in right.iter().enumerate() {
+            if pred(lk, rk) {
+                out.push((l, r));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(texts: &[&str]) -> Vec<JoinKey> {
+        texts.iter().map(|t| JoinKey::from_text(t)).collect()
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(JoinKey::from_text("25"), JoinKey::Num(25.0));
+        assert_eq!(JoinKey::from_text(" 2.5 "), JoinKey::Num(2.5));
+        assert_eq!(JoinKey::from_text("person0"), JoinKey::Str("person0".into()));
+    }
+
+    #[test]
+    fn equi_join_finds_all_pairs() {
+        let l = keys(&["a", "b", "a", "c"]);
+        let r = keys(&["b", "a", "d"]);
+        let mut pairs = merge_join_eq(&l, &r);
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 1), (1, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn equi_join_handles_duplicate_groups() {
+        let l = keys(&["x", "x"]);
+        let r = keys(&["x", "x", "x"]);
+        assert_eq!(merge_join_eq(&l, &r).len(), 6);
+    }
+
+    #[test]
+    fn numbers_never_equal_strings() {
+        let l = keys(&["5"]);
+        let r = vec![JoinKey::Str("5".into())];
+        assert!(merge_join_eq(&l, &r).is_empty());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(merge_join_eq(&[], &keys(&["a"])).is_empty());
+        assert!(merge_join_eq(&keys(&["a"]), &[]).is_empty());
+    }
+
+    #[test]
+    fn merge_matches_nested_loop_on_random_data() {
+        let l: Vec<JoinKey> = (0..50).map(|i| JoinKey::Num(f64::from(i % 7))).collect();
+        let r: Vec<JoinKey> = (0..30).map(|i| JoinKey::Num(f64::from(i % 5))).collect();
+        let mut a = merge_join_eq(&l, &r);
+        let mut b = nested_loop_join(&l, &r, |x, y| x == y);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nested_loop_supports_inequalities() {
+        let l = keys(&["1", "5"]);
+        let r = keys(&["3"]);
+        let pairs = nested_loop_join(&l, &r, |a, b| matches!((a, b), (JoinKey::Num(x), JoinKey::Num(y)) if x > y));
+        assert_eq!(pairs, vec![(1, 0)]);
+    }
+}

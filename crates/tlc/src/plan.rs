@@ -1,0 +1,316 @@
+//! Logical plans: trees of TLC operators.
+//!
+//! A [`Plan`] corresponds to the operator boxes of Figures 7/8/10/12. Plans
+//! are built by the translator ([`mod@crate::translate`]), optionally rewritten
+//! ([`crate::rewrite`]), and evaluated by [`crate::exec`].
+
+use crate::logical_class::LclId;
+use crate::ops::construct::ConstructItem;
+use crate::ops::dupelim::DedupKind;
+use crate::ops::filter::{FilterMode, FilterPred};
+use crate::ops::join::JoinSpec;
+use crate::ops::sort::SortKey;
+use crate::pattern::Apt;
+use std::fmt;
+use xmldb::Database;
+use xquery::AggFunc;
+
+/// A TLC logical plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Select against base data or as a pattern extension (routed by the
+    /// APT's anchor; a document-anchored select ignores `input`).
+    Select {
+        /// Upstream operator; `None` for document-anchored selects.
+        input: Option<Box<Plan>>,
+        /// The annotated pattern tree.
+        apt: Apt,
+    },
+    /// Filter with a predicate and iteration mode.
+    Filter {
+        /// Upstream operator.
+        input: Box<Plan>,
+        /// The tested class.
+        lcl: LclId,
+        /// The predicate.
+        pred: FilterPred,
+        /// Iteration mode.
+        mode: FilterMode,
+    },
+    /// Value join of two inputs under a new `join_root`.
+    Join {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Join parameters.
+        spec: JoinSpec,
+    },
+    /// Projection onto a set of classes.
+    Project {
+        /// Upstream operator.
+        input: Box<Plan>,
+        /// Classes to keep.
+        keep: Vec<LclId>,
+    },
+    /// Duplicate elimination.
+    DupElim {
+        /// Upstream operator.
+        input: Box<Plan>,
+        /// Key classes.
+        on: Vec<LclId>,
+        /// Identity vs content comparison.
+        kind: DedupKind,
+    },
+    /// Aggregate function application.
+    Aggregate {
+        /// Upstream operator.
+        input: Box<Plan>,
+        /// The function.
+        func: AggFunc,
+        /// The aggregated class.
+        over: LclId,
+        /// Label of the created result node.
+        new_lcl: LclId,
+    },
+    /// Result construction.
+    Construct {
+        /// Upstream operator.
+        input: Box<Plan>,
+        /// The construct-pattern tree.
+        spec: Vec<ConstructItem>,
+    },
+    /// ORDER BY sort.
+    Sort {
+        /// Upstream operator.
+        input: Box<Plan>,
+        /// Sort keys, major first.
+        keys: Vec<SortKey>,
+    },
+    /// Flatten (Definition 5).
+    Flatten {
+        /// Upstream operator.
+        input: Box<Plan>,
+        /// The singleton parent class.
+        parent: LclId,
+        /// The fanned-out child class.
+        child: LclId,
+    },
+    /// Shadow (Definition 6).
+    Shadow {
+        /// Upstream operator.
+        input: Box<Plan>,
+        /// The singleton parent class.
+        parent: LclId,
+        /// The fanned-out child class.
+        child: LclId,
+    },
+    /// Illuminate (Definition 7).
+    Illuminate {
+        /// Upstream operator.
+        input: Box<Plan>,
+        /// The class to un-shadow.
+        lcl: LclId,
+    },
+    /// Union of alternative branches (OR translation), deduplicated on the
+    /// given classes.
+    Union {
+        /// The branches.
+        inputs: Vec<Plan>,
+        /// Node-id dedup keys.
+        dedup_on: Vec<LclId>,
+    },
+    /// The TAX/GTP grouping procedure (split / group / merge; see
+    /// [`mod@crate::ops::grouping`]). Not emitted by TLC-style translation.
+    GroupBy {
+        /// Upstream operator.
+        input: Box<Plan>,
+        /// Grouping key class (singleton).
+        by: LclId,
+        /// Clustered class.
+        collect: LclId,
+    },
+    /// TAX's early materialization (see [`mod@crate::ops::materialize`]).
+    Materialize {
+        /// Upstream operator.
+        input: Box<Plan>,
+        /// Classes whose members' stored subtrees are copied in.
+        lcls: Vec<LclId>,
+    },
+}
+
+impl Plan {
+    /// Number of operators in the plan.
+    pub fn operator_count(&self) -> usize {
+        1 + match self {
+            Plan::Select { input, .. } => input.as_deref().map_or(0, Plan::operator_count),
+            Plan::Join { left, right, .. } => left.operator_count() + right.operator_count(),
+            Plan::Union { inputs, .. } => inputs.iter().map(Plan::operator_count).sum(),
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::DupElim { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Construct { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Flatten { input, .. }
+            | Plan::Shadow { input, .. }
+            | Plan::Illuminate { input, .. }
+            | Plan::GroupBy { input, .. }
+            | Plan::Materialize { input, .. } => input.operator_count(),
+        }
+    }
+
+    /// Number of Select operators (≈ pattern matches the plan will run) —
+    /// the redundancy metric of §4.
+    pub fn select_count(&self) -> usize {
+        let own = usize::from(matches!(self, Plan::Select { .. }));
+        own + match self {
+            Plan::Select { input, .. } => input.as_deref().map_or(0, Plan::select_count),
+            Plan::Join { left, right, .. } => left.select_count() + right.select_count(),
+            Plan::Union { inputs, .. } => inputs.iter().map(Plan::select_count).sum(),
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::DupElim { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Construct { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Flatten { input, .. }
+            | Plan::Shadow { input, .. }
+            | Plan::Illuminate { input, .. }
+            | Plan::GroupBy { input, .. }
+            | Plan::Materialize { input, .. } => input.select_count(),
+        }
+    }
+
+    /// Pretty multi-line rendering (operators indented, bottom-up order like
+    /// the paper's figures read top-down here).
+    pub fn display<'a>(&'a self, db: Option<&'a Database>) -> PlanDisplay<'a> {
+        PlanDisplay { plan: self, db }
+    }
+}
+
+/// Display adapter for [`Plan`].
+pub struct PlanDisplay<'a> {
+    plan: &'a Plan,
+    db: Option<&'a Database>,
+}
+
+impl fmt::Display for PlanDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_plan(f, self.plan, self.db, 0)
+    }
+}
+
+fn write_plan(f: &mut fmt::Formatter<'_>, p: &Plan, db: Option<&Database>, depth: usize) -> fmt::Result {
+    let pad = "  ".repeat(depth);
+    match p {
+        Plan::Select { input, apt } => {
+            writeln!(f, "{pad}Select[{}]", apt.display(db))?;
+            if let Some(i) = input {
+                write_plan(f, i, db, depth + 1)?;
+            }
+            Ok(())
+        }
+        Plan::Filter { input, lcl, pred, mode } => {
+            writeln!(f, "{pad}Filter[{lcl} {pred:?} mode={mode:?}]")?;
+            write_plan(f, input, db, depth + 1)
+        }
+        Plan::Join { left, right, spec } => {
+            writeln!(
+                f,
+                "{pad}Join[root={} right={} pred={:?} dedup={:?}]",
+                spec.root_lcl, spec.right_mspec, spec.pred, spec.dedup_right_on
+            )?;
+            write_plan(f, left, db, depth + 1)?;
+            write_plan(f, right, db, depth + 1)
+        }
+        Plan::Project { input, keep } => {
+            let keeps: Vec<String> = keep.iter().map(|k| k.to_string()).collect();
+            writeln!(f, "{pad}Project[keep {}]", keeps.join(", "))?;
+            write_plan(f, input, db, depth + 1)
+        }
+        Plan::DupElim { input, on, kind } => {
+            let keys: Vec<String> = on.iter().map(|k| k.to_string()).collect();
+            writeln!(f, "{pad}DupElim[{:?} on {}]", kind, keys.join(", "))?;
+            write_plan(f, input, db, depth + 1)
+        }
+        Plan::Aggregate { input, func, over, new_lcl } => {
+            writeln!(f, "{pad}Aggregate[{}({over}) -> {new_lcl}]", func.name())?;
+            write_plan(f, input, db, depth + 1)
+        }
+        Plan::Construct { input, spec } => {
+            writeln!(f, "{pad}Construct[{} item(s)]", spec.len())?;
+            write_plan(f, input, db, depth + 1)
+        }
+        Plan::Sort { input, keys } => {
+            writeln!(f, "{pad}Sort[{} key(s)]", keys.len())?;
+            write_plan(f, input, db, depth + 1)
+        }
+        Plan::Flatten { input, parent, child } => {
+            writeln!(f, "{pad}Flatten[{parent}, {child}]")?;
+            write_plan(f, input, db, depth + 1)
+        }
+        Plan::Shadow { input, parent, child } => {
+            writeln!(f, "{pad}Shadow[{parent}, {child}]")?;
+            write_plan(f, input, db, depth + 1)
+        }
+        Plan::Illuminate { input, lcl } => {
+            writeln!(f, "{pad}Illuminate[{lcl}]")?;
+            write_plan(f, input, db, depth + 1)
+        }
+        Plan::GroupBy { input, by, collect } => {
+            writeln!(f, "{pad}GroupBy[by {by} collect {collect}]")?;
+            write_plan(f, input, db, depth + 1)
+        }
+        Plan::Materialize { input, lcls } => {
+            let keys: Vec<String> = lcls.iter().map(|k| k.to_string()).collect();
+            writeln!(f, "{pad}Materialize[{}]", keys.join(", "))?;
+            write_plan(f, input, db, depth + 1)
+        }
+        Plan::Union { inputs, dedup_on } => {
+            let keys: Vec<String> = dedup_on.iter().map(|k| k.to_string()).collect();
+            writeln!(f, "{pad}Union[dedup {}]", keys.join(", "))?;
+            for i in inputs {
+                write_plan(f, i, db, depth + 1)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Apt;
+
+    fn leaf() -> Plan {
+        Plan::Select { input: None, apt: Apt::for_document("a.xml", LclId(1)) }
+    }
+
+    #[test]
+    fn operator_and_select_counts() {
+        let p = Plan::Project {
+            input: Box::new(Plan::Join {
+                left: Box::new(leaf()),
+                right: Box::new(leaf()),
+                spec: JoinSpec {
+                    root_lcl: LclId(9),
+                    right_mspec: crate::pattern::MSpec::One,
+                    pred: None,
+                    dedup_right_on: None,
+                },
+            }),
+            keep: vec![LclId(1)],
+        };
+        assert_eq!(p.operator_count(), 4);
+        assert_eq!(p.select_count(), 2);
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let p = Plan::Project { input: Box::new(leaf()), keep: vec![LclId(1), LclId(2)] };
+        let s = p.display(None).to_string();
+        assert!(s.contains("Project[keep (1), (2)]"));
+        assert!(s.contains("Select["));
+    }
+}

@@ -1,0 +1,740 @@
+//! Redundancy-eliminating rewrites (paper §4).
+//!
+//! Two rules, each removing a *redundant pattern match / data access* where
+//! the same tag appears in an APT with different edge annotations:
+//!
+//! * **Flatten rewrite** (§4.2, Figure 10): a pattern with sibling nodes
+//!   `B` (`+`/`*`, feeding an aggregate) and `C` (`-`/`?`, feeding a later
+//!   join) over the same tag accesses every `B`/`C` node twice. The rewrite
+//!   keeps only the grouped branch, computes the aggregate, then `Flatten`s
+//!   the cluster to recover the fan-out semantics, re-attaching `C`'s extra
+//!   sub-structure with an extension select rooted at `B`'s class.
+//! * **Shadow/Illuminate rewrite** (§4.3, Figure 12): the mirror case — the
+//!   fan-out use comes first and a later extension select re-matches the
+//!   same nodes to *cluster* them. The rewrite shadows instead of dropping
+//!   the other cluster members, and replaces the re-matching select with an
+//!   `Illuminate`. Applied after the Flatten rewrite this converts
+//!   `Flatten` itself into `Shadow` ("using Shadow in place of Flatten as
+//!   in Figure 10"), which is how Q1/Q2 get their OPT plans.
+//!
+//! [`optimize`] applies Flatten rewrites to fixpoint, then Shadow rewrites.
+
+use crate::logical_class::LclId;
+use crate::ops::construct::{ConstructItem, ConstructValue};
+use crate::ops::filter::FilterPred;
+use crate::pattern::{Apt, AptRoot, MSpec};
+use crate::plan::Plan;
+use std::collections::HashMap;
+
+/// Applies both rewrite rules until neither fires.
+pub fn optimize(plan: &Plan) -> Plan {
+    let mut p = plan.clone();
+    loop {
+        let (next, changed) = flatten_rewrite(&p);
+        p = next;
+        if !changed {
+            break;
+        }
+    }
+    loop {
+        let (next, changed) = shadow_rewrite(&p);
+        p = next;
+        if !changed {
+            break;
+        }
+    }
+    p
+}
+
+// ---------------------------------------------------------------------
+// Shared analysis helpers
+// ---------------------------------------------------------------------
+
+/// Classes an operator's *parameters* reference (not its pattern trees).
+fn op_param_refs(plan: &Plan, out: &mut Vec<LclId>) {
+    match plan {
+        Plan::Select { .. } => {}
+        Plan::Filter { lcl, pred, .. } => {
+            out.push(*lcl);
+            if let FilterPred::CmpLcl { other, .. } = pred {
+                out.push(*other);
+            }
+        }
+        Plan::Join { spec, .. } => {
+            if let Some(p) = &spec.pred {
+                out.push(p.left);
+                out.push(p.right);
+            }
+            out.extend(spec.dedup_right_on);
+        }
+        Plan::Project { keep, .. } => out.extend(keep.iter().copied()),
+        Plan::DupElim { on, .. } => out.extend(on.iter().copied()),
+        Plan::Aggregate { over, .. } => out.push(*over),
+        Plan::Construct { spec, .. } => {
+            for item in spec {
+                construct_refs(item, out);
+            }
+        }
+        Plan::Sort { keys, .. } => out.extend(keys.iter().map(|k| k.lcl)),
+        Plan::Flatten { parent, child, .. } | Plan::Shadow { parent, child, .. } => {
+            out.push(*parent);
+            out.push(*child);
+        }
+        Plan::Illuminate { lcl, .. } => out.push(*lcl),
+        Plan::GroupBy { by, collect, .. } => {
+            out.push(*by);
+            out.push(*collect);
+        }
+        Plan::Materialize { lcls, .. } => out.extend(lcls.iter().copied()),
+        Plan::Union { dedup_on, .. } => out.extend(dedup_on.iter().copied()),
+    }
+}
+
+/// Every class referenced anywhere in the plan — parameters plus pattern
+/// anchors (extension selects re-use earlier classes).
+fn all_refs(plan: &Plan) -> Vec<LclId> {
+    let mut out = Vec::new();
+    walk(plan, &mut |p| {
+        op_param_refs(p, &mut out);
+        if let Plan::Select { apt, .. } = p {
+            if let AptRoot::Lcl(l) = apt.root {
+                out.push(l);
+            }
+        }
+    });
+    out
+}
+
+fn construct_refs(item: &ConstructItem, out: &mut Vec<LclId>) {
+    match item {
+        ConstructItem::Element { attrs, children, .. } => {
+            for (_, v) in attrs {
+                if let ConstructValue::LclText(l) = v {
+                    out.push(*l);
+                }
+            }
+            for c in children {
+                construct_refs(c, out);
+            }
+        }
+        ConstructItem::LclRef { lcl, .. } | ConstructItem::LclText(lcl) => out.push(*lcl),
+        ConstructItem::Text(_) => {}
+    }
+}
+
+fn walk(plan: &Plan, f: &mut impl FnMut(&Plan)) {
+    f(plan);
+    match plan {
+        Plan::Select { input, .. } => {
+            if let Some(i) = input {
+                walk(i, f);
+            }
+        }
+        Plan::Join { left, right, .. } => {
+            walk(left, f);
+            walk(right, f);
+        }
+        Plan::Union { inputs, .. } => {
+            for i in inputs {
+                walk(i, f);
+            }
+        }
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::DupElim { input, .. }
+        | Plan::Aggregate { input, .. }
+        | Plan::Construct { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Flatten { input, .. }
+        | Plan::Shadow { input, .. }
+        | Plan::Illuminate { input, .. }
+        | Plan::GroupBy { input, .. }
+        | Plan::Materialize { input, .. } => walk(input, f),
+    }
+}
+
+/// Rebuilds a plan, applying `f` bottom-up (children first).
+fn map_plan(plan: &Plan, f: &mut impl FnMut(Plan) -> Plan) -> Plan {
+    let rebuilt = match plan {
+        Plan::Select { input, apt } => Plan::Select {
+            input: input.as_ref().map(|i| Box::new(map_plan(i, f))),
+            apt: apt.clone(),
+        },
+        Plan::Filter { input, lcl, pred, mode } => Plan::Filter {
+            input: Box::new(map_plan(input, f)),
+            lcl: *lcl,
+            pred: pred.clone(),
+            mode: *mode,
+        },
+        Plan::Join { left, right, spec } => Plan::Join {
+            left: Box::new(map_plan(left, f)),
+            right: Box::new(map_plan(right, f)),
+            spec: spec.clone(),
+        },
+        Plan::Project { input, keep } => {
+            Plan::Project { input: Box::new(map_plan(input, f)), keep: keep.clone() }
+        }
+        Plan::DupElim { input, on, kind } => {
+            Plan::DupElim { input: Box::new(map_plan(input, f)), on: on.clone(), kind: *kind }
+        }
+        Plan::Aggregate { input, func, over, new_lcl } => Plan::Aggregate {
+            input: Box::new(map_plan(input, f)),
+            func: *func,
+            over: *over,
+            new_lcl: *new_lcl,
+        },
+        Plan::Construct { input, spec } => {
+            Plan::Construct { input: Box::new(map_plan(input, f)), spec: spec.clone() }
+        }
+        Plan::Sort { input, keys } => {
+            Plan::Sort { input: Box::new(map_plan(input, f)), keys: keys.clone() }
+        }
+        Plan::Flatten { input, parent, child } => {
+            Plan::Flatten { input: Box::new(map_plan(input, f)), parent: *parent, child: *child }
+        }
+        Plan::Shadow { input, parent, child } => {
+            Plan::Shadow { input: Box::new(map_plan(input, f)), parent: *parent, child: *child }
+        }
+        Plan::Illuminate { input, lcl } => {
+            Plan::Illuminate { input: Box::new(map_plan(input, f)), lcl: *lcl }
+        }
+        Plan::GroupBy { input, by, collect } => {
+            Plan::GroupBy { input: Box::new(map_plan(input, f)), by: *by, collect: *collect }
+        }
+        Plan::Materialize { input, lcls } => {
+            Plan::Materialize { input: Box::new(map_plan(input, f)), lcls: lcls.clone() }
+        }
+        Plan::Union { inputs, dedup_on } => Plan::Union {
+            inputs: inputs.iter().map(|i| map_plan(i, f)).collect(),
+            dedup_on: dedup_on.clone(),
+        },
+    };
+    f(rebuilt)
+}
+
+/// Substitutes class labels in every operator parameter of the plan.
+fn subst_lcls(plan: &Plan, map: &HashMap<LclId, LclId>) -> Plan {
+    let s = |l: LclId| *map.get(&l).unwrap_or(&l);
+    map_plan(plan, &mut |p| match p {
+        Plan::Filter { input, lcl, pred, mode } => Plan::Filter {
+            input,
+            lcl: s(lcl),
+            pred: match pred {
+                FilterPred::CmpLcl { op, other } => FilterPred::CmpLcl { op, other: s(other) },
+                c => c,
+            },
+            mode,
+        },
+        Plan::Join { left, right, mut spec } => {
+            if let Some(pr) = &mut spec.pred {
+                pr.left = s(pr.left);
+                pr.right = s(pr.right);
+            }
+            spec.dedup_right_on = spec.dedup_right_on.map(s);
+            Plan::Join { left, right, spec }
+        }
+        Plan::Project { input, keep } => {
+            Plan::Project { input, keep: keep.into_iter().map(s).collect() }
+        }
+        Plan::DupElim { input, on, kind } => {
+            Plan::DupElim { input, on: on.into_iter().map(s).collect(), kind }
+        }
+        Plan::Aggregate { input, func, over, new_lcl } => {
+            Plan::Aggregate { input, func, over: s(over), new_lcl }
+        }
+        Plan::Construct { input, spec } => Plan::Construct {
+            input,
+            spec: spec.into_iter().map(|i| subst_item(i, &s)).collect(),
+        },
+        Plan::Sort { input, mut keys } => {
+            for k in &mut keys {
+                k.lcl = s(k.lcl);
+            }
+            Plan::Sort { input, keys }
+        }
+        Plan::Illuminate { input, lcl } => Plan::Illuminate { input, lcl: s(lcl) },
+        other => other,
+    })
+}
+
+fn subst_item(item: ConstructItem, s: &impl Fn(LclId) -> LclId) -> ConstructItem {
+    match item {
+        ConstructItem::Element { tag, lcl, attrs, children } => ConstructItem::Element {
+            tag,
+            lcl,
+            attrs: attrs
+                .into_iter()
+                .map(|(n, v)| {
+                    let v = match v {
+                        ConstructValue::LclText(l) => ConstructValue::LclText(s(l)),
+                        lit => lit,
+                    };
+                    (n, v)
+                })
+                .collect(),
+            children: children.into_iter().map(|c| subst_item(c, s)).collect(),
+        },
+        ConstructItem::LclRef { lcl, hidden } => ConstructItem::LclRef { lcl: s(lcl), hidden },
+        ConstructItem::LclText(lcl) => ConstructItem::LclText(s(lcl)),
+        t => t,
+    }
+}
+
+/// Does pattern subtree `b` (of `apt_b`) embed into subtree `c` (of
+/// `apt_c`) from the roots — same tag and axis, with every `b` child
+/// embeddable into some `c` child?
+fn embeds(apt_b: &Apt, b: usize, apt_c: &Apt, c: usize) -> bool {
+    let nb = &apt_b.nodes[b];
+    let nc = &apt_c.nodes[c];
+    if nb.tag != nc.tag || nb.axis != nc.axis {
+        return false;
+    }
+    apt_b.children_of(Some(b)).all(|bc| {
+        apt_c.children_of(Some(c)).any(|cc| embeds(apt_b, bc, apt_c, cc))
+    })
+}
+
+// ---------------------------------------------------------------------
+// Flatten rewrite (§4.2)
+// ---------------------------------------------------------------------
+
+/// One pass of the Flatten rewrite; returns the (possibly) rewritten plan
+/// and whether anything changed.
+pub fn flatten_rewrite(plan: &Plan) -> (Plan, bool) {
+    let global_refs = all_refs(plan);
+    let mut changed = false;
+    let out = map_plan(plan, &mut |p| {
+        if changed {
+            return p;
+        }
+        // Candidate: a chain of Filters/Aggregates (possibly empty) over a
+        // document select — examined from the top of the chain.
+        let Some((chain_refs, select_apt)) = chain_over_doc_select(&p) else {
+            return p;
+        };
+        let Some((parent_idx, b_idx, c_idx)) = find_flatten_sites(&select_apt, &chain_refs, &global_refs)
+        else {
+            return p;
+        };
+        changed = true;
+        rebuild_flatten(&p, &select_apt, parent_idx, b_idx, c_idx)
+    });
+    (out, changed)
+}
+
+/// If `p` is `[Filter|Aggregate]* ∘ Select(document)`, returns the classes
+/// referenced by the chain and the select's APT.
+fn chain_over_doc_select(p: &Plan) -> Option<(Vec<LclId>, Apt)> {
+    let mut refs = Vec::new();
+    let mut cur = p;
+    loop {
+        match cur {
+            Plan::Filter { input, .. } | Plan::Aggregate { input, .. } => {
+                op_param_refs(cur, &mut refs);
+                cur = input;
+            }
+            Plan::Select { input: None, apt } => {
+                if matches!(apt.root, AptRoot::Document { .. }) && !refs.is_empty() {
+                    return Some((refs, apt.clone()));
+                }
+                return None;
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Finds (parent, B, C) in the APT satisfying Phase 1 of the Flatten rule.
+fn find_flatten_sites(apt: &Apt, chain_refs: &[LclId], global_refs: &[LclId]) -> Option<(Option<usize>, usize, usize)> {
+    let parents: Vec<Option<usize>> =
+        std::iter::once(None).chain((0..apt.nodes.len()).map(Some)).collect();
+    for parent in parents {
+        let kids: Vec<usize> = apt.children_of(parent).collect();
+        for &b in &kids {
+            if !apt.nodes[b].mspec.groups() {
+                continue;
+            }
+            // The chain (the aggregate) must use B's subtree.
+            let b_lcls: Vec<LclId> =
+                apt.subtree_indexes(b).iter().map(|&i| apt.nodes[i].lcl).collect();
+            if !chain_refs.iter().any(|r| b_lcls.contains(r)) {
+                continue;
+            }
+            for &c in &kids {
+                if c == b || apt.nodes[c].mspec.groups() {
+                    continue;
+                }
+                if !embeds(apt, b, apt, c) {
+                    continue;
+                }
+                // C's own class must be re-creatable: its root label may not
+                // be referenced anywhere (descendants are re-attached with
+                // their labels preserved).
+                if global_refs.contains(&apt.nodes[c].lcl) {
+                    continue;
+                }
+                return Some((parent, b, c));
+            }
+        }
+    }
+    None
+}
+
+/// Performs Phase 2: `use_B(S[aptD](FL[A,B](use_B(S[aptB]))))`.
+fn rebuild_flatten(chain: &Plan, apt: &Apt, parent: Option<usize>, b: usize, c: usize) -> Plan {
+    let apt_b = apt.without_subtree(c);
+    // Indexes shift after removal; find B again by its class label.
+    let b_lcl = apt.nodes[b].lcl;
+    let parent_lcl = match parent {
+        None => apt.root_lcl(),
+        Some(p) => apt.nodes[p].lcl,
+    };
+    // Rebuild the chain over the reduced select.
+    let new_chain = replace_leaf_select(chain, &apt_b);
+    let flat = Plan::Flatten { input: Box::new(new_chain), parent: parent_lcl, child: b_lcl };
+    // Extension select re-attaching tree(C) - tree(B) under B's class.
+    let c_kids: Vec<usize> = apt.children_of(Some(c)).collect();
+    if c_kids.is_empty() {
+        return flat;
+    }
+    let mut ext = Apt::extending(b_lcl);
+    for k in c_kids {
+        copy_subtree_into(apt, k, &mut ext, None);
+    }
+    Plan::Select { input: Some(Box::new(flat)), apt: ext }
+}
+
+fn replace_leaf_select(p: &Plan, apt: &Apt) -> Plan {
+    match p {
+        Plan::Select { input: None, .. } => Plan::Select { input: None, apt: apt.clone() },
+        Plan::Filter { input, lcl, pred, mode } => Plan::Filter {
+            input: Box::new(replace_leaf_select(input, apt)),
+            lcl: *lcl,
+            pred: pred.clone(),
+            mode: *mode,
+        },
+        Plan::Aggregate { input, func, over, new_lcl } => Plan::Aggregate {
+            input: Box::new(replace_leaf_select(input, apt)),
+            func: *func,
+            over: *over,
+            new_lcl: *new_lcl,
+        },
+        other => other.clone(),
+    }
+}
+
+fn copy_subtree_into(src: &Apt, at: usize, dst: &mut Apt, dst_parent: Option<usize>) {
+    let n = &src.nodes[at];
+    let idx = dst.add(dst_parent, n.axis, n.mspec, n.tag, n.pred.clone(), n.lcl);
+    for c in src.children_of(Some(at)).collect::<Vec<_>>() {
+        copy_subtree_into(src, c, dst, Some(idx));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shadow / Illuminate rewrite (§4.3)
+// ---------------------------------------------------------------------
+
+/// One pass of the Shadow/Illuminate rewrite.
+pub fn shadow_rewrite(plan: &Plan) -> (Plan, bool) {
+    // Find every extension select with a grouped top chain and try each.
+    let mut candidates: Vec<(Apt, LclId)> = Vec::new();
+    walk(plan, &mut |p| {
+        if let Plan::Select { input: Some(_), apt } = p {
+            if let AptRoot::Lcl(anchor) = apt.root {
+                let tops: Vec<usize> = apt.children_of(None).collect();
+                if tops.len() == 1 && apt.nodes[tops[0]].mspec.groups() && apt.nodes[tops[0]].pred.is_none()
+                {
+                    candidates.push((apt.clone(), anchor));
+                }
+            }
+        }
+    });
+    for (ext_apt, anchor) in candidates {
+        if let Some(rewritten) = try_shadow_candidate(plan, &ext_apt, anchor) {
+            return (rewritten, true);
+        }
+    }
+    (plan.clone(), false)
+}
+
+fn try_shadow_candidate(plan: &Plan, ext_apt: &Apt, anchor: LclId) -> Option<Plan> {
+    let ext_apt = ext_apt.clone();
+    let ext_top = ext_apt.children_of(None).next().expect("checked by caller");
+
+    // Variant 1: a Flatten{parent: anchor, child: C} below, with C's
+    // pattern structurally covering the extension chain.
+    let mut v1: Option<LclId> = None;
+    // Variant 2: a document select whose APT contains an edge
+    // (node-with-lcl==anchor) → C with non-grouping mspec covering the
+    // extension chain; remember C's label.
+    let mut v2: Option<LclId> = None;
+    walk(plan, &mut |p| {
+        match p {
+            Plan::Flatten { parent, child, .. } if *parent == anchor && v1.is_none() => {
+                v1 = Some(*child);
+            }
+            Plan::Select { apt, .. } if matches!(apt.root, AptRoot::Document { .. }) && v2.is_none() => {
+                // Children of the node labelled `anchor` (or of the root).
+                let site = if apt.root_lcl() == anchor {
+                    Some(None)
+                } else {
+                    apt.node_with_lcl(anchor).map(Some)
+                };
+                if let Some(site) = site {
+                    for c in apt.children_of(site).collect::<Vec<_>>() {
+                        if !apt.nodes[c].mspec.groups() && embeds(&ext_apt, ext_top, apt, c) {
+                            v2 = Some(apt.nodes[c].lcl);
+                            break;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    });
+
+    // Build the label substitution ext → base by structural correspondence.
+    let build_map = |base_apt: &Apt, base_c: usize| -> Option<HashMap<LclId, LclId>> {
+        let mut map = HashMap::new();
+        if !map_structure(&ext_apt, ext_top, base_apt, base_c, &mut map) {
+            return None;
+        }
+        Some(map)
+    };
+
+    if let Some(c_lcl) = v1 {
+        // Locate the APT that defines C to check coverage and build the map.
+        let mut base: Option<(Apt, usize)> = None;
+        walk(plan, &mut |p| {
+            if base.is_some() {
+                return;
+            }
+            if let Plan::Select { apt, .. } = p {
+                if let Some(i) = apt.node_with_lcl(c_lcl) {
+                    base = Some((apt.clone(), i));
+                }
+            }
+        });
+        if let Some((base_apt, c_idx)) = base {
+            if embeds(&ext_apt, ext_top, &base_apt, c_idx) {
+                if let Some(map) = build_map(&base_apt, c_idx) {
+                    let rewritten = apply_shadow_v1(plan, &ext_apt, anchor, c_lcl);
+                    let rewritten = subst_lcls(&rewritten, &map);
+                    let rewritten = widen_projects(&rewritten, &map.values().copied().collect::<Vec<_>>());
+                    return Some(rewritten);
+                }
+            }
+        }
+    }
+
+    if let Some(c_lcl) = v2 {
+        let mut base: Option<(Apt, usize)> = None;
+        walk(plan, &mut |p| {
+            if base.is_some() {
+                return;
+            }
+            if let Plan::Select { apt, .. } = p {
+                if let Some(i) = apt.node_with_lcl(c_lcl) {
+                    base = Some((apt.clone(), i));
+                }
+            }
+        });
+        if let Some((base_apt, c_idx)) = base {
+            if let Some(map) = build_map(&base_apt, c_idx) {
+                let ext_mspec = ext_apt.nodes[ext_top].mspec;
+                let rewritten = apply_shadow_v2(plan, &ext_apt, anchor, c_lcl, ext_mspec);
+                let rewritten = subst_lcls(&rewritten, &map);
+                let rewritten = widen_projects(&rewritten, &map.values().copied().collect::<Vec<_>>());
+                return Some(rewritten);
+            }
+        }
+    }
+
+    None
+}
+
+/// Maps each ext-pattern node onto a structurally matching base node.
+fn map_structure(
+    ext: &Apt,
+    e: usize,
+    base: &Apt,
+    b: usize,
+    map: &mut HashMap<LclId, LclId>,
+) -> bool {
+    let ne = &ext.nodes[e];
+    let nb = &base.nodes[b];
+    if ne.tag != nb.tag || ne.axis != nb.axis {
+        return false;
+    }
+    map.insert(ne.lcl, nb.lcl);
+    for ec in ext.children_of(Some(e)).collect::<Vec<_>>() {
+        let mut found = false;
+        for bc in base.children_of(Some(b)).collect::<Vec<_>>() {
+            if map_structure(ext, ec, base, bc, map) {
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            return false;
+        }
+    }
+    true
+}
+
+/// Variant 1: Flatten → Shadow, extension select → Illuminate.
+fn apply_shadow_v1(plan: &Plan, ext_apt: &Apt, anchor: LclId, c_lcl: LclId) -> Plan {
+    map_plan(plan, &mut |p| match p {
+        Plan::Flatten { input, parent, child } if parent == anchor && child == c_lcl => {
+            Plan::Shadow { input, parent, child }
+        }
+        Plan::Select { input: Some(input), apt } if apt == *ext_apt => {
+            Plan::Illuminate { input, lcl: c_lcl }
+        }
+        other => other,
+    })
+}
+
+/// Variant 2: base edge re-annotated + Shadow inserted above the base
+/// select; extension select → Illuminate.
+fn apply_shadow_v2(plan: &Plan, ext_apt: &Apt, anchor: LclId, c_lcl: LclId, mspec: MSpec) -> Plan {
+    map_plan(plan, &mut |p| match p {
+        Plan::Select { input, apt } if apt.node_with_lcl(c_lcl).is_some()
+            && matches!(apt.root, AptRoot::Document { .. }) =>
+        {
+            let mut apt = apt;
+            let idx = apt.node_with_lcl(c_lcl).expect("checked");
+            apt.nodes[idx].mspec = mspec;
+            let sel = Plan::Select { input, apt };
+            Plan::Shadow { input: Box::new(sel), parent: anchor, child: c_lcl }
+        }
+        Plan::Select { input: Some(input), apt } if apt == *ext_apt => {
+            Plan::Illuminate { input, lcl: c_lcl }
+        }
+        other => other,
+    })
+}
+
+/// Adds the mapped classes to every Project keep list so shadowed members
+/// survive to the Illuminate.
+fn widen_projects(plan: &Plan, add: &[LclId]) -> Plan {
+    map_plan(plan, &mut |p| match p {
+        Plan::Project { input, mut keep } => {
+            for a in add {
+                if !keep.contains(a) {
+                    keep.push(*a);
+                }
+            }
+            Plan::Project { input, keep }
+        }
+        other => other,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute_to_string;
+
+    fn db() -> xmldb::Database {
+        let mut db = xmldb::Database::new();
+        db.load_xml(
+            "auction.xml",
+            r#"<site>
+              <open_auctions>
+                <open_auction>
+                  <bidder><personref person="p0"/></bidder>
+                  <bidder><personref person="p1"/></bidder>
+                  <bidder><personref person="p2"/></bidder>
+                  <quantity>7</quantity>
+                </open_auction>
+                <open_auction>
+                  <bidder><personref person="p0"/></bidder>
+                  <quantity>2</quantity>
+                </open_auction>
+              </open_auctions>
+              <people>
+                <person id="p0"><age>30</age><name>Ann</name></person>
+                <person id="p1"><age>40</age><name>Bo</name></person>
+              </people>
+            </site>"#,
+        )
+        .unwrap();
+        db
+    }
+
+    /// Q1-shaped query: aggregate over bidder + join through bidder.
+    const Q: &str = r#"
+        FOR $p IN document("auction.xml")//person
+        FOR $o IN document("auction.xml")//open_auction
+        WHERE count($o/bidder) > 2 AND $p/age > 25
+          AND $p/@id = $o/bidder/personref/@person
+        RETURN <person name={$p/name/text()}> $o/bidder </person>"#;
+
+    #[test]
+    fn flatten_rewrite_fires_on_q1_shape() {
+        let db = db();
+        let plan = crate::compile(Q, &db).unwrap();
+        let (rewritten, changed) = flatten_rewrite(&plan);
+        assert!(changed, "the Flatten rewrite must detect Q1's double bidder access");
+        let s = rewritten.display(Some(&db)).to_string();
+        assert!(s.contains("Flatten"), "{s}");
+    }
+
+    #[test]
+    fn flatten_rewrite_preserves_results() {
+        let db = db();
+        let plan = crate::compile(Q, &db).unwrap();
+        let (rewritten, changed) = flatten_rewrite(&plan);
+        assert!(changed);
+        let a = execute_to_string(&db, &plan).unwrap();
+        let b = execute_to_string(&db, &rewritten).unwrap();
+        assert_eq!(a, b, "rewrite must not change query results");
+        assert!(a.contains("name=\"Ann\"") || a.contains("name=\"Bo\""));
+    }
+
+    #[test]
+    fn shadow_rewrite_fires_after_flatten() {
+        let db = db();
+        let plan = crate::compile(Q, &db).unwrap();
+        let (flat, _) = flatten_rewrite(&plan);
+        let (shadowed, changed) = shadow_rewrite(&flat);
+        assert!(changed, "Shadow should replace the RETURN's re-matching select");
+        let s = shadowed.display(Some(&db)).to_string();
+        assert!(s.contains("Shadow"), "{s}");
+        assert!(s.contains("Illuminate"), "{s}");
+    }
+
+    #[test]
+    fn optimize_preserves_results_and_reduces_selects() {
+        let db = db();
+        let plan = crate::compile(Q, &db).unwrap();
+        let opt = optimize(&plan);
+        let (plain_trees, plain_stats) = crate::exec::execute(&db, &plan).unwrap();
+        let (opt_trees, opt_stats) = crate::exec::execute(&db, &opt).unwrap();
+        let a = crate::output::serialize_results(&db, &plain_trees);
+        let b = crate::output::serialize_results(&db, &opt_trees);
+        assert_eq!(a, b);
+        assert!(
+            opt_stats.nodes_inspected < plain_stats.nodes_inspected,
+            "OPT plan must touch fewer nodes ({} vs {})",
+            opt_stats.nodes_inspected,
+            plain_stats.nodes_inspected
+        );
+    }
+
+    #[test]
+    fn rewrite_is_a_noop_without_redundancy() {
+        let db = db();
+        let plan = crate::compile(
+            r#"FOR $p IN document("auction.xml")//person WHERE $p/age > 25 RETURN $p/name"#,
+            &db,
+        )
+        .unwrap();
+        let (p1, c1) = flatten_rewrite(&plan);
+        assert!(!c1);
+        let (_, c2) = shadow_rewrite(&p1);
+        assert!(!c2);
+    }
+}

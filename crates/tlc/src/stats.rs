@@ -1,0 +1,56 @@
+//! Execution counters.
+//!
+//! Cheap counters threaded through matching and the operators; the ablation
+//! benches and the redundancy discussion in EXPERIMENTS.md read them to show
+//! *why* plans differ (e.g. how many pattern-match probes each algebra runs
+//! for the same query — the paper's "redundant accesses" argument).
+
+/// Counters accumulated during one plan execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Index probes performed by pattern matching (one per bound-node ×
+    /// pattern-child candidate lookup).
+    pub probes: u64,
+    /// Candidate nodes individually inspected (axis/predicate checks).
+    pub nodes_inspected: u64,
+    /// Full APT matches executed (one per Select evaluation).
+    pub pattern_matches: u64,
+    /// Trees produced by all operators combined.
+    pub trees_built: u64,
+    /// Base subtrees materialized (copied) into intermediate results —
+    /// TAX's "early materialization" cost shows up here.
+    pub subtrees_materialized: u64,
+    /// Value-join key comparisons/merge steps.
+    pub join_steps: u64,
+}
+
+impl ExecStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        ExecStats::default()
+    }
+
+    /// Adds another stats bundle into this one.
+    pub fn absorb(&mut self, other: &ExecStats) {
+        self.probes += other.probes;
+        self.nodes_inspected += other.nodes_inspected;
+        self.pattern_matches += other.pattern_matches;
+        self.trees_built += other.trees_built;
+        self.subtrees_materialized += other.subtrees_materialized;
+        self.join_steps += other.join_steps;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = ExecStats { probes: 1, nodes_inspected: 2, pattern_matches: 3, trees_built: 4, subtrees_materialized: 5, join_steps: 6 };
+        let b = a;
+        a.absorb(&b);
+        assert_eq!(a.probes, 2);
+        assert_eq!(a.join_steps, 12);
+    }
+}

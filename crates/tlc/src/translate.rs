@@ -1,0 +1,1538 @@
+//! XQuery → TLC translation (the Figure 6 algorithm).
+//!
+//! The translator walks a FLWOR block in the paper's order:
+//!
+//! 1. **FOR/LET** — each `document(...)`-rooted path opens a new pattern
+//!    tree (a Select); paths rooted at a variable extend the variable's
+//!    pattern (`addToAPT`). FOR edges are `-`, LET edges `*`. A nested FLWOR
+//!    is translated recursively and joined in later (the `NestedQuery`
+//!    procedure).
+//! 2. **WHERE** — simple predicates become APT node predicates (`-` edges);
+//!    aggregate predicates extend with `*` edges and append
+//!    Aggregate+Filter; value joins extend both sides with `-` edges and
+//!    either record a join predicate (cross-pattern), a within-tree filter
+//!    (same pattern), or a *deferred* predicate when one side refers to an
+//!    outer query's variable (Figure 8's Join 9). Quantifiers extend with
+//!    `*` and filter with EVERY / at-least-one. OR is normalized to DNF and
+//!    translated to a Union, deduplicated on the FOR variables.
+//! 3. The patterns are joined (Cartesian when no predicate applies, per the
+//!    FOR-FOR case of Figure 6), then **Project** (keep bound variables and
+//!    everything the return needs) and **NodeIDDE** on FOR variables.
+//! 4. **ORDER BY** — extension selects for key paths plus a Sort.
+//! 5. **RETURN** — extension selects with `*` edges for each return path
+//!    (the pattern-tree reuse of Selects 8/9 in Figure 7), Aggregates for
+//!    aggregate arguments, and a final Construct. For subquery blocks the
+//!    construct additionally carries *hidden* copies of the deferred join
+//!    classes and the dedup key so they "survive the project \[and\]
+//!    construct" as Figure 8 requires.
+
+use crate::error::{Error, Result};
+use crate::logical_class::{LclGen, LclId};
+use crate::ops::construct::{ConstructItem, ConstructValue};
+use crate::ops::dupelim::DedupKind;
+use crate::ops::filter::{FilterMode, FilterPred};
+use crate::ops::join::{JoinPred, JoinSpec};
+use crate::ops::sort::SortKey;
+use crate::pattern::{Apt, ContentPred, MSpec, PredValue};
+use crate::plan::Plan;
+use std::collections::HashMap;
+use xmldb::{AxisRel, Database, TagId};
+use xquery::{
+    AggFunc, Axis, Binding, BindingKind, BindingSource, CmpOp, Flwor, NodeTest, PathRoot,
+    Quantifier, ReturnExpr, SimplePath, Step, WhereExpr,
+};
+
+/// Which algebra's plan shape to generate.
+///
+/// All three styles share the same operators, executor and store, exactly
+/// like the paper's experimental setup (§6.1, all competitors implemented
+/// inside TIMBER), so measured differences reflect plan structure:
+///
+/// * [`Style::Tlc`] — the paper's contribution: annotated pattern edges,
+///   nest-joins, pattern-tree reuse via logical classes.
+/// * [`Style::Gtp`] — generalized tree patterns: one pattern match per query
+///   block with reuse, but every nested (`+`/`*`) path pays an explicit
+///   grouping procedure (split / group / merge).
+/// * [`Style::Tax`] — per-operator pattern matching: grouping procedures
+///   like GTP, plus early materialization of bound-variable subtrees and a
+///   fresh document-rooted pattern match + node-id stitch join for every
+///   RETURN path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Style {
+    /// TLC (the paper's algebra).
+    #[default]
+    Tlc,
+    /// The GTP baseline.
+    Gtp,
+    /// The TAX baseline.
+    Tax,
+}
+
+/// Translates a parsed FLWOR into a TLC-style plan.
+pub fn translate(q: &Flwor, db: &Database) -> Result<Plan> {
+    translate_with_style(q, db, Style::Tlc)
+}
+
+/// Translates a parsed FLWOR into a plan of the given style.
+pub fn translate_with_style(q: &Flwor, db: &Database, style: Style) -> Result<Plan> {
+    let q = &desugar_return_subqueries(q);
+    let disjuncts = match &q.where_expr {
+        None => vec![Vec::new()],
+        Some(w) => dnf(w),
+    };
+    if disjuncts.len() == 1 {
+        let mut t = Translator::new(db, style);
+        return Ok(t.block(q, &disjuncts[0], false)?.plan);
+    }
+    // OR: translate phase 1 per disjunct with identically-seeded label
+    // generators (bindings are processed first, so variable labels agree
+    // across branches), union the branches, then run phase 2 once.
+    let mut branches = Vec::with_capacity(disjuncts.len());
+    let mut last: Option<Translator> = None;
+    let mut max_issued = 0;
+    let mut dedup_on: Vec<LclId> = Vec::new();
+    for d in &disjuncts {
+        let mut t = Translator::new(db, style);
+        t.push_block();
+        let p1 = t.phase1(q, d, false)?;
+        dedup_on = t.current().for_var_lcls();
+        max_issued = max_issued.max(t.lcl.issued());
+        branches.push(p1);
+        last = Some(t);
+    }
+    let mut t = last.expect("at least one disjunct");
+    t.lcl = LclGen::new();
+    for _ in 0..max_issued {
+        t.lcl.fresh();
+    }
+    let union = Plan::Union { inputs: branches, dedup_on };
+    let out = t.phase2(q, union, false)?;
+    t.pop_block();
+    Ok(out.plan)
+}
+
+/// Rewrites `RETURN <nested FLWOR>` into an equivalent synthetic LET
+/// binding (`LET $__retN := <FLWOR> ... RETURN ... $__retN ...`), which the
+/// NestedQuery machinery already handles. Applied recursively to subquery
+/// bodies.
+fn desugar_return_subqueries(q: &Flwor) -> Flwor {
+    let mut q = q.clone();
+    for b in &mut q.bindings {
+        if let BindingSource::Subquery(s) = &mut b.source {
+            **s = desugar_return_subqueries(s);
+        }
+    }
+    let mut lets = Vec::new();
+    let mut counter = 0usize;
+    q.ret = desugar_ret(q.ret.clone(), &mut lets, &mut counter);
+    q.bindings.extend(lets);
+    q
+}
+
+fn desugar_ret(r: ReturnExpr, lets: &mut Vec<Binding>, counter: &mut usize) -> ReturnExpr {
+    match r {
+        ReturnExpr::Subquery(s) => {
+            let var = format!("__ret{counter}");
+            *counter += 1;
+            let inner = desugar_return_subqueries(&s);
+            lets.push(Binding {
+                kind: BindingKind::Let,
+                var: var.clone(),
+                source: BindingSource::Subquery(Box::new(inner)),
+            });
+            ReturnExpr::Path(SimplePath::var(&var))
+        }
+        ReturnExpr::Element { tag, attrs, children } => ReturnExpr::Element {
+            tag,
+            attrs,
+            children: children.into_iter().map(|c| desugar_ret(c, lets, counter)).collect(),
+        },
+        other => other,
+    }
+}
+
+/// Disjunctive normal form of a WHERE expression.
+fn dnf(w: &WhereExpr) -> Vec<Vec<WhereExpr>> {
+    match w {
+        WhereExpr::Or(a, b) => {
+            let mut out = dnf(a);
+            out.extend(dnf(b));
+            out
+        }
+        WhereExpr::And(a, b) => {
+            let left = dnf(a);
+            let right = dnf(b);
+            let mut out = Vec::with_capacity(left.len() * right.len());
+            for l in &left {
+                for r in &right {
+                    let mut c = l.clone();
+                    c.extend(r.iter().cloned());
+                    out.push(c);
+                }
+            }
+            out
+        }
+        leaf => vec![vec![leaf.clone()]],
+    }
+}
+
+/// Output of translating one block.
+pub struct BlockOut {
+    /// The block's plan.
+    pub plan: Plan,
+    /// Construct mapping for subquery resolution.
+    pub ret_map: RetMap,
+    /// Deferred predicates to be applied by the enclosing block's join.
+    pub deferred: Vec<JoinPred>,
+    /// Class to deduplicate right matches on (the block's first FOR var).
+    pub dedup_lcl: Option<LclId>,
+    /// LET vs FOR determines the outer join's right matching spec.
+    pub kind: BindingKind,
+}
+
+/// Maps step names of a subquery variable's paths onto the classes of the
+/// subquery's constructed output.
+#[derive(Debug, Clone, Default)]
+pub struct RetMap {
+    /// Class of the constructed root element.
+    pub root_lcl: Option<LclId>,
+    /// Tag of the constructed root element (so `$a/mya` resolves to the
+    /// roots themselves when the subquery constructs `<mya>`).
+    pub root_tag: Option<String>,
+    /// `tag name → class` for the root element's children.
+    pub children: HashMap<String, LclId>,
+}
+
+/// One pattern tree under construction plus its post-select operator chain.
+struct SelectBuild {
+    apt: Apt,
+    post: Vec<PostOp>,
+}
+
+enum PostOp {
+    Aggregate { func: AggFunc, over: LclId, new_lcl: LclId },
+    Filter { lcl: LclId, pred: FilterPred, mode: FilterMode },
+    /// Baseline styles only: the grouping procedure.
+    GroupBy { by: LclId, collect: LclId },
+}
+
+/// A translated subquery waiting to be joined in.
+struct SubBuild {
+    out: BlockOut,
+}
+
+#[derive(Clone)]
+enum VarBinding {
+    /// Bound to a pattern node of select `select` in its block.
+    Pattern { select: usize, lcl: LclId, kind: BindingKind },
+    /// Bound to a subquery's constructed output.
+    Sub { sub: usize },
+}
+
+#[derive(Default)]
+struct BlockState {
+    selects: Vec<SelectBuild>,
+    subs: Vec<SubBuild>,
+    vars: HashMap<String, VarBinding>,
+    var_order: Vec<String>,
+    /// Join predicates between two selects of this block:
+    /// (left select, left lcl, op, right select, right lcl).
+    join_preds: Vec<(usize, LclId, CmpOp, usize, LclId)>,
+    /// Predicates deferred to the enclosing block (this block is a sub):
+    /// (outer lcl, op, inner lcl).
+    deferred: Vec<JoinPred>,
+    /// Filters/aggregates to apply after all joins of this block.
+    post_join: Vec<PostOp>,
+}
+
+impl BlockState {
+    fn for_var_lcls(&self) -> Vec<LclId> {
+        self.var_order
+            .iter()
+            .filter_map(|v| match &self.vars[v] {
+                VarBinding::Pattern { lcl, kind: BindingKind::For, .. } => Some(*lcl),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn all_pattern_var_lcls(&self) -> Vec<LclId> {
+        self.var_order
+            .iter()
+            .filter_map(|v| match &self.vars[v] {
+                VarBinding::Pattern { lcl, .. } => Some(*lcl),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+struct Translator<'a> {
+    db: &'a Database,
+    lcl: LclGen,
+    blocks: Vec<BlockState>,
+    style: Style,
+}
+
+/// Where a path resolved to.
+enum Resolved {
+    /// A pattern node: (block index, select index, class).
+    Pattern { block: usize, select: usize, lcl: LclId },
+    /// A class of a subquery's constructed output.
+    SubMapped { lcl: LclId },
+}
+
+impl<'a> Translator<'a> {
+    fn new(db: &'a Database, style: Style) -> Self {
+        Translator { db, lcl: LclGen::new(), blocks: Vec::new(), style }
+    }
+
+    /// The class a pattern-bound variable's own node carries.
+    fn var_pattern_lcl(&self, name: &str) -> Option<LclId> {
+        self.blocks.iter().rev().find_map(|b| match b.vars.get(name) {
+            Some(VarBinding::Pattern { lcl, .. }) => Some(*lcl),
+            _ => None,
+        })
+    }
+
+    /// True when grouped matches must pay the baseline grouping procedure.
+    fn needs_grouping(&self) -> bool {
+        self.style != Style::Tlc
+    }
+
+    fn push_block(&mut self) {
+        self.blocks.push(BlockState::default());
+    }
+
+    fn pop_block(&mut self) {
+        self.blocks.pop();
+    }
+
+    fn current(&self) -> &BlockState {
+        self.blocks.last().expect("inside a block")
+    }
+
+    fn tag_of(&self, test: &NodeTest) -> Result<TagId> {
+        match test {
+            NodeTest::Tag(t) => Ok(self.db.interner().intern(t)),
+            NodeTest::Attribute(a) => Ok(self.db.interner().intern(&format!("@{a}"))),
+            NodeTest::Text => Err(Error::Unsupported("text() in a non-final position".into())),
+        }
+    }
+
+    fn axis_of(a: Axis) -> AxisRel {
+        match a {
+            Axis::Child => AxisRel::Child,
+            Axis::Descendant => AxisRel::Descendant,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Block translation
+    // ------------------------------------------------------------------
+
+    fn block(&mut self, q: &Flwor, conjuncts: &[WhereExpr], as_sub: bool) -> Result<BlockOut> {
+        self.push_block();
+        let p1 = self.phase1(q, conjuncts, as_sub)?;
+        let out = self.phase2(q, p1, as_sub)?;
+        self.pop_block();
+        Ok(out)
+    }
+
+    /// Bindings + WHERE + joins + post-join ops + Project + NodeIDDE.
+    fn phase1(&mut self, q: &Flwor, conjuncts: &[WhereExpr], as_sub: bool) -> Result<Plan> {
+        for b in &q.bindings {
+            self.bind(b)?;
+        }
+        for c in conjuncts {
+            self.conjunct(c)?;
+        }
+        self.assemble(as_sub)
+    }
+
+    /// ORDER BY + RETURN.
+    fn phase2(&mut self, q: &Flwor, mut plan: Plan, as_sub: bool) -> Result<BlockOut> {
+        if let Some(ob) = &q.order_by {
+            if as_sub {
+                return Err(Error::Unsupported("ORDER BY inside a subquery".into()));
+            }
+            let mut keys = Vec::with_capacity(ob.keys.len());
+            for key_path in &ob.keys {
+                let (p, lcl) = self.return_path(plan, key_path, MSpec::Opt)?;
+                plan = p;
+                keys.push(SortKey { lcl, descending: ob.descending });
+            }
+            plan = Plan::Sort { input: Box::new(plan), keys };
+        }
+        let (mut plan, mut items, ret_map) = self.process_return(plan, &q.ret)?;
+        let block = self.blocks.last().expect("inside a block");
+        let deferred = block.deferred.clone();
+        let dedup_lcl = block.for_var_lcls().first().copied();
+        if as_sub {
+            // Hidden survivors for the enclosing join (Figure 8).
+            let mut hidden: Vec<LclId> = deferred.iter().map(|d| d.right).collect();
+            hidden.extend(dedup_lcl);
+            hidden.sort_unstable();
+            hidden.dedup();
+            let Some(ConstructItem::Element { children, .. }) = items.first_mut() else {
+                return Err(Error::Unsupported(
+                    "a subquery's RETURN must be an element constructor".into(),
+                ));
+            };
+            for h in hidden {
+                children.push(ConstructItem::LclRef { lcl: h, hidden: true });
+            }
+        }
+        plan = Plan::Construct { input: Box::new(plan), spec: items };
+        Ok(BlockOut { plan, ret_map, deferred, dedup_lcl, kind: BindingKind::For })
+    }
+
+    // ------------------------------------------------------------------
+    // Bindings
+    // ------------------------------------------------------------------
+
+    fn bind(&mut self, b: &Binding) -> Result<()> {
+        match &b.source {
+            BindingSource::Path(path) => {
+                let mspec = match b.kind {
+                    BindingKind::For => MSpec::One,
+                    BindingKind::Let => MSpec::Star,
+                };
+                match &path.root {
+                    PathRoot::Document(doc) => {
+                        let root_lcl = self.lcl.fresh();
+                        let apt = Apt::for_document(doc.clone(), root_lcl);
+                        let block = self.blocks.len() - 1;
+                        self.blocks[block].selects.push(SelectBuild { apt, post: Vec::new() });
+                        let select = self.blocks[block].selects.len() - 1;
+                        let lcl = self.add_steps(block, select, None, &path.steps, mspec, None)?;
+                        let lcl = lcl.unwrap_or(root_lcl);
+                        if b.kind == BindingKind::Let && lcl != root_lcl && self.needs_grouping() {
+                            self.blocks[block].selects[select]
+                                .post
+                                .push(PostOp::GroupBy { by: root_lcl, collect: lcl });
+                        }
+                        self.blocks[block].vars.insert(
+                            b.var.clone(),
+                            VarBinding::Pattern { select, lcl, kind: b.kind },
+                        );
+                        if !self.blocks[block].var_order.contains(&b.var) {
+                            self.blocks[block].var_order.push(b.var.clone());
+                        }
+                    }
+                    PathRoot::Var(v) => {
+                        match self.resolve_var_path(path, mspec, None)? {
+                            Resolved::Pattern { block, select, lcl } => {
+                                if block != self.blocks.len() - 1 {
+                                    return Err(Error::Unsupported(format!(
+                                        "FOR/LET over outer variable ${v}"
+                                    )));
+                                }
+                                if b.kind == BindingKind::Let && self.needs_grouping() {
+                                    if let Some(by) = self.var_pattern_lcl(v) {
+                                        if by != lcl {
+                                            self.blocks[block].selects[select]
+                                                .post
+                                                .push(PostOp::GroupBy { by, collect: lcl });
+                                        }
+                                    }
+                                }
+                                self.blocks[block].vars.insert(
+                                    b.var.clone(),
+                                    VarBinding::Pattern { select, lcl, kind: b.kind },
+                                );
+                                if !self.blocks[block].var_order.contains(&b.var) {
+                                    self.blocks[block].var_order.push(b.var.clone());
+                                }
+                            }
+                            Resolved::SubMapped { .. } => {
+                                return Err(Error::Unsupported(
+                                    "FOR/LET over a subquery variable's path".into(),
+                                ))
+                            }
+                        }
+                    }
+                }
+            }
+            BindingSource::Subquery(sub) => {
+                if b.kind == BindingKind::For {
+                    return Err(Error::Unsupported(
+                        "FOR over a nested FLWOR (use LET; the workload's nested \
+                         queries are LET-bound)"
+                            .into(),
+                    ));
+                }
+                let disjuncts = match &sub.where_expr {
+                    None => vec![Vec::new()],
+                    Some(w) => {
+                        let d = dnf(w);
+                        if d.len() > 1 {
+                            return Err(Error::Unsupported("OR inside a subquery".into()));
+                        }
+                        d
+                    }
+                };
+                let mut out = self.block(sub, &disjuncts[0], true)?;
+                out.kind = b.kind;
+                let block = self.blocks.len() - 1;
+                self.blocks[block].subs.push(SubBuild { out });
+                let sub_idx = self.blocks[block].subs.len() - 1;
+                self.blocks[block].vars.insert(b.var.clone(), VarBinding::Sub { sub: sub_idx });
+                if !self.blocks[block].var_order.contains(&b.var) {
+                    self.blocks[block].var_order.push(b.var.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds a step chain to a select's APT, reusing identical existing
+    /// children (`addToAPT`). Returns the leaf's class, or `None` for an
+    /// empty chain. `leaf_pred` lands on the final node.
+    fn add_steps(
+        &mut self,
+        block: usize,
+        select: usize,
+        from: Option<usize>,
+        steps: &[Step],
+        mspec: MSpec,
+        leaf_pred: Option<ContentPred>,
+    ) -> Result<Option<LclId>> {
+        let mut at = from;
+        let mut lcl = None;
+        let last = steps.len().checked_sub(1);
+        for (i, step) in steps.iter().enumerate() {
+            if step.test == NodeTest::Text {
+                // text() is handled by the caller (value access, not a node).
+                break;
+            }
+            let tag = self.tag_of(&step.test)?;
+            let axis = Self::axis_of(step.axis);
+            let pred = if Some(i) == last { leaf_pred.clone() } else { None };
+            // Reuse an identical child.
+            let apt = &self.blocks[block].selects[select].apt;
+            let existing = apt.children_of(at).find(|&c| {
+                let n = &apt.nodes[c];
+                n.tag == tag && n.axis == axis && n.mspec == mspec && n.pred == pred
+            });
+            let idx = match existing {
+                Some(c) => c,
+                None => {
+                    let fresh = self.lcl.fresh();
+                    self.blocks[block].selects[select].apt.add(at, axis, mspec, tag, pred, fresh)
+                }
+            };
+            lcl = Some(self.blocks[block].selects[select].apt.nodes[idx].lcl);
+            at = Some(idx);
+        }
+        Ok(lcl)
+    }
+
+    /// Resolves a variable-rooted path, extending the variable's pattern
+    /// when it is pattern-bound or mapping through the subquery's construct
+    /// classes when it is subquery-bound.
+    fn resolve_var_path(
+        &mut self,
+        path: &SimplePath,
+        mspec: MSpec,
+        leaf_pred: Option<ContentPred>,
+    ) -> Result<Resolved> {
+        let PathRoot::Var(v) = &path.root else {
+            return Err(Error::Unsupported("document-rooted path in this position".into()));
+        };
+        // Lexical lookup, innermost block first.
+        let Some((block, binding)) = self
+            .blocks
+            .iter()
+            .enumerate()
+            .rev()
+            .find_map(|(i, b)| b.vars.get(v).map(|vb| (i, vb.clone())))
+        else {
+            return Err(Error::UnboundVariable(v.clone()));
+        };
+        match binding {
+            VarBinding::Pattern { select, lcl, .. } => {
+                let anchor = self.blocks[block].selects[select].apt.node_with_lcl(lcl);
+                // anchor None ⇒ the variable is the pattern root itself.
+                let leaf =
+                    self.add_steps(block, select, anchor, &path.steps, mspec, leaf_pred)?;
+                Ok(Resolved::Pattern { block, select, lcl: leaf.unwrap_or(lcl) })
+            }
+            VarBinding::Sub { sub } => {
+                let map = &self.blocks[block].subs[sub].out.ret_map;
+                let steps = strip_text(&path.steps);
+                match steps.len() {
+                    0 => map
+                        .root_lcl
+                        .map(|lcl| Resolved::SubMapped { lcl })
+                        .ok_or_else(|| Error::Unsupported("subquery without a root class".into())),
+                    1 => {
+                        let NodeTest::Tag(tag) = &steps[0].test else {
+                            return Err(Error::Unsupported(
+                                "attribute step into a subquery variable".into(),
+                            ));
+                        };
+                        if let Some(&lcl) = map.children.get(tag) {
+                            return Ok(Resolved::SubMapped { lcl });
+                        }
+                        // `$a/mya` where the subquery constructs `<mya>`:
+                        // treat as the constructed roots themselves.
+                        if map.root_tag.as_deref() == Some(tag) {
+                            if let Some(lcl) = map.root_lcl {
+                                return Ok(Resolved::SubMapped { lcl });
+                            }
+                        }
+                        Err(Error::Unsupported(format!(
+                            "path ${v}/{tag} does not match the subquery's constructor"
+                        )))
+                    }
+                    _ => Err(Error::Unsupported(
+                        "multi-step path into a subquery variable".into(),
+                    )),
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // WHERE conjuncts
+    // ------------------------------------------------------------------
+
+    fn conjunct(&mut self, w: &WhereExpr) -> Result<()> {
+        match w {
+            WhereExpr::And(a, b) => {
+                self.conjunct(a)?;
+                self.conjunct(b)
+            }
+            WhereExpr::Or(..) => Err(Error::Unsupported("OR must be normalized before this point".into())),
+            WhereExpr::Comparison { path, op, value } => {
+                let pred = ContentPred { op: *op, value: PredValue::from(value) };
+                if path.steps.is_empty() || strip_text(&path.steps).is_empty() {
+                    // Predicate on the variable node itself: post-select filter.
+                    return self.add_value_filter(path, pred, FilterMode::Alo);
+                }
+                match self.resolve_var_path(path, MSpec::One, Some(pred.clone()))? {
+                    Resolved::Pattern { .. } => Ok(()), // predicate embedded in the APT
+                    Resolved::SubMapped { lcl } => {
+                        let b = self.blocks.len() - 1;
+                        self.blocks[b].post_join.push(PostOp::Filter {
+                            lcl,
+                            pred: FilterPred::Content(pred),
+                            mode: FilterMode::Alo,
+                        });
+                        Ok(())
+                    }
+                }
+            }
+            WhereExpr::AggrComparison { func, path, op, value } => {
+                let pred = ContentPred { op: *op, value: PredValue::from(value) };
+                let new_lcl = self.lcl.fresh();
+                match self.resolve_var_path(path, MSpec::Star, None)? {
+                    Resolved::Pattern { block, select, lcl } => {
+                        let grouping = self.needs_grouping().then(|| {
+                            match &path.root {
+                                PathRoot::Var(v) => self.var_pattern_lcl(v),
+                                PathRoot::Document(_) => None,
+                            }
+                        }).flatten();
+                        let post = &mut self.blocks[block].selects[select].post;
+                        if let Some(by) = grouping {
+                            if by != lcl {
+                                post.push(PostOp::GroupBy { by, collect: lcl });
+                            }
+                        }
+                        post.push(PostOp::Aggregate { func: *func, over: lcl, new_lcl });
+                        post.push(PostOp::Filter {
+                            lcl: new_lcl,
+                            pred: FilterPred::Content(pred),
+                            mode: FilterMode::Alo,
+                        });
+                        Ok(())
+                    }
+                    Resolved::SubMapped { lcl } => {
+                        let b = self.blocks.len() - 1;
+                        self.blocks[b].post_join.push(PostOp::Aggregate { func: *func, over: lcl, new_lcl });
+                        self.blocks[b].post_join.push(PostOp::Filter {
+                            lcl: new_lcl,
+                            pred: FilterPred::Content(pred),
+                            mode: FilterMode::Alo,
+                        });
+                        Ok(())
+                    }
+                }
+            }
+            WhereExpr::ValueJoin { left, op, right } => self.value_join(left, *op, right),
+            WhereExpr::Quantified { quant, var: _, path, cond_path, op, value } => {
+                let mode = match quant {
+                    Quantifier::Every => FilterMode::Every,
+                    Quantifier::Some => FilterMode::Alo,
+                };
+                let pred = ContentPred { op: *op, value: PredValue::from(value) };
+                let cond_steps = strip_text(&cond_path.steps);
+                match self.resolve_var_path(path, MSpec::Star, None)? {
+                    Resolved::Pattern { block, select, lcl } => {
+                        // Extend with the SATISFIES path (if any), then filter.
+                        let anchor = self.blocks[block].selects[select].apt.node_with_lcl(lcl);
+                        let leaf = self
+                            .add_steps(block, select, anchor, &cond_steps, MSpec::Star, None)?
+                            .unwrap_or(lcl);
+                        if self.needs_grouping() {
+                            if let PathRoot::Var(v) = &path.root {
+                                if let Some(by) = self.var_pattern_lcl(v) {
+                                    if by != leaf {
+                                        self.blocks[block].selects[select]
+                                            .post
+                                            .push(PostOp::GroupBy { by, collect: leaf });
+                                    }
+                                }
+                            }
+                        }
+                        self.blocks[block].selects[select].post.push(PostOp::Filter {
+                            lcl: leaf,
+                            pred: FilterPred::Content(pred),
+                            mode,
+                        });
+                        Ok(())
+                    }
+                    Resolved::SubMapped { lcl } => {
+                        if !cond_steps.is_empty() {
+                            return Err(Error::Unsupported(
+                                "SATISFIES path below a subquery class".into(),
+                            ));
+                        }
+                        let b = self.blocks.len() - 1;
+                        self.blocks[b].post_join.push(PostOp::Filter {
+                            lcl,
+                            pred: FilterPred::Content(pred),
+                            mode,
+                        });
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    /// A zero-step comparison (`$i > 2` style) becomes a post-select filter
+    /// on the variable's own class.
+    fn add_value_filter(&mut self, path: &SimplePath, pred: ContentPred, mode: FilterMode) -> Result<()> {
+        match self.resolve_var_path(path, MSpec::One, None)? {
+            Resolved::Pattern { block, select, lcl } => {
+                self.blocks[block].selects[select].post.push(PostOp::Filter {
+                    lcl,
+                    pred: FilterPred::Content(pred),
+                    mode,
+                });
+                Ok(())
+            }
+            Resolved::SubMapped { lcl } => {
+                let b = self.blocks.len() - 1;
+                self.blocks[b].post_join.push(PostOp::Filter {
+                    lcl,
+                    pred: FilterPred::Content(pred),
+                    mode,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// The block a variable-rooted path's variable is bound in.
+    fn var_block(&self, path: &SimplePath) -> Option<usize> {
+        let PathRoot::Var(v) = &path.root else { return None };
+        self.blocks.iter().enumerate().rev().find_map(|(i, b)| b.vars.contains_key(v).then_some(i))
+    }
+
+    fn value_join(&mut self, left: &SimplePath, op: CmpOp, right: &SimplePath) -> Result<()> {
+        let cur = self.blocks.len() - 1;
+        // A side that lives in an *outer* block feeds a deferred LET join,
+        // where matchless outer trees must survive (`*` right edge) — so the
+        // outer path extends with `?` instead of `-`.
+        let l_mspec = if self.var_block(left).is_some_and(|b| b < cur) { MSpec::Opt } else { MSpec::One };
+        let r_mspec = if self.var_block(right).is_some_and(|b| b < cur) { MSpec::Opt } else { MSpec::One };
+        let l = self.resolve_var_path(left, l_mspec, None)?;
+        let r = self.resolve_var_path(right, r_mspec, None)?;
+        match (l, r) {
+            (
+                Resolved::Pattern { block: bl, select: sl, lcl: ll },
+                Resolved::Pattern { block: br, select: sr, lcl: rl },
+            ) => {
+                if bl == cur && br == cur {
+                    if sl == sr {
+                        // Within one pattern: post-select filter comparing
+                        // the two classes.
+                        self.blocks[cur].selects[sl].post.push(PostOp::Filter {
+                            lcl: ll,
+                            pred: FilterPred::CmpLcl { op, other: rl },
+                            mode: FilterMode::Alo,
+                        });
+                    } else {
+                        self.blocks[cur].join_preds.push((sl, ll, op, sr, rl));
+                    }
+                    Ok(())
+                } else if bl < cur && br == cur {
+                    // Left side is an outer variable: defer (outer on the
+                    // left of the eventual outer⋈inner join).
+                    self.blocks[cur].deferred.push(JoinPred::value(ll, op, rl));
+                    Ok(())
+                } else if br < cur && bl == cur {
+                    self.blocks[cur].deferred.push(JoinPred::value(rl, flip(op), ll));
+                    Ok(())
+                } else {
+                    Err(Error::Unsupported("join between two outer variables".into()))
+                }
+            }
+            _ => Err(Error::Unsupported("value join involving a subquery variable".into())),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Assembly
+    // ------------------------------------------------------------------
+
+    fn chain_select(&self, select: &SelectBuild, input: Option<Plan>) -> Plan {
+        let mut plan = Plan::Select { input: input.map(Box::new), apt: select.apt.clone() };
+        for post in &select.post {
+            plan = match post {
+                PostOp::Aggregate { func, over, new_lcl } => Plan::Aggregate {
+                    input: Box::new(plan),
+                    func: *func,
+                    over: *over,
+                    new_lcl: *new_lcl,
+                },
+                PostOp::Filter { lcl, pred, mode } => Plan::Filter {
+                    input: Box::new(plan),
+                    lcl: *lcl,
+                    pred: pred.clone(),
+                    mode: *mode,
+                },
+                PostOp::GroupBy { by, collect } => {
+                    Plan::GroupBy { input: Box::new(plan), by: *by, collect: *collect }
+                }
+            };
+        }
+        plan
+    }
+
+    fn assemble(&mut self, as_sub: bool) -> Result<Plan> {
+        let cur = self.blocks.len() - 1;
+        let nselects = self.blocks[cur].selects.len();
+        if nselects == 0 {
+            return Err(Error::Unsupported("a query block needs at least one pattern".into()));
+        }
+        let mut plan = {
+            let block = &self.blocks[cur];
+            self.chain_select(&block.selects[0], None)
+        };
+        let mut joined = 1usize;
+        let mut preds = self.blocks[cur].join_preds.clone();
+        while joined < nselects {
+            let right = {
+                let block = &self.blocks[cur];
+                self.chain_select(&block.selects[joined], None)
+            };
+            // One predicate connecting the new select to the joined prefix
+            // becomes the join predicate; the rest become post filters.
+            let pick = preds.iter().position(|(sl, _, _, sr, _)| {
+                (*sr == joined && *sl < joined) || (*sl == joined && *sr < joined)
+            });
+            let pred = pick.map(|i| {
+                let (sl, ll, op, _sr, rl) = preds.remove(i);
+                if sl == joined {
+                    // New select is on the left of the source predicate.
+                    JoinPred::value(rl, flip(op), ll)
+                } else {
+                    JoinPred::value(ll, op, rl)
+                }
+            });
+            let root = self.lcl.fresh();
+            plan = Plan::Join {
+                left: Box::new(plan),
+                right: Box::new(right),
+                spec: JoinSpec { root_lcl: root, right_mspec: MSpec::One, pred, dedup_right_on: None },
+            };
+            joined += 1;
+            // Remaining predicates fully inside the joined prefix → filters.
+            let mut i = 0;
+            while i < preds.len() {
+                let (sl, ll, op, sr, rl) = preds[i];
+                if sl < joined && sr < joined {
+                    preds.remove(i);
+                    plan = Plan::Filter {
+                        input: Box::new(plan),
+                        lcl: ll,
+                        pred: FilterPred::CmpLcl { op, other: rl },
+                        mode: FilterMode::Alo,
+                    };
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        // Join in the subqueries.
+        let nsubs = self.blocks[cur].subs.len();
+        for s in 0..nsubs {
+            let (sub_plan, mut deferred, dedup, kind) = {
+                let sub = &self.blocks[cur].subs[s];
+                (sub.out.plan.clone(), sub.out.deferred.clone(), sub.out.dedup_lcl, sub.out.kind)
+            };
+            let pred = if deferred.is_empty() { None } else { Some(deferred.remove(0)) };
+            let root = self.lcl.fresh();
+            let right_mspec = match kind {
+                BindingKind::Let => MSpec::Star,
+                BindingKind::For => MSpec::One,
+            };
+            plan = Plan::Join {
+                left: Box::new(plan),
+                right: Box::new(sub_plan),
+                spec: JoinSpec { root_lcl: root, right_mspec, pred, dedup_right_on: dedup },
+            };
+            if right_mspec == MSpec::Star && self.needs_grouping() {
+                // The baselines recover the LET nesting with a grouping
+                // procedure over the outer FOR variable.
+                let by = self.blocks[cur].for_var_lcls().first().copied();
+                let collect = self.blocks[cur].subs[s].out.ret_map.root_lcl;
+                if let (Some(by), Some(collect)) = (by, collect) {
+                    plan = Plan::GroupBy { input: Box::new(plan), by, collect };
+                }
+            }
+            for extra in deferred {
+                plan = Plan::Filter {
+                    input: Box::new(plan),
+                    lcl: extra.left,
+                    pred: FilterPred::CmpLcl { op: extra.op, other: extra.right },
+                    mode: FilterMode::Alo,
+                };
+            }
+        }
+        // Post-join filters/aggregates (subquery-class predicates).
+        let post: Vec<PostOp> = std::mem::take(&mut self.blocks[cur].post_join);
+        for p in post {
+            plan = match p {
+                PostOp::Aggregate { func, over, new_lcl } => {
+                    Plan::Aggregate { input: Box::new(plan), func, over, new_lcl }
+                }
+                PostOp::Filter { lcl, pred, mode } => {
+                    Plan::Filter { input: Box::new(plan), lcl, pred, mode }
+                }
+                PostOp::GroupBy { by, collect } => {
+                    Plan::GroupBy { input: Box::new(plan), by, collect }
+                }
+            };
+        }
+        // Project + NodeIDDE.
+        let keep = self.keep_list();
+        plan = Plan::Project { input: Box::new(plan), keep };
+        if self.style == Style::Tax {
+            // TAX brings the entire subtree of every bound variable into
+            // memory right after its FOR/WHERE processing (§6.1).
+            let lcls = self.blocks[cur].all_pattern_var_lcls();
+            if !lcls.is_empty() {
+                plan = Plan::Materialize { input: Box::new(plan), lcls };
+            }
+        }
+        let mut dedup_on = self.blocks[cur].for_var_lcls();
+        if as_sub {
+            // Distinct (FOR vars, deferred join values) — see DESIGN.md on
+            // Figure 8's inner NodeIDDE.
+            dedup_on.extend(self.blocks[cur].deferred.iter().map(|d| d.right));
+        }
+        if !dedup_on.is_empty() {
+            plan = Plan::DupElim { input: Box::new(plan), on: dedup_on, kind: DedupKind::NodeId };
+        }
+        Ok(plan)
+    }
+
+    /// Classes to keep through the projection: bound variables, deferred
+    /// join values, and the classes of subquery construct output.
+    fn keep_list(&self) -> Vec<LclId> {
+        let block = self.current();
+        let mut keep = block.all_pattern_var_lcls();
+        keep.extend(block.deferred.iter().map(|d| d.right));
+        for sub in &block.subs {
+            keep.extend(sub.out.ret_map.root_lcl);
+            keep.extend(sub.out.ret_map.children.values().copied());
+        }
+        keep.sort_unstable();
+        keep.dedup();
+        keep
+    }
+
+    // ------------------------------------------------------------------
+    // RETURN
+    // ------------------------------------------------------------------
+
+    /// Adds an extension select for a return/order path; returns the leaf
+    /// class whose members the path denotes.
+    fn return_path(&mut self, plan: Plan, path: &SimplePath, mspec: MSpec) -> Result<(Plan, LclId)> {
+        match &path.root {
+            PathRoot::Document(_) => Err(Error::Unsupported("document-rooted RETURN path".into())),
+            PathRoot::Var(v) => {
+                let binding = self
+                    .blocks
+                    .iter()
+                    .rev()
+                    .find_map(|b| b.vars.get(v))
+                    .cloned()
+                    .ok_or_else(|| Error::UnboundVariable(v.clone()))?;
+                match binding {
+                    VarBinding::Pattern { lcl, .. } => {
+                        let steps = strip_text(&path.steps);
+                        if steps.is_empty() {
+                            return Ok((plan, lcl));
+                        }
+                        if self.style == Style::Tax {
+                            if let Some(out) = self.tax_return_path(plan.clone(), lcl, &steps)? {
+                                return Ok(out);
+                            }
+                        }
+                        // Fresh extension pattern anchored at the variable's
+                        // class (pattern-tree reuse, Selects 8/9 of Fig. 7).
+                        let mut apt = Apt::extending(lcl);
+                        let mut at = None;
+                        let mut leaf = lcl;
+                        for step in &steps {
+                            let tag = self.tag_of(&step.test)?;
+                            let fresh = self.lcl.fresh();
+                            at = Some(apt.add(at, Self::axis_of(step.axis), mspec, tag, None, fresh));
+                            leaf = fresh;
+                        }
+                        let mut out = Plan::Select { input: Some(Box::new(plan)), apt };
+                        if self.style == Style::Gtp {
+                            // GTP retrieves the nested return nodes through a
+                            // grouping procedure instead of a nest match.
+                            out = Plan::GroupBy { input: Box::new(out), by: lcl, collect: leaf };
+                        }
+                        Ok((out, leaf))
+                    }
+                    VarBinding::Sub { .. } => {
+                        match self.resolve_var_path(path, mspec, None)? {
+                            Resolved::SubMapped { lcl } => Ok((plan, lcl)),
+                            Resolved::Pattern { lcl, .. } => Ok((plan, lcl)),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// TAX's RETURN handling: a fresh document-rooted pattern match for the
+    /// path ("TAX will create a selection for every path"), stitched back to
+    /// the FOR/WHERE result with a node-identity join, then the grouping
+    /// procedure to cluster the matches. Returns `None` when the variable's
+    /// defining pattern is not document-rooted (falls back to the shared
+    /// extension-select code path).
+    fn tax_return_path(
+        &mut self,
+        plan: Plan,
+        var_lcl: LclId,
+        steps: &[Step],
+    ) -> Result<Option<(Plan, LclId)>> {
+        // Locate the variable's defining pattern and its root→variable chain.
+        let mut def: Option<(String, Vec<(AxisRel, TagId)>)> = None;
+        'search: for b in &self.blocks {
+            for sel in &b.selects {
+                let crate::pattern::AptRoot::Document { name, lcl: root_lcl } = &sel.apt.root
+                else {
+                    continue;
+                };
+                if *root_lcl == var_lcl {
+                    def = Some((name.clone(), Vec::new()));
+                    break 'search;
+                }
+                if let Some(idx) = sel.apt.node_with_lcl(var_lcl) {
+                    let mut chain = Vec::new();
+                    let mut cur = Some(idx);
+                    while let Some(i) = cur {
+                        let n = &sel.apt.nodes[i];
+                        chain.push((n.axis, n.tag));
+                        cur = n.parent;
+                    }
+                    chain.reverse();
+                    def = Some((name.clone(), chain));
+                    break 'search;
+                }
+            }
+        }
+        let Some((doc, chain)) = def else {
+            return Ok(None);
+        };
+        // Fresh full pattern match from the document root (no reuse).
+        let mut apt = Apt::for_document(doc, self.lcl.fresh());
+        let mut at = None;
+        for (axis, tag) in chain {
+            let fresh = self.lcl.fresh();
+            at = Some(apt.add(at, axis, MSpec::One, tag, None, fresh));
+        }
+        let cloned_var_lcl = match at {
+            Some(i) => apt.nodes[i].lcl,
+            None => apt.root_lcl(),
+        };
+        let mut leaf = cloned_var_lcl;
+        for step in steps {
+            let tag = self.tag_of(&step.test)?;
+            let fresh = self.lcl.fresh();
+            at = Some(apt.add(at, Self::axis_of(step.axis), MSpec::One, tag, None, fresh));
+            leaf = fresh;
+        }
+        let right = Plan::Select { input: None, apt };
+        let root = self.lcl.fresh();
+        let join = Plan::Join {
+            left: Box::new(plan),
+            right: Box::new(right),
+            spec: JoinSpec {
+                root_lcl: root,
+                right_mspec: MSpec::Star,
+                pred: Some(JoinPred::node_id(var_lcl, cloned_var_lcl)),
+                dedup_right_on: None,
+            },
+        };
+        let grouped = Plan::GroupBy { input: Box::new(join), by: var_lcl, collect: leaf };
+        Ok(Some((grouped, leaf)))
+    }
+
+    fn process_return(
+        &mut self,
+        plan: Plan,
+        ret: &ReturnExpr,
+    ) -> Result<(Plan, Vec<ConstructItem>, RetMap)> {
+        let mut map = RetMap::default();
+        let (plan, item) = self.return_item(plan, ret, &mut map, true)?;
+        Ok((plan, vec![item], map))
+    }
+
+    fn return_item(
+        &mut self,
+        plan: Plan,
+        ret: &ReturnExpr,
+        map: &mut RetMap,
+        top: bool,
+    ) -> Result<(Plan, ConstructItem)> {
+        match ret {
+            ReturnExpr::Text(s) => Ok((plan, ConstructItem::Text(s.clone()))),
+            ReturnExpr::Path(path) => {
+                let is_text = path.ends_in_text();
+                let (plan, lcl) = self.return_path(plan, path, MSpec::Star)?;
+                if let Some(tag) = last_tag(path) {
+                    map.children.insert(tag, lcl);
+                }
+                let item = if is_text {
+                    ConstructItem::LclText(lcl)
+                } else {
+                    ConstructItem::LclRef { lcl, hidden: false }
+                };
+                Ok((plan, item))
+            }
+            ReturnExpr::Aggr(func, path) => {
+                let (plan, over) = self.return_path(plan, path, MSpec::Star)?;
+                let new_lcl = self.lcl.fresh();
+                let plan = Plan::Aggregate { input: Box::new(plan), func: *func, over, new_lcl };
+                Ok((plan, ConstructItem::LclText(new_lcl)))
+            }
+            ReturnExpr::Element { tag, attrs, children } => {
+                let lcl = self.lcl.fresh();
+                if top {
+                    map.root_lcl = Some(lcl);
+                    map.root_tag = Some(tag.clone());
+                }
+                let mut plan = plan;
+                let mut built_attrs = Vec::with_capacity(attrs.len());
+                for (name, path) in attrs {
+                    let (p, alcl) = self.return_path(plan, path, MSpec::Star)?;
+                    plan = p;
+                    built_attrs.push((name.clone(), ConstructValue::LclText(alcl)));
+                }
+                let mut built_children = Vec::with_capacity(children.len());
+                for c in children {
+                    let (p, item) = self.return_item(plan, c, map, false)?;
+                    plan = p;
+                    if top {
+                        if let (ReturnExpr::Element { tag: ct, .. }, ConstructItem::Element { lcl: Some(cl), .. }) =
+                            (c, &item)
+                        {
+                            map.children.insert(ct.clone(), *cl);
+                        }
+                    }
+                    built_children.push(item);
+                }
+                Ok((
+                    plan,
+                    ConstructItem::Element {
+                        tag: tag.clone(),
+                        lcl: Some(lcl),
+                        attrs: built_attrs,
+                        children: built_children,
+                    },
+                ))
+            }
+            ReturnExpr::Subquery(_) => Err(Error::Unsupported(
+                "nested FLWOR in RETURN position (bind it with LET instead)".into(),
+            )),
+        }
+    }
+}
+
+fn strip_text(steps: &[Step]) -> Vec<Step> {
+    steps.iter().filter(|s| s.test != NodeTest::Text).cloned().collect()
+}
+
+fn last_tag(path: &SimplePath) -> Option<String> {
+    strip_text(&path.steps).last().map(|s| match &s.test {
+        NodeTest::Tag(t) => t.clone(),
+        NodeTest::Attribute(a) => format!("@{a}"),
+        NodeTest::Text => unreachable!("stripped"),
+    })
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Contains => CmpOp::Contains,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute_to_string;
+
+    fn small_db() -> Database {
+        let mut db = Database::new();
+        db.load_xml(
+            "auction.xml",
+            r#"<site>
+              <people>
+                <person id="person0"><name>Ann</name><age>30</age></person>
+                <person id="person1"><name>Bo</name><age>20</age></person>
+                <person id="person2"><name>Cy</name></person>
+              </people>
+              <open_auctions>
+                <open_auction id="oa0">
+                  <bidder><personref person="person0"/><increase>3.00</increase></bidder>
+                  <bidder><personref person="person1"/><increase>5.00</increase></bidder>
+                  <quantity>5</quantity>
+                </open_auction>
+                <open_auction id="oa1">
+                  <bidder><personref person="person0"/><increase>9.00</increase></bidder>
+                  <quantity>1</quantity>
+                </open_auction>
+              </open_auctions>
+            </site>"#,
+        )
+        .unwrap();
+        db
+    }
+
+    fn run(db: &Database, q: &str) -> String {
+        let plan = crate::compile(q, db).unwrap_or_else(|e| panic!("compile {q}: {e}"));
+        execute_to_string(db, &plan).unwrap_or_else(|e| panic!("execute {q}: {e}"))
+    }
+
+    #[test]
+    fn simple_for_return_path() {
+        let db = small_db();
+        let out = run(&db, r#"FOR $p IN document("auction.xml")//person RETURN $p/name"#);
+        assert_eq!(out, "<name>Ann</name>\n<name>Bo</name>\n<name>Cy</name>");
+    }
+
+    #[test]
+    fn where_predicate_filters() {
+        let db = small_db();
+        let out = run(
+            &db,
+            r#"FOR $p IN document("auction.xml")//person WHERE $p/age > 25 RETURN $p/name"#,
+        );
+        assert_eq!(out, "<name>Ann</name>");
+    }
+
+    #[test]
+    fn attribute_equality_predicate() {
+        let db = small_db();
+        let out = run(
+            &db,
+            r#"FOR $p IN document("auction.xml")//person WHERE $p/@id = "person1" RETURN $p/name"#,
+        );
+        assert_eq!(out, "<name>Bo</name>");
+    }
+
+    #[test]
+    fn aggregate_predicate() {
+        let db = small_db();
+        let out = run(
+            &db,
+            r#"FOR $o IN document("auction.xml")//open_auction
+               WHERE count($o/bidder) > 1 RETURN $o/quantity"#,
+        );
+        assert_eq!(out, "<quantity>5</quantity>");
+    }
+
+    #[test]
+    fn aggregate_in_return() {
+        let db = small_db();
+        let out = run(
+            &db,
+            r#"FOR $o IN document("auction.xml")//open_auction
+               RETURN <n>{count($o/bidder)}</n>"#,
+        );
+        assert_eq!(out, "<n>2</n>\n<n>1</n>");
+    }
+
+    #[test]
+    fn constructor_with_attribute() {
+        let db = small_db();
+        let out = run(
+            &db,
+            r#"FOR $p IN document("auction.xml")//person
+               WHERE $p/age > 25
+               RETURN <res name={$p/name/text()}>{$p/age}</res>"#,
+        );
+        assert_eq!(out, "<res name=\"Ann\"><age>30</age></res>");
+    }
+
+    #[test]
+    fn value_join_between_patterns() {
+        let db = small_db();
+        let out = run(
+            &db,
+            r#"FOR $p IN document("auction.xml")//person
+               FOR $o IN document("auction.xml")//open_auction
+               WHERE $p/@id = $o/bidder//@person AND $p/age > 25
+               RETURN <hit>{$p/name}</hit>"#,
+        );
+        // Ann (person0) bids on both auctions; after NodeIDDE each (p,o)
+        // pair appears once → two hits for Ann, none for Bo (age 20).
+        assert_eq!(out, "<hit><name>Ann</name></hit>\n<hit><name>Ann</name></hit>");
+    }
+
+    #[test]
+    fn paper_q1_runs() {
+        let db = small_db();
+        let out = run(
+            &db,
+            r#"FOR $p IN document("auction.xml")//person
+               FOR $o IN document("auction.xml")//open_auction
+               WHERE count($o/bidder) > 1 AND $p/age > 25
+                 AND $p/@id = $o/bidder//@person
+               RETURN <person name={$p/name/text()}> $o/bidder </person>"#,
+        );
+        // Only oa0 has >1 bidders; Ann (30) bid there → one result with
+        // both bidder subtrees clustered.
+        assert_eq!(out.matches("<person name=\"Ann\">").count(), 1);
+        assert_eq!(out.matches("<bidder>").count(), 2);
+    }
+
+    #[test]
+    fn order_by_sorts_results() {
+        let db = small_db();
+        let out = run(
+            &db,
+            r#"FOR $p IN document("auction.xml")//person
+               ORDER BY $p/name DESCENDING RETURN $p/name"#,
+        );
+        assert_eq!(out, "<name>Cy</name>\n<name>Bo</name>\n<name>Ann</name>");
+    }
+
+    #[test]
+    fn or_translates_to_union() {
+        let db = small_db();
+        let out = run(
+            &db,
+            r#"FOR $p IN document("auction.xml")//person
+               WHERE $p/@id = "person0" OR $p/age < 25
+               RETURN $p/name"#,
+        );
+        assert_eq!(out, "<name>Ann</name>\n<name>Bo</name>");
+    }
+
+    #[test]
+    fn or_branches_dedup_common_matches() {
+        let db = small_db();
+        let out = run(
+            &db,
+            r#"FOR $p IN document("auction.xml")//person
+               WHERE $p/age > 25 OR $p/@id = "person0"
+               RETURN $p/name"#,
+        );
+        assert_eq!(out, "<name>Ann</name>", "Ann satisfies both branches but appears once");
+    }
+
+    #[test]
+    fn let_subquery_with_deferred_join() {
+        let db = small_db();
+        let out = run(
+            &db,
+            r#"FOR $p IN document("auction.xml")//person
+               LET $a := FOR $o IN document("auction.xml")//open_auction
+                         WHERE $p/@id = $o/bidder//@person
+                         RETURN <mya>{$o/quantity/text()}</mya>
+               WHERE $p/age > 25
+               RETURN <res name={$p/name/text()}>{$a/mya}</res>"#,
+        );
+        // Ann matched both auctions → two <mya> nested; quantities 5 and 1.
+        assert_eq!(out.matches("<mya>").count(), 2);
+        assert!(out.starts_with("<res name=\"Ann\">"));
+    }
+
+    #[test]
+    fn paper_q2_runs() {
+        let db = small_db();
+        let out = run(
+            &db,
+            r#"FOR $p IN document("auction.xml")//person
+               LET $a := FOR $o IN document("auction.xml")//open_auction
+                         WHERE count($o/bidder) > 1
+                           AND $p/@id = $o/bidder//@person
+                         RETURN <myauction> {$o/bidder}
+                                  <myquan>{$o/quantity/text()}</myquan>
+                                </myauction>
+               WHERE $p/age > 25
+                 AND EVERY $i IN $a/myquan SATISFIES $i > 2
+               RETURN <person name={$p/name/text()}>{$a/bidder}</person>"#,
+        );
+        // Ann: only oa0 qualifies (2 bidders, quantity 5 > 2) → 2 bidders.
+        // Bo fails age; Cy has no bids but EVERY over empty passes — yet
+        // age predicate (required `-` edge) already dropped Cy.
+        assert_eq!(out.matches("name=\"Ann\"").count(), 1);
+        assert_eq!(out.matches("<bidder>").count(), 2);
+        assert!(!out.contains("Bo") && !out.contains("Cy"));
+    }
+
+    #[test]
+    fn every_quantifier_on_pattern_path() {
+        let db = small_db();
+        let out = run(
+            &db,
+            r#"FOR $o IN document("auction.xml")//open_auction
+               WHERE EVERY $i IN $o/bidder/increase SATISFIES $i > 4
+               RETURN $o/quantity"#,
+        );
+        // oa0 has increases 3, 5 → fails; oa1 has 9 → passes.
+        assert_eq!(out, "<quantity>1</quantity>");
+    }
+
+    #[test]
+    fn contains_predicate() {
+        let db = small_db();
+        let out = run(
+            &db,
+            r#"FOR $p IN document("auction.xml")//person
+               WHERE contains($p/name, "n") RETURN $p/name"#,
+        );
+        assert_eq!(out, "<name>Ann</name>");
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let db = small_db();
+        assert!(matches!(
+            crate::compile("FOR $p IN $nope//x RETURN $p", &db),
+            Err(Error::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn let_path_binding_clusters() {
+        let db = small_db();
+        let out = run(
+            &db,
+            r#"FOR $o IN document("auction.xml")//open_auction
+               LET $b := $o/bidder
+               RETURN <n>{count($b)}</n>"#,
+        );
+        assert_eq!(out, "<n>2</n>\n<n>1</n>");
+    }
+
+    #[test]
+    fn plan_shape_matches_figure_7() {
+        // Q1's plan: two document selects, one join, project, dedup, two
+        // extension selects, one construct (+ aggregate/filter for count).
+        let db = small_db();
+        let plan = crate::compile(
+            r#"FOR $p IN document("auction.xml")//person
+               FOR $o IN document("auction.xml")//open_auction
+               WHERE count($o/bidder) > 1 AND $p/age > 25
+                 AND $p/@id = $o/bidder//@person
+               RETURN <person name={$p/name/text()}> $o/bidder </person>"#,
+            &db,
+        )
+        .unwrap();
+        assert_eq!(plan.select_count(), 4, "2 base selects + 2 return extension selects");
+        let rendered = plan.display(Some(&db)).to_string();
+        assert!(rendered.contains("Join"), "{rendered}");
+        assert!(rendered.contains("Aggregate[count"), "{rendered}");
+        assert!(rendered.contains("DupElim"), "{rendered}");
+    }
+
+    #[test]
+    fn styles_produce_identical_results() {
+        let db = small_db();
+        for q in [
+            r#"FOR $p IN document("auction.xml")//person WHERE $p/age > 25 RETURN $p/name"#,
+            r#"FOR $o IN document("auction.xml")//open_auction
+               WHERE count($o/bidder) > 1 RETURN <n>{count($o/bidder)}</n>"#,
+            r#"FOR $p IN document("auction.xml")//person
+               FOR $o IN document("auction.xml")//open_auction
+               WHERE count($o/bidder) > 1 AND $p/age > 25
+                 AND $p/@id = $o/bidder//@person
+               RETURN <person name={$p/name/text()}> $o/bidder </person>"#,
+            r#"FOR $p IN document("auction.xml")//person
+               LET $a := FOR $o IN document("auction.xml")//open_auction
+                         WHERE $p/@id = $o/bidder//@person
+                         RETURN <mya>{$o/quantity/text()}</mya>
+               WHERE $p/age > 25
+               RETURN <res name={$p/name/text()}>{$a/mya}</res>"#,
+        ] {
+            let tlc_out = {
+                let plan = crate::compile_with_style(q, &db, Style::Tlc).unwrap();
+                execute_to_string(&db, &plan).unwrap()
+            };
+            for style in [Style::Gtp, Style::Tax] {
+                let plan = crate::compile_with_style(q, &db, style)
+                    .unwrap_or_else(|e| panic!("{style:?} compile: {e}"));
+                let out = execute_to_string(&db, &plan)
+                    .unwrap_or_else(|e| panic!("{style:?} execute: {e}"));
+                assert_eq!(out, tlc_out, "{style:?} differs on {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn tax_plans_use_materialize_and_stitch_joins() {
+        let db = small_db();
+        let q = r#"FOR $p IN document("auction.xml")//person WHERE $p/age > 25 RETURN $p/name"#;
+        let plan = crate::compile_with_style(q, &db, Style::Tax).unwrap();
+        let s = plan.display(Some(&db)).to_string();
+        assert!(s.contains("Materialize"), "{s}");
+        assert!(s.contains("GroupBy"), "{s}");
+        assert!(s.contains("NodeId"), "{s}");
+        // TAX re-matches the return path from the document root and
+        // materializes subtrees: strictly more data touched than TLC.
+        let (_, tax_stats) = crate::execute(&db, &plan).unwrap();
+        let tlc_plan = crate::compile(q, &db).unwrap();
+        let (_, tlc_stats) = crate::execute(&db, &tlc_plan).unwrap();
+        assert!(
+            tax_stats.nodes_inspected > tlc_stats.nodes_inspected,
+            "TAX {} vs TLC {}",
+            tax_stats.nodes_inspected,
+            tlc_stats.nodes_inspected
+        );
+        assert!(tax_stats.subtrees_materialized > 0);
+    }
+
+    #[test]
+    fn gtp_plans_use_grouping_but_reuse_patterns() {
+        let db = small_db();
+        let q = r#"FOR $o IN document("auction.xml")//open_auction
+                   WHERE count($o/bidder) > 1 RETURN $o/quantity"#;
+        let tlc_plan = crate::compile(q, &db).unwrap();
+        let gtp_plan = crate::compile_with_style(q, &db, Style::Gtp).unwrap();
+        assert_eq!(gtp_plan.select_count(), tlc_plan.select_count(), "GTP reuses matches");
+        assert!(gtp_plan.display(Some(&db)).to_string().contains("GroupBy"));
+        assert!(!tlc_plan.display(Some(&db)).to_string().contains("GroupBy"));
+    }
+}

@@ -1,0 +1,750 @@
+//! The XMark document generator.
+
+use crate::words::{pick, sentence, FIRST_NAMES, LAST_NAMES, LOCATIONS};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xmldb::{Database, DocId, Document, DocumentBuilder, Result, TagId, TagInterner};
+
+/// Default RNG seed; all evaluation runs use it so that every engine sees the
+/// same data.
+pub const DEFAULT_SEED: u64 = 0x7132_0040; // "TLC 2004"
+
+/// Element/attribute population sizes produced for a scale factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleStats {
+    /// Number of `person` elements.
+    pub persons: u32,
+    /// Number of `open_auction` elements.
+    pub open_auctions: u32,
+    /// Number of `closed_auction` elements.
+    pub closed_auctions: u32,
+    /// Number of `item` elements (across all six regions).
+    pub items: u32,
+    /// Number of `category` elements.
+    pub categories: u32,
+}
+
+impl ScaleStats {
+    /// The XMark factor-1 populations, scaled linearly and clamped to small
+    /// minimums so tiny factors still produce a queryable document.
+    pub fn for_factor(factor: f64) -> ScaleStats {
+        let s = |base: f64, min: u32| ((base * factor).round() as u32).max(min);
+        ScaleStats {
+            persons: s(25_500.0, 12),
+            open_auctions: s(12_000.0, 8),
+            closed_auctions: s(9_750.0, 8),
+            items: s(21_750.0, 12),
+            categories: s(1_000.0, 4),
+        }
+    }
+}
+
+/// The six XMark region names.
+pub const REGIONS: &[&str] = &["africa", "asia", "australia", "europe", "namerica", "samerica"];
+
+/// Generates an XMark document with the given name, factor and seed.
+pub fn generate(name: &str, factor: f64, seed: u64, interner: &TagInterner) -> Result<Document> {
+    let stats = ScaleStats::for_factor(factor);
+    let mut g = Gen { rng: StdRng::seed_from_u64(seed), tags: Tags::new(interner), stats };
+    let mut b = DocumentBuilder::new(name, interner);
+    g.site(&mut b, interner)?;
+    b.finish()
+}
+
+/// Generates an XMark document and inserts it into `db`.
+pub fn generate_into(db: &mut Database, name: &str, factor: f64, seed: u64) -> Result<DocId> {
+    let doc = generate(name, factor, seed, db.interner())?;
+    db.insert(doc)
+}
+
+/// All tags the generator emits, interned once up front.
+struct Tags {
+    site: TagId,
+    regions: TagId,
+    region: Vec<TagId>,
+    item: TagId,
+    location: TagId,
+    quantity: TagId,
+    name: TagId,
+    payment: TagId,
+    description: TagId,
+    text: TagId,
+    keyword: TagId,
+    bold: TagId,
+    emph: TagId,
+    parlist: TagId,
+    listitem: TagId,
+    shipping: TagId,
+    incategory: TagId,
+    at_category: TagId,
+    mailbox: TagId,
+    mail: TagId,
+    from: TagId,
+    to: TagId,
+    date: TagId,
+    categories: TagId,
+    category: TagId,
+    catgraph: TagId,
+    edge: TagId,
+    at_from: TagId,
+    at_to: TagId,
+    people: TagId,
+    person: TagId,
+    at_id: TagId,
+    emailaddress: TagId,
+    phone: TagId,
+    address: TagId,
+    street: TagId,
+    city: TagId,
+    country: TagId,
+    zipcode: TagId,
+    homepage: TagId,
+    creditcard: TagId,
+    age: TagId,
+    profile: TagId,
+    at_income: TagId,
+    interest: TagId,
+    education: TagId,
+    gender: TagId,
+    business: TagId,
+    watches: TagId,
+    watch: TagId,
+    at_open_auction: TagId,
+    open_auctions: TagId,
+    open_auction: TagId,
+    initial: TagId,
+    reserve: TagId,
+    bidder: TagId,
+    time: TagId,
+    personref: TagId,
+    at_person: TagId,
+    increase: TagId,
+    current: TagId,
+    privacy: TagId,
+    itemref: TagId,
+    at_item: TagId,
+    seller: TagId,
+    annotation: TagId,
+    author: TagId,
+    happiness: TagId,
+    type_: TagId,
+    interval: TagId,
+    start: TagId,
+    end: TagId,
+    closed_auctions: TagId,
+    closed_auction: TagId,
+    buyer: TagId,
+    price: TagId,
+}
+
+impl Tags {
+    fn new(i: &TagInterner) -> Tags {
+        Tags {
+            site: i.intern("site"),
+            regions: i.intern("regions"),
+            region: REGIONS.iter().map(|r| i.intern(r)).collect(),
+            item: i.intern("item"),
+            location: i.intern("location"),
+            quantity: i.intern("quantity"),
+            name: i.intern("name"),
+            payment: i.intern("payment"),
+            description: i.intern("description"),
+            text: i.intern("text"),
+            keyword: i.intern("keyword"),
+            bold: i.intern("bold"),
+            emph: i.intern("emph"),
+            parlist: i.intern("parlist"),
+            listitem: i.intern("listitem"),
+            shipping: i.intern("shipping"),
+            incategory: i.intern("incategory"),
+            at_category: i.intern("@category"),
+            mailbox: i.intern("mailbox"),
+            mail: i.intern("mail"),
+            from: i.intern("from"),
+            to: i.intern("to"),
+            date: i.intern("date"),
+            categories: i.intern("categories"),
+            category: i.intern("category"),
+            catgraph: i.intern("catgraph"),
+            edge: i.intern("edge"),
+            at_from: i.intern("@from"),
+            at_to: i.intern("@to"),
+            people: i.intern("people"),
+            person: i.intern("person"),
+            at_id: i.intern("@id"),
+            emailaddress: i.intern("emailaddress"),
+            phone: i.intern("phone"),
+            address: i.intern("address"),
+            street: i.intern("street"),
+            city: i.intern("city"),
+            country: i.intern("country"),
+            zipcode: i.intern("zipcode"),
+            homepage: i.intern("homepage"),
+            creditcard: i.intern("creditcard"),
+            age: i.intern("age"),
+            profile: i.intern("profile"),
+            at_income: i.intern("@income"),
+            interest: i.intern("interest"),
+            education: i.intern("education"),
+            gender: i.intern("gender"),
+            business: i.intern("business"),
+            watches: i.intern("watches"),
+            watch: i.intern("watch"),
+            at_open_auction: i.intern("@open_auction"),
+            open_auctions: i.intern("open_auctions"),
+            open_auction: i.intern("open_auction"),
+            initial: i.intern("initial"),
+            reserve: i.intern("reserve"),
+            bidder: i.intern("bidder"),
+            time: i.intern("time"),
+            personref: i.intern("personref"),
+            at_person: i.intern("@person"),
+            increase: i.intern("increase"),
+            current: i.intern("current"),
+            privacy: i.intern("privacy"),
+            itemref: i.intern("itemref"),
+            at_item: i.intern("@item"),
+            seller: i.intern("seller"),
+            annotation: i.intern("annotation"),
+            author: i.intern("author"),
+            happiness: i.intern("happiness"),
+            type_: i.intern("type"),
+            interval: i.intern("interval"),
+            start: i.intern("start"),
+            end: i.intern("end"),
+            closed_auctions: i.intern("closed_auctions"),
+            closed_auction: i.intern("closed_auction"),
+            buyer: i.intern("buyer"),
+            price: i.intern("price"),
+        }
+    }
+}
+
+struct Gen {
+    rng: StdRng,
+    tags: Tags,
+    stats: ScaleStats,
+}
+
+impl Gen {
+    fn site(&mut self, b: &mut DocumentBuilder, i: &TagInterner) -> Result<()> {
+        b.start_element(self.tags.site);
+        self.regions(b, i)?;
+        self.categories(b, i)?;
+        self.catgraph(b)?;
+        self.people(b, i)?;
+        self.open_auctions(b, i)?;
+        self.closed_auctions(b, i)?;
+        b.end_element()?;
+        Ok(())
+    }
+
+    fn date(&mut self) -> String {
+        format!(
+            "{:02}/{:02}/{}",
+            self.rng.random_range(1..=12u32),
+            self.rng.random_range(1..=28u32),
+            self.rng.random_range(1998..=2004u32)
+        )
+    }
+
+    fn money(&mut self, max: f64) -> String {
+        format!("{:.2}", self.rng.random_range(0.0..max))
+    }
+
+    fn person_ref(&mut self) -> String {
+        format!("person{}", self.rng.random_range(0..self.stats.persons))
+    }
+
+    fn item_ref(&mut self) -> String {
+        format!("item{}", self.rng.random_range(0..self.stats.items))
+    }
+
+    fn category_ref(&mut self) -> String {
+        format!("category{}", self.rng.random_range(0..self.stats.categories))
+    }
+
+    /// A `text` element. Like XMark's, it sometimes carries mixed content:
+    /// character runs interleaved with inline `keyword` / `bold` / `emph`
+    /// elements — one of the heterogeneity sources real XML brings.
+    fn text_element(&mut self, b: &mut DocumentBuilder, i: &TagInterner, words: usize) -> Result<()> {
+        if self.rng.random_range(0..100) < 70 {
+            let s = sentence(&mut self.rng, words, 12);
+            b.leaf(self.tags.text, &s, i);
+            return Ok(());
+        }
+        b.start_element(self.tags.text);
+        let head = sentence(&mut self.rng, words.max(2) / 2, 12);
+        b.text(&head, i);
+        let inline = [self.tags.keyword, self.tags.bold, self.tags.emph]
+            [self.rng.random_range(0..3)];
+        let marked = sentence(&mut self.rng, 1 + words / 4, 6);
+        b.leaf(inline, &marked, i);
+        let tail = sentence(&mut self.rng, words.max(2) / 2, 12);
+        b.text(&tail, i);
+        b.end_element()?;
+        Ok(())
+    }
+
+    /// `description` element: either a single `text` child or a recursive
+    /// `parlist`. `parlist_p` is the probability (in percent) of recursing.
+    fn description(
+        &mut self,
+        b: &mut DocumentBuilder,
+        i: &TagInterner,
+        parlist_p: u32,
+        depth: u32,
+    ) -> Result<()> {
+        b.start_element(self.tags.description);
+        if depth > 0 && self.rng.random_range(0..100) < parlist_p {
+            self.parlist(b, i, depth)?;
+        } else {
+            let words = self.rng.random_range(4..14);
+            self.text_element(b, i, words)?;
+        }
+        b.end_element()?;
+        Ok(())
+    }
+
+    fn parlist(&mut self, b: &mut DocumentBuilder, i: &TagInterner, depth: u32) -> Result<()> {
+        b.start_element(self.tags.parlist);
+        let items = self.rng.random_range(1..=3);
+        for _ in 0..items {
+            b.start_element(self.tags.listitem);
+            if depth > 1 && self.rng.random_range(0..100) < 55 {
+                self.parlist(b, i, depth - 1)?;
+            } else {
+                let words = self.rng.random_range(3..10);
+                self.text_element(b, i, words)?;
+            }
+            b.end_element()?;
+        }
+        b.end_element()?;
+        Ok(())
+    }
+
+    fn regions(&mut self, b: &mut DocumentBuilder, i: &TagInterner) -> Result<()> {
+        b.start_element(self.tags.regions);
+        let per = self.stats.items / REGIONS.len() as u32;
+        let mut remainder = self.stats.items % REGIONS.len() as u32;
+        let mut next_id = 0u32;
+        for r in 0..REGIONS.len() {
+            let mut n = per;
+            if remainder > 0 {
+                n += 1;
+                remainder -= 1;
+            }
+            b.start_element(self.tags.region[r]);
+            for _ in 0..n {
+                self.item(b, i, next_id)?;
+                next_id += 1;
+            }
+            b.end_element()?;
+        }
+        b.end_element()?;
+        Ok(())
+    }
+
+    fn item(&mut self, b: &mut DocumentBuilder, i: &TagInterner, id: u32) -> Result<()> {
+        b.start_element(self.tags.item);
+        b.attribute(self.tags.at_id, &format!("item{id}"));
+        b.leaf(self.tags.location, pick(&mut self.rng, LOCATIONS), i);
+        let q = self.rng.random_range(1..=10u32).to_string();
+        b.leaf(self.tags.quantity, &q, i);
+        let words = self.rng.random_range(2..5);
+        let nm = sentence(&mut self.rng, words, 0);
+        b.leaf(self.tags.name, &nm, i);
+        b.leaf(
+            self.tags.payment,
+            ["Cash", "Money order", "Creditcard", "Personal Check"][self.rng.random_range(0..4)],
+            i,
+        );
+        self.description(b, i, 35, 2)?;
+        b.leaf(self.tags.shipping, "Will ship internationally", i);
+        let cats = self.rng.random_range(1..=3);
+        for _ in 0..cats {
+            b.start_element(self.tags.incategory);
+            let c = self.category_ref();
+            b.attribute(self.tags.at_category, &c);
+            b.end_element()?;
+        }
+        if self.rng.random_range(0..100) < 60 {
+            b.start_element(self.tags.mailbox);
+            let mails = self.rng.random_range(0..=3);
+            for _ in 0..mails {
+                b.start_element(self.tags.mail);
+                let from = format!("{} {}", pick(&mut self.rng, FIRST_NAMES), pick(&mut self.rng, LAST_NAMES));
+                b.leaf(self.tags.from, &from, i);
+                let to = format!("{} {}", pick(&mut self.rng, FIRST_NAMES), pick(&mut self.rng, LAST_NAMES));
+                b.leaf(self.tags.to, &to, i);
+                let d = self.date();
+                b.leaf(self.tags.date, &d, i);
+                let words = self.rng.random_range(5..20);
+                let body = sentence(&mut self.rng, words, 12);
+                b.leaf(self.tags.text, &body, i);
+                b.end_element()?;
+            }
+            b.end_element()?;
+        }
+        b.end_element()?;
+        Ok(())
+    }
+
+    fn categories(&mut self, b: &mut DocumentBuilder, i: &TagInterner) -> Result<()> {
+        b.start_element(self.tags.categories);
+        for c in 0..self.stats.categories {
+            b.start_element(self.tags.category);
+            b.attribute(self.tags.at_id, &format!("category{c}"));
+            let words = self.rng.random_range(1..4);
+            let nm = sentence(&mut self.rng, words, 0);
+            b.leaf(self.tags.name, &nm, i);
+            self.description(b, i, 25, 1)?;
+            b.end_element()?;
+        }
+        b.end_element()?;
+        Ok(())
+    }
+
+    fn catgraph(&mut self, b: &mut DocumentBuilder) -> Result<()> {
+        b.start_element(self.tags.catgraph);
+        for _ in 0..self.stats.categories {
+            b.start_element(self.tags.edge);
+            let f = self.category_ref();
+            b.attribute(self.tags.at_from, &f);
+            let t = self.category_ref();
+            b.attribute(self.tags.at_to, &t);
+            b.end_element()?;
+        }
+        b.end_element()?;
+        Ok(())
+    }
+
+    fn people(&mut self, b: &mut DocumentBuilder, i: &TagInterner) -> Result<()> {
+        b.start_element(self.tags.people);
+        for p in 0..self.stats.persons {
+            self.person(b, i, p)?;
+        }
+        b.end_element()?;
+        Ok(())
+    }
+
+    fn person(&mut self, b: &mut DocumentBuilder, i: &TagInterner, id: u32) -> Result<()> {
+        b.start_element(self.tags.person);
+        b.attribute(self.tags.at_id, &format!("person{id}"));
+        let nm = format!("{} {}", pick(&mut self.rng, FIRST_NAMES), pick(&mut self.rng, LAST_NAMES));
+        b.leaf(self.tags.name, &nm, i);
+        let email = format!("mailto:{}@example.org", nm.replace(' ', "."));
+        b.leaf(self.tags.emailaddress, &email, i);
+        if self.rng.random_range(0..100) < 60 {
+            let ph = format!("+{} ({}) {}", self.rng.random_range(1..99u32), self.rng.random_range(100..999u32), self.rng.random_range(1_000_000..9_999_999u32));
+            b.leaf(self.tags.phone, &ph, i);
+        }
+        if self.rng.random_range(0..100) < 40 {
+            b.start_element(self.tags.address);
+            let st = format!("{} {} St", self.rng.random_range(1..99u32), pick(&mut self.rng, LAST_NAMES));
+            b.leaf(self.tags.street, &st, i);
+            let city = pick(&mut self.rng, LAST_NAMES).to_string();
+            b.leaf(self.tags.city, &city, i);
+            b.leaf(self.tags.country, pick(&mut self.rng, LOCATIONS), i);
+            let zip = self.rng.random_range(10_000..99_999u32).to_string();
+            b.leaf(self.tags.zipcode, &zip, i);
+            b.end_element()?;
+        }
+        if self.rng.random_range(0..100) < 30 {
+            let hp = format!("http://example.org/~person{id}");
+            b.leaf(self.tags.homepage, &hp, i);
+        }
+        if self.rng.random_range(0..100) < 25 {
+            let cc = format!(
+                "{} {} {} {}",
+                self.rng.random_range(1000..9999u32),
+                self.rng.random_range(1000..9999u32),
+                self.rng.random_range(1000..9999u32),
+                self.rng.random_range(1000..9999u32)
+            );
+            b.leaf(self.tags.creditcard, &cc, i);
+        }
+        // The paper's Q1/Q2 predicate path: optional direct `age` child.
+        if self.rng.random_range(0..100) < 60 {
+            let age = self.rng.random_range(18..=70u32).to_string();
+            b.leaf(self.tags.age, &age, i);
+        }
+        if self.rng.random_range(0..100) < 80 {
+            b.start_element(self.tags.profile);
+            let income = (self.rng.random_range(8_000..120_000u32) / 100 * 100).to_string();
+            b.attribute(self.tags.at_income, &income);
+            let interests = self.rng.random_range(0..=4);
+            for _ in 0..interests {
+                b.start_element(self.tags.interest);
+                let c = self.category_ref();
+                b.attribute(self.tags.at_category, &c);
+                b.end_element()?;
+            }
+            if self.rng.random_range(0..100) < 50 {
+                b.leaf(
+                    self.tags.education,
+                    ["High School", "College", "Graduate School", "Other"][self.rng.random_range(0..4)],
+                    i,
+                );
+            }
+            if self.rng.random_range(0..100) < 50 {
+                b.leaf(self.tags.gender, ["male", "female"][self.rng.random_range(0..2)], i);
+            }
+            b.leaf(self.tags.business, ["Yes", "No"][self.rng.random_range(0..2)], i);
+            b.end_element()?;
+        }
+        if self.rng.random_range(0..100) < 30 {
+            b.start_element(self.tags.watches);
+            let n = self.rng.random_range(1..=4);
+            for _ in 0..n {
+                b.start_element(self.tags.watch);
+                let oa = format!("open_auction{}", self.rng.random_range(0..self.stats.open_auctions));
+                b.attribute(self.tags.at_open_auction, &oa);
+                b.end_element()?;
+            }
+            b.end_element()?;
+        }
+        b.end_element()?;
+        Ok(())
+    }
+
+    /// Bidder count distribution: ~35% of auctions get 0-1 bidders, ~35% get
+    /// 2-5, ~30% get 6-12 — so `count(bidder) > 5` retains roughly 30%.
+    fn bidder_count(&mut self) -> u32 {
+        match self.rng.random_range(0..100u32) {
+            0..=34 => self.rng.random_range(0..=1),
+            35..=69 => self.rng.random_range(2..=5),
+            _ => self.rng.random_range(6..=12),
+        }
+    }
+
+    fn open_auctions(&mut self, b: &mut DocumentBuilder, i: &TagInterner) -> Result<()> {
+        b.start_element(self.tags.open_auctions);
+        for a in 0..self.stats.open_auctions {
+            self.open_auction(b, i, a)?;
+        }
+        b.end_element()?;
+        Ok(())
+    }
+
+    fn open_auction(&mut self, b: &mut DocumentBuilder, i: &TagInterner, id: u32) -> Result<()> {
+        b.start_element(self.tags.open_auction);
+        b.attribute(self.tags.at_id, &format!("open_auction{id}"));
+        let initial = self.money(300.0);
+        b.leaf(self.tags.initial, &initial, i);
+        if self.rng.random_range(0..100) < 50 {
+            let r = self.money(400.0);
+            b.leaf(self.tags.reserve, &r, i);
+        }
+        let mut current: f64 = initial.parse().unwrap_or(0.0);
+        let bidders = self.bidder_count();
+        for _ in 0..bidders {
+            b.start_element(self.tags.bidder);
+            let d = self.date();
+            b.leaf(self.tags.date, &d, i);
+            let t = format!("{:02}:{:02}:{:02}", self.rng.random_range(0..24u32), self.rng.random_range(0..60u32), self.rng.random_range(0..60u32));
+            b.leaf(self.tags.time, &t, i);
+            b.start_element(self.tags.personref);
+            let pr = self.person_ref();
+            b.attribute(self.tags.at_person, &pr);
+            b.end_element()?;
+            let inc = self.rng.random_range(1..=20u32) as f64 * 1.5;
+            current += inc;
+            b.leaf(self.tags.increase, &format!("{inc:.2}"), i);
+            b.end_element()?;
+        }
+        b.leaf(self.tags.current, &format!("{current:.2}"), i);
+        if self.rng.random_range(0..100) < 50 {
+            b.leaf(self.tags.privacy, ["Yes", "No"][self.rng.random_range(0..2)], i);
+        }
+        b.start_element(self.tags.itemref);
+        let ir = self.item_ref();
+        b.attribute(self.tags.at_item, &ir);
+        b.end_element()?;
+        b.start_element(self.tags.seller);
+        let sr = self.person_ref();
+        b.attribute(self.tags.at_person, &sr);
+        b.end_element()?;
+        self.annotation(b, i, 40)?;
+        // XMark quantities are small integers; Q2 filters `myquan > 2`.
+        let q = self.rng.random_range(1..=10u32).to_string();
+        b.leaf(self.tags.quantity, &q, i);
+        b.leaf(self.tags.type_, ["Regular", "Featured"][self.rng.random_range(0..2)], i);
+        b.start_element(self.tags.interval);
+        let sd = self.date();
+        b.leaf(self.tags.start, &sd, i);
+        let ed = self.date();
+        b.leaf(self.tags.end, &ed, i);
+        b.end_element()?;
+        b.end_element()?;
+        Ok(())
+    }
+
+    fn annotation(&mut self, b: &mut DocumentBuilder, i: &TagInterner, parlist_p: u32) -> Result<()> {
+        b.start_element(self.tags.annotation);
+        b.start_element(self.tags.author);
+        let ar = self.person_ref();
+        b.attribute(self.tags.at_person, &ar);
+        b.end_element()?;
+        self.description(b, i, parlist_p, 3)?;
+        let h = self.rng.random_range(1..=10u32).to_string();
+        b.leaf(self.tags.happiness, &h, i);
+        b.end_element()?;
+        Ok(())
+    }
+
+    fn closed_auctions(&mut self, b: &mut DocumentBuilder, i: &TagInterner) -> Result<()> {
+        b.start_element(self.tags.closed_auctions);
+        for _ in 0..self.stats.closed_auctions {
+            b.start_element(self.tags.closed_auction);
+            b.start_element(self.tags.seller);
+            let sr = self.person_ref();
+            b.attribute(self.tags.at_person, &sr);
+            b.end_element()?;
+            b.start_element(self.tags.buyer);
+            let br = self.person_ref();
+            b.attribute(self.tags.at_person, &br);
+            b.end_element()?;
+            b.start_element(self.tags.itemref);
+            let ir = self.item_ref();
+            b.attribute(self.tags.at_item, &ir);
+            b.end_element()?;
+            // Prices come from a small value pool so the value-index query
+            // (x5) has stable, factor-independent selectivity (~1/40).
+            let price = format!("{}.00", (self.rng.random_range(1..=40u32)) * 5);
+            b.leaf(self.tags.price, &price, i);
+            let d = self.date();
+            b.leaf(self.tags.date, &d, i);
+            let q = self.rng.random_range(1..=10u32).to_string();
+            b.leaf(self.tags.quantity, &q, i);
+            b.leaf(self.tags.type_, ["Regular", "Featured"][self.rng.random_range(0..2)], i);
+            // Closed-auction annotations recurse deeply enough for the
+            // long-path queries (x15/x16).
+            self.annotation(b, i, 70)?;
+            b.end_element()?;
+        }
+        b.end_element()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_at(factor: f64) -> Database {
+        let mut db = Database::new();
+        generate_into(&mut db, "auction.xml", factor, DEFAULT_SEED).unwrap();
+        db
+    }
+
+    #[test]
+    fn populations_match_scale_stats() {
+        let db = db_at(0.01);
+        let stats = ScaleStats::for_factor(0.01);
+        assert_eq!(db.nodes_with_tag("person").len() as u32, stats.persons);
+        assert_eq!(db.nodes_with_tag("open_auction").len() as u32, stats.open_auctions);
+        assert_eq!(db.nodes_with_tag("closed_auction").len() as u32, stats.closed_auctions);
+        assert_eq!(db.nodes_with_tag("item").len() as u32, stats.items);
+        assert_eq!(db.nodes_with_tag("category").len() as u32, stats.categories);
+    }
+
+    #[test]
+    fn node_count_scales_roughly_linearly() {
+        let n1 = db_at(0.01).node_count() as f64;
+        let n4 = db_at(0.04).node_count() as f64;
+        let ratio = n4 / n1;
+        assert!((3.0..5.0).contains(&ratio), "scaling ratio was {ratio}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = db_at(0.01);
+        let b = db_at(0.01);
+        assert_eq!(a.node_count(), b.node_count());
+        let sa = xmldb::serialize::serialize_subtree(&a, a.root(xmldb::DocId(0)));
+        let sb = xmldb::serialize::serialize_subtree(&b, b.root(xmldb::DocId(0)));
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn person0_exists_with_id() {
+        let db = db_at(0.005);
+        let at_id = db.interner().lookup("@id").unwrap();
+        assert!(!db.value_index().lookup_exact(at_id, "person0").is_empty());
+    }
+
+    #[test]
+    fn some_auction_has_more_than_five_bidders() {
+        let db = db_at(0.005);
+        let found = db.nodes_with_tag("open_auction").iter().any(|&oa| {
+            db.node(oa).children().filter(|c| &*c.tag_name() == "bidder").count() > 5
+        });
+        assert!(found, "Q1's count(bidder) > 5 must be satisfiable");
+    }
+
+    #[test]
+    fn bidders_carry_person_references() {
+        let db = db_at(0.005);
+        let bidder = db.nodes_with_tag("bidder");
+        assert!(!bidder.is_empty());
+        let b0 = db.node(bidder[0]);
+        let pref = b0.children().find(|c| &*c.tag_name() == "personref").unwrap();
+        let p = pref.attribute("person").unwrap().content().unwrap().to_string();
+        assert!(p.starts_with("person"));
+        // The reference resolves to an actual person id.
+        let at_id = db.interner().lookup("@id").unwrap();
+        assert!(!db.value_index().lookup_exact(at_id, &p).is_empty());
+    }
+
+    #[test]
+    fn deep_parlist_paths_exist() {
+        let db = db_at(0.01);
+        // closed_auction/annotation/description/parlist/listitem/parlist exists somewhere.
+        let parlists = db.nodes_with_tag("parlist");
+        let nested = parlists.iter().any(|&p| {
+            let n = db.node(p);
+            let mut anc = n.parent();
+            let mut seen_listitem = false;
+            while let Some(a) = anc {
+                if &*a.tag_name() == "listitem" {
+                    seen_listitem = true;
+                }
+                if &*a.tag_name() == "parlist" && seen_listitem {
+                    return true;
+                }
+                anc = a.parent();
+            }
+            false
+        });
+        assert!(nested, "x15/x16 long paths need nested parlists");
+    }
+
+    #[test]
+    fn ages_are_optional_and_numeric() {
+        let db = db_at(0.01);
+        let persons = db.nodes_with_tag("person").len();
+        let ages = db.nodes_with_tag("age").len();
+        assert!(ages > 0 && ages < persons, "ages={ages} persons={persons}");
+        for &a in db.nodes_with_tag("age").iter().take(20) {
+            let v = db.node(a).num_value().unwrap();
+            assert!((18.0..=70.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn document_invariants_hold() {
+        let db = db_at(0.02);
+        db.document(xmldb::DocId(0)).check_invariants().unwrap();
+    }
+
+    #[test]
+    fn keyword_appears_in_some_description() {
+        let db = db_at(0.01);
+        let hit = db
+            .nodes_with_tag("description")
+            .iter()
+            .any(|&d| db.node(d).string_value().contains("gold"));
+        assert!(hit, "x14's contains predicate needs matches");
+    }
+}

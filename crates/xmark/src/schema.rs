@@ -1,0 +1,234 @@
+//! XMark schema conformance checking.
+//!
+//! The XMark benchmark ships a DTD (`auction.dtd`); this module encodes its
+//! content models (restricted to the subset this generator emits) and
+//! validates documents against them. The generator's own output is checked
+//! in tests at several scale factors — guarding against regressions that
+//! would silently change what the benchmark queries measure.
+
+use std::collections::HashMap;
+use xmldb::{Database, DocId, NodeKind};
+
+/// A violation found during validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Pre rank of the offending node.
+    pub pre: u32,
+    /// Explanation.
+    pub message: String,
+}
+
+/// Occurrence constraint for one child particle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Occurs {
+    One,
+    Optional,
+    Star,
+    Plus,
+}
+
+/// Content model: ordered sequence of (child tag, occurrence), plus allowed
+/// attributes. `text` content models are handled separately.
+struct Model {
+    sequence: &'static [(&'static str, Occurs)],
+    attributes: &'static [&'static str],
+    /// Element may carry character data (mixed or text-only).
+    allows_text: bool,
+}
+
+fn models() -> HashMap<&'static str, Model> {
+    use Occurs::*;
+    let mut m = HashMap::new();
+    let mut add = |tag: &'static str,
+                   sequence: &'static [(&'static str, Occurs)],
+                   attributes: &'static [&'static str],
+                   allows_text: bool| {
+        m.insert(tag, Model { sequence, attributes, allows_text });
+    };
+    add("site", &[("regions", One), ("categories", One), ("catgraph", One), ("people", One), ("open_auctions", One), ("closed_auctions", One)], &[], false);
+    add("regions", &[("africa", One), ("asia", One), ("australia", One), ("europe", One), ("namerica", One), ("samerica", One)], &[], false);
+    for region in ["africa", "asia", "australia", "europe", "namerica", "samerica"] {
+        add(region, &[("item", Star)], &[], false);
+    }
+    add("item", &[("location", One), ("quantity", One), ("name", One), ("payment", One), ("description", One), ("shipping", One), ("incategory", Plus), ("mailbox", Optional)], &["id"], false);
+    add("incategory", &[], &["category"], false);
+    add("mailbox", &[("mail", Star)], &[], false);
+    add("mail", &[("from", One), ("to", One), ("date", One), ("text", One)], &[], false);
+    add("description", &[("text", Optional), ("parlist", Optional)], &[], false);
+    add("parlist", &[("listitem", Plus)], &[], false);
+    add("listitem", &[("text", Optional), ("parlist", Optional)], &[], false);
+    add("text", &[("keyword", Optional), ("bold", Optional), ("emph", Optional)], &[], true);
+    for inline in ["keyword", "bold", "emph"] {
+        add(inline, &[], &[], true);
+    }
+    add("categories", &[("category", Plus)], &[], false);
+    add("category", &[("name", One), ("description", One)], &["id"], false);
+    add("catgraph", &[("edge", Star)], &[], false);
+    add("edge", &[], &["from", "to"], false);
+    add("people", &[("person", Star)], &[], false);
+    add("person", &[("name", One), ("emailaddress", One), ("phone", Optional), ("address", Optional), ("homepage", Optional), ("creditcard", Optional), ("age", Optional), ("profile", Optional), ("watches", Optional)], &["id"], false);
+    add("address", &[("street", One), ("city", One), ("country", One), ("zipcode", One)], &[], false);
+    add("profile", &[("interest", Star), ("education", Optional), ("gender", Optional), ("business", One)], &["income"], false);
+    add("interest", &[], &["category"], false);
+    add("watches", &[("watch", Star)], &[], false);
+    add("watch", &[], &["open_auction"], false);
+    add("open_auctions", &[("open_auction", Star)], &[], false);
+    add("open_auction", &[("initial", One), ("reserve", Optional), ("bidder", Star), ("current", One), ("privacy", Optional), ("itemref", One), ("seller", One), ("annotation", One), ("quantity", One), ("type", One), ("interval", One)], &["id"], false);
+    add("bidder", &[("date", One), ("time", One), ("personref", One), ("increase", One)], &[], false);
+    add("personref", &[], &["person"], false);
+    add("itemref", &[], &["item"], false);
+    add("seller", &[], &["person"], false);
+    add("annotation", &[("author", One), ("description", One), ("happiness", One)], &[], false);
+    add("author", &[], &["person"], false);
+    add("interval", &[("start", One), ("end", One)], &[], false);
+    add("closed_auctions", &[("closed_auction", Star)], &[], false);
+    add("closed_auction", &[("seller", One), ("buyer", One), ("itemref", One), ("price", One), ("date", One), ("quantity", One), ("type", One), ("annotation", One)], &[], false);
+    add("buyer", &[], &["person"], false);
+    // Text-only leaves.
+    for leaf in ["location", "quantity", "name", "payment", "shipping", "from", "to", "date", "time", "increase", "initial", "reserve", "current", "privacy", "happiness", "type", "start", "end", "price", "emailaddress", "phone", "homepage", "creditcard", "age", "street", "city", "country", "zipcode", "education", "gender", "business"] {
+        add(leaf, &[], &[], true);
+    }
+    m
+}
+
+/// Validates a document against the XMark content models. Returns every
+/// violation found (empty = conformant).
+pub fn validate(db: &Database, doc: DocId) -> Vec<Violation> {
+    let models = models();
+    let document = db.document(doc);
+    let mut violations = Vec::new();
+    for pre in 0..document.len() as u32 {
+        let rec = document.record(pre);
+        if rec.kind != NodeKind::Element {
+            continue;
+        }
+        let tag = db.interner().name(rec.tag);
+        let Some(model) = models.get(&*tag) else {
+            violations.push(Violation { pre, message: format!("unknown element <{tag}>") });
+            continue;
+        };
+        check_element(db, doc, pre, &tag, model, &mut violations);
+    }
+    violations
+}
+
+fn check_element(
+    db: &Database,
+    doc: DocId,
+    pre: u32,
+    tag: &str,
+    model: &Model,
+    violations: &mut Vec<Violation>,
+) {
+    let document = db.document(doc);
+    let mut elem_children: Vec<String> = Vec::new();
+    let mut has_text = document.record(pre).content.is_some();
+    for c in document.children(pre) {
+        let rec = document.record(c);
+        let cname = db.interner().name(rec.tag);
+        match rec.kind {
+            NodeKind::Attribute => {
+                let bare = &cname[1..];
+                if !model.attributes.contains(&bare) {
+                    violations.push(Violation {
+                        pre,
+                        message: format!("<{tag}> does not allow attribute @{bare}"),
+                    });
+                }
+            }
+            NodeKind::Element => elem_children.push(cname.to_string()),
+            NodeKind::Text => has_text = true,
+            NodeKind::DocRoot => unreachable!("doc root is never a child"),
+        }
+    }
+    if has_text && !model.allows_text {
+        violations.push(Violation { pre, message: format!("<{tag}> does not allow text content") });
+    }
+    // Sequence check: greedy match of the ordered particles.
+    let mut i = 0;
+    for (child_tag, occurs) in model.sequence {
+        let mut seen = 0;
+        while i < elem_children.len() && elem_children[i] == *child_tag {
+            seen += 1;
+            i += 1;
+        }
+        let ok = match occurs {
+            Occurs::One => seen == 1,
+            Occurs::Optional => seen <= 1,
+            Occurs::Star => true,
+            Occurs::Plus => seen >= 1,
+        };
+        if !ok {
+            violations.push(Violation {
+                pre,
+                message: format!("<{tag}>: child <{child_tag}> occurs {seen} time(s), violating {occurs:?}"),
+            });
+        }
+    }
+    if i < elem_children.len() {
+        violations.push(Violation {
+            pre,
+            message: format!("<{tag}>: unexpected child <{}> (out of order or not allowed)", elem_children[i]),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_documents_conform() {
+        for factor in [0.001, 0.005, 0.02] {
+            let db = crate::auction_database(factor);
+            let violations = validate(&db, DocId(0));
+            assert!(
+                violations.is_empty(),
+                "factor {factor}: {} violation(s), first: {:?}",
+                violations.len(),
+                violations.first()
+            );
+        }
+    }
+
+    #[test]
+    fn detects_unknown_elements() {
+        let mut db = Database::new();
+        db.load_xml("bad.xml", "<site><zebra/></site>").unwrap();
+        let v = validate(&db, DocId(0));
+        assert!(v.iter().any(|v| v.message.contains("unknown element")), "{v:?}");
+    }
+
+    #[test]
+    fn detects_missing_required_children() {
+        let mut db = Database::new();
+        // bidder requires date, time, personref, increase.
+        db.load_xml("bad.xml", "<bidder><date>1/1/2000</date></bidder>").unwrap();
+        let v = validate(&db, DocId(0));
+        assert!(v.iter().any(|v| v.message.contains("<time>")), "{v:?}");
+    }
+
+    #[test]
+    fn detects_out_of_order_children() {
+        let mut db = Database::new();
+        db.load_xml("bad.xml", "<interval><end>x</end><start>y</start></interval>").unwrap();
+        let v = validate(&db, DocId(0));
+        assert!(!v.is_empty(), "order violation must be reported");
+    }
+
+    #[test]
+    fn detects_unexpected_attributes() {
+        let mut db = Database::new();
+        db.load_xml("bad.xml", r#"<seller bogus="1"/>"#).unwrap();
+        let v = validate(&db, DocId(0));
+        assert!(v.iter().any(|v| v.message.contains("@bogus")), "{v:?}");
+    }
+
+    #[test]
+    fn detects_text_where_forbidden() {
+        let mut db = Database::new();
+        db.load_xml("bad.xml", "<watches>hello<watch open_auction=\"a\"/></watches>").unwrap();
+        let v = validate(&db, DocId(0));
+        assert!(v.iter().any(|v| v.message.contains("text content")), "{v:?}");
+    }
+}

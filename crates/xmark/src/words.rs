@@ -1,0 +1,101 @@
+//! Vocabulary for synthetic text content.
+//!
+//! XMark draws its prose from Shakespeare; we use a fixed common-word list
+//! instead. What matters for the queries is (a) that text exists, (b) that a
+//! known keyword (`"gold"`) appears with a controlled frequency so the
+//! `contains` query (x14) has stable selectivity.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Word pool for generated sentences.
+pub const WORDS: &[&str] = &[
+    "auction", "bid", "price", "market", "trade", "value", "offer", "sale", "lot", "estate",
+    "vintage", "rare", "classic", "antique", "modern", "fine", "grand", "small", "large", "heavy",
+    "light", "bright", "dark", "silver", "bronze", "copper", "wooden", "glass", "stone", "paper",
+    "collection", "series", "edition", "original", "signed", "mint", "used", "boxed", "sealed",
+    "painting", "sculpture", "watch", "clock", "ring", "necklace", "coin", "stamp", "book", "map",
+    "table", "chair", "lamp", "mirror", "vase", "plate", "cup", "bottle", "chest", "cabinet",
+    "excellent", "good", "fair", "poor", "restored", "damaged", "complete", "partial", "unique",
+    "quality", "condition", "history", "provenance", "certificate", "guarantee", "shipping",
+    "delivery", "payment", "reserve", "minimum", "final", "closing", "opening", "current",
+    "seller", "buyer", "dealer", "collector", "museum", "gallery", "private", "public",
+];
+
+/// Keyword with controlled frequency for the `contains` query (x14).
+pub const KEYWORD: &str = "gold";
+
+/// First names for `person/name`.
+pub const FIRST_NAMES: &[&str] = &[
+    "Ann", "Bo", "Carl", "Dana", "Erik", "Faye", "Gus", "Hana", "Ivan", "Jill", "Kurt", "Lena",
+    "Mia", "Nils", "Olga", "Pete", "Quin", "Rosa", "Sven", "Tara", "Ulf", "Vera", "Walt", "Xena",
+    "Yuri", "Zoe",
+];
+
+/// Last names for `person/name`.
+pub const LAST_NAMES: &[&str] = &[
+    "Adams", "Baker", "Clark", "Diaz", "Evans", "Fisher", "Gray", "Hill", "Irwin", "Jones",
+    "Keller", "Lopez", "Moore", "Nolan", "Owens", "Price", "Quinn", "Reyes", "Stone", "Turner",
+    "Unger", "Vance", "White", "Young", "Zhang",
+];
+
+/// Location / country names for `item/location` and addresses.
+pub const LOCATIONS: &[&str] = &[
+    "United States", "Germany", "France", "Japan", "Brazil", "Kenya", "Australia", "Canada",
+    "India", "Spain", "Italy", "Norway", "Chile", "Egypt", "Korea", "Mexico",
+];
+
+/// Produces a sentence of `n` words; roughly one sentence in `keyword_in`
+/// contains [`KEYWORD`].
+pub fn sentence(rng: &mut StdRng, n: usize, keyword_in: u32) -> String {
+    let mut out = String::with_capacity(n * 8);
+    let kw_pos = if keyword_in > 0 && rng.random_range(0..keyword_in) == 0 {
+        Some(rng.random_range(0..n))
+    } else {
+        None
+    };
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        if kw_pos == Some(i) {
+            out.push_str(KEYWORD);
+        } else {
+            out.push_str(WORDS[rng.random_range(0..WORDS.len())]);
+        }
+    }
+    out
+}
+
+/// Picks one element of a slice.
+pub fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.random_range(0..pool.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sentence_has_requested_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sentence(&mut rng, 7, 0);
+        assert_eq!(s.split(' ').count(), 7);
+        assert!(!s.contains(KEYWORD));
+    }
+
+    #[test]
+    fn keyword_frequency_is_roughly_controlled() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..1000).filter(|_| sentence(&mut rng, 10, 5).contains(KEYWORD)).count();
+        assert!((100..350).contains(&hits), "got {hits} keyword sentences out of 1000");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(sentence(&mut a, 12, 4), sentence(&mut b, 12, 4));
+    }
+}

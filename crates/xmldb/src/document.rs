@@ -1,0 +1,500 @@
+//! Pre-order arena documents and the streaming builder that creates them.
+//!
+//! A [`Document`] stores its nodes in a single vector laid out in document
+//! (pre-) order: the vector index of a node is its pre-order rank, which is
+//! also its [`crate::NodeId::pre`]. Together with the stored `(end, level)`
+//! interval this gives O(1) structural-relationship tests (Property 2 of the
+//! paper's Figure 13) and free document ordering (Property 3).
+//!
+//! Child navigation needs no explicit links: the first child of `i` is `i+1`
+//! (when the interval is non-empty) and the next sibling of a child `c` is
+//! `c.end + 1` (when still inside the parent's interval).
+
+use crate::error::{Error, Result};
+use crate::node::{DocId, NodeId, NodeKind};
+use crate::tag::{TagId, TagInterner};
+
+/// One stored node. Kept deliberately small; see the perf notes in DESIGN.md.
+#[derive(Debug, Clone)]
+pub struct NodeRecord {
+    /// Interned label (`@name` for attributes, `#text`, `#doc`).
+    pub tag: TagId,
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Inline text value. Present on attributes, text nodes, and elements
+    /// whose only non-attribute child was a single text run (collapsed at
+    /// build time, the common case for leaf elements like `<age>25</age>`).
+    pub content: Option<Box<str>>,
+    /// Pre rank of the parent; `u32::MAX` for the document root.
+    pub parent: u32,
+    /// Pre rank of the last descendant (== own pre for leaves).
+    pub end: u32,
+    /// Depth; the document root is level 0.
+    pub level: u16,
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// An immutable XML document in pre-order arena form.
+///
+/// Node 0 is always a synthetic [`NodeKind::DocRoot`] node (the `doc_root` of
+/// the paper's pattern trees); the document element is its only child.
+#[derive(Debug, Clone)]
+pub struct Document {
+    name: Box<str>,
+    records: Vec<NodeRecord>,
+}
+
+impl Document {
+    /// The logical name the document was loaded under (e.g. `auction.xml`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of nodes, including the synthetic root.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True only for a degenerate document with nothing but the synthetic root.
+    pub fn is_empty(&self) -> bool {
+        self.records.len() <= 1
+    }
+
+    /// Borrow a record by pre rank.
+    #[inline]
+    pub fn record(&self, pre: u32) -> &NodeRecord {
+        &self.records[pre as usize]
+    }
+
+    /// Fallible record lookup.
+    pub fn try_record(&self, pre: u32) -> Option<&NodeRecord> {
+        self.records.get(pre as usize)
+    }
+
+    /// All records in pre order.
+    pub fn records(&self) -> &[NodeRecord] {
+        &self.records
+    }
+
+    /// Parent pre rank, or `None` at the document root.
+    #[inline]
+    pub fn parent(&self, pre: u32) -> Option<u32> {
+        let p = self.record(pre).parent;
+        (p != NO_PARENT).then_some(p)
+    }
+
+    /// Iterates the direct children of `pre` in document order
+    /// (attributes first — they are built before other children).
+    pub fn children(&self, pre: u32) -> ChildIter<'_> {
+        let rec = self.record(pre);
+        ChildIter { doc: self, next: pre + 1, end: rec.end }
+    }
+
+    /// Number of direct children.
+    pub fn child_count(&self, pre: u32) -> usize {
+        self.children(pre).count()
+    }
+
+    /// Iterates every node in the subtree rooted at `pre` (inclusive).
+    pub fn subtree(&self, pre: u32) -> impl Iterator<Item = u32> + '_ {
+        pre..=self.record(pre).end
+    }
+
+    /// True iff `anc` is a proper ancestor of `desc`.
+    #[inline]
+    pub fn is_ancestor(&self, anc: u32, desc: u32) -> bool {
+        anc < desc && desc <= self.record(anc).end
+    }
+
+    /// The concatenated text content of the subtree rooted at `pre`
+    /// (inline contents plus text-node contents, in document order).
+    pub fn string_value(&self, pre: u32) -> String {
+        let mut out = String::new();
+        for p in self.subtree(pre) {
+            let rec = self.record(p);
+            // Attribute values are not part of an element's string value.
+            if rec.kind == NodeKind::Attribute && p != pre {
+                continue;
+            }
+            if let Some(c) = &rec.content {
+                out.push_str(c);
+            }
+        }
+        out
+    }
+
+    /// The *typed* (numeric) value of a node, when its inline content parses
+    /// as a number. Multi-child elements fall back to their string value.
+    pub fn num_value(&self, pre: u32) -> Option<f64> {
+        let rec = self.record(pre);
+        match &rec.content {
+            Some(c) => c.trim().parse().ok(),
+            None => self.string_value(pre).trim().parse().ok(),
+        }
+    }
+
+    /// Reconstructs a document from raw records (snapshot loading),
+    /// validating all arena invariants.
+    pub fn from_parts(name: &str, records: Vec<NodeRecord>) -> Result<Document> {
+        let doc = Document { name: name.into(), records };
+        doc.check_invariants()?;
+        Ok(doc)
+    }
+
+    /// Validates internal invariants; used by tests and the property suite.
+    pub fn check_invariants(&self) -> Result<()> {
+        let fail = |m: String| Err(Error::Builder(m));
+        if self.records.is_empty() {
+            return fail("document has no root".into());
+        }
+        if self.records[0].kind != NodeKind::DocRoot {
+            return fail("node 0 must be the synthetic document root".into());
+        }
+        for (i, rec) in self.records.iter().enumerate() {
+            let i = i as u32;
+            if (rec.end as usize) >= self.records.len() || rec.end < i {
+                return fail(format!("node {i} has bad interval end {}", rec.end));
+            }
+            if i == 0 {
+                if rec.parent != NO_PARENT || rec.level != 0 {
+                    return fail("root must have no parent and level 0".into());
+                }
+                if rec.end as usize != self.records.len() - 1 {
+                    return fail("root interval must span the document".into());
+                }
+                continue;
+            }
+            let parent = self.record(rec.parent);
+            if !(rec.parent < i && i <= parent.end) {
+                return fail(format!("node {i} outside parent interval"));
+            }
+            if rec.level != parent.level + 1 {
+                return fail(format!("node {i} has non-adjacent level"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over direct children (see [`Document::children`]).
+pub struct ChildIter<'a> {
+    doc: &'a Document,
+    next: u32,
+    end: u32,
+}
+
+impl Iterator for ChildIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.next > self.end {
+            return None;
+        }
+        let cur = self.next;
+        self.next = self.doc.record(cur).end + 1;
+        Some(cur)
+    }
+}
+
+/// Streaming pre-order document builder.
+///
+/// Usage: `start_element` / `attribute` / `text` / `end_element`, then
+/// [`DocumentBuilder::finish`]. The builder collapses a single trailing text
+/// run into inline element content (so `<age>25</age>` becomes one node).
+#[derive(Debug)]
+pub struct DocumentBuilder {
+    name: Box<str>,
+    records: Vec<NodeRecord>,
+    /// Stack of open element pre ranks.
+    stack: Vec<u32>,
+    /// Per open element: number of non-attribute children so far.
+    child_counts: Vec<u32>,
+}
+
+impl DocumentBuilder {
+    /// Starts a new document with the given logical name. The synthetic
+    /// document root is created implicitly.
+    pub fn new(name: &str, interner: &TagInterner) -> Self {
+        let root = NodeRecord {
+            tag: interner.doc_tag(),
+            kind: NodeKind::DocRoot,
+            content: None,
+            parent: NO_PARENT,
+            end: 0,
+            level: 0,
+        };
+        DocumentBuilder {
+            name: name.into(),
+            records: vec![root],
+            stack: vec![0],
+            child_counts: vec![0],
+        }
+    }
+
+    fn top(&self) -> u32 {
+        *self.stack.last().expect("builder stack never empty before finish")
+    }
+
+    /// Opens a new element under the current node; returns its pre rank.
+    pub fn start_element(&mut self, tag: TagId) -> u32 {
+        let parent = self.top();
+        let level = self.records[parent as usize].level + 1;
+        let pre = self.records.len() as u32;
+        self.records.push(NodeRecord {
+            tag,
+            kind: NodeKind::Element,
+            content: None,
+            parent,
+            end: pre,
+            level,
+        });
+        *self.child_counts.last_mut().unwrap() += 1;
+        self.stack.push(pre);
+        self.child_counts.push(0);
+        pre
+    }
+
+    /// Adds an attribute to the currently open element. The caller interns
+    /// the name *with* its `@` prefix (see [`crate::tag`]).
+    pub fn attribute(&mut self, tag: TagId, value: &str) -> u32 {
+        let parent = self.top();
+        let level = self.records[parent as usize].level + 1;
+        let pre = self.records.len() as u32;
+        self.records.push(NodeRecord {
+            tag,
+            kind: NodeKind::Attribute,
+            content: Some(value.into()),
+            parent,
+            end: pre,
+            level,
+        });
+        pre
+    }
+
+    /// Adds a text run under the currently open element.
+    pub fn text(&mut self, value: &str, interner: &TagInterner) -> u32 {
+        let parent = self.top();
+        let level = self.records[parent as usize].level + 1;
+        let pre = self.records.len() as u32;
+        self.records.push(NodeRecord {
+            tag: interner.text_tag(),
+            kind: NodeKind::Text,
+            content: Some(value.into()),
+            parent,
+            end: pre,
+            level,
+        });
+        *self.child_counts.last_mut().unwrap() += 1;
+        pre
+    }
+
+    /// Convenience: `start_element` + `text` + `end_element` (which collapses
+    /// to a single node with inline content).
+    pub fn leaf(&mut self, tag: TagId, content: &str, interner: &TagInterner) -> u32 {
+        let pre = self.start_element(tag);
+        self.text(content, interner);
+        self.end_element().expect("leaf is balanced");
+        pre
+    }
+
+    /// Closes the current element, fixing up its interval.
+    pub fn end_element(&mut self) -> Result<u32> {
+        if self.stack.len() <= 1 {
+            return Err(Error::Builder("end_element without matching start".into()));
+        }
+        let pre = self.stack.pop().unwrap();
+        let non_attr_children = self.child_counts.pop().unwrap();
+        let last = self.records.len() as u32 - 1;
+        // Collapse `<e>text</e>` (possibly with attributes) into inline
+        // content. The last record must be a *direct* text child of the
+        // element being closed — with one nested element child, the arena's
+        // last record can be a grandchild text run that must not be stolen.
+        if non_attr_children == 1
+            && self.records[last as usize].kind == NodeKind::Text
+            && self.records[last as usize].parent == pre
+        {
+            let text = self.records.pop().unwrap();
+            self.records[pre as usize].content = text.content;
+        }
+        let end = self.records.len() as u32 - 1;
+        self.records[pre as usize].end = end;
+        Ok(pre)
+    }
+
+    /// Finalizes the document. Fails if elements are still open.
+    pub fn finish(mut self) -> Result<Document> {
+        if self.stack.len() != 1 {
+            return Err(Error::Builder(format!("{} unclosed element(s)", self.stack.len() - 1)));
+        }
+        self.records[0].end = self.records.len() as u32 - 1;
+        let doc = Document { name: self.name, records: self.records };
+        debug_assert!(doc.check_invariants().is_ok());
+        Ok(doc)
+    }
+}
+
+/// Borrowed view of a node inside a known document, convenient for callers
+/// that hold a [`NodeId`].
+#[derive(Clone, Copy)]
+pub struct DocNode<'a> {
+    /// The owning document.
+    pub doc: &'a Document,
+    /// The document's id in the database.
+    pub doc_id: DocId,
+    /// Pre rank within the document.
+    pub pre: u32,
+}
+
+impl<'a> DocNode<'a> {
+    /// The full node id.
+    pub fn id(&self) -> NodeId {
+        NodeId::new(self.doc_id, self.pre)
+    }
+
+    /// The record behind this view.
+    pub fn record(&self) -> &'a NodeRecord {
+        self.doc.record(self.pre)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_sample() -> (Document, TagInterner) {
+        // <site><person id="p0"><age>25</age><name>Ann</name></person>
+        //       <person id="p1"><name>Bo</name></person></site>
+        let i = TagInterner::new();
+        let (site, person, age, name, at_id) = (
+            i.intern("site"),
+            i.intern("person"),
+            i.intern("age"),
+            i.intern("name"),
+            i.intern("@id"),
+        );
+        let mut b = DocumentBuilder::new("sample.xml", &i);
+        b.start_element(site);
+        b.start_element(person);
+        b.attribute(at_id, "p0");
+        b.leaf(age, "25", &i);
+        b.leaf(name, "Ann", &i);
+        b.end_element().unwrap();
+        b.start_element(person);
+        b.attribute(at_id, "p1");
+        b.leaf(name, "Bo", &i);
+        b.end_element().unwrap();
+        b.end_element().unwrap();
+        (b.finish().unwrap(), i)
+    }
+
+    #[test]
+    fn invariants_hold_for_sample() {
+        let (doc, _) = build_sample();
+        doc.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn leaf_text_is_collapsed_inline() {
+        let (doc, i) = build_sample();
+        let age = i.lookup("age").unwrap();
+        let node = (0..doc.len() as u32).find(|&p| doc.record(p).tag == age).unwrap();
+        assert_eq!(doc.record(node).content.as_deref(), Some("25"));
+        assert_eq!(doc.record(node).end, node, "collapsed leaf spans itself");
+        assert_eq!(doc.num_value(node), Some(25.0));
+    }
+
+    #[test]
+    fn children_iterates_in_document_order() {
+        let (doc, i) = build_sample();
+        let person = i.lookup("person").unwrap();
+        let site_children: Vec<u32> = doc.children(1).collect();
+        assert_eq!(site_children.len(), 2);
+        assert!(site_children.iter().all(|&c| doc.record(c).tag == person));
+        assert!(site_children[0] < site_children[1]);
+    }
+
+    #[test]
+    fn attributes_come_before_element_children() {
+        let (doc, i) = build_sample();
+        let person = i.lookup("person").unwrap();
+        let p0 = (0..doc.len() as u32).find(|&p| doc.record(p).tag == person).unwrap();
+        let kids: Vec<NodeKind> = doc.children(p0).map(|c| doc.record(c).kind).collect();
+        assert_eq!(kids[0], NodeKind::Attribute);
+        assert!(kids[1..].iter().all(|k| *k == NodeKind::Element));
+    }
+
+    #[test]
+    fn string_value_concatenates_descendant_text_not_attributes() {
+        let (doc, i) = build_sample();
+        let person = i.lookup("person").unwrap();
+        let p0 = (0..doc.len() as u32).find(|&p| doc.record(p).tag == person).unwrap();
+        assert_eq!(doc.string_value(p0), "25Ann");
+    }
+
+    #[test]
+    fn ancestor_test_matches_navigation() {
+        let (doc, _) = build_sample();
+        for a in 0..doc.len() as u32 {
+            for d in 0..doc.len() as u32 {
+                let nav = {
+                    let mut cur = doc.parent(d);
+                    let mut found = false;
+                    while let Some(p) = cur {
+                        if p == a {
+                            found = true;
+                            break;
+                        }
+                        cur = doc.parent(p);
+                    }
+                    found
+                };
+                assert_eq!(doc.is_ancestor(a, d), nav, "a={a} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn collapse_does_not_steal_grandchild_text() {
+        // <li><t>head<k>kw</k>tail</t></li> — li has one element child whose
+        // last descendant is a text run; collapsing must not move "tail"
+        // onto li. (Regression: found by the xmark round-trip test.)
+        let i = TagInterner::new();
+        let (li, t, k) = (i.intern("li"), i.intern("t"), i.intern("k"));
+        let mut b = DocumentBuilder::new("m.xml", &i);
+        b.start_element(li);
+        b.start_element(t);
+        b.text("head", &i);
+        b.leaf(k, "kw", &i);
+        b.text("tail", &i);
+        b.end_element().unwrap();
+        b.end_element().unwrap();
+        let doc = b.finish().unwrap();
+        doc.check_invariants().unwrap();
+        assert_eq!(doc.record(1).content, None, "li keeps no stolen content");
+        assert_eq!(doc.string_value(1), "headkwtail");
+        // t has three children: text, k, text.
+        assert_eq!(doc.child_count(2), 3);
+    }
+
+    #[test]
+    fn unbalanced_builder_fails() {
+        let i = TagInterner::new();
+        let mut b = DocumentBuilder::new("bad.xml", &i);
+        b.start_element(i.intern("open"));
+        assert!(b.finish().is_err());
+
+        let mut b = DocumentBuilder::new("bad2.xml", &i);
+        assert!(b.end_element().is_err());
+    }
+
+    #[test]
+    fn subtree_covers_interval() {
+        let (doc, i) = build_sample();
+        let person = i.lookup("person").unwrap();
+        let p0 = (0..doc.len() as u32).find(|&p| doc.record(p).tag == person).unwrap();
+        let sub: Vec<u32> = doc.subtree(p0).collect();
+        assert_eq!(sub.first(), Some(&p0));
+        assert_eq!(*sub.last().unwrap(), doc.record(p0).end);
+    }
+}

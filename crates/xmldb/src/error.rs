@@ -1,0 +1,52 @@
+//! Error type shared across the store.
+
+use std::fmt;
+
+/// Errors raised by the XML store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The XML input was malformed. Carries a byte offset and a message.
+    Parse {
+        /// Byte offset of the error in the input.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A node id referred to a document that does not exist.
+    NoSuchDocument(u32),
+    /// A node id referred to a pre-order rank outside its document.
+    NoSuchNode {
+        /// The document id.
+        doc: u32,
+        /// The out-of-range pre rank.
+        pre: u32,
+    },
+    /// A document with the given logical name was not found.
+    UnknownDocumentName(String),
+    /// A document with the given logical name is already loaded.
+    DuplicateDocumentName(String),
+    /// The document builder was used incorrectly (e.g. unbalanced pushes).
+    Builder(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { offset, message } => {
+                write!(f, "XML parse error at byte {offset}: {message}")
+            }
+            Error::NoSuchDocument(d) => write!(f, "no document with id {d}"),
+            Error::NoSuchNode { doc, pre } => {
+                write!(f, "document {doc} has no node with pre rank {pre}")
+            }
+            Error::UnknownDocumentName(n) => write!(f, "no document named {n:?} is loaded"),
+            Error::DuplicateDocumentName(n) => write!(f, "document named {n:?} already loaded"),
+            Error::Builder(m) => write!(f, "document builder misuse: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,205 @@
+//! Access-path indexes.
+//!
+//! The paper's experiments use exactly two access paths (§6.2):
+//!
+//! * *"We used an index on element tag name for all the queries, which
+//!   returns the node identifiers given a tag name."* — [`TagIndex`].
+//! * *"On all queries that had a condition on content we used a value index,
+//!   which returns the node ids given a content value."* — [`ValueIndex`],
+//!   which supports both exact-match lookups and numeric range scans.
+//!
+//! There is intentionally **no index on join values** (*"Unfortunately our
+//! implementation does not support indices on join values"*), so value-join
+//! queries pay full data-access cost, as in the paper.
+//!
+//! Both indexes return node-id lists in document order, which is what the
+//! merge-based structural joins require.
+
+use crate::node::{NodeId, NodeKind};
+use crate::tag::TagId;
+use std::collections::{BTreeMap, HashMap};
+
+/// Tag-name index: interned tag → node ids in global document order.
+#[derive(Debug, Default)]
+pub struct TagIndex {
+    map: HashMap<TagId, Vec<NodeId>>,
+    empty: Vec<NodeId>,
+}
+
+impl TagIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        TagIndex::default()
+    }
+
+    /// Registers a node. Nodes must be inserted in document order (the
+    /// database loads documents one at a time in pre order, so this holds).
+    pub fn insert(&mut self, tag: TagId, id: NodeId) {
+        let list = self.map.entry(tag).or_default();
+        debug_assert!(list.last().is_none_or(|l| *l < id), "tag index must stay sorted");
+        list.push(id);
+    }
+
+    /// All nodes with the given tag, in document order.
+    pub fn get(&self, tag: TagId) -> &[NodeId] {
+        self.map.get(&tag).unwrap_or(&self.empty)
+    }
+
+    /// Number of distinct tags indexed.
+    pub fn tag_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of postings.
+    pub fn posting_count(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+}
+
+/// Totally ordered `f64` wrapper so numbers can key a `BTreeMap`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Content-value index over nodes with inline content (leaf elements,
+/// attributes and text nodes).
+#[derive(Debug, Default)]
+pub struct ValueIndex {
+    /// Exact string match: `(tag, value) → ids` (document order).
+    exact: HashMap<(TagId, Box<str>), Vec<NodeId>>,
+    /// Numeric index per tag for range predicates.
+    numeric: HashMap<TagId, BTreeMap<OrdF64, Vec<NodeId>>>,
+    empty: Vec<NodeId>,
+}
+
+impl ValueIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        ValueIndex::default()
+    }
+
+    /// Registers a node's inline content. Insertion must follow document
+    /// order (same contract as [`TagIndex::insert`]).
+    pub fn insert(&mut self, tag: TagId, kind: NodeKind, id: NodeId, content: &str) {
+        debug_assert!(matches!(kind, NodeKind::Element | NodeKind::Attribute | NodeKind::Text));
+        self.exact.entry((tag, content.into())).or_default().push(id);
+        if let Ok(n) = content.trim().parse::<f64>() {
+            self.numeric.entry(tag).or_default().entry(OrdF64(n)).or_default().push(id);
+        }
+    }
+
+    /// Nodes whose tag is `tag` and whose inline content equals `value`.
+    pub fn lookup_exact(&self, tag: TagId, value: &str) -> &[NodeId] {
+        // Key by reference without allocating: HashMap<(TagId, Box<str>)>
+        // cannot be probed with (&TagId, &str), so we pay one small
+        // allocation per query compilation — not per tuple.
+        self.exact.get(&(tag, Box::from(value))).map_or(&self.empty[..], Vec::as_slice)
+    }
+
+    /// Nodes with tag `tag` whose numeric value lies in `[lo, hi]`
+    /// (either bound optional), in document order.
+    pub fn lookup_range(&self, tag: TagId, lo: Option<f64>, hi: Option<f64>) -> Vec<NodeId> {
+        let Some(tree) = self.numeric.get(&tag) else {
+            return Vec::new();
+        };
+        use std::ops::Bound::*;
+        let lo = lo.map_or(Unbounded, |v| Included(OrdF64(v)));
+        let hi = hi.map_or(Unbounded, |v| Included(OrdF64(v)));
+        let mut out: Vec<NodeId> = tree.range((lo, hi)).flat_map(|(_, v)| v.iter().copied()).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Nodes with tag `tag` whose numeric value is strictly above/below a
+    /// bound — convenience for `>` / `<` predicates.
+    pub fn lookup_cmp(&self, tag: TagId, op: std::cmp::Ordering, value: f64) -> Vec<NodeId> {
+        let Some(tree) = self.numeric.get(&tag) else {
+            return Vec::new();
+        };
+        use std::cmp::Ordering::*;
+        use std::ops::Bound::*;
+        let range: (std::ops::Bound<OrdF64>, std::ops::Bound<OrdF64>) = match op {
+            Less => (Unbounded, Excluded(OrdF64(value))),
+            Greater => (Excluded(OrdF64(value)), Unbounded),
+            Equal => (Included(OrdF64(value)), Included(OrdF64(value))),
+        };
+        let mut out: Vec<NodeId> = tree.range(range).flat_map(|(_, v)| v.iter().copied()).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::DocId;
+
+    fn id(pre: u32) -> NodeId {
+        NodeId::new(DocId(0), pre)
+    }
+
+    #[test]
+    fn tag_index_returns_document_order() {
+        let mut ti = TagIndex::new();
+        let t = TagId(7);
+        for pre in [1, 4, 9, 200] {
+            ti.insert(t, id(pre));
+        }
+        assert_eq!(ti.get(t).len(), 4);
+        assert!(ti.get(t).windows(2).all(|w| w[0] < w[1]));
+        assert!(ti.get(TagId(99)).is_empty());
+        assert_eq!(ti.tag_count(), 1);
+        assert_eq!(ti.posting_count(), 4);
+    }
+
+    #[test]
+    fn value_index_exact_lookup() {
+        let mut vi = ValueIndex::new();
+        let t = TagId(3);
+        vi.insert(t, NodeKind::Element, id(2), "person0");
+        vi.insert(t, NodeKind::Element, id(5), "person1");
+        vi.insert(t, NodeKind::Element, id(8), "person0");
+        assert_eq!(vi.lookup_exact(t, "person0"), &[id(2), id(8)]);
+        assert!(vi.lookup_exact(t, "nobody").is_empty());
+        assert!(vi.lookup_exact(TagId(4), "person0").is_empty());
+    }
+
+    #[test]
+    fn value_index_numeric_range_and_cmp() {
+        let mut vi = ValueIndex::new();
+        let t = TagId(3);
+        for (pre, v) in [(1, "10"), (2, "25.5"), (3, "40"), (4, "abc"), (5, "25.5")] {
+            vi.insert(t, NodeKind::Element, id(pre), v);
+        }
+        assert_eq!(vi.lookup_range(t, Some(20.0), Some(30.0)), vec![id(2), id(5)]);
+        assert_eq!(vi.lookup_cmp(t, std::cmp::Ordering::Greater, 25.5), vec![id(3)]);
+        assert_eq!(vi.lookup_cmp(t, std::cmp::Ordering::Less, 25.5), vec![id(1)]);
+        assert_eq!(vi.lookup_cmp(t, std::cmp::Ordering::Equal, 25.5), vec![id(2), id(5)]);
+        // Non-numeric content is only reachable through exact lookup.
+        assert_eq!(vi.lookup_exact(t, "abc"), &[id(4)]);
+    }
+
+    #[test]
+    fn range_with_open_bounds() {
+        let mut vi = ValueIndex::new();
+        let t = TagId(1);
+        for (pre, v) in [(1, "1"), (2, "2"), (3, "3")] {
+            vi.insert(t, NodeKind::Element, id(pre), v);
+        }
+        assert_eq!(vi.lookup_range(t, None, None).len(), 3);
+        assert_eq!(vi.lookup_range(t, Some(2.0), None).len(), 2);
+        assert_eq!(vi.lookup_range(t, None, Some(1.5)).len(), 1);
+        assert!(vi.lookup_range(TagId(9), None, None).is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! Node identifiers and the structural predicates built on them.
+//!
+//! The paper's §5.1 (Figure 13) lists four properties a node identifier must
+//! satisfy:
+//!
+//! 1. **Uniqueness** — `(document, pre-order rank)` is unique by construction.
+//! 2. **Structural relationship** — with the interval encoding `(pre, end,
+//!    level)`, ancestor/descendant is two comparisons and parent/child adds a
+//!    level check; this is what makes merge-based structural joins possible.
+//! 3. **Absolute document order** — pre-order rank *is* document order, so a
+//!    sequence of trees can be re-sorted into document order by root id alone
+//!    (the paper's "sort-merge-sort" join relies on this).
+//! 4. **Order within a class** — temporary nodes created during execution
+//!    (join roots, aggregate results, constructed elements) only need to be
+//!    sortable among members of the same logical class; [`TempId`] provides a
+//!    per-class monotone counter and never forces renumbering of base nodes,
+//!    exactly the design argued for against "Dynamic-Intervals".
+
+use std::fmt;
+
+/// Identifier of a loaded document within a [`crate::Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u32);
+
+/// Identifier of a base (stored) node: document plus pre-order rank.
+///
+/// Ordering on `NodeId` is `(doc, pre)`, i.e. global document order with
+/// documents ordered by load time — Property 3 of Figure 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId {
+    /// The owning document.
+    pub doc: DocId,
+    /// Pre-order rank within the document; also the arena index.
+    pub pre: u32,
+}
+
+impl NodeId {
+    /// Builds a node id from raw parts.
+    pub fn new(doc: DocId, pre: u32) -> Self {
+        NodeId { doc, pre }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.doc.0, self.pre)
+    }
+}
+
+/// Identifier for a temporary node produced during query execution.
+///
+/// Satisfies Properties 1 and 4 of Figure 13: unique (a global monotone
+/// counter) and ordered consistently within any logical class (creation
+/// order), but carries no interval — temporary nodes never participate in
+/// structural joins, and they are not part of any original document so they
+/// need no document order (see the discussion in §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TempId(pub u64);
+
+/// What a stored node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A synthetic per-document root (`doc_root` in the paper's figures).
+    DocRoot,
+    /// An XML element.
+    Element,
+    /// An attribute, modelled as a child node whose tag is `@name`.
+    Attribute,
+    /// A text node (tag `#text`).
+    Text,
+}
+
+/// Structural axis between two pattern-tree nodes: the `Rel_e` of Definition 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AxisRel {
+    /// Immediate inclusion (`/` in XPath, single edge in the figures).
+    Child,
+    /// Inclusion at arbitrary depth (`//`, double edge in the figures).
+    Descendant,
+}
+
+impl AxisRel {
+    /// Evaluates the axis on interval-encoded nodes.
+    ///
+    /// `a_*` describe the candidate ancestor/parent, `d_*` the candidate
+    /// descendant/child. Both nodes must belong to the same document; the
+    /// caller checks that.
+    #[inline]
+    pub fn holds(self, a_pre: u32, a_end: u32, a_level: u16, d_pre: u32, d_level: u16) -> bool {
+        let contains = a_pre < d_pre && d_pre <= a_end;
+        match self {
+            AxisRel::Descendant => contains,
+            AxisRel::Child => contains && d_level == a_level + 1,
+        }
+    }
+}
+
+/// Interval test: is `(a_pre, a_end)` an ancestor of the node at `d_pre`?
+#[inline]
+pub fn is_ancestor(a_pre: u32, a_end: u32, d_pre: u32) -> bool {
+    a_pre < d_pre && d_pre <= a_end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_ids_order_by_document_then_pre() {
+        let a = NodeId::new(DocId(0), 5);
+        let b = NodeId::new(DocId(0), 9);
+        let c = NodeId::new(DocId(1), 0);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn axis_child_requires_level_adjacency() {
+        // node 0 spans [0,10] at level 0; node 3 is at level 2.
+        assert!(AxisRel::Descendant.holds(0, 10, 0, 3, 2));
+        assert!(!AxisRel::Child.holds(0, 10, 0, 3, 2));
+        assert!(AxisRel::Child.holds(0, 10, 0, 3, 1));
+    }
+
+    #[test]
+    fn a_node_is_not_its_own_ancestor() {
+        assert!(!is_ancestor(4, 9, 4));
+        assert!(is_ancestor(4, 9, 5));
+        assert!(is_ancestor(4, 9, 9));
+        assert!(!is_ancestor(4, 9, 10));
+    }
+
+    #[test]
+    fn display_is_doc_colon_pre() {
+        assert_eq!(NodeId::new(DocId(2), 7).to_string(), "2:7");
+    }
+}

@@ -1,0 +1,352 @@
+//! A small hand-written XML parser.
+//!
+//! Supports the subset needed by the reproduction: elements, attributes
+//! (single- or double-quoted), character data, the five predefined entities,
+//! numeric character references, comments, processing instructions and an XML
+//! declaration (both skipped), and CDATA sections. Namespaces, DTDs and
+//! mixed-content whitespace trimming policies are out of scope; whitespace-only
+//! text between elements is dropped, as is conventional for data-centric XML.
+
+use crate::document::{Document, DocumentBuilder};
+use crate::error::{Error, Result};
+use crate::tag::TagInterner;
+
+/// Parses `xml` into a [`Document`] named `name`, interning tags in `interner`.
+pub fn parse_document(name: &str, xml: &str, interner: &TagInterner) -> Result<Document> {
+    let mut p = Parser { input: xml.as_bytes(), pos: 0, interner };
+    let mut builder = DocumentBuilder::new(name, interner);
+    p.skip_prolog()?;
+    p.parse_element(&mut builder)?;
+    p.skip_misc();
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing content after document element"));
+    }
+    builder.finish()
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    interner: &'a TagInterner,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> Error {
+        Error::Parse { offset: self.pos, message: message.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<()> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn skip_prolog(&mut self) -> Result<()> {
+        self.skip_ws();
+        if self.starts_with("<?xml") {
+            let end = self.find("?>").ok_or_else(|| self.err("unterminated XML declaration"))?;
+            self.pos = end + 2;
+        }
+        self.skip_misc();
+        if self.starts_with("<!DOCTYPE") {
+            // Skip to the closing '>' (we do not support internal subsets).
+            let end = self.find(">").ok_or_else(|| self.err("unterminated DOCTYPE"))?;
+            self.pos = end + 1;
+        }
+        self.skip_misc();
+        Ok(())
+    }
+
+    /// Skips whitespace, comments and processing instructions.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                match self.find("-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => {
+                        self.pos = self.input.len();
+                        return;
+                    }
+                }
+            } else if self.starts_with("<?") {
+                match self.find("?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => {
+                        self.pos = self.input.len();
+                        return;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn find(&self, needle: &str) -> Option<usize> {
+        let n = needle.as_bytes();
+        self.input[self.pos..].windows(n.len()).position(|w| w == n).map(|i| i + self.pos)
+    }
+
+    fn name(&mut self) -> Result<&'a str> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        std::str::from_utf8(&self.input[start..self.pos]).map_err(|_| self.err("invalid UTF-8 in name"))
+    }
+
+    fn parse_element(&mut self, b: &mut DocumentBuilder) -> Result<()> {
+        self.expect(b'<')?;
+        let tag_name = self.name()?;
+        let tag = self.interner.intern(tag_name);
+        b.start_element(tag);
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    b.end_element().map_err(|e| self.err(&e.to_string()))?;
+                    return Ok(());
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr_name = self.name()?;
+                    let attr_tag = self.interner.intern(&format!("@{attr_name}"));
+                    self.skip_ws();
+                    self.expect(b'=')?;
+                    self.skip_ws();
+                    let quote = self.peek().ok_or_else(|| self.err("unterminated attribute"))?;
+                    if quote != b'"' && quote != b'\'' {
+                        return Err(self.err("attribute value must be quoted"));
+                    }
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != quote) {
+                        self.pos += 1;
+                    }
+                    let raw = std::str::from_utf8(&self.input[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in attribute"))?;
+                    self.expect(quote)?;
+                    let value = unescape(raw).map_err(|m| self.err(&m))?;
+                    b.attribute(attr_tag, &value);
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+        // Content.
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated element")),
+                Some(b'<') => {
+                    if self.starts_with("</") {
+                        self.pos += 2;
+                        let close = self.name()?;
+                        if close != tag_name {
+                            return Err(self.err(&format!(
+                                "mismatched close tag: expected </{tag_name}>, found </{close}>"
+                            )));
+                        }
+                        self.skip_ws();
+                        self.expect(b'>')?;
+                        b.end_element().map_err(|e| self.err(&e.to_string()))?;
+                        return Ok(());
+                    } else if self.starts_with("<!--") {
+                        let end = self.find("-->").ok_or_else(|| self.err("unterminated comment"))?;
+                        self.pos = end + 3;
+                    } else if self.starts_with("<![CDATA[") {
+                        let end = self.find("]]>").ok_or_else(|| self.err("unterminated CDATA"))?;
+                        let raw = std::str::from_utf8(&self.input[self.pos + 9..end])
+                            .map_err(|_| self.err("invalid UTF-8 in CDATA"))?;
+                        b.text(raw, self.interner);
+                        self.pos = end + 3;
+                    } else if self.starts_with("<?") {
+                        let end = self.find("?>").ok_or_else(|| self.err("unterminated PI"))?;
+                        self.pos = end + 2;
+                    } else {
+                        self.parse_element(b)?;
+                    }
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != b'<') {
+                        self.pos += 1;
+                    }
+                    let raw = std::str::from_utf8(&self.input[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in text"))?;
+                    if !raw.trim().is_empty() {
+                        let text = unescape(raw).map_err(|m| self.err(&m))?;
+                        b.text(text.trim(), self.interner);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Replaces the predefined entities and numeric character references.
+fn unescape(s: &str) -> std::result::Result<String, String> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(idx) = rest.find('&') {
+        out.push_str(&rest[..idx]);
+        rest = &rest[idx..];
+        let semi = rest.find(';').ok_or_else(|| "unterminated entity".to_string())?;
+        let entity = &rest[1..semi];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16)
+                    .map_err(|_| format!("bad character reference &{entity};"))?;
+                out.push(char::from_u32(code).ok_or("invalid character reference")?);
+            }
+            _ if entity.starts_with('#') => {
+                let code: u32 =
+                    entity[1..].parse().map_err(|_| format!("bad character reference &{entity};"))?;
+                out.push(char::from_u32(code).ok_or("invalid character reference")?);
+            }
+            _ => return Err(format!("unknown entity &{entity};")),
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    fn parse(xml: &str) -> (Document, TagInterner) {
+        let i = TagInterner::new();
+        let d = parse_document("t.xml", xml, &i).unwrap();
+        (d, i)
+    }
+
+    #[test]
+    fn simple_document() {
+        let (d, i) = parse("<a><b>hi</b><c/></a>");
+        d.check_invariants().unwrap();
+        assert_eq!(d.len(), 4); // #doc, a, b, c
+        let b = i.lookup("b").unwrap();
+        let bn = (0..d.len() as u32).find(|&p| d.record(p).tag == b).unwrap();
+        assert_eq!(d.record(bn).content.as_deref(), Some("hi"));
+    }
+
+    #[test]
+    fn attributes_and_quotes() {
+        let (d, i) = parse(r#"<a x="1" y='two'/>"#);
+        let ax = i.lookup("@x").unwrap();
+        let n = (0..d.len() as u32).find(|&p| d.record(p).tag == ax).unwrap();
+        assert_eq!(d.record(n).kind, NodeKind::Attribute);
+        assert_eq!(d.record(n).content.as_deref(), Some("1"));
+        assert!(i.lookup("@y").is_some());
+    }
+
+    #[test]
+    fn entities_are_unescaped() {
+        let (d, i) = parse("<a>fish &amp; chips &lt;tasty&gt; &#65;&#x42;</a>");
+        let a = i.lookup("a").unwrap();
+        let n = (0..d.len() as u32).find(|&p| d.record(p).tag == a).unwrap();
+        assert_eq!(d.record(n).content.as_deref(), Some("fish & chips <tasty> AB"));
+    }
+
+    #[test]
+    fn prolog_comments_and_pis_are_skipped() {
+        let (d, _) = parse("<?xml version=\"1.0\"?><!-- hi --><a><?pi data?><!-- x --><b/></a>");
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn cdata_is_preserved_verbatim() {
+        let (d, i) = parse("<a><![CDATA[1 < 2 & so]]></a>");
+        let a = i.lookup("a").unwrap();
+        let n = (0..d.len() as u32).find(|&p| d.record(p).tag == a).unwrap();
+        assert_eq!(d.record(n).content.as_deref(), Some("1 < 2 & so"));
+    }
+
+    #[test]
+    fn mixed_content_keeps_text_nodes() {
+        let (d, i) = parse("<a>one<b/>two</a>");
+        let text = i.text_tag();
+        let texts: Vec<&str> = (0..d.len() as u32)
+            .filter(|&p| d.record(p).tag == text)
+            .map(|p| d.record(p).content.as_deref().unwrap())
+            .collect();
+        assert_eq!(texts, vec!["one", "two"]);
+        assert_eq!(d.string_value(1), "onetwo");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let i = TagInterner::new();
+        for bad in ["<a>", "<a></b>", "<a x=1/>", "<a>&bogus;</a>", "<a/><b/>", "plain"] {
+            assert!(parse_document("t", bad, &i).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let (d, _) = parse("<a>\n  <b/>\n  <c/>\n</a>");
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn doctype_is_skipped() {
+        let (d, _) = parse("<!DOCTYPE site SYSTEM \"auction.dtd\"><a/>");
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn deep_nesting_round_trip() {
+        let mut xml = String::new();
+        for _ in 0..200 {
+            xml.push_str("<d>");
+        }
+        xml.push('x');
+        for _ in 0..200 {
+            xml.push_str("</d>");
+        }
+        let (d, _) = parse(&xml);
+        d.check_invariants().unwrap();
+        assert_eq!(d.len(), 201);
+        assert_eq!(d.record(200).level, 200);
+    }
+}

@@ -1,0 +1,262 @@
+//! Binary persistence for the database.
+//!
+//! A compact little-endian format (`TLCX`, version 1) holding the interner
+//! and every document's record arena; the tag and value indexes are rebuilt
+//! on load (they are derived data). Useful for snapshotting generated XMark
+//! databases so benchmark runs and shell sessions skip regeneration.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic "TLCX"  version:u32
+//! interner:  count:u32, then count × (len:u32, utf8 bytes) in id order
+//! documents: count:u32, then per document:
+//!   name: len:u32, bytes
+//!   records: count:u32, then per record:
+//!     tag:u32 kind:u8 parent:u32 end:u32 level:u16
+//!     content: flag:u8 [len:u32, bytes]
+//! ```
+
+use crate::database::Database;
+use crate::document::{Document, NodeRecord};
+use crate::error::{Error, Result};
+use crate::node::NodeKind;
+use crate::tag::TagId;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"TLCX";
+const VERSION: u32 = 1;
+
+fn io_err(e: io::Error) -> Error {
+    Error::Parse { offset: 0, message: format!("persistence I/O: {e}") }
+}
+
+fn bad(message: impl Into<String>) -> Error {
+    Error::Parse { offset: 0, message: message.into() }
+}
+
+fn w_u32(w: &mut impl Write, v: u32) -> Result<()> {
+    w.write_all(&v.to_le_bytes()).map_err(io_err)
+}
+
+fn w_u16(w: &mut impl Write, v: u16) -> Result<()> {
+    w.write_all(&v.to_le_bytes()).map_err(io_err)
+}
+
+fn w_u8(w: &mut impl Write, v: u8) -> Result<()> {
+    w.write_all(&[v]).map_err(io_err)
+}
+
+fn w_str(w: &mut impl Write, s: &str) -> Result<()> {
+    w_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes()).map_err(io_err)
+}
+
+fn r_u32(r: &mut impl Read) -> Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b).map_err(io_err)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn r_u16(r: &mut impl Read) -> Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b).map_err(io_err)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn r_u8(r: &mut impl Read) -> Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b).map_err(io_err)?;
+    Ok(b[0])
+}
+
+fn r_str(r: &mut impl Read) -> Result<String> {
+    let len = r_u32(r)? as usize;
+    if len > 1 << 30 {
+        return Err(bad("string length out of range"));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf).map_err(io_err)?;
+    String::from_utf8(buf).map_err(|_| bad("invalid UTF-8 in snapshot"))
+}
+
+/// Writes a snapshot of the whole database.
+pub fn save(db: &Database, w: &mut impl Write) -> Result<()> {
+    w.write_all(MAGIC).map_err(io_err)?;
+    w_u32(w, VERSION)?;
+    // Interner, in id order (so ids survive the round trip unchanged).
+    let tag_count = db.interner().len() as u32;
+    w_u32(w, tag_count)?;
+    for id in 0..tag_count {
+        w_str(w, &db.interner().name(TagId(id)))?;
+    }
+    // Documents.
+    w_u32(w, db.document_count() as u32)?;
+    for d in 0..db.document_count() {
+        let doc = db.document(crate::node::DocId(d as u32));
+        w_str(w, doc.name())?;
+        w_u32(w, doc.len() as u32)?;
+        for rec in doc.records() {
+            w_u32(w, rec.tag.0)?;
+            w_u8(w, kind_code(rec.kind))?;
+            w_u32(w, rec.parent)?;
+            w_u32(w, rec.end)?;
+            w_u16(w, rec.level)?;
+            match &rec.content {
+                None => w_u8(w, 0)?,
+                Some(c) => {
+                    w_u8(w, 1)?;
+                    w_str(w, c)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a snapshot into a fresh database (indexes rebuilt).
+pub fn load(r: &mut impl Read) -> Result<Database> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != MAGIC {
+        return Err(bad("not a TLCX snapshot"));
+    }
+    let version = r_u32(r)?;
+    if version != VERSION {
+        return Err(bad(format!("unsupported snapshot version {version}")));
+    }
+    let db = Database::new();
+    let tag_count = r_u32(r)?;
+    for expect in 0..tag_count {
+        let name = r_str(r)?;
+        let id = db.interner().intern(&name);
+        if id.0 != expect {
+            return Err(bad(format!("interner id mismatch for {name:?}")));
+        }
+    }
+    let mut db = db;
+    let doc_count = r_u32(r)?;
+    for _ in 0..doc_count {
+        let name = r_str(r)?;
+        let rec_count = r_u32(r)? as usize;
+        let mut records = Vec::with_capacity(rec_count);
+        for _ in 0..rec_count {
+            let tag = TagId(r_u32(r)?);
+            if tag.0 >= tag_count {
+                return Err(bad("record references an unknown tag"));
+            }
+            let kind = kind_from(r_u8(r)?)?;
+            let parent = r_u32(r)?;
+            let end = r_u32(r)?;
+            let level = r_u16(r)?;
+            let content = match r_u8(r)? {
+                0 => None,
+                1 => Some(r_str(r)?.into()),
+                _ => return Err(bad("bad content flag")),
+            };
+            records.push(NodeRecord { tag, kind, content, parent, end, level });
+        }
+        let doc = Document::from_parts(&name, records)?;
+        db.insert(doc)?;
+    }
+    Ok(db)
+}
+
+/// Saves to a file path.
+pub fn save_file(db: &Database, path: &std::path::Path) -> Result<()> {
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    let mut w = std::io::BufWriter::new(file);
+    save(db, &mut w)?;
+    w.flush().map_err(io_err)
+}
+
+/// Loads from a file path.
+pub fn load_file(path: &std::path::Path) -> Result<Database> {
+    let file = std::fs::File::open(path).map_err(io_err)?;
+    load(&mut std::io::BufReader::new(file))
+}
+
+fn kind_code(k: NodeKind) -> u8 {
+    match k {
+        NodeKind::DocRoot => 0,
+        NodeKind::Element => 1,
+        NodeKind::Attribute => 2,
+        NodeKind::Text => 3,
+    }
+}
+
+fn kind_from(code: u8) -> Result<NodeKind> {
+    Ok(match code {
+        0 => NodeKind::DocRoot,
+        1 => NodeKind::Element,
+        2 => NodeKind::Attribute,
+        3 => NodeKind::Text,
+        other => return Err(bad(format!("bad node kind {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.load_xml(
+            "a.xml",
+            r#"<site><person id="p0"><name>Ann &amp; Co</name><age>30</age></person></site>"#,
+        )
+        .unwrap();
+        db.load_xml("b.xml", "<r><x/><x/></r>").unwrap();
+        db
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        save(&db, &mut buf).unwrap();
+        let loaded = load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.document_count(), 2);
+        assert_eq!(loaded.node_count(), db.node_count());
+        // Serialization identical.
+        for d in 0..2u32 {
+            let a = crate::serialize::serialize_subtree(&db, db.root(crate::node::DocId(d)));
+            let b = crate::serialize::serialize_subtree(&loaded, loaded.root(crate::node::DocId(d)));
+            assert_eq!(a, b);
+        }
+        // Indexes rebuilt and usable.
+        assert_eq!(loaded.nodes_with_tag("x").len(), 2);
+        let age = loaded.interner().lookup("age").unwrap();
+        assert_eq!(loaded.value_index().lookup_cmp(age, std::cmp::Ordering::Greater, 20.0).len(), 1);
+        // Invariants hold.
+        loaded.document(crate::node::DocId(0)).check_invariants().unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        save(&db, &mut buf).unwrap();
+        // Bad magic.
+        let mut bad_magic = buf.clone();
+        bad_magic[0] = b'X';
+        assert!(load(&mut bad_magic.as_slice()).is_err());
+        // Bad version.
+        let mut bad_version = buf.clone();
+        bad_version[4] = 99;
+        assert!(load(&mut bad_version.as_slice()).is_err());
+        // Truncated.
+        let truncated = &buf[..buf.len() / 2];
+        assert!(load(&mut &truncated[..]).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let db = sample_db();
+        let path = std::env::temp_dir().join(format!("tlcx_test_{}.tlcx", std::process::id()));
+        save_file(&db, &path).unwrap();
+        let loaded = load_file(&path).unwrap();
+        assert_eq!(loaded.node_count(), db.node_count());
+        std::fs::remove_file(&path).ok();
+    }
+}

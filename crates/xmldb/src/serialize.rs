@@ -1,0 +1,139 @@
+//! XML serialization of stored subtrees.
+
+use crate::database::Database;
+use crate::node::{NodeId, NodeKind};
+
+/// Escapes character data.
+pub fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escapes an attribute value (double-quoted context).
+pub fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Serializes the subtree rooted at `id` back to XML text.
+///
+/// Document roots serialize as their children concatenated. Output is
+/// canonical enough for equality comparison across engines: attributes are
+/// emitted in stored (document) order and no insignificant whitespace is
+/// produced.
+pub fn serialize_subtree(db: &Database, id: NodeId) -> String {
+    let mut out = String::new();
+    write_subtree(db, id, &mut out);
+    out
+}
+
+fn write_subtree(db: &Database, id: NodeId, out: &mut String) {
+    let node = db.node(id);
+    match node.kind() {
+        NodeKind::DocRoot => {
+            for c in node.children() {
+                write_subtree(db, c.id(), out);
+            }
+        }
+        NodeKind::Text => {
+            if let Some(t) = node.content() {
+                escape_text(t, out);
+            }
+        }
+        NodeKind::Attribute => {
+            // A bare attribute serializes as name="value" (used when an
+            // attribute node is itself a query result).
+            let name = node.tag_name();
+            out.push_str(&name[1..]);
+            out.push_str("=\"");
+            escape_attr(node.content().unwrap_or(""), out);
+            out.push('"');
+        }
+        NodeKind::Element => {
+            let name = node.tag_name();
+            out.push('<');
+            out.push_str(&name);
+            let mut element_children = Vec::new();
+            for c in node.children() {
+                if c.kind() == NodeKind::Attribute {
+                    out.push(' ');
+                    let an = c.tag_name();
+                    out.push_str(&an[1..]);
+                    out.push_str("=\"");
+                    escape_attr(c.content().unwrap_or(""), out);
+                    out.push('"');
+                } else {
+                    element_children.push(c.id());
+                }
+            }
+            // Empty inline content is indistinguishable from no content
+            // after a parse round-trip; canonicalize to the self-closing
+            // form.
+            let inline = node.content().filter(|c| !c.is_empty());
+            if element_children.is_empty() && inline.is_none() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            if let Some(t) = inline {
+                escape_text(t, out);
+            }
+            for c in element_children {
+                write_subtree(db, c, out);
+            }
+            out.push_str("</");
+            out.push_str(&name);
+            out.push('>');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_stable() {
+        let mut db = Database::new();
+        let src = r#"<site><person id="p0"><age>25</age><name>Ann &amp; Co</name></person><empty/></site>"#;
+        let d = db.load_xml("t.xml", src).unwrap();
+        let first = serialize_subtree(&db, db.root(d));
+        // Parsing the serialization again must serialize identically.
+        let mut db2 = Database::new();
+        let d2 = db2.load_xml("t.xml", &first).unwrap();
+        let second = serialize_subtree(&db2, db2.root(d2));
+        assert_eq!(first, second);
+        assert!(first.contains("<age>25</age>"));
+        assert!(first.contains("id=\"p0\""));
+        assert!(first.contains("<empty/>"));
+        assert!(first.contains("Ann &amp; Co"));
+    }
+
+    #[test]
+    fn serializing_inner_subtree() {
+        let mut db = Database::new();
+        db.load_xml("t.xml", "<a><b c=\"1\">x</b><b c=\"2\">y</b></a>").unwrap();
+        let b1 = db.nodes_with_tag("b")[1];
+        assert_eq!(serialize_subtree(&db, b1), "<b c=\"2\">y</b>");
+    }
+
+    #[test]
+    fn attribute_node_serializes_as_pair() {
+        let mut db = Database::new();
+        db.load_xml("t.xml", "<a c=\"v&quot;\"/>").unwrap();
+        let attr = db.nodes_with_tag("@c")[0];
+        assert_eq!(serialize_subtree(&db, attr), "c=\"v&quot;\"");
+    }
+}

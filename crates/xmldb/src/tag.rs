@@ -1,0 +1,160 @@
+//! Tag-name interning.
+//!
+//! Every node label (element tag, attribute name, the synthetic `#text` and
+//! `#doc` labels) is interned to a dense [`TagId`]. Pattern matching, the tag
+//! index and all join predicates then work on `u32` comparisons instead of
+//! string comparisons, which is what a production native XML store does.
+//!
+//! Attribute names are interned with a leading `@` (so `@person` and a
+//! `person` element get distinct ids), mirroring how the paper writes
+//! attribute pattern nodes (e.g. `@id`, `@person` in Figure 7).
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Dense identifier for an interned node label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TagId(pub u32);
+
+/// Label of synthetic document-root nodes (`doc_root` in the paper's figures).
+pub const DOC_TAG: &str = "#doc";
+/// Label of text nodes.
+pub const TEXT_TAG: &str = "#text";
+
+/// A thread-safe string interner for node labels.
+///
+/// Interning is append-only: ids are never reused, and resolving an id is a
+/// read-locked slice access.
+#[derive(Debug, Default)]
+pub struct TagInterner {
+    inner: RwLock<InternerInner>,
+}
+
+#[derive(Debug, Default)]
+struct InternerInner {
+    map: HashMap<Box<str>, TagId>,
+    names: Vec<Box<str>>,
+}
+
+impl TagInterner {
+    /// Creates an interner pre-seeded with the synthetic labels so that
+    /// [`TagInterner::doc_tag`] and [`TagInterner::text_tag`] are constant.
+    pub fn new() -> Self {
+        let interner = TagInterner::default();
+        let doc = interner.intern(DOC_TAG);
+        let text = interner.intern(TEXT_TAG);
+        debug_assert_eq!(doc, TagId(0));
+        debug_assert_eq!(text, TagId(1));
+        interner
+    }
+
+    /// Id of the synthetic `#doc` label.
+    pub fn doc_tag(&self) -> TagId {
+        TagId(0)
+    }
+
+    /// Id of the synthetic `#text` label.
+    pub fn text_tag(&self) -> TagId {
+        TagId(1)
+    }
+
+    /// Interns `name`, returning its stable id.
+    pub fn intern(&self, name: &str) -> TagId {
+        if let Some(id) = self.inner.read().map.get(name) {
+            return *id;
+        }
+        let mut inner = self.inner.write();
+        if let Some(id) = inner.map.get(name) {
+            return *id;
+        }
+        let id = TagId(inner.names.len() as u32);
+        inner.names.push(name.into());
+        inner.map.insert(name.into(), id);
+        id
+    }
+
+    /// Looks up a label without interning it. Returns `None` if the label has
+    /// never been seen — useful for query compilation, where an unknown tag
+    /// means the pattern can never match.
+    pub fn lookup(&self, name: &str) -> Option<TagId> {
+        self.inner.read().map.get(name).copied()
+    }
+
+    /// Resolves an id back to its label.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn name(&self, id: TagId) -> Box<str> {
+        self.inner.read().names[id.0 as usize].clone()
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().names.len()
+    }
+
+    /// True when only the synthetic labels are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let i = TagInterner::new();
+        let a = i.intern("person");
+        let b = i.intern("person");
+        assert_eq!(a, b);
+        assert_eq!(&*i.name(a), "person");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let i = TagInterner::new();
+        let a = i.intern("person");
+        let b = i.intern("open_auction");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn attribute_and_element_labels_are_distinct() {
+        let i = TagInterner::new();
+        assert_ne!(i.intern("person"), i.intern("@person"));
+    }
+
+    #[test]
+    fn synthetic_labels_are_preseeded() {
+        let i = TagInterner::new();
+        assert_eq!(i.lookup(DOC_TAG), Some(i.doc_tag()));
+        assert_eq!(i.lookup(TEXT_TAG), Some(i.text_tag()));
+        assert!(i.is_empty());
+        i.intern("x");
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn lookup_of_unknown_label_is_none() {
+        let i = TagInterner::new();
+        assert_eq!(i.lookup("never-seen"), None);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let i = std::sync::Arc::new(TagInterner::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let i = i.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..100).map(|k| i.intern(&format!("tag{}", k % 10))).collect::<Vec<_>>()
+            }));
+        }
+        let results: Vec<Vec<TagId>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Abstract syntax for the Figure 5 FLWOR fragment.
+
+use std::fmt;
+
+/// A complete FLWOR expression (possibly nested inside another).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flwor {
+    /// The FOR/LET bindings, in source order.
+    pub bindings: Vec<Binding>,
+    /// The WHERE expression, if present.
+    pub where_expr: Option<WhereExpr>,
+    /// The ORDER BY clause, if present.
+    pub order_by: Option<OrderBy>,
+    /// The RETURN expression.
+    pub ret: ReturnExpr,
+}
+
+/// FOR vs LET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindingKind {
+    /// `FOR $v IN ...` — iterates, one binding tuple per match.
+    For,
+    /// `LET $v := ...` — binds the whole sequence at once.
+    Let,
+}
+
+/// One FOR or LET clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binding {
+    /// FOR or LET.
+    pub kind: BindingKind,
+    /// Variable name without the `$`.
+    pub var: String,
+    /// What the variable binds to.
+    pub source: BindingSource,
+}
+
+/// The right-hand side of a FOR/LET.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BindingSource {
+    /// A simple path.
+    Path(SimplePath),
+    /// A nested FLWOR (the paper's `NestedQuery` case).
+    Subquery(Box<Flwor>),
+}
+
+/// Where a path starts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathRoot {
+    /// `document("name")` — the document root.
+    Document(String),
+    /// `$var` — a previously bound variable.
+    Var(String),
+}
+
+/// Step axis: `/` or `//`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `/` — child.
+    Child,
+    /// `//` — descendant.
+    Descendant,
+}
+
+/// A node test within a step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeTest {
+    /// Element name test.
+    Tag(String),
+    /// `@name` attribute test.
+    Attribute(String),
+    /// Final `text()` step — selects the node's text value.
+    Text,
+}
+
+/// One path step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// `/` vs `//`.
+    pub axis: Axis,
+    /// The node test.
+    pub test: NodeTest,
+}
+
+/// A simple path: root plus steps, no branching predicates (the paper's SP).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimplePath {
+    /// The root.
+    pub root: PathRoot,
+    /// The steps, in order.
+    pub steps: Vec<Step>,
+}
+
+impl SimplePath {
+    /// A path consisting of just a variable reference.
+    pub fn var(name: &str) -> SimplePath {
+        SimplePath { root: PathRoot::Var(name.to_string()), steps: Vec::new() }
+    }
+
+    /// True when the final step is `text()`.
+    pub fn ends_in_text(&self) -> bool {
+        matches!(self.steps.last(), Some(Step { test: NodeTest::Text, .. }))
+    }
+
+    /// The path without a trailing `text()` step (for pattern construction).
+    pub fn without_text(&self) -> SimplePath {
+        if self.ends_in_text() {
+            SimplePath { root: self.root.clone(), steps: self.steps[..self.steps.len() - 1].to_vec() }
+        } else {
+            self.clone()
+        }
+    }
+}
+
+/// Comparison operators (with the `contains` extension for x14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `contains(haystack-path, "needle")` — substring test on string value.
+    Contains,
+}
+
+/// A literal comparison operand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Numeric literal; comparisons are numeric.
+    Number(f64),
+    /// String literal; comparisons are string equality/ordering.
+    Str(String),
+}
+
+/// Aggregate function names of the fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `count(...)`
+    Count,
+    /// `sum(...)`
+    Sum,
+    /// `avg(...)`
+    Avg,
+    /// `min(...)`
+    Min,
+    /// `max(...)`
+    Max,
+}
+
+impl AggFunc {
+    /// Lowercase spelling, as written in queries.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// EVERY vs SOME.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantifier {
+    /// Universal: the filter must hold for all members.
+    Every,
+    /// Existential: at least one member suffices.
+    Some,
+}
+
+/// The WHERE expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WhereExpr {
+    /// `SP op literal` — `SimplePredicateExpr`.
+    Comparison {
+        /// The tested path.
+        path: SimplePath,
+        /// The operator.
+        op: CmpOp,
+        /// The literal operand.
+        value: Literal,
+    },
+    /// `agg(SP) op literal` — `AggrPredExpr`.
+    AggrComparison {
+        /// Aggregate function.
+        func: AggFunc,
+        /// Aggregated path.
+        path: SimplePath,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal operand.
+        value: Literal,
+    },
+    /// `SP op SP` — `ValueJoin`.
+    ValueJoin {
+        /// Left path.
+        left: SimplePath,
+        /// Operator.
+        op: CmpOp,
+        /// Right path.
+        right: SimplePath,
+    },
+    /// `EVERY|SOME $v IN SP SATISFIES SP' op literal`.
+    Quantified {
+        /// EVERY or SOME.
+        quant: Quantifier,
+        /// The quantified variable (without `$`).
+        var: String,
+        /// The range path.
+        path: SimplePath,
+        /// The tested path inside SATISFIES (rooted at `var`).
+        cond_path: SimplePath,
+        /// Operator of the SATISFIES comparison.
+        op: CmpOp,
+        /// Literal operand of the SATISFIES comparison.
+        value: Literal,
+    },
+    /// Conjunction.
+    And(Box<WhereExpr>, Box<WhereExpr>),
+    /// Disjunction.
+    Or(Box<WhereExpr>, Box<WhereExpr>),
+}
+
+/// ORDER BY clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderBy {
+    /// Sort key paths (major first).
+    pub keys: Vec<SimplePath>,
+    /// True for DESCENDING.
+    pub descending: bool,
+}
+
+/// The RETURN expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReturnExpr {
+    /// A path (possibly ending in `text()`); emits the selected nodes.
+    Path(SimplePath),
+    /// An aggregate over a path; emits one computed value.
+    Aggr(AggFunc, SimplePath),
+    /// An element constructor `<tag attr={SP}*> children </tag>`.
+    Element {
+        /// The constructed tag.
+        tag: String,
+        /// Attributes: name and value path.
+        attrs: Vec<(String, SimplePath)>,
+        /// Child content items, in order.
+        children: Vec<ReturnExpr>,
+    },
+    /// Literal text content inside a constructor.
+    Text(String),
+    /// A nested FLWOR in return position.
+    Subquery(Box<Flwor>),
+}
+
+impl fmt::Display for SimplePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.root {
+            PathRoot::Document(d) => write!(f, "document(\"{d}\")")?,
+            PathRoot::Var(v) => write!(f, "${v}")?,
+        }
+        for s in &self.steps {
+            match s.axis {
+                Axis::Child => write!(f, "/")?,
+                Axis::Descendant => write!(f, "//")?,
+            }
+            match &s.test {
+                NodeTest::Tag(t) => write!(f, "{t}")?,
+                NodeTest::Attribute(a) => write!(f, "@{a}")?,
+                NodeTest::Text => write!(f, "text()")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Contains => "contains",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_display_round_trips_shape() {
+        let p = SimplePath {
+            root: PathRoot::Document("auction.xml".into()),
+            steps: vec![
+                Step { axis: Axis::Descendant, test: NodeTest::Tag("person".into()) },
+                Step { axis: Axis::Child, test: NodeTest::Attribute("id".into()) },
+            ],
+        };
+        assert_eq!(p.to_string(), "document(\"auction.xml\")//person/@id");
+    }
+
+    #[test]
+    fn text_step_helpers() {
+        let mut p = SimplePath::var("p");
+        assert!(!p.ends_in_text());
+        p.steps.push(Step { axis: Axis::Child, test: NodeTest::Tag("name".into()) });
+        p.steps.push(Step { axis: Axis::Child, test: NodeTest::Text });
+        assert!(p.ends_in_text());
+        let q = p.without_text();
+        assert_eq!(q.steps.len(), 1);
+        assert!(!q.ends_in_text());
+        assert_eq!(q.without_text(), q);
+    }
+}

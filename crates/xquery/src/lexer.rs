@@ -1,0 +1,417 @@
+//! Tokenizer for the FLWOR fragment.
+//!
+//! The lexer is pull-based with one token of lookahead, plus a *raw* mode
+//! ([`Lexer::raw_text_until_markup`]) that the parser uses inside element
+//! constructors, where character data must be consumed verbatim rather than
+//! tokenized.
+
+use std::fmt;
+
+/// Lexical tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// A keyword (stored uppercase: `FOR`, `LET`, `IN`, ...).
+    Kw(&'static str),
+    /// `$name`.
+    Var(String),
+    /// A bare name (tag names, function names).
+    Name(String),
+    /// A quoted string.
+    Str(String),
+    /// A numeric literal.
+    Number(f64),
+    /// `:=`
+    Assign,
+    /// `/`
+    Slash,
+    /// `//`
+    DSlash,
+    /// `@`
+    At,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `</`
+    LtSlash,
+    /// `,`
+    Comma,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Kw(k) => write!(f, "{k}"),
+            Tok::Var(v) => write!(f, "${v}"),
+            Tok::Name(n) => write!(f, "{n}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Number(n) => write!(f, "{n}"),
+            Tok::Assign => write!(f, ":="),
+            Tok::Slash => write!(f, "/"),
+            Tok::DSlash => write!(f, "//"),
+            Tok::At => write!(f, "@"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "!="),
+            Tok::LtSlash => write!(f, "</"),
+            Tok::Comma => write!(f, ","),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "FOR", "LET", "IN", "WHERE", "RETURN", "ORDER", "BY", "EVERY", "SOME", "SATISFIES", "AND",
+    "OR", "ASCENDING", "DESCENDING", "DOCUMENT", "CONTAINS",
+];
+
+/// Lexer error: position and message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// The tokenizer.
+pub struct Lexer<'a> {
+    input: &'a str,
+    pos: usize,
+    peeked: Option<(Tok, usize)>,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Lexer { input, pos: 0, peeked: None }
+    }
+
+    /// Current byte offset (start of the peeked token if one is buffered).
+    pub fn offset(&self) -> usize {
+        self.peeked.as_ref().map_or(self.pos, |(_, at)| *at)
+    }
+
+    fn err(&self, message: impl Into<String>) -> LexError {
+        LexError { offset: self.pos, message: message.into() }
+    }
+
+    fn bytes(&self) -> &'a [u8] {
+        self.input.as_bytes()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.bytes().get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    /// Peeks the next token without consuming it.
+    pub fn peek(&mut self) -> Result<&Tok, LexError> {
+        if self.peeked.is_none() {
+            self.skip_ws();
+            let at = self.pos;
+            let tok = self.lex()?;
+            self.peeked = Some((tok, at));
+        }
+        Ok(&self.peeked.as_ref().unwrap().0)
+    }
+
+    /// Consumes and returns the next token.
+    pub fn next_tok(&mut self) -> Result<Tok, LexError> {
+        if let Some((tok, _)) = self.peeked.take() {
+            return Ok(tok);
+        }
+        self.skip_ws();
+        self.lex()
+    }
+
+    /// Raw mode for constructor content: consumes characters verbatim until
+    /// one of `<`, `{` or end of input, returning them. Any peeked token is
+    /// "un-lexed" first (constructors are entered right after consuming `>`,
+    /// so in practice nothing is buffered).
+    pub fn raw_text_until_markup(&mut self) -> String {
+        if let Some((_, at)) = self.peeked.take() {
+            self.pos = at;
+        }
+        let start = self.pos;
+        while let Some(&b) = self.bytes().get(self.pos) {
+            if b == b'<' || b == b'{' {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.input[start..self.pos].to_string()
+    }
+
+    fn lex(&mut self) -> Result<Tok, LexError> {
+        let Some(&b) = self.bytes().get(self.pos) else {
+            return Ok(Tok::Eof);
+        };
+        match b {
+            b'$' => {
+                self.pos += 1;
+                let name = self.lex_name_raw();
+                if name.is_empty() {
+                    return Err(self.err("expected variable name after '$'"));
+                }
+                Ok(Tok::Var(name))
+            }
+            b'"' | b'\'' => self.lex_string(b as char),
+            b'0'..=b'9' => self.lex_number(),
+            b':' => {
+                if self.bytes().get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Ok(Tok::Assign)
+                } else {
+                    Err(self.err("expected ':='"))
+                }
+            }
+            b'/' => {
+                self.pos += 1;
+                if self.bytes().get(self.pos) == Some(&b'/') {
+                    self.pos += 1;
+                    Ok(Tok::DSlash)
+                } else {
+                    Ok(Tok::Slash)
+                }
+            }
+            b'@' => {
+                self.pos += 1;
+                Ok(Tok::At)
+            }
+            b'(' => {
+                self.pos += 1;
+                Ok(Tok::LParen)
+            }
+            b')' => {
+                self.pos += 1;
+                Ok(Tok::RParen)
+            }
+            b'{' => {
+                self.pos += 1;
+                Ok(Tok::LBrace)
+            }
+            b'}' => {
+                self.pos += 1;
+                Ok(Tok::RBrace)
+            }
+            b',' => {
+                self.pos += 1;
+                Ok(Tok::Comma)
+            }
+            b'=' => {
+                self.pos += 1;
+                Ok(Tok::Eq)
+            }
+            b'!' => {
+                if self.bytes().get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Ok(Tok::Ne)
+                } else {
+                    Err(self.err("expected '!='"))
+                }
+            }
+            b'<' => {
+                self.pos += 1;
+                match self.bytes().get(self.pos) {
+                    Some(b'=') => {
+                        self.pos += 1;
+                        Ok(Tok::Le)
+                    }
+                    Some(b'/') => {
+                        self.pos += 1;
+                        Ok(Tok::LtSlash)
+                    }
+                    _ => Ok(Tok::Lt),
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.bytes().get(self.pos) == Some(&b'=') {
+                    self.pos += 1;
+                    Ok(Tok::Ge)
+                } else {
+                    Ok(Tok::Gt)
+                }
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                let name = self.lex_name_raw();
+                let upper = name.to_ascii_uppercase();
+                if let Some(kw) = KEYWORDS.iter().find(|k| **k == upper) {
+                    Ok(Tok::Kw(kw))
+                } else {
+                    Ok(Tok::Name(name))
+                }
+            }
+            // Typographic quotes, as they appear in the paper's listings.
+            _ if self.input[self.pos..].starts_with('\u{201c}') => self.lex_string('\u{201c}'),
+            _ => Err(self.err(format!("unexpected character {:?}", b as char))),
+        }
+    }
+
+    fn lex_name_raw(&mut self) -> String {
+        let start = self.pos;
+        while let Some(&b) = self.bytes().get(self.pos) {
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.input[start..self.pos].to_string()
+    }
+
+    fn lex_string(&mut self, open: char) -> Result<Tok, LexError> {
+        let close = if open == '\u{201c}' { '\u{201d}' } else { open };
+        self.pos += open.len_utf8();
+        let start = self.pos;
+        let rest = &self.input[self.pos..];
+        match rest.find(close) {
+            Some(idx) => {
+                let s = rest[..idx].to_string();
+                self.pos = start + idx + close.len_utf8();
+                Ok(Tok::Str(s))
+            }
+            None => Err(self.err("unterminated string literal")),
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<Tok, LexError> {
+        let start = self.pos;
+        while self.bytes().get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.bytes().get(self.pos) == Some(&b'.')
+            && self.bytes().get(self.pos + 1).is_some_and(|b| b.is_ascii_digit())
+        {
+            self.pos += 1;
+            while self.bytes().get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = &self.input[start..self.pos];
+        text.parse::<f64>().map(Tok::Number).map_err(|_| self.err("bad number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Tok> {
+        let mut l = Lexer::new(s);
+        let mut out = Vec::new();
+        loop {
+            let t = l.next_tok().unwrap();
+            let done = t == Tok::Eof;
+            out.push(t);
+            if done {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let t = toks("FOR $p IN document(\"a.xml\")//person");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Kw("FOR"),
+                Tok::Var("p".into()),
+                Tok::Kw("IN"),
+                Tok::Kw("DOCUMENT"),
+                Tok::LParen,
+                Tok::Str("a.xml".into()),
+                Tok::RParen,
+                Tok::DSlash,
+                Tok::Name("person".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(toks("for")[0], Tok::Kw("FOR"));
+        assert_eq!(toks("Return")[0], Tok::Kw("RETURN"));
+        assert_eq!(toks("satisfies")[0], Tok::Kw("SATISFIES"));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("< <= > >= = !=")[..6],
+            [Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eq, Tok::Ne]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        assert_eq!(toks("25")[0], Tok::Number(25.0));
+        assert_eq!(toks("2.5")[0], Tok::Number(2.5));
+        assert_eq!(toks("'hi'")[0], Tok::Str("hi".into()));
+        assert_eq!(toks("\u{201c}auction.xml\u{201d}")[0], Tok::Str("auction.xml".into()));
+    }
+
+    #[test]
+    fn close_tag_token() {
+        assert_eq!(toks("</person")[0], Tok::LtSlash);
+    }
+
+    #[test]
+    fn raw_text_mode() {
+        let mut l = Lexer::new("hello world{$x}");
+        assert_eq!(l.raw_text_until_markup(), "hello world");
+        assert_eq!(l.next_tok().unwrap(), Tok::LBrace);
+    }
+
+    #[test]
+    fn raw_text_after_peek_rewinds() {
+        let mut l = Lexer::new("word <b");
+        let _ = l.peek().unwrap();
+        assert_eq!(l.raw_text_until_markup(), "word ");
+        assert_eq!(l.next_tok().unwrap(), Tok::Lt);
+    }
+
+    #[test]
+    fn errors() {
+        let mut l = Lexer::new("&");
+        assert!(l.next_tok().is_err());
+        let mut l = Lexer::new("\"unterminated");
+        assert!(l.next_tok().is_err());
+        let mut l = Lexer::new(": x");
+        assert!(l.next_tok().is_err());
+    }
+
+    #[test]
+    fn assign_and_braces() {
+        assert_eq!(toks(":= { }")[..3], [Tok::Assign, Tok::LBrace, Tok::RBrace]);
+    }
+}

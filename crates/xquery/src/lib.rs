@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # xquery — front-end for the paper's XQuery fragment
+//!
+//! Figure 5 of the paper defines the FLWOR fragment its translation algorithm
+//! accepts:
+//!
+//! ```text
+//! FLWOR        ::= ForLetClause WhereClause? OrderBy? ReturnClause
+//! ForClause    ::= FOR $var IN (SimplePath | FLWOR)
+//! LetClause    ::= LET $var := (SimplePath | FLWOR)
+//! WhereExpr    ::= SimplePredicate | AggrPredicate | ValueJoin
+//!                | EVERY/SOME ... SATISFIES ... | AND | OR
+//! ReturnExpr   ::= SP | FLWOR | Aggr(SP) | <tag attr={SP}*> ReturnExpr* </tag>
+//! ```
+//!
+//! Paths are *simple paths* (no branching predicates) made of `/`, `//`,
+//! name tests, attribute tests (`@name`) and a final `text()`. The paper
+//! notes that branching predicates can always be rewritten into this form in
+//! a FLWOR context, so nothing is lost.
+//!
+//! One extension: the comparison operator set includes `contains` (used by
+//! the XMark query x14, which the paper's Figure 15 runs — "contains on
+//! desc"); see DESIGN.md §4.
+//!
+//! The crate has no dependencies and no knowledge of the store or the
+//! algebra; it produces a plain [`ast::Flwor`] that the `tlc` and
+//! `baselines` crates compile.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+
+pub use ast::{
+    AggFunc, Axis, Binding, BindingKind, BindingSource, CmpOp, Flwor, Literal, NodeTest, OrderBy,
+    PathRoot, Quantifier, ReturnExpr, SimplePath, Step, WhereExpr,
+};
+pub use parser::{parse, ParseError};
+pub use pretty::PrettyQuery;

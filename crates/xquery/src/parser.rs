@@ -1,0 +1,669 @@
+//! Recursive-descent parser for the FLWOR fragment.
+
+use crate::ast::*;
+use crate::lexer::{LexError, Lexer, Tok};
+
+/// Parse error: byte offset plus message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Byte offset in the source.
+    pub offset: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { offset: e.offset, message: e.message }
+    }
+}
+
+/// Parses a complete query.
+pub fn parse(input: &str) -> Result<Flwor, ParseError> {
+    let mut p = Parser { lx: Lexer::new(input) };
+    let q = p.flwor()?;
+    p.expect(Tok::Eof)?;
+    Ok(q)
+}
+
+struct Parser<'a> {
+    lx: Lexer<'a>,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&mut self, message: impl Into<String>) -> ParseError {
+        ParseError { offset: self.lx.offset(), message: message.into() }
+    }
+
+    fn peek(&mut self) -> Result<Tok, ParseError> {
+        Ok(self.lx.peek()?.clone())
+    }
+
+    fn next(&mut self) -> Result<Tok, ParseError> {
+        Ok(self.lx.next_tok()?)
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), ParseError> {
+        let got = self.next()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {want}, found {got}")))
+        }
+    }
+
+    fn eat(&mut self, want: &Tok) -> Result<bool, ParseError> {
+        if self.peek()? == *want {
+            self.next()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    // ---------------- FLWOR ----------------
+
+    fn flwor(&mut self) -> Result<Flwor, ParseError> {
+        let mut bindings = Vec::new();
+        loop {
+            match self.peek()? {
+                Tok::Kw("FOR") => {
+                    self.next()?;
+                    let var = self.var_name()?;
+                    self.expect(Tok::Kw("IN"))?;
+                    let source = self.binding_source()?;
+                    bindings.push(Binding { kind: BindingKind::For, var, source });
+                }
+                Tok::Kw("LET") => {
+                    self.next()?;
+                    let var = self.var_name()?;
+                    self.expect(Tok::Assign)?;
+                    let source = self.binding_source()?;
+                    bindings.push(Binding { kind: BindingKind::Let, var, source });
+                }
+                _ => break,
+            }
+        }
+        if bindings.is_empty() {
+            return Err(self.err("a query must start with FOR or LET"));
+        }
+        let where_expr = if self.eat(&Tok::Kw("WHERE"))? { Some(self.where_expr()?) } else { None };
+        let order_by = if self.eat(&Tok::Kw("ORDER"))? {
+            self.expect(Tok::Kw("BY"))?;
+            let mut keys = vec![self.path()?];
+            while self.eat(&Tok::Comma)? {
+                keys.push(self.path()?);
+            }
+            let descending = match self.peek()? {
+                Tok::Kw("DESCENDING") => {
+                    self.next()?;
+                    true
+                }
+                Tok::Kw("ASCENDING") => {
+                    self.next()?;
+                    false
+                }
+                _ => false,
+            };
+            Some(OrderBy { keys, descending })
+        } else {
+            None
+        };
+        self.expect(Tok::Kw("RETURN"))?;
+        let ret = self.return_expr()?;
+        Ok(Flwor { bindings, where_expr, order_by, ret })
+    }
+
+    fn var_name(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Tok::Var(v) => Ok(v),
+            other => Err(self.err(format!("expected $variable, found {other}"))),
+        }
+    }
+
+    fn binding_source(&mut self) -> Result<BindingSource, ParseError> {
+        match self.peek()? {
+            Tok::Kw("FOR") | Tok::Kw("LET") => Ok(BindingSource::Subquery(Box::new(self.flwor()?))),
+            Tok::LParen => {
+                self.next()?;
+                let q = self.flwor()?;
+                self.expect(Tok::RParen)?;
+                Ok(BindingSource::Subquery(Box::new(q)))
+            }
+            _ => Ok(BindingSource::Path(self.path()?)),
+        }
+    }
+
+    // ---------------- paths ----------------
+
+    fn path(&mut self) -> Result<SimplePath, ParseError> {
+        let root = match self.next()? {
+            Tok::Kw("DOCUMENT") => {
+                self.expect(Tok::LParen)?;
+                let name = match self.next()? {
+                    Tok::Str(s) => s,
+                    other => return Err(self.err(format!("expected document name, found {other}"))),
+                };
+                self.expect(Tok::RParen)?;
+                PathRoot::Document(name)
+            }
+            Tok::Var(v) => PathRoot::Var(v),
+            other => return Err(self.err(format!("expected path root, found {other}"))),
+        };
+        let mut steps = Vec::new();
+        loop {
+            let axis = match self.peek()? {
+                Tok::Slash => Axis::Child,
+                Tok::DSlash => Axis::Descendant,
+                _ => break,
+            };
+            self.next()?;
+            let test = match self.next()? {
+                Tok::At => match self.next()? {
+                    Tok::Name(n) => NodeTest::Attribute(n),
+                    Tok::Kw(k) => NodeTest::Attribute(k.to_ascii_lowercase()),
+                    other => return Err(self.err(format!("expected attribute name, found {other}"))),
+                },
+                Tok::Name(n) if n == "text" && self.peek()? == Tok::LParen => {
+                    self.next()?;
+                    self.expect(Tok::RParen)?;
+                    NodeTest::Text
+                }
+                Tok::Name(n) => NodeTest::Tag(n),
+                // Allow tags that collide with keywords (e.g. an element
+                // named `to` or `from`).
+                Tok::Kw(k) => NodeTest::Tag(k.to_ascii_lowercase()),
+                other => return Err(self.err(format!("expected step test, found {other}"))),
+            };
+            let is_text = test == NodeTest::Text;
+            steps.push(Step { axis, test });
+            if is_text {
+                break; // text() is always final
+            }
+        }
+        Ok(SimplePath { root, steps })
+    }
+
+    // ---------------- WHERE ----------------
+
+    fn where_expr(&mut self) -> Result<WhereExpr, ParseError> {
+        let mut left = self.where_and()?;
+        while self.eat(&Tok::Kw("OR"))? {
+            let right = self.where_and()?;
+            left = WhereExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn where_and(&mut self) -> Result<WhereExpr, ParseError> {
+        let mut left = self.where_primary()?;
+        while self.eat(&Tok::Kw("AND"))? {
+            let right = self.where_primary()?;
+            left = WhereExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn agg_func(name: &str) -> Option<AggFunc> {
+        match name {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "avg" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    fn where_primary(&mut self) -> Result<WhereExpr, ParseError> {
+        match self.peek()? {
+            Tok::LParen => {
+                self.next()?;
+                let e = self.where_expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Kw("EVERY") | Tok::Kw("SOME") => {
+                let quant = if self.next()? == Tok::Kw("EVERY") {
+                    Quantifier::Every
+                } else {
+                    Quantifier::Some
+                };
+                let var = self.var_name()?;
+                self.expect(Tok::Kw("IN"))?;
+                let path = self.path()?;
+                self.expect(Tok::Kw("SATISFIES"))?;
+                let cond_path = self.path()?;
+                if cond_path.root != PathRoot::Var(var.clone()) {
+                    return Err(self.err("SATISFIES condition must test the quantified variable"));
+                }
+                let op = self.cmp_op()?;
+                let value = self.literal()?;
+                Ok(WhereExpr::Quantified { quant, var, path, cond_path, op, value })
+            }
+            Tok::Kw("CONTAINS") => {
+                self.next()?;
+                self.expect(Tok::LParen)?;
+                let path = self.path()?;
+                self.expect(Tok::Comma)?;
+                let value = self.literal()?;
+                self.expect(Tok::RParen)?;
+                Ok(WhereExpr::Comparison { path, op: CmpOp::Contains, value })
+            }
+            Tok::Name(n) => {
+                if let Some(func) = Self::agg_func(&n) {
+                    self.next()?;
+                    self.expect(Tok::LParen)?;
+                    let path = self.path()?;
+                    self.expect(Tok::RParen)?;
+                    let op = self.cmp_op()?;
+                    let value = self.literal()?;
+                    return Ok(WhereExpr::AggrComparison { func, path, op, value });
+                }
+                Err(self.err(format!("unexpected name {n} in WHERE")))
+            }
+            _ => {
+                let left = self.path()?;
+                let op = self.cmp_op()?;
+                match self.peek()? {
+                    Tok::Number(_) | Tok::Str(_) => {
+                        let value = self.literal()?;
+                        Ok(WhereExpr::Comparison { path: left, op, value })
+                    }
+                    _ => {
+                        let right = self.path()?;
+                        Ok(WhereExpr::ValueJoin { left, op, right })
+                    }
+                }
+            }
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        match self.next()? {
+            Tok::Eq => Ok(CmpOp::Eq),
+            Tok::Ne => Ok(CmpOp::Ne),
+            Tok::Lt => Ok(CmpOp::Lt),
+            Tok::Le => Ok(CmpOp::Le),
+            Tok::Gt => Ok(CmpOp::Gt),
+            Tok::Ge => Ok(CmpOp::Ge),
+            other => Err(self.err(format!("expected comparison operator, found {other}"))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        match self.next()? {
+            Tok::Number(n) => Ok(Literal::Number(n)),
+            Tok::Str(s) => Ok(Literal::Str(s)),
+            other => Err(self.err(format!("expected literal, found {other}"))),
+        }
+    }
+
+    // ---------------- RETURN ----------------
+
+    fn return_expr(&mut self) -> Result<ReturnExpr, ParseError> {
+        match self.peek()? {
+            Tok::Lt => self.constructor(),
+            Tok::LBrace => {
+                self.next()?;
+                let inner = self.return_expr()?;
+                self.expect(Tok::RBrace)?;
+                Ok(inner)
+            }
+            _ => self.embedded_expr(),
+        }
+    }
+
+    /// An expression valid inside `{ ... }` or as a bare RETURN body:
+    /// path, aggregate call, or nested FLWOR.
+    fn embedded_expr(&mut self) -> Result<ReturnExpr, ParseError> {
+        match self.peek()? {
+            Tok::Kw("FOR") | Tok::Kw("LET") => Ok(ReturnExpr::Subquery(Box::new(self.flwor()?))),
+            Tok::Name(n) => {
+                if let Some(func) = Self::agg_func(&n) {
+                    self.next()?;
+                    self.expect(Tok::LParen)?;
+                    let path = self.path()?;
+                    self.expect(Tok::RParen)?;
+                    return Ok(ReturnExpr::Aggr(func, path));
+                }
+                Err(self.err(format!("unexpected name {n} in RETURN")))
+            }
+            _ => Ok(ReturnExpr::Path(self.path()?)),
+        }
+    }
+
+    fn constructor(&mut self) -> Result<ReturnExpr, ParseError> {
+        self.expect(Tok::Lt)?;
+        let tag = match self.next()? {
+            Tok::Name(n) => n,
+            Tok::Kw(k) => k.to_ascii_lowercase(),
+            other => return Err(self.err(format!("expected tag name, found {other}"))),
+        };
+        let mut attrs = Vec::new();
+        loop {
+            match self.peek()? {
+                Tok::Gt => {
+                    self.next()?;
+                    break;
+                }
+                Tok::Slash => {
+                    // Self-closing constructor.
+                    self.next()?;
+                    self.expect(Tok::Gt)?;
+                    return Ok(ReturnExpr::Element { tag, attrs, children: Vec::new() });
+                }
+                Tok::Name(_) | Tok::Kw(_) => {
+                    let name = match self.next()? {
+                        Tok::Name(n) => n,
+                        Tok::Kw(k) => k.to_ascii_lowercase(),
+                        _ => unreachable!(),
+                    };
+                    self.expect(Tok::Eq)?;
+                    self.expect(Tok::LBrace)?;
+                    let value = self.path()?;
+                    self.expect(Tok::RBrace)?;
+                    attrs.push((name, value));
+                }
+                other => return Err(self.err(format!("unexpected {other} in start tag"))),
+            }
+        }
+        // Content: raw text interleaved with embedded expressions and
+        // nested constructors, until the matching close tag.
+        let mut children = Vec::new();
+        loop {
+            let raw = self.lx.raw_text_until_markup();
+            // The paper writes bare `$o/bidder` inside constructors; treat a
+            // `$`-prefixed run inside raw text as an embedded path.
+            let mut rest = raw.as_str();
+            while let Some(dollar) = rest.find('$') {
+                let before = &rest[..dollar];
+                if !before.trim().is_empty() {
+                    children.push(ReturnExpr::Text(before.trim().to_string()));
+                }
+                let after = &rest[dollar..];
+                let end = after[1..]
+                    .find(|c: char| {
+                        !(c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | '/' | '@'))
+                    })
+                    .map(|i| i + 1)
+                    .unwrap_or(after.len());
+                let expr_src = &after[..end];
+                let mut sub = Parser { lx: Lexer::new(expr_src) };
+                let path = sub.path()?;
+                children.push(ReturnExpr::Path(path));
+                rest = &after[end..];
+            }
+            if !rest.trim().is_empty() {
+                children.push(ReturnExpr::Text(rest.trim().to_string()));
+            }
+            match self.peek()? {
+                Tok::LBrace => {
+                    self.next()?;
+                    children.push(self.embedded_expr()?);
+                    self.expect(Tok::RBrace)?;
+                }
+                Tok::LtSlash => {
+                    self.next()?;
+                    let close = match self.next()? {
+                        Tok::Name(n) => n,
+                        Tok::Kw(k) => k.to_ascii_lowercase(),
+                        other => return Err(self.err(format!("expected close tag, found {other}"))),
+                    };
+                    if close != tag {
+                        return Err(self.err(format!("mismatched close tag </{close}>, expected </{tag}>")));
+                    }
+                    self.expect(Tok::Gt)?;
+                    return Ok(ReturnExpr::Element { tag, attrs, children });
+                }
+                Tok::Lt => {
+                    children.push(self.constructor()?);
+                }
+                Tok::Eof => return Err(self.err(format!("unterminated <{tag}> constructor"))),
+                other => return Err(self.err(format!("unexpected {other} in element content"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// The paper's Q1 (Figure 1), verbatim apart from ASCII quotes.
+    pub const Q1: &str = r#"
+        FOR $p IN document("auction.xml")//person
+        FOR $o IN document("auction.xml")//open_auction
+        WHERE count($o/bidder) > 5 AND $p/age > 25
+          AND $p/@id = $o/bidder//@person
+        RETURN
+          <person name={$p/name/text()}> $o/bidder </person>"#;
+
+    /// The paper's Q2 (Figure 3).
+    pub const Q2: &str = r#"
+        FOR $p IN document("auction.xml")//person
+        LET $a := FOR $o IN document("auction.xml")//open_auction
+                  WHERE count($o/bidder) > 5
+                    AND $p/@id = $o/bidder//@person
+                  RETURN <myauction> {$o/bidder}
+                           <myquan>{$o/quantity/text()}</myquan>
+                         </myauction>
+        WHERE $p/age > 25
+          AND EVERY $i IN $a/myquan SATISFIES $i > 2
+        RETURN
+          <person name={$p/name/text()}>{$a/bidder}</person>"#;
+
+    #[test]
+    fn parse_q1() {
+        let q = parse(Q1).unwrap();
+        assert_eq!(q.bindings.len(), 2);
+        assert_eq!(q.bindings[0].var, "p");
+        assert_eq!(q.bindings[1].var, "o");
+        assert!(matches!(q.bindings[0].kind, BindingKind::For));
+        // WHERE is a 3-way conjunction.
+        let w = q.where_expr.as_ref().unwrap();
+        let WhereExpr::And(l, r) = w else { panic!("expected AND, got {w:?}") };
+        let WhereExpr::And(ll, lr) = &**l else { panic!() };
+        assert!(matches!(&**ll, WhereExpr::AggrComparison { func: AggFunc::Count, .. }));
+        assert!(matches!(&**lr, WhereExpr::Comparison { op: CmpOp::Gt, .. }));
+        assert!(matches!(&**r, WhereExpr::ValueJoin { op: CmpOp::Eq, .. }));
+        // RETURN is <person name={...}> $o/bidder </person>.
+        let ReturnExpr::Element { tag, attrs, children } = &q.ret else { panic!() };
+        assert_eq!(tag, "person");
+        assert_eq!(attrs.len(), 1);
+        assert_eq!(attrs[0].0, "name");
+        assert!(attrs[0].1.ends_in_text());
+        assert_eq!(children.len(), 1);
+        let ReturnExpr::Path(p) = &children[0] else { panic!("got {children:?}") };
+        assert_eq!(p.to_string(), "$o/bidder");
+    }
+
+    #[test]
+    fn parse_q2() {
+        let q = parse(Q2).unwrap();
+        assert_eq!(q.bindings.len(), 2);
+        assert!(matches!(q.bindings[1].kind, BindingKind::Let));
+        let BindingSource::Subquery(inner) = &q.bindings[1].source else { panic!() };
+        assert_eq!(inner.bindings.len(), 1);
+        let ReturnExpr::Element { tag, children, .. } = &inner.ret else { panic!() };
+        assert_eq!(tag, "myauction");
+        assert_eq!(children.len(), 2);
+        assert!(matches!(&children[1], ReturnExpr::Element { tag, .. } if tag == "myquan"));
+        // Outer where has the EVERY quantifier.
+        let w = q.where_expr.as_ref().unwrap();
+        let WhereExpr::And(_, r) = w else { panic!() };
+        assert!(matches!(
+            &**r,
+            WhereExpr::Quantified { quant: Quantifier::Every, var, .. } if var == "i"
+        ));
+    }
+
+    #[test]
+    fn parse_order_by() {
+        let q = parse(
+            "FOR $i IN document(\"a.xml\")//item ORDER BY $i/location DESCENDING RETURN $i/name",
+        )
+        .unwrap();
+        let ob = q.order_by.unwrap();
+        assert_eq!(ob.keys.len(), 1);
+        assert!(ob.descending);
+    }
+
+    #[test]
+    fn parse_multiple_order_keys_default_ascending() {
+        let q = parse("FOR $i IN $d//item ORDER BY $i/a, $i/b RETURN $i").unwrap();
+        let ob = q.order_by.unwrap();
+        assert_eq!(ob.keys.len(), 2);
+        assert!(!ob.descending);
+    }
+
+    #[test]
+    fn parse_contains() {
+        let q = parse(
+            "FOR $i IN document(\"a.xml\")//item WHERE contains($i/description, \"gold\") RETURN $i/name",
+        )
+        .unwrap();
+        assert!(matches!(
+            q.where_expr.unwrap(),
+            WhereExpr::Comparison { op: CmpOp::Contains, value: Literal::Str(s), .. } if s == "gold"
+        ));
+    }
+
+    #[test]
+    fn parse_aggregate_in_return() {
+        let q = parse("FOR $r IN document(\"a.xml\")//regions RETURN count($r//item)").unwrap();
+        assert!(matches!(q.ret, ReturnExpr::Aggr(AggFunc::Count, _)));
+    }
+
+    #[test]
+    fn parse_nested_constructor_with_counts() {
+        let q = parse(
+            r#"FOR $s IN document("a.xml")/site
+               RETURN <out><a>{count($s//person)}</a><b>{count($s//item)}</b></out>"#,
+        )
+        .unwrap();
+        let ReturnExpr::Element { tag, children, .. } = &q.ret else { panic!() };
+        assert_eq!(tag, "out");
+        assert_eq!(children.len(), 2);
+    }
+
+    #[test]
+    fn parse_some_quantifier() {
+        let q = parse(
+            "FOR $p IN $d//person WHERE SOME $i IN $p//interest SATISFIES $i = \"x\" RETURN $p/name",
+        )
+        .unwrap();
+        assert!(matches!(
+            q.where_expr.unwrap(),
+            WhereExpr::Quantified { quant: Quantifier::Some, .. }
+        ));
+    }
+
+    #[test]
+    fn parse_or_and_precedence() {
+        let q = parse("FOR $p IN $d//p WHERE $p/a > 1 AND $p/b > 2 OR $p/c > 3 RETURN $p").unwrap();
+        // (a AND b) OR c
+        assert!(matches!(q.where_expr.unwrap(), WhereExpr::Or(..)));
+    }
+
+    #[test]
+    fn parse_self_closing_constructor() {
+        let q = parse("FOR $p IN $d//p RETURN <empty/>").unwrap();
+        assert!(matches!(q.ret, ReturnExpr::Element { ref children, .. } if children.is_empty()));
+    }
+
+    #[test]
+    fn parse_literal_text_in_constructor() {
+        let q = parse("FOR $p IN $d//p RETURN <out>hello</out>").unwrap();
+        let ReturnExpr::Element { children, .. } = &q.ret else { panic!() };
+        assert_eq!(children, &[ReturnExpr::Text("hello".into())]);
+    }
+
+    #[test]
+    fn parse_attribute_path_predicate() {
+        let q = parse("FOR $p IN $d//person WHERE $p/@id = \"person0\" RETURN $p/name").unwrap();
+        let Some(WhereExpr::Comparison { path, .. }) = q.where_expr else { panic!() };
+        assert_eq!(path.to_string(), "$p/@id");
+    }
+
+    #[test]
+    fn reject_garbage() {
+        for bad in [
+            "",
+            "RETURN $x",
+            "FOR p IN $d//x RETURN $p",
+            "FOR $p IN $d//x WHERE RETURN $p",
+            "FOR $p IN $d//x RETURN <a></b>",
+            "FOR $p IN $d//x RETURN <a>",
+            "FOR $p IN $d//x WHERE EVERY $i IN $p/y SATISFIES $z > 1 RETURN $p",
+            "FOR $p IN $d//x RETURN $p extra",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn keyword_like_tags_are_allowed_in_paths() {
+        let q = parse("FOR $m IN $d//mail RETURN $m/from").unwrap();
+        let ReturnExpr::Path(p) = &q.ret else { panic!() };
+        assert_eq!(p.to_string(), "$m/from");
+    }
+
+    #[test]
+    fn typographic_quotes_parse() {
+        let q = parse("FOR $p IN document(\u{201c}auction.xml\u{201d})//person RETURN $p/name");
+        assert!(q.is_ok());
+    }
+}
+
+#[cfg(test)]
+mod robustness {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The parser must never panic, whatever bytes it is fed.
+        #[test]
+        fn parser_never_panics(input in "\\PC{0,120}") {
+            let _ = parse(&input);
+        }
+
+        /// Structured garbage around a valid core must be rejected or parsed,
+        /// never panicked on.
+        #[test]
+        fn structured_noise(prefix in "[A-Za-z$/@(){}<>=\"' ]{0,24}", suffix in "[A-Za-z$/@(){}<>=\"' ]{0,24}") {
+            let q = format!("{prefix}FOR $p IN document(\"d.xml\")//person RETURN $p{suffix}");
+            let _ = parse(&q);
+        }
+
+        /// Any generated simple-path query parses, and the path round-trips
+        /// through Display.
+        #[test]
+        fn generated_paths_round_trip(
+            steps in prop::collection::vec(("[a-z]{1,8}", prop::bool::ANY), 1..5),
+            text_suffix in prop::bool::ANY,
+        ) {
+            let mut path = String::from("$v");
+            for (name, desc) in &steps {
+                path.push_str(if *desc { "//" } else { "/" });
+                path.push_str(name);
+            }
+            if text_suffix {
+                path.push_str("/text()");
+            }
+            let q = format!("FOR $v IN document(\"d.xml\")//x RETURN {path}");
+            let parsed = parse(&q).unwrap();
+            let ReturnExpr::Path(p) = &parsed.ret else { panic!("expected path") };
+            prop_assert_eq!(p.to_string(), path);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Pretty-printing of queries back to FLWOR text.
+//!
+//! `parse(print(q))` reproduces `q` exactly (up to whitespace), which the
+//! property suite checks — useful for debugging translated plans, echoing
+//! queries in the shell, and generating queries programmatically.
+
+use crate::ast::*;
+use std::fmt;
+
+/// Display adapter: renders the query as parseable FLWOR text.
+pub struct PrettyQuery<'a>(pub &'a Flwor);
+
+impl fmt::Display for PrettyQuery<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_flwor(f, self.0, 0)
+    }
+}
+
+fn pad(f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+    write!(f, "{}", "  ".repeat(depth))
+}
+
+fn write_flwor(f: &mut fmt::Formatter<'_>, q: &Flwor, depth: usize) -> fmt::Result {
+    for b in &q.bindings {
+        pad(f, depth)?;
+        match b.kind {
+            BindingKind::For => write!(f, "FOR ${} IN ", b.var)?,
+            BindingKind::Let => write!(f, "LET ${} := ", b.var)?,
+        }
+        match &b.source {
+            BindingSource::Path(p) => writeln!(f, "{p}")?,
+            BindingSource::Subquery(s) => {
+                writeln!(f, "(")?;
+                write_flwor(f, s, depth + 1)?;
+                pad(f, depth)?;
+                writeln!(f, ")")?;
+            }
+        }
+    }
+    if let Some(w) = &q.where_expr {
+        pad(f, depth)?;
+        write!(f, "WHERE ")?;
+        write_where(f, w, false)?;
+        writeln!(f)?;
+    }
+    if let Some(ob) = &q.order_by {
+        pad(f, depth)?;
+        write!(f, "ORDER BY ")?;
+        for (i, k) in ob.keys.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}")?;
+        }
+        writeln!(f, "{}", if ob.descending { " DESCENDING" } else { " ASCENDING" })?;
+    }
+    pad(f, depth)?;
+    write!(f, "RETURN ")?;
+    write_return(f, &q.ret, depth)?;
+    Ok(())
+}
+
+fn write_where(f: &mut fmt::Formatter<'_>, w: &WhereExpr, parens: bool) -> fmt::Result {
+    if parens {
+        write!(f, "(")?;
+    }
+    match w {
+        WhereExpr::Comparison { path, op: CmpOp::Contains, value } => {
+            write!(f, "contains({path}, {})", lit(value))?;
+        }
+        WhereExpr::Comparison { path, op, value } => {
+            write!(f, "{path} {op} {}", lit(value))?;
+        }
+        WhereExpr::AggrComparison { func, path, op, value } => {
+            write!(f, "{}({path}) {op} {}", func.name(), lit(value))?;
+        }
+        WhereExpr::ValueJoin { left, op, right } => write!(f, "{left} {op} {right}")?,
+        WhereExpr::Quantified { quant, var, path, cond_path, op, value } => {
+            let q = match quant {
+                Quantifier::Every => "EVERY",
+                Quantifier::Some => "SOME",
+            };
+            write!(f, "{q} ${var} IN {path} SATISFIES {cond_path} {op} {}", lit(value))?;
+        }
+        WhereExpr::And(a, b) => {
+            write_where(f, a, matches!(**a, WhereExpr::Or(..)))?;
+            write!(f, " AND ")?;
+            write_where(f, b, matches!(**b, WhereExpr::Or(..) | WhereExpr::And(..)))?;
+        }
+        WhereExpr::Or(a, b) => {
+            write_where(f, a, false)?;
+            write!(f, " OR ")?;
+            write_where(f, b, matches!(**b, WhereExpr::Or(..)))?;
+        }
+    }
+    if parens {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+fn lit(l: &Literal) -> String {
+    match l {
+        Literal::Number(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        Literal::Str(s) => format!("{s:?}"),
+    }
+}
+
+fn write_return(f: &mut fmt::Formatter<'_>, r: &ReturnExpr, depth: usize) -> fmt::Result {
+    match r {
+        ReturnExpr::Path(p) => write!(f, "{p}"),
+        ReturnExpr::Aggr(func, p) => write!(f, "{}({p})", func.name()),
+        ReturnExpr::Text(t) => write!(f, "{t}"),
+        ReturnExpr::Subquery(s) => {
+            writeln!(f)?;
+            write_flwor(f, s, depth + 1)
+        }
+        ReturnExpr::Element { tag, attrs, children } => {
+            write!(f, "<{tag}")?;
+            for (name, path) in attrs {
+                write!(f, " {name}={{{path}}}")?;
+            }
+            if children.is_empty() {
+                return write!(f, "/>");
+            }
+            write!(f, ">")?;
+            for c in children {
+                match c {
+                    ReturnExpr::Text(t) => write!(f, "{t}")?,
+                    ReturnExpr::Element { .. } => write_return(f, c, depth)?,
+                    other => {
+                        write!(f, "{{")?;
+                        write_return(f, other, depth)?;
+                        write!(f, "}}")?;
+                    }
+                }
+            }
+            write!(f, "</{tag}>")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trip(q: &str) {
+        let ast = parse(q).unwrap_or_else(|e| panic!("parse {q}: {e}"));
+        let printed = PrettyQuery(&ast).to_string();
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("reparse {printed}: {e}"));
+        assert_eq!(ast, reparsed, "print→parse must be stable:\n{printed}");
+    }
+
+    #[test]
+    fn round_trips_the_workload_shapes() {
+        for q in [
+            r#"FOR $p IN document("a.xml")//person RETURN $p/name"#,
+            r#"FOR $p IN document("a.xml")//person WHERE $p/age > 25 RETURN $p/name"#,
+            r#"FOR $p IN document("a.xml")//person
+               WHERE count($p/watches/watch) > 2 AND $p/@id = "person0"
+               RETURN <r name={$p/name/text()}>{$p/age}</r>"#,
+            r#"FOR $p IN document("a.xml")//person
+               WHERE $p/age > 25 OR $p/age < 18 AND contains($p/name, "x")
+               ORDER BY $p/name DESCENDING
+               RETURN $p"#,
+            r#"FOR $p IN document("a.xml")//person
+               LET $a := FOR $o IN document("a.xml")//open_auction
+                         WHERE $p/@id = $o/bidder//@person
+                         RETURN <mya>{$o/quantity/text()}</mya>
+               WHERE EVERY $i IN $a/mya SATISFIES $i > 2
+               RETURN <out>{$a/mya}</out>"#,
+        ] {
+            round_trip(q);
+        }
+    }
+
+    #[test]
+    fn round_trips_the_full_benchmark_suite_texts() {
+        // The 23 workload queries live in the queries crate; here we check a
+        // representative Q2 verbatim (the suite's round-trip is covered by
+        // the integration tests).
+        round_trip(crate::parser::tests::Q2);
+    }
+
+    #[test]
+    fn printed_form_is_readable() {
+        let ast = parse(
+            r#"FOR $p IN document("a.xml")//person WHERE $p/age > 25 RETURN $p/name"#,
+        )
+        .unwrap();
+        let printed = PrettyQuery(&ast).to_string();
+        assert!(printed.contains("FOR $p IN document(\"a.xml\")//person"));
+        assert!(printed.contains("WHERE $p/age > 25"));
+        assert!(printed.contains("RETURN $p/name"));
+    }
+}

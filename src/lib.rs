@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! # tlc-xml — facade crate
+//!
+//! Re-exports every component of the TLC reproduction so examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`xmldb`] — the TIMBER-like native XML store.
+//! * [`xmark`] — the synthetic XMark data generator.
+//! * [`xquery`] — the Figure 5 FLWOR parser.
+//! * [`tlc`] — the TLC algebra (the paper's contribution).
+//! * [`baselines`] — the TAX, GTP and navigational competitors.
+//! * [`queries`] — the evaluation query suite and run harness.
+
+pub use baselines;
+pub use queries;
+pub use tlc;
+pub use xmark;
+pub use xmldb;
+pub use xquery;

@@ -1,0 +1,147 @@
+//! The supported-fragment boundary: queries inside the Figure 5 fragment
+//! compile; queries outside it fail with a diagnosable error rather than
+//! silently computing something else.
+
+use tlc_xml::{tlc, xmldb};
+
+fn db() -> xmldb::Database {
+    let mut db = xmldb::Database::new();
+    db.load_xml(
+        "auction.xml",
+        r#"<site><people>
+             <person id="p0"><name>Ann</name><age>30</age>
+               <watches><watch open_auction="a1"/><watch open_auction="a2"/></watches></person>
+             <person id="p1"><name>Bo</name><age>45</age></person>
+           </people></site>"#,
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn all_aggregate_functions_work() {
+    let db = db();
+    for (f, expected) in [("count", "2"), ("min", "30"), ("max", "45"), ("sum", "75"), ("avg", "37.5")] {
+        let q = format!(
+            r#"FOR $s IN document("auction.xml")/site RETURN <v>{{{f}($s//age)}}</v>"#
+        );
+        let plan = tlc::compile(&q, &db).unwrap_or_else(|e| panic!("{f}: {e}"));
+        let out = tlc::execute_to_string(&db, &plan).unwrap();
+        assert_eq!(out, format!("<v>{expected}</v>"), "{f}");
+    }
+}
+
+#[test]
+fn some_quantifier_end_to_end() {
+    let db = db();
+    let q = r#"FOR $p IN document("auction.xml")//person
+               WHERE SOME $a IN $p/age SATISFIES $a > 40
+               RETURN $p/name"#;
+    let plan = tlc::compile(q, &db).unwrap();
+    assert_eq!(tlc::execute_to_string(&db, &plan).unwrap(), "<name>Bo</name>");
+}
+
+#[test]
+fn for_over_variable_path_fans_out() {
+    let db = db();
+    let q = r#"FOR $p IN document("auction.xml")//person
+               FOR $w IN $p/watches/watch
+               RETURN <w person={$p/name/text()}>{$w/@open_auction/text()}</w>"#;
+    let plan = tlc::compile(q, &db).unwrap();
+    let out = tlc::execute_to_string(&db, &plan).unwrap();
+    assert_eq!(out, "<w person=\"Ann\">a1</w>\n<w person=\"Ann\">a2</w>");
+}
+
+#[test]
+fn return_position_subquery_desugars_to_let() {
+    // The Figure 5 grammar allows a FLWOR directly in RETURN position; the
+    // translator desugars it into a synthetic LET.
+    let db = db();
+    let q = r#"FOR $p IN document("auction.xml")//person
+               WHERE $p/age > 25
+               RETURN <out name={$p/name/text()}>{
+                 FOR $q IN document("auction.xml")//person
+                 WHERE $q/@id = $p/@id
+                 RETURN <self>{$q/age/text()}</self>
+               }</out>"#;
+    let plan = tlc::compile(q, &db).unwrap();
+    let out = tlc::execute_to_string(&db, &plan).unwrap();
+    assert_eq!(
+        out,
+        "<out name=\"Ann\"><self>30</self></out>\n<out name=\"Bo\"><self>45</self></out>"
+    );
+    // NAV agrees.
+    let nav = baselines::run(baselines::Engine::Nav, q, &db).unwrap();
+    assert_eq!(nav, out);
+}
+
+#[test]
+fn variable_shadowing_in_subqueries() {
+    // The inner FLWOR rebinds $p; the outer $p must survive for the final
+    // RETURN (a regression test for the navigational interpreter's scope
+    // restoration, and a check that the translator resolves innermost-first).
+    let db = db();
+    let q = r#"FOR $p IN document("auction.xml")//person
+               LET $a := FOR $p IN document("auction.xml")//person
+                         WHERE $p/age > 40
+                         RETURN <elder>{$p/name/text()}</elder>
+               WHERE $p/@id = "p0"
+               RETURN <out name={$p/name/text()}>{$a/elder}</out>"#;
+    let tlc_out = {
+        let plan = tlc::compile(q, &db).unwrap();
+        tlc::execute_to_string(&db, &plan).unwrap()
+    };
+    assert_eq!(tlc_out, "<out name=\"Ann\"><elder>Bo</elder></out>");
+    let nav_out = baselines::run(baselines::Engine::Nav, q, &db).unwrap();
+    assert_eq!(nav_out, tlc_out);
+}
+
+#[test]
+fn unsupported_features_error_cleanly() {
+    let db = db();
+    let cases = [
+        // FOR over a nested FLWOR.
+        r#"FOR $p IN (FOR $q IN document("auction.xml")//person RETURN $q) RETURN $p"#,
+        // Multi-step path into a subquery variable.
+        r#"FOR $p IN document("auction.xml")//person
+           LET $a := FOR $q IN document("auction.xml")//person
+                     WHERE $q/@id = $p/@id RETURN <r><s>{$q/name/text()}</s></r>
+           RETURN $a/r/s"#,
+        // Subquery whose RETURN is not a constructor.
+        r#"FOR $p IN document("auction.xml")//person
+           LET $a := FOR $q IN document("auction.xml")//person
+                     WHERE $q/@id = $p/@id RETURN $q/name
+           RETURN <out>{$a}</out>"#,
+    ];
+    for q in cases {
+        match tlc::compile(q, &db) {
+            Err(tlc::Error::Unsupported(_)) => {}
+            other => panic!("expected Unsupported for {q}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn parse_errors_surface_position() {
+    let db = db();
+    let err = tlc::compile("FOR $p IN RETURN $p", &db).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("parse"), "{msg}");
+}
+
+#[test]
+fn unknown_document_reports_name() {
+    let db = db();
+    let plan = tlc::compile(r#"FOR $p IN document("missing.xml")//person RETURN $p"#, &db).unwrap();
+    match tlc::execute(&db, &plan) {
+        Err(tlc::Error::UnknownDocument(name)) => assert_eq!(name, "missing.xml"),
+        other => panic!("expected UnknownDocument, got {other:?}"),
+    }
+}
+
+#[test]
+fn nonexistent_tags_yield_empty_results_not_errors() {
+    let db = db();
+    let plan = tlc::compile(r#"FOR $z IN document("auction.xml")//zebra RETURN $z"#, &db).unwrap();
+    assert_eq!(tlc::execute_to_string(&db, &plan).unwrap(), "");
+}

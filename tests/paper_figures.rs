@@ -1,0 +1,145 @@
+//! Worked examples from the paper's figures, reproduced end-to-end
+//! (experiment E4 of DESIGN.md).
+
+use tlc_xml::{tlc, xmark, xmldb};
+use tlc::{LclId, MSpec, Plan};
+use xmldb::AxisRel;
+
+/// Figure 4: one APT with `-`/`?`/`+` edges over the two sample input trees
+/// produces exactly the three witness trees of Figure 4(c), with E and A
+/// clustered and D fanned out.
+#[test]
+fn figure_4_witness_trees() {
+    let mut db = xmldb::Database::new();
+    db.load_xml(
+        "fig4.xml",
+        "<root>\
+           <B><A><E/><E/></A><A/><C/><D/><D/></B>\
+           <B><A><E/></A><C/></B>\
+         </root>",
+    )
+    .unwrap();
+    let tag = |n: &str| db.interner().lookup(n).unwrap();
+    let mut apt = tlc::Apt::for_document("fig4.xml", LclId(1));
+    let b = apt.add(None, AxisRel::Descendant, MSpec::One, tag("B"), None, LclId(2));
+    let a = apt.add(Some(b), AxisRel::Child, MSpec::Plus, tag("A"), None, LclId(3));
+    apt.add(Some(a), AxisRel::Descendant, MSpec::Plus, tag("E"), None, LclId(4));
+    apt.add(Some(b), AxisRel::Child, MSpec::One, tag("C"), None, LclId(5));
+    apt.add(Some(b), AxisRel::Child, MSpec::Opt, tag("D"), None, LclId(6));
+
+    let (trees, _) = tlc::execute(&db, &Plan::Select { input: None, apt }).unwrap();
+    assert_eq!(trees.len(), 3, "Figure 4(c) shows three witness trees");
+
+    // First input tree: D1 and D2 fan out into two witness trees (the `?`
+    // edge), each carrying the same clustered A/E structure.
+    let d_bearing: Vec<_> = trees.iter().filter(|t| !t.members(LclId(6)).is_empty()).collect();
+    assert_eq!(d_bearing.len(), 2);
+    for t in &d_bearing {
+        assert_eq!(t.members(LclId(6)).len(), 1, "one D per witness tree");
+        assert_eq!(t.members(LclId(4)).len(), 2, "E1, E2 clustered by '+'");
+    }
+    // Second input tree: no D at all, let through by `?`.
+    let d_less: Vec<_> = trees.iter().filter(|t| t.members(LclId(6)).is_empty()).collect();
+    assert_eq!(d_less.len(), 1);
+    assert_eq!(d_less[0].members(LclId(4)).len(), 1, "E3 only");
+}
+
+/// Figure 7: the translated Q1 plan has the paper's operator inventory —
+/// two base selections, a value join, the count aggregate + filter, project,
+/// node-id duplicate elimination, two return selections and a construct.
+#[test]
+fn figure_7_q1_plan_inventory() {
+    let db = xmark::auction_database(0.002);
+    let q1 = queries::query("Q1").unwrap();
+    let plan = tlc::compile(q1.text, &db).unwrap();
+    let rendered = plan.display(Some(&db)).to_string();
+
+    assert_eq!(plan.select_count(), 4, "2 base + 2 return-extension selects:\n{rendered}");
+    assert_eq!(rendered.matches("Join[root").count(), 1, "{rendered}");
+    assert!(rendered.contains("Aggregate[count"), "{rendered}");
+    assert!(rendered.contains("DupElim[NodeId"), "{rendered}");
+    assert!(rendered.contains("Construct"), "{rendered}");
+    // The bidder tag appears twice in the Select 2 pattern — the redundancy
+    // §4 eliminates (one `*` branch for the count, one `-` branch for the
+    // join path).
+    let select2 = rendered.lines().find(|l| l.contains("open_auction")).unwrap();
+    assert_eq!(select2.matches("bidder").count(), 2, "{select2}");
+}
+
+/// Figure 8: Q2's nested plan — the inner block is joined in with a `*`
+/// (left-outer-nest) edge, the deferred predicate (7)=(9) sits on that
+/// join, and the EVERY quantifier becomes a Filter in Every mode.
+#[test]
+fn figure_8_q2_plan_structure() {
+    let db = xmark::auction_database(0.002);
+    let q2 = queries::query("Q2").unwrap();
+    let plan = tlc::compile(q2.text, &db).unwrap();
+    let rendered = plan.display(Some(&db)).to_string();
+    assert!(rendered.contains("right=*"), "LET joins with a left-outer-nest edge:\n{rendered}");
+    assert!(rendered.contains("mode=Every"), "{rendered}");
+    assert_eq!(rendered.matches("Construct").count(), 2, "inner + outer construct:\n{rendered}");
+    assert_eq!(rendered.matches("DupElim").count(), 2, "inner + outer NodeIDDE:\n{rendered}");
+}
+
+/// Figure 9: the Flatten operator's worked example — a tree with nested
+/// E/A clusters under B flattens in two steps to four single-pair trees.
+#[test]
+fn figure_9_flatten_example() {
+    use tlc::tree::{RSource, ResultTree};
+    use tlc::ops::flatten;
+    use xmldb::{DocId, NodeId};
+
+    let base = |pre| RSource::Base(NodeId::new(DocId(0), pre));
+    // B1 with children E1, E2, A1, A2; E in class 2, A in class 3.
+    let mut t = ResultTree::with_root(base(0));
+    t.assign_lcl(t.root(), LclId(1));
+    for (pre, lcl) in [(1, 2), (2, 2), (3, 3), (4, 3)] {
+        let root = t.root();
+        let n = t.add_node(root, base(pre));
+        t.assign_lcl(n, LclId(lcl));
+    }
+    let mut stats = tlc::ExecStats::new();
+    // FL[B, E]: two trees, each with one E and both As.
+    let step1 = flatten(vec![t], LclId(1), LclId(2), &mut stats).unwrap();
+    assert_eq!(step1.len(), 2);
+    for t in &step1 {
+        assert_eq!(t.members(LclId(2)).len(), 1);
+        assert_eq!(t.members(LclId(3)).len(), 2);
+    }
+    // FL[B, A]: four trees, each a single (E, A) pair.
+    let step2 = flatten(step1, LclId(1), LclId(3), &mut stats).unwrap();
+    assert_eq!(step2.len(), 4);
+    for t in &step2 {
+        assert_eq!(t.members(LclId(2)).len(), 1);
+        assert_eq!(t.members(LclId(3)).len(), 1);
+    }
+}
+
+/// Figure 15's qualitative claims at a reduced factor: TLC beats GTP and
+/// TAX on the heterogeneity-instigator queries, and NAV loses heavily on
+/// joins (see EXPERIMENTS.md for the full shape discussion).
+#[test]
+fn figure_15_shape_spot_check() {
+    use baselines::Engine;
+    let db = xmark::auction_database(0.01);
+    let timed = |engine: Engine, name: &str| {
+        let q = queries::query(name).unwrap();
+        // Warm-up, then best-of-3 to keep the test robust.
+        let _ = baselines::run(engine, q.text, &db).unwrap();
+        (0..3)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                let _ = baselines::run(engine, q.text, &db).unwrap();
+                t.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    for name in ["Q1", "Q2", "x10"] {
+        let tlc_t = timed(Engine::Tlc, name);
+        let tax_t = timed(Engine::Tax, name);
+        let nav_t = timed(Engine::Nav, name);
+        assert!(tlc_t < tax_t, "{name}: TLC {tlc_t:?} should beat TAX {tax_t:?}");
+        assert!(tlc_t < nav_t, "{name}: TLC {tlc_t:?} should beat NAV {nav_t:?}");
+    }
+}

@@ -1,0 +1,312 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+use tlc_xml::{tlc, xmldb};
+use xmldb::{Database, DocumentBuilder, TagInterner};
+
+// ---------------------------------------------------------------------
+// Random document generation
+// ---------------------------------------------------------------------
+
+/// A recipe for a small random XML tree.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(u8, String),
+    Inner(u8, Vec<Node>),
+}
+
+fn arb_node(depth: u32) -> impl Strategy<Value = Node> {
+    let leaf = (0u8..6, "[a-z0-9]{0,6}").prop_map(|(t, s)| Node::Leaf(t, s));
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        (0u8..6, prop::collection::vec(inner, 0..4)).prop_map(|(t, c)| Node::Inner(t, c))
+    })
+}
+
+fn tags() -> [&'static str; 6] {
+    ["a", "b", "c", "d", "e", "f"]
+}
+
+fn build(node: &Node, b: &mut DocumentBuilder, i: &TagInterner) {
+    match node {
+        Node::Leaf(t, s) => {
+            b.leaf(i.intern(tags()[*t as usize]), s, i);
+        }
+        Node::Inner(t, children) => {
+            b.start_element(i.intern(tags()[*t as usize]));
+            for c in children {
+                build(c, b, i);
+            }
+            b.end_element().unwrap();
+        }
+    }
+}
+
+fn db_from(node: &Node) -> Database {
+    let mut db = Database::new();
+    let mut b = db.builder("t.xml");
+    b.start_element(db.interner().intern("root"));
+    build(node, &mut b, db.interner());
+    b.end_element().unwrap();
+    let doc = b.finish().unwrap();
+    db.insert(doc).unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The pre-order arena invariants hold for arbitrary trees.
+    #[test]
+    fn document_invariants(node in arb_node(4)) {
+        let db = db_from(&node);
+        db.document(xmldb::DocId(0)).check_invariants().unwrap();
+    }
+
+    /// Serialize → parse → serialize is a fixpoint.
+    #[test]
+    fn serialization_round_trip(node in arb_node(4)) {
+        let db = db_from(&node);
+        let first = xmldb::serialize::serialize_subtree(&db, db.root(xmldb::DocId(0)));
+        let mut db2 = Database::new();
+        let d2 = db2.load_xml("t.xml", &first).unwrap();
+        let second = xmldb::serialize::serialize_subtree(&db2, db2.root(d2));
+        prop_assert_eq!(first, second);
+    }
+
+    /// The interval ancestor test agrees with parent-link navigation for
+    /// every node pair.
+    #[test]
+    fn interval_encoding_matches_navigation(node in arb_node(3)) {
+        let db = db_from(&node);
+        let doc = db.document(xmldb::DocId(0));
+        let n = doc.len() as u32;
+        for a in 0..n {
+            for d in 0..n {
+                let nav = {
+                    let mut cur = doc.parent(d);
+                    let mut found = false;
+                    while let Some(p) = cur {
+                        if p == a { found = true; break; }
+                        cur = doc.parent(p);
+                    }
+                    found
+                };
+                prop_assert_eq!(doc.is_ancestor(a, d), nav);
+            }
+        }
+    }
+
+    /// The tag index lists exactly the nodes a full scan finds, in order.
+    #[test]
+    fn tag_index_is_complete_and_ordered(node in arb_node(4)) {
+        let db = db_from(&node);
+        let doc = db.document(xmldb::DocId(0));
+        for t in tags() {
+            let indexed = db.nodes_with_tag(t);
+            prop_assert!(indexed.windows(2).all(|w| w[0] < w[1]));
+            let Some(tag) = db.interner().lookup(t) else { continue };
+            let scanned: Vec<u32> = (0..doc.len() as u32)
+                .filter(|&p| doc.record(p).tag == tag)
+                .collect();
+            let indexed_pres: Vec<u32> = indexed.iter().map(|n| n.pre).collect();
+            prop_assert_eq!(indexed_pres, scanned);
+        }
+    }
+
+    /// Structural join output equals the naive nested-loop result.
+    #[test]
+    fn structural_join_matches_nested_loop(node in arb_node(4)) {
+        use tlc::physical::structural::{inodes, structural_join};
+        let db = db_from(&node);
+        let a = inodes(&db, db.nodes_with_tag("a"));
+        let b = inodes(&db, db.nodes_with_tag("b"));
+        for axis in [xmldb::AxisRel::Child, xmldb::AxisRel::Descendant] {
+            let fast = structural_join(&a, &b, axis);
+            let mut naive = Vec::new();
+            for (ai, an) in a.iter().enumerate() {
+                for (bi, bn) in b.iter().enumerate() {
+                    if an.relates(bn, axis) {
+                        naive.push((ai, bi));
+                    }
+                }
+            }
+            let mut fast_sorted = fast.clone();
+            fast_sorted.sort_unstable();
+            prop_assert_eq!(fast_sorted, naive);
+        }
+    }
+
+    /// A descendant-axis pattern match finds exactly the nodes the tag
+    /// index holds (the `//tag` ≡ index-scan equivalence).
+    #[test]
+    fn descendant_match_equals_index(node in arb_node(4)) {
+        let db = db_from(&node);
+        let Some(tag) = db.interner().lookup("c") else { return Ok(()) };
+        let mut apt = tlc::Apt::for_document("t.xml", tlc::LclId(1));
+        apt.add(None, xmldb::AxisRel::Descendant, tlc::MSpec::One, tag, None, tlc::LclId(2));
+        let (trees, _) = tlc::execute(&db, &tlc::Plan::Select { input: None, apt }).unwrap();
+        prop_assert_eq!(trees.len(), db.nodes_with_tag("c").len());
+    }
+
+    /// Flatten then count: the fanned-out trees partition the cluster.
+    #[test]
+    fn flatten_partitions_clusters(node in arb_node(4)) {
+        let db = db_from(&node);
+        let a_tag = db.interner().lookup("a");
+        let b_tag = db.interner().lookup("b");
+        let (Some(a_tag), Some(b_tag)) = (a_tag, b_tag) else { return Ok(()) };
+        let mut apt = tlc::Apt::for_document("t.xml", tlc::LclId(1));
+        let a = apt.add(None, xmldb::AxisRel::Descendant, tlc::MSpec::One, a_tag, None, tlc::LclId(2));
+        apt.add(Some(a), xmldb::AxisRel::Child, tlc::MSpec::Star, b_tag, None, tlc::LclId(3));
+        let select = tlc::Plan::Select { input: None, apt };
+        let (clustered, _) = tlc::execute(&db, &select).unwrap();
+        let total: usize = clustered.iter().map(|t| t.members(tlc::LclId(3)).len()).sum();
+        let flat_plan = tlc::Plan::Flatten {
+            input: Box::new(select),
+            parent: tlc::LclId(2),
+            child: tlc::LclId(3),
+        };
+        let (flat, _) = tlc::execute(&db, &flat_plan).unwrap();
+        prop_assert_eq!(flat.len(), total, "one flattened tree per cluster member");
+        prop_assert!(flat.iter().all(|t| t.members(tlc::LclId(3)).len() == 1));
+    }
+
+    /// Shadow ∘ Illuminate is the identity on class membership.
+    #[test]
+    fn shadow_illuminate_identity(node in arb_node(4)) {
+        let db = db_from(&node);
+        let (Some(a_tag), Some(b_tag)) =
+            (db.interner().lookup("a"), db.interner().lookup("b")) else { return Ok(()) };
+        let mut apt = tlc::Apt::for_document("t.xml", tlc::LclId(1));
+        let a = apt.add(None, xmldb::AxisRel::Descendant, tlc::MSpec::One, a_tag, None, tlc::LclId(2));
+        apt.add(Some(a), xmldb::AxisRel::Child, tlc::MSpec::Star, b_tag, None, tlc::LclId(3));
+        let select = tlc::Plan::Select { input: None, apt };
+        let (before, _) = tlc::execute(&db, &select).unwrap();
+        let member_counts: Vec<usize> = before.iter().map(|t| t.members(tlc::LclId(3)).len()).collect();
+        let plan = tlc::Plan::Illuminate {
+            input: Box::new(tlc::Plan::Shadow {
+                input: Box::new(select),
+                parent: tlc::LclId(2),
+                child: tlc::LclId(3),
+            }),
+            lcl: tlc::LclId(3),
+        };
+        let (after, _) = tlc::execute(&db, &plan).unwrap();
+        // Shadow fans out per member; after Illuminate every fanned tree has
+        // the full membership back.
+        let expected: usize = member_counts.iter().sum();
+        prop_assert_eq!(after.len(), expected);
+        let all_full = after
+            .iter()
+            .all(|t| member_counts.contains(&t.members(tlc::LclId(3)).len()));
+        prop_assert!(all_full);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// TwigStack agrees with naive twig evaluation on random documents and
+    /// random twig shapes.
+    #[test]
+    fn twigstack_matches_naive(node in arb_node(4), shape in 0usize..6) {
+        use tlc::physical::twigstack::{twig_join, twig_join_naive, Twig};
+        use xmldb::AxisRel::{Child, Descendant};
+        let db = db_from(&node);
+        let t = |n: &str| db.interner().intern(n);
+        // A few representative twig shapes over the random tag alphabet.
+        let twig = match shape {
+            0 => {
+                // a//b
+                let mut w = Twig::new(t("a"));
+                w.add(0, Descendant, t("b"));
+                w
+            }
+            1 => {
+                // a/b
+                let mut w = Twig::new(t("a"));
+                w.add(0, Child, t("b"));
+                w
+            }
+            2 => {
+                // a[//b][//c]
+                let mut w = Twig::new(t("a"));
+                w.add(0, Descendant, t("b"));
+                w.add(0, Descendant, t("c"));
+                w
+            }
+            3 => {
+                // a//b//c
+                let mut w = Twig::new(t("a"));
+                let b = w.add(0, Descendant, t("b"));
+                w.add(b, Descendant, t("c"));
+                w
+            }
+            4 => {
+                // b[//a/c][//d] — branch with a mixed-axis path
+                let mut w = Twig::new(t("b"));
+                let a = w.add(0, Descendant, t("a"));
+                w.add(a, Child, t("c"));
+                w.add(0, Descendant, t("d"));
+                w
+            }
+            _ => {
+                // a[//a] — recursive same-tag twig
+                let mut w = Twig::new(t("a"));
+                w.add(0, Descendant, t("a"));
+                w
+            }
+        };
+        prop_assert_eq!(twig_join(&db, &twig), twig_join_naive(&db, &twig));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random query generation over the XMark schema
+// ---------------------------------------------------------------------
+
+/// A tiny random query family: pick a path, an optional predicate, and a
+/// return shape; every engine must agree on the result.
+fn arb_query() -> impl Strategy<Value = String> {
+    let paths = prop::sample::select(vec![
+        ("person", "name"),
+        ("person", "emailaddress"),
+        ("open_auction", "initial"),
+        ("open_auction", "quantity"),
+        ("closed_auction", "price"),
+        ("item", "location"),
+    ]);
+    let pred = prop::option::of((prop::sample::select(vec![">", "<", "="]), 0u32..300));
+    (paths, pred, prop::bool::ANY).prop_map(|((elem, field), pred, use_count)| {
+        let where_clause = match pred {
+            Some((op, v)) => format!("WHERE $x/{field} {op} {v}"),
+            None => String::new(),
+        };
+        let ret = if use_count {
+            format!("RETURN <n>{{count($x/{field})}}</n>")
+        } else {
+            format!("RETURN $x/{field}")
+        };
+        format!("FOR $x IN document(\"auction.xml\")//{elem} {where_clause} {ret}")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Engine agreement on random queries over XMark data.
+    #[test]
+    fn engines_agree_on_random_queries(q in arb_query()) {
+        use baselines::Engine;
+        // A small shared database (rebuilt per case keeps cases independent;
+        // the factor keeps it fast).
+        let db = xmark::auction_database(0.001);
+        let reference = baselines::run(Engine::Tlc, &q, &db).unwrap();
+        for engine in [Engine::TlcOpt, Engine::Gtp, Engine::Tax, Engine::Nav] {
+            let out = baselines::run(engine, &q, &db).unwrap();
+            prop_assert_eq!(&out, &reference, "{} disagrees on {}", engine.name(), q);
+        }
+    }
+}
+
+use tlc_xml::xmark;
