@@ -450,10 +450,8 @@ impl<'a> Nav<'a> {
         if func == AggFunc::Count {
             return items.len().to_string();
         }
-        let nums: Vec<f64> = items
-            .iter()
-            .filter_map(|i| self.value(i).trim().parse::<f64>().ok())
-            .collect();
+        let nums: Vec<f64> =
+            items.iter().filter_map(|i| self.value(i).trim().parse::<f64>().ok()).collect();
         if nums.is_empty() {
             return "empty".to_string();
         }
@@ -641,14 +639,18 @@ mod tests {
     #[test]
     fn simple_path_and_predicate() {
         let d = db();
-        let out = run(&d, r#"FOR $p IN document("auction.xml")//person WHERE $p/age > 25 RETURN $p/name"#);
+        let out = run(
+            &d,
+            r#"FOR $p IN document("auction.xml")//person WHERE $p/age > 25 RETURN $p/name"#,
+        );
         assert_eq!(out, "<name>Ann</name>");
     }
 
     #[test]
     fn nav_visits_nodes() {
         let d = db();
-        let ast = xquery::parse(r#"FOR $p IN document("auction.xml")//person RETURN $p/name"#).unwrap();
+        let ast =
+            xquery::parse(r#"FOR $p IN document("auction.xml")//person RETURN $p/name"#).unwrap();
         let (_, stats) = evaluate_nav(&d, &ast).unwrap();
         assert!(stats.nodes_visited > 10, "descendant steps walk the tree: {stats:?}");
         assert_eq!(stats.tuples, 2);

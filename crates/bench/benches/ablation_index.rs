@@ -9,8 +9,7 @@
 //! * **scan** — the predicate is applied as a post-select Filter, so the
 //!   pattern match enumerates every `person` via the tag index first.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use bench::micro::Group;
 use tlc::ops::filter::{FilterMode, FilterPred};
 use tlc::{Apt, ContentPred, LclId, MSpec, Plan, PredValue};
 use xmldb::AxisRel;
@@ -40,7 +39,7 @@ fn plans(db: &xmldb::Database) -> (Plan, Plan) {
     (indexed, scan)
 }
 
-fn index_ablation(c: &mut Criterion) {
+fn main() {
     let db = bench::setup(0.05);
     let (indexed, scan) = plans(&db);
     // Same answers, different access paths.
@@ -48,17 +47,7 @@ fn index_ablation(c: &mut Criterion) {
         tlc::execute_to_string(&db, &indexed).unwrap(),
         tlc::execute_to_string(&db, &scan).unwrap()
     );
-    let mut group = c.benchmark_group("ablation_index");
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(800));
-    group.bench_function("value_index_served", |b| {
-        b.iter(|| black_box(tlc::execute(&db, &indexed).unwrap().0.len()))
-    });
-    group.bench_function("tag_scan_then_filter", |b| {
-        b.iter(|| black_box(tlc::execute(&db, &scan).unwrap().0.len()))
-    });
-    group.finish();
+    let group = Group::new("ablation_index");
+    group.bench("value_index_served", || tlc::execute(&db, &indexed).unwrap().0.len());
+    group.bench("tag_scan_then_filter", || tlc::execute(&db, &scan).unwrap().0.len());
 }
-
-criterion_group!(benches, index_ablation);
-criterion_main!(benches);

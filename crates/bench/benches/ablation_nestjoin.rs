@@ -10,54 +10,41 @@
 //! 2. whole plans: the TLC plan (nest matching) vs the GTP plan (flat match
 //!    + grouping procedure).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::micro::Group;
 use std::collections::HashMap;
-use std::hint::black_box;
 use tlc::physical::structural::{inodes, nest_structural_join, structural_join, INode};
 use xmldb::AxisRel;
 
-fn primitives(c: &mut Criterion) {
-    let db = bench::setup(0.02);
-    let auctions: Vec<INode> = inodes(&db, db.nodes_with_tag("open_auction"));
-    let bidders: Vec<INode> = inodes(&db, db.nodes_with_tag("bidder"));
-    let mut group = c.benchmark_group("ablation_nestjoin/primitive");
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(800));
-    group.bench_function("nest_structural_join", |b| {
-        b.iter(|| black_box(nest_structural_join(&auctions, &bidders, AxisRel::Child)))
+fn primitives(db: &xmldb::Database) {
+    let auctions: Vec<INode> = inodes(db, db.nodes_with_tag("open_auction"));
+    let bidders: Vec<INode> = inodes(db, db.nodes_with_tag("bidder"));
+    let group = Group::new("ablation_nestjoin/primitive");
+    group.bench("nest_structural_join", || {
+        nest_structural_join(&auctions, &bidders, AxisRel::Child)
     });
-    group.bench_function("flat_join_then_group", |b| {
-        b.iter(|| {
-            // The grouping procedure a flat algebra needs: join, then hash
-            // the pairs back into clusters.
-            let pairs = structural_join(&auctions, &bidders, AxisRel::Child);
-            let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
-            for (a, d) in pairs {
-                groups.entry(a).or_default().push(d);
-            }
-            black_box(groups)
-        })
+    group.bench("flat_join_then_group", || {
+        // The grouping procedure a flat algebra needs: join, then hash
+        // the pairs back into clusters.
+        let pairs = structural_join(&auctions, &bidders, AxisRel::Child);
+        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (a, d) in pairs {
+            groups.entry(a).or_default().push(d);
+        }
+        groups
     });
-    group.finish();
 }
 
-fn whole_plans(c: &mut Criterion) {
-    let db = bench::setup(0.02);
+fn whole_plans(db: &xmldb::Database) {
     let q = queries::query("Q1").unwrap();
-    let tlc_plan = baselines::plan_for(baselines::Engine::Tlc, q.text, &db).unwrap();
-    let gtp_plan = baselines::plan_for(baselines::Engine::Gtp, q.text, &db).unwrap();
-    let mut group = c.benchmark_group("ablation_nestjoin/plan");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(800));
-    group.bench_function("tlc_nest_match", |b| {
-        b.iter(|| black_box(tlc::execute_to_string(&db, &tlc_plan).unwrap()))
-    });
-    group.bench_function("gtp_grouping_procedure", |b| {
-        b.iter(|| black_box(tlc::execute_to_string(&db, &gtp_plan).unwrap()))
-    });
-    group.finish();
+    let tlc_plan = baselines::plan_for(baselines::Engine::Tlc, q.text, db).unwrap();
+    let gtp_plan = baselines::plan_for(baselines::Engine::Gtp, q.text, db).unwrap();
+    let group = Group::new("ablation_nestjoin/plan");
+    group.bench("tlc_nest_match", || tlc::execute_to_string(db, &tlc_plan).unwrap());
+    group.bench("gtp_grouping_procedure", || tlc::execute_to_string(db, &gtp_plan).unwrap());
 }
 
-criterion_group!(benches, primitives, whole_plans);
-criterion_main!(benches);
+fn main() {
+    let db = bench::setup(0.02);
+    primitives(&db);
+    whole_plans(&db);
+}

@@ -7,13 +7,12 @@
 //! scales with twig selectivity (TwigStack never enumerates partial matches
 //! that cannot extend; the binary matcher may).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use bench::micro::Group;
 use tlc::physical::twigstack::{twig_join, Twig};
 use tlc::{Apt, LclId, MSpec, Plan};
 use xmldb::AxisRel;
 
-fn twig_benches(c: &mut Criterion) {
+fn main() {
     let db = bench::setup(0.02);
     let t = |n: &str| db.interner().lookup(n).unwrap();
 
@@ -35,17 +34,7 @@ fn twig_benches(c: &mut Criterion) {
     let (trees, _) = tlc::execute(&db, &plan).unwrap();
     assert_eq!(twig_count, trees.len(), "strategies must agree before timing");
 
-    let mut group = c.benchmark_group("ablation_twigstack");
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(800));
-    group.bench_function("interval_matcher", |b| {
-        b.iter(|| black_box(tlc::execute(&db, &plan).unwrap().0.len()))
-    });
-    group.bench_function("twigstack_holistic", |b| {
-        b.iter(|| black_box(twig_join(&db, &twig).len()))
-    });
-    group.finish();
+    let group = Group::new("ablation_twigstack");
+    group.bench("interval_matcher", || tlc::execute(&db, &plan).unwrap().0.len());
+    group.bench("twigstack_holistic", || twig_join(&db, &twig).len());
 }
-
-criterion_group!(benches, twig_benches);
-criterion_main!(benches);

@@ -1,27 +1,19 @@
-//! Criterion version of the Figure 15 experiment: every query of the
-//! workload on every engine. Uses a small scale factor so `cargo bench`
-//! stays tractable; run the `experiments` binary for paper-scale tables.
+//! Timed version of the Figure 15 experiment: every query of the workload
+//! on every engine. Uses a small scale factor so `cargo bench` stays
+//! tractable; run the `experiments` binary for paper-scale tables.
 
 use baselines::Engine;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use bench::micro::Group;
 
-fn fig15_benches(c: &mut Criterion) {
+fn main() {
     let factor = 0.01;
     let db = bench::setup(factor);
-    let mut group = c.benchmark_group("fig15");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(800));
+    let group = Group::new("fig15");
     for q in queries::all_queries() {
         for engine in Engine::figure15() {
-            group.bench_function(format!("{}/{}", q.name, engine.name()), |b| {
-                b.iter(|| black_box(baselines::run(engine, q.text, &db).unwrap()))
+            group.bench(&format!("{}/{}", q.name, engine.name()), || {
+                baselines::run(engine, q.text, &db).unwrap()
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, fig15_benches);
-criterion_main!(benches);

@@ -1,28 +1,20 @@
-//! Criterion version of the Figure 16 experiment: plain TLC plans vs OPT
+//! Timed version of the Figure 16 experiment: plain TLC plans vs OPT
 //! plans (Flatten + Shadow/Illuminate rewrites) on the rewritable queries.
 
 use baselines::Engine;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use bench::micro::Group;
 
-fn fig16_benches(c: &mut Criterion) {
+fn main() {
     let db = bench::setup(0.02);
-    let mut group = c.benchmark_group("fig16");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(800));
+    let group = Group::new("fig16");
     for name in queries::FIG16_QUERIES {
         let q = queries::query(name).unwrap();
         for engine in [Engine::Tlc, Engine::TlcOpt] {
             // Compile outside the loop: Figure 16 measures execution.
             let plan = baselines::plan_for(engine, q.text, &db).unwrap();
-            group.bench_function(format!("{}/{}", q.name, engine.name()), |b| {
-                b.iter(|| black_box(tlc::execute_to_string(&db, &plan).unwrap()))
+            group.bench(&format!("{}/{}", q.name, engine.name()), || {
+                tlc::execute_to_string(&db, &plan).unwrap()
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, fig16_benches);
-criterion_main!(benches);

@@ -1,29 +1,20 @@
-//! Criterion version of the Figure 17 experiment: TLC scalability over
-//! XMark scale factors for x3, x5, x13, Q1, Q2. The paper's claim is
-//! *linear* scaling; compare the per-factor times.
+//! Timed version of the Figure 17 experiment: TLC scalability over XMark
+//! scale factors for x3, x5, x13, Q1, Q2. The paper's claim is *linear*
+//! scaling; compare the per-factor times.
 
 use baselines::Engine;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use bench::micro::Group;
 
-fn fig17_benches(c: &mut Criterion) {
+fn main() {
     let factors = [0.005, 0.01, 0.02, 0.04];
-    let dbs: Vec<(f64, xmldb::Database)> =
-        factors.iter().map(|&f| (f, bench::setup(f))).collect();
-    let mut group = c.benchmark_group("fig17");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(800));
+    let dbs: Vec<(f64, xmldb::Database)> = factors.iter().map(|&f| (f, bench::setup(f))).collect();
+    let group = Group::new("fig17");
     for name in queries::FIG17_QUERIES {
         let q = queries::query(name).unwrap();
         for (f, db) in &dbs {
-            group.bench_function(format!("{}/factor_{}", q.name, f), |b| {
-                b.iter(|| black_box(baselines::run(Engine::Tlc, q.text, db).unwrap()))
+            group.bench(&format!("{}/factor_{}", q.name, f), || {
+                baselines::run(Engine::Tlc, q.text, db).unwrap()
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, fig17_benches);
-criterion_main!(benches);

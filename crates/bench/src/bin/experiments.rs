@@ -5,8 +5,14 @@
 //! experiments fig16 [--factor F]
 //! experiments fig17 [--factors F1,F2,...]
 //! experiments stats [--factor F]     # per-engine ExecStats (redundancy metrics)
+//! experiments concurrent [--factor F] [--threads N] [--rounds R]
 //! experiments all   [--factor F]
 //! ```
+//!
+//! `concurrent` drives the query service from N client threads (default 4)
+//! replaying the full workload R times each, and reports QPS and exact
+//! latency percentiles with the plan cache warm versus compiling every
+//! query from scratch.
 
 use baselines::Engine;
 use bench::{
@@ -18,7 +24,8 @@ use std::time::Duration;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
-    let factor = flag_value(&args, "--factor").and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_FACTOR);
+    let factor =
+        flag_value(&args, "--factor").and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_FACTOR);
     let budget = Duration::from_secs_f64(
         flag_value(&args, "--budget").and_then(|v| v.parse().ok()).unwrap_or(120.0),
     );
@@ -31,6 +38,16 @@ fn main() {
         "fig16" => run_fig16(factor, budget),
         "fig17" => run_fig17(&factors, budget),
         "stats" => run_stats(factor),
+        "concurrent" => {
+            let threads = flag_value(&args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(4);
+            let rounds = flag_value(&args, "--rounds").and_then(|v| v.parse().ok()).unwrap_or(10);
+            // Default to a small database: serving is lookup-style there
+            // and the compile share of a request (what the cache removes)
+            // is at its most visible.
+            let factor =
+                flag_value(&args, "--factor").and_then(|v| v.parse().ok()).unwrap_or(0.0005);
+            run_concurrent(factor, threads, rounds);
+        }
         "all" => {
             run_fig15(factor, budget);
             println!();
@@ -41,7 +58,7 @@ fn main() {
             run_stats(factor);
         }
         other => {
-            eprintln!("unknown command {other:?}; use fig15|fig16|fig17|stats|all");
+            eprintln!("unknown command {other:?}; use fig15|fig16|fig17|stats|concurrent|all");
             std::process::exit(2);
         }
     }
@@ -70,6 +87,20 @@ fn run_fig17(factors: &[f64], budget: Duration) {
     print!("{}", render_fig17(&rows, factors));
 }
 
+/// Concurrent service load: QPS and exact latency percentiles, plan cache
+/// warm versus compile-every-time.
+fn run_concurrent(factor: f64, threads: usize, rounds: usize) {
+    eprintln!("generating XMark factor {factor} ...");
+    let db = std::sync::Arc::new(setup(factor));
+    eprintln!(
+        "database: {} nodes; {threads} client threads x {rounds} rounds of {} queries",
+        db.node_count(),
+        queries::all_queries().len()
+    );
+    let (cached, uncached) = bench::concurrent::cached_vs_uncached(db, threads, rounds);
+    print!("{}", bench::concurrent::render_comparison(&cached, &uncached, factor));
+}
+
 /// The redundancy metrics behind the timings: per-query, per-engine
 /// ExecStats counters (index probes, nodes inspected, subtrees
 /// materialized) — the paper's §4 argument made quantitative.
@@ -85,7 +116,10 @@ fn run_stats(factor: f64) {
             let cell = match baselines::plan_for(engine, q.text, &db)
                 .and_then(|p| tlc::execute(&db, &p))
             {
-                Ok((_, s)) => format!("{:>8}/{:>12}/{:>6}", s.probes, s.nodes_inspected, s.subtrees_materialized),
+                Ok((_, s)) => format!(
+                    "{:>8}/{:>12}/{:>6}",
+                    s.probes, s.nodes_inspected, s.subtrees_materialized
+                ),
                 Err(_) => format!("{:>28}", "ERR"),
             };
             cells.push(cell);

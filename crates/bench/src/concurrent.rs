@@ -1,0 +1,182 @@
+//! Concurrent load generation against the query service.
+//!
+//! Replays the Figure-15 workload (the full evaluation suite) from N
+//! client threads against one shared [`service::Service`], and reports
+//! throughput plus a latency distribution. Latencies here are *exact*
+//! (every request's duration is kept and sorted), unlike the service's own
+//! bucketed histogram — the load generator is the measuring instrument,
+//! the histogram is the cheap always-on telemetry.
+//!
+//! The second entry point, [`cached_vs_uncached`], quantifies what the
+//! plan cache buys: the same workload through the same service, with the
+//! cache warm versus a cache too small to ever hit (compile every time).
+
+use queries::all_queries;
+use service::{Service, ServiceConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xmldb::Database;
+
+/// One load run's results.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Client threads that generated the load.
+    pub threads: usize,
+    /// Requests that completed successfully.
+    pub ok: u64,
+    /// Requests that failed (compile/execute/deadline/rejected).
+    pub errors: u64,
+    /// Wall-clock time for the whole run.
+    pub elapsed: Duration,
+    /// Sorted per-request latencies (successful requests only).
+    pub latencies: Vec<Duration>,
+}
+
+impl LoadReport {
+    /// Successful requests per wall-clock second.
+    pub fn qps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.ok as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Exact latency quantile over the successful requests (`q` in `[0,1]`).
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = ((self.latencies.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.latencies[rank]
+    }
+
+    /// One-line summary: `threads=8 ok=184 err=0 qps=412.3 p50=1.2ms p95=8.0ms max=11.1ms`.
+    pub fn summary(&self) -> String {
+        format!(
+            "threads={} ok={} err={} qps={:.1} p50={:.1?} p95={:.1?} max={:.1?}",
+            self.threads,
+            self.ok,
+            self.errors,
+            self.qps(),
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.latencies.last().copied().unwrap_or(Duration::ZERO),
+        )
+    }
+}
+
+/// Replays the full workload `rounds` times from each of `threads` client
+/// threads against `svc`. Requests run one at a time per client (closed
+/// loop); the service's worker pool is the concurrency limiter.
+pub fn run_load(svc: &Service, threads: usize, rounds: usize) -> LoadReport {
+    let texts: Vec<&'static str> = all_queries().iter().map(|q| q.text).collect();
+    let errors = AtomicU64::new(0);
+    let started = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let texts = &texts;
+                let errors = &errors;
+                s.spawn(move || {
+                    let mut mine = Vec::with_capacity(rounds * texts.len());
+                    for round in 0..rounds {
+                        // Stagger start positions so the clients don't hit
+                        // the same query in lock-step.
+                        let offset = (t + round) % texts.len();
+                        for i in 0..texts.len() {
+                            let q = texts[(offset + i) % texts.len()];
+                            let begun = Instant::now();
+                            match svc.execute(q) {
+                                Ok(_) => mine.push(begun.elapsed()),
+                                Err(_) => {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+    let elapsed = started.elapsed();
+    latencies.sort_unstable();
+    LoadReport {
+        threads,
+        ok: latencies.len() as u64,
+        errors: errors.into_inner(),
+        elapsed,
+        latencies,
+    }
+}
+
+/// Cached-vs-uncached comparison on one database, both sides through
+/// identical service machinery so plan reuse is the *only* difference:
+///
+/// * **cached** — a normally-sized plan cache, warmed with one full pass,
+///   so every measured request is a cache hit;
+/// * **uncached** — a capacity-1 cache cycled by the 23-query workload, so
+///   every request misses and recompiles (the compile-every-time life).
+///
+/// Returns `(cached, uncached)`. The gap this shows is the compile share
+/// of the request — large for small databases (lookup-style serving),
+/// shrinking as execution grows with the scale factor.
+pub fn cached_vs_uncached(
+    db: Arc<Database>,
+    threads: usize,
+    rounds: usize,
+) -> (LoadReport, LoadReport) {
+    let config = ServiceConfig { workers: threads, queue_depth: threads * 4, ..Default::default() };
+    let warm_svc = Service::new(Arc::clone(&db), config.clone());
+    let _warm = run_load(&warm_svc, 1, 1); // one pass fills the plan cache
+    let cached = run_load(&warm_svc, threads, rounds);
+    let cold_svc =
+        Service::new(Arc::clone(&db), ServiceConfig { plan_cache_capacity: 1, ..config });
+    let uncached = run_load(&cold_svc, threads, rounds);
+    (cached, uncached)
+}
+
+/// Renders the comparison as a small text table.
+pub fn render_comparison(cached: &LoadReport, uncached: &LoadReport, factor: f64) -> String {
+    let speedup = if uncached.qps() > 0.0 { cached.qps() / uncached.qps() } else { f64::INFINITY };
+    format!(
+        "Concurrent replay of the evaluation workload, XMark factor {factor}\n\
+         cached plans   : {}\n\
+         compile always : {}\n\
+         throughput gain from the plan cache: {speedup:.2}x\n",
+        cached.summary(),
+        uncached.summary(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_exact_order_statistics() {
+        let report = LoadReport {
+            threads: 1,
+            ok: 4,
+            errors: 0,
+            elapsed: Duration::from_secs(1),
+            latencies: (1..=4).map(Duration::from_millis).collect(),
+        };
+        assert_eq!(report.quantile(0.0), Duration::from_millis(1));
+        assert_eq!(report.quantile(1.0), Duration::from_millis(4));
+        assert_eq!(report.qps(), 4.0);
+    }
+
+    #[test]
+    fn load_run_completes_the_whole_workload() {
+        let db = Arc::new(crate::setup(0.001));
+        let svc = Service::new(Arc::clone(&db), ServiceConfig::default());
+        let report = run_load(&svc, 2, 1);
+        let expected = 2 * all_queries().len() as u64;
+        assert_eq!(report.ok + report.errors, expected);
+        assert_eq!(report.errors, 0, "workload queries must all succeed");
+        assert_eq!(report.latencies.len() as u64, report.ok);
+    }
+}

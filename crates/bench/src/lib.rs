@@ -17,7 +17,10 @@
 //! paper's 10-minute DNF cut-off.
 //!
 //! The same functions back both the `experiments` binary (paper-style
-//! tables on stdout) and the Criterion benches.
+//! tables on stdout) and the timed bench targets (see [`micro`]).
+
+pub mod concurrent;
+pub mod micro;
 
 use baselines::Engine;
 use queries::{all_queries, query, QuerySpec};
@@ -164,14 +167,13 @@ pub struct Fig17Row {
 /// sweep's wall-clock at the larger factors).
 pub fn setup_many(factors: &[f64]) -> Vec<(f64, Database)> {
     let mut out: Vec<Option<(f64, Database)>> = factors.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (slot, &f) in out.iter_mut().zip(factors) {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 *slot = Some((f, setup(f)));
             });
         }
-    })
-    .expect("generator threads do not panic");
+    });
     out.into_iter().map(|o| o.expect("every slot filled")).collect()
 }
 
@@ -182,10 +184,8 @@ pub fn fig17(factors: &[f64], budget: Duration) -> Vec<Fig17Row> {
         .iter()
         .map(|name| {
             let q = query(name).expect("known query");
-            let series = dbs
-                .iter()
-                .map(|(f, db)| (*f, measure(db, q, Engine::Tlc, budget)))
-                .collect();
+            let series =
+                dbs.iter().map(|(f, db)| (*f, measure(db, q, Engine::Tlc, budget))).collect();
             Fig17Row { name: q.name, series }
         })
         .collect()

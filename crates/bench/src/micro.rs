@@ -1,0 +1,98 @@
+//! Minimal micro-benchmark harness backing the `benches/` targets.
+//!
+//! The bench targets are plain `harness = false` binaries so the workspace
+//! builds without an external benchmarking crate. Each measurement warms the
+//! closure up, then runs timed batches for a fixed wall-clock budget and
+//! reports min / mean / max per-iteration times — enough to compare the two
+//! sides of each ablation, which is all the benches are for. For
+//! statistics-grade measurement use the `experiments` binary, which follows
+//! the paper's trimmed-mean protocol.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A named group of measurements, printed as a small table.
+pub struct Group {
+    name: String,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Group {
+    /// Starts a group with default budgets (300 ms warm-up, 800 ms measure).
+    pub fn new(name: &str) -> Group {
+        Group {
+            name: name.to_string(),
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_millis(800),
+        }
+    }
+
+    /// Overrides the per-benchmark time budgets.
+    pub fn budgets(mut self, warm_up: Duration, measure: Duration) -> Group {
+        self.warm_up = warm_up;
+        self.measure = measure;
+        self
+    }
+
+    /// Times `f`, printing one result line.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        // Warm up and estimate a batch size targeting ~10 ms per batch.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((0.01 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut samples: Vec<f64> = Vec::new();
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measure {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+        let (mut min, mut max, mut sum) = (f64::MAX, 0.0f64, 0.0f64);
+        for &s in &samples {
+            min = min.min(s);
+            max = max.max(s);
+            sum += s;
+        }
+        let mean = sum / samples.len() as f64;
+        println!(
+            "{}/{name:<28} {:>12} min {:>12} mean {:>12} max  ({} samples x {batch} iters)",
+            self.name,
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max),
+            samples.len(),
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1}ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2}µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.3}ms", secs * 1e3)
+    } else {
+        format!("{secs:.3}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let g = Group::new("smoke").budgets(Duration::from_millis(5), Duration::from_millis(10));
+        g.bench("noop", || 1 + 1);
+    }
+}

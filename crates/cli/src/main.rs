@@ -3,6 +3,7 @@
 //! ```text
 //! tlc-shell [--factor F | --load FILE.xml | --db FILE.tlcx]
 //!           [--engine tlc|opt|gtp|tax|nav]
+//! tlc-shell --connect HOST:PORT        # client for a running tlc-serve
 //! ```
 //!
 //! Type a query (multi-line; finish with an empty line or `;`), or one of
@@ -16,14 +17,20 @@
 //! .bench <name>                 run a Figure 15 workload query by name
 //! .queries                      list the workload queries
 //! .save <file.tlcx>             snapshot the database to disk
+//! .serve <addr>                 share this database over TCP (tlc-serve protocol)
 //! .help  .quit
 //! ```
+//!
+//! With `--connect` the shell sends each query line to a `tlc-serve`
+//! process instead of evaluating locally; `.metrics` fetches the server's
+//! metrics report.
 
 use baselines::Engine;
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
 struct Shell {
-    db: xmldb::Database,
+    db: Arc<xmldb::Database>,
     engine: Engine,
     explain: bool,
     stats: bool,
@@ -32,6 +39,9 @@ struct Shell {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(addr) = flag(&args, "--connect") {
+        std::process::exit(client(addr));
+    }
     let engine = flag(&args, "--engine").map(parse_engine).unwrap_or(Engine::Tlc);
     let db = if let Some(file) = flag(&args, "--db") {
         match xmldb::load_file(std::path::Path::new(file)) {
@@ -64,7 +74,8 @@ fn main() {
         db
     };
 
-    let mut shell = Shell { db, engine, explain: false, stats: false, analyze: false };
+    let mut shell =
+        Shell { db: Arc::new(db), engine, explain: false, stats: false, analyze: false };
     eprintln!("engine: {} — type .help for commands", shell.engine.name());
 
     let stdin = std::io::stdin();
@@ -104,6 +115,64 @@ fn main() {
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+/// Client mode: forward query lines to a running `tlc-serve` and print the
+/// framed responses. Returns the process exit code.
+fn client(addr: &str) -> i32 {
+    use service::protocol::{read_response, Frame};
+    let stream = match std::net::TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return 1;
+        }
+    };
+    let mut reader = std::io::BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot clone connection: {e}");
+            return 1;
+        }
+    });
+    let mut writer = stream;
+    eprintln!("connected to {addr}; one query per line, .metrics for the report, .quit to leave");
+    let stdin = std::io::stdin();
+    loop {
+        eprint!("tlc@{addr}> ");
+        std::io::stderr().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => {
+                let _ = writer.write_all(b".quit\n");
+                return 0;
+            }
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if writer
+            .write_all(format!("{trimmed}\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            eprintln!("connection lost");
+            return 1;
+        }
+        if trimmed == ".quit" {
+            return 0;
+        }
+        match read_response(&mut reader) {
+            Ok(Frame::Ok(payload)) => println!("{payload}"),
+            Ok(Frame::Err(message)) => println!("error: {message}"),
+            Err(e) => {
+                eprintln!("connection lost: {e}");
+                return 1;
+            }
+        }
+    }
 }
 
 fn parse_engine(s: &str) -> Engine {
@@ -157,6 +226,10 @@ impl Shell {
                 Some(q) => self.run(q.text),
                 None => println!("usage: .bench <x1..x20|Q1|Q2|x10a>"),
             },
+            ".serve" => match parts.next() {
+                Some(addr) => self.serve(addr),
+                None => println!("usage: .serve <host:port>"),
+            },
             ".help" => {
                 println!(
                     ".engine tlc|opt|costed|gtp|tax|nav  switch evaluator\n\
@@ -166,12 +239,43 @@ impl Shell {
                      .bench <name>                 run a workload query\n\
                      .queries                      list workload queries\n\
                      .save <file.tlcx>             snapshot the database\n\
+                     .serve <host:port>            share this database over TCP\n\
                      .quit                         leave"
                 );
             }
             other => println!("unknown command {other}; try .help"),
         }
         true
+    }
+
+    /// Shares this shell's database over TCP in the background; the local
+    /// prompt stays usable (both sides read the same immutable store).
+    fn serve(&self, addr: &str) {
+        let listener = match std::net::TcpListener::bind(addr) {
+            Ok(l) => l,
+            Err(e) => {
+                println!("error: cannot bind {addr}: {e}");
+                return;
+            }
+        };
+        let config = service::ServiceConfig { engine: self.engine, ..Default::default() };
+        let svc = Arc::new(service::Service::new(Arc::clone(&self.db), config));
+        println!(
+            "serving on {addr} (engine {}, {} workers) — connect with: tlc-shell --connect {addr}",
+            self.engine.name(),
+            svc.workers()
+        );
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    let Ok(read_half) = stream.try_clone() else { return };
+                    let mut reader = std::io::BufReader::new(read_half);
+                    let mut writer = std::io::BufWriter::new(stream);
+                    let _ = service::protocol::serve_connection(&svc, &mut reader, &mut writer);
+                });
+            }
+        });
     }
 
     fn run(&mut self, query: &str) {

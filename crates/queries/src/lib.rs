@@ -23,6 +23,7 @@ use xmldb::Database;
 
 /// Runs one named query on one engine against a database.
 pub fn run_query(db: &Database, name: &str, engine: Engine) -> Result<String> {
-    let spec = query(name).ok_or_else(|| tlc::Error::Unsupported(format!("unknown query {name}")))?;
+    let spec =
+        query(name).ok_or_else(|| tlc::Error::Unsupported(format!("unknown query {name}")))?;
     baselines::run(engine, spec.text, db)
 }

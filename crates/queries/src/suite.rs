@@ -44,43 +44,87 @@ pub fn query(name: &str) -> Option<&'static QuerySpec> {
 }
 
 static QUERIES: &[QuerySpec] = &[
-    q!("x1", "1 A/R, single OT", false, r#"
+    q!(
+        "x1",
+        "1 A/R, single OT",
+        false,
+        r#"
         FOR $p IN document("auction.xml")//person
         WHERE $p/@id = "person0"
-        RETURN $p/name"#),
-    q!("x2", "1 A/R, lots OT", false, r#"
+        RETURN $p/name"#
+    ),
+    q!(
+        "x2",
+        "1 A/R, lots OT",
+        false,
+        r#"
         FOR $i IN document("auction.xml")//open_auction/bidder/increase
-        RETURN <increase>{$i/text()}</increase>"#),
-    q!("x3", "J, 2 A/R, avg OT", true, r#"
+        RETURN <increase>{$i/text()}</increase>"#
+    ),
+    q!(
+        "x3",
+        "J, 2 A/R, avg OT",
+        true,
+        r#"
         FOR $p IN document("auction.xml")//person
         FOR $a IN document("auction.xml")//open_auction
         WHERE count($a/bidder) > 3 AND $p/@id = $a/bidder/personref/@person
-        RETURN <res name={$p/name/text()}>{$a/bidder}</res>"#),
-    q!("x4", "1 A/R, two OT", false, r#"
+        RETURN <res name={$p/name/text()}>{$a/bidder}</res>"#
+    ),
+    q!(
+        "x4",
+        "1 A/R, two OT",
+        false,
+        r#"
         FOR $o IN document("auction.xml")//open_auction
         WHERE $o/initial > 299
-        RETURN $o/initial"#),
-    q!("x5", "small count, 1 A/R", true, r#"
+        RETURN $o/initial"#
+    ),
+    q!(
+        "x5",
+        "small count, 1 A/R",
+        true,
+        r#"
         FOR $o IN document("auction.xml")//open_auction
         WHERE $o/quantity = 3 AND count($o/bidder) > 5 AND $o/bidder/increase > 25
-        RETURN <n>{count($o/bidder)}</n>"#),
-    q!("x6", "big count, '//'", false, r#"
+        RETURN <n>{count($o/bidder)}</n>"#
+    ),
+    q!(
+        "x6",
+        "big count, '//'",
+        false,
+        r#"
         FOR $r IN document("auction.xml")//regions
-        RETURN count($r//item)"#),
-    q!("x7", "3 big counts, '//'", false, r#"
+        RETURN count($r//item)"#
+    ),
+    q!(
+        "x7",
+        "3 big counts, '//'",
+        false,
+        r#"
         FOR $s IN document("auction.xml")/site
         RETURN <counts>
           <descriptions>{count($s//description)}</descriptions>
           <mails>{count($s//mail)}</mails>
           <texts>{count($s//text)}</texts>
-        </counts>"#),
-    q!("x8", "J, LET, 2 A/R", false, r#"
+        </counts>"#
+    ),
+    q!(
+        "x8",
+        "J, LET, 2 A/R",
+        false,
+        r#"
         FOR $p IN document("auction.xml")//person
         LET $a := FOR $t IN document("auction.xml")//closed_auction
                   WHERE $t/buyer/@person = $p/@id
                   RETURN <tx>{$t/price/text()}</tx>
-        RETURN <item person={$p/name/text()}>{count($a/tx)}</item>"#),
-    q!("x9", "2J, LETs, 2 A/R", false, r#"
+        RETURN <item person={$p/name/text()}>{count($a/tx)}</item>"#
+    ),
+    q!(
+        "x9",
+        "2J, LETs, 2 A/R",
+        false,
+        r#"
         FOR $p IN document("auction.xml")//person
         LET $a := FOR $t IN document("auction.xml")//closed_auction
                   WHERE $t/seller/@person = $p/@id AND $t/price > 100
@@ -88,8 +132,13 @@ static QUERIES: &[QuerySpec] = &[
         LET $b := FOR $o IN document("auction.xml")//open_auction
                   WHERE $o/seller/@person = $p/@id
                   RETURN <open>{$o/current/text()}</open>
-        RETURN <person name={$p/name/text()}>{count($a/sale)}</person>"#),
-    q!("x10", "LET, 12 A/R, lots OT", false, r#"
+        RETURN <person name={$p/name/text()}>{count($a/sale)}</person>"#
+    ),
+    q!(
+        "x10",
+        "LET, 12 A/R, lots OT",
+        false,
+        r#"
         FOR $p IN document("auction.xml")//person
         LET $a := FOR $o IN document("auction.xml")//open_auction
                   WHERE $o/seller/@person = $p/@id
@@ -107,60 +156,120 @@ static QUERIES: &[QuerySpec] = &[
                     <f11>{count($o/bidder)}</f11>
                     <f12>{$o/privacy/text()}</f12>
                   </rec>
-        RETURN <person name={$p/name/text()}>{$a/rec}</person>"#),
-    q!("x11", "count, LET, lots OT", false, r#"
+        RETURN <person name={$p/name/text()}>{$a/rec}</person>"#
+    ),
+    q!(
+        "x11",
+        "count, LET, lots OT",
+        false,
+        r#"
         FOR $p IN document("auction.xml")//person
         LET $l := FOR $i IN document("auction.xml")//item
                   WHERE $i/location = $p/address/country
                   RETURN <match>{$i/name/text()}</match>
-        RETURN <items name={$p/name/text()}>{count($l/match)}</items>"#),
-    q!("x12", "count, LET, avg OT", false, r#"
+        RETURN <items name={$p/name/text()}>{count($l/match)}</items>"#
+    ),
+    q!(
+        "x12",
+        "count, LET, avg OT",
+        false,
+        r#"
         FOR $p IN document("auction.xml")//person
         LET $l := FOR $i IN document("auction.xml")//item
                   WHERE $i/location = $p/address/country
                   RETURN <match>{$i/name/text()}</match>
         WHERE $p/profile/@income > 65000
-        RETURN <items name={$p/name/text()}>{count($l/match)}</items>"#),
-    q!("x13", "2 A/R, avg OT", false, r#"
+        RETURN <items name={$p/name/text()}>{count($l/match)}</items>"#
+    ),
+    q!(
+        "x13",
+        "2 A/R, avg OT",
+        false,
+        r#"
         FOR $i IN document("auction.xml")//australia/item
-        RETURN <item name={$i/name/text()}>{$i/description}</item>"#),
-    q!("x14", "'//', contains on desc", false, r#"
+        RETURN <item name={$i/name/text()}>{$i/description}</item>"#
+    ),
+    q!(
+        "x14",
+        "'//', contains on desc",
+        false,
+        r#"
         FOR $i IN document("auction.xml")//item
         WHERE contains($i/description, "gold")
-        RETURN $i/name"#),
-    q!("x15", "long path, return $var", false, r#"
+        RETURN $i/name"#
+    ),
+    q!(
+        "x15",
+        "long path, return $var",
+        false,
+        r#"
         FOR $t IN document("auction.xml")//closed_auction/annotation/description/parlist/listitem/parlist/listitem/text
-        RETURN $t"#),
-    q!("x16", "long path, 1 A/R", false, r#"
+        RETURN $t"#
+    ),
+    q!(
+        "x16",
+        "long path, 1 A/R",
+        false,
+        r#"
         FOR $t IN document("auction.xml")//closed_auction/annotation/description/parlist/listitem/parlist/listitem/text
-        RETURN <text>{$t/text()}</text>"#),
-    q!("x17", "1 A/R, lots OT", false, r#"
+        RETURN <text>{$t/text()}</text>"#
+    ),
+    q!(
+        "x17",
+        "1 A/R, lots OT",
+        false,
+        r#"
         FOR $p IN document("auction.xml")//person
         WHERE contains($p/emailaddress, "mailto:")
-        RETURN $p/name"#),
-    q!("x18", "1 A/R, lots OT", false, r#"
+        RETURN $p/name"#
+    ),
+    q!(
+        "x18",
+        "1 A/R, lots OT",
+        false,
+        r#"
         FOR $o IN document("auction.xml")//open_auction
         WHERE $o/initial > 10
-        RETURN $o/initial"#),
-    q!("x19", "'//', 2 A/R, sort, lots OT", false, r#"
+        RETURN $o/initial"#
+    ),
+    q!(
+        "x19",
+        "'//', 2 A/R, sort, lots OT",
+        false,
+        r#"
         FOR $i IN document("auction.xml")//item
         ORDER BY $i/location
-        RETURN <item name={$i/name/text()}>{$i/location}</item>"#),
-    q!("x20", "4 counts", false, r#"
+        RETURN <item name={$i/name/text()}>{$i/location}</item>"#
+    ),
+    q!(
+        "x20",
+        "4 counts",
+        false,
+        r#"
         FOR $s IN document("auction.xml")/site
         RETURN <counts>
           <people>{count($s//person)}</people>
           <open>{count($s//open_auction)}</open>
           <closed>{count($s//closed_auction)}</closed>
           <items>{count($s//item)}</items>
-        </counts>"#),
-    q!("Q1", "'//', J, count, 2 A/R", true, r#"
+        </counts>"#
+    ),
+    q!(
+        "Q1",
+        "'//', J, count, 2 A/R",
+        true,
+        r#"
         FOR $p IN document("auction.xml")//person
         FOR $o IN document("auction.xml")//open_auction
         WHERE count($o/bidder) > 5 AND $p/age > 25
           AND $p/@id = $o/bidder//@person
-        RETURN <person name={$p/name/text()}> $o/bidder </person>"#),
-    q!("Q2", "'//', J, count, 2 A/R, LET", true, r#"
+        RETURN <person name={$p/name/text()}> $o/bidder </person>"#
+    ),
+    q!(
+        "Q2",
+        "'//', J, count, 2 A/R, LET",
+        true,
+        r#"
         FOR $p IN document("auction.xml")//person
         LET $a := FOR $o IN document("auction.xml")//open_auction
                   WHERE count($o/bidder) > 5
@@ -170,8 +279,13 @@ static QUERIES: &[QuerySpec] = &[
                          </myauction>
         WHERE $p/age > 25
           AND EVERY $i IN $a/myquan SATISFIES $i > 2
-        RETURN <person name={$p/name/text()}>{$a/bidder}</person>"#),
-    q!("x10a", "LET, 12 A/R, few OT", false, r#"
+        RETURN <person name={$p/name/text()}>{$a/bidder}</person>"#
+    ),
+    q!(
+        "x10a",
+        "LET, 12 A/R, few OT",
+        false,
+        r#"
         FOR $p IN document("auction.xml")//person
         LET $a := FOR $o IN document("auction.xml")//open_auction
                   WHERE $o/seller/@person = $p/@id
@@ -190,46 +304,82 @@ static QUERIES: &[QuerySpec] = &[
                     <f12>{$o/privacy/text()}</f12>
                   </rec>
         WHERE $p/@id = "person3"
-        RETURN <person name={$p/name/text()}>{$a/rec}</person>"#),
+        RETURN <person name={$p/name/text()}>{$a/rec}</person>"#
+    ),
 ];
 
 static EXTENDED: &[QuerySpec] = &[
-    q!("e1-or", "disjunctive predicate (UNION translation)", false, r#"
+    q!(
+        "e1-or",
+        "disjunctive predicate (UNION translation)",
+        false,
+        r#"
         FOR $p IN document("auction.xml")//person
         WHERE $p/@id = "person0" OR $p/age > 65
-        RETURN $p/name"#),
-    q!("e2-some", "existential quantifier", false, r#"
+        RETURN $p/name"#
+    ),
+    q!(
+        "e2-some",
+        "existential quantifier",
+        false,
+        r#"
         FOR $o IN document("auction.xml")//open_auction
         WHERE SOME $i IN $o/bidder/increase SATISFIES $i > 28
-        RETURN $o/@id/text()"#),
-    q!("e3-multisort", "two ORDER BY keys", false, r#"
+        RETURN $o/@id/text()"#
+    ),
+    q!(
+        "e3-multisort",
+        "two ORDER BY keys",
+        false,
+        r#"
         FOR $i IN document("auction.xml")//item
         ORDER BY $i/location, $i/quantity
-        RETURN <i loc={$i/location/text()}>{$i/quantity/text()}</i>"#),
-    q!("e4-forvar", "FOR over a variable path", false, r#"
+        RETURN <i loc={$i/location/text()}>{$i/quantity/text()}</i>"#
+    ),
+    q!(
+        "e4-forvar",
+        "FOR over a variable path",
+        false,
+        r#"
         FOR $o IN document("auction.xml")//open_auction
         FOR $b IN $o/bidder
         WHERE $b/increase > 28
-        RETURN <big auction={$o/@id/text()}>{$b/increase/text()}</big>"#),
-    q!("e5-retsub", "FLWOR in RETURN position (desugared LET)", false, r#"
+        RETURN <big auction={$o/@id/text()}>{$b/increase/text()}</big>"#
+    ),
+    q!(
+        "e5-retsub",
+        "FLWOR in RETURN position (desugared LET)",
+        false,
+        r#"
         FOR $p IN document("auction.xml")//person
         WHERE $p/@id = "person1"
         RETURN <seller name={$p/name/text()}>{
           FOR $o IN document("auction.xml")//open_auction
           WHERE $o/seller/@person = $p/@id
           RETURN <sale>{$o/initial/text()}</sale>
-        }</seller>"#),
-    q!("e6-minmax", "min/max/avg aggregates", false, r#"
+        }</seller>"#
+    ),
+    q!(
+        "e6-minmax",
+        "min/max/avg aggregates",
+        false,
+        r#"
         FOR $s IN document("auction.xml")/site
         RETURN <prices>
           <lo>{min($s//closed_auction/price)}</lo>
           <hi>{max($s//closed_auction/price)}</hi>
           <mean>{avg($s//closed_auction/price)}</mean>
-        </prices>"#),
-    q!("e7-everydeep", "EVERY with a condition path", false, r#"
+        </prices>"#
+    ),
+    q!(
+        "e7-everydeep",
+        "EVERY with a condition path",
+        false,
+        r#"
         FOR $o IN document("auction.xml")//open_auction
         WHERE EVERY $b IN $o/bidder SATISFIES $b/increase > 2
-        RETURN $o/@id/text()"#),
+        RETURN $o/@id/text()"#
+    ),
 ];
 
 #[cfg(test)]

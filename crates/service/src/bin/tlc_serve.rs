@@ -1,0 +1,198 @@
+//! `tlc-serve` — the query service as a process.
+//!
+//! Loads (or generates) a database, builds a [`service::Service`] around
+//! it, and speaks the line protocol of [`service::protocol`] either on
+//! stdin/stdout (default) or to any number of concurrent TCP clients:
+//!
+//! ```text
+//! tlc-serve                          # XMark factor 0.05 on stdin/stdout
+//! tlc-serve --factor 0.2            # bigger generated database
+//! tlc-serve --load site.xml         # serve a document from disk
+//! tlc-serve --tcp 127.0.0.1:7001    # TCP, one thread per connection
+//! tlc-serve --engine gtp --workers 4 --cache 64 --queue 32 --deadline-ms 500
+//! ```
+//!
+//! Requests are one query per line; `.metrics` prints the metrics report,
+//! `.quit` ends the connection. In TCP mode the process runs until killed.
+
+use baselines::Engine;
+use service::{protocol, Service, ServiceConfig};
+use std::io::{BufReader, BufWriter};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Options {
+    factor: f64,
+    load: Option<String>,
+    tcp: Option<String>,
+    config: ServiceConfig,
+}
+
+const USAGE: &str = "usage: tlc-serve [OPTIONS]
+
+  --factor F        generate an XMark database at scale factor F (default 0.05)
+  --load FILE       serve FILE (registered as document(\"auction.xml\")) instead
+  --tcp ADDR        listen on ADDR (e.g. 127.0.0.1:7001) instead of stdin
+  --engine NAME     tlc | opt | costed | gtp | tax | nav (default tlc)
+  --workers N       executor threads
+  --queue N         admission queue depth
+  --cache N         plan cache capacity in entries
+  --deadline-ms N   default per-request wall-clock budget
+  --help            this text";
+
+fn parse_engine(name: &str) -> Option<Engine> {
+    match name.to_ascii_lowercase().as_str() {
+        "tlc" => Some(Engine::Tlc),
+        "opt" | "tlcopt" => Some(Engine::TlcOpt),
+        "costed" | "opt*" => Some(Engine::TlcCosted),
+        "gtp" => Some(Engine::Gtp),
+        "tax" => Some(Engine::Tax),
+        "nav" => Some(Engine::Nav),
+        _ => None,
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts =
+        Options { factor: 0.05, load: None, tcp: None, config: ServiceConfig::default() };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--factor" => {
+                opts.factor = value("--factor")?.parse().map_err(|e| format!("--factor: {e}"))?
+            }
+            "--load" => opts.load = Some(value("--load")?),
+            "--tcp" => opts.tcp = Some(value("--tcp")?),
+            "--engine" => {
+                let name = value("--engine")?;
+                opts.config.engine =
+                    parse_engine(&name).ok_or(format!("unknown engine: {name}"))?;
+            }
+            "--workers" => {
+                opts.config.workers =
+                    value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue" => {
+                opts.config.queue_depth =
+                    value("--queue")?.parse().map_err(|e| format!("--queue: {e}"))?
+            }
+            "--cache" => {
+                opts.config.plan_cache_capacity =
+                    value("--cache")?.parse().map_err(|e| format!("--cache: {e}"))?
+            }
+            "--deadline-ms" => {
+                let ms: u64 =
+                    value("--deadline-ms")?.parse().map_err(|e| format!("--deadline-ms: {e}"))?;
+                opts.config.default_deadline = Some(Duration::from_millis(ms));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn build_database(opts: &Options) -> Result<xmldb::Database, String> {
+    match &opts.load {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let mut db = xmldb::Database::new();
+            db.load_xml("auction.xml", &text).map_err(|e| format!("{path}: {e}"))?;
+            Ok(db)
+        }
+        None => Ok(xmark::auction_database(opts.factor)),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("tlc-serve: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let db = match build_database(&opts) {
+        Ok(db) => Arc::new(db),
+        Err(msg) => {
+            eprintln!("tlc-serve: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let engine = opts.config.engine;
+    let service = Arc::new(Service::new(db, opts.config));
+    eprintln!(
+        "tlc-serve: engine {}, {} workers, {} nodes loaded",
+        engine.name(),
+        service.workers(),
+        service.database().node_count(),
+    );
+
+    match &opts.tcp {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut reader = stdin.lock();
+            let mut writer = BufWriter::new(stdout.lock());
+            match protocol::serve_connection(&service, &mut reader, &mut writer) {
+                Ok(served) => {
+                    eprintln!("tlc-serve: served {served} queries");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("tlc-serve: io error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some(addr) => {
+            let listener = match TcpListener::bind(addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("tlc-serve: bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!("tlc-serve: listening on {addr}");
+            // One thread per connection; the worker pool bounds actual
+            // execution concurrency, so connections are cheap.
+            let mut next_id = 0u64;
+            for stream in listener.incoming() {
+                let stream = match stream {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("tlc-serve: accept: {e}");
+                        continue;
+                    }
+                };
+                let service = Arc::clone(&service);
+                let id = next_id;
+                next_id += 1;
+                let spawned = std::thread::Builder::new()
+                    .name(format!("tlc-serve-conn-{id}"))
+                    .spawn(move || {
+                        let peer = stream.peer_addr().ok();
+                        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                        let mut writer = BufWriter::new(stream);
+                        match protocol::serve_connection(&service, &mut reader, &mut writer) {
+                            Ok(served) => {
+                                eprintln!("tlc-serve: {peer:?} served {served} queries")
+                            }
+                            Err(e) => eprintln!("tlc-serve: {peer:?} io error: {e}"),
+                        }
+                    });
+                if let Err(e) = spawned {
+                    eprintln!("tlc-serve: spawn: {e}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}

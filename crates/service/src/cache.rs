@@ -1,0 +1,211 @@
+//! The LRU plan cache: normalized query text → compiled, optimized plan.
+//!
+//! The evaluation workload (x1…x20, Q1, Q2) is a repeated-template
+//! workload: the same query texts arrive over and over. Compiling a query
+//! (parse → translate → rewrite/optimize) costs the same every time while
+//! the plan never changes for a fixed database schema, so the service
+//! compiles once and executes many.
+//!
+//! **Keying.** The key is the *whitespace-normalized* query text: runs of
+//! whitespace collapse to one space and the ends are trimmed, so the same
+//! query sent indented, on one line, or with trailing newlines shares one
+//! entry. Nothing semantic (no parse) happens during keying — a cache probe
+//! on a miss costs one string scan.
+//!
+//! **Eviction.** Bounded LRU. Values are `Arc`ed, so evicting an entry that
+//! a request is still executing merely drops the cache's reference; the
+//! in-flight execution keeps the plan alive and completes normally.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Collapses whitespace runs to single spaces and trims the ends — the
+/// cache-key canonicalization.
+pub fn normalize_query(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_ws = true; // leading whitespace is dropped
+    for c in text.chars() {
+        if c.is_whitespace() {
+            if !in_ws {
+                out.push(' ');
+                in_ws = true;
+            }
+        } else {
+            out.push(c);
+            in_ws = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Counters the cache maintains; read through [`LruCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
+/// A bounded least-recently-used map from normalized query text to shared
+/// values. Recency is tracked with a monotonic stamp per entry plus an
+/// ordered stamp → key index, so get/insert are O(log n).
+#[derive(Debug)]
+pub struct LruCache<V> {
+    capacity: usize,
+    next_stamp: u64,
+    entries: HashMap<Box<str>, (Arc<V>, u64)>,
+    by_stamp: std::collections::BTreeMap<u64, Box<str>>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<V> LruCache<V> {
+    /// Creates a cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> LruCache<V> {
+        LruCache {
+            capacity: capacity.max(1),
+            next_stamp: 0,
+            entries: HashMap::new(),
+            by_stamp: std::collections::BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn touch(&mut self, key: &str) {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        if let Some((_, old)) = self.entries.get_mut(key) {
+            self.by_stamp.remove(old);
+            *old = stamp;
+            self.by_stamp.insert(stamp, key.into());
+        }
+    }
+
+    /// Looks `key` up (already normalized), refreshing its recency.
+    pub fn get(&mut self, key: &str) -> Option<Arc<V>> {
+        match self.entries.get(key) {
+            Some((v, _)) => {
+                let v = Arc::clone(v);
+                self.hits += 1;
+                self.touch(key);
+                Some(v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` under `key` (already normalized), evicting the least
+    /// recently used entry if at capacity. Returns the number of evictions
+    /// performed (0 or 1).
+    pub fn insert(&mut self, key: &str, value: Arc<V>) -> u64 {
+        if self.entries.contains_key(key) {
+            // Replace in place, refresh recency.
+            let stamp_key = key.to_owned();
+            self.touch(&stamp_key);
+            if let Some((v, _)) = self.entries.get_mut(key) {
+                *v = value;
+            }
+            return 0;
+        }
+        let mut evicted = 0;
+        if self.entries.len() >= self.capacity {
+            if let Some(oldest) = self.by_stamp.keys().next().copied() {
+                let victim = self.by_stamp.remove(&oldest).expect("stamp present");
+                self.entries.remove(&victim);
+                self.evictions += 1;
+                evicted = 1;
+            }
+        }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.entries.insert(key.into(), (value, stamp));
+        self.by_stamp.insert(stamp, key.into());
+        evicted
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_collapses_whitespace() {
+        assert_eq!(normalize_query("  FOR  $x\n\tIN doc  "), "FOR $x IN doc");
+        assert_eq!(normalize_query("a b"), "a b");
+        assert_eq!(normalize_query(""), "");
+        assert_eq!(normalize_query("   \n\t "), "");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c: LruCache<i32> = LruCache::new(2);
+        c.insert("a", Arc::new(1));
+        c.insert("b", Arc::new(2));
+        assert!(c.get("a").is_some()); // refresh a: b is now LRU
+        c.insert("c", Arc::new(3)); // evicts b
+        assert!(c.get("a").is_some());
+        assert!(c.get("b").is_none());
+        assert!(c.get("c").is_some());
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.len, 2);
+    }
+
+    #[test]
+    fn evicted_value_survives_while_referenced() {
+        let mut c: LruCache<String> = LruCache::new(1);
+        c.insert("a", Arc::new("alive".to_string()));
+        let held = c.get("a").unwrap();
+        c.insert("b", Arc::new("other".to_string())); // evicts a
+        assert!(c.get("a").is_none());
+        assert_eq!(&*held, "alive"); // the Arc keeps it usable
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let mut c: LruCache<i32> = LruCache::new(2);
+        c.insert("a", Arc::new(1));
+        assert_eq!(c.insert("a", Arc::new(9)), 0);
+        assert_eq!(*c.get("a").unwrap(), 9);
+        assert_eq!(c.stats().len, 1);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn hit_and_miss_counters_track_lookups() {
+        let mut c: LruCache<i32> = LruCache::new(4);
+        assert!(c.get("x").is_none());
+        c.insert("x", Arc::new(1));
+        assert!(c.get("x").is_some());
+        assert!(c.get("x").is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+    }
+}

@@ -1,0 +1,449 @@
+#![warn(missing_docs)]
+
+//! # service — the concurrent query-service layer
+//!
+//! Everything below this crate evaluates one query at a time from scratch:
+//! parse → translate → optimize → execute through `baselines::run`. This
+//! crate turns that library into a long-lived, thread-safe **service** that
+//! owns a shared [`xmldb::Database`] and serves many clients at once:
+//!
+//! * **plan cache** ([`cache`]) — a bounded LRU from whitespace-normalized
+//!   query text to the compiled, optimized TLC plan. The evaluation
+//!   workload is a repeated-template workload, so compile-once/execute-many
+//!   removes the whole front half of the pipeline from the hot path.
+//! * **worker pool** ([`pool`]) — a fixed set of executor threads behind a
+//!   bounded admission queue. A full queue rejects new work immediately
+//!   ([`ServiceError::Overloaded`]) instead of queueing without bound.
+//! * **deadlines** — every request can carry a wall-clock budget; time
+//!   spent queued counts against it. The TLC executor checks the deadline
+//!   between operators ([`tlc::execute_with_deadline`]), so an over-budget
+//!   query aborts cleanly with [`ServiceError::DeadlineExceeded`] and frees
+//!   its worker instead of wedging it.
+//! * **metrics** ([`metrics`]) — per-query latency histograms (count /
+//!   mean / p50 / p95 / max), plan-cache hit rate, and rolled-up
+//!   [`tlc::ExecStats`] counters, dumped as a text report.
+//!
+//! The read path of the store is immutable after load, so any number of
+//! workers share one `Arc<Database>` with no synchronization at all. The
+//! compile-time assertions at the bottom of this module pin the `Send +
+//! Sync` requirements the design rests on.
+//!
+//! ```
+//! use std::sync::Arc;
+//! let db = Arc::new(xmark::auction_database(0.001));
+//! let svc = service::Service::new(db, service::ServiceConfig::default());
+//! let q = r#"FOR $p IN document("auction.xml")//person RETURN $p/name"#;
+//! let first = svc.execute(q).unwrap();
+//! let second = svc.execute(q).unwrap(); // plan comes from the cache
+//! assert!(!first.cache_hit && second.cache_hit);
+//! assert_eq!(first.output, second.output);
+//! ```
+
+pub mod cache;
+pub mod metrics;
+pub mod pool;
+pub mod protocol;
+
+use baselines::Engine;
+use cache::{CacheStats, LruCache};
+use metrics::{Metrics, Outcome, Snapshot};
+use pool::{Pool, Reply, SubmitError};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tlc::{ExecStats, Plan};
+use xmldb::Database;
+
+/// Configuration for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Engine used to compile and execute queries. Plan-based engines get
+    /// plan caching; [`Engine::Nav`] is interpreted per request.
+    pub engine: Engine,
+    /// Executor threads.
+    pub workers: usize,
+    /// Bounded admission-queue depth (requests waiting beyond the ones
+    /// being executed). Submissions past it fail with
+    /// [`ServiceError::Overloaded`].
+    pub queue_depth: usize,
+    /// Plan-cache capacity in entries.
+    pub plan_cache_capacity: usize,
+    /// Wall-clock budget applied to requests that do not carry their own;
+    /// `None` means unlimited.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(8);
+        ServiceConfig {
+            engine: Engine::Tlc,
+            workers,
+            queue_depth: workers * 4,
+            plan_cache_capacity: 128,
+            default_deadline: None,
+        }
+    }
+}
+
+/// Errors a request can come back with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The query failed to parse or translate.
+    Compile(tlc::Error),
+    /// The plan failed during execution.
+    Execute(tlc::Error),
+    /// The request exceeded its wall-clock deadline (queued time included).
+    DeadlineExceeded,
+    /// The admission queue was full.
+    Overloaded {
+        /// The configured queue depth that was exhausted.
+        queue_depth: usize,
+    },
+    /// The service is shutting down.
+    ShuttingDown,
+    /// The operation is not supported for the configured engine (e.g.
+    /// preparing a plan for the interpreted NAV engine).
+    Unsupported(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Compile(e) => write!(f, "compile error: {e}"),
+            ServiceError::Execute(e) => write!(f, "execution error: {e}"),
+            ServiceError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServiceError::Overloaded { queue_depth } => {
+                write!(f, "service overloaded (queue depth {queue_depth} exhausted)")
+            }
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A compiled, cached plan: the result of [`Service::prepare`]. Cheap to
+/// clone and valid for the service's lifetime — eviction from the cache
+/// does not invalidate handles already given out.
+#[derive(Debug, Clone)]
+pub struct PlanHandle {
+    normalized: Arc<str>,
+    plan: Arc<Plan>,
+}
+
+impl PlanHandle {
+    /// The normalized query text this plan was compiled from (the cache key).
+    pub fn query(&self) -> &str {
+        &self.normalized
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+}
+
+/// One served request's result.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Serialized query result, byte-identical to what the single-threaded
+    /// `baselines::run` produces for the same engine.
+    pub output: String,
+    /// Executor counters for this request.
+    pub stats: ExecStats,
+    /// Whether the plan came out of the cache (always `true` for
+    /// [`Service::execute_prepared`], always `false` for NAV).
+    pub cache_hit: bool,
+    /// End-to-end time: admission + queue + execute + serialize.
+    pub total_time: Duration,
+}
+
+type WorkResult = Result<(String, ExecStats), ServiceError>;
+
+/// The concurrent query service. See the crate docs for the architecture.
+///
+/// `Service` is `Send + Sync`; wrap it in an `Arc` to share across
+/// connection handlers. Dropping it drains admitted requests and joins the
+/// worker threads.
+pub struct Service {
+    db: Arc<Database>,
+    engine: Engine,
+    cache: Mutex<LruCache<Plan>>,
+    metrics: Metrics,
+    pool: Pool<WorkResult>,
+    default_deadline: Option<Duration>,
+    queue_depth: usize,
+}
+
+impl Service {
+    /// Builds a service over a loaded database.
+    pub fn new(db: Arc<Database>, config: ServiceConfig) -> Service {
+        Service {
+            db,
+            engine: config.engine,
+            cache: Mutex::new(LruCache::new(config.plan_cache_capacity)),
+            metrics: Metrics::new(),
+            pool: Pool::new(config.workers, config.queue_depth),
+            default_deadline: config.default_deadline,
+            queue_depth: config.queue_depth,
+        }
+    }
+
+    /// The shared database.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The configured engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Compiles `query` (or fetches its cached plan) without executing it.
+    ///
+    /// The returned handle can be executed any number of times with
+    /// [`Service::execute_prepared`]; textually different spellings of the
+    /// same query (whitespace aside) share one cache entry.
+    pub fn prepare(&self, query: &str) -> Result<PlanHandle, ServiceError> {
+        self.prepare_inner(query).map(|(handle, _)| handle)
+    }
+
+    /// Like [`Service::prepare`], also reporting whether the plan was cached.
+    fn prepare_inner(&self, query: &str) -> Result<(PlanHandle, bool), ServiceError> {
+        if self.engine == Engine::Nav {
+            return Err(ServiceError::Unsupported(
+                "NAV is interpreted per request; nothing to prepare".into(),
+            ));
+        }
+        let normalized = cache::normalize_query(query);
+        if let Some(plan) = self.cache.lock().unwrap().get(&normalized) {
+            self.metrics.record_cache(true, 0);
+            return Ok((PlanHandle { normalized: normalized.into(), plan }, true));
+        }
+        // Compile outside the cache lock: compilation is the expensive part,
+        // and holding the lock would serialize concurrent misses. Two racing
+        // misses both compile; the loser's insert replaces in place, which
+        // is harmless (plans for the same text are interchangeable).
+        let plan = Arc::new(
+            baselines::plan_for(self.engine, query, &self.db).map_err(ServiceError::Compile)?,
+        );
+        let evictions = self.cache.lock().unwrap().insert(&normalized, Arc::clone(&plan));
+        self.metrics.record_cache(false, evictions);
+        Ok((PlanHandle { normalized: normalized.into(), plan }, false))
+    }
+
+    /// Compiles (through the plan cache) and executes `query` under the
+    /// default deadline.
+    pub fn execute(&self, query: &str) -> Result<Response, ServiceError> {
+        self.execute_opts(query, self.default_deadline)
+    }
+
+    /// Like [`Service::execute`] with an explicit wall-clock budget for
+    /// this request alone.
+    pub fn execute_with_deadline(
+        &self,
+        query: &str,
+        budget: Duration,
+    ) -> Result<Response, ServiceError> {
+        self.execute_opts(query, Some(budget))
+    }
+
+    fn execute_opts(
+        &self,
+        query: &str,
+        budget: Option<Duration>,
+    ) -> Result<Response, ServiceError> {
+        let admitted = Instant::now();
+        let deadline = budget.map(|b| admitted + b);
+        if self.engine == Engine::Nav {
+            // Interpreted engine: no plan, no cache; the deadline still
+            // guards queue time (checked at dequeue).
+            let db = Arc::clone(&self.db);
+            let text = query.to_string();
+            let label = cache::normalize_query(query);
+            let work: Box<dyn FnOnce() -> WorkResult + Send> = Box::new(move || {
+                baselines::run(Engine::Nav, &text, &db)
+                    .map(|out| (out, ExecStats::new()))
+                    .map_err(ServiceError::Execute)
+            });
+            return self.dispatch(label, false, admitted, deadline, work);
+        }
+        let (handle, cached) = self.prepare_inner(query)?;
+        self.execute_handle(&handle, cached, admitted, deadline)
+    }
+
+    /// Executes a prepared plan under the default deadline.
+    pub fn execute_prepared(&self, handle: &PlanHandle) -> Result<Response, ServiceError> {
+        let admitted = Instant::now();
+        let deadline = self.default_deadline.map(|b| admitted + b);
+        self.execute_handle(handle, true, admitted, deadline)
+    }
+
+    fn execute_handle(
+        &self,
+        handle: &PlanHandle,
+        cached: bool,
+        admitted: Instant,
+        deadline: Option<Instant>,
+    ) -> Result<Response, ServiceError> {
+        let db = Arc::clone(&self.db);
+        let plan = Arc::clone(&handle.plan);
+        let work: Box<dyn FnOnce() -> WorkResult + Send> = Box::new(move || {
+            let run = match deadline {
+                Some(d) => tlc::execute_with_deadline(&db, &plan, d),
+                None => tlc::execute(&db, &plan),
+            };
+            match run {
+                Ok((trees, stats)) => Ok((tlc::serialize_results(&db, &trees), stats)),
+                Err(tlc::Error::DeadlineExceeded) => Err(ServiceError::DeadlineExceeded),
+                Err(e) => Err(ServiceError::Execute(e)),
+            }
+        });
+        self.dispatch(handle.normalized.to_string(), cached, admitted, deadline, work)
+    }
+
+    fn dispatch(
+        &self,
+        label: String,
+        cache_hit: bool,
+        admitted: Instant,
+        deadline: Option<Instant>,
+        work: Box<dyn FnOnce() -> WorkResult + Send>,
+    ) -> Result<Response, ServiceError> {
+        let rx = self.pool.submit(deadline, work).map_err(|e| match e {
+            SubmitError::QueueFull => {
+                self.metrics.record_outcome(Outcome::Rejected);
+                ServiceError::Overloaded { queue_depth: self.queue_depth }
+            }
+            SubmitError::Disconnected => ServiceError::ShuttingDown,
+        })?;
+        let reply = rx.recv().map_err(|_| ServiceError::ShuttingDown)?;
+        let total_time = admitted.elapsed();
+        match reply {
+            Reply::Done(Ok((output, stats))) => {
+                self.metrics.record_request(&label, total_time, &stats);
+                Ok(Response { output, stats, cache_hit, total_time })
+            }
+            Reply::Done(Err(e)) => {
+                self.metrics.record_outcome(match e {
+                    ServiceError::DeadlineExceeded => Outcome::Deadline,
+                    _ => Outcome::Error,
+                });
+                Err(e)
+            }
+            Reply::ExpiredInQueue => {
+                self.metrics.record_outcome(Outcome::Deadline);
+                Err(ServiceError::DeadlineExceeded)
+            }
+        }
+    }
+
+    /// Plan-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().unwrap().stats()
+    }
+
+    /// Aggregate metrics snapshot.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The full text metrics report (`.metrics` in the wire protocol).
+    pub fn metrics_report(&self) -> String {
+        self.metrics.report()
+    }
+
+    /// Number of executor threads.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+}
+
+// The concurrency contract, checked at compile time: plans and the database
+// are freely shareable across worker threads, and the service itself can be
+// wrapped in an Arc and used from any number of connection handlers.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Plan>();
+    assert_send_sync::<Database>();
+    assert_send_sync::<ExecStats>();
+    assert_send_sync::<Service>();
+    assert_send_sync::<PlanHandle>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_service(config: ServiceConfig) -> Service {
+        let db = Arc::new(xmark::auction_database(0.001));
+        Service::new(db, config)
+    }
+
+    const Q: &str = r#"FOR $p IN document("auction.xml")//person RETURN $p/name"#;
+
+    #[test]
+    fn execute_matches_direct_run() {
+        let svc = tiny_service(ServiceConfig::default());
+        let direct = baselines::run(Engine::Tlc, Q, svc.database()).unwrap();
+        let resp = svc.execute(Q).unwrap();
+        assert_eq!(resp.output, direct);
+        assert!(!resp.cache_hit);
+        assert!(svc.execute(Q).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn prepare_then_execute_prepared() {
+        let svc = tiny_service(ServiceConfig::default());
+        let handle = svc.prepare(Q).unwrap();
+        assert!(handle.plan().operator_count() > 0);
+        let a = svc.execute_prepared(&handle).unwrap();
+        let b = svc.execute_prepared(&handle).unwrap();
+        assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn compile_errors_are_typed() {
+        let svc = tiny_service(ServiceConfig::default());
+        match svc.execute("THIS IS NOT XQUERY") {
+            Err(ServiceError::Compile(_)) => {}
+            other => panic!("expected compile error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_budget_deadline_exceeds() {
+        let svc = tiny_service(ServiceConfig::default());
+        match svc.execute_with_deadline(Q, Duration::ZERO) {
+            Err(ServiceError::DeadlineExceeded) => {}
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+        // The worker is still healthy afterwards.
+        assert!(svc.execute(Q).is_ok());
+        assert!(svc.metrics_snapshot().deadline >= 1);
+    }
+
+    #[test]
+    fn nav_engine_is_served_uncached() {
+        let svc = tiny_service(ServiceConfig { engine: Engine::Nav, ..Default::default() });
+        let resp = svc.execute(Q).unwrap();
+        let direct = baselines::run(Engine::Nav, Q, svc.database()).unwrap();
+        assert_eq!(resp.output, direct);
+        assert!(!resp.cache_hit);
+        assert!(matches!(svc.prepare(Q), Err(ServiceError::Unsupported(_))));
+    }
+
+    #[test]
+    fn metrics_report_reflects_traffic() {
+        let svc = tiny_service(ServiceConfig::default());
+        svc.execute(Q).unwrap();
+        svc.execute(Q).unwrap();
+        let report = svc.metrics_report();
+        assert!(report.contains("50.0% hit rate"), "{report}");
+        let snap = svc.metrics_snapshot();
+        assert_eq!(snap.ok, 2);
+        assert!(snap.exec.pattern_matches > 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! The worker pool: bounded admission, channel dispatch, clean shutdown.
+//!
+//! Requests flow through a bounded `sync_channel`; `try_send` at admission
+//! means a full queue rejects immediately ([`crate::ServiceError::Overloaded`])
+//! instead of building an unbounded backlog — the service degrades by
+//! shedding load, not by growing latency without limit.
+//!
+//! Each worker is a plain `std::thread` looping over the shared receiver
+//! (taken through a `Mutex`, the classic std work-queue shape). A worker
+//! picks a job up, re-checks the job's deadline (time spent queued counts
+//! against it), runs the closure, and sends the result back over the job's
+//! private reply channel. Deadline aborts inside execution are cooperative
+//! (see `tlc::exec`), so a timed-out request returns a typed error and the
+//! worker moves on — nothing is left wedged.
+//!
+//! Dropping the pool closes the job channel; workers drain what was already
+//! admitted and exit, and `Drop` joins them all.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A unit of queued work: a closure producing a `T`, the reply slot, and
+/// the request's absolute deadline (checked again at dequeue).
+struct Job<T> {
+    deadline: Option<Instant>,
+    work: Box<dyn FnOnce() -> T + Send>,
+    reply: SyncSender<Reply<T>>,
+}
+
+/// What the worker sends back.
+pub enum Reply<T> {
+    /// The closure's result.
+    Done(T),
+    /// The deadline had already passed when the job was dequeued; the
+    /// closure never ran.
+    ExpiredInQueue,
+}
+
+/// Why a submission failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is at capacity.
+    QueueFull,
+    /// The pool is shutting down.
+    Disconnected,
+}
+
+/// Fixed-size worker pool over a bounded job queue.
+pub struct Pool<T: Send + 'static> {
+    tx: Option<SyncSender<Job<T>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> Pool<T> {
+    /// Spawns `workers` threads behind a queue admitting at most
+    /// `queue_depth` waiting jobs.
+    pub fn new(workers: usize, queue_depth: usize) -> Pool<T> {
+        let (tx, rx) = sync_channel::<Job<T>>(queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("tlc-service-worker-{i}"))
+                    .spawn(move || worker_loop(rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Pool { tx: Some(tx), workers: handles }
+    }
+
+    /// Queues `work`; returns the reply channel to block on. Fails fast if
+    /// the queue is full.
+    pub fn submit(
+        &self,
+        deadline: Option<Instant>,
+        work: Box<dyn FnOnce() -> T + Send>,
+    ) -> Result<Receiver<Reply<T>>, SubmitError> {
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let job = Job { deadline, work, reply: reply_tx };
+        match self.tx.as_ref().expect("pool alive").try_send(job) {
+            Ok(()) => Ok(reply_rx),
+            Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Disconnected),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl<T: Send + 'static> Drop for Pool<T> {
+    fn drop(&mut self) {
+        // Closing the channel ends the worker loops once the queue drains.
+        drop(self.tx.take());
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop<T>(rx: Arc<Mutex<Receiver<Job<T>>>>) {
+    loop {
+        let job = match rx.lock().unwrap().recv() {
+            Ok(j) => j,
+            Err(_) => return, // channel closed: shut down
+        };
+        let reply = match job.deadline {
+            Some(d) if Instant::now() >= d => Reply::ExpiredInQueue,
+            _ => Reply::Done((job.work)()),
+        };
+        // The requester may have given up (e.g. its own recv timeout);
+        // a dead reply channel is not a worker error.
+        let _ = job.reply.send(reply);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn executes_submitted_work() {
+        let pool: Pool<i32> = Pool::new(2, 8);
+        let rx = pool.submit(None, Box::new(|| 40 + 2)).unwrap();
+        match rx.recv().unwrap() {
+            Reply::Done(v) => assert_eq!(v, 42),
+            Reply::ExpiredInQueue => panic!("no deadline was set"),
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_immediately() {
+        // One worker, queue depth 1: park the worker, fill the queue, then
+        // the next submit must be rejected.
+        let pool: Pool<()> = Pool::new(1, 1);
+        let (block_tx, block_rx) = sync_channel::<()>(0);
+        let _busy = pool
+            .submit(
+                None,
+                Box::new(move || {
+                    let _ = block_rx.recv();
+                }),
+            )
+            .unwrap();
+        // Wait for the worker to pick the blocking job up, then fill the queue.
+        std::thread::sleep(Duration::from_millis(50));
+        let _queued = pool.submit(None, Box::new(|| ())).unwrap();
+        let rejected = pool.submit(None, Box::new(|| ()));
+        assert_eq!(rejected.unwrap_err(), SubmitError::QueueFull);
+        block_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn queued_past_deadline_never_runs() {
+        let pool: Pool<i32> = Pool::new(1, 4);
+        let past = Instant::now() - Duration::from_millis(1);
+        let rx = pool.submit(Some(past), Box::new(|| panic!("must not run"))).unwrap();
+        assert!(matches!(rx.recv().unwrap(), Reply::ExpiredInQueue));
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let pool: Pool<u64> = Pool::new(4, 16);
+        let receivers: Vec<_> =
+            (0..8).map(|i| pool.submit(None, Box::new(move || i)).unwrap()).collect();
+        drop(pool); // drains the queue, joins the threads
+        for (i, rx) in receivers.into_iter().enumerate() {
+            match rx.recv().unwrap() {
+                Reply::Done(v) => assert_eq!(v, i as u64),
+                Reply::ExpiredInQueue => panic!("no deadline"),
+            }
+        }
+    }
+}

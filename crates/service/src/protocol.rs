@@ -1,0 +1,161 @@
+//! The line protocol `tlc-serve` speaks, shared with the CLI client.
+//!
+//! Requests are single lines:
+//!
+//! * a query — any line not starting with `.`;
+//! * `.metrics` — the service's text metrics report;
+//! * `.quit` — close this connection.
+//!
+//! Responses are length-prefixed frames so payloads may span lines:
+//!
+//! ```text
+//! OK <byte-len>\n<payload>\n        e.g.  OK 17\n<name>Ann</name>\n
+//! ERR <message>\n                   message is single-line
+//! ```
+//!
+//! [`serve_connection`] runs the server side of one connection over any
+//! reader/writer pair (stdin/stdout or a TCP stream); [`read_response`] is
+//! the client-side frame parser.
+
+use crate::{Service, ServiceError};
+use std::io::{self, BufRead, Write};
+use std::sync::Arc;
+
+/// A parsed response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// `OK` with the payload bytes (result text or metrics report).
+    Ok(String),
+    /// `ERR` with the message.
+    Err(String),
+}
+
+/// Writes an `OK` frame.
+pub fn write_ok(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    write!(w, "OK {}\n{payload}\n", payload.len())?;
+    w.flush()
+}
+
+/// Writes an `ERR` frame; newlines in the message are flattened to keep the
+/// frame single-line.
+pub fn write_err(w: &mut impl Write, message: &str) -> io::Result<()> {
+    let flat: String =
+        message.chars().map(|c| if c == '\n' || c == '\r' { ' ' } else { c }).collect();
+    write!(w, "ERR {flat}\n")?;
+    w.flush()
+}
+
+/// Reads one response frame from the server.
+pub fn read_response(r: &mut impl BufRead) -> io::Result<Frame> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"));
+    }
+    let header = header.trim_end_matches(['\n', '\r']);
+    if let Some(rest) = header.strip_prefix("OK ") {
+        let len: usize = rest
+            .parse()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad OK length"))?;
+        let mut payload = vec![0u8; len + 1]; // payload + trailing newline
+        r.read_exact(&mut payload)?;
+        payload.pop();
+        String::from_utf8(payload)
+            .map(Frame::Ok)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "payload not UTF-8"))
+    } else if let Some(msg) = header.strip_prefix("ERR ") {
+        Ok(Frame::Err(msg.to_string()))
+    } else {
+        Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad frame header: {header}")))
+    }
+}
+
+/// Serves one connection: reads request lines until `.quit` or EOF,
+/// answering each with a frame. Returns the number of queries served.
+pub fn serve_connection(
+    service: &Arc<Service>,
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+) -> io::Result<u64> {
+    let mut served = 0;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(served); // EOF
+        }
+        let request = line.trim();
+        match request {
+            "" => continue,
+            ".quit" => return Ok(served),
+            ".metrics" => write_ok(writer, &service.metrics_report())?,
+            dot if dot.starts_with('.') => write_err(writer, &format!("unknown command: {dot}"))?,
+            query => {
+                served += 1;
+                match service.execute(query) {
+                    Ok(resp) => write_ok(writer, &resp.output)?,
+                    Err(e @ ServiceError::ShuttingDown) => {
+                        write_err(writer, &e.to_string())?;
+                        return Ok(served);
+                    }
+                    Err(e) => write_err(writer, &e.to_string())?,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServiceConfig;
+    use std::io::BufReader;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_ok(&mut buf, "<name>Ann</name>").unwrap();
+        write_err(&mut buf, "multi\nline message").unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(read_response(&mut r).unwrap(), Frame::Ok("<name>Ann</name>".into()));
+        assert_eq!(read_response(&mut r).unwrap(), Frame::Err("multi line message".into()));
+    }
+
+    #[test]
+    fn ok_payload_may_contain_newlines() {
+        let mut buf = Vec::new();
+        write_ok(&mut buf, "a\nb\nc").unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(read_response(&mut r).unwrap(), Frame::Ok("a\nb\nc".into()));
+    }
+
+    #[test]
+    fn serve_connection_speaks_the_protocol() {
+        let db = Arc::new(xmark::auction_database(0.001));
+        let svc = Arc::new(Service::new(db, ServiceConfig::default()));
+        let script = concat!(
+            "FOR $p IN document(\"auction.xml\")//person RETURN $p/name\n",
+            "NOT A QUERY\n",
+            ".metrics\n",
+            ".bogus\n",
+            ".quit\n",
+            "never reached\n",
+        );
+        let mut reader = BufReader::new(script.as_bytes());
+        let mut out = Vec::new();
+        let served = serve_connection(&svc, &mut reader, &mut out).unwrap();
+        assert_eq!(served, 2); // the query + the bad query; dot-commands don't count
+        let mut r = BufReader::new(&out[..]);
+        let direct = baselines::run(
+            baselines::Engine::Tlc,
+            "FOR $p IN document(\"auction.xml\")//person RETURN $p/name",
+            svc.database(),
+        )
+        .unwrap();
+        assert_eq!(read_response(&mut r).unwrap(), Frame::Ok(direct));
+        assert!(matches!(read_response(&mut r).unwrap(), Frame::Err(m) if m.contains("compile")));
+        assert!(matches!(read_response(&mut r).unwrap(), Frame::Ok(m) if m.contains("plan cache")));
+        assert!(
+            matches!(read_response(&mut r).unwrap(), Frame::Err(m) if m.contains("unknown command"))
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Concurrency equivalence: the service must be a *transparent* wrapper.
+//! Whatever `baselines::run` produces single-threaded, the service must
+//! produce byte-identically from any number of threads at once — the plan
+//! cache, the worker pool, and the shared database change performance,
+//! never results.
+
+use baselines::Engine;
+use service::{Service, ServiceConfig};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const FACTOR: f64 = 0.001;
+
+/// The full evaluation suite from 8 threads against one shared service,
+/// each thread starting at a different workload offset so distinct queries
+/// are in flight together. Every response must equal the single-threaded
+/// baseline byte for byte.
+#[test]
+fn eight_threads_match_single_threaded_baselines() {
+    let db = Arc::new(xmark::auction_database(FACTOR));
+    let expected: BTreeMap<&str, String> = queries::all_queries()
+        .iter()
+        .map(|q| (q.name, baselines::run(Engine::Tlc, q.text, &db).unwrap()))
+        .collect();
+
+    let svc = Service::new(
+        Arc::clone(&db),
+        ServiceConfig { workers: THREADS, queue_depth: THREADS * 4, ..Default::default() },
+    );
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let svc = &svc;
+            let expected = &expected;
+            s.spawn(move || {
+                let suite = queries::all_queries();
+                for i in 0..suite.len() {
+                    let q = &suite[(t + i) % suite.len()];
+                    let resp = svc.execute(q.text).unwrap_or_else(|e| {
+                        panic!("thread {t}: {} failed: {e}", q.name);
+                    });
+                    assert_eq!(
+                        resp.output, expected[q.name],
+                        "thread {t}: {} diverged from the single-threaded run",
+                        q.name
+                    );
+                }
+            });
+        }
+    });
+
+    // Every query ran THREADS times; all but the first arrival of each
+    // text were cache hits.
+    let cache = svc.cache_stats();
+    let suite_len = queries::all_queries().len() as u64;
+    assert_eq!(cache.hits + cache.misses, suite_len * THREADS as u64);
+    assert!(cache.hits >= suite_len * (THREADS as u64 - 1), "cache barely hit: {cache:?}");
+    let snap = svc.metrics_snapshot();
+    assert_eq!(snap.ok, suite_len * THREADS as u64);
+}
+
+/// Same property for prepared plans: one thread prepares, eight execute
+/// the shared handles concurrently.
+#[test]
+fn shared_prepared_plans_are_thread_safe() {
+    let db = Arc::new(xmark::auction_database(FACTOR));
+    let svc = Service::new(
+        Arc::clone(&db),
+        ServiceConfig { workers: THREADS, queue_depth: THREADS * 4, ..Default::default() },
+    );
+    let suite = queries::all_queries();
+    let handles: Vec<_> = suite.iter().map(|q| svc.prepare(q.text).unwrap()).collect();
+    let expected: Vec<String> =
+        suite.iter().map(|q| baselines::run(Engine::Tlc, q.text, &db).unwrap()).collect();
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let svc = &svc;
+            let handles = &handles;
+            let expected = &expected;
+            s.spawn(move || {
+                for i in 0..handles.len() {
+                    let k = (t * 3 + i) % handles.len();
+                    let resp = svc.execute_prepared(&handles[k]).unwrap();
+                    assert_eq!(resp.output, expected[k]);
+                    assert!(resp.cache_hit);
+                }
+            });
+        }
+    });
+}

@@ -1,0 +1,109 @@
+//! Plan-cache correctness at the service boundary: hit accounting,
+//! whitespace-insensitive keying, and eviction safety for plans that are
+//! still executing.
+
+use service::{Service, ServiceConfig};
+use std::sync::Arc;
+
+fn service_with_cache(capacity: usize) -> Service {
+    let db = Arc::new(xmark::auction_database(0.001));
+    // Queue sized for the 8 concurrent client threads below — these tests
+    // exercise the cache, not admission control.
+    Service::new(
+        db,
+        ServiceConfig {
+            plan_cache_capacity: capacity,
+            workers: 4,
+            queue_depth: 16,
+            ..Default::default()
+        },
+    )
+}
+
+const Q: &str = r#"FOR $p IN document("auction.xml")//person RETURN $p/name"#;
+
+#[test]
+fn identical_queries_hit_the_cache() {
+    let svc = service_with_cache(16);
+    assert!(!svc.execute(Q).unwrap().cache_hit);
+    for _ in 0..3 {
+        assert!(svc.execute(Q).unwrap().cache_hit);
+    }
+    let stats = svc.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.len), (3, 1, 1));
+}
+
+#[test]
+fn whitespace_variants_share_one_entry() {
+    let svc = service_with_cache(16);
+    let reference = svc.execute(Q).unwrap().output;
+    let variants = [
+        "FOR $p IN document(\"auction.xml\")//person\n    RETURN $p/name",
+        "  FOR   $p   IN document(\"auction.xml\")//person RETURN $p/name  ",
+        "\tFOR $p\nIN\tdocument(\"auction.xml\")//person\n\nRETURN $p/name\n",
+    ];
+    for v in variants {
+        let resp = svc.execute(v).unwrap();
+        assert!(resp.cache_hit, "variant should share the cache entry: {v:?}");
+        assert_eq!(resp.output, reference);
+    }
+    let stats = svc.cache_stats();
+    assert_eq!((stats.misses, stats.len), (1, 1), "all spellings must map to one entry");
+    // prepare() agrees on the key too.
+    assert_eq!(svc.prepare(Q).unwrap().query(), svc.prepare(variants[0]).unwrap().query());
+}
+
+#[test]
+fn eviction_does_not_corrupt_in_flight_executions() {
+    // Capacity 1: every distinct query evicts the previous one. Holding a
+    // PlanHandle across those evictions and executing it afterwards must
+    // still work and still be correct — eviction only drops the cache's
+    // reference, never the plan under a live handle.
+    let svc = service_with_cache(1);
+    let handle = svc.prepare(Q).unwrap();
+    let reference = svc.execute_prepared(&handle).unwrap().output;
+
+    let suite = queries::all_queries();
+    for q in suite.iter().take(6) {
+        svc.execute(q.text).unwrap(); // each of these evicts the last entry
+        let resp = svc.execute_prepared(&handle).unwrap();
+        assert_eq!(resp.output, reference, "evicted plan changed behavior");
+    }
+    let stats = svc.cache_stats();
+    assert_eq!(stats.len, 1);
+    assert!(stats.evictions >= 6, "capacity-1 cache must have evicted per query: {stats:?}");
+
+    // And under concurrency: threads churn the capacity-1 cache while
+    // others hammer the held handle.
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let svc = &svc;
+            s.spawn(move || {
+                for q in queries::all_queries().iter().skip(t * 3).take(5) {
+                    svc.execute(q.text).unwrap();
+                }
+            });
+        }
+        for _ in 0..4 {
+            let svc = &svc;
+            let handle = &handle;
+            let reference = &reference;
+            s.spawn(move || {
+                for _ in 0..10 {
+                    assert_eq!(&svc.execute_prepared(handle).unwrap().output, reference);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn distinct_queries_get_distinct_entries() {
+    let svc = service_with_cache(64);
+    let a = svc.execute(Q).unwrap();
+    let b =
+        svc.execute(r#"FOR $p IN document("auction.xml")//person RETURN $p/emailaddress"#).unwrap();
+    assert!(!a.cache_hit && !b.cache_hit);
+    assert_ne!(a.output, b.output);
+    assert_eq!(svc.cache_stats().len, 2);
+}

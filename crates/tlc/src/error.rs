@@ -24,6 +24,11 @@ pub enum Error {
     Unsupported(String),
     /// A variable was referenced but never bound.
     UnboundVariable(String),
+    /// Execution exceeded its wall-clock deadline (see
+    /// [`crate::exec::execute_with_deadline`]). The executor checks the
+    /// deadline between operators, so the abort is clean: no partial results
+    /// escape, and the store is untouched.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for Error {
@@ -38,6 +43,7 @@ impl fmt::Display for Error {
             }
             Error::Unsupported(m) => write!(f, "unsupported query feature: {m}"),
             Error::UnboundVariable(v) => write!(f, "unbound variable ${v}"),
+            Error::DeadlineExceeded => write!(f, "execution exceeded its deadline"),
         }
     }
 }

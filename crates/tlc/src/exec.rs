@@ -1,6 +1,6 @@
 //! Plan execution: set-at-a-time, bottom-up, pipelined (paper §5).
 
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::ops;
 use crate::plan::Plan;
 use crate::stats::ExecStats;
@@ -15,6 +15,12 @@ pub struct ExecCtx {
     pub tmp: TempIdGen,
     /// Counters.
     pub stats: ExecStats,
+    /// Optional wall-clock cut-off. The executor checks it before every
+    /// operator evaluation; an exceeded deadline aborts the whole plan with
+    /// [`Error::DeadlineExceeded`]. Checks sit at operator boundaries, so
+    /// the granularity is one operator: a plan is never killed mid-operator,
+    /// and no partially-built result escapes.
+    pub deadline: Option<Instant>,
 }
 
 impl ExecCtx {
@@ -22,11 +28,39 @@ impl ExecCtx {
     pub fn new() -> Self {
         ExecCtx::default()
     }
+
+    /// Fresh context that aborts once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        ExecCtx { deadline: Some(deadline), ..ExecCtx::default() }
+    }
+
+    fn check_deadline(&self) -> Result<()> {
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Err(Error::DeadlineExceeded),
+            _ => Ok(()),
+        }
+    }
 }
 
 /// Executes a plan, returning the result sequence and execution counters.
 pub fn execute(db: &Database, plan: &Plan) -> Result<(Vec<ResultTree>, ExecStats)> {
     let mut ctx = ExecCtx::new();
+    let trees = run(db, plan, &mut ctx)?;
+    Ok((trees, ctx.stats))
+}
+
+/// Executes a plan under a wall-clock deadline.
+///
+/// Returns [`Error::DeadlineExceeded`] as soon as the deadline is observed
+/// past an operator boundary; a deadline already in the past fails before
+/// any operator runs. This is the primitive the query service's per-request
+/// timeouts are built on.
+pub fn execute_with_deadline(
+    db: &Database,
+    plan: &Plan,
+    deadline: Instant,
+) -> Result<(Vec<ResultTree>, ExecStats)> {
+    let mut ctx = ExecCtx::with_deadline(deadline);
     let trees = run(db, plan, &mut ctx)?;
     Ok((trees, ctx.stats))
 }
@@ -53,7 +87,10 @@ pub struct OpTrace {
 /// Executes a plan recording per-operator timings and output cardinalities —
 /// an "EXPLAIN ANALYZE" for TLC plans. Entries are in plan order (root
 /// first, inputs following, like [`Plan::display`]).
-pub fn execute_traced(db: &Database, plan: &Plan) -> Result<(Vec<ResultTree>, ExecStats, Vec<OpTrace>)> {
+pub fn execute_traced(
+    db: &Database,
+    plan: &Plan,
+) -> Result<(Vec<ResultTree>, ExecStats, Vec<OpTrace>)> {
     let mut ctx = ExecCtx::new();
     let mut traces = Vec::new();
     let (trees, _) = run_traced(db, plan, &mut ctx, 0, &mut traces)?;
@@ -63,8 +100,11 @@ pub fn execute_traced(db: &Database, plan: &Plan) -> Result<(Vec<ResultTree>, Ex
 /// Renders a trace table.
 pub fn render_trace(traces: &[OpTrace]) -> String {
     let mut out = String::new();
-    out.push_str(&format!("{:>9}  {:>7}  operator
-", "own time", "trees"));
+    out.push_str(&format!(
+        "{:>9}  {:>7}  operator
+",
+        "own time", "trees"
+    ));
     for t in traces {
         out.push_str(&format!(
             "{:>8.3}ms  {:>7}  {}{}
@@ -82,7 +122,9 @@ fn op_label(plan: &Plan, db: &Database) -> String {
     match plan {
         Plan::Select { apt, .. } => format!("Select[{}]", apt.display(Some(db))),
         Plan::Filter { lcl, mode, .. } => format!("Filter[{lcl} mode={mode:?}]"),
-        Plan::Join { spec, .. } => format!("Join[root={} right={}]", spec.root_lcl, spec.right_mspec),
+        Plan::Join { spec, .. } => {
+            format!("Join[root={} right={}]", spec.root_lcl, spec.right_mspec)
+        }
         Plan::Project { keep, .. } => format!("Project[{} class(es)]", keep.len()),
         Plan::DupElim { on, kind, .. } => format!("DupElim[{kind:?} on {} class(es)]", on.len()),
         Plan::Aggregate { func, over, .. } => format!("Aggregate[{}({over})]", func.name()),
@@ -105,11 +147,21 @@ fn run_traced(
     depth: usize,
     traces: &mut Vec<OpTrace>,
 ) -> Result<(Vec<ResultTree>, Duration)> {
+    ctx.check_deadline()?;
     let slot = traces.len();
-    traces.push(OpTrace { label: op_label(plan, db), depth, out_trees: 0, own_time: Duration::ZERO });
+    traces.push(OpTrace {
+        label: op_label(plan, db),
+        depth,
+        out_trees: 0,
+        own_time: Duration::ZERO,
+    });
     let started = Instant::now();
     let mut child_time = Duration::ZERO;
-    let eval_input = |p: &Plan, ctx: &mut ExecCtx, traces: &mut Vec<OpTrace>, child_time: &mut Duration| -> Result<Vec<ResultTree>> {
+    let eval_input = |p: &Plan,
+                      ctx: &mut ExecCtx,
+                      traces: &mut Vec<OpTrace>,
+                      child_time: &mut Duration|
+     -> Result<Vec<ResultTree>> {
         let (trees, t) = run_traced(db, p, ctx, depth + 1, traces)?;
         *child_time += t;
         Ok(trees)
@@ -186,6 +238,7 @@ fn run_traced(
 }
 
 fn run(db: &Database, plan: &Plan, ctx: &mut ExecCtx) -> Result<Vec<ResultTree>> {
+    ctx.check_deadline()?;
     match plan {
         Plan::Select { input, apt } => {
             let inputs = match input {
@@ -244,10 +297,7 @@ fn run(db: &Database, plan: &Plan, ctx: &mut ExecCtx) -> Result<Vec<ResultTree>>
             Ok(ops::materialize(db, inputs, lcls, &mut ctx.stats))
         }
         Plan::Union { inputs, dedup_on } => {
-            let branches = inputs
-                .iter()
-                .map(|p| run(db, p, ctx))
-                .collect::<Result<Vec<_>>>()?;
+            let branches = inputs.iter().map(|p| run(db, p, ctx)).collect::<Result<Vec<_>>>()?;
             ops::union_all(db, branches, dedup_on, &mut ctx.stats)
         }
     }
@@ -281,6 +331,22 @@ mod tests {
         let (trees, stats) = execute(&db, &plan).unwrap();
         assert_eq!(trees.len(), 1);
         assert_eq!(stats.pattern_matches, 1);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_with_typed_error() {
+        let mut db = Database::new();
+        db.load_xml("e.xml", "<r><p><age>30</age></p></r>").unwrap();
+        let plan = crate::compile(r#"FOR $p IN document("e.xml")//p RETURN $p/age"#, &db).unwrap();
+        let past = Instant::now() - Duration::from_millis(1);
+        assert_eq!(
+            execute_with_deadline(&db, &plan, past).unwrap_err(),
+            crate::Error::DeadlineExceeded
+        );
+        // A generous deadline executes normally.
+        let future = Instant::now() + Duration::from_secs(60);
+        let (trees, _) = execute_with_deadline(&db, &plan, future).unwrap();
+        assert_eq!(trees.len(), 1);
     }
 
     #[test]

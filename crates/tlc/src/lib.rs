@@ -48,8 +48,8 @@
 //! ```
 
 pub mod error;
-pub mod guide;
 pub mod exec;
+pub mod guide;
 pub mod logical_class;
 pub mod matching;
 pub mod ops;
@@ -64,7 +64,10 @@ pub mod translate;
 pub mod tree;
 
 pub use error::{Error, Result};
-pub use exec::{execute, execute_to_string, execute_traced, render_trace, ExecCtx, OpTrace};
+pub use exec::{
+    execute, execute_to_string, execute_traced, execute_with_deadline, render_trace, ExecCtx,
+    OpTrace,
+};
 pub use logical_class::{LclGen, LclId};
 pub use optimizer::{optimize_costed, optimize_costed_with, CostModel};
 pub use output::{serialize_results, serialize_tree};

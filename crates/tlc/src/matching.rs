@@ -39,7 +39,11 @@ struct Frag {
 
 /// Matches an APT anchored at a document root, producing one witness tree
 /// per match alternative (Select on base data).
-pub fn match_apt_database(db: &Database, apt: &Apt, stats: &mut ExecStats) -> Result<Vec<ResultTree>> {
+pub fn match_apt_database(
+    db: &Database,
+    apt: &Apt,
+    stats: &mut ExecStats,
+) -> Result<Vec<ResultTree>> {
     let AptRoot::Document { name, lcl } = &apt.root else {
         return Err(Error::Unsupported("database match requires a document-rooted APT".into()));
     };
@@ -306,11 +310,21 @@ fn indexed_postings(db: &Database, pat: &AptNode) -> Option<Vec<NodeId>> {
     let pred = pat.pred.as_ref()?;
     match (&pred.value, pred.op) {
         (PredValue::Str(s), CmpOp::Eq) => Some(db.value_index().lookup_exact(pat.tag, s).to_vec()),
-        (PredValue::Num(n), CmpOp::Eq) => Some(db.value_index().lookup_cmp(pat.tag, Ordering::Equal, *n)),
-        (PredValue::Num(n), CmpOp::Lt) => Some(db.value_index().lookup_cmp(pat.tag, Ordering::Less, *n)),
-        (PredValue::Num(n), CmpOp::Gt) => Some(db.value_index().lookup_cmp(pat.tag, Ordering::Greater, *n)),
-        (PredValue::Num(n), CmpOp::Le) => Some(db.value_index().lookup_range(pat.tag, None, Some(*n))),
-        (PredValue::Num(n), CmpOp::Ge) => Some(db.value_index().lookup_range(pat.tag, Some(*n), None)),
+        (PredValue::Num(n), CmpOp::Eq) => {
+            Some(db.value_index().lookup_cmp(pat.tag, Ordering::Equal, *n))
+        }
+        (PredValue::Num(n), CmpOp::Lt) => {
+            Some(db.value_index().lookup_cmp(pat.tag, Ordering::Less, *n))
+        }
+        (PredValue::Num(n), CmpOp::Gt) => {
+            Some(db.value_index().lookup_cmp(pat.tag, Ordering::Greater, *n))
+        }
+        (PredValue::Num(n), CmpOp::Le) => {
+            Some(db.value_index().lookup_range(pat.tag, None, Some(*n)))
+        }
+        (PredValue::Num(n), CmpOp::Ge) => {
+            Some(db.value_index().lookup_range(pat.tag, Some(*n), None))
+        }
         _ => None,
     }
 }

@@ -46,11 +46,11 @@ pub fn aggregate(
             };
             // Sibling of the members: attach under the first member's
             // parent; with no members, under the tree root.
-            let parent = members
-                .first()
-                .and_then(|&m| t.node(m).parent)
-                .unwrap_or(t.root());
-            let node = t.add_node(parent, RSource::Temp { id: tmp.fresh(), tag, content: Some(content.into()) });
+            let parent = members.first().and_then(|&m| t.node(m).parent).unwrap_or(t.root());
+            let node = t.add_node(
+                parent,
+                RSource::Temp { id: tmp.fresh(), tag, content: Some(content.into()) },
+            );
             t.assign_lcl(node, new_lcl);
             stats.trees_built += 1;
             t

@@ -148,7 +148,8 @@ fn build_into(
     match item {
         ConstructItem::Element { tag, lcl, attrs, children } => {
             let tag_id = db.interner().intern(tag);
-            let el = dst.add_node(parent, RSource::Temp { id: tmp.fresh(), tag: tag_id, content: None });
+            let el =
+                dst.add_node(parent, RSource::Temp { id: tmp.fresh(), tag: tag_id, content: None });
             if let Some(l) = lcl {
                 dst.assign_lcl(el, *l);
             }
@@ -158,7 +159,10 @@ fn build_into(
                     ConstructValue::Literal(s) => s.clone(),
                     ConstructValue::LclText(l) => class_text(db, src, *l),
                 };
-                dst.add_node(el, RSource::Temp { id: tmp.fresh(), tag: atag, content: Some(text.into()) });
+                dst.add_node(
+                    el,
+                    RSource::Temp { id: tmp.fresh(), tag: atag, content: Some(text.into()) },
+                );
             }
             for c in children {
                 build_into(db, src, c, tmp, dst, el)?;
@@ -188,14 +192,22 @@ fn build_into(
             let text = class_text(db, src, *lcl);
             dst.add_node(
                 parent,
-                RSource::Temp { id: tmp.fresh(), tag: db.interner().text_tag(), content: Some(text.into()) },
+                RSource::Temp {
+                    id: tmp.fresh(),
+                    tag: db.interner().text_tag(),
+                    content: Some(text.into()),
+                },
             );
             Ok(())
         }
         ConstructItem::Text(s) => {
             dst.add_node(
                 parent,
-                RSource::Temp { id: tmp.fresh(), tag: db.interner().text_tag(), content: Some(s.clone().into()) },
+                RSource::Temp {
+                    id: tmp.fresh(),
+                    tag: db.interner().text_tag(),
+                    content: Some(s.clone().into()),
+                },
             );
             Ok(())
         }
@@ -285,10 +297,7 @@ mod tests {
             tag: "out".into(),
             lcl: None,
             attrs: vec![],
-            children: vec![
-                ConstructItem::Text("hello ".into()),
-                ConstructItem::LclText(LclId(12)),
-            ],
+            children: vec![ConstructItem::Text("hello ".into()), ConstructItem::LclText(LclId(12))],
         }];
         let mut tmp = TempIdGen::new();
         let mut s = ExecStats::new();

@@ -83,7 +83,8 @@ mod tests {
         let xs = d.nodes_with_tag("x");
         let inputs = vec![tree(xs[0]), tree(xs[0]), tree(xs[1])];
         let mut s = ExecStats::new();
-        let out = duplicate_elimination(&d, inputs, &[LclId(1)], DedupKind::NodeId, &mut s).unwrap();
+        let out =
+            duplicate_elimination(&d, inputs, &[LclId(1)], DedupKind::NodeId, &mut s).unwrap();
         assert_eq!(out.len(), 2, "same node id collapses, distinct ids stay");
     }
 
@@ -93,7 +94,8 @@ mod tests {
         let xs = d.nodes_with_tag("x");
         let inputs = vec![tree(xs[0]), tree(xs[1]), tree(xs[2])];
         let mut s = ExecStats::new();
-        let out = duplicate_elimination(&d, inputs, &[LclId(1)], DedupKind::Content, &mut s).unwrap();
+        let out =
+            duplicate_elimination(&d, inputs, &[LclId(1)], DedupKind::Content, &mut s).unwrap();
         assert_eq!(out.len(), 2, "the two 'same' values collapse");
     }
 
@@ -105,7 +107,8 @@ mod tests {
         no_class.assign_lcl(no_class.root(), LclId(2)); // different class
         let inputs = vec![tree(xs[0]), no_class.clone(), no_class];
         let mut s = ExecStats::new();
-        let out = duplicate_elimination(&d, inputs, &[LclId(1)], DedupKind::NodeId, &mut s).unwrap();
+        let out =
+            duplicate_elimination(&d, inputs, &[LclId(1)], DedupKind::NodeId, &mut s).unwrap();
         assert_eq!(out.len(), 2, "the two class-less trees share the None key");
     }
 
@@ -128,7 +131,8 @@ mod tests {
         second.add_node(second.root(), RSource::Base(xs[2]));
         let inputs = vec![tree(xs[0]), second];
         let mut s = ExecStats::new();
-        let out = duplicate_elimination(&d, inputs, &[LclId(1)], DedupKind::NodeId, &mut s).unwrap();
+        let out =
+            duplicate_elimination(&d, inputs, &[LclId(1)], DedupKind::NodeId, &mut s).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].len(), 1, "the first (childless) tree was kept");
     }

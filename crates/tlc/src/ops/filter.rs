@@ -77,7 +77,9 @@ fn eval(db: &Database, tree: &ResultTree, member: crate::tree::RNodeId, pred: &F
             let p = crate::pattern::ContentPred {
                 op: *op,
                 value: match other_value.trim().parse::<f64>() {
-                    Ok(n) if value.trim().parse::<f64>().is_ok() => crate::pattern::PredValue::Num(n),
+                    Ok(n) if value.trim().parse::<f64>().is_ok() => {
+                        crate::pattern::PredValue::Num(n)
+                    }
                     _ => crate::pattern::PredValue::Str(other_value.as_str().into()),
                 },
             };
@@ -120,7 +122,10 @@ mod tests {
         let d = db(&[30, 40]);
         let t = tree_with_ages(&d, &[30, 40]);
         let mut s = ExecStats::new();
-        assert_eq!(filter(&d, vec![t.clone()], LclId(1), &gt(25.0), FilterMode::Every, &mut s).len(), 1);
+        assert_eq!(
+            filter(&d, vec![t.clone()], LclId(1), &gt(25.0), FilterMode::Every, &mut s).len(),
+            1
+        );
         assert_eq!(filter(&d, vec![t], LclId(1), &gt(35.0), FilterMode::Every, &mut s).len(), 0);
     }
 
@@ -137,7 +142,10 @@ mod tests {
         let d = db(&[10, 40]);
         let t = tree_with_ages(&d, &[10, 40]);
         let mut s = ExecStats::new();
-        assert_eq!(filter(&d, vec![t.clone()], LclId(1), &gt(35.0), FilterMode::Alo, &mut s).len(), 1);
+        assert_eq!(
+            filter(&d, vec![t.clone()], LclId(1), &gt(35.0), FilterMode::Alo, &mut s).len(),
+            1
+        );
         assert_eq!(filter(&d, vec![t], LclId(1), &gt(50.0), FilterMode::Alo, &mut s).len(), 0);
     }
 
@@ -146,8 +154,14 @@ mod tests {
         let d = db(&[10, 40, 50]);
         let t = tree_with_ages(&d, &[10, 40, 50]);
         let mut s = ExecStats::new();
-        assert_eq!(filter(&d, vec![t.clone()], LclId(1), &gt(45.0), FilterMode::Ex, &mut s).len(), 1);
-        assert_eq!(filter(&d, vec![t.clone()], LclId(1), &gt(35.0), FilterMode::Ex, &mut s).len(), 0);
+        assert_eq!(
+            filter(&d, vec![t.clone()], LclId(1), &gt(45.0), FilterMode::Ex, &mut s).len(),
+            1
+        );
+        assert_eq!(
+            filter(&d, vec![t.clone()], LclId(1), &gt(35.0), FilterMode::Ex, &mut s).len(),
+            0
+        );
         assert_eq!(filter(&d, vec![t], LclId(1), &gt(99.0), FilterMode::Ex, &mut s).len(), 0);
     }
 
@@ -161,7 +175,10 @@ mod tests {
         let pred = FilterPred::CmpLcl { op: CmpOp::Lt, other: LclId(2) };
         let mut s = ExecStats::new();
         // Every member of (1) < value of (2)? 10 < 40 but !(40 < 40) → fails.
-        assert_eq!(filter(&d, vec![t.clone()], LclId(1), &pred, FilterMode::Every, &mut s).len(), 0);
+        assert_eq!(
+            filter(&d, vec![t.clone()], LclId(1), &pred, FilterMode::Every, &mut s).len(),
+            0
+        );
         assert_eq!(filter(&d, vec![t], LclId(1), &pred, FilterMode::Alo, &mut s).len(), 1);
     }
 

@@ -57,7 +57,8 @@ pub fn grouping_procedure(
     // --- Group: hash the pairs by parent identity, deduplicating members
     // that reached the group through several fanned-out witness trees.
     let mut groups: HashMap<IdentKey, Vec<ResultTree>> = HashMap::with_capacity(pairs.len());
-    let mut seen: std::collections::HashSet<(IdentKey, IdentKey)> = std::collections::HashSet::new();
+    let mut seen: std::collections::HashSet<(IdentKey, IdentKey)> =
+        std::collections::HashSet::new();
     for p in pairs {
         let member_ident = p.member_tree.node(p.member_tree.root()).ident();
         if seen.insert((p.key, member_ident)) {

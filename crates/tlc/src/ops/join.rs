@@ -280,11 +280,7 @@ mod tests {
     /// Left trees carry class (1) with ids; right trees class (2).
     fn setup() -> (Database, Vec<ResultTree>, Vec<ResultTree>) {
         let mut db = Database::new();
-        db.load_xml(
-            "j.xml",
-            "<r><l>a</l><l>b</l><l>c</l><m>a</m><m>a</m><m>b</m></r>",
-        )
-        .unwrap();
+        db.load_xml("j.xml", "<r><l>a</l><l>b</l><l>c</l><m>a</m><m>a</m><m>b</m></r>").unwrap();
         let lefts: Vec<ResultTree> = db
             .nodes_with_tag("l")
             .iter()
@@ -348,7 +344,8 @@ mod tests {
         let mut s = ExecStats::new();
         let out = join(&db, l, r, &spec(MSpec::Plus), &mut tmp, &mut s).unwrap();
         assert_eq!(out.len(), 2, "only lefts with matches survive '+'");
-        let mut sizes: Vec<usize> = out.iter().map(|t| t.node(t.root()).children.len() - 1).collect();
+        let mut sizes: Vec<usize> =
+            out.iter().map(|t| t.node(t.root()).children.len() - 1).collect();
         sizes.sort_unstable();
         assert_eq!(sizes, vec![1, 2]);
     }
@@ -367,7 +364,12 @@ mod tests {
         let (db, l, r) = setup();
         let mut tmp = TempIdGen::new();
         let mut s = ExecStats::new();
-        let cart = JoinSpec { root_lcl: LclId(9), right_mspec: MSpec::One, pred: None, dedup_right_on: None };
+        let cart = JoinSpec {
+            root_lcl: LclId(9),
+            right_mspec: MSpec::One,
+            pred: None,
+            dedup_right_on: None,
+        };
         let out = join(&db, l, r, &cart, &mut tmp, &mut s).unwrap();
         assert_eq!(out.len(), 9);
     }

@@ -19,7 +19,11 @@ pub struct SortKey {
 }
 
 /// Stable sort by the key values. Trees missing a key value sort last.
-pub fn sort_by_keys(db: &Database, mut inputs: Vec<ResultTree>, keys: &[SortKey]) -> Vec<ResultTree> {
+pub fn sort_by_keys(
+    db: &Database,
+    mut inputs: Vec<ResultTree>,
+    keys: &[SortKey],
+) -> Vec<ResultTree> {
     let extracted: Vec<Vec<Option<JoinKey>>> = inputs
         .iter()
         .map(|t| {

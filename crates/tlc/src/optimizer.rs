@@ -166,7 +166,9 @@ impl<'a> CostModel<'a> {
                     None => l.trees * r.trees,
                     // Equi-join with unknown key distribution: assume each
                     // left tree matches a handful of rights.
-                    Some(_) => (l.trees * (r.trees / l.trees.max(1.0)).min(4.0)).max(l.trees.min(r.trees)),
+                    Some(_) => {
+                        (l.trees * (r.trees / l.trees.max(1.0)).min(4.0)).max(l.trees.min(r.trees))
+                    }
                 };
                 let out_trees = if spec.right_mspec.groups() || spec.right_mspec.optional() {
                     out_trees.max(l.trees)
@@ -174,7 +176,11 @@ impl<'a> CostModel<'a> {
                     out_trees
                 };
                 let width = l.width + r.width + 1.0;
-                Estimate { cost: l.cost + r.cost + sort + out_trees * width, trees: out_trees, width }
+                Estimate {
+                    cost: l.cost + r.cost + sort + out_trees * width,
+                    trees: out_trees,
+                    width,
+                }
             }
             Plan::Project { input, keep } => {
                 let e = self.estimate(input);
@@ -217,7 +223,11 @@ impl<'a> CostModel<'a> {
             Plan::Materialize { input, lcls } => {
                 let e = self.estimate(input);
                 let copied = e.trees * (lcls.len() as f64) * 10.0;
-                Estimate { cost: e.cost + copied, trees: e.trees, width: e.width + copied / e.trees.max(1.0) }
+                Estimate {
+                    cost: e.cost + copied,
+                    trees: e.trees,
+                    width: e.width + copied / e.trees.max(1.0),
+                }
             }
             Plan::Union { inputs, .. } => {
                 let mut cost = 0.0;
@@ -340,7 +350,10 @@ mod tests {
         let mut d = db();
         let mut xml = String::from("<site><people>");
         for p in 0..30 {
-            xml.push_str(&format!(r#"<person id="p{p}"><name>N{p}</name><age>{}</age></person>"#, 20 + p));
+            xml.push_str(&format!(
+                r#"<person id="p{p}"><name>N{p}</name><age>{}</age></person>"#,
+                20 + p
+            ));
         }
         xml.push_str("</people><open_auctions>");
         for o in 0..20 {
@@ -393,10 +406,7 @@ mod tests {
         .unwrap();
         let costed = optimize_costed_with(&plan, &d, 50.0);
         assert_ne!(costed, plan, "the rewrite should be accepted at disk pricing");
-        assert_eq!(
-            execute_to_string(&d, &plan).unwrap(),
-            execute_to_string(&d, &costed).unwrap()
-        );
+        assert_eq!(execute_to_string(&d, &plan).unwrap(), execute_to_string(&d, &costed).unwrap());
     }
 
     #[test]

@@ -125,9 +125,13 @@ mod tests {
         let person = db.interner().intern("person");
         let at_name = db.interner().intern("@name");
         let text = db.interner().text_tag();
-        let mut t = ResultTree::with_root(RSource::Temp { id: gen.fresh(), tag: person, content: None });
+        let mut t =
+            ResultTree::with_root(RSource::Temp { id: gen.fresh(), tag: person, content: None });
         let root = t.root();
-        t.add_node(root, RSource::Temp { id: gen.fresh(), tag: at_name, content: Some("Ann & Bo".into()) });
+        t.add_node(
+            root,
+            RSource::Temp { id: gen.fresh(), tag: at_name, content: Some("Ann & Bo".into()) },
+        );
         t.add_node(root, RSource::Temp { id: gen.fresh(), tag: text, content: Some("x<y".into()) });
         assert_eq!(serialize_tree(&db, &t), "<person name=\"Ann &amp; Bo\">x&lt;y</person>");
     }
@@ -138,7 +142,8 @@ mod tests {
         db.load_xml("o.xml", "<r><a/><b/></r>").unwrap();
         let mut gen = TempIdGen::new();
         let wrap = db.interner().intern("wrap");
-        let mut t = ResultTree::with_root(RSource::Temp { id: gen.fresh(), tag: wrap, content: None });
+        let mut t =
+            ResultTree::with_root(RSource::Temp { id: gen.fresh(), tag: wrap, content: None });
         let root = t.root();
         let a = t.add_node(root, RSource::Base(db.nodes_with_tag("a")[0]));
         t.add_node(root, RSource::Base(db.nodes_with_tag("b")[0]));

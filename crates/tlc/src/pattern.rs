@@ -197,11 +197,7 @@ impl Apt {
 
     /// Indexes of the children of `parent` (`None` = anchor children).
     pub fn children_of(&self, parent: Option<usize>) -> impl Iterator<Item = usize> + '_ {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(move |(_, n)| n.parent == parent)
-            .map(|(i, _)| i)
+        self.nodes.iter().enumerate().filter(move |(_, n)| n.parent == parent).map(|(i, _)| i)
     }
 
     /// Finds the pattern node carrying a class label.

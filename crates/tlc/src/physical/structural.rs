@@ -32,8 +32,7 @@ impl INode {
     /// Does `self` stand in `axis` relation (as ancestor/parent) to `d`?
     #[inline]
     pub fn relates(&self, d: &INode, axis: AxisRel) -> bool {
-        self.id.doc == d.id.doc
-            && axis.holds(self.id.pre, self.end, self.level, d.id.pre, d.level)
+        self.id.doc == d.id.doc && axis.holds(self.id.pre, self.end, self.level, d.id.pre, d.level)
     }
 }
 
@@ -81,7 +80,11 @@ pub fn structural_join(anc: &[INode], desc: &[INode], axis: AxisRel) -> Vec<(usi
 
 /// Nest-structural-join (Definition 8): one output per ancestor with all its
 /// matching descendants clustered. Ancestors without matches produce nothing.
-pub fn nest_structural_join(anc: &[INode], desc: &[INode], axis: AxisRel) -> Vec<(usize, Vec<usize>)> {
+pub fn nest_structural_join(
+    anc: &[INode],
+    desc: &[INode],
+    axis: AxisRel,
+) -> Vec<(usize, Vec<usize>)> {
     left_outer_nest_structural_join(anc, desc, axis)
         .into_iter()
         .filter(|(_, ds)| !ds.is_empty())

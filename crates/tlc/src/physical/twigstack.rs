@@ -60,11 +60,7 @@ impl Twig {
     }
 
     fn children(&self, q: usize) -> impl Iterator<Item = usize> + '_ {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(move |(_, n)| n.parent == Some(q))
-            .map(|(i, _)| i)
+        self.nodes.iter().enumerate().filter(move |(_, n)| n.parent == Some(q)).map(|(i, _)| i)
     }
 
     fn is_leaf(&self, q: usize) -> bool {
@@ -185,10 +181,9 @@ impl TwigStack<'_> {
     }
 
     fn clean_stack(&mut self, q: usize, until: NodeId) {
-        while self.stacks[q]
-            .last()
-            .is_some_and(|e| e.node.id.doc < until.doc || (e.node.id.doc == until.doc && e.node.end < until.pre))
-        {
+        while self.stacks[q].last().is_some_and(|e| {
+            e.node.id.doc < until.doc || (e.node.id.doc == until.doc && e.node.end < until.pre)
+        }) {
             self.stacks[q].pop();
         }
     }
@@ -264,7 +259,11 @@ impl TwigStack<'_> {
 
 /// Merge phase: joins per-leaf path solutions on their shared pattern-node
 /// prefixes, then applies parent-child post-filters.
-fn merge_paths(db: &Database, twig: &Twig, path_solutions: Vec<Vec<Vec<NodeId>>>) -> Vec<TwigTuple> {
+fn merge_paths(
+    db: &Database,
+    twig: &Twig,
+    path_solutions: Vec<Vec<Vec<NodeId>>>,
+) -> Vec<TwigTuple> {
     let leaves = twig.leaves();
     // Start from the first leaf's solutions as partial tuples.
     let mut covered: Vec<usize> = twig.path_to(leaves[0]);
@@ -400,14 +399,12 @@ mod tests {
 
     #[test]
     fn branching_twig() {
-        let d = db(
-            "<r>\
+        let d = db("<r>\
                <p><n>x</n><g>1</g></p>\
                <p><n>y</n></p>\
                <p><g>2</g></p>\
                <p><n>z</n><g>3</g><g>4</g></p>\
-             </r>",
-        );
+             </r>");
         let mut twig = Twig::new(tag(&d, "p"));
         twig.add(0, AxisRel::Descendant, tag(&d, "n"));
         twig.add(0, AxisRel::Descendant, tag(&d, "g"));

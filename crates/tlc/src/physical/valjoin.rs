@@ -56,8 +56,12 @@ pub fn merge_join_eq(left: &[JoinKey], right: &[JoinKey]) -> Vec<(usize, usize)>
             Ordering::Equal => {
                 // Emit the full group × group block.
                 let key = &left[li[i]];
-                let i_end = (i..li.len()).find(|&k| left[li[k]].order(key) != Ordering::Equal).unwrap_or(li.len());
-                let j_end = (j..ri.len()).find(|&k| right[ri[k]].order(key) != Ordering::Equal).unwrap_or(ri.len());
+                let i_end = (i..li.len())
+                    .find(|&k| left[li[k]].order(key) != Ordering::Equal)
+                    .unwrap_or(li.len());
+                let j_end = (j..ri.len())
+                    .find(|&k| right[ri[k]].order(key) != Ordering::Equal)
+                    .unwrap_or(ri.len());
                 for &l in &li[i..i_end] {
                     for &r in &ri[j..j_end] {
                         out.push((l, r));
@@ -149,7 +153,11 @@ mod tests {
     fn nested_loop_supports_inequalities() {
         let l = keys(&["1", "5"]);
         let r = keys(&["3"]);
-        let pairs = nested_loop_join(&l, &r, |a, b| matches!((a, b), (JoinKey::Num(x), JoinKey::Num(y)) if x > y));
+        let pairs = nested_loop_join(
+            &l,
+            &r,
+            |a, b| matches!((a, b), (JoinKey::Num(x), JoinKey::Num(y)) if x > y),
+        );
         assert_eq!(pairs, vec![(1, 0)]);
     }
 }

@@ -201,7 +201,12 @@ impl fmt::Display for PlanDisplay<'_> {
     }
 }
 
-fn write_plan(f: &mut fmt::Formatter<'_>, p: &Plan, db: Option<&Database>, depth: usize) -> fmt::Result {
+fn write_plan(
+    f: &mut fmt::Formatter<'_>,
+    p: &Plan,
+    db: Option<&Database>,
+    depth: usize,
+) -> fmt::Result {
     let pad = "  ".repeat(depth);
     match p {
         Plan::Select { input, apt } => {

@@ -242,10 +242,9 @@ fn subst_lcls(plan: &Plan, map: &HashMap<LclId, LclId>) -> Plan {
         Plan::Aggregate { input, func, over, new_lcl } => {
             Plan::Aggregate { input, func, over: s(over), new_lcl }
         }
-        Plan::Construct { input, spec } => Plan::Construct {
-            input,
-            spec: spec.into_iter().map(|i| subst_item(i, &s)).collect(),
-        },
+        Plan::Construct { input, spec } => {
+            Plan::Construct { input, spec: spec.into_iter().map(|i| subst_item(i, &s)).collect() }
+        }
         Plan::Sort { input, mut keys } => {
             for k in &mut keys {
                 k.lcl = s(k.lcl);
@@ -289,9 +288,9 @@ fn embeds(apt_b: &Apt, b: usize, apt_c: &Apt, c: usize) -> bool {
     if nb.tag != nc.tag || nb.axis != nc.axis {
         return false;
     }
-    apt_b.children_of(Some(b)).all(|bc| {
-        apt_c.children_of(Some(c)).any(|cc| embeds(apt_b, bc, apt_c, cc))
-    })
+    apt_b
+        .children_of(Some(b))
+        .all(|bc| apt_c.children_of(Some(c)).any(|cc| embeds(apt_b, bc, apt_c, cc)))
 }
 
 // ---------------------------------------------------------------------
@@ -312,7 +311,8 @@ pub fn flatten_rewrite(plan: &Plan) -> (Plan, bool) {
         let Some((chain_refs, select_apt)) = chain_over_doc_select(&p) else {
             return p;
         };
-        let Some((parent_idx, b_idx, c_idx)) = find_flatten_sites(&select_apt, &chain_refs, &global_refs)
+        let Some((parent_idx, b_idx, c_idx)) =
+            find_flatten_sites(&select_apt, &chain_refs, &global_refs)
         else {
             return p;
         };
@@ -345,7 +345,11 @@ fn chain_over_doc_select(p: &Plan) -> Option<(Vec<LclId>, Apt)> {
 }
 
 /// Finds (parent, B, C) in the APT satisfying Phase 1 of the Flatten rule.
-fn find_flatten_sites(apt: &Apt, chain_refs: &[LclId], global_refs: &[LclId]) -> Option<(Option<usize>, usize, usize)> {
+fn find_flatten_sites(
+    apt: &Apt,
+    chain_refs: &[LclId],
+    global_refs: &[LclId],
+) -> Option<(Option<usize>, usize, usize)> {
     let parents: Vec<Option<usize>> =
         std::iter::once(None).chain((0..apt.nodes.len()).map(Some)).collect();
     for parent in parents {
@@ -443,7 +447,9 @@ pub fn shadow_rewrite(plan: &Plan) -> (Plan, bool) {
         if let Plan::Select { input: Some(_), apt } = p {
             if let AptRoot::Lcl(anchor) = apt.root {
                 let tops: Vec<usize> = apt.children_of(None).collect();
-                if tops.len() == 1 && apt.nodes[tops[0]].mspec.groups() && apt.nodes[tops[0]].pred.is_none()
+                if tops.len() == 1
+                    && apt.nodes[tops[0]].mspec.groups()
+                    && apt.nodes[tops[0]].pred.is_none()
                 {
                     candidates.push((apt.clone(), anchor));
                 }
@@ -474,7 +480,9 @@ fn try_shadow_candidate(plan: &Plan, ext_apt: &Apt, anchor: LclId) -> Option<Pla
             Plan::Flatten { parent, child, .. } if *parent == anchor && v1.is_none() => {
                 v1 = Some(*child);
             }
-            Plan::Select { apt, .. } if matches!(apt.root, AptRoot::Document { .. }) && v2.is_none() => {
+            Plan::Select { apt, .. }
+                if matches!(apt.root, AptRoot::Document { .. }) && v2.is_none() =>
+            {
                 // Children of the node labelled `anchor` (or of the root).
                 let site = if apt.root_lcl() == anchor {
                     Some(None)
@@ -521,7 +529,8 @@ fn try_shadow_candidate(plan: &Plan, ext_apt: &Apt, anchor: LclId) -> Option<Pla
                 if let Some(map) = build_map(&base_apt, c_idx) {
                     let rewritten = apply_shadow_v1(plan, &ext_apt, anchor, c_lcl);
                     let rewritten = subst_lcls(&rewritten, &map);
-                    let rewritten = widen_projects(&rewritten, &map.values().copied().collect::<Vec<_>>());
+                    let rewritten =
+                        widen_projects(&rewritten, &map.values().copied().collect::<Vec<_>>());
                     return Some(rewritten);
                 }
             }
@@ -545,7 +554,8 @@ fn try_shadow_candidate(plan: &Plan, ext_apt: &Apt, anchor: LclId) -> Option<Pla
                 let ext_mspec = ext_apt.nodes[ext_top].mspec;
                 let rewritten = apply_shadow_v2(plan, &ext_apt, anchor, c_lcl, ext_mspec);
                 let rewritten = subst_lcls(&rewritten, &map);
-                let rewritten = widen_projects(&rewritten, &map.values().copied().collect::<Vec<_>>());
+                let rewritten =
+                    widen_projects(&rewritten, &map.values().copied().collect::<Vec<_>>());
                 return Some(rewritten);
             }
         }
@@ -600,8 +610,9 @@ fn apply_shadow_v1(plan: &Plan, ext_apt: &Apt, anchor: LclId, c_lcl: LclId) -> P
 /// select; extension select → Illuminate.
 fn apply_shadow_v2(plan: &Plan, ext_apt: &Apt, anchor: LclId, c_lcl: LclId, mspec: MSpec) -> Plan {
     map_plan(plan, &mut |p| match p {
-        Plan::Select { input, apt } if apt.node_with_lcl(c_lcl).is_some()
-            && matches!(apt.root, AptRoot::Document { .. }) =>
+        Plan::Select { input, apt }
+            if apt.node_with_lcl(c_lcl).is_some()
+                && matches!(apt.root, AptRoot::Document { .. }) =>
         {
             let mut apt = apt;
             let idx = apt.node_with_lcl(c_lcl).expect("checked");

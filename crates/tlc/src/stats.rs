@@ -47,7 +47,14 @@ mod tests {
 
     #[test]
     fn absorb_sums_fields() {
-        let mut a = ExecStats { probes: 1, nodes_inspected: 2, pattern_matches: 3, trees_built: 4, subtrees_materialized: 5, join_steps: 6 };
+        let mut a = ExecStats {
+            probes: 1,
+            nodes_inspected: 2,
+            pattern_matches: 3,
+            trees_built: 4,
+            subtrees_materialized: 5,
+            join_steps: 6,
+        };
         let b = a;
         a.absorb(&b);
         assert_eq!(a.probes, 2);

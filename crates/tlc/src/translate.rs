@@ -210,10 +210,21 @@ struct SelectBuild {
 }
 
 enum PostOp {
-    Aggregate { func: AggFunc, over: LclId, new_lcl: LclId },
-    Filter { lcl: LclId, pred: FilterPred, mode: FilterMode },
+    Aggregate {
+        func: AggFunc,
+        over: LclId,
+        new_lcl: LclId,
+    },
+    Filter {
+        lcl: LclId,
+        pred: FilterPred,
+        mode: FilterMode,
+    },
     /// Baseline styles only: the grouping procedure.
-    GroupBy { by: LclId, collect: LclId },
+    GroupBy {
+        by: LclId,
+        collect: LclId,
+    },
 }
 
 /// A translated subquery waiting to be joined in.
@@ -420,38 +431,36 @@ impl<'a> Translator<'a> {
                             self.blocks[block].var_order.push(b.var.clone());
                         }
                     }
-                    PathRoot::Var(v) => {
-                        match self.resolve_var_path(path, mspec, None)? {
-                            Resolved::Pattern { block, select, lcl } => {
-                                if block != self.blocks.len() - 1 {
-                                    return Err(Error::Unsupported(format!(
-                                        "FOR/LET over outer variable ${v}"
-                                    )));
-                                }
-                                if b.kind == BindingKind::Let && self.needs_grouping() {
-                                    if let Some(by) = self.var_pattern_lcl(v) {
-                                        if by != lcl {
-                                            self.blocks[block].selects[select]
-                                                .post
-                                                .push(PostOp::GroupBy { by, collect: lcl });
-                                        }
+                    PathRoot::Var(v) => match self.resolve_var_path(path, mspec, None)? {
+                        Resolved::Pattern { block, select, lcl } => {
+                            if block != self.blocks.len() - 1 {
+                                return Err(Error::Unsupported(format!(
+                                    "FOR/LET over outer variable ${v}"
+                                )));
+                            }
+                            if b.kind == BindingKind::Let && self.needs_grouping() {
+                                if let Some(by) = self.var_pattern_lcl(v) {
+                                    if by != lcl {
+                                        self.blocks[block].selects[select]
+                                            .post
+                                            .push(PostOp::GroupBy { by, collect: lcl });
                                     }
                                 }
-                                self.blocks[block].vars.insert(
-                                    b.var.clone(),
-                                    VarBinding::Pattern { select, lcl, kind: b.kind },
-                                );
-                                if !self.blocks[block].var_order.contains(&b.var) {
-                                    self.blocks[block].var_order.push(b.var.clone());
-                                }
                             }
-                            Resolved::SubMapped { .. } => {
-                                return Err(Error::Unsupported(
-                                    "FOR/LET over a subquery variable's path".into(),
-                                ))
+                            self.blocks[block].vars.insert(
+                                b.var.clone(),
+                                VarBinding::Pattern { select, lcl, kind: b.kind },
+                            );
+                            if !self.blocks[block].var_order.contains(&b.var) {
+                                self.blocks[block].var_order.push(b.var.clone());
                             }
                         }
-                    }
+                        Resolved::SubMapped { .. } => {
+                            return Err(Error::Unsupported(
+                                "FOR/LET over a subquery variable's path".into(),
+                            ))
+                        }
+                    },
                 }
             }
             BindingSource::Subquery(sub) => {
@@ -554,8 +563,7 @@ impl<'a> Translator<'a> {
             VarBinding::Pattern { select, lcl, .. } => {
                 let anchor = self.blocks[block].selects[select].apt.node_with_lcl(lcl);
                 // anchor None ⇒ the variable is the pattern root itself.
-                let leaf =
-                    self.add_steps(block, select, anchor, &path.steps, mspec, leaf_pred)?;
+                let leaf = self.add_steps(block, select, anchor, &path.steps, mspec, leaf_pred)?;
                 Ok(Resolved::Pattern { block, select, lcl: leaf.unwrap_or(lcl) })
             }
             VarBinding::Sub { sub } => {
@@ -586,9 +594,7 @@ impl<'a> Translator<'a> {
                             "path ${v}/{tag} does not match the subquery's constructor"
                         )))
                     }
-                    _ => Err(Error::Unsupported(
-                        "multi-step path into a subquery variable".into(),
-                    )),
+                    _ => Err(Error::Unsupported("multi-step path into a subquery variable".into())),
                 }
             }
         }
@@ -604,7 +610,9 @@ impl<'a> Translator<'a> {
                 self.conjunct(a)?;
                 self.conjunct(b)
             }
-            WhereExpr::Or(..) => Err(Error::Unsupported("OR must be normalized before this point".into())),
+            WhereExpr::Or(..) => {
+                Err(Error::Unsupported("OR must be normalized before this point".into()))
+            }
             WhereExpr::Comparison { path, op, value } => {
                 let pred = ContentPred { op: *op, value: PredValue::from(value) };
                 if path.steps.is_empty() || strip_text(&path.steps).is_empty() {
@@ -629,12 +637,13 @@ impl<'a> Translator<'a> {
                 let new_lcl = self.lcl.fresh();
                 match self.resolve_var_path(path, MSpec::Star, None)? {
                     Resolved::Pattern { block, select, lcl } => {
-                        let grouping = self.needs_grouping().then(|| {
-                            match &path.root {
+                        let grouping = self
+                            .needs_grouping()
+                            .then(|| match &path.root {
                                 PathRoot::Var(v) => self.var_pattern_lcl(v),
                                 PathRoot::Document(_) => None,
-                            }
-                        }).flatten();
+                            })
+                            .flatten();
                         let post = &mut self.blocks[block].selects[select].post;
                         if let Some(by) = grouping {
                             if by != lcl {
@@ -651,7 +660,11 @@ impl<'a> Translator<'a> {
                     }
                     Resolved::SubMapped { lcl } => {
                         let b = self.blocks.len() - 1;
-                        self.blocks[b].post_join.push(PostOp::Aggregate { func: *func, over: lcl, new_lcl });
+                        self.blocks[b].post_join.push(PostOp::Aggregate {
+                            func: *func,
+                            over: lcl,
+                            new_lcl,
+                        });
                         self.blocks[b].post_join.push(PostOp::Filter {
                             lcl: new_lcl,
                             pred: FilterPred::Content(pred),
@@ -715,7 +728,12 @@ impl<'a> Translator<'a> {
 
     /// A zero-step comparison (`$i > 2` style) becomes a post-select filter
     /// on the variable's own class.
-    fn add_value_filter(&mut self, path: &SimplePath, pred: ContentPred, mode: FilterMode) -> Result<()> {
+    fn add_value_filter(
+        &mut self,
+        path: &SimplePath,
+        pred: ContentPred,
+        mode: FilterMode,
+    ) -> Result<()> {
         match self.resolve_var_path(path, MSpec::One, None)? {
             Resolved::Pattern { block, select, lcl } => {
                 self.blocks[block].selects[select].post.push(PostOp::Filter {
@@ -748,8 +766,10 @@ impl<'a> Translator<'a> {
         // A side that lives in an *outer* block feeds a deferred LET join,
         // where matchless outer trees must survive (`*` right edge) — so the
         // outer path extends with `?` instead of `-`.
-        let l_mspec = if self.var_block(left).is_some_and(|b| b < cur) { MSpec::Opt } else { MSpec::One };
-        let r_mspec = if self.var_block(right).is_some_and(|b| b < cur) { MSpec::Opt } else { MSpec::One };
+        let l_mspec =
+            if self.var_block(left).is_some_and(|b| b < cur) { MSpec::Opt } else { MSpec::One };
+        let r_mspec =
+            if self.var_block(right).is_some_and(|b| b < cur) { MSpec::Opt } else { MSpec::One };
         let l = self.resolve_var_path(left, l_mspec, None)?;
         let r = self.resolve_var_path(right, r_mspec, None)?;
         match (l, r) {
@@ -849,7 +869,12 @@ impl<'a> Translator<'a> {
             plan = Plan::Join {
                 left: Box::new(plan),
                 right: Box::new(right),
-                spec: JoinSpec { root_lcl: root, right_mspec: MSpec::One, pred, dedup_right_on: None },
+                spec: JoinSpec {
+                    root_lcl: root,
+                    right_mspec: MSpec::One,
+                    pred,
+                    dedup_right_on: None,
+                },
             };
             joined += 1;
             // Remaining predicates fully inside the joined prefix → filters.
@@ -964,7 +989,12 @@ impl<'a> Translator<'a> {
 
     /// Adds an extension select for a return/order path; returns the leaf
     /// class whose members the path denotes.
-    fn return_path(&mut self, plan: Plan, path: &SimplePath, mspec: MSpec) -> Result<(Plan, LclId)> {
+    fn return_path(
+        &mut self,
+        plan: Plan,
+        path: &SimplePath,
+        mspec: MSpec,
+    ) -> Result<(Plan, LclId)> {
         match &path.root {
             PathRoot::Document(_) => Err(Error::Unsupported("document-rooted RETURN path".into())),
             PathRoot::Var(v) => {
@@ -994,7 +1024,14 @@ impl<'a> Translator<'a> {
                         for step in &steps {
                             let tag = self.tag_of(&step.test)?;
                             let fresh = self.lcl.fresh();
-                            at = Some(apt.add(at, Self::axis_of(step.axis), mspec, tag, None, fresh));
+                            at = Some(apt.add(
+                                at,
+                                Self::axis_of(step.axis),
+                                mspec,
+                                tag,
+                                None,
+                                fresh,
+                            ));
                             leaf = fresh;
                         }
                         let mut out = Plan::Select { input: Some(Box::new(plan)), apt };
@@ -1005,12 +1042,10 @@ impl<'a> Translator<'a> {
                         }
                         Ok((out, leaf))
                     }
-                    VarBinding::Sub { .. } => {
-                        match self.resolve_var_path(path, mspec, None)? {
-                            Resolved::SubMapped { lcl } => Ok((plan, lcl)),
-                            Resolved::Pattern { lcl, .. } => Ok((plan, lcl)),
-                        }
-                    }
+                    VarBinding::Sub { .. } => match self.resolve_var_path(path, mspec, None)? {
+                        Resolved::SubMapped { lcl } => Ok((plan, lcl)),
+                        Resolved::Pattern { lcl, .. } => Ok((plan, lcl)),
+                    },
                 }
             }
         }
@@ -1147,8 +1182,10 @@ impl<'a> Translator<'a> {
                     let (p, item) = self.return_item(plan, c, map, false)?;
                     plan = p;
                     if top {
-                        if let (ReturnExpr::Element { tag: ct, .. }, ConstructItem::Element { lcl: Some(cl), .. }) =
-                            (c, &item)
+                        if let (
+                            ReturnExpr::Element { tag: ct, .. },
+                            ConstructItem::Element { lcl: Some(cl), .. },
+                        ) = (c, &item)
                         {
                             map.children.insert(ct.clone(), *cl);
                         }

@@ -108,7 +108,13 @@ impl ResultTree {
     /// Creates a tree with a single root node.
     pub fn with_root(source: RSource) -> ResultTree {
         ResultTree {
-            nodes: vec![RNode { source, parent: None, children: Vec::new(), lcls: Vec::new(), shadowed: false }],
+            nodes: vec![RNode {
+                source,
+                parent: None,
+                children: Vec::new(),
+                lcls: Vec::new(),
+                shadowed: false,
+            }],
             classes: HashMap::new(),
         }
     }

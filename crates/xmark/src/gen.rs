@@ -1,8 +1,7 @@
 //! The XMark document generator.
 
+use crate::rng::{RngExt, SeedableRng, StdRng};
 use crate::words::{pick, sentence, FIRST_NAMES, LAST_NAMES, LOCATIONS};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use xmldb::{Database, DocId, Document, DocumentBuilder, Result, TagId, TagInterner};
 
 /// Default RNG seed; all evaluation runs use it so that every engine sees the
@@ -267,7 +266,12 @@ impl Gen {
     /// A `text` element. Like XMark's, it sometimes carries mixed content:
     /// character runs interleaved with inline `keyword` / `bold` / `emph`
     /// elements — one of the heterogeneity sources real XML brings.
-    fn text_element(&mut self, b: &mut DocumentBuilder, i: &TagInterner, words: usize) -> Result<()> {
+    fn text_element(
+        &mut self,
+        b: &mut DocumentBuilder,
+        i: &TagInterner,
+        words: usize,
+    ) -> Result<()> {
         if self.rng.random_range(0..100) < 70 {
             let s = sentence(&mut self.rng, words, 12);
             b.leaf(self.tags.text, &s, i);
@@ -276,8 +280,8 @@ impl Gen {
         b.start_element(self.tags.text);
         let head = sentence(&mut self.rng, words.max(2) / 2, 12);
         b.text(&head, i);
-        let inline = [self.tags.keyword, self.tags.bold, self.tags.emph]
-            [self.rng.random_range(0..3)];
+        let inline =
+            [self.tags.keyword, self.tags.bold, self.tags.emph][self.rng.random_range(0..3usize)];
         let marked = sentence(&mut self.rng, 1 + words / 4, 6);
         b.leaf(inline, &marked, i);
         let tail = sentence(&mut self.rng, words.max(2) / 2, 12);
@@ -296,7 +300,7 @@ impl Gen {
         depth: u32,
     ) -> Result<()> {
         b.start_element(self.tags.description);
-        if depth > 0 && self.rng.random_range(0..100) < parlist_p {
+        if depth > 0 && self.rng.random_range(0..100u32) < parlist_p {
             self.parlist(b, i, depth)?;
         } else {
             let words = self.rng.random_range(4..14);
@@ -356,7 +360,8 @@ impl Gen {
         b.leaf(self.tags.name, &nm, i);
         b.leaf(
             self.tags.payment,
-            ["Cash", "Money order", "Creditcard", "Personal Check"][self.rng.random_range(0..4)],
+            ["Cash", "Money order", "Creditcard", "Personal Check"]
+                [self.rng.random_range(0..4usize)],
             i,
         );
         self.description(b, i, 35, 2)?;
@@ -373,9 +378,17 @@ impl Gen {
             let mails = self.rng.random_range(0..=3);
             for _ in 0..mails {
                 b.start_element(self.tags.mail);
-                let from = format!("{} {}", pick(&mut self.rng, FIRST_NAMES), pick(&mut self.rng, LAST_NAMES));
+                let from = format!(
+                    "{} {}",
+                    pick(&mut self.rng, FIRST_NAMES),
+                    pick(&mut self.rng, LAST_NAMES)
+                );
                 b.leaf(self.tags.from, &from, i);
-                let to = format!("{} {}", pick(&mut self.rng, FIRST_NAMES), pick(&mut self.rng, LAST_NAMES));
+                let to = format!(
+                    "{} {}",
+                    pick(&mut self.rng, FIRST_NAMES),
+                    pick(&mut self.rng, LAST_NAMES)
+                );
                 b.leaf(self.tags.to, &to, i);
                 let d = self.date();
                 b.leaf(self.tags.date, &d, i);
@@ -431,17 +444,27 @@ impl Gen {
     fn person(&mut self, b: &mut DocumentBuilder, i: &TagInterner, id: u32) -> Result<()> {
         b.start_element(self.tags.person);
         b.attribute(self.tags.at_id, &format!("person{id}"));
-        let nm = format!("{} {}", pick(&mut self.rng, FIRST_NAMES), pick(&mut self.rng, LAST_NAMES));
+        let nm =
+            format!("{} {}", pick(&mut self.rng, FIRST_NAMES), pick(&mut self.rng, LAST_NAMES));
         b.leaf(self.tags.name, &nm, i);
         let email = format!("mailto:{}@example.org", nm.replace(' ', "."));
         b.leaf(self.tags.emailaddress, &email, i);
         if self.rng.random_range(0..100) < 60 {
-            let ph = format!("+{} ({}) {}", self.rng.random_range(1..99u32), self.rng.random_range(100..999u32), self.rng.random_range(1_000_000..9_999_999u32));
+            let ph = format!(
+                "+{} ({}) {}",
+                self.rng.random_range(1..99u32),
+                self.rng.random_range(100..999u32),
+                self.rng.random_range(1_000_000..9_999_999u32)
+            );
             b.leaf(self.tags.phone, &ph, i);
         }
         if self.rng.random_range(0..100) < 40 {
             b.start_element(self.tags.address);
-            let st = format!("{} {} St", self.rng.random_range(1..99u32), pick(&mut self.rng, LAST_NAMES));
+            let st = format!(
+                "{} {} St",
+                self.rng.random_range(1..99u32),
+                pick(&mut self.rng, LAST_NAMES)
+            );
             b.leaf(self.tags.street, &st, i);
             let city = pick(&mut self.rng, LAST_NAMES).to_string();
             b.leaf(self.tags.city, &city, i);
@@ -483,14 +506,15 @@ impl Gen {
             if self.rng.random_range(0..100) < 50 {
                 b.leaf(
                     self.tags.education,
-                    ["High School", "College", "Graduate School", "Other"][self.rng.random_range(0..4)],
+                    ["High School", "College", "Graduate School", "Other"]
+                        [self.rng.random_range(0..4usize)],
                     i,
                 );
             }
             if self.rng.random_range(0..100) < 50 {
-                b.leaf(self.tags.gender, ["male", "female"][self.rng.random_range(0..2)], i);
+                b.leaf(self.tags.gender, ["male", "female"][self.rng.random_range(0..2usize)], i);
             }
-            b.leaf(self.tags.business, ["Yes", "No"][self.rng.random_range(0..2)], i);
+            b.leaf(self.tags.business, ["Yes", "No"][self.rng.random_range(0..2usize)], i);
             b.end_element()?;
         }
         if self.rng.random_range(0..100) < 30 {
@@ -498,7 +522,8 @@ impl Gen {
             let n = self.rng.random_range(1..=4);
             for _ in 0..n {
                 b.start_element(self.tags.watch);
-                let oa = format!("open_auction{}", self.rng.random_range(0..self.stats.open_auctions));
+                let oa =
+                    format!("open_auction{}", self.rng.random_range(0..self.stats.open_auctions));
                 b.attribute(self.tags.at_open_auction, &oa);
                 b.end_element()?;
             }
@@ -542,7 +567,12 @@ impl Gen {
             b.start_element(self.tags.bidder);
             let d = self.date();
             b.leaf(self.tags.date, &d, i);
-            let t = format!("{:02}:{:02}:{:02}", self.rng.random_range(0..24u32), self.rng.random_range(0..60u32), self.rng.random_range(0..60u32));
+            let t = format!(
+                "{:02}:{:02}:{:02}",
+                self.rng.random_range(0..24u32),
+                self.rng.random_range(0..60u32),
+                self.rng.random_range(0..60u32)
+            );
             b.leaf(self.tags.time, &t, i);
             b.start_element(self.tags.personref);
             let pr = self.person_ref();
@@ -555,7 +585,7 @@ impl Gen {
         }
         b.leaf(self.tags.current, &format!("{current:.2}"), i);
         if self.rng.random_range(0..100) < 50 {
-            b.leaf(self.tags.privacy, ["Yes", "No"][self.rng.random_range(0..2)], i);
+            b.leaf(self.tags.privacy, ["Yes", "No"][self.rng.random_range(0..2usize)], i);
         }
         b.start_element(self.tags.itemref);
         let ir = self.item_ref();
@@ -569,7 +599,7 @@ impl Gen {
         // XMark quantities are small integers; Q2 filters `myquan > 2`.
         let q = self.rng.random_range(1..=10u32).to_string();
         b.leaf(self.tags.quantity, &q, i);
-        b.leaf(self.tags.type_, ["Regular", "Featured"][self.rng.random_range(0..2)], i);
+        b.leaf(self.tags.type_, ["Regular", "Featured"][self.rng.random_range(0..2usize)], i);
         b.start_element(self.tags.interval);
         let sd = self.date();
         b.leaf(self.tags.start, &sd, i);
@@ -580,7 +610,12 @@ impl Gen {
         Ok(())
     }
 
-    fn annotation(&mut self, b: &mut DocumentBuilder, i: &TagInterner, parlist_p: u32) -> Result<()> {
+    fn annotation(
+        &mut self,
+        b: &mut DocumentBuilder,
+        i: &TagInterner,
+        parlist_p: u32,
+    ) -> Result<()> {
         b.start_element(self.tags.annotation);
         b.start_element(self.tags.author);
         let ar = self.person_ref();
@@ -617,7 +652,7 @@ impl Gen {
             b.leaf(self.tags.date, &d, i);
             let q = self.rng.random_range(1..=10u32).to_string();
             b.leaf(self.tags.quantity, &q, i);
-            b.leaf(self.tags.type_, ["Regular", "Featured"][self.rng.random_range(0..2)], i);
+            b.leaf(self.tags.type_, ["Regular", "Featured"][self.rng.random_range(0..2usize)], i);
             // Closed-auction annotations recurse deeply enough for the
             // long-path queries (x15/x16).
             self.annotation(b, i, 70)?;
@@ -677,9 +712,10 @@ mod tests {
     #[test]
     fn some_auction_has_more_than_five_bidders() {
         let db = db_at(0.005);
-        let found = db.nodes_with_tag("open_auction").iter().any(|&oa| {
-            db.node(oa).children().filter(|c| &*c.tag_name() == "bidder").count() > 5
-        });
+        let found = db
+            .nodes_with_tag("open_auction")
+            .iter()
+            .any(|&oa| db.node(oa).children().filter(|c| &*c.tag_name() == "bidder").count() > 5);
         assert!(found, "Q1's count(bidder) > 5 must be satisfiable");
     }
 

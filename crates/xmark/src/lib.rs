@@ -26,6 +26,7 @@
 //! the cross-engine equivalence tests rely on.
 
 mod gen;
+pub mod rng;
 pub mod schema;
 mod words;
 
@@ -65,10 +66,7 @@ mod roundtrip_tests {
         assert_eq!(text, again, "generator output is a serializer fixpoint");
         // Populations survive the round trip.
         let direct = auction_database(0.002);
-        assert_eq!(
-            db.nodes_with_tag("person").len(),
-            direct.nodes_with_tag("person").len()
-        );
+        assert_eq!(db.nodes_with_tag("person").len(), direct.nodes_with_tag("person").len());
         assert_eq!(db.node_count(), direct.node_count());
     }
 }

@@ -45,12 +45,50 @@ fn models() -> HashMap<&'static str, Model> {
                    allows_text: bool| {
         m.insert(tag, Model { sequence, attributes, allows_text });
     };
-    add("site", &[("regions", One), ("categories", One), ("catgraph", One), ("people", One), ("open_auctions", One), ("closed_auctions", One)], &[], false);
-    add("regions", &[("africa", One), ("asia", One), ("australia", One), ("europe", One), ("namerica", One), ("samerica", One)], &[], false);
+    add(
+        "site",
+        &[
+            ("regions", One),
+            ("categories", One),
+            ("catgraph", One),
+            ("people", One),
+            ("open_auctions", One),
+            ("closed_auctions", One),
+        ],
+        &[],
+        false,
+    );
+    add(
+        "regions",
+        &[
+            ("africa", One),
+            ("asia", One),
+            ("australia", One),
+            ("europe", One),
+            ("namerica", One),
+            ("samerica", One),
+        ],
+        &[],
+        false,
+    );
     for region in ["africa", "asia", "australia", "europe", "namerica", "samerica"] {
         add(region, &[("item", Star)], &[], false);
     }
-    add("item", &[("location", One), ("quantity", One), ("name", One), ("payment", One), ("description", One), ("shipping", One), ("incategory", Plus), ("mailbox", Optional)], &["id"], false);
+    add(
+        "item",
+        &[
+            ("location", One),
+            ("quantity", One),
+            ("name", One),
+            ("payment", One),
+            ("description", One),
+            ("shipping", One),
+            ("incategory", Plus),
+            ("mailbox", Optional),
+        ],
+        &["id"],
+        false,
+    );
     add("incategory", &[], &["category"], false);
     add("mailbox", &[("mail", Star)], &[], false);
     add("mail", &[("from", One), ("to", One), ("date", One), ("text", One)], &[], false);
@@ -66,15 +104,62 @@ fn models() -> HashMap<&'static str, Model> {
     add("catgraph", &[("edge", Star)], &[], false);
     add("edge", &[], &["from", "to"], false);
     add("people", &[("person", Star)], &[], false);
-    add("person", &[("name", One), ("emailaddress", One), ("phone", Optional), ("address", Optional), ("homepage", Optional), ("creditcard", Optional), ("age", Optional), ("profile", Optional), ("watches", Optional)], &["id"], false);
-    add("address", &[("street", One), ("city", One), ("country", One), ("zipcode", One)], &[], false);
-    add("profile", &[("interest", Star), ("education", Optional), ("gender", Optional), ("business", One)], &["income"], false);
+    add(
+        "person",
+        &[
+            ("name", One),
+            ("emailaddress", One),
+            ("phone", Optional),
+            ("address", Optional),
+            ("homepage", Optional),
+            ("creditcard", Optional),
+            ("age", Optional),
+            ("profile", Optional),
+            ("watches", Optional),
+        ],
+        &["id"],
+        false,
+    );
+    add(
+        "address",
+        &[("street", One), ("city", One), ("country", One), ("zipcode", One)],
+        &[],
+        false,
+    );
+    add(
+        "profile",
+        &[("interest", Star), ("education", Optional), ("gender", Optional), ("business", One)],
+        &["income"],
+        false,
+    );
     add("interest", &[], &["category"], false);
     add("watches", &[("watch", Star)], &[], false);
     add("watch", &[], &["open_auction"], false);
     add("open_auctions", &[("open_auction", Star)], &[], false);
-    add("open_auction", &[("initial", One), ("reserve", Optional), ("bidder", Star), ("current", One), ("privacy", Optional), ("itemref", One), ("seller", One), ("annotation", One), ("quantity", One), ("type", One), ("interval", One)], &["id"], false);
-    add("bidder", &[("date", One), ("time", One), ("personref", One), ("increase", One)], &[], false);
+    add(
+        "open_auction",
+        &[
+            ("initial", One),
+            ("reserve", Optional),
+            ("bidder", Star),
+            ("current", One),
+            ("privacy", Optional),
+            ("itemref", One),
+            ("seller", One),
+            ("annotation", One),
+            ("quantity", One),
+            ("type", One),
+            ("interval", One),
+        ],
+        &["id"],
+        false,
+    );
+    add(
+        "bidder",
+        &[("date", One), ("time", One), ("personref", One), ("increase", One)],
+        &[],
+        false,
+    );
     add("personref", &[], &["person"], false);
     add("itemref", &[], &["item"], false);
     add("seller", &[], &["person"], false);
@@ -82,10 +167,56 @@ fn models() -> HashMap<&'static str, Model> {
     add("author", &[], &["person"], false);
     add("interval", &[("start", One), ("end", One)], &[], false);
     add("closed_auctions", &[("closed_auction", Star)], &[], false);
-    add("closed_auction", &[("seller", One), ("buyer", One), ("itemref", One), ("price", One), ("date", One), ("quantity", One), ("type", One), ("annotation", One)], &[], false);
+    add(
+        "closed_auction",
+        &[
+            ("seller", One),
+            ("buyer", One),
+            ("itemref", One),
+            ("price", One),
+            ("date", One),
+            ("quantity", One),
+            ("type", One),
+            ("annotation", One),
+        ],
+        &[],
+        false,
+    );
     add("buyer", &[], &["person"], false);
     // Text-only leaves.
-    for leaf in ["location", "quantity", "name", "payment", "shipping", "from", "to", "date", "time", "increase", "initial", "reserve", "current", "privacy", "happiness", "type", "start", "end", "price", "emailaddress", "phone", "homepage", "creditcard", "age", "street", "city", "country", "zipcode", "education", "gender", "business"] {
+    for leaf in [
+        "location",
+        "quantity",
+        "name",
+        "payment",
+        "shipping",
+        "from",
+        "to",
+        "date",
+        "time",
+        "increase",
+        "initial",
+        "reserve",
+        "current",
+        "privacy",
+        "happiness",
+        "type",
+        "start",
+        "end",
+        "price",
+        "emailaddress",
+        "phone",
+        "homepage",
+        "creditcard",
+        "age",
+        "street",
+        "city",
+        "country",
+        "zipcode",
+        "education",
+        "gender",
+        "business",
+    ] {
         add(leaf, &[], &[], true);
     }
     m
@@ -161,14 +292,19 @@ fn check_element(
         if !ok {
             violations.push(Violation {
                 pre,
-                message: format!("<{tag}>: child <{child_tag}> occurs {seen} time(s), violating {occurs:?}"),
+                message: format!(
+                    "<{tag}>: child <{child_tag}> occurs {seen} time(s), violating {occurs:?}"
+                ),
             });
         }
     }
     if i < elem_children.len() {
         violations.push(Violation {
             pre,
-            message: format!("<{tag}>: unexpected child <{}> (out of order or not allowed)", elem_children[i]),
+            message: format!(
+                "<{tag}>: unexpected child <{}> (out of order or not allowed)",
+                elem_children[i]
+            ),
         });
     }
 }

@@ -5,21 +5,101 @@
 //! known keyword (`"gold"`) appears with a controlled frequency so the
 //! `contains` query (x14) has stable selectivity.
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use crate::rng::{RngExt, StdRng};
 
 /// Word pool for generated sentences.
 pub const WORDS: &[&str] = &[
-    "auction", "bid", "price", "market", "trade", "value", "offer", "sale", "lot", "estate",
-    "vintage", "rare", "classic", "antique", "modern", "fine", "grand", "small", "large", "heavy",
-    "light", "bright", "dark", "silver", "bronze", "copper", "wooden", "glass", "stone", "paper",
-    "collection", "series", "edition", "original", "signed", "mint", "used", "boxed", "sealed",
-    "painting", "sculpture", "watch", "clock", "ring", "necklace", "coin", "stamp", "book", "map",
-    "table", "chair", "lamp", "mirror", "vase", "plate", "cup", "bottle", "chest", "cabinet",
-    "excellent", "good", "fair", "poor", "restored", "damaged", "complete", "partial", "unique",
-    "quality", "condition", "history", "provenance", "certificate", "guarantee", "shipping",
-    "delivery", "payment", "reserve", "minimum", "final", "closing", "opening", "current",
-    "seller", "buyer", "dealer", "collector", "museum", "gallery", "private", "public",
+    "auction",
+    "bid",
+    "price",
+    "market",
+    "trade",
+    "value",
+    "offer",
+    "sale",
+    "lot",
+    "estate",
+    "vintage",
+    "rare",
+    "classic",
+    "antique",
+    "modern",
+    "fine",
+    "grand",
+    "small",
+    "large",
+    "heavy",
+    "light",
+    "bright",
+    "dark",
+    "silver",
+    "bronze",
+    "copper",
+    "wooden",
+    "glass",
+    "stone",
+    "paper",
+    "collection",
+    "series",
+    "edition",
+    "original",
+    "signed",
+    "mint",
+    "used",
+    "boxed",
+    "sealed",
+    "painting",
+    "sculpture",
+    "watch",
+    "clock",
+    "ring",
+    "necklace",
+    "coin",
+    "stamp",
+    "book",
+    "map",
+    "table",
+    "chair",
+    "lamp",
+    "mirror",
+    "vase",
+    "plate",
+    "cup",
+    "bottle",
+    "chest",
+    "cabinet",
+    "excellent",
+    "good",
+    "fair",
+    "poor",
+    "restored",
+    "damaged",
+    "complete",
+    "partial",
+    "unique",
+    "quality",
+    "condition",
+    "history",
+    "provenance",
+    "certificate",
+    "guarantee",
+    "shipping",
+    "delivery",
+    "payment",
+    "reserve",
+    "minimum",
+    "final",
+    "closing",
+    "opening",
+    "current",
+    "seller",
+    "buyer",
+    "dealer",
+    "collector",
+    "museum",
+    "gallery",
+    "private",
+    "public",
 ];
 
 /// Keyword with controlled frequency for the `contains` query (x14).
@@ -41,8 +121,22 @@ pub const LAST_NAMES: &[&str] = &[
 
 /// Location / country names for `item/location` and addresses.
 pub const LOCATIONS: &[&str] = &[
-    "United States", "Germany", "France", "Japan", "Brazil", "Kenya", "Australia", "Canada",
-    "India", "Spain", "Italy", "Norway", "Chile", "Egypt", "Korea", "Mexico",
+    "United States",
+    "Germany",
+    "France",
+    "Japan",
+    "Brazil",
+    "Kenya",
+    "Australia",
+    "Canada",
+    "India",
+    "Spain",
+    "Italy",
+    "Norway",
+    "Chile",
+    "Egypt",
+    "Korea",
+    "Mexico",
 ];
 
 /// Produces a sentence of `n` words; roughly one sentence in `keyword_in`
@@ -75,7 +169,7 @@ pub fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use crate::rng::SeedableRng;
 
     #[test]
     fn sentence_has_requested_length() {

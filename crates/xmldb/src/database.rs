@@ -78,10 +78,7 @@ impl Database {
 
     /// Resolves a logical document name (`auction.xml`).
     pub fn document_by_name(&self, name: &str) -> Result<DocId> {
-        self.names
-            .get(name)
-            .copied()
-            .ok_or_else(|| Error::UnknownDocumentName(name.to_string()))
+        self.names.get(name).copied().ok_or_else(|| Error::UnknownDocumentName(name.to_string()))
     }
 
     /// Borrows a document.
@@ -284,7 +281,10 @@ mod tests {
         let name_tag = db.interner().lookup("name").unwrap();
         assert_eq!(db.value_index().lookup_exact(name_tag, "Ann").len(), 1);
         let age_tag = db.interner().lookup("age").unwrap();
-        assert_eq!(db.value_index().lookup_cmp(age_tag, std::cmp::Ordering::Greater, 20.0).len(), 1);
+        assert_eq!(
+            db.value_index().lookup_cmp(age_tag, std::cmp::Ordering::Greater, 20.0).len(),
+            1
+        );
     }
 
     #[test]

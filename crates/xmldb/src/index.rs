@@ -116,7 +116,8 @@ impl ValueIndex {
         use std::ops::Bound::*;
         let lo = lo.map_or(Unbounded, |v| Included(OrdF64(v)));
         let hi = hi.map_or(Unbounded, |v| Included(OrdF64(v)));
-        let mut out: Vec<NodeId> = tree.range((lo, hi)).flat_map(|(_, v)| v.iter().copied()).collect();
+        let mut out: Vec<NodeId> =
+            tree.range((lo, hi)).flat_map(|(_, v)| v.iter().copied()).collect();
         out.sort_unstable();
         out
     }

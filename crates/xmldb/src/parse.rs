@@ -117,7 +117,8 @@ impl<'a> Parser<'a> {
         if self.pos == start {
             return Err(self.err("expected a name"));
         }
-        std::str::from_utf8(&self.input[start..self.pos]).map_err(|_| self.err("invalid UTF-8 in name"))
+        std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in name"))
     }
 
     fn parse_element(&mut self, b: &mut DocumentBuilder) -> Result<()> {
@@ -181,7 +182,8 @@ impl<'a> Parser<'a> {
                         b.end_element().map_err(|e| self.err(&e.to_string()))?;
                         return Ok(());
                     } else if self.starts_with("<!--") {
-                        let end = self.find("-->").ok_or_else(|| self.err("unterminated comment"))?;
+                        let end =
+                            self.find("-->").ok_or_else(|| self.err("unterminated comment"))?;
                         self.pos = end + 3;
                     } else if self.starts_with("<![CDATA[") {
                         let end = self.find("]]>").ok_or_else(|| self.err("unterminated CDATA"))?;
@@ -237,8 +239,9 @@ fn unescape(s: &str) -> std::result::Result<String, String> {
                 out.push(char::from_u32(code).ok_or("invalid character reference")?);
             }
             _ if entity.starts_with('#') => {
-                let code: u32 =
-                    entity[1..].parse().map_err(|_| format!("bad character reference &{entity};"))?;
+                let code: u32 = entity[1..]
+                    .parse()
+                    .map_err(|_| format!("bad character reference &{entity};"))?;
                 out.push(char::from_u32(code).ok_or("invalid character reference")?);
             }
             _ => return Err(format!("unknown entity &{entity};")),

@@ -221,13 +221,17 @@ mod tests {
         // Serialization identical.
         for d in 0..2u32 {
             let a = crate::serialize::serialize_subtree(&db, db.root(crate::node::DocId(d)));
-            let b = crate::serialize::serialize_subtree(&loaded, loaded.root(crate::node::DocId(d)));
+            let b =
+                crate::serialize::serialize_subtree(&loaded, loaded.root(crate::node::DocId(d)));
             assert_eq!(a, b);
         }
         // Indexes rebuilt and usable.
         assert_eq!(loaded.nodes_with_tag("x").len(), 2);
         let age = loaded.interner().lookup("age").unwrap();
-        assert_eq!(loaded.value_index().lookup_cmp(age, std::cmp::Ordering::Greater, 20.0).len(), 1);
+        assert_eq!(
+            loaded.value_index().lookup_cmp(age, std::cmp::Ordering::Greater, 20.0).len(),
+            1
+        );
         // Invariants hold.
         loaded.document(crate::node::DocId(0)).check_invariants().unwrap();
     }

@@ -9,8 +9,8 @@
 //! `person` element get distinct ids), mirroring how the paper writes
 //! attribute pattern nodes (e.g. `@id`, `@person` in Figure 7).
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// Dense identifier for an interned node label.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -24,7 +24,8 @@ pub const TEXT_TAG: &str = "#text";
 /// A thread-safe string interner for node labels.
 ///
 /// Interning is append-only: ids are never reused, and resolving an id is a
-/// read-locked slice access.
+/// read-locked slice access. Lock poisoning is impossible in practice (no
+/// code path panics while holding the lock), so guards are unwrapped.
 #[derive(Debug, Default)]
 pub struct TagInterner {
     inner: RwLock<InternerInner>,
@@ -60,10 +61,10 @@ impl TagInterner {
 
     /// Interns `name`, returning its stable id.
     pub fn intern(&self, name: &str) -> TagId {
-        if let Some(id) = self.inner.read().map.get(name) {
+        if let Some(id) = self.inner.read().unwrap().map.get(name) {
             return *id;
         }
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().unwrap();
         if let Some(id) = inner.map.get(name) {
             return *id;
         }
@@ -77,7 +78,7 @@ impl TagInterner {
     /// never been seen — useful for query compilation, where an unknown tag
     /// means the pattern can never match.
     pub fn lookup(&self, name: &str) -> Option<TagId> {
-        self.inner.read().map.get(name).copied()
+        self.inner.read().unwrap().map.get(name).copied()
     }
 
     /// Resolves an id back to its label.
@@ -85,12 +86,12 @@ impl TagInterner {
     /// # Panics
     /// Panics if `id` was not produced by this interner.
     pub fn name(&self, id: TagId) -> Box<str> {
-        self.inner.read().names[id.0 as usize].clone()
+        self.inner.read().unwrap().names[id.0 as usize].clone()
     }
 
     /// Number of distinct labels interned so far.
     pub fn len(&self) -> usize {
-        self.inner.read().names.len()
+        self.inner.read().unwrap().names.len()
     }
 
     /// True when only the synthetic labels are present.

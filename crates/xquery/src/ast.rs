@@ -105,7 +105,10 @@ impl SimplePath {
     /// The path without a trailing `text()` step (for pattern construction).
     pub fn without_text(&self) -> SimplePath {
         if self.ends_in_text() {
-            SimplePath { root: self.root.clone(), steps: self.steps[..self.steps.len() - 1].to_vec() }
+            SimplePath {
+                root: self.root.clone(),
+                steps: self.steps[..self.steps.len() - 1].to_vec(),
+            }
         } else {
             self.clone()
         }

@@ -86,8 +86,22 @@ impl fmt::Display for Tok {
 }
 
 const KEYWORDS: &[&str] = &[
-    "FOR", "LET", "IN", "WHERE", "RETURN", "ORDER", "BY", "EVERY", "SOME", "SATISFIES", "AND",
-    "OR", "ASCENDING", "DESCENDING", "DOCUMENT", "CONTAINS",
+    "FOR",
+    "LET",
+    "IN",
+    "WHERE",
+    "RETURN",
+    "ORDER",
+    "BY",
+    "EVERY",
+    "SOME",
+    "SATISFIES",
+    "AND",
+    "OR",
+    "ASCENDING",
+    "DESCENDING",
+    "DOCUMENT",
+    "CONTAINS",
 ];
 
 /// Lexer error: position and message.

@@ -169,7 +169,9 @@ impl<'a> Parser<'a> {
                 Tok::At => match self.next()? {
                     Tok::Name(n) => NodeTest::Attribute(n),
                     Tok::Kw(k) => NodeTest::Attribute(k.to_ascii_lowercase()),
-                    other => return Err(self.err(format!("expected attribute name, found {other}"))),
+                    other => {
+                        return Err(self.err(format!("expected attribute name, found {other}")))
+                    }
                 },
                 Tok::Name(n) if n == "text" && self.peek()? == Tok::LParen => {
                     self.next()?;
@@ -418,7 +420,9 @@ impl<'a> Parser<'a> {
                         other => return Err(self.err(format!("expected close tag, found {other}"))),
                     };
                     if close != tag {
-                        return Err(self.err(format!("mismatched close tag </{close}>, expected </{tag}>")));
+                        return Err(
+                            self.err(format!("mismatched close tag </{close}>, expected </{tag}>"))
+                        );
                     }
                     self.expect(Tok::Gt)?;
                     return Ok(ReturnExpr::Element { tag, attrs, children });
@@ -626,44 +630,77 @@ pub(crate) mod tests {
 #[cfg(test)]
 mod robustness {
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(256))]
+    /// Minimal splitmix64 so the fuzz-style tests stay dependency-free while
+    /// remaining deterministic (fixed seeds, fixed case counts).
+    struct Rng(u64);
 
-        /// The parser must never panic, whatever bytes it is fed.
-        #[test]
-        fn parser_never_panics(input in "\\PC{0,120}") {
-            let _ = parse(&input);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
         }
 
-        /// Structured garbage around a valid core must be rejected or parsed,
-        /// never panicked on.
-        #[test]
-        fn structured_noise(prefix in "[A-Za-z$/@(){}<>=\"' ]{0,24}", suffix in "[A-Za-z$/@(){}<>=\"' ]{0,24}") {
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n as u64) as usize
+        }
+
+        fn string(&mut self, alphabet: &[char], max_len: usize) -> String {
+            let len = self.below(max_len + 1);
+            (0..len).map(|_| alphabet[self.below(alphabet.len())]).collect()
+        }
+    }
+
+    /// The parser must never panic, whatever bytes it is fed.
+    #[test]
+    fn parser_never_panics() {
+        let alphabet: Vec<char> =
+            (' '..='~').chain("\u{0}\t\n«»\u{201c}\u{201d}λ漢字\u{1F600}".chars()).collect();
+        let mut rng = Rng(0x5EED_0001);
+        for _ in 0..512 {
+            let input = rng.string(&alphabet, 120);
+            let _ = parse(&input);
+        }
+    }
+
+    /// Structured garbage around a valid core must be rejected or parsed,
+    /// never panicked on.
+    #[test]
+    fn structured_noise() {
+        let alphabet: Vec<char> = "ABCZabcz$/@(){}<>=\"' ".chars().collect();
+        let mut rng = Rng(0x5EED_0002);
+        for _ in 0..512 {
+            let prefix = rng.string(&alphabet, 24);
+            let suffix = rng.string(&alphabet, 24);
             let q = format!("{prefix}FOR $p IN document(\"d.xml\")//person RETURN $p{suffix}");
             let _ = parse(&q);
         }
+    }
 
-        /// Any generated simple-path query parses, and the path round-trips
-        /// through Display.
-        #[test]
-        fn generated_paths_round_trip(
-            steps in prop::collection::vec(("[a-z]{1,8}", prop::bool::ANY), 1..5),
-            text_suffix in prop::bool::ANY,
-        ) {
+    /// Any generated simple-path query parses, and the path round-trips
+    /// through Display.
+    #[test]
+    fn generated_paths_round_trip() {
+        let mut rng = Rng(0x5EED_0003);
+        for _ in 0..256 {
             let mut path = String::from("$v");
-            for (name, desc) in &steps {
-                path.push_str(if *desc { "//" } else { "/" });
-                path.push_str(name);
+            for _ in 0..1 + rng.below(4) {
+                path.push_str(if rng.below(2) == 0 { "//" } else { "/" });
+                let name_len = 1 + rng.below(8);
+                for _ in 0..name_len {
+                    path.push((b'a' + rng.below(26) as u8) as char);
+                }
             }
-            if text_suffix {
+            if rng.below(2) == 0 {
                 path.push_str("/text()");
             }
             let q = format!("FOR $v IN document(\"d.xml\")//x RETURN {path}");
             let parsed = parse(&q).unwrap();
             let ReturnExpr::Path(p) = &parsed.ret else { panic!("expected path") };
-            prop_assert_eq!(p.to_string(), path);
+            assert_eq!(p.to_string(), path);
         }
     }
 }

@@ -191,10 +191,8 @@ mod tests {
 
     #[test]
     fn printed_form_is_readable() {
-        let ast = parse(
-            r#"FOR $p IN document("a.xml")//person WHERE $p/age > 25 RETURN $p/name"#,
-        )
-        .unwrap();
+        let ast = parse(r#"FOR $p IN document("a.xml")//person WHERE $p/age > 25 RETURN $p/name"#)
+            .unwrap();
         let printed = PrettyQuery(&ast).to_string();
         assert!(printed.contains("FOR $p IN document(\"a.xml\")//person"));
         assert!(printed.contains("WHERE $p/age > 25"));

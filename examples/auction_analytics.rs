@@ -9,10 +9,7 @@
 use tlc_xml::{baselines, tlc, xmark};
 
 fn main() {
-    let factor = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(0.01);
+    let factor = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0.01);
     println!("generating XMark data at factor {factor} ...");
     let db = xmark::auction_database(factor);
     println!("{} nodes loaded\n", db.node_count());
@@ -43,9 +40,11 @@ fn main() {
           <bids>{count($s//bidder)}</bids>
         </stats>"#;
 
-    for (name, query) in
-        [("hot auctions (Q1)", hot_auctions), ("purchases per person", purchases), ("site stats", site_stats)]
-    {
+    for (name, query) in [
+        ("hot auctions (Q1)", hot_auctions),
+        ("purchases per person", purchases),
+        ("site stats", site_stats),
+    ] {
         let plan = tlc::compile(query, &db).expect("supported fragment");
         let (trees, stats) = tlc::execute(&db, &plan).expect("plan executes");
         println!("== {name}: {} result tree(s), {} index probes", trees.len(), stats.probes);
@@ -70,6 +69,11 @@ fn main() {
     for engine in baselines::Engine::figure15() {
         let t = std::time::Instant::now();
         let out = baselines::run(engine, hot_auctions, &db).expect("engine runs");
-        println!("   {:<4} {:>9.4}s  ({} bytes of output)", engine.name(), t.elapsed().as_secs_f64(), out.len());
+        println!(
+            "   {:<4} {:>9.4}s  ({} bytes of output)",
+            engine.name(),
+            t.elapsed().as_secs_f64(),
+            out.len()
+        );
     }
 }

@@ -9,8 +9,8 @@
 //! cargo run --example heterogeneous_match
 //! ```
 
-use tlc_xml::{tlc, xmldb};
 use tlc::{Apt, LclId, MSpec};
+use tlc_xml::{tlc, xmldb};
 use xmldb::AxisRel;
 
 fn main() {

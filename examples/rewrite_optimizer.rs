@@ -40,8 +40,14 @@ fn main() {
     );
 
     // …less work (the redundant bidder accesses are gone).
-    println!("plain: {} index probes, {} nodes inspected", plain_stats.probes, plain_stats.nodes_inspected);
-    println!("OPT:   {} index probes, {} nodes inspected", opt_stats.probes, opt_stats.nodes_inspected);
+    println!(
+        "plain: {} index probes, {} nodes inspected",
+        plain_stats.probes, plain_stats.nodes_inspected
+    );
+    println!(
+        "OPT:   {} index probes, {} nodes inspected",
+        opt_stats.probes, opt_stats.nodes_inspected
+    );
     let t = std::time::Instant::now();
     for _ in 0..20 {
         tlc::execute(&db, &plain).unwrap();

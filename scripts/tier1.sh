@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything CI gates on. Runs fully offline — the
+# workspace has zero external dependencies by design (see DESIGN.md §7).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo fmt --check

@@ -11,9 +11,12 @@
 //! * [`tlc`] — the TLC algebra (the paper's contribution).
 //! * [`baselines`] — the TAX, GTP and navigational competitors.
 //! * [`queries`] — the evaluation query suite and run harness.
+//! * [`service`] — the concurrent query service (plan cache, worker pool,
+//!   deadlines, metrics).
 
 pub use baselines;
 pub use queries;
+pub use service;
 pub use tlc;
 pub use xmark;
 pub use xmldb;

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/baselines-d5566bd29f117f68.d: crates/baselines/src/lib.rs crates/baselines/src/gtp.rs crates/baselines/src/nav.rs crates/baselines/src/tax.rs
+
+/root/repo/target/debug/deps/libbaselines-d5566bd29f117f68.rlib: crates/baselines/src/lib.rs crates/baselines/src/gtp.rs crates/baselines/src/nav.rs crates/baselines/src/tax.rs
+
+/root/repo/target/debug/deps/libbaselines-d5566bd29f117f68.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gtp.rs crates/baselines/src/nav.rs crates/baselines/src/tax.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gtp.rs:
+crates/baselines/src/nav.rs:
+crates/baselines/src/tax.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/baselines-e1040f48ab058807.d: crates/baselines/src/lib.rs crates/baselines/src/gtp.rs crates/baselines/src/nav.rs crates/baselines/src/tax.rs
+
+/root/repo/target/debug/deps/baselines-e1040f48ab058807: crates/baselines/src/lib.rs crates/baselines/src/gtp.rs crates/baselines/src/nav.rs crates/baselines/src/tax.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gtp.rs:
+crates/baselines/src/nav.rs:
+crates/baselines/src/tax.rs:

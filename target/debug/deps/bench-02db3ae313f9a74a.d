@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-02db3ae313f9a74a.d: crates/bench/src/lib.rs crates/bench/src/concurrent.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/bench-02db3ae313f9a74a: crates/bench/src/lib.rs crates/bench/src/concurrent.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/concurrent.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-eea9651c896483ff.d: crates/bench/src/lib.rs crates/bench/src/concurrent.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/libbench-eea9651c896483ff.rlib: crates/bench/src/lib.rs crates/bench/src/concurrent.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/libbench-eea9651c896483ff.rmeta: crates/bench/src/lib.rs crates/bench/src/concurrent.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/concurrent.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-410519ffde5b22d2.d: crates/service/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-410519ffde5b22d2: crates/service/tests/concurrency.rs
+
+crates/service/tests/concurrency.rs:

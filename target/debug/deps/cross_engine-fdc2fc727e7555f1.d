@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_engine-fdc2fc727e7555f1.d: tests/cross_engine.rs
+
+/root/repo/target/debug/deps/cross_engine-fdc2fc727e7555f1: tests/cross_engine.rs
+
+tests/cross_engine.rs:

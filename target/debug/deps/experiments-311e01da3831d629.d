@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-311e01da3831d629.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-311e01da3831d629: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-5a64f814086cad61.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-5a64f814086cad61: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fragment_limits-5ee7e6bfb3d2c24f.d: tests/fragment_limits.rs
+
+/root/repo/target/debug/deps/fragment_limits-5ee7e6bfb3d2c24f: tests/fragment_limits.rs
+
+tests/fragment_limits.rs:

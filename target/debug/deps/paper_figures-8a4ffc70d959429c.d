@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_figures-8a4ffc70d959429c.d: tests/paper_figures.rs
+
+/root/repo/target/debug/deps/paper_figures-8a4ffc70d959429c: tests/paper_figures.rs
+
+tests/paper_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plan_cache-4fa6fa7844692701.d: crates/service/tests/plan_cache.rs
+
+/root/repo/target/debug/deps/plan_cache-4fa6fa7844692701: crates/service/tests/plan_cache.rs
+
+crates/service/tests/plan_cache.rs:

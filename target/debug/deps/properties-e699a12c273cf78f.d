@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e699a12c273cf78f.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e699a12c273cf78f: tests/properties.rs
+
+tests/properties.rs:

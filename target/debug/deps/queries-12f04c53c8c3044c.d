@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/queries-12f04c53c8c3044c.d: crates/queries/src/lib.rs crates/queries/src/suite.rs
+
+/root/repo/target/debug/deps/queries-12f04c53c8c3044c: crates/queries/src/lib.rs crates/queries/src/suite.rs
+
+crates/queries/src/lib.rs:
+crates/queries/src/suite.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/queries-d58c20bdaecf395e.d: crates/queries/src/lib.rs crates/queries/src/suite.rs
+
+/root/repo/target/debug/deps/libqueries-d58c20bdaecf395e.rlib: crates/queries/src/lib.rs crates/queries/src/suite.rs
+
+/root/repo/target/debug/deps/libqueries-d58c20bdaecf395e.rmeta: crates/queries/src/lib.rs crates/queries/src/suite.rs
+
+crates/queries/src/lib.rs:
+crates/queries/src/suite.rs:

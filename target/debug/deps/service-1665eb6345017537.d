@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/service-1665eb6345017537.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/metrics.rs crates/service/src/pool.rs crates/service/src/protocol.rs
+
+/root/repo/target/debug/deps/service-1665eb6345017537: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/metrics.rs crates/service/src/pool.rs crates/service/src/protocol.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/metrics.rs:
+crates/service/src/pool.rs:
+crates/service/src/protocol.rs:

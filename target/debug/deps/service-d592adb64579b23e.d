@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/service-d592adb64579b23e.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/metrics.rs crates/service/src/pool.rs crates/service/src/protocol.rs
+
+/root/repo/target/debug/deps/libservice-d592adb64579b23e.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/metrics.rs crates/service/src/pool.rs crates/service/src/protocol.rs
+
+/root/repo/target/debug/deps/libservice-d592adb64579b23e.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/metrics.rs crates/service/src/pool.rs crates/service/src/protocol.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/metrics.rs:
+crates/service/src/pool.rs:
+crates/service/src/protocol.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tlc_serve-8c52ec169ac92bd0.d: crates/service/src/bin/tlc_serve.rs
+
+/root/repo/target/debug/deps/tlc_serve-8c52ec169ac92bd0: crates/service/src/bin/tlc_serve.rs
+
+crates/service/src/bin/tlc_serve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tlc_serve-ad8588f8289b90a0.d: crates/service/src/bin/tlc_serve.rs
+
+/root/repo/target/debug/deps/tlc_serve-ad8588f8289b90a0: crates/service/src/bin/tlc_serve.rs
+
+crates/service/src/bin/tlc_serve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tlc_shell-7a909ab2aef4cade.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/tlc_shell-7a909ab2aef4cade: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tlc_shell-e07330f52678a32d.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/tlc_shell-e07330f52678a32d: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

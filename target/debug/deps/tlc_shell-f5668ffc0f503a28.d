@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tlc_shell-f5668ffc0f503a28.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/tlc_shell-f5668ffc0f503a28: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tlc_xml-00cfc8e5ae935742.d: src/lib.rs
+
+/root/repo/target/debug/deps/tlc_xml-00cfc8e5ae935742: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tlc_xml-bd72f32d01f50176.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtlc_xml-bd72f32d01f50176.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtlc_xml-bd72f32d01f50176.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tooling-0f3867d9462165bf.d: tests/tooling.rs
+
+/root/repo/target/debug/deps/tooling-0f3867d9462165bf: tests/tooling.rs
+
+tests/tooling.rs:

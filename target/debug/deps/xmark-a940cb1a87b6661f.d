@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xmark-a940cb1a87b6661f.d: crates/xmark/src/lib.rs crates/xmark/src/gen.rs crates/xmark/src/rng.rs crates/xmark/src/schema.rs crates/xmark/src/words.rs
+
+/root/repo/target/debug/deps/xmark-a940cb1a87b6661f: crates/xmark/src/lib.rs crates/xmark/src/gen.rs crates/xmark/src/rng.rs crates/xmark/src/schema.rs crates/xmark/src/words.rs
+
+crates/xmark/src/lib.rs:
+crates/xmark/src/gen.rs:
+crates/xmark/src/rng.rs:
+crates/xmark/src/schema.rs:
+crates/xmark/src/words.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xmark-e77c15deebdcaf5a.d: crates/xmark/src/lib.rs crates/xmark/src/gen.rs crates/xmark/src/rng.rs crates/xmark/src/schema.rs crates/xmark/src/words.rs
+
+/root/repo/target/debug/deps/libxmark-e77c15deebdcaf5a.rlib: crates/xmark/src/lib.rs crates/xmark/src/gen.rs crates/xmark/src/rng.rs crates/xmark/src/schema.rs crates/xmark/src/words.rs
+
+/root/repo/target/debug/deps/libxmark-e77c15deebdcaf5a.rmeta: crates/xmark/src/lib.rs crates/xmark/src/gen.rs crates/xmark/src/rng.rs crates/xmark/src/schema.rs crates/xmark/src/words.rs
+
+crates/xmark/src/lib.rs:
+crates/xmark/src/gen.rs:
+crates/xmark/src/rng.rs:
+crates/xmark/src/schema.rs:
+crates/xmark/src/words.rs:

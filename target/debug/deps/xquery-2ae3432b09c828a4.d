@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xquery-2ae3432b09c828a4.d: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/lexer.rs crates/xquery/src/parser.rs crates/xquery/src/pretty.rs
+
+/root/repo/target/debug/deps/libxquery-2ae3432b09c828a4.rlib: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/lexer.rs crates/xquery/src/parser.rs crates/xquery/src/pretty.rs
+
+/root/repo/target/debug/deps/libxquery-2ae3432b09c828a4.rmeta: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/lexer.rs crates/xquery/src/parser.rs crates/xquery/src/pretty.rs
+
+crates/xquery/src/lib.rs:
+crates/xquery/src/ast.rs:
+crates/xquery/src/lexer.rs:
+crates/xquery/src/parser.rs:
+crates/xquery/src/pretty.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xquery-b6c0d74c28318ed3.d: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/lexer.rs crates/xquery/src/parser.rs crates/xquery/src/pretty.rs
+
+/root/repo/target/debug/deps/xquery-b6c0d74c28318ed3: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/lexer.rs crates/xquery/src/parser.rs crates/xquery/src/pretty.rs
+
+crates/xquery/src/lib.rs:
+crates/xquery/src/ast.rs:
+crates/xquery/src/lexer.rs:
+crates/xquery/src/parser.rs:
+crates/xquery/src/pretty.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/auction_analytics-9f93b5ddf691b6aa.d: examples/auction_analytics.rs
+
+/root/repo/target/debug/examples/auction_analytics-9f93b5ddf691b6aa: examples/auction_analytics.rs
+
+examples/auction_analytics.rs:

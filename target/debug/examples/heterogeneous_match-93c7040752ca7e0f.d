@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heterogeneous_match-93c7040752ca7e0f.d: examples/heterogeneous_match.rs
+
+/root/repo/target/debug/examples/heterogeneous_match-93c7040752ca7e0f: examples/heterogeneous_match.rs
+
+examples/heterogeneous_match.rs:

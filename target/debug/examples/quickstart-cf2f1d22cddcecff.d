@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cf2f1d22cddcecff.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cf2f1d22cddcecff: examples/quickstart.rs
+
+examples/quickstart.rs:

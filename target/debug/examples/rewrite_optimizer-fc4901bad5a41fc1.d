@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rewrite_optimizer-fc4901bad5a41fc1.d: examples/rewrite_optimizer.rs
+
+/root/repo/target/debug/examples/rewrite_optimizer-fc4901bad5a41fc1: examples/rewrite_optimizer.rs
+
+examples/rewrite_optimizer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/baselines-6e81b815bfe13358.d: crates/baselines/src/lib.rs crates/baselines/src/gtp.rs crates/baselines/src/nav.rs crates/baselines/src/tax.rs
+
+/root/repo/target/release/deps/libbaselines-6e81b815bfe13358.rlib: crates/baselines/src/lib.rs crates/baselines/src/gtp.rs crates/baselines/src/nav.rs crates/baselines/src/tax.rs
+
+/root/repo/target/release/deps/libbaselines-6e81b815bfe13358.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gtp.rs crates/baselines/src/nav.rs crates/baselines/src/tax.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gtp.rs:
+crates/baselines/src/nav.rs:
+crates/baselines/src/tax.rs:

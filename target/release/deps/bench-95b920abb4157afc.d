@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-95b920abb4157afc.d: crates/bench/src/lib.rs crates/bench/src/concurrent.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/libbench-95b920abb4157afc.rlib: crates/bench/src/lib.rs crates/bench/src/concurrent.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/libbench-95b920abb4157afc.rmeta: crates/bench/src/lib.rs crates/bench/src/concurrent.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/concurrent.rs:
+crates/bench/src/micro.rs:

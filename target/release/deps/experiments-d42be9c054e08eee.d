@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-d42be9c054e08eee.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-d42be9c054e08eee: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

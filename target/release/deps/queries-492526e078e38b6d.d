@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/queries-492526e078e38b6d.d: crates/queries/src/lib.rs crates/queries/src/suite.rs
+
+/root/repo/target/release/deps/libqueries-492526e078e38b6d.rlib: crates/queries/src/lib.rs crates/queries/src/suite.rs
+
+/root/repo/target/release/deps/libqueries-492526e078e38b6d.rmeta: crates/queries/src/lib.rs crates/queries/src/suite.rs
+
+crates/queries/src/lib.rs:
+crates/queries/src/suite.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/service-bc79ce037bf2b525.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/metrics.rs crates/service/src/pool.rs crates/service/src/protocol.rs
+
+/root/repo/target/release/deps/libservice-bc79ce037bf2b525.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/metrics.rs crates/service/src/pool.rs crates/service/src/protocol.rs
+
+/root/repo/target/release/deps/libservice-bc79ce037bf2b525.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/metrics.rs crates/service/src/pool.rs crates/service/src/protocol.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/metrics.rs:
+crates/service/src/pool.rs:
+crates/service/src/protocol.rs:

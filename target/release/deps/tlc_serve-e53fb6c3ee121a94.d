@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tlc_serve-e53fb6c3ee121a94.d: crates/service/src/bin/tlc_serve.rs
+
+/root/repo/target/release/deps/tlc_serve-e53fb6c3ee121a94: crates/service/src/bin/tlc_serve.rs
+
+crates/service/src/bin/tlc_serve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tlc_shell-5edaae60bb9bda80.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/tlc_shell-5edaae60bb9bda80: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tlc_xml-3fb5fb8c933017ed.d: src/lib.rs
+
+/root/repo/target/release/deps/libtlc_xml-3fb5fb8c933017ed.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtlc_xml-3fb5fb8c933017ed.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xmark-75c47f3c369bf20c.d: crates/xmark/src/lib.rs crates/xmark/src/gen.rs crates/xmark/src/rng.rs crates/xmark/src/schema.rs crates/xmark/src/words.rs
+
+/root/repo/target/release/deps/libxmark-75c47f3c369bf20c.rlib: crates/xmark/src/lib.rs crates/xmark/src/gen.rs crates/xmark/src/rng.rs crates/xmark/src/schema.rs crates/xmark/src/words.rs
+
+/root/repo/target/release/deps/libxmark-75c47f3c369bf20c.rmeta: crates/xmark/src/lib.rs crates/xmark/src/gen.rs crates/xmark/src/rng.rs crates/xmark/src/schema.rs crates/xmark/src/words.rs
+
+crates/xmark/src/lib.rs:
+crates/xmark/src/gen.rs:
+crates/xmark/src/rng.rs:
+crates/xmark/src/schema.rs:
+crates/xmark/src/words.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xquery-f99011d94b4b167c.d: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/lexer.rs crates/xquery/src/parser.rs crates/xquery/src/pretty.rs
+
+/root/repo/target/release/deps/libxquery-f99011d94b4b167c.rlib: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/lexer.rs crates/xquery/src/parser.rs crates/xquery/src/pretty.rs
+
+/root/repo/target/release/deps/libxquery-f99011d94b4b167c.rmeta: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/lexer.rs crates/xquery/src/parser.rs crates/xquery/src/pretty.rs
+
+crates/xquery/src/lib.rs:
+crates/xquery/src/ast.rs:
+crates/xquery/src/lexer.rs:
+crates/xquery/src/parser.rs:
+crates/xquery/src/pretty.rs:

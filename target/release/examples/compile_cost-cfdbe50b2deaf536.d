@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/compile_cost-cfdbe50b2deaf536.d: crates/bench/examples/compile_cost.rs
+
+/root/repo/target/release/examples/compile_cost-cfdbe50b2deaf536: crates/bench/examples/compile_cost.rs
+
+crates/bench/examples/compile_cost.rs:

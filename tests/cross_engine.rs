@@ -25,13 +25,7 @@ fn all_queries_agree_across_all_engines() {
         for engine in [Engine::TlcOpt, Engine::TlcCosted, Engine::Gtp, Engine::Tax, Engine::Nav] {
             let out = run_query(&db, q.name, engine)
                 .unwrap_or_else(|e| panic!("{} failed on {}: {e}", engine.name(), q.name));
-            assert_eq!(
-                out,
-                reference,
-                "{} disagrees with TLC on {}",
-                engine.name(),
-                q.name
-            );
+            assert_eq!(out, reference, "{} disagrees with TLC on {}", engine.name(), q.name);
         }
         checked += 1;
     }

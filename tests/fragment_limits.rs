@@ -21,10 +21,10 @@ fn db() -> xmldb::Database {
 #[test]
 fn all_aggregate_functions_work() {
     let db = db();
-    for (f, expected) in [("count", "2"), ("min", "30"), ("max", "45"), ("sum", "75"), ("avg", "37.5")] {
-        let q = format!(
-            r#"FOR $s IN document("auction.xml")/site RETURN <v>{{{f}($s//age)}}</v>"#
-        );
+    for (f, expected) in
+        [("count", "2"), ("min", "30"), ("max", "45"), ("sum", "75"), ("avg", "37.5")]
+    {
+        let q = format!(r#"FOR $s IN document("auction.xml")/site RETURN <v>{{{f}($s//age)}}</v>"#);
         let plan = tlc::compile(&q, &db).unwrap_or_else(|e| panic!("{f}: {e}"));
         let out = tlc::execute_to_string(&db, &plan).unwrap();
         assert_eq!(out, format!("<v>{expected}</v>"), "{f}");

@@ -1,8 +1,8 @@
 //! Worked examples from the paper's figures, reproduced end-to-end
 //! (experiment E4 of DESIGN.md).
 
-use tlc_xml::{tlc, xmark, xmldb};
 use tlc::{LclId, MSpec, Plan};
+use tlc_xml::{tlc, xmark, xmldb};
 use xmldb::AxisRel;
 
 /// Figure 4: one APT with `-`/`?`/`+` edges over the two sample input trees
@@ -85,8 +85,8 @@ fn figure_8_q2_plan_structure() {
 /// E/A clusters under B flattens in two steps to four single-pair trees.
 #[test]
 fn figure_9_flatten_example() {
-    use tlc::tree::{RSource, ResultTree};
     use tlc::ops::flatten;
+    use tlc::tree::{RSource, ResultTree};
     use xmldb::{DocId, NodeId};
 
     let base = |pre| RSource::Base(NodeId::new(DocId(0), pre));

@@ -1,12 +1,32 @@
-//! Property-based tests on the core data structures and invariants.
+//! Property-style tests on the core data structures and invariants.
+//!
+//! Each test runs a fixed number of cases over pseudo-random inputs drawn
+//! from a seeded in-tree generator, so the suite is fully deterministic and
+//! needs no external property-testing crate.
 
-use proptest::prelude::*;
-use tlc_xml::{tlc, xmldb};
+use tlc_xml::{tlc, xmark, xmldb};
 use xmldb::{Database, DocumentBuilder, TagInterner};
 
 // ---------------------------------------------------------------------
-// Random document generation
+// Deterministic random generation
 // ---------------------------------------------------------------------
+
+/// Splitmix64; one instance per test, seeded per test, so cases are stable.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
 
 /// A recipe for a small random XML tree.
 #[derive(Debug, Clone)]
@@ -15,15 +35,27 @@ enum Node {
     Inner(u8, Vec<Node>),
 }
 
-fn arb_node(depth: u32) -> impl Strategy<Value = Node> {
-    let leaf = (0u8..6, "[a-z0-9]{0,6}").prop_map(|(t, s)| Node::Leaf(t, s));
-    leaf.prop_recursive(depth, 24, 4, |inner| {
-        (0u8..6, prop::collection::vec(inner, 0..4)).prop_map(|(t, c)| Node::Inner(t, c))
-    })
-}
-
 fn tags() -> [&'static str; 6] {
     ["a", "b", "c", "d", "e", "f"]
+}
+
+/// Random tree of depth ≤ `depth`: biased toward inner nodes near the root
+/// so trees have structure, leaves carry short alphanumeric text.
+fn arb_node(rng: &mut Rng, depth: u32) -> Node {
+    let tag = rng.below(6) as u8;
+    if depth == 0 || rng.below(3) == 0 {
+        let len = rng.below(7);
+        let text: String = (0..len)
+            .map(|_| {
+                let alphabet = b"abcdefghijklmnopqrstuvwxyz0123456789";
+                alphabet[rng.below(alphabet.len())] as char
+            })
+            .collect();
+        Node::Leaf(tag, text)
+    } else {
+        let children = (0..rng.below(4)).map(|_| arb_node(rng, depth - 1)).collect();
+        Node::Inner(tag, children)
+    }
 }
 
 fn build(node: &Node, b: &mut DocumentBuilder, i: &TagInterner) {
@@ -52,32 +84,47 @@ fn db_from(node: &Node) -> Database {
     db
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The pre-order arena invariants hold for arbitrary trees.
-    #[test]
-    fn document_invariants(node in arb_node(4)) {
+/// Runs `check` on `cases` random documents generated from `seed`.
+fn for_random_docs(seed: u64, cases: usize, depth: u32, check: impl Fn(&Database)) {
+    let mut rng = Rng(seed);
+    for case in 0..cases {
+        let node = arb_node(&mut rng, depth);
         let db = db_from(&node);
-        db.document(xmldb::DocId(0)).check_invariants().unwrap();
+        // The case index in the message makes failures reproducible.
+        let _ = case;
+        check(&db);
     }
+}
 
-    /// Serialize → parse → serialize is a fixpoint.
-    #[test]
-    fn serialization_round_trip(node in arb_node(4)) {
-        let db = db_from(&node);
-        let first = xmldb::serialize::serialize_subtree(&db, db.root(xmldb::DocId(0)));
+// ---------------------------------------------------------------------
+// Store invariants
+// ---------------------------------------------------------------------
+
+/// The pre-order arena invariants hold for arbitrary trees.
+#[test]
+fn document_invariants() {
+    for_random_docs(0xD0C_0001, 64, 4, |db| {
+        db.document(xmldb::DocId(0)).check_invariants().unwrap();
+    });
+}
+
+/// Serialize → parse → serialize is a fixpoint.
+#[test]
+fn serialization_round_trip() {
+    for_random_docs(0xD0C_0002, 64, 4, |db| {
+        let first = xmldb::serialize::serialize_subtree(db, db.root(xmldb::DocId(0)));
         let mut db2 = Database::new();
         let d2 = db2.load_xml("t.xml", &first).unwrap();
         let second = xmldb::serialize::serialize_subtree(&db2, db2.root(d2));
-        prop_assert_eq!(first, second);
-    }
+        assert_eq!(first, second);
+    });
+}
 
-    /// The interval ancestor test agrees with parent-link navigation for
-    /// every node pair.
-    #[test]
-    fn interval_encoding_matches_navigation(node in arb_node(3)) {
-        let db = db_from(&node);
+/// The interval ancestor test agrees with parent-link navigation for every
+/// node pair.
+#[test]
+fn interval_encoding_matches_navigation() {
+    for_random_docs(0xD0C_0003, 48, 3, |db| {
         let doc = db.document(xmldb::DocId(0));
         let n = doc.len() as u32;
         for a in 0..n {
@@ -86,40 +133,44 @@ proptest! {
                     let mut cur = doc.parent(d);
                     let mut found = false;
                     while let Some(p) = cur {
-                        if p == a { found = true; break; }
+                        if p == a {
+                            found = true;
+                            break;
+                        }
                         cur = doc.parent(p);
                     }
                     found
                 };
-                prop_assert_eq!(doc.is_ancestor(a, d), nav);
+                assert_eq!(doc.is_ancestor(a, d), nav);
             }
         }
-    }
+    });
+}
 
-    /// The tag index lists exactly the nodes a full scan finds, in order.
-    #[test]
-    fn tag_index_is_complete_and_ordered(node in arb_node(4)) {
-        let db = db_from(&node);
+/// The tag index lists exactly the nodes a full scan finds, in order.
+#[test]
+fn tag_index_is_complete_and_ordered() {
+    for_random_docs(0xD0C_0004, 64, 4, |db| {
         let doc = db.document(xmldb::DocId(0));
         for t in tags() {
             let indexed = db.nodes_with_tag(t);
-            prop_assert!(indexed.windows(2).all(|w| w[0] < w[1]));
+            assert!(indexed.windows(2).all(|w| w[0] < w[1]));
             let Some(tag) = db.interner().lookup(t) else { continue };
-            let scanned: Vec<u32> = (0..doc.len() as u32)
-                .filter(|&p| doc.record(p).tag == tag)
-                .collect();
+            let scanned: Vec<u32> =
+                (0..doc.len() as u32).filter(|&p| doc.record(p).tag == tag).collect();
             let indexed_pres: Vec<u32> = indexed.iter().map(|n| n.pre).collect();
-            prop_assert_eq!(indexed_pres, scanned);
+            assert_eq!(indexed_pres, scanned);
         }
-    }
+    });
+}
 
-    /// Structural join output equals the naive nested-loop result.
-    #[test]
-    fn structural_join_matches_nested_loop(node in arb_node(4)) {
-        use tlc::physical::structural::{inodes, structural_join};
-        let db = db_from(&node);
-        let a = inodes(&db, db.nodes_with_tag("a"));
-        let b = inodes(&db, db.nodes_with_tag("b"));
+/// Structural join output equals the naive nested-loop result.
+#[test]
+fn structural_join_matches_nested_loop() {
+    use tlc::physical::structural::{inodes, structural_join};
+    for_random_docs(0xD0C_0005, 64, 4, |db| {
+        let a = inodes(db, db.nodes_with_tag("a"));
+        let b = inodes(db, db.nodes_with_tag("b"));
         for axis in [xmldb::AxisRel::Child, xmldb::AxisRel::Descendant] {
             let fast = structural_join(&a, &b, axis);
             let mut naive = Vec::new();
@@ -132,57 +183,65 @@ proptest! {
             }
             let mut fast_sorted = fast.clone();
             fast_sorted.sort_unstable();
-            prop_assert_eq!(fast_sorted, naive);
+            assert_eq!(fast_sorted, naive);
         }
-    }
+    });
+}
 
-    /// A descendant-axis pattern match finds exactly the nodes the tag
-    /// index holds (the `//tag` ≡ index-scan equivalence).
-    #[test]
-    fn descendant_match_equals_index(node in arb_node(4)) {
-        let db = db_from(&node);
-        let Some(tag) = db.interner().lookup("c") else { return Ok(()) };
+/// A descendant-axis pattern match finds exactly the nodes the tag index
+/// holds (the `//tag` ≡ index-scan equivalence).
+#[test]
+fn descendant_match_equals_index() {
+    for_random_docs(0xD0C_0006, 64, 4, |db| {
+        let Some(tag) = db.interner().lookup("c") else { return };
         let mut apt = tlc::Apt::for_document("t.xml", tlc::LclId(1));
         apt.add(None, xmldb::AxisRel::Descendant, tlc::MSpec::One, tag, None, tlc::LclId(2));
-        let (trees, _) = tlc::execute(&db, &tlc::Plan::Select { input: None, apt }).unwrap();
-        prop_assert_eq!(trees.len(), db.nodes_with_tag("c").len());
-    }
+        let (trees, _) = tlc::execute(db, &tlc::Plan::Select { input: None, apt }).unwrap();
+        assert_eq!(trees.len(), db.nodes_with_tag("c").len());
+    });
+}
 
-    /// Flatten then count: the fanned-out trees partition the cluster.
-    #[test]
-    fn flatten_partitions_clusters(node in arb_node(4)) {
-        let db = db_from(&node);
+/// Flatten then count: the fanned-out trees partition the cluster.
+#[test]
+fn flatten_partitions_clusters() {
+    for_random_docs(0xD0C_0007, 64, 4, |db| {
         let a_tag = db.interner().lookup("a");
         let b_tag = db.interner().lookup("b");
-        let (Some(a_tag), Some(b_tag)) = (a_tag, b_tag) else { return Ok(()) };
+        let (Some(a_tag), Some(b_tag)) = (a_tag, b_tag) else { return };
         let mut apt = tlc::Apt::for_document("t.xml", tlc::LclId(1));
-        let a = apt.add(None, xmldb::AxisRel::Descendant, tlc::MSpec::One, a_tag, None, tlc::LclId(2));
+        let a =
+            apt.add(None, xmldb::AxisRel::Descendant, tlc::MSpec::One, a_tag, None, tlc::LclId(2));
         apt.add(Some(a), xmldb::AxisRel::Child, tlc::MSpec::Star, b_tag, None, tlc::LclId(3));
         let select = tlc::Plan::Select { input: None, apt };
-        let (clustered, _) = tlc::execute(&db, &select).unwrap();
+        let (clustered, _) = tlc::execute(db, &select).unwrap();
         let total: usize = clustered.iter().map(|t| t.members(tlc::LclId(3)).len()).sum();
         let flat_plan = tlc::Plan::Flatten {
             input: Box::new(select),
             parent: tlc::LclId(2),
             child: tlc::LclId(3),
         };
-        let (flat, _) = tlc::execute(&db, &flat_plan).unwrap();
-        prop_assert_eq!(flat.len(), total, "one flattened tree per cluster member");
-        prop_assert!(flat.iter().all(|t| t.members(tlc::LclId(3)).len() == 1));
-    }
+        let (flat, _) = tlc::execute(db, &flat_plan).unwrap();
+        assert_eq!(flat.len(), total, "one flattened tree per cluster member");
+        assert!(flat.iter().all(|t| t.members(tlc::LclId(3)).len() == 1));
+    });
+}
 
-    /// Shadow ∘ Illuminate is the identity on class membership.
-    #[test]
-    fn shadow_illuminate_identity(node in arb_node(4)) {
-        let db = db_from(&node);
-        let (Some(a_tag), Some(b_tag)) =
-            (db.interner().lookup("a"), db.interner().lookup("b")) else { return Ok(()) };
+/// Shadow ∘ Illuminate is the identity on class membership.
+#[test]
+fn shadow_illuminate_identity() {
+    for_random_docs(0xD0C_0008, 64, 4, |db| {
+        let (Some(a_tag), Some(b_tag)) = (db.interner().lookup("a"), db.interner().lookup("b"))
+        else {
+            return;
+        };
         let mut apt = tlc::Apt::for_document("t.xml", tlc::LclId(1));
-        let a = apt.add(None, xmldb::AxisRel::Descendant, tlc::MSpec::One, a_tag, None, tlc::LclId(2));
+        let a =
+            apt.add(None, xmldb::AxisRel::Descendant, tlc::MSpec::One, a_tag, None, tlc::LclId(2));
         apt.add(Some(a), xmldb::AxisRel::Child, tlc::MSpec::Star, b_tag, None, tlc::LclId(3));
         let select = tlc::Plan::Select { input: None, apt };
-        let (before, _) = tlc::execute(&db, &select).unwrap();
-        let member_counts: Vec<usize> = before.iter().map(|t| t.members(tlc::LclId(3)).len()).collect();
+        let (before, _) = tlc::execute(db, &select).unwrap();
+        let member_counts: Vec<usize> =
+            before.iter().map(|t| t.members(tlc::LclId(3)).len()).collect();
         let plan = tlc::Plan::Illuminate {
             input: Box::new(tlc::Plan::Shadow {
                 input: Box::new(select),
@@ -191,30 +250,30 @@ proptest! {
             }),
             lcl: tlc::LclId(3),
         };
-        let (after, _) = tlc::execute(&db, &plan).unwrap();
+        let (after, _) = tlc::execute(db, &plan).unwrap();
         // Shadow fans out per member; after Illuminate every fanned tree has
         // the full membership back.
         let expected: usize = member_counts.iter().sum();
-        prop_assert_eq!(after.len(), expected);
-        let all_full = after
-            .iter()
-            .all(|t| member_counts.contains(&t.members(tlc::LclId(3)).len()));
-        prop_assert!(all_full);
-    }
+        assert_eq!(after.len(), expected);
+        let all_full =
+            after.iter().all(|t| member_counts.contains(&t.members(tlc::LclId(3)).len()));
+        assert!(all_full);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// TwigStack agrees with naive twig evaluation on random documents and
-    /// random twig shapes.
-    #[test]
-    fn twigstack_matches_naive(node in arb_node(4), shape in 0usize..6) {
-        use tlc::physical::twigstack::{twig_join, twig_join_naive, Twig};
-        use xmldb::AxisRel::{Child, Descendant};
+/// TwigStack agrees with naive twig evaluation on random documents and
+/// random twig shapes.
+#[test]
+fn twigstack_matches_naive() {
+    use tlc::physical::twigstack::{twig_join, twig_join_naive, Twig};
+    use xmldb::AxisRel::{Child, Descendant};
+    let mut rng = Rng(0xD0C_0009);
+    for case in 0..96 {
+        let node = arb_node(&mut rng, 4);
         let db = db_from(&node);
         let t = |n: &str| db.interner().intern(n);
         // A few representative twig shapes over the random tag alphabet.
+        let shape = case % 6;
         let twig = match shape {
             0 => {
                 // a//b
@@ -257,7 +316,7 @@ proptest! {
                 w
             }
         };
-        prop_assert_eq!(twig_join(&db, &twig), twig_join_naive(&db, &twig));
+        assert_eq!(twig_join(&db, &twig), twig_join_naive(&db, &twig), "shape {shape}");
     }
 }
 
@@ -267,46 +326,44 @@ proptest! {
 
 /// A tiny random query family: pick a path, an optional predicate, and a
 /// return shape; every engine must agree on the result.
-fn arb_query() -> impl Strategy<Value = String> {
-    let paths = prop::sample::select(vec![
+fn arb_query(rng: &mut Rng) -> String {
+    let paths = [
         ("person", "name"),
         ("person", "emailaddress"),
         ("open_auction", "initial"),
         ("open_auction", "quantity"),
         ("closed_auction", "price"),
         ("item", "location"),
-    ]);
-    let pred = prop::option::of((prop::sample::select(vec![">", "<", "="]), 0u32..300));
-    (paths, pred, prop::bool::ANY).prop_map(|((elem, field), pred, use_count)| {
-        let where_clause = match pred {
-            Some((op, v)) => format!("WHERE $x/{field} {op} {v}"),
-            None => String::new(),
-        };
-        let ret = if use_count {
-            format!("RETURN <n>{{count($x/{field})}}</n>")
-        } else {
-            format!("RETURN $x/{field}")
-        };
-        format!("FOR $x IN document(\"auction.xml\")//{elem} {where_clause} {ret}")
-    })
+    ];
+    let (elem, field) = paths[rng.below(paths.len())];
+    let where_clause = if rng.below(2) == 0 {
+        let op = [">", "<", "="][rng.below(3)];
+        let v = rng.below(300);
+        format!("WHERE $x/{field} {op} {v}")
+    } else {
+        String::new()
+    };
+    let ret = if rng.below(2) == 0 {
+        format!("RETURN <n>{{count($x/{field})}}</n>")
+    } else {
+        format!("RETURN $x/{field}")
+    };
+    format!("FOR $x IN document(\"auction.xml\")//{elem} {where_clause} {ret}")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Engine agreement on random queries over XMark data.
-    #[test]
-    fn engines_agree_on_random_queries(q in arb_query()) {
-        use baselines::Engine;
-        // A small shared database (rebuilt per case keeps cases independent;
-        // the factor keeps it fast).
-        let db = xmark::auction_database(0.001);
+/// Engine agreement on random queries over XMark data.
+#[test]
+fn engines_agree_on_random_queries() {
+    use baselines::Engine;
+    use tlc_xml::baselines;
+    let db = xmark::auction_database(0.001);
+    let mut rng = Rng(0xD0C_000A);
+    for _ in 0..24 {
+        let q = arb_query(&mut rng);
         let reference = baselines::run(Engine::Tlc, &q, &db).unwrap();
         for engine in [Engine::TlcOpt, Engine::Gtp, Engine::Tax, Engine::Nav] {
             let out = baselines::run(engine, &q, &db).unwrap();
-            prop_assert_eq!(&out, &reference, "{} disagrees on {}", engine.name(), q);
+            assert_eq!(out, reference, "{} disagrees on {}", engine.name(), q);
         }
     }
 }
-
-use tlc_xml::xmark;
