@@ -6,6 +6,7 @@
 //! experiments fig17 [--factors F1,F2,...]
 //! experiments stats [--factor F]     # per-engine ExecStats (redundancy metrics)
 //! experiments concurrent [--factor F] [--threads N] [--rounds R]
+//! experiments check [--factor F]     # store invariant check on generated data
 //! experiments all   [--factor F]
 //! ```
 //!
@@ -48,6 +49,7 @@ fn main() {
                 flag_value(&args, "--factor").and_then(|v| v.parse().ok()).unwrap_or(0.0005);
             run_concurrent(factor, threads, rounds);
         }
+        "check" => run_check(factor),
         "all" => {
             run_fig15(factor, budget);
             println!();
@@ -58,7 +60,9 @@ fn main() {
             run_stats(factor);
         }
         other => {
-            eprintln!("unknown command {other:?}; use fig15|fig16|fig17|stats|concurrent|all");
+            eprintln!(
+                "unknown command {other:?}; use fig15|fig16|fig17|stats|concurrent|check|all"
+            );
             std::process::exit(2);
         }
     }
@@ -99,6 +103,22 @@ fn run_concurrent(factor: f64, threads: usize, rounds: usize) {
     );
     let (cached, uncached) = bench::concurrent::cached_vs_uncached(db, threads, rounds);
     print!("{}", bench::concurrent::render_comparison(&cached, &uncached, factor));
+}
+
+/// Generates XMark data at the given factor and runs the full store
+/// invariant check (interval encoding, arena layout, index completeness)
+/// over it. Exits non-zero on corruption.
+fn run_check(factor: f64) {
+    eprintln!("generating XMark factor {factor} ...");
+    let db = setup(factor);
+    eprintln!("database: {} nodes", db.node_count());
+    match xmldb::check_database(&db) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("store check FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// The redundancy metrics behind the timings: per-query, per-engine

@@ -16,6 +16,7 @@
 //! .analyze                      toggle per-operator timings
 //! .bench <name>                 run a Figure 15 workload query by name
 //! .queries                      list the workload queries
+//! .check                        verify store invariants and indexes
 //! .save <file.tlcx>             snapshot the database to disk
 //! .serve <addr>                 share this database over TCP (tlc-serve protocol)
 //! .help  .quit
@@ -217,6 +218,10 @@ impl Shell {
                 },
                 None => println!("usage: .save <file.tlcx>"),
             },
+            ".check" => match xmldb::check_database(&self.db) {
+                Ok(report) => println!("{report}"),
+                Err(e) => println!("error: {e}"),
+            },
             ".queries" => {
                 for q in queries::all_queries() {
                     println!("{:<6} {}", q.name, q.comment);
@@ -238,6 +243,7 @@ impl Shell {
                      .analyze                      toggle per-operator timings\n\
                      .bench <name>                 run a workload query\n\
                      .queries                      list workload queries\n\
+                     .check                        verify store invariants and indexes\n\
                      .save <file.tlcx>             snapshot the database\n\
                      .serve <host:port>            share this database over TCP\n\
                      .quit                         leave"

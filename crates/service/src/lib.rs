@@ -229,6 +229,10 @@ impl Service {
         let plan = Arc::new(
             baselines::plan_for(self.engine, query, &self.db).map_err(ServiceError::Compile)?,
         );
+        // Gate the cache behind the static LC dataflow analysis: a plan that
+        // fails verification would be served to every later request for the
+        // same text, so a poisoned plan must never enter the LRU.
+        tlc::analyze::verify(&plan).map_err(|e| ServiceError::Compile(tlc::Error::Analyze(e)))?;
         let evictions = self.cache.lock().unwrap().insert(&normalized, Arc::clone(&plan));
         self.metrics.record_cache(false, evictions);
         Ok((PlanHandle { normalized: normalized.into(), plan }, false))
@@ -322,18 +326,21 @@ impl Service {
         let reply = rx.recv().map_err(|_| ServiceError::ShuttingDown)?;
         let total_time = admitted.elapsed();
         match reply {
-            Reply::Done(Ok((output, stats))) => {
+            Reply::Done { value: Ok((output, stats)), queue_wait } => {
+                self.metrics.record_queue_wait(queue_wait);
                 self.metrics.record_request(&label, total_time, &stats);
                 Ok(Response { output, stats, cache_hit, total_time })
             }
-            Reply::Done(Err(e)) => {
+            Reply::Done { value: Err(e), queue_wait } => {
+                self.metrics.record_queue_wait(queue_wait);
                 self.metrics.record_outcome(match e {
                     ServiceError::DeadlineExceeded => Outcome::Deadline,
                     _ => Outcome::Error,
                 });
                 Err(e)
             }
-            Reply::ExpiredInQueue => {
+            Reply::ExpiredInQueue { queue_wait } => {
+                self.metrics.record_queue_wait(queue_wait);
                 self.metrics.record_outcome(Outcome::Deadline);
                 Err(ServiceError::DeadlineExceeded)
             }
@@ -442,8 +449,10 @@ mod tests {
         svc.execute(Q).unwrap();
         let report = svc.metrics_report();
         assert!(report.contains("50.0% hit rate"), "{report}");
+        assert!(report.contains("queue wait: count=2"), "{report}");
         let snap = svc.metrics_snapshot();
         assert_eq!(snap.ok, 2);
         assert!(snap.exec.pattern_matches > 0);
+        assert_eq!(snap.queue_wait.count(), 2);
     }
 }

@@ -122,6 +122,7 @@ struct QueryEntry {
 #[derive(Debug, Default)]
 struct Inner {
     latency: Histogram,
+    queue_wait: Histogram,
     per_query: HashMap<Box<str>, QueryEntry>,
     exec: ExecStats,
     ok: u64,
@@ -173,6 +174,14 @@ impl Metrics {
         }
     }
 
+    /// Records one request's submit→dequeue wait in the worker queue. Kept
+    /// separate from [`Metrics::record_request`] because queue time is also
+    /// measured for requests that never execute (deadline-expired in queue,
+    /// failed execution) — queue pressure must count every admitted request.
+    pub fn record_queue_wait(&self, wait: Duration) {
+        self.inner.lock().unwrap().queue_wait.record(wait);
+    }
+
     /// Records plan-cache traffic (`evictions` is the delta, not a total).
     pub fn record_cache(&self, hit: bool, evictions: u64) {
         let mut m = self.inner.lock().unwrap();
@@ -189,6 +198,7 @@ impl Metrics {
         let m = self.inner.lock().unwrap();
         Snapshot {
             latency: m.latency.clone(),
+            queue_wait: m.queue_wait.clone(),
             exec: m.exec,
             ok: m.ok,
             deadline: m.deadline,
@@ -224,6 +234,14 @@ impl Metrics {
             m.latency.quantile(0.50),
             m.latency.quantile(0.95),
             m.latency.max()
+        ));
+        out.push_str(&format!(
+            "queue wait: count={} mean={:?} p50={:?} p95={:?} max={:?}\n",
+            m.queue_wait.count(),
+            m.queue_wait.mean(),
+            m.queue_wait.quantile(0.50),
+            m.queue_wait.quantile(0.95),
+            m.queue_wait.max()
         ));
         let e = &m.exec;
         out.push_str(&format!(
@@ -266,6 +284,10 @@ impl Metrics {
 pub struct Snapshot {
     /// Aggregate latency histogram.
     pub latency: Histogram,
+    /// Submit→dequeue wait histogram (queue pressure, separate from
+    /// execution latency; counts every admitted request, including those
+    /// that expired in the queue).
+    pub queue_wait: Histogram,
     /// Rolled-up executor counters.
     pub exec: ExecStats,
     /// Requests that produced a result.

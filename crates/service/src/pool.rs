@@ -19,23 +19,35 @@
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// A unit of queued work: a closure producing a `T`, the reply slot, and
-/// the request's absolute deadline (checked again at dequeue).
+/// A unit of queued work: a closure producing a `T`, the reply slot, the
+/// request's absolute deadline (checked again at dequeue), and the admission
+/// timestamp the queue-wait measurement is taken from.
 struct Job<T> {
     deadline: Option<Instant>,
+    submitted: Instant,
     work: Box<dyn FnOnce() -> T + Send>,
     reply: SyncSender<Reply<T>>,
 }
 
-/// What the worker sends back.
+/// What the worker sends back. Every reply carries the measured
+/// submit→dequeue wait, so the service can report queue pressure separately
+/// from execution latency.
 pub enum Reply<T> {
     /// The closure's result.
-    Done(T),
+    Done {
+        /// The closure's return value.
+        value: T,
+        /// How long the job sat in the queue before a worker picked it up.
+        queue_wait: Duration,
+    },
     /// The deadline had already passed when the job was dequeued; the
     /// closure never ran.
-    ExpiredInQueue,
+    ExpiredInQueue {
+        /// How long the job sat in the queue before expiry was noticed.
+        queue_wait: Duration,
+    },
 }
 
 /// Why a submission failed.
@@ -79,7 +91,7 @@ impl<T: Send + 'static> Pool<T> {
         work: Box<dyn FnOnce() -> T + Send>,
     ) -> Result<Receiver<Reply<T>>, SubmitError> {
         let (reply_tx, reply_rx) = sync_channel(1);
-        let job = Job { deadline, work, reply: reply_tx };
+        let job = Job { deadline, submitted: Instant::now(), work, reply: reply_tx };
         match self.tx.as_ref().expect("pool alive").try_send(job) {
             Ok(()) => Ok(reply_rx),
             Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
@@ -109,9 +121,10 @@ fn worker_loop<T>(rx: Arc<Mutex<Receiver<Job<T>>>>) {
             Ok(j) => j,
             Err(_) => return, // channel closed: shut down
         };
+        let queue_wait = job.submitted.elapsed();
         let reply = match job.deadline {
-            Some(d) if Instant::now() >= d => Reply::ExpiredInQueue,
-            _ => Reply::Done((job.work)()),
+            Some(d) if Instant::now() >= d => Reply::ExpiredInQueue { queue_wait },
+            _ => Reply::Done { value: (job.work)(), queue_wait },
         };
         // The requester may have given up (e.g. its own recv timeout);
         // a dead reply channel is not a worker error.
@@ -129,8 +142,11 @@ mod tests {
         let pool: Pool<i32> = Pool::new(2, 8);
         let rx = pool.submit(None, Box::new(|| 40 + 2)).unwrap();
         match rx.recv().unwrap() {
-            Reply::Done(v) => assert_eq!(v, 42),
-            Reply::ExpiredInQueue => panic!("no deadline was set"),
+            Reply::Done { value, queue_wait } => {
+                assert_eq!(value, 42);
+                assert!(queue_wait < Duration::from_secs(5));
+            }
+            Reply::ExpiredInQueue { .. } => panic!("no deadline was set"),
         }
     }
 
@@ -161,7 +177,7 @@ mod tests {
         let pool: Pool<i32> = Pool::new(1, 4);
         let past = Instant::now() - Duration::from_millis(1);
         let rx = pool.submit(Some(past), Box::new(|| panic!("must not run"))).unwrap();
-        assert!(matches!(rx.recv().unwrap(), Reply::ExpiredInQueue));
+        assert!(matches!(rx.recv().unwrap(), Reply::ExpiredInQueue { .. }));
     }
 
     #[test]
@@ -172,9 +188,26 @@ mod tests {
         drop(pool); // drains the queue, joins the threads
         for (i, rx) in receivers.into_iter().enumerate() {
             match rx.recv().unwrap() {
-                Reply::Done(v) => assert_eq!(v, i as u64),
-                Reply::ExpiredInQueue => panic!("no deadline"),
+                Reply::Done { value, .. } => assert_eq!(value, i as u64),
+                Reply::ExpiredInQueue { .. } => panic!("no deadline"),
             }
+        }
+    }
+
+    #[test]
+    fn queue_wait_reflects_time_spent_queued() {
+        // One busy worker: the second job must wait for the first to finish,
+        // and its reported queue wait must cover that delay.
+        let pool: Pool<()> = Pool::new(1, 4);
+        let _busy =
+            pool.submit(None, Box::new(|| std::thread::sleep(Duration::from_millis(60)))).unwrap();
+        std::thread::sleep(Duration::from_millis(10)); // let the worker pick it up
+        let rx = pool.submit(None, Box::new(|| ())).unwrap();
+        match rx.recv().unwrap() {
+            Reply::Done { queue_wait, .. } => {
+                assert!(queue_wait >= Duration::from_millis(30), "waited only {queue_wait:?}");
+            }
+            Reply::ExpiredInQueue { .. } => panic!("no deadline"),
         }
     }
 }

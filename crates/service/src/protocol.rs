@@ -41,7 +41,7 @@ pub fn write_ok(w: &mut impl Write, payload: &str) -> io::Result<()> {
 pub fn write_err(w: &mut impl Write, message: &str) -> io::Result<()> {
     let flat: String =
         message.chars().map(|c| if c == '\n' || c == '\r' { ' ' } else { c }).collect();
-    write!(w, "ERR {flat}\n")?;
+    writeln!(w, "ERR {flat}")?;
     w.flush()
 }
 

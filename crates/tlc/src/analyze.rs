@@ -1,0 +1,728 @@
+//! Static LC dataflow analysis over [`Plan`]s.
+//!
+//! The paper's central discipline (§2.2, Definition 4) is that every
+//! operator refers to nodes *exclusively* through logical class labels. That
+//! makes plan well-formedness statically decidable: walking a plan bottom-up
+//! we can infer, for every operator, the set of classes its output trees
+//! carry, and check each operator's references against what its input
+//! actually produces. A reference to a class that is never produced — or
+//! that a Project dropped, a Join put on the wrong side, or a Union branch
+//! forgot — is a *compile-time* bug, not a silent empty result at runtime.
+//!
+//! [`analyze`] infers a [`PlanType`]: the available classes with their
+//! per-tree cardinality (derived from the APT matching specifications) and
+//! the plan's output ordering. [`verify`] is the boolean form. Three places
+//! run it:
+//!
+//! * [`crate::translate`] verifies every freshly compiled plan;
+//! * [`crate::rewrite::optimize`] re-verifies after *every individual
+//!   rewrite pass* (the differential rewrite oracle — see
+//!   [`crate::rewrite::optimize_verified`]);
+//! * the service layer checks plans before they enter its cache.
+//!
+//! The analysis is deliberately *permissive where the executor is*: it
+//! over-approximates the classes surviving a Construct (copied subtrees
+//! carry their members' descendants, whose labels are not statically
+//! known), and it only enforces singleton cardinality where the executor
+//! hard-errors (Flatten/Shadow parents, the grouping key).
+
+use crate::logical_class::LclId;
+use crate::ops::construct::{ConstructItem, ConstructValue};
+use crate::ops::filter::FilterPred;
+use crate::pattern::{Apt, AptRoot, MSpec};
+use crate::plan::Plan;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Per-tree cardinality of a logical class, abstracted from the matching
+/// specifications along its APT path (Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Card {
+    /// Exactly one member per tree (`-` edges all the way down).
+    One,
+    /// Zero or one member per tree (`?` somewhere on the path).
+    Opt,
+    /// Any number of members (`+`/`*` grouping, or a nesting join).
+    Many,
+}
+
+impl Card {
+    /// Cardinality of a child class reached over `edge` from a parent with
+    /// this cardinality.
+    fn step(self, edge: MSpec) -> Card {
+        match (self, edge) {
+            (Card::Many, _) | (_, MSpec::Plus | MSpec::Star) => Card::Many,
+            (c, MSpec::One) => c,
+            (_, MSpec::Opt) => Card::Opt,
+        }
+    }
+
+    /// Least upper bound (used to merge Union branches).
+    fn join(self, other: Card) -> Card {
+        self.max(other)
+    }
+}
+
+/// Output ordering of a plan, tracked informationally alongside the classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Order {
+    /// Trees are in document order of their anchoring base nodes.
+    #[default]
+    Document,
+    /// Trees were explicitly sorted by class values (ORDER BY).
+    Sorted,
+    /// No ordering guarantee (e.g. after a grouping procedure).
+    Unspecified,
+}
+
+/// The inferred type of a plan: which classes its output trees carry.
+#[derive(Debug, Clone, Default)]
+pub struct PlanType {
+    /// Available classes and their per-tree cardinality.
+    pub classes: BTreeMap<LclId, Card>,
+    /// Every label defined anywhere below (a superset of `classes`; Union
+    /// keeps branch-local labels here so fresh labels cannot collide).
+    pub seen: BTreeSet<LclId>,
+    /// The class labelling the root node of every output tree, when it is
+    /// statically known. The root survives every Project (the output must
+    /// stay a tree), so its class is available even when not in `keep`.
+    pub root: Option<LclId>,
+    /// Output ordering.
+    pub order: Order,
+}
+
+impl PlanType {
+    /// Is `lcl` usable by a downstream operator? True for every class in
+    /// [`PlanType::classes`] plus the tree-root class (which survives every
+    /// Project even when not kept explicitly).
+    pub fn available(&self, lcl: LclId) -> bool {
+        self.classes.contains_key(&lcl) || self.root == Some(lcl)
+    }
+
+    fn define(&mut self, op: &'static str, lcl: LclId, card: Card) -> Result<(), AnalyzeError> {
+        if self.seen.contains(&lcl) {
+            return Err(AnalyzeError::DuplicateClass { op, lcl });
+        }
+        self.classes.insert(lcl, card);
+        self.seen.insert(lcl);
+        Ok(())
+    }
+
+    fn require(&self, op: &'static str, lcl: LclId) -> Result<(), AnalyzeError> {
+        if self.available(lcl) {
+            Ok(())
+        } else {
+            Err(AnalyzeError::MissingClass { op, lcl })
+        }
+    }
+}
+
+/// A dataflow violation found by the analyzer. Each variant names the
+/// offending operator and class, so a failure pinpoints the broken edge of
+/// the plan rather than surfacing later as a silently empty result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// `op` references class `lcl`, which its input does not produce.
+    MissingClass {
+        /// The referencing operator.
+        op: &'static str,
+        /// The unavailable class.
+        lcl: LclId,
+    },
+    /// An operator introduces a label that is already defined upstream.
+    DuplicateClass {
+        /// The redefining operator.
+        op: &'static str,
+        /// The doubly-defined class.
+        lcl: LclId,
+    },
+    /// An extension select's anchor class is not available in its input (or
+    /// the select has no input at all).
+    MissingAnchor {
+        /// The anchor class of the extension APT.
+        lcl: LclId,
+    },
+    /// A document-anchored select has an upstream input; it must be a leaf.
+    DocSelectWithInput {
+        /// The document the APT is anchored at.
+        document: String,
+    },
+    /// A join parameter references a class that is not on the required side.
+    JoinSideMissing {
+        /// `"left"` or `"right"`.
+        side: &'static str,
+        /// The class the predicate or dedup key references.
+        lcl: LclId,
+    },
+    /// A Union operator with no branches.
+    EmptyUnion,
+    /// A class the Union relies on (its dedup key) is missing from one
+    /// branch — the branches are not class-compatible.
+    UnionBranchMissing {
+        /// Zero-based index of the offending branch.
+        branch: usize,
+        /// The class that branch fails to produce.
+        lcl: LclId,
+    },
+    /// An operator that requires a singleton class (the executor errors
+    /// otherwise) got a class that may carry another number of members.
+    NotSingleton {
+        /// The demanding operator.
+        op: &'static str,
+        /// The class whose inferred cardinality is not `One`.
+        lcl: LclId,
+    },
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::MissingClass { op, lcl } => {
+                write!(f, "{op} references class {lcl}, which its input does not produce")
+            }
+            AnalyzeError::DuplicateClass { op, lcl } => {
+                write!(f, "{op} redefines class {lcl}, which is already live")
+            }
+            AnalyzeError::MissingAnchor { lcl } => {
+                write!(f, "extension select is anchored at unavailable class {lcl}")
+            }
+            AnalyzeError::DocSelectWithInput { document } => {
+                write!(f, "select on document {document:?} must be a leaf but has an input")
+            }
+            AnalyzeError::JoinSideMissing { side, lcl } => {
+                write!(f, "join references class {lcl}, which the {side} input does not produce")
+            }
+            AnalyzeError::EmptyUnion => write!(f, "union has no branches"),
+            AnalyzeError::UnionBranchMissing { branch, lcl } => {
+                write!(f, "union branch {branch} does not produce class {lcl}")
+            }
+            AnalyzeError::NotSingleton { op, lcl } => {
+                write!(f, "{op} requires class {lcl} to be a per-tree singleton")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Infers the classes produced by `plan`, checking every LC reference along
+/// the way.
+pub fn analyze(plan: &Plan) -> Result<PlanType, AnalyzeError> {
+    match plan {
+        Plan::Select { input: None, apt } => match &apt.root {
+            AptRoot::Document { lcl, .. } => {
+                let mut t = PlanType::default();
+                t.define("Select", *lcl, Card::One)?;
+                t.root = Some(*lcl);
+                define_apt_nodes(&mut t, apt, Card::One)?;
+                Ok(t)
+            }
+            AptRoot::Lcl(lcl) => Err(AnalyzeError::MissingAnchor { lcl: *lcl }),
+        },
+        Plan::Select { input: Some(input), apt } => match &apt.root {
+            AptRoot::Document { name, .. } => {
+                Err(AnalyzeError::DocSelectWithInput { document: name.clone() })
+            }
+            AptRoot::Lcl(anchor) => {
+                let mut t = analyze(input)?;
+                if !t.available(*anchor) {
+                    return Err(AnalyzeError::MissingAnchor { lcl: *anchor });
+                }
+                let anchor_card = t.classes.get(anchor).copied().unwrap_or(Card::One);
+                define_apt_nodes(&mut t, apt, anchor_card)?;
+                Ok(t)
+            }
+        },
+        Plan::Filter { input, lcl, pred, .. } => {
+            let t = analyze(input)?;
+            t.require("Filter", *lcl)?;
+            if let FilterPred::CmpLcl { other, .. } = pred {
+                t.require("Filter", *other)?;
+            }
+            Ok(t)
+        }
+        Plan::Join { left, right, spec } => {
+            let lt = analyze(left)?;
+            let rt = analyze(right)?;
+            if let Some(pred) = &spec.pred {
+                if !lt.available(pred.left) {
+                    return Err(AnalyzeError::JoinSideMissing { side: "left", lcl: pred.left });
+                }
+                if !rt.available(pred.right) {
+                    return Err(AnalyzeError::JoinSideMissing { side: "right", lcl: pred.right });
+                }
+            }
+            if let Some(key) = spec.dedup_right_on {
+                if !rt.available(key) {
+                    return Err(AnalyzeError::JoinSideMissing { side: "right", lcl: key });
+                }
+            }
+            // The sides come from disjoint label generations; a shared label
+            // would merge unrelated members under one class.
+            let mut t = lt;
+            for (&lcl, &card) in &rt.classes {
+                if t.seen.contains(&lcl) {
+                    return Err(AnalyzeError::DuplicateClass { op: "Join", lcl });
+                }
+                // A grouping right edge nests every matching right tree
+                // under one output root, so right-side classes multiply; an
+                // optional edge can leave them absent.
+                let card = match spec.right_mspec {
+                    MSpec::Plus | MSpec::Star => Card::Many,
+                    MSpec::Opt => card.join(Card::Opt),
+                    MSpec::One => card,
+                };
+                t.classes.insert(lcl, card);
+            }
+            t.seen.extend(rt.seen.iter().copied());
+            t.define("Join", spec.root_lcl, Card::One)?;
+            t.root = Some(spec.root_lcl);
+            Ok(t)
+        }
+        Plan::Project { input, keep } => {
+            let mut t = analyze(input)?;
+            for k in keep {
+                t.require("Project", *k)?;
+            }
+            // Only the kept classes (plus the always-retained tree root)
+            // survive; this is the availability boundary the rewrite
+            // oracle's widen-projects fix-up exists for.
+            let root = t.root;
+            t.classes.retain(|lcl, _| keep.contains(lcl) || Some(*lcl) == root);
+            Ok(t)
+        }
+        Plan::DupElim { input, on, .. } => {
+            let t = analyze(input)?;
+            for k in on {
+                t.require("DupElim", *k)?;
+            }
+            Ok(t)
+        }
+        Plan::Aggregate { input, over, new_lcl, .. } => {
+            let mut t = analyze(input)?;
+            t.require("Aggregate", *over)?;
+            t.define("Aggregate", *new_lcl, Card::One)?;
+            Ok(t)
+        }
+        Plan::Construct { input, spec } => {
+            let mut t = analyze(input)?;
+            let mut root = None;
+            for item in spec {
+                check_construct_item(&mut t, item, &mut root)?;
+            }
+            // Copied member subtrees keep their descendants' labels, so the
+            // input classes stay (conservatively) available.
+            t.root = root;
+            t.order = Order::Document;
+            Ok(t)
+        }
+        Plan::Sort { input, keys } => {
+            let mut t = analyze(input)?;
+            for k in keys {
+                t.require("Sort", k.lcl)?;
+            }
+            t.order = Order::Sorted;
+            Ok(t)
+        }
+        Plan::Flatten { input, parent, child } => {
+            let mut t = analyze(input)?;
+            require_singleton(&t, "Flatten", *parent)?;
+            t.require("Flatten", *child)?;
+            t.classes.insert(*child, Card::One);
+            Ok(t)
+        }
+        Plan::Shadow { input, parent, child } => {
+            let mut t = analyze(input)?;
+            require_singleton(&t, "Shadow", *parent)?;
+            t.require("Shadow", *child)?;
+            // One visible member per tree; the shadowed rest come back at
+            // the Illuminate.
+            t.classes.insert(*child, Card::One);
+            Ok(t)
+        }
+        Plan::Illuminate { input, lcl } => {
+            let mut t = analyze(input)?;
+            t.require("Illuminate", *lcl)?;
+            t.classes.insert(*lcl, Card::Many);
+            Ok(t)
+        }
+        Plan::GroupBy { input, by, collect } => {
+            let mut t = analyze(input)?;
+            require_singleton(&t, "GroupBy", *by)?;
+            t.require("GroupBy", *collect)?;
+            t.classes.insert(*collect, Card::Many);
+            t.order = Order::Unspecified;
+            Ok(t)
+        }
+        Plan::Materialize { input, lcls } => {
+            let t = analyze(input)?;
+            for l in lcls {
+                t.require("Materialize", *l)?;
+            }
+            Ok(t)
+        }
+        Plan::Union { inputs, dedup_on } => {
+            if inputs.is_empty() {
+                return Err(AnalyzeError::EmptyUnion);
+            }
+            let branches: Vec<PlanType> = inputs.iter().map(analyze).collect::<Result<_, _>>()?;
+            // Branches are translated with identically-seeded label
+            // generators, so shared labels are intentional; only classes
+            // present in *every* branch are usable downstream.
+            for (i, b) in branches.iter().enumerate() {
+                for key in dedup_on {
+                    if !b.available(*key) {
+                        return Err(AnalyzeError::UnionBranchMissing { branch: i, lcl: *key });
+                    }
+                }
+            }
+            let mut t = PlanType::default();
+            let first = &branches[0];
+            'classes: for (&lcl, &card) in &first.classes {
+                let mut merged = card;
+                for b in &branches[1..] {
+                    match b.classes.get(&lcl) {
+                        Some(&c) => merged = merged.join(c),
+                        None => continue 'classes,
+                    }
+                }
+                t.classes.insert(lcl, merged);
+            }
+            for b in &branches {
+                t.seen.extend(b.seen.iter().copied());
+            }
+            t.root = first.root.filter(|r| branches[1..].iter().all(|b| b.root == Some(*r)));
+            t.order = if branches.iter().all(|b| b.order == first.order)
+                && branches[0].order != Order::Sorted
+            {
+                first.order
+            } else {
+                Order::Unspecified
+            };
+            Ok(t)
+        }
+    }
+}
+
+/// Checks the whole plan's LC dataflow; `Ok(())` means every operator's
+/// references are satisfied by its input.
+pub fn verify(plan: &Plan) -> Result<(), AnalyzeError> {
+    analyze(plan).map(|_| ())
+}
+
+/// Defines the classes of every pattern node of `apt` (anchor excluded),
+/// deriving each node's cardinality from the matching specifications along
+/// its path from the anchor.
+fn define_apt_nodes(t: &mut PlanType, apt: &Apt, anchor_card: Card) -> Result<(), AnalyzeError> {
+    // Parent indexes precede children, so one forward pass suffices.
+    let mut cards: Vec<Card> = Vec::with_capacity(apt.nodes.len());
+    for node in &apt.nodes {
+        let parent_card = match node.parent {
+            None => anchor_card,
+            Some(p) => cards[p],
+        };
+        let card = parent_card.step(node.mspec);
+        t.define("Select", node.lcl, card)?;
+        cards.push(card);
+    }
+    Ok(())
+}
+
+/// Checks one construct item: every referenced class must be live, every
+/// element label must be fresh. `root` captures the first top-level
+/// element's label (the constructed tree's root class).
+fn check_construct_item(
+    t: &mut PlanType,
+    item: &ConstructItem,
+    root: &mut Option<LclId>,
+) -> Result<(), AnalyzeError> {
+    match item {
+        ConstructItem::Element { lcl, attrs, children, .. } => {
+            if let Some(l) = lcl {
+                t.define("Construct", *l, Card::One)?;
+                if root.is_none() {
+                    *root = Some(*l);
+                }
+            }
+            for (_, v) in attrs {
+                if let ConstructValue::LclText(l) = v {
+                    t.require("Construct", *l)?;
+                }
+            }
+            let mut child_root = None;
+            for c in children {
+                check_construct_item(t, c, &mut child_root)?;
+            }
+            Ok(())
+        }
+        ConstructItem::LclRef { lcl, .. } | ConstructItem::LclText(lcl) => {
+            t.require("Construct", *lcl)
+        }
+        ConstructItem::Text(_) => Ok(()),
+    }
+}
+
+/// Cardinality check for the operators whose executor errors on a
+/// non-singleton class (Flatten/Shadow parents, the grouping key).
+fn require_singleton(t: &PlanType, op: &'static str, lcl: LclId) -> Result<(), AnalyzeError> {
+    t.require(op, lcl)?;
+    match t.classes.get(&lcl) {
+        Some(Card::One) | None => Ok(()),
+        Some(_) => Err(AnalyzeError::NotSingleton { op, lcl }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::dupelim::DedupKind;
+    use crate::ops::join::{JoinPred, JoinSpec};
+    use crate::ops::sort::SortKey;
+    use xmldb::{AxisRel, TagId};
+    use xquery::CmpOp;
+
+    fn doc_select() -> Plan {
+        // doc(a.xml)(1)[//-person(2)[/*age(3)]]
+        let mut apt = Apt::for_document("a.xml", LclId(1));
+        let p = apt.add(None, AxisRel::Descendant, MSpec::One, TagId(10), None, LclId(2));
+        apt.add(Some(p), AxisRel::Child, MSpec::Star, TagId(11), None, LclId(3));
+        Plan::Select { input: None, apt }
+    }
+
+    #[test]
+    fn doc_select_defines_apt_classes_with_cards() {
+        let t = analyze(&doc_select()).unwrap();
+        assert_eq!(t.classes.get(&LclId(1)), Some(&Card::One));
+        assert_eq!(t.classes.get(&LclId(2)), Some(&Card::One));
+        assert_eq!(t.classes.get(&LclId(3)), Some(&Card::Many));
+        assert_eq!(t.root, Some(LclId(1)));
+        assert_eq!(t.order, Order::Document);
+    }
+
+    #[test]
+    fn extension_select_needs_its_anchor() {
+        let mut ext = Apt::extending(LclId(2));
+        ext.add(None, AxisRel::Child, MSpec::Opt, TagId(12), None, LclId(4));
+        let good = Plan::Select { input: Some(Box::new(doc_select())), apt: ext.clone() };
+        let t = analyze(&good).unwrap();
+        assert_eq!(t.classes.get(&LclId(4)), Some(&Card::Opt));
+
+        let mut bad_ext = Apt::extending(LclId(99));
+        bad_ext.add(None, AxisRel::Child, MSpec::One, TagId(12), None, LclId(4));
+        let bad = Plan::Select { input: Some(Box::new(doc_select())), apt: bad_ext };
+        assert_eq!(analyze(&bad).unwrap_err(), AnalyzeError::MissingAnchor { lcl: LclId(99) });
+
+        assert!(matches!(
+            analyze(&Plan::Select { input: None, apt: ext }),
+            Err(AnalyzeError::MissingAnchor { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_labels_are_rejected() {
+        let mut ext = Apt::extending(LclId(2));
+        ext.add(None, AxisRel::Child, MSpec::One, TagId(12), None, LclId(3)); // collides
+        let p = Plan::Select { input: Some(Box::new(doc_select())), apt: ext };
+        assert_eq!(
+            analyze(&p).unwrap_err(),
+            AnalyzeError::DuplicateClass { op: "Select", lcl: LclId(3) }
+        );
+    }
+
+    #[test]
+    fn project_drops_availability() {
+        let projected = Plan::Project { input: Box::new(doc_select()), keep: vec![LclId(2)] };
+        let t = analyze(&projected).unwrap();
+        assert!(t.classes.contains_key(&LclId(2)));
+        assert!(!t.classes.contains_key(&LclId(3)));
+        // The tree root always survives a projection.
+        assert!(t.available(LclId(1)));
+
+        let sorted = Plan::Sort {
+            input: Box::new(projected),
+            keys: vec![SortKey { lcl: LclId(3), descending: false }],
+        };
+        assert_eq!(
+            analyze(&sorted).unwrap_err(),
+            AnalyzeError::MissingClass { op: "Sort", lcl: LclId(3) }
+        );
+    }
+
+    #[test]
+    fn join_checks_sides_and_creates_root() {
+        let left = doc_select();
+        let mut apt = Apt::for_document("a.xml", LclId(10));
+        apt.add(None, AxisRel::Descendant, MSpec::One, TagId(20), None, LclId(11));
+        let right = Plan::Select { input: None, apt };
+        let spec = JoinSpec {
+            root_lcl: LclId(20),
+            right_mspec: MSpec::One,
+            pred: Some(JoinPred::value(LclId(2), CmpOp::Eq, LclId(11))),
+            dedup_right_on: None,
+        };
+        let good = Plan::Join {
+            left: Box::new(left.clone()),
+            right: Box::new(right.clone()),
+            spec: spec.clone(),
+        };
+        let t = analyze(&good).unwrap();
+        assert_eq!(t.root, Some(LclId(20)));
+        assert!(t.available(LclId(2)) && t.available(LclId(11)));
+
+        // Swapped predicate sides must be caught.
+        let mut swapped = spec.clone();
+        swapped.pred = Some(JoinPred::value(LclId(11), CmpOp::Eq, LclId(2)));
+        let bad = Plan::Join {
+            left: Box::new(left.clone()),
+            right: Box::new(right.clone()),
+            spec: swapped,
+        };
+        assert_eq!(
+            analyze(&bad).unwrap_err(),
+            AnalyzeError::JoinSideMissing { side: "left", lcl: LclId(11) }
+        );
+
+        // A self-join without relabeling merges classes: rejected.
+        let dup = Plan::Join {
+            left: Box::new(left.clone()),
+            right: Box::new(left),
+            spec: JoinSpec {
+                root_lcl: LclId(20),
+                right_mspec: MSpec::One,
+                pred: None,
+                dedup_right_on: None,
+            },
+        };
+        assert_eq!(
+            analyze(&dup).unwrap_err(),
+            AnalyzeError::DuplicateClass { op: "Join", lcl: LclId(1) }
+        );
+    }
+
+    #[test]
+    fn nesting_join_multiplies_right_classes() {
+        let mut apt = Apt::for_document("b.xml", LclId(10));
+        apt.add(None, AxisRel::Descendant, MSpec::One, TagId(20), None, LclId(11));
+        let right = Plan::Select { input: None, apt };
+        let p = Plan::Join {
+            left: Box::new(doc_select()),
+            right: Box::new(right),
+            spec: JoinSpec {
+                root_lcl: LclId(20),
+                right_mspec: MSpec::Star,
+                pred: Some(JoinPred::value(LclId(2), CmpOp::Eq, LclId(11))),
+                dedup_right_on: Some(LclId(10)),
+            },
+        };
+        let t = analyze(&p).unwrap();
+        assert_eq!(t.classes.get(&LclId(11)), Some(&Card::Many));
+    }
+
+    #[test]
+    fn union_requires_compatible_branches() {
+        let a = doc_select();
+        let mut apt = Apt::for_document("a.xml", LclId(1));
+        apt.add(None, AxisRel::Descendant, MSpec::One, TagId(10), None, LclId(2));
+        let b = Plan::Select { input: None, apt }; // same seeds, no class (3)
+        let u = Plan::Union { inputs: vec![a.clone(), b], dedup_on: vec![LclId(2)] };
+        let t = analyze(&u).unwrap();
+        assert!(t.classes.contains_key(&LclId(2)));
+        assert!(!t.classes.contains_key(&LclId(3)), "class (3) is not in every branch");
+
+        let bad = Plan::Union { inputs: vec![a], dedup_on: vec![LclId(7)] };
+        assert_eq!(
+            analyze(&bad).unwrap_err(),
+            AnalyzeError::UnionBranchMissing { branch: 0, lcl: LclId(7) }
+        );
+        assert_eq!(
+            analyze(&Plan::Union { inputs: vec![], dedup_on: vec![] }).unwrap_err(),
+            AnalyzeError::EmptyUnion
+        );
+    }
+
+    #[test]
+    fn flatten_requires_singleton_parent_and_narrows_child() {
+        let good =
+            Plan::Flatten { input: Box::new(doc_select()), parent: LclId(2), child: LclId(3) };
+        let t = analyze(&good).unwrap();
+        assert_eq!(t.classes.get(&LclId(3)), Some(&Card::One));
+
+        let bad =
+            Plan::Flatten { input: Box::new(doc_select()), parent: LclId(3), child: LclId(2) };
+        assert_eq!(
+            analyze(&bad).unwrap_err(),
+            AnalyzeError::NotSingleton { op: "Flatten", lcl: LclId(3) }
+        );
+
+        let lit = Plan::Illuminate {
+            input: Box::new(Plan::Shadow {
+                input: Box::new(doc_select()),
+                parent: LclId(2),
+                child: LclId(3),
+            }),
+            lcl: LclId(3),
+        };
+        assert_eq!(analyze(&lit).unwrap().classes.get(&LclId(3)), Some(&Card::Many));
+    }
+
+    #[test]
+    fn aggregate_and_dupelim_and_construct() {
+        use xquery::AggFunc;
+        let agg = Plan::Aggregate {
+            input: Box::new(doc_select()),
+            func: AggFunc::Count,
+            over: LclId(3),
+            new_lcl: LclId(4),
+        };
+        let t = analyze(&agg).unwrap();
+        assert_eq!(t.classes.get(&LclId(4)), Some(&Card::One));
+
+        let clash = Plan::Aggregate {
+            input: Box::new(doc_select()),
+            func: AggFunc::Count,
+            over: LclId(3),
+            new_lcl: LclId(2),
+        };
+        assert!(matches!(analyze(&clash), Err(AnalyzeError::DuplicateClass { .. })));
+
+        let de = Plan::DupElim {
+            input: Box::new(doc_select()),
+            on: vec![LclId(9)],
+            kind: DedupKind::NodeId,
+        };
+        assert_eq!(
+            analyze(&de).unwrap_err(),
+            AnalyzeError::MissingClass { op: "DupElim", lcl: LclId(9) }
+        );
+
+        let c = Plan::Construct {
+            input: Box::new(doc_select()),
+            spec: vec![ConstructItem::Element {
+                tag: "out".into(),
+                lcl: Some(LclId(5)),
+                attrs: vec![("n".into(), ConstructValue::LclText(LclId(2)))],
+                children: vec![ConstructItem::LclRef { lcl: LclId(3), hidden: false }],
+            }],
+        };
+        let t = analyze(&c).unwrap();
+        assert_eq!(t.root, Some(LclId(5)));
+        assert!(t.available(LclId(3)), "copied member classes stay available");
+
+        let broken = Plan::Construct {
+            input: Box::new(doc_select()),
+            spec: vec![ConstructItem::LclText(LclId(42))],
+        };
+        assert_eq!(
+            analyze(&broken).unwrap_err(),
+            AnalyzeError::MissingClass { op: "Construct", lcl: LclId(42) }
+        );
+    }
+
+    #[test]
+    fn errors_display_the_offending_edge() {
+        let e = AnalyzeError::MissingClass { op: "Sort", lcl: LclId(7) };
+        assert_eq!(e.to_string(), "Sort references class (7), which its input does not produce");
+        let e = AnalyzeError::JoinSideMissing { side: "right", lcl: LclId(3) };
+        assert!(e.to_string().contains("right input"));
+    }
+}

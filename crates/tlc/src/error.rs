@@ -1,5 +1,6 @@
 //! Errors raised during plan construction and execution.
 
+use crate::analyze::AnalyzeError;
 use crate::logical_class::LclId;
 use std::fmt;
 
@@ -29,6 +30,10 @@ pub enum Error {
     /// deadline between operators, so the abort is clean: no partial results
     /// escape, and the store is untouched.
     DeadlineExceeded,
+    /// The static LC dataflow analysis ([`mod@crate::analyze`]) rejected the
+    /// plan: some operator references a logical class its input does not
+    /// produce.
+    Analyze(AnalyzeError),
 }
 
 impl fmt::Display for Error {
@@ -44,6 +49,7 @@ impl fmt::Display for Error {
             Error::Unsupported(m) => write!(f, "unsupported query feature: {m}"),
             Error::UnboundVariable(v) => write!(f, "unbound variable ${v}"),
             Error::DeadlineExceeded => write!(f, "execution exceeded its deadline"),
+            Error::Analyze(e) => write!(f, "plan failed LC dataflow analysis: {e}"),
         }
     }
 }

@@ -24,6 +24,9 @@
 //!   covering the Figure 5 fragment including nested FLWOR.
 //! * [`rewrite`] — the Flatten and Shadow/Illuminate rewrite rules (§4.2,
 //!   §4.3).
+//! * [`mod@analyze`] — static LC dataflow analysis: type-checks every
+//!   operator's class references and acts as a differential oracle for the
+//!   rewrite passes.
 //! * [`optimizer`] — a cost model over index statistics that decides when
 //!   the rewrites pay off (the decision the paper defers to an optimizer).
 //! * [`output`] — result serialization.
@@ -47,6 +50,7 @@
 //! assert_eq!(tlc::execute_to_string(&db, &plan).unwrap(), "<name>Ann</name>");
 //! ```
 
+pub mod analyze;
 pub mod error;
 pub mod exec;
 pub mod guide;
@@ -63,6 +67,7 @@ pub mod stats;
 pub mod translate;
 pub mod tree;
 
+pub use analyze::{analyze, verify, AnalyzeError, Card, PlanType};
 pub use error::{Error, Result};
 pub use exec::{
     execute, execute_to_string, execute_traced, execute_with_deadline, render_trace, ExecCtx,
@@ -73,6 +78,7 @@ pub use optimizer::{optimize_costed, optimize_costed_with, CostModel};
 pub use output::{serialize_results, serialize_tree};
 pub use pattern::{Apt, AptRoot, ContentPred, MSpec, PredValue};
 pub use plan::Plan;
+pub use rewrite::{optimize, optimize_verified, RewriteViolation};
 pub use stats::ExecStats;
 pub use translate::{translate, translate_with_style, Style};
 pub use tree::{RNodeId, RSource, ResultTree, TempIdGen};

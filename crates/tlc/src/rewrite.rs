@@ -19,31 +19,78 @@
 //!
 //! [`optimize`] applies Flatten rewrites to fixpoint, then Shadow rewrites.
 
+use crate::analyze::{self, AnalyzeError};
 use crate::logical_class::LclId;
 use crate::ops::construct::{ConstructItem, ConstructValue};
 use crate::ops::filter::FilterPred;
 use crate::pattern::{Apt, AptRoot, MSpec};
 use crate::plan::Plan;
 use std::collections::HashMap;
+use std::fmt;
+
+/// A rewrite pass produced a plan that fails the static LC dataflow
+/// analysis — the differential oracle of [`optimize_verified`]. Names the
+/// offending pass so a broken rewrite is attributable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RewriteViolation {
+    /// Which rewrite pass produced the bad plan.
+    pub pass: &'static str,
+    /// The dataflow violation the analyzer found.
+    pub error: AnalyzeError,
+}
+
+impl fmt::Display for RewriteViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rewrite pass {} broke LC dataflow: {}", self.pass, self.error)
+    }
+}
+
+impl std::error::Error for RewriteViolation {}
 
 /// Applies both rewrite rules until neither fires.
+///
+/// Runs in oracle mode ([`optimize_verified`]): the LC dataflow analyzer
+/// checks the plan after every individual pass application. A violating
+/// rewrite panics in debug builds; in release builds it is rejected and the
+/// last verified plan is kept (a correct-but-unoptimized plan beats a
+/// corrupted one).
 pub fn optimize(plan: &Plan) -> Plan {
+    match optimize_verified(plan) {
+        Ok(p) => p,
+        Err((last_good, violation)) => {
+            debug_assert!(false, "{violation}");
+            last_good
+        }
+    }
+}
+
+/// [`optimize`] with the differential rewrite oracle exposed: after every
+/// individual pass application the result is re-checked by
+/// [`crate::analyze::verify`]. On a violation, returns the last plan that
+/// still verified together with the typed error naming the pass.
+///
+/// The *input* plan is not re-verified here — translation already checked
+/// it — so a pre-existing violation is attributed to the caller, not to a
+/// pass.
+#[allow(clippy::result_large_err)]
+pub fn optimize_verified(plan: &Plan) -> Result<Plan, (Plan, RewriteViolation)> {
     let mut p = plan.clone();
-    loop {
-        let (next, changed) = flatten_rewrite(&p);
-        p = next;
-        if !changed {
-            break;
+    for (pass, rewrite) in [
+        ("flatten_rewrite", flatten_rewrite as fn(&Plan) -> (Plan, bool)),
+        ("shadow_rewrite", shadow_rewrite),
+    ] {
+        loop {
+            let (next, changed) = rewrite(&p);
+            if !changed {
+                break;
+            }
+            if let Err(error) = analyze::verify(&next) {
+                return Err((p, RewriteViolation { pass, error }));
+            }
+            p = next;
         }
     }
-    loop {
-        let (next, changed) = shadow_rewrite(&p);
-        p = next;
-        if !changed {
-            break;
-        }
-    }
-    p
+    Ok(p)
 }
 
 // ---------------------------------------------------------------------
@@ -628,13 +675,18 @@ fn apply_shadow_v2(plan: &Plan, ext_apt: &Apt, anchor: LclId, c_lcl: LclId, mspe
 }
 
 /// Adds the mapped classes to every Project keep list so shadowed members
-/// survive to the Illuminate.
+/// survive to the Illuminate — but only in Projects whose input actually
+/// produces the class. Widening unconditionally would leak labels into
+/// unrelated branches (e.g. the second LET subquery of x9), which the LC
+/// dataflow analyzer rightly rejects.
 fn widen_projects(plan: &Plan, add: &[LclId]) -> Plan {
     map_plan(plan, &mut |p| match p {
         Plan::Project { input, mut keep } => {
-            for a in add {
-                if !keep.contains(a) {
-                    keep.push(*a);
+            if let Ok(t) = analyze::analyze(&input) {
+                for a in add {
+                    if !keep.contains(a) && t.available(*a) {
+                        keep.push(*a);
+                    }
                 }
             }
             Plan::Project { input, keep }
@@ -747,5 +799,30 @@ mod tests {
         assert!(!c1);
         let (_, c2) = shadow_rewrite(&p1);
         assert!(!c2);
+    }
+
+    /// Regression: x9-shaped query — two LET subqueries where the Shadow
+    /// rewrite fires in the first branch only. widen_projects used to add
+    /// the shadowed class to *every* Project, including the second branch's,
+    /// which references a class that branch never produces (caught by the
+    /// dataflow oracle on the real x9).
+    #[test]
+    fn shadow_widening_stays_within_its_branch() {
+        let db = db();
+        let q = r#"
+            FOR $p IN document("auction.xml")//person
+            LET $a := FOR $o IN document("auction.xml")//open_auction
+                      WHERE $o/bidder/personref/@person = $p/@id
+                        AND $o/quantity > 1
+                      RETURN <got>{$o/quantity/text()}</got>
+            LET $b := FOR $x IN document("auction.xml")//open_auction
+                      WHERE $x/bidder/personref/@person = $p/@id
+                      RETURN <open>{$x/quantity/text()}</open>
+            RETURN <person name={$p/name/text()}>{count($a/got)}</person>"#;
+        let plan = crate::compile(q, &db).unwrap();
+        let opt = optimize_verified(&plan).unwrap_or_else(|(_, v)| panic!("{v}"));
+        let a = execute_to_string(&db, &plan).unwrap();
+        let b = execute_to_string(&db, &opt).unwrap();
+        assert_eq!(a, b, "verified rewrite must preserve results");
     }
 }

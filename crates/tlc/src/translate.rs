@@ -74,7 +74,18 @@ pub fn translate(q: &Flwor, db: &Database) -> Result<Plan> {
 }
 
 /// Translates a parsed FLWOR into a plan of the given style.
+///
+/// Every freshly compiled plan is verified by the static LC dataflow
+/// analysis ([`mod@crate::analyze`]) before it is returned: a translator bug
+/// that emits an operator referencing an unavailable class surfaces here as
+/// [`Error::Analyze`] instead of a silently empty result at execution time.
 pub fn translate_with_style(q: &Flwor, db: &Database, style: Style) -> Result<Plan> {
+    let plan = translate_unverified(q, db, style)?;
+    crate::analyze::verify(&plan).map_err(Error::Analyze)?;
+    Ok(plan)
+}
+
+fn translate_unverified(q: &Flwor, db: &Database, style: Style) -> Result<Plan> {
     let q = &desugar_return_subqueries(q);
     let disjuncts = match &q.where_expr {
         None => vec![Vec::new()],

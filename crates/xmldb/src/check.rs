@@ -1,0 +1,317 @@
+//! Store invariant checker.
+//!
+//! An O(n) verifier for everything the engines assume about the store:
+//!
+//! * **Interval encoding** (the paper's Figure 13, Properties 1–4): every
+//!   node's `(pre, end)` interval is well-formed (`pre <= end`, inside the
+//!   document), children's intervals are properly nested inside — and
+//!   disjoint within — their parent's, and `parent`/`level` agree with the
+//!   nesting. One stack walk in pre order proves all of it at once: since
+//!   pre order visits a node before its descendants, requiring each node's
+//!   recorded parent to be exactly the innermost open interval establishes
+//!   *containment ⇔ ancestorship* (what [`Document::is_ancestor`]'s two
+//!   comparisons rely on) and sibling disjointness simultaneously.
+//! * **Arena layout**: node 0 is the synthetic document root spanning the
+//!   whole arena; attributes and text nodes are content-bearing leaves.
+//! * **Index completeness**: the tag index holds exactly the non-root
+//!   nodes (every node findable under its tag, every posting backed by a
+//!   matching node, postings strictly in document order), and the value
+//!   index covers exactly the content-bearing nodes, with numeric content
+//!   also reachable through the numeric tree.
+//!
+//! Exposed to users as the `.check` shell command and the `experiments
+//! check` subcommand; run against every generated XMark document in tests.
+
+use crate::database::Database;
+use crate::document::{Document, NodeRecord};
+use crate::error::{Error, Result};
+use crate::node::{DocId, NodeId, NodeKind};
+use std::fmt;
+
+/// What a successful [`check_database`] run covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckReport {
+    /// Documents walked.
+    pub documents: usize,
+    /// Total nodes verified (synthetic roots included).
+    pub nodes: usize,
+    /// Tag-index postings verified.
+    pub tag_postings: usize,
+    /// Value-index (exact) postings accounted for.
+    pub value_postings: usize,
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "store check OK: {} document(s), {} node(s), {} tag posting(s), {} value posting(s)",
+            self.documents, self.nodes, self.tag_postings, self.value_postings
+        )
+    }
+}
+
+/// Verifies one document's interval encoding and arena layout in O(n).
+pub fn check_document(doc: &Document) -> Result<()> {
+    check_records(doc.name(), doc.records())
+}
+
+/// [`check_document`] over a raw record arena (what snapshot loading and the
+/// tests hand-build).
+pub fn check_records(name: &str, records: &[NodeRecord]) -> Result<()> {
+    let corrupt =
+        |pre: usize, detail: String| Err(Error::Corrupt(format!("{name:?} node {pre}: {detail}")));
+    let Some(root) = records.first() else {
+        return Err(Error::Corrupt(format!("{name:?}: document has no records")));
+    };
+    if root.kind != NodeKind::DocRoot {
+        return corrupt(0, format!("node 0 must be the document root, found {:?}", root.kind));
+    }
+    if root.parent != u32::MAX || root.level != 0 {
+        return corrupt(0, "document root must have no parent and level 0".into());
+    }
+    if root.end as usize != records.len() - 1 {
+        return corrupt(0, format!("root interval ends at {} of {}", root.end, records.len() - 1));
+    }
+    // The stack holds the chain of open intervals (ancestors of the current
+    // node), innermost last.
+    let mut stack: Vec<u32> = vec![0];
+    for (i, rec) in records.iter().enumerate().skip(1) {
+        let pre = i as u32;
+        if rec.kind == NodeKind::DocRoot {
+            return corrupt(i, "only node 0 may be a document root".into());
+        }
+        // Property 1 (well-formed interval).
+        if rec.end < pre || rec.end as usize >= records.len() {
+            return corrupt(i, format!("bad interval end {}", rec.end));
+        }
+        // Close every interval that ended before this node.
+        while records[*stack.last().expect("root never popped") as usize].end < pre {
+            stack.pop();
+        }
+        let top = *stack.last().expect("root interval spans the document");
+        // Property 2: the recorded parent must be the innermost open
+        // interval. Combined with the nesting check below, this makes
+        // interval containment coincide with ancestorship and forces sibling
+        // intervals apart (a sibling's interval is closed before ours opens).
+        if rec.parent != top {
+            return corrupt(
+                i,
+                format!("parent is {} but innermost open interval is {top}", rec.parent),
+            );
+        }
+        if rec.end > records[top as usize].end {
+            return corrupt(i, format!("interval [{pre}, {}] escapes parent's", rec.end));
+        }
+        // Property 3/4 bookkeeping: levels count the open ancestors.
+        if rec.level as usize != stack.len() {
+            return corrupt(i, format!("level {} but depth {}", rec.level, stack.len()));
+        }
+        match rec.kind {
+            NodeKind::Attribute | NodeKind::Text => {
+                if rec.end != pre {
+                    return corrupt(i, format!("{:?} node must be a leaf", rec.kind));
+                }
+                if rec.content.is_none() {
+                    return corrupt(i, format!("{:?} node must carry content", rec.kind));
+                }
+            }
+            NodeKind::Element | NodeKind::DocRoot => {}
+        }
+        stack.push(pre);
+    }
+    Ok(())
+}
+
+/// Verifies every document plus the derived indexes; returns a coverage
+/// report on success.
+pub fn check_database(db: &Database) -> Result<CheckReport> {
+    let mut report = CheckReport::default();
+    let mut expected_tag_postings = 0usize;
+    let mut expected_value_postings = 0usize;
+    for d in 0..db.document_count() {
+        let doc_id = DocId(d as u32);
+        let doc = db.document(doc_id);
+        check_document(doc)?;
+        report.documents += 1;
+        report.nodes += doc.len();
+        // Forward sweep: every indexable node must be in its index.
+        for (pre, rec) in doc.records().iter().enumerate() {
+            if rec.kind == NodeKind::DocRoot {
+                continue;
+            }
+            let id = NodeId::new(doc_id, pre as u32);
+            if db.tag_index().get(rec.tag).binary_search(&id).is_err() {
+                return Err(Error::Corrupt(format!(
+                    "{:?} node {pre}: missing from the tag index under its tag",
+                    doc.name()
+                )));
+            }
+            expected_tag_postings += 1;
+            if let Some(content) = &rec.content {
+                if !db.value_index().lookup_exact(rec.tag, content).contains(&id) {
+                    return Err(Error::Corrupt(format!(
+                        "{:?} node {pre}: missing from the value index for its content",
+                        doc.name()
+                    )));
+                }
+                expected_value_postings += 1;
+                if let Ok(n) = content.trim().parse::<f64>() {
+                    if !db
+                        .value_index()
+                        .lookup_cmp(rec.tag, std::cmp::Ordering::Equal, n)
+                        .contains(&id)
+                    {
+                        return Err(Error::Corrupt(format!(
+                            "{:?} node {pre}: numeric content {n} not in the numeric index",
+                            doc.name()
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    // Reverse sweep: every tag-index posting must be backed by a live node
+    // with that tag, and postings must be strictly in document order.
+    for (tag, postings) in db.tag_index().tags() {
+        if let Some(w) = postings.windows(2).find(|w| w[0] >= w[1]) {
+            return Err(Error::Corrupt(format!(
+                "tag index postings out of document order near {:?}",
+                w[0]
+            )));
+        }
+        for id in postings {
+            let doc = db.try_document(id.doc)?;
+            let rec =
+                doc.try_record(id.pre).ok_or(Error::NoSuchNode { doc: id.doc.0, pre: id.pre })?;
+            if rec.tag != tag {
+                return Err(Error::Corrupt(format!(
+                    "tag index posting {id:?} points at a node with a different tag"
+                )));
+            }
+            if rec.kind == NodeKind::DocRoot {
+                return Err(Error::Corrupt(format!(
+                    "tag index posting {id:?} points at a document root"
+                )));
+            }
+        }
+        report.tag_postings += postings.len();
+    }
+    // Counting both directions proves the indexes hold *exactly* the
+    // indexable nodes — no omissions (forward), no strays (reverse + count).
+    if report.tag_postings != expected_tag_postings {
+        return Err(Error::Corrupt(format!(
+            "tag index has {} postings but documents have {} indexable nodes",
+            report.tag_postings, expected_tag_postings
+        )));
+    }
+    if db.value_index().exact_posting_count() != expected_value_postings {
+        return Err(Error::Corrupt(format!(
+            "value index has {} postings but documents have {} content-bearing nodes",
+            db.value_index().exact_posting_count(),
+            expected_value_postings
+        )));
+    }
+    report.value_postings = expected_value_postings;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::TagId;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.load_xml(
+            "a.xml",
+            r#"<site><person id="p0"><name>Ann</name><age>30</age></person>
+               <person id="p1"><name>Bo</name></person></site>"#,
+        )
+        .unwrap();
+        db.load_xml("b.xml", "<r><x>1</x><x>2</x><y/></r>").unwrap();
+        db
+    }
+
+    #[test]
+    fn well_formed_database_passes() {
+        let db = sample_db();
+        let report = check_database(&db).unwrap();
+        assert_eq!(report.documents, 2);
+        assert_eq!(report.nodes, db.node_count());
+        assert_eq!(report.tag_postings, db.tag_index().posting_count());
+        assert!(report.value_postings > 0);
+        assert!(report.to_string().starts_with("store check OK"));
+    }
+
+    fn rec(kind: NodeKind, parent: u32, end: u32, level: u16, content: Option<&str>) -> NodeRecord {
+        NodeRecord { tag: TagId(1), kind, content: content.map(Into::into), parent, end, level }
+    }
+
+    fn valid_records() -> Vec<NodeRecord> {
+        // doc_root [ a [ b, c ] ]  (b, c leaves with content)
+        vec![
+            rec(NodeKind::DocRoot, u32::MAX, 3, 0, None),
+            rec(NodeKind::Element, 0, 3, 1, None),
+            rec(NodeKind::Element, 1, 2, 2, Some("x")),
+            rec(NodeKind::Text, 1, 3, 2, Some("y")),
+        ]
+    }
+
+    #[test]
+    fn hand_built_arena_passes() {
+        check_records("ok.xml", &valid_records()).unwrap();
+    }
+
+    #[test]
+    fn interval_escaping_parent_is_caught() {
+        let mut r = valid_records();
+        r[2].end = 3; // b's interval would swallow its sibling
+        let err = check_records("bad.xml", &r).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn wrong_parent_is_caught() {
+        let mut r = valid_records();
+        r[3].parent = 2; // c claims the leaf b as parent, but b's interval is closed
+        let err = check_records("bad.xml", &r).unwrap_err();
+        assert!(err.to_string().contains("innermost open interval"), "{err}");
+    }
+
+    #[test]
+    fn wrong_level_is_caught() {
+        let mut r = valid_records();
+        r[3].level = 5;
+        let err = check_records("bad.xml", &r).unwrap_err();
+        assert!(err.to_string().contains("level"), "{err}");
+    }
+
+    #[test]
+    fn non_leaf_text_is_caught() {
+        // Give text node 3 a child of its own: its interval is no longer a
+        // point, which the leaf rule must reject.
+        let mut r = valid_records();
+        r.push(rec(NodeKind::Element, 3, 4, 3, None));
+        r[0].end = 4;
+        r[1].end = 4;
+        r[3].end = 4;
+        let err = check_records("bad.xml", &r).unwrap_err();
+        assert!(err.to_string().contains("leaf"), "{err}");
+    }
+
+    #[test]
+    fn root_interval_must_span_document() {
+        let mut r = valid_records();
+        r[0].end = 2;
+        assert!(check_records("bad.xml", &r).is_err());
+    }
+
+    #[test]
+    fn content_free_attribute_is_caught() {
+        let mut r = valid_records();
+        r[2] = rec(NodeKind::Attribute, 1, 2, 2, None);
+        let err = check_records("bad.xml", &r).unwrap_err();
+        assert!(err.to_string().contains("content"), "{err}");
+    }
+}

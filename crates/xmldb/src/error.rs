@@ -27,6 +27,10 @@ pub enum Error {
     DuplicateDocumentName(String),
     /// The document builder was used incorrectly (e.g. unbalanced pushes).
     Builder(String),
+    /// The store checker ([`mod@crate::check`]) found a structural or index
+    /// violation: the interval encoding, arena layout, or a derived index
+    /// disagrees with the data.
+    Corrupt(String),
 }
 
 impl fmt::Display for Error {
@@ -42,6 +46,7 @@ impl fmt::Display for Error {
             Error::UnknownDocumentName(n) => write!(f, "no document named {n:?} is loaded"),
             Error::DuplicateDocumentName(n) => write!(f, "document named {n:?} already loaded"),
             Error::Builder(m) => write!(f, "document builder misuse: {m}"),
+            Error::Corrupt(m) => write!(f, "store corruption: {m}"),
         }
     }
 }

@@ -54,6 +54,13 @@ impl TagIndex {
     pub fn posting_count(&self) -> usize {
         self.map.values().map(Vec::len).sum()
     }
+
+    /// Iterates every `(tag, postings)` pair, in no particular order. Used
+    /// by the store checker ([`crate::check`]) to validate the index against
+    /// the arenas.
+    pub fn tags(&self) -> impl Iterator<Item = (TagId, &[NodeId])> {
+        self.map.iter().map(|(t, v)| (*t, v.as_slice()))
+    }
 }
 
 /// Totally ordered `f64` wrapper so numbers can key a `BTreeMap`.
@@ -97,6 +104,13 @@ impl ValueIndex {
         if let Ok(n) = content.trim().parse::<f64>() {
             self.numeric.entry(tag).or_default().entry(OrdF64(n)).or_default().push(id);
         }
+    }
+
+    /// Total number of exact-match postings (one per indexed node). Used by
+    /// the store checker to prove the index holds nothing beyond the nodes
+    /// the forward sweep accounted for.
+    pub fn exact_posting_count(&self) -> usize {
+        self.exact.values().map(Vec::len).sum()
     }
 
     /// Nodes whose tag is `tag` and whose inline content equals `value`.

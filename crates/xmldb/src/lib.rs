@@ -19,12 +19,16 @@
 //!   deliberately no index on join values, matching the paper's setup.
 //! * A small hand-written **XML parser and serializer** ([`parse`],
 //!   [`serialize`]) since the reproduction builds everything from scratch.
+//! * A **store invariant checker** ([`check`]): an O(n) verifier for the
+//!   interval encoding, arena layout, and index completeness, run against
+//!   generated and reloaded databases.
 //!
 //! Everything in the query engines (the TLC algebra as well as the TAX, GTP
 //! and navigational baselines) sits on top of this one store, so measured
 //! performance differences reflect algorithmic structure rather than storage
 //! maturity.
 
+pub mod check;
 pub mod database;
 pub mod document;
 pub mod error;
@@ -35,6 +39,7 @@ pub mod persist;
 pub mod serialize;
 pub mod tag;
 
+pub use check::{check_database, check_document, CheckReport};
 pub use database::{Database, NodeRef};
 pub use document::{Document, DocumentBuilder};
 pub use error::{Error, Result};

@@ -232,8 +232,11 @@ mod tests {
             loaded.value_index().lookup_cmp(age, std::cmp::Ordering::Greater, 20.0).len(),
             1
         );
-        // Invariants hold.
-        loaded.document(crate::node::DocId(0)).check_invariants().unwrap();
+        // Invariants hold — full store check, so snapshot corruption that
+        // slips past the per-record validation still fails loudly.
+        let report = crate::check::check_database(&loaded).unwrap();
+        assert_eq!(report.nodes, db.node_count());
+        assert_eq!(crate::check::check_database(&db).unwrap(), report);
     }
 
     #[test]

@@ -7,3 +7,4 @@ cd "$(dirname "$0")/.."
 cargo build --release --workspace
 cargo test -q --workspace
 cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_index-315b104c4a0c1e12.d: crates/bench/benches/ablation_index.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_index-315b104c4a0c1e12.rmeta: crates/bench/benches/ablation_index.rs Cargo.toml
+
+crates/bench/benches/ablation_index.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_nestjoin-db001e2bdfadc7ca.d: crates/bench/benches/ablation_nestjoin.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_nestjoin-db001e2bdfadc7ca.rmeta: crates/bench/benches/ablation_nestjoin.rs Cargo.toml
+
+crates/bench/benches/ablation_nestjoin.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_twigstack-b4026bd1f5687a38.d: crates/bench/benches/ablation_twigstack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_twigstack-b4026bd1f5687a38.rmeta: crates/bench/benches/ablation_twigstack.rs Cargo.toml
+
+crates/bench/benches/ablation_twigstack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analyze_corpus-d7cb997e52da4a38.d: tests/analyze_corpus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalyze_corpus-d7cb997e52da4a38.rmeta: tests/analyze_corpus.rs Cargo.toml
+
+tests/analyze_corpus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analyze_corpus-fce888d5f093eb7b.d: tests/analyze_corpus.rs
+
+/root/repo/target/debug/deps/analyze_corpus-fce888d5f093eb7b: tests/analyze_corpus.rs
+
+tests/analyze_corpus.rs:

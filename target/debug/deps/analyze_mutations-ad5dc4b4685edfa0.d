@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analyze_mutations-ad5dc4b4685edfa0.d: tests/analyze_mutations.rs
+
+/root/repo/target/debug/deps/analyze_mutations-ad5dc4b4685edfa0: tests/analyze_mutations.rs
+
+tests/analyze_mutations.rs:

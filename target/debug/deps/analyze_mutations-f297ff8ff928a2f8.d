@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analyze_mutations-f297ff8ff928a2f8.d: tests/analyze_mutations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalyze_mutations-f297ff8ff928a2f8.rmeta: tests/analyze_mutations.rs Cargo.toml
+
+tests/analyze_mutations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/baselines-524c26f24d8d305e.d: crates/baselines/src/lib.rs crates/baselines/src/gtp.rs crates/baselines/src/nav.rs crates/baselines/src/tax.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-524c26f24d8d305e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gtp.rs crates/baselines/src/nav.rs crates/baselines/src/tax.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gtp.rs:
+crates/baselines/src/nav.rs:
+crates/baselines/src/tax.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

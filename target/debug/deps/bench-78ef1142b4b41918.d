@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bench-78ef1142b4b41918.d: crates/bench/src/lib.rs crates/bench/src/concurrent.rs crates/bench/src/micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-78ef1142b4b41918.rmeta: crates/bench/src/lib.rs crates/bench/src/concurrent.rs crates/bench/src/micro.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/concurrent.rs:
+crates/bench/src/micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

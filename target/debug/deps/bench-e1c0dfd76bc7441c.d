@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bench-e1c0dfd76bc7441c.d: crates/bench/src/lib.rs crates/bench/src/concurrent.rs crates/bench/src/micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-e1c0dfd76bc7441c.rmeta: crates/bench/src/lib.rs crates/bench/src/concurrent.rs crates/bench/src/micro.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/concurrent.rs:
+crates/bench/src/micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

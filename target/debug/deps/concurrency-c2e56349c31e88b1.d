@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency-c2e56349c31e88b1.d: crates/service/tests/concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency-c2e56349c31e88b1.rmeta: crates/service/tests/concurrency.rs Cargo.toml
+
+crates/service/tests/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16-2f32ccecf41b775f.d: crates/bench/benches/fig16.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16-2f32ccecf41b775f.rmeta: crates/bench/benches/fig16.rs Cargo.toml
+
+crates/bench/benches/fig16.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

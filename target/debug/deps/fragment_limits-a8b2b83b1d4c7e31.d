@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fragment_limits-a8b2b83b1d4c7e31.d: tests/fragment_limits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfragment_limits-a8b2b83b1d4c7e31.rmeta: tests/fragment_limits.rs Cargo.toml
+
+tests/fragment_limits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_figures-d234b3dcdc67dc68.d: tests/paper_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_figures-d234b3dcdc67dc68.rmeta: tests/paper_figures.rs Cargo.toml
+
+tests/paper_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

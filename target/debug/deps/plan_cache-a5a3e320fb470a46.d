@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plan_cache-a5a3e320fb470a46.d: crates/service/tests/plan_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplan_cache-a5a3e320fb470a46.rmeta: crates/service/tests/plan_cache.rs Cargo.toml
+
+crates/service/tests/plan_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

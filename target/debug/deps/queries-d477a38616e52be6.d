@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/queries-d477a38616e52be6.d: crates/queries/src/lib.rs crates/queries/src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqueries-d477a38616e52be6.rmeta: crates/queries/src/lib.rs crates/queries/src/suite.rs Cargo.toml
+
+crates/queries/src/lib.rs:
+crates/queries/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/service-242cee81eff16ea3.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/metrics.rs crates/service/src/pool.rs crates/service/src/protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice-242cee81eff16ea3.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/metrics.rs crates/service/src/pool.rs crates/service/src/protocol.rs Cargo.toml
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/metrics.rs:
+crates/service/src/pool.rs:
+crates/service/src/protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/store_check-c53faaea7a764055.d: tests/store_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstore_check-c53faaea7a764055.rmeta: tests/store_check.rs Cargo.toml
+
+tests/store_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

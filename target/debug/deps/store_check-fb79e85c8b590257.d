@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/store_check-fb79e85c8b590257.d: tests/store_check.rs
+
+/root/repo/target/debug/deps/store_check-fb79e85c8b590257: tests/store_check.rs
+
+tests/store_check.rs:

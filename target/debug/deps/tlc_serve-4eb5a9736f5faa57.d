@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tlc_serve-4eb5a9736f5faa57.d: crates/service/src/bin/tlc_serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtlc_serve-4eb5a9736f5faa57.rmeta: crates/service/src/bin/tlc_serve.rs Cargo.toml
+
+crates/service/src/bin/tlc_serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

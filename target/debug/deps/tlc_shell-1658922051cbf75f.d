@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tlc_shell-1658922051cbf75f.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtlc_shell-1658922051cbf75f.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tlc_xml-6bff394be5c647a8.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtlc_xml-6bff394be5c647a8.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tooling-20c14ab769f7ff4d.d: tests/tooling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtooling-20c14ab769f7ff4d.rmeta: tests/tooling.rs Cargo.toml
+
+tests/tooling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

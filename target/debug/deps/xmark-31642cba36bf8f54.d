@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xmark-31642cba36bf8f54.d: crates/xmark/src/lib.rs crates/xmark/src/gen.rs crates/xmark/src/rng.rs crates/xmark/src/schema.rs crates/xmark/src/words.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxmark-31642cba36bf8f54.rmeta: crates/xmark/src/lib.rs crates/xmark/src/gen.rs crates/xmark/src/rng.rs crates/xmark/src/schema.rs crates/xmark/src/words.rs Cargo.toml
+
+crates/xmark/src/lib.rs:
+crates/xmark/src/gen.rs:
+crates/xmark/src/rng.rs:
+crates/xmark/src/schema.rs:
+crates/xmark/src/words.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/xmldb-696444c42bba04a5.d: crates/xmldb/src/lib.rs crates/xmldb/src/database.rs crates/xmldb/src/document.rs crates/xmldb/src/error.rs crates/xmldb/src/index.rs crates/xmldb/src/node.rs crates/xmldb/src/parse.rs crates/xmldb/src/persist.rs crates/xmldb/src/serialize.rs crates/xmldb/src/tag.rs
+/root/repo/target/debug/deps/xmldb-696444c42bba04a5.d: crates/xmldb/src/lib.rs crates/xmldb/src/check.rs crates/xmldb/src/database.rs crates/xmldb/src/document.rs crates/xmldb/src/error.rs crates/xmldb/src/index.rs crates/xmldb/src/node.rs crates/xmldb/src/parse.rs crates/xmldb/src/persist.rs crates/xmldb/src/serialize.rs crates/xmldb/src/tag.rs
 
-/root/repo/target/debug/deps/xmldb-696444c42bba04a5: crates/xmldb/src/lib.rs crates/xmldb/src/database.rs crates/xmldb/src/document.rs crates/xmldb/src/error.rs crates/xmldb/src/index.rs crates/xmldb/src/node.rs crates/xmldb/src/parse.rs crates/xmldb/src/persist.rs crates/xmldb/src/serialize.rs crates/xmldb/src/tag.rs
+/root/repo/target/debug/deps/xmldb-696444c42bba04a5: crates/xmldb/src/lib.rs crates/xmldb/src/check.rs crates/xmldb/src/database.rs crates/xmldb/src/document.rs crates/xmldb/src/error.rs crates/xmldb/src/index.rs crates/xmldb/src/node.rs crates/xmldb/src/parse.rs crates/xmldb/src/persist.rs crates/xmldb/src/serialize.rs crates/xmldb/src/tag.rs
 
 crates/xmldb/src/lib.rs:
+crates/xmldb/src/check.rs:
 crates/xmldb/src/database.rs:
 crates/xmldb/src/document.rs:
 crates/xmldb/src/error.rs:

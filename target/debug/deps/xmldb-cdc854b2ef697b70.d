@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/xmldb-cdc854b2ef697b70.d: crates/xmldb/src/lib.rs crates/xmldb/src/check.rs crates/xmldb/src/database.rs crates/xmldb/src/document.rs crates/xmldb/src/error.rs crates/xmldb/src/index.rs crates/xmldb/src/node.rs crates/xmldb/src/parse.rs crates/xmldb/src/persist.rs crates/xmldb/src/serialize.rs crates/xmldb/src/tag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxmldb-cdc854b2ef697b70.rmeta: crates/xmldb/src/lib.rs crates/xmldb/src/check.rs crates/xmldb/src/database.rs crates/xmldb/src/document.rs crates/xmldb/src/error.rs crates/xmldb/src/index.rs crates/xmldb/src/node.rs crates/xmldb/src/parse.rs crates/xmldb/src/persist.rs crates/xmldb/src/serialize.rs crates/xmldb/src/tag.rs Cargo.toml
+
+crates/xmldb/src/lib.rs:
+crates/xmldb/src/check.rs:
+crates/xmldb/src/database.rs:
+crates/xmldb/src/document.rs:
+crates/xmldb/src/error.rs:
+crates/xmldb/src/index.rs:
+crates/xmldb/src/node.rs:
+crates/xmldb/src/parse.rs:
+crates/xmldb/src/persist.rs:
+crates/xmldb/src/serialize.rs:
+crates/xmldb/src/tag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/xmldb-f93b9f72dcbfad35.d: crates/xmldb/src/lib.rs crates/xmldb/src/database.rs crates/xmldb/src/document.rs crates/xmldb/src/error.rs crates/xmldb/src/index.rs crates/xmldb/src/node.rs crates/xmldb/src/parse.rs crates/xmldb/src/persist.rs crates/xmldb/src/serialize.rs crates/xmldb/src/tag.rs
+/root/repo/target/debug/deps/xmldb-f93b9f72dcbfad35.d: crates/xmldb/src/lib.rs crates/xmldb/src/check.rs crates/xmldb/src/database.rs crates/xmldb/src/document.rs crates/xmldb/src/error.rs crates/xmldb/src/index.rs crates/xmldb/src/node.rs crates/xmldb/src/parse.rs crates/xmldb/src/persist.rs crates/xmldb/src/serialize.rs crates/xmldb/src/tag.rs
 
-/root/repo/target/debug/deps/libxmldb-f93b9f72dcbfad35.rlib: crates/xmldb/src/lib.rs crates/xmldb/src/database.rs crates/xmldb/src/document.rs crates/xmldb/src/error.rs crates/xmldb/src/index.rs crates/xmldb/src/node.rs crates/xmldb/src/parse.rs crates/xmldb/src/persist.rs crates/xmldb/src/serialize.rs crates/xmldb/src/tag.rs
+/root/repo/target/debug/deps/libxmldb-f93b9f72dcbfad35.rlib: crates/xmldb/src/lib.rs crates/xmldb/src/check.rs crates/xmldb/src/database.rs crates/xmldb/src/document.rs crates/xmldb/src/error.rs crates/xmldb/src/index.rs crates/xmldb/src/node.rs crates/xmldb/src/parse.rs crates/xmldb/src/persist.rs crates/xmldb/src/serialize.rs crates/xmldb/src/tag.rs
 
-/root/repo/target/debug/deps/libxmldb-f93b9f72dcbfad35.rmeta: crates/xmldb/src/lib.rs crates/xmldb/src/database.rs crates/xmldb/src/document.rs crates/xmldb/src/error.rs crates/xmldb/src/index.rs crates/xmldb/src/node.rs crates/xmldb/src/parse.rs crates/xmldb/src/persist.rs crates/xmldb/src/serialize.rs crates/xmldb/src/tag.rs
+/root/repo/target/debug/deps/libxmldb-f93b9f72dcbfad35.rmeta: crates/xmldb/src/lib.rs crates/xmldb/src/check.rs crates/xmldb/src/database.rs crates/xmldb/src/document.rs crates/xmldb/src/error.rs crates/xmldb/src/index.rs crates/xmldb/src/node.rs crates/xmldb/src/parse.rs crates/xmldb/src/persist.rs crates/xmldb/src/serialize.rs crates/xmldb/src/tag.rs
 
 crates/xmldb/src/lib.rs:
+crates/xmldb/src/check.rs:
 crates/xmldb/src/database.rs:
 crates/xmldb/src/document.rs:
 crates/xmldb/src/error.rs:

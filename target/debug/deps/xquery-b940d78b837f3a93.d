@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xquery-b940d78b837f3a93.d: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/lexer.rs crates/xquery/src/parser.rs crates/xquery/src/pretty.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxquery-b940d78b837f3a93.rmeta: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/lexer.rs crates/xquery/src/parser.rs crates/xquery/src/pretty.rs Cargo.toml
+
+crates/xquery/src/lib.rs:
+crates/xquery/src/ast.rs:
+crates/xquery/src/lexer.rs:
+crates/xquery/src/parser.rs:
+crates/xquery/src/pretty.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/auction_analytics-0f268fa27f3d6ca2.d: examples/auction_analytics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libauction_analytics-0f268fa27f3d6ca2.rmeta: examples/auction_analytics.rs Cargo.toml
+
+examples/auction_analytics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/heterogeneous_match-21c6287d68c96553.d: examples/heterogeneous_match.rs Cargo.toml
+
+/root/repo/target/debug/examples/libheterogeneous_match-21c6287d68c96553.rmeta: examples/heterogeneous_match.rs Cargo.toml
+
+examples/heterogeneous_match.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rewrite_optimizer-509f0ee1bd64926b.d: examples/rewrite_optimizer.rs Cargo.toml
+
+/root/repo/target/debug/examples/librewrite_optimizer-509f0ee1bd64926b.rmeta: examples/rewrite_optimizer.rs Cargo.toml
+
+examples/rewrite_optimizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/tlc-d7a1753c74cc27c2.d: crates/tlc/src/lib.rs crates/tlc/src/error.rs crates/tlc/src/exec.rs crates/tlc/src/guide.rs crates/tlc/src/logical_class.rs crates/tlc/src/matching.rs crates/tlc/src/ops/mod.rs crates/tlc/src/ops/aggregate.rs crates/tlc/src/ops/construct.rs crates/tlc/src/ops/dupelim.rs crates/tlc/src/ops/filter.rs crates/tlc/src/ops/grouping.rs crates/tlc/src/ops/join.rs crates/tlc/src/ops/materialize.rs crates/tlc/src/ops/project.rs crates/tlc/src/ops/restructure.rs crates/tlc/src/ops/select.rs crates/tlc/src/ops/sort.rs crates/tlc/src/ops/union_all.rs crates/tlc/src/optimizer.rs crates/tlc/src/output.rs crates/tlc/src/pattern.rs crates/tlc/src/physical/mod.rs crates/tlc/src/physical/structural.rs crates/tlc/src/physical/twigstack.rs crates/tlc/src/physical/valjoin.rs crates/tlc/src/plan.rs crates/tlc/src/rewrite.rs crates/tlc/src/stats.rs crates/tlc/src/translate.rs crates/tlc/src/tree.rs
+/root/repo/target/release/deps/tlc-d7a1753c74cc27c2.d: crates/tlc/src/lib.rs crates/tlc/src/analyze.rs crates/tlc/src/error.rs crates/tlc/src/exec.rs crates/tlc/src/guide.rs crates/tlc/src/logical_class.rs crates/tlc/src/matching.rs crates/tlc/src/ops/mod.rs crates/tlc/src/ops/aggregate.rs crates/tlc/src/ops/construct.rs crates/tlc/src/ops/dupelim.rs crates/tlc/src/ops/filter.rs crates/tlc/src/ops/grouping.rs crates/tlc/src/ops/join.rs crates/tlc/src/ops/materialize.rs crates/tlc/src/ops/project.rs crates/tlc/src/ops/restructure.rs crates/tlc/src/ops/select.rs crates/tlc/src/ops/sort.rs crates/tlc/src/ops/union_all.rs crates/tlc/src/optimizer.rs crates/tlc/src/output.rs crates/tlc/src/pattern.rs crates/tlc/src/physical/mod.rs crates/tlc/src/physical/structural.rs crates/tlc/src/physical/twigstack.rs crates/tlc/src/physical/valjoin.rs crates/tlc/src/plan.rs crates/tlc/src/rewrite.rs crates/tlc/src/stats.rs crates/tlc/src/translate.rs crates/tlc/src/tree.rs
 
-/root/repo/target/release/deps/libtlc-d7a1753c74cc27c2.rlib: crates/tlc/src/lib.rs crates/tlc/src/error.rs crates/tlc/src/exec.rs crates/tlc/src/guide.rs crates/tlc/src/logical_class.rs crates/tlc/src/matching.rs crates/tlc/src/ops/mod.rs crates/tlc/src/ops/aggregate.rs crates/tlc/src/ops/construct.rs crates/tlc/src/ops/dupelim.rs crates/tlc/src/ops/filter.rs crates/tlc/src/ops/grouping.rs crates/tlc/src/ops/join.rs crates/tlc/src/ops/materialize.rs crates/tlc/src/ops/project.rs crates/tlc/src/ops/restructure.rs crates/tlc/src/ops/select.rs crates/tlc/src/ops/sort.rs crates/tlc/src/ops/union_all.rs crates/tlc/src/optimizer.rs crates/tlc/src/output.rs crates/tlc/src/pattern.rs crates/tlc/src/physical/mod.rs crates/tlc/src/physical/structural.rs crates/tlc/src/physical/twigstack.rs crates/tlc/src/physical/valjoin.rs crates/tlc/src/plan.rs crates/tlc/src/rewrite.rs crates/tlc/src/stats.rs crates/tlc/src/translate.rs crates/tlc/src/tree.rs
+/root/repo/target/release/deps/libtlc-d7a1753c74cc27c2.rlib: crates/tlc/src/lib.rs crates/tlc/src/analyze.rs crates/tlc/src/error.rs crates/tlc/src/exec.rs crates/tlc/src/guide.rs crates/tlc/src/logical_class.rs crates/tlc/src/matching.rs crates/tlc/src/ops/mod.rs crates/tlc/src/ops/aggregate.rs crates/tlc/src/ops/construct.rs crates/tlc/src/ops/dupelim.rs crates/tlc/src/ops/filter.rs crates/tlc/src/ops/grouping.rs crates/tlc/src/ops/join.rs crates/tlc/src/ops/materialize.rs crates/tlc/src/ops/project.rs crates/tlc/src/ops/restructure.rs crates/tlc/src/ops/select.rs crates/tlc/src/ops/sort.rs crates/tlc/src/ops/union_all.rs crates/tlc/src/optimizer.rs crates/tlc/src/output.rs crates/tlc/src/pattern.rs crates/tlc/src/physical/mod.rs crates/tlc/src/physical/structural.rs crates/tlc/src/physical/twigstack.rs crates/tlc/src/physical/valjoin.rs crates/tlc/src/plan.rs crates/tlc/src/rewrite.rs crates/tlc/src/stats.rs crates/tlc/src/translate.rs crates/tlc/src/tree.rs
 
-/root/repo/target/release/deps/libtlc-d7a1753c74cc27c2.rmeta: crates/tlc/src/lib.rs crates/tlc/src/error.rs crates/tlc/src/exec.rs crates/tlc/src/guide.rs crates/tlc/src/logical_class.rs crates/tlc/src/matching.rs crates/tlc/src/ops/mod.rs crates/tlc/src/ops/aggregate.rs crates/tlc/src/ops/construct.rs crates/tlc/src/ops/dupelim.rs crates/tlc/src/ops/filter.rs crates/tlc/src/ops/grouping.rs crates/tlc/src/ops/join.rs crates/tlc/src/ops/materialize.rs crates/tlc/src/ops/project.rs crates/tlc/src/ops/restructure.rs crates/tlc/src/ops/select.rs crates/tlc/src/ops/sort.rs crates/tlc/src/ops/union_all.rs crates/tlc/src/optimizer.rs crates/tlc/src/output.rs crates/tlc/src/pattern.rs crates/tlc/src/physical/mod.rs crates/tlc/src/physical/structural.rs crates/tlc/src/physical/twigstack.rs crates/tlc/src/physical/valjoin.rs crates/tlc/src/plan.rs crates/tlc/src/rewrite.rs crates/tlc/src/stats.rs crates/tlc/src/translate.rs crates/tlc/src/tree.rs
+/root/repo/target/release/deps/libtlc-d7a1753c74cc27c2.rmeta: crates/tlc/src/lib.rs crates/tlc/src/analyze.rs crates/tlc/src/error.rs crates/tlc/src/exec.rs crates/tlc/src/guide.rs crates/tlc/src/logical_class.rs crates/tlc/src/matching.rs crates/tlc/src/ops/mod.rs crates/tlc/src/ops/aggregate.rs crates/tlc/src/ops/construct.rs crates/tlc/src/ops/dupelim.rs crates/tlc/src/ops/filter.rs crates/tlc/src/ops/grouping.rs crates/tlc/src/ops/join.rs crates/tlc/src/ops/materialize.rs crates/tlc/src/ops/project.rs crates/tlc/src/ops/restructure.rs crates/tlc/src/ops/select.rs crates/tlc/src/ops/sort.rs crates/tlc/src/ops/union_all.rs crates/tlc/src/optimizer.rs crates/tlc/src/output.rs crates/tlc/src/pattern.rs crates/tlc/src/physical/mod.rs crates/tlc/src/physical/structural.rs crates/tlc/src/physical/twigstack.rs crates/tlc/src/physical/valjoin.rs crates/tlc/src/plan.rs crates/tlc/src/rewrite.rs crates/tlc/src/stats.rs crates/tlc/src/translate.rs crates/tlc/src/tree.rs
 
 crates/tlc/src/lib.rs:
+crates/tlc/src/analyze.rs:
 crates/tlc/src/error.rs:
 crates/tlc/src/exec.rs:
 crates/tlc/src/guide.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/xmldb-af7e3fc3e0f8cb9a.d: crates/xmldb/src/lib.rs crates/xmldb/src/database.rs crates/xmldb/src/document.rs crates/xmldb/src/error.rs crates/xmldb/src/index.rs crates/xmldb/src/node.rs crates/xmldb/src/parse.rs crates/xmldb/src/persist.rs crates/xmldb/src/serialize.rs crates/xmldb/src/tag.rs
+/root/repo/target/release/deps/xmldb-af7e3fc3e0f8cb9a.d: crates/xmldb/src/lib.rs crates/xmldb/src/check.rs crates/xmldb/src/database.rs crates/xmldb/src/document.rs crates/xmldb/src/error.rs crates/xmldb/src/index.rs crates/xmldb/src/node.rs crates/xmldb/src/parse.rs crates/xmldb/src/persist.rs crates/xmldb/src/serialize.rs crates/xmldb/src/tag.rs
 
-/root/repo/target/release/deps/libxmldb-af7e3fc3e0f8cb9a.rlib: crates/xmldb/src/lib.rs crates/xmldb/src/database.rs crates/xmldb/src/document.rs crates/xmldb/src/error.rs crates/xmldb/src/index.rs crates/xmldb/src/node.rs crates/xmldb/src/parse.rs crates/xmldb/src/persist.rs crates/xmldb/src/serialize.rs crates/xmldb/src/tag.rs
+/root/repo/target/release/deps/libxmldb-af7e3fc3e0f8cb9a.rlib: crates/xmldb/src/lib.rs crates/xmldb/src/check.rs crates/xmldb/src/database.rs crates/xmldb/src/document.rs crates/xmldb/src/error.rs crates/xmldb/src/index.rs crates/xmldb/src/node.rs crates/xmldb/src/parse.rs crates/xmldb/src/persist.rs crates/xmldb/src/serialize.rs crates/xmldb/src/tag.rs
 
-/root/repo/target/release/deps/libxmldb-af7e3fc3e0f8cb9a.rmeta: crates/xmldb/src/lib.rs crates/xmldb/src/database.rs crates/xmldb/src/document.rs crates/xmldb/src/error.rs crates/xmldb/src/index.rs crates/xmldb/src/node.rs crates/xmldb/src/parse.rs crates/xmldb/src/persist.rs crates/xmldb/src/serialize.rs crates/xmldb/src/tag.rs
+/root/repo/target/release/deps/libxmldb-af7e3fc3e0f8cb9a.rmeta: crates/xmldb/src/lib.rs crates/xmldb/src/check.rs crates/xmldb/src/database.rs crates/xmldb/src/document.rs crates/xmldb/src/error.rs crates/xmldb/src/index.rs crates/xmldb/src/node.rs crates/xmldb/src/parse.rs crates/xmldb/src/persist.rs crates/xmldb/src/serialize.rs crates/xmldb/src/tag.rs
 
 crates/xmldb/src/lib.rs:
+crates/xmldb/src/check.rs:
 crates/xmldb/src/database.rs:
 crates/xmldb/src/document.rs:
 crates/xmldb/src/error.rs:

@@ -1,0 +1,90 @@
+//! The LC dataflow analyzer over the whole query corpus.
+//!
+//! Every paper/extended query, compiled in every plan style and under every
+//! plan engine, must verify — freshly translated, after each individual
+//! rewrite pass, and after the full `optimize`/`optimize_costed` pipelines.
+//! This is the integration face of the differential rewrite oracle: a
+//! rewrite bug that drops, shadows or re-labels a class some later operator
+//! still references fails here with a typed error naming the pass.
+
+use baselines::Engine;
+use tlc::translate::Style;
+
+fn xmark_db() -> xmldb::Database {
+    xmark::auction_database(0.001)
+}
+
+fn corpus() -> Vec<(&'static str, &'static str)> {
+    queries::all_queries()
+        .iter()
+        .chain(queries::extended_queries())
+        .map(|q| (q.name, q.text))
+        .collect()
+}
+
+#[test]
+fn every_compiled_plan_verifies_in_every_style() {
+    let db = xmark_db();
+    let mut checked = 0;
+    for (name, text) in corpus() {
+        for style in [Style::Tlc, Style::Gtp, Style::Tax] {
+            let plan = match tlc::compile_with_style(text, &db, style) {
+                Ok(p) => p,
+                Err(tlc::Error::Unsupported(_)) => continue,
+                Err(e) => panic!("{name} ({style:?}) failed to compile: {e}"),
+            };
+            tlc::analyze::verify(&plan)
+                .unwrap_or_else(|e| panic!("{name} ({style:?}) fails analysis: {e}"));
+            checked += 1;
+        }
+    }
+    assert!(checked > 60, "corpus unexpectedly small: {checked} plans checked");
+}
+
+#[test]
+fn every_rewrite_step_preserves_dataflow() {
+    let db = xmark_db();
+    for (name, text) in corpus() {
+        let plan =
+            tlc::compile(text, &db).unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
+        // Step the two passes by hand, verifying after each application —
+        // the same discipline optimize_verified enforces internally.
+        let mut p = plan.clone();
+        for (pass, rewrite) in [
+            ("flatten_rewrite", tlc::rewrite::flatten_rewrite as fn(&_) -> _),
+            ("shadow_rewrite", tlc::rewrite::shadow_rewrite),
+        ] {
+            loop {
+                let (next, changed) = rewrite(&p);
+                if !changed {
+                    break;
+                }
+                tlc::analyze::verify(&next).unwrap_or_else(|e| {
+                    panic!("{name}: {pass} broke dataflow: {e}\n{}", next.display(Some(&db)))
+                });
+                p = next;
+            }
+        }
+        // And the packaged pipelines.
+        tlc::optimize_verified(&plan).unwrap_or_else(|(_, v)| panic!("{name}: {v}"));
+        let costed = tlc::optimize_costed(&plan, &db);
+        tlc::analyze::verify(&costed)
+            .unwrap_or_else(|e| panic!("{name}: costed plan fails analysis: {e}"));
+    }
+}
+
+#[test]
+fn every_engine_plan_verifies() {
+    let db = xmark_db();
+    for (name, text) in corpus() {
+        for engine in Engine::plan_engines() {
+            let plan = match baselines::plan_for(engine, text, &db) {
+                Ok(p) => p,
+                Err(tlc::Error::Unsupported(_)) => continue,
+                Err(e) => panic!("{name} ({}) failed to plan: {e}", engine.name()),
+            };
+            tlc::analyze::verify(&plan)
+                .unwrap_or_else(|e| panic!("{name} ({}) fails analysis: {e}", engine.name()));
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Seeded mutation testing of the LC dataflow analyzer.
+//!
+//! Takes real compiled corpus plans, applies a seeded structural mutation —
+//! drop a downstream-needed class from a Project, point a Join predicate at
+//! a class the right side does not produce, corrupt or empty a Union branch,
+//! duplicate a pattern label — and asserts the analyzer rejects each with
+//! the matching typed `AnalyzeError` variant. This is the negative face of
+//! the corpus test: the analyzer must accept every valid plan *and* refuse
+//! every one of these invalid ones.
+
+use tlc::analyze::{self, AnalyzeError};
+use tlc::{LclId, Plan};
+use xmark::rng::{SeedableRng, StdRng};
+
+fn xmark_db() -> xmldb::Database {
+    xmark::auction_database(0.0005)
+}
+
+/// A class id no translator-produced plan ever issues.
+const BOGUS: LclId = LclId(999_999);
+
+/// Walks the plan pre-order, offering each operator to `f` mutably; stops
+/// after the first mutation `f` reports.
+fn mutate_first(plan: &mut Plan, f: &mut impl FnMut(&mut Plan) -> bool) -> bool {
+    if f(plan) {
+        return true;
+    }
+    match plan {
+        Plan::Select { input, .. } => input.as_deref_mut().is_some_and(|i| mutate_first(i, f)),
+        Plan::Join { left, right, .. } => mutate_first(left, f) || mutate_first(right, f),
+        Plan::Union { inputs, .. } => inputs.iter_mut().any(|i| mutate_first(i, f)),
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::DupElim { input, .. }
+        | Plan::Aggregate { input, .. }
+        | Plan::Construct { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Flatten { input, .. }
+        | Plan::Shadow { input, .. }
+        | Plan::Illuminate { input, .. }
+        | Plan::GroupBy { input, .. }
+        | Plan::Materialize { input, .. } => mutate_first(input, f),
+    }
+}
+
+/// Compiled plans for the whole corpus (TLC style).
+fn corpus_plans(db: &xmldb::Database) -> Vec<(&'static str, Plan)> {
+    queries::all_queries()
+        .iter()
+        .chain(queries::extended_queries())
+        .filter_map(|q| tlc::compile(q.text, db).ok().map(|p| (q.name, p)))
+        .collect()
+}
+
+#[test]
+fn dropping_a_needed_project_class_is_rejected() {
+    let db = xmark_db();
+    let mut rejected = 0;
+    for (name, plan) in corpus_plans(&db) {
+        // Drop, from some Project, a kept class that is *not* the subtree's
+        // root class (the root always survives, so dropping it is not a
+        // violation) and that a downstream operator still references.
+        let mut mutant = plan.clone();
+        let mutated = mutate_first(&mut mutant, &mut |p| {
+            if let Plan::Project { input, keep } = p {
+                let Ok(t) = analyze::analyze(input) else { return false };
+                if let Some(pos) =
+                    keep.iter().position(|k| t.root != Some(*k) && t.classes.contains_key(k))
+                {
+                    keep.remove(pos);
+                    return true;
+                }
+            }
+            false
+        });
+        if !mutated {
+            continue;
+        }
+        match analyze::verify(&mutant) {
+            // Most drops orphan a later reference; all must be typed.
+            Err(AnalyzeError::MissingClass { .. })
+            | Err(AnalyzeError::MissingAnchor { .. })
+            | Err(AnalyzeError::UnionBranchMissing { .. })
+            | Err(AnalyzeError::JoinSideMissing { .. }) => rejected += 1,
+            Err(other) => panic!("{name}: unexpected error class {other}"),
+            // A keep entry nothing downstream reads is legal to drop.
+            Ok(_) => {}
+        }
+    }
+    assert!(rejected >= 5, "only {rejected} plans rejected the Project mutation");
+}
+
+#[test]
+fn renaming_a_join_reference_is_rejected() {
+    let db = xmark_db();
+    let mut seen = 0;
+    let mut rng = StdRng::seed_from_u64(0x071c_2004);
+    for (name, plan) in corpus_plans(&db) {
+        let pick_left = rng.next_u64() % 2 == 0;
+        let mut mutant = plan.clone();
+        let mutated = mutate_first(&mut mutant, &mut |p| {
+            if let Plan::Join { spec, .. } = p {
+                if let Some(pred) = &mut spec.pred {
+                    if pick_left {
+                        pred.left = BOGUS;
+                    } else {
+                        pred.right = BOGUS;
+                    }
+                    return true;
+                }
+            }
+            false
+        });
+        if !mutated {
+            continue;
+        }
+        seen += 1;
+        let expect = if pick_left { "left" } else { "right" };
+        match analyze::verify(&mutant) {
+            Err(AnalyzeError::JoinSideMissing { side, lcl }) => {
+                assert_eq!(side, expect, "{name}");
+                assert_eq!(lcl, BOGUS, "{name}");
+            }
+            other => panic!("{name}: expected JoinSideMissing({expect}), got {other:?}"),
+        }
+    }
+    assert!(seen >= 5, "only {seen} plans had a join predicate to corrupt");
+}
+
+#[test]
+fn corrupting_a_union_branch_is_rejected() {
+    let db = xmark_db();
+    let mut seen = 0;
+    let mut rng = StdRng::seed_from_u64(0xbeef);
+    for (name, plan) in corpus_plans(&db) {
+        let mut branch_count = 0usize;
+        let mut probe = plan.clone();
+        mutate_first(&mut probe, &mut |p| {
+            if let Plan::Union { inputs, dedup_on } = p {
+                if !dedup_on.is_empty() {
+                    branch_count = inputs.len();
+                }
+            }
+            false
+        });
+        if branch_count == 0 {
+            continue;
+        }
+        // Project a seeded branch down to nothing: the branch no longer
+        // produces the union's dedup classes.
+        let victim = (rng.next_u64() % branch_count as u64) as usize;
+        let mut mutant = plan.clone();
+        mutate_first(&mut mutant, &mut |p| {
+            if let Plan::Union { inputs, dedup_on } = p {
+                if !dedup_on.is_empty() {
+                    let old = std::mem::replace(
+                        &mut inputs[victim],
+                        Plan::Union { inputs: vec![], dedup_on: vec![] },
+                    );
+                    inputs[victim] = Plan::Project { input: Box::new(old), keep: vec![] };
+                    return true;
+                }
+            }
+            false
+        });
+        seen += 1;
+        match analyze::verify(&mutant) {
+            Err(AnalyzeError::UnionBranchMissing { branch, .. }) => {
+                assert_eq!(branch, victim, "{name}")
+            }
+            other => panic!("{name}: expected UnionBranchMissing, got {other:?}"),
+        }
+    }
+    assert!(seen >= 1, "no corpus query produced a Union plan");
+}
+
+#[test]
+fn emptying_a_union_is_rejected() {
+    let db = xmark_db();
+    let mut seen = 0;
+    for (name, plan) in corpus_plans(&db) {
+        let mut mutant = plan.clone();
+        let mutated = mutate_first(&mut mutant, &mut |p| {
+            if let Plan::Union { inputs, .. } = p {
+                inputs.clear();
+                return true;
+            }
+            false
+        });
+        if !mutated {
+            continue;
+        }
+        seen += 1;
+        match analyze::verify(&mutant) {
+            Err(AnalyzeError::EmptyUnion) => {}
+            other => panic!("{name}: expected EmptyUnion, got {other:?}"),
+        }
+    }
+    assert!(seen >= 1, "no corpus query produced a Union plan");
+}
+
+#[test]
+fn duplicating_a_pattern_label_is_rejected() {
+    let db = xmark_db();
+    let mut seen = 0;
+    let mut rng = StdRng::seed_from_u64(42);
+    for (name, plan) in corpus_plans(&db) {
+        let reuse = rng.next_u64();
+        let mut mutant = plan.clone();
+        let mutated = mutate_first(&mut mutant, &mut |p| {
+            if let Plan::Select { apt, .. } = p {
+                if !apt.nodes.is_empty() {
+                    // Relabel a seeded pattern node with the anchor's label.
+                    let i = (reuse % apt.nodes.len() as u64) as usize;
+                    apt.nodes[i].lcl = apt.root_lcl();
+                    return true;
+                }
+            }
+            false
+        });
+        if !mutated {
+            continue;
+        }
+        seen += 1;
+        match analyze::verify(&mutant) {
+            Err(AnalyzeError::DuplicateClass { .. }) => {}
+            // Relabeling can also orphan the old label's downstream users —
+            // the duplicate check fires first on the APT itself though.
+            other => panic!("{name}: expected DuplicateClass, got {other:?}"),
+        }
+    }
+    assert!(seen >= 10, "only {seen} plans had a pattern node to relabel");
+}

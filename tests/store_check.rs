@@ -1,0 +1,28 @@
+//! The store invariant checker over generated XMark databases.
+//!
+//! Every scale factor exercised by the benchmark harness must produce a
+//! database whose interval encoding, arena layout and derived indexes pass
+//! `xmldb::check` — and the persistence round trip must preserve that.
+
+#[test]
+fn xmark_databases_pass_the_store_check() {
+    for factor in [0.0002, 0.001, 0.005] {
+        let db = xmark::auction_database(factor);
+        let report = xmldb::check_database(&db)
+            .unwrap_or_else(|e| panic!("xmark factor {factor} fails the store check: {e}"));
+        assert_eq!(report.documents, db.document_count());
+        assert_eq!(report.nodes, db.node_count());
+        assert_eq!(report.tag_postings, db.tag_index().posting_count());
+    }
+}
+
+#[test]
+fn xmark_snapshot_round_trip_passes_the_store_check() {
+    let db = xmark::auction_database(0.001);
+    let mut buf = Vec::new();
+    xmldb::persist::save(&db, &mut buf).unwrap();
+    let loaded = xmldb::persist::load(&mut buf.as_slice()).unwrap();
+    let a = xmldb::check_database(&db).unwrap();
+    let b = xmldb::check_database(&loaded).unwrap();
+    assert_eq!(a, b, "round trip must preserve node and posting counts");
+}
