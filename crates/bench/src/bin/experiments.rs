@@ -6,6 +6,7 @@
 //! experiments fig17 [--factors F1,F2,...]
 //! experiments stats [--factor F]     # per-engine ExecStats (redundancy metrics)
 //! experiments concurrent [--factor F] [--threads N] [--rounds R]
+//! experiments hotswap [--factor F] [--threads N] [--rounds R] [--swap-ms MS]
 //! experiments check [--factor F]     # store invariant check on generated data
 //! experiments all   [--factor F]
 //! ```
@@ -14,6 +15,12 @@
 //! replaying the full workload R times each, and reports QPS and exact
 //! latency percentiles with the plan cache warm versus compiling every
 //! query from scratch.
+//!
+//! `hotswap` soaks the catalog's epoch-versioned snapshot swap: clients
+//! replay the workload while a background thread republishes the database
+//! every `--swap-ms` milliseconds; every answer is byte-checked against a
+//! single-threaded reference for the epoch it reports. Exits non-zero on
+//! any failed request or wrong-snapshot answer.
 
 use baselines::Engine;
 use bench::{
@@ -49,6 +56,14 @@ fn main() {
                 flag_value(&args, "--factor").and_then(|v| v.parse().ok()).unwrap_or(0.0005);
             run_concurrent(factor, threads, rounds);
         }
+        "hotswap" => {
+            let threads = flag_value(&args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(4);
+            let rounds = flag_value(&args, "--rounds").and_then(|v| v.parse().ok()).unwrap_or(10);
+            let factor =
+                flag_value(&args, "--factor").and_then(|v| v.parse().ok()).unwrap_or(0.0005);
+            let swap_ms = flag_value(&args, "--swap-ms").and_then(|v| v.parse().ok()).unwrap_or(10);
+            run_hotswap(factor, threads, rounds, Duration::from_millis(swap_ms));
+        }
         "check" => run_check(factor),
         "all" => {
             run_fig15(factor, budget);
@@ -61,7 +76,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other:?}; use fig15|fig16|fig17|stats|concurrent|check|all"
+                "unknown command {other:?}; use fig15|fig16|fig17|stats|concurrent|hotswap|check|all"
             );
             std::process::exit(2);
         }
@@ -103,6 +118,26 @@ fn run_concurrent(factor: f64, threads: usize, rounds: usize) {
     );
     let (cached, uncached) = bench::concurrent::cached_vs_uncached(db, threads, rounds);
     print!("{}", bench::concurrent::render_comparison(&cached, &uncached, factor));
+}
+
+/// Hot-swap soak: correctness under concurrent snapshot republishes. Any
+/// failed request or answer from the wrong snapshot exits non-zero.
+fn run_hotswap(factor: f64, threads: usize, rounds: usize, swap_every: Duration) {
+    eprintln!(
+        "soaking hot swap: XMark factors {factor} / {}, {threads} clients x {rounds} rounds, \
+         swap every {swap_every:?} ...",
+        factor * 2.0
+    );
+    let report = bench::concurrent::hot_swap_soak(factor, threads, rounds, swap_every);
+    println!("{}", report.summary());
+    if !report.clean() {
+        eprintln!(
+            "hot swap soak FAILED: {} error(s), {} stale answer(s)",
+            report.errors, report.stale
+        );
+        std::process::exit(1);
+    }
+    println!("hot swap soak clean: every answer matched its epoch's reference");
 }
 
 /// Generates XMark data at the given factor and runs the full store

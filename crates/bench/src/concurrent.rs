@@ -10,10 +10,20 @@
 //! The second entry point, [`cached_vs_uncached`], quantifies what the
 //! plan cache buys: the same workload through the same service, with the
 //! cache warm versus a cache too small to ever hit (compile every time).
+//!
+//! The third, [`hot_swap_soak`], is the correctness gauntlet for the
+//! catalog's epoch-versioned hot swap: client threads hammer the service
+//! while a background thread keeps republishing the default database, and
+//! every response is byte-compared against a single-threaded reference for
+//! the snapshot the service *says* it ran on (the response's epoch picks
+//! the reference). Any failed request or any answer from the wrong
+//! snapshot is a defect, not noise.
 
+use baselines::Engine;
 use queries::all_queries;
+use service::catalog::DEFAULT_DB;
 use service::{Service, ServiceConfig};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xmldb::Database;
@@ -138,6 +148,138 @@ pub fn cached_vs_uncached(
     (cached, uncached)
 }
 
+/// One hot-swap soak run's results.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Client threads that generated the load.
+    pub threads: usize,
+    /// Snapshot swaps the background thread published during the run.
+    pub swaps: u64,
+    /// Requests whose answer byte-matched the reference for their epoch.
+    pub ok: u64,
+    /// Requests that failed outright.
+    pub errors: u64,
+    /// Requests that answered from the *wrong* snapshot (stale plan or
+    /// torn swap) — must be zero for the hot swap to be sound.
+    pub stale: u64,
+    /// Wall-clock time for the whole run.
+    pub elapsed: Duration,
+}
+
+impl SoakReport {
+    /// Whether the run saw neither failures nor wrong-snapshot answers.
+    pub fn clean(&self) -> bool {
+        self.errors == 0 && self.stale == 0
+    }
+
+    /// One-line summary:
+    /// `threads=4 swaps=17 ok=184 err=0 stale=0 elapsed=1.3s`.
+    pub fn summary(&self) -> String {
+        format!(
+            "threads={} swaps={} ok={} err={} stale={} elapsed={:.1?}",
+            self.threads, self.swaps, self.ok, self.errors, self.stale, self.elapsed
+        )
+    }
+}
+
+/// Replays the workload from `threads` clients while a background thread
+/// hot-swaps the default database every `swap_every`, alternating between
+/// two XMark variants (scale `factor` and `factor * 2`).
+///
+/// The epoch→variant mapping is fixed by construction: the run starts on
+/// variant 0 at epoch 0 and the s-th swap publishes variant `s % 2` at
+/// epoch `s`, so epoch parity names the snapshot. Each response's output
+/// is compared byte-for-byte against a single-threaded TLC reference for
+/// the variant its `db_epoch` selects; a mismatch means a plan compiled
+/// against one snapshot was executed against another.
+pub fn hot_swap_soak(
+    factor: f64,
+    threads: usize,
+    rounds: usize,
+    swap_every: Duration,
+) -> SoakReport {
+    let variants: [Arc<Database>; 2] =
+        [Arc::new(crate::setup(factor)), Arc::new(crate::setup(factor * 2.0))];
+    let texts: Vec<&'static str> = all_queries().iter().map(|q| q.text).collect();
+    // Per-variant reference answers, computed single-threaded up front.
+    let refs: Vec<Vec<String>> = variants
+        .iter()
+        .map(|db| {
+            texts.iter().map(|q| baselines::run(Engine::Tlc, q, db).expect("reference")).collect()
+        })
+        .collect();
+    let svc = Service::new(
+        Arc::clone(&variants[0]),
+        ServiceConfig { workers: threads, queue_depth: threads * 4, ..Default::default() },
+    );
+    let stop = AtomicBool::new(false);
+    let swaps = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let stale = AtomicU64::new(0);
+    let started = Instant::now();
+    let ok: u64 = std::thread::scope(|s| {
+        let swapper = s.spawn(|| {
+            let mut epoch = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                epoch += 1;
+                let entry = svc
+                    .install(DEFAULT_DB, Arc::clone(&variants[(epoch % 2) as usize]))
+                    .expect("swap default db");
+                // The swapper is the only publisher, so the catalog's epoch
+                // must track its counter exactly — this is what makes epoch
+                // parity a valid variant witness for the clients.
+                assert_eq!(entry.epoch(), epoch, "unexpected concurrent publisher");
+                swaps.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(swap_every);
+            }
+        });
+        let clients: Vec<_> = (0..threads)
+            .map(|t| {
+                let texts = &texts;
+                let refs = &refs;
+                let svc = &svc;
+                let errors = &errors;
+                let stale = &stale;
+                s.spawn(move || {
+                    let mut mine = 0u64;
+                    for round in 0..rounds {
+                        let offset = (t + round) % texts.len();
+                        for i in 0..texts.len() {
+                            let qi = (offset + i) % texts.len();
+                            match svc.execute(texts[qi]) {
+                                Ok(resp) => {
+                                    let expect = &refs[(resp.db_epoch % 2) as usize][qi];
+                                    if resp.output == *expect {
+                                        mine += 1;
+                                    } else {
+                                        stale.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                Err(_) => {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let ok = clients.into_iter().map(|h| h.join().expect("client thread")).sum();
+        stop.store(true, Ordering::Relaxed);
+        swapper.join().expect("swapper thread");
+        ok
+    });
+    SoakReport {
+        threads,
+        swaps: swaps.into_inner(),
+        ok,
+        errors: errors.into_inner(),
+        stale: stale.into_inner(),
+        elapsed: started.elapsed(),
+    }
+}
+
 /// Renders the comparison as a small text table.
 pub fn render_comparison(cached: &LoadReport, uncached: &LoadReport, factor: f64) -> String {
     let speedup = if uncached.qps() > 0.0 { cached.qps() / uncached.qps() } else { f64::INFINITY };
@@ -167,6 +309,16 @@ mod tests {
         assert_eq!(report.quantile(0.0), Duration::from_millis(1));
         assert_eq!(report.quantile(1.0), Duration::from_millis(4));
         assert_eq!(report.qps(), 4.0);
+    }
+
+    #[test]
+    fn hot_swap_soak_is_clean_on_a_tiny_database() {
+        // Swap aggressively (every 5ms) so plenty of requests straddle a
+        // publish; factor is tiny to keep the test fast.
+        let report = hot_swap_soak(0.0005, 4, 2, Duration::from_millis(5));
+        assert!(report.clean(), "soak saw defects: {}", report.summary());
+        assert_eq!(report.ok, 4 * 2 * all_queries().len() as u64);
+        assert!(report.swaps >= 1, "the swapper never ran");
     }
 
     #[test]

@@ -16,22 +16,32 @@
 //! .analyze                      toggle per-operator timings
 //! .bench <name>                 run a Figure 15 workload query by name
 //! .queries                      list the workload queries
+//! .open <name> <file>           load a snapshot/XML as catalog database <name>
+//! .use <name>                   switch the shell to a catalog database
+//! .reload [<name>]              re-read a database's file and hot-swap it
+//! .catalog                      list the registered databases
 //! .check                        verify store invariants and indexes
-//! .save <file.tlcx>             snapshot the database to disk
+//! .save <file.tlcx>             snapshot the current database to disk
 //! .serve <addr>                 share this database over TCP (tlc-serve protocol)
 //! .help  .quit
 //! ```
 //!
+//! The startup database (generated, `--load`ed, or `--db` snapshot) is
+//! catalog entry `main`; queries and `.check`/`.save`/`.serve` act on
+//! whichever database the shell is currently `.use`-ing.
+//!
 //! With `--connect` the shell sends each query line to a `tlc-serve`
 //! process instead of evaluating locally; `.metrics` fetches the server's
-//! metrics report.
+//! metrics report and the catalog commands drive the server's catalog.
 
 use baselines::Engine;
+use service::catalog::{self, Catalog, DEFAULT_DB};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
 struct Shell {
-    db: Arc<xmldb::Database>,
+    catalog: Catalog,
+    current: String,
     engine: Engine,
     explain: bool,
     stats: bool,
@@ -75,15 +85,27 @@ fn main() {
         db
     };
 
-    let mut shell =
-        Shell { db: Arc::new(db), engine, explain: false, stats: false, analyze: false };
+    let shell_catalog = Catalog::new();
+    shell_catalog.register(DEFAULT_DB, Arc::new(db)).expect("default name is valid");
+    let mut shell = Shell {
+        catalog: shell_catalog,
+        current: DEFAULT_DB.to_string(),
+        engine,
+        explain: false,
+        stats: false,
+        analyze: false,
+    };
     eprintln!("engine: {} — type .help for commands", shell.engine.name());
 
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     loop {
         if buffer.is_empty() {
-            eprint!("tlc> ");
+            if shell.current == DEFAULT_DB {
+                eprint!("tlc> ");
+            } else {
+                eprint!("tlc:{}> ", shell.current);
+            }
         } else {
             eprint!("...> ");
         }
@@ -188,11 +210,51 @@ fn parse_engine(s: &str) -> Engine {
 }
 
 impl Shell {
+    /// The current database's published snapshot. The shell resolves per
+    /// command/query, so a `.reload` is visible immediately.
+    fn db(&self) -> Arc<xmldb::Database> {
+        let entry = self.catalog.resolve(&self.current).expect("current db is registered");
+        Arc::clone(entry.database())
+    }
+
     /// Handles a dot-command; returns false to quit.
     fn command(&mut self, cmd: &str) -> bool {
         let mut parts = cmd.split_whitespace();
         match parts.next().unwrap_or("") {
             ".quit" | ".exit" => return false,
+            ".open" => match (parts.next(), parts.next()) {
+                (Some(name), Some(file)) => {
+                    match self.catalog.open(name, std::path::Path::new(file)) {
+                        Ok(entry) => {
+                            self.current = name.to_string();
+                            println!(
+                                "opened {name}: epoch {}, {} document(s), {} nodes",
+                                entry.epoch(),
+                                entry.database().document_count(),
+                                entry.database().node_count()
+                            );
+                        }
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                _ => println!("usage: .open <name> <file>"),
+            },
+            ".use" => match parts.next() {
+                Some(name) if self.catalog.contains(name) => {
+                    self.current = name.to_string();
+                    println!("using {name}");
+                }
+                Some(name) => println!("error: unknown database {name}"),
+                None => println!("usage: .use <name>"),
+            },
+            ".reload" => {
+                let name = parts.next().unwrap_or(&self.current).to_string();
+                match self.catalog.reload(&name) {
+                    Ok(entry) => println!("reloaded {name}: epoch {}", entry.epoch()),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            ".catalog" => print!("{}", catalog::render(&self.catalog.list())),
             ".engine" => {
                 if let Some(e) = parts.next() {
                     self.engine = parse_engine(e);
@@ -212,13 +274,13 @@ impl Shell {
                 println!("analyze: {}", self.analyze);
             }
             ".save" => match parts.next() {
-                Some(path) => match xmldb::save_file(&self.db, std::path::Path::new(path)) {
+                Some(path) => match xmldb::save_file(&self.db(), std::path::Path::new(path)) {
                     Ok(()) => println!("snapshot written to {path}"),
                     Err(e) => println!("error: {e}"),
                 },
                 None => println!("usage: .save <file.tlcx>"),
             },
-            ".check" => match xmldb::check_database(&self.db) {
+            ".check" => match xmldb::check_database(&self.db()) {
                 Ok(report) => println!("{report}"),
                 Err(e) => println!("error: {e}"),
             },
@@ -243,8 +305,12 @@ impl Shell {
                      .analyze                      toggle per-operator timings\n\
                      .bench <name>                 run a workload query\n\
                      .queries                      list workload queries\n\
+                     .open <name> <file>           load snapshot/XML as database <name>\n\
+                     .use <name>                   switch to a catalog database\n\
+                     .reload [<name>]              re-read a database's file, hot-swap\n\
+                     .catalog                      list registered databases\n\
                      .check                        verify store invariants and indexes\n\
-                     .save <file.tlcx>             snapshot the database\n\
+                     .save <file.tlcx>             snapshot the current database\n\
                      .serve <host:port>            share this database over TCP\n\
                      .quit                         leave"
                 );
@@ -265,7 +331,7 @@ impl Shell {
             }
         };
         let config = service::ServiceConfig { engine: self.engine, ..Default::default() };
-        let svc = Arc::new(service::Service::new(Arc::clone(&self.db), config));
+        let svc = Arc::new(service::Service::new(self.db(), config));
         println!(
             "serving on {addr} (engine {}, {} workers) — connect with: tlc-shell --connect {addr}",
             self.engine.name(),
@@ -286,9 +352,12 @@ impl Shell {
 
     fn run(&mut self, query: &str) {
         let started = std::time::Instant::now();
+        // Pin the current snapshot for the whole run; a concurrent `.serve`
+        // client reloading mid-query cannot pull the store out from under us.
+        let db = self.db();
         if self.engine == Engine::Nav {
             match xquery::parse(query) {
-                Ok(ast) => match baselines::evaluate_nav(&self.db, &ast) {
+                Ok(ast) => match baselines::evaluate_nav(&db, &ast) {
                     Ok((out, stats)) => {
                         println!("{out}");
                         if self.stats {
@@ -306,24 +375,24 @@ impl Shell {
             }
             return;
         }
-        match baselines::plan_for(self.engine, query, &self.db) {
+        match baselines::plan_for(self.engine, query, &db) {
             Ok(plan) => {
                 if self.explain {
-                    println!("{}", plan.display(Some(&self.db)));
+                    println!("{}", plan.display(Some(&db)));
                 }
                 if self.analyze {
-                    match tlc::execute_traced(&self.db, &plan) {
+                    match tlc::execute_traced(&db, &plan) {
                         Ok((trees, _, traces)) => {
-                            println!("{}", tlc::serialize_results(&self.db, &trees));
+                            println!("{}", tlc::serialize_results(&db, &trees));
                             println!("{}", tlc::render_trace(&traces));
                         }
                         Err(e) => println!("error: {e}"),
                     }
                     return;
                 }
-                match tlc::execute(&self.db, &plan) {
+                match tlc::execute(&db, &plan) {
                     Ok((trees, stats)) => {
-                        println!("{}", tlc::serialize_results(&self.db, &trees));
+                        println!("{}", tlc::serialize_results(&db, &trees));
                         if self.stats {
                             println!(
                                 "-- {} tree(s), {} pattern matches, {} probes, {} nodes inspected, {:?}",

@@ -8,17 +8,22 @@
 //! tlc-serve                          # XMark factor 0.05 on stdin/stdout
 //! tlc-serve --factor 0.2            # bigger generated database
 //! tlc-serve --load site.xml         # serve a document from disk
+//! tlc-serve --open b=snap.tlcx      # also register `b` in the catalog
 //! tlc-serve --tcp 127.0.0.1:7001    # TCP, one thread per connection
 //! tlc-serve --engine gtp --workers 4 --cache 64 --queue 32 --deadline-ms 500
 //! ```
 //!
-//! Requests are one query per line; `.metrics` prints the metrics report,
+//! Requests are one query per line; `.open`/`.use`/`.reload`/`.catalog`
+//! drive the database catalog, `.metrics` prints the metrics report,
 //! `.quit` ends the connection. In TCP mode the process runs until killed.
+//! The generated or `--load`ed database is catalog entry `main`; every
+//! `--open NAME=FILE` (repeatable) registers another.
 
 use baselines::Engine;
 use service::{protocol, Service, ServiceConfig};
 use std::io::{BufReader, BufWriter};
 use std::net::TcpListener;
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -26,6 +31,7 @@ use std::time::Duration;
 struct Options {
     factor: f64,
     load: Option<String>,
+    open: Vec<(String, String)>,
     tcp: Option<String>,
     config: ServiceConfig,
 }
@@ -34,12 +40,16 @@ const USAGE: &str = "usage: tlc-serve [OPTIONS]
 
   --factor F        generate an XMark database at scale factor F (default 0.05)
   --load FILE       serve FILE (registered as document(\"auction.xml\")) instead
+  --open NAME=FILE  register FILE (TLCX snapshot or XML) as catalog database
+                    NAME; repeatable
   --tcp ADDR        listen on ADDR (e.g. 127.0.0.1:7001) instead of stdin
   --engine NAME     tlc | opt | costed | gtp | tax | nav (default tlc)
   --workers N       executor threads
   --queue N         admission queue depth
   --cache N         plan cache capacity in entries
   --deadline-ms N   default per-request wall-clock budget
+  --client-wait-ms N  max time a connection waits for a reply before
+                    abandoning it (default: wait forever)
   --help            this text";
 
 fn parse_engine(name: &str) -> Option<Engine> {
@@ -55,8 +65,13 @@ fn parse_engine(name: &str) -> Option<Engine> {
 }
 
 fn parse_args() -> Result<Options, String> {
-    let mut opts =
-        Options { factor: 0.05, load: None, tcp: None, config: ServiceConfig::default() };
+    let mut opts = Options {
+        factor: 0.05,
+        load: None,
+        open: Vec::new(),
+        tcp: None,
+        config: ServiceConfig::default(),
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
@@ -65,6 +80,12 @@ fn parse_args() -> Result<Options, String> {
                 opts.factor = value("--factor")?.parse().map_err(|e| format!("--factor: {e}"))?
             }
             "--load" => opts.load = Some(value("--load")?),
+            "--open" => {
+                let spec = value("--open")?;
+                let (name, file) =
+                    spec.split_once('=').ok_or(format!("--open wants NAME=FILE, got {spec:?}"))?;
+                opts.open.push((name.to_string(), file.to_string()));
+            }
             "--tcp" => opts.tcp = Some(value("--tcp")?),
             "--engine" => {
                 let name = value("--engine")?;
@@ -88,6 +109,12 @@ fn parse_args() -> Result<Options, String> {
                     value("--deadline-ms")?.parse().map_err(|e| format!("--deadline-ms: {e}"))?;
                 opts.config.default_deadline = Some(Duration::from_millis(ms));
             }
+            "--client-wait-ms" => {
+                let ms: u64 = value("--client-wait-ms")?
+                    .parse()
+                    .map_err(|e| format!("--client-wait-ms: {e}"))?;
+                opts.config.client_wait = Some(Duration::from_millis(ms));
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -97,12 +124,8 @@ fn parse_args() -> Result<Options, String> {
 
 fn build_database(opts: &Options) -> Result<xmldb::Database, String> {
     match &opts.load {
-        Some(path) => {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            let mut db = xmldb::Database::new();
-            db.load_xml("auction.xml", &text).map_err(|e| format!("{path}: {e}"))?;
-            Ok(db)
-        }
+        // Snapshot or XML, decided by content — same loader `.open` uses.
+        Some(path) => xmldb::load_path(Path::new(path)).map_err(|e| format!("{path}: {e}")),
         None => Ok(xmark::auction_database(opts.factor)),
     }
 }
@@ -128,11 +151,24 @@ fn main() -> ExitCode {
     };
     let engine = opts.config.engine;
     let service = Arc::new(Service::new(db, opts.config));
+    for (name, file) in &opts.open {
+        match service.open(name, Path::new(file)) {
+            Ok(entry) => eprintln!(
+                "tlc-serve: opened {name} from {file} ({} nodes)",
+                entry.database().node_count()
+            ),
+            Err(e) => {
+                eprintln!("tlc-serve: --open {name}={file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     eprintln!(
-        "tlc-serve: engine {}, {} workers, {} nodes loaded",
+        "tlc-serve: engine {}, {} workers, {} nodes loaded, {} database(s)",
         engine.name(),
         service.workers(),
         service.database().node_count(),
+        service.databases().len(),
     );
 
     match &opts.tcp {

@@ -6,15 +6,24 @@
 //! the plan never changes for a fixed database schema, so the service
 //! compiles once and executes many.
 //!
-//! **Keying.** The key is the *whitespace-normalized* query text: runs of
-//! whitespace collapse to one space and the ends are trimmed, so the same
-//! query sent indented, on one line, or with trailing newlines shares one
-//! entry. Nothing semantic (no parse) happens during keying — a cache probe
-//! on a miss costs one string scan.
+//! **Keying.** The key is `(database name, epoch, whitespace-normalized
+//! query text)`, composed by [`plan_key`]. The text component collapses
+//! whitespace runs to one space and trims the ends, so the same query sent
+//! indented, on one line, or with trailing newlines shares one entry.
+//! Nothing semantic (no parse) happens during keying — a cache probe on a
+//! miss costs one string scan. The database name and **epoch** components
+//! exist because compiled plans bind the tag ids of the store they were
+//! compiled against: after a catalog hot swap (see [`crate::catalog`]) the
+//! same text against the same name must key differently, so a stale plan
+//! can never be served against the new store.
 //!
 //! **Eviction.** Bounded LRU. Values are `Arc`ed, so evicting an entry that
 //! a request is still executing merely drops the cache's reference; the
-//! in-flight execution keeps the plan alive and completes normally.
+//! in-flight execution keeps the plan alive and completes normally. On a
+//! hot swap the service additionally purges the superseded epoch's entries
+//! eagerly ([`LruCache::purge_where`]) — they could never be *served*
+//! again (the key mismatch guarantees that), but they would otherwise
+//! squat in the LRU until capacity pressure evicted them.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -39,6 +48,26 @@ pub fn normalize_query(text: &str) -> String {
         out.pop();
     }
     out
+}
+
+/// Composes the cache key for `normalized` query text compiled against one
+/// published snapshot of database `db` at `epoch`. The `\u{1}` separator
+/// cannot occur in a database name (the catalog validates names to
+/// printable ASCII), so a query string can never forge another database's
+/// key prefix.
+pub fn plan_key(db: &str, epoch: u64, normalized: &str) -> String {
+    format!("{db}\u{1}{epoch}\u{1}{normalized}")
+}
+
+/// The key prefix shared by every entry of database `db` at `epoch`; keys
+/// for other epochs of the same database match [`db_prefix`] but not this.
+pub fn epoch_prefix(db: &str, epoch: u64) -> String {
+    format!("{db}\u{1}{epoch}\u{1}")
+}
+
+/// The key prefix shared by every entry of database `db`, any epoch.
+pub fn db_prefix(db: &str) -> String {
+    format!("{db}\u{1}")
 }
 
 /// Counters the cache maintains; read through [`LruCache::stats`].
@@ -139,6 +168,21 @@ impl<V> LruCache<V> {
         evicted
     }
 
+    /// Removes every entry whose key satisfies `pred`, returning how many
+    /// were dropped. This is the hot-swap invalidation hook: after a new
+    /// epoch is published, the service purges the superseded epoch's plans
+    /// in one sweep. Not counted as evictions — eviction measures capacity
+    /// pressure, invalidation measures swaps.
+    pub fn purge_where(&mut self, pred: impl Fn(&str) -> bool) -> u64 {
+        let victims: Vec<Box<str>> = self.entries.keys().filter(|k| pred(k)).cloned().collect();
+        for key in &victims {
+            if let Some((_, stamp)) = self.entries.remove(key) {
+                self.by_stamp.remove(&stamp);
+            }
+        }
+        victims.len() as u64
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -196,6 +240,42 @@ mod tests {
         assert_eq!(*c.get("a").unwrap(), 9);
         assert_eq!(c.stats().len, 1);
         assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn plan_keys_separate_databases_and_epochs() {
+        let text = "FOR $x IN doc RETURN $x";
+        assert_ne!(plan_key("a", 0, text), plan_key("b", 0, text));
+        assert_ne!(plan_key("a", 0, text), plan_key("a", 1, text));
+        assert!(plan_key("a", 3, text).starts_with(&epoch_prefix("a", 3)));
+        assert!(plan_key("a", 3, text).starts_with(&db_prefix("a")));
+        assert!(!plan_key("a", 3, text).starts_with(&epoch_prefix("a", 2)));
+        // "ab" must not look like a stale entry of database "a".
+        assert!(!plan_key("ab", 0, text).starts_with(&db_prefix("a")));
+    }
+
+    #[test]
+    fn purge_drops_matching_entries_only() {
+        let mut c: LruCache<i32> = LruCache::new(8);
+        c.insert(&plan_key("a", 0, "q1"), Arc::new(1));
+        c.insert(&plan_key("a", 0, "q2"), Arc::new(2));
+        c.insert(&plan_key("a", 1, "q1"), Arc::new(3));
+        c.insert(&plan_key("b", 0, "q1"), Arc::new(4));
+        let stale =
+            |k: &str| k.starts_with(&db_prefix("a")) && !k.starts_with(&epoch_prefix("a", 1));
+        assert_eq!(c.purge_where(stale), 2);
+        assert!(c.get(&plan_key("a", 0, "q1")).is_none());
+        assert!(c.get(&plan_key("a", 1, "q1")).is_some());
+        assert!(c.get(&plan_key("b", 0, "q1")).is_some());
+        let s = c.stats();
+        assert_eq!(s.len, 2);
+        assert_eq!(s.evictions, 0, "invalidation is not eviction");
+        // Purged stamps are gone too: inserting past capacity still evicts
+        // exactly one live entry.
+        for i in 0..7 {
+            c.insert(&format!("fill{i}"), Arc::new(i));
+        }
+        assert_eq!(c.stats().len, 8);
     }
 
     #[test]

@@ -5,12 +5,23 @@
 //! Everything below this crate evaluates one query at a time from scratch:
 //! parse → translate → optimize → execute through `baselines::run`. This
 //! crate turns that library into a long-lived, thread-safe **service** that
-//! owns a shared [`xmldb::Database`] and serves many clients at once:
+//! owns a catalog of named databases and serves many clients at once:
 //!
-//! * **plan cache** ([`cache`]) — a bounded LRU from whitespace-normalized
-//!   query text to the compiled, optimized TLC plan. The evaluation
-//!   workload is a repeated-template workload, so compile-once/execute-many
-//!   removes the whole front half of the pipeline from the hot path.
+//! * **catalog** ([`catalog`]) — a registry of named databases, each
+//!   published through an epoch-versioned [`catalog::CatalogEntry`] that
+//!   can be **hot-swapped** (reloaded from disk, replaced in memory)
+//!   without dropping in-flight requests: work that resolved the old entry
+//!   finishes against the old `Arc<Database>`, new requests see the new
+//!   epoch. Queries route to a database by name; [`catalog::DEFAULT_DB`]
+//!   is the one the service is constructed with.
+//! * **plan cache** ([`cache`]) — a bounded LRU from `(database, epoch,
+//!   whitespace-normalized query text)` to the compiled, optimized TLC
+//!   plan. The evaluation workload is a repeated-template workload, so
+//!   compile-once/execute-many removes the whole front half of the
+//!   pipeline from the hot path. The epoch in the key is what makes hot
+//!   swap sound: plans bind tag ids of the store they were compiled
+//!   against, and a superseded epoch's entries can never be served again
+//!   (they are also purged eagerly at swap time).
 //! * **worker pool** ([`pool`]) — a fixed set of executor threads behind a
 //!   bounded admission queue. A full queue rejects new work immediately
 //!   ([`ServiceError::Overloaded`]) instead of queueing without bound.
@@ -18,15 +29,21 @@
 //!   spent queued counts against it. The TLC executor checks the deadline
 //!   between operators ([`tlc::execute_with_deadline`]), so an over-budget
 //!   query aborts cleanly with [`ServiceError::DeadlineExceeded`] and frees
-//!   its worker instead of wedging it.
+//!   its worker instead of wedging it. Independently, a caller can bound
+//!   how long it *waits* for an admitted job
+//!   ([`ServiceConfig::client_wait`]); giving up returns
+//!   [`ServiceError::Abandoned`] while the worker finishes the job and
+//!   discards the reply.
 //! * **metrics** ([`metrics`]) — per-query latency histograms (count /
-//!   mean / p50 / p95 / max), plan-cache hit rate, and rolled-up
-//!   [`tlc::ExecStats`] counters, dumped as a text report.
+//!   mean / p50 / p95 / max), plan-cache hit rate, per-database hit/miss/
+//!   swap/invalidation counters, and rolled-up [`tlc::ExecStats`]
+//!   counters, dumped as a text report.
 //!
-//! The read path of the store is immutable after load, so any number of
-//! workers share one `Arc<Database>` with no synchronization at all. The
-//! compile-time assertions at the bottom of this module pin the `Send +
-//! Sync` requirements the design rests on.
+//! The read path of every store is immutable after load, so any number of
+//! workers share each `Arc<Database>` with no synchronization at all; the
+//! only mutable state on the query path is the catalog's publish cell and
+//! the cache/metrics registries. The compile-time assertions at the bottom
+//! of this module pin the `Send + Sync` requirements the design rests on.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -40,15 +57,19 @@
 //! ```
 
 pub mod cache;
+pub mod catalog;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
 
 use baselines::Engine;
 use cache::{CacheStats, LruCache};
+use catalog::{Catalog, CatalogEntry, CatalogError, DEFAULT_DB};
 use metrics::{Metrics, Outcome, Snapshot};
 use pool::{Pool, Reply, SubmitError};
 use std::fmt;
+use std::path::Path;
+use std::sync::mpsc::RecvTimeoutError;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use tlc::{ExecStats, Plan};
@@ -71,6 +92,13 @@ pub struct ServiceConfig {
     /// Wall-clock budget applied to requests that do not carry their own;
     /// `None` means unlimited.
     pub default_deadline: Option<Duration>,
+    /// Client-side bound on how long a caller blocks waiting for an
+    /// *admitted* job's reply. `None` parks until the reply arrives (the
+    /// pre-catalog behavior); `Some(limit)` makes the caller give up with
+    /// [`ServiceError::Abandoned`] after `limit` — the worker still runs
+    /// the job to completion and discards the reply. Abandoned requests
+    /// are counted in [`metrics::Snapshot::abandoned`].
+    pub client_wait: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -82,6 +110,7 @@ impl Default for ServiceConfig {
             queue_depth: workers * 4,
             plan_cache_capacity: 128,
             default_deadline: None,
+            client_wait: None,
         }
     }
 }
@@ -102,6 +131,14 @@ pub enum ServiceError {
     },
     /// The service is shutting down.
     ShuttingDown,
+    /// A catalog operation failed (unknown database, bad name, load error).
+    Catalog(CatalogError),
+    /// The caller's client-side wait deadline expired before the admitted
+    /// job replied; the job itself still runs, its result discarded.
+    Abandoned {
+        /// How long the caller waited before giving up.
+        waited: Duration,
+    },
     /// The operation is not supported for the configured engine (e.g.
     /// preparing a plan for the interpreted NAV engine).
     Unsupported(String),
@@ -117,6 +154,10 @@ impl fmt::Display for ServiceError {
                 write!(f, "service overloaded (queue depth {queue_depth} exhausted)")
             }
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Catalog(e) => write!(f, "catalog error: {e}"),
+            ServiceError::Abandoned { waited } => {
+                write!(f, "caller abandoned the request after waiting {waited:?}")
+            }
             ServiceError::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
     }
@@ -126,15 +167,20 @@ impl std::error::Error for ServiceError {}
 
 /// A compiled, cached plan: the result of [`Service::prepare`]. Cheap to
 /// clone and valid for the service's lifetime — eviction from the cache
-/// does not invalidate handles already given out.
+/// does not invalidate handles already given out, and a catalog hot swap
+/// does not either: the handle pins the [`CatalogEntry`] (database
+/// snapshot + epoch) it was compiled against, so executing it keeps
+/// reading the snapshot its tag ids belong to even after a swap.
 #[derive(Debug, Clone)]
 pub struct PlanHandle {
+    entry: Arc<CatalogEntry>,
     normalized: Arc<str>,
     plan: Arc<Plan>,
 }
 
 impl PlanHandle {
-    /// The normalized query text this plan was compiled from (the cache key).
+    /// The normalized query text this plan was compiled from (the text
+    /// component of the cache key).
     pub fn query(&self) -> &str {
         &self.normalized
     }
@@ -142,6 +188,16 @@ impl PlanHandle {
     /// The compiled plan.
     pub fn plan(&self) -> &Plan {
         &self.plan
+    }
+
+    /// The catalog name of the database this plan binds.
+    pub fn database(&self) -> &str {
+        self.entry.name()
+    }
+
+    /// The epoch of the snapshot this plan was compiled against.
+    pub fn epoch(&self) -> u64 {
+        self.entry.epoch()
     }
 }
 
@@ -156,6 +212,12 @@ pub struct Response {
     /// Whether the plan came out of the cache (always `true` for
     /// [`Service::execute_prepared`], always `false` for NAV).
     pub cache_hit: bool,
+    /// Catalog name of the database that served this request.
+    pub db_name: Arc<str>,
+    /// Epoch of the snapshot that served this request — the correctness
+    /// witness for hot-swap tests: compare the output against the
+    /// single-threaded reference for *this* epoch's store.
+    pub db_epoch: u64,
     /// End-to-end time: admission + queue + execute + serialize.
     pub total_time: Duration,
 }
@@ -168,32 +230,110 @@ type WorkResult = Result<(String, ExecStats), ServiceError>;
 /// connection handlers. Dropping it drains admitted requests and joins the
 /// worker threads.
 pub struct Service {
-    db: Arc<Database>,
+    catalog: Catalog,
     engine: Engine,
     cache: Mutex<LruCache<Plan>>,
     metrics: Metrics,
     pool: Pool<WorkResult>,
     default_deadline: Option<Duration>,
+    client_wait: Option<Duration>,
     queue_depth: usize,
 }
 
 impl Service {
-    /// Builds a service over a loaded database.
+    /// Builds a service over a loaded database, registered in the catalog
+    /// as [`DEFAULT_DB`].
     pub fn new(db: Arc<Database>, config: ServiceConfig) -> Service {
+        let catalog = Catalog::new();
+        catalog.register(DEFAULT_DB, db).expect("default name is valid");
         Service {
-            db,
+            catalog,
             engine: config.engine,
             cache: Mutex::new(LruCache::new(config.plan_cache_capacity)),
             metrics: Metrics::new(),
             pool: Pool::new(config.workers, config.queue_depth),
             default_deadline: config.default_deadline,
+            client_wait: config.client_wait,
             queue_depth: config.queue_depth,
         }
     }
 
-    /// The shared database.
-    pub fn database(&self) -> &Arc<Database> {
-        &self.db
+    /// The current snapshot of the default database ([`DEFAULT_DB`]).
+    pub fn database(&self) -> Arc<Database> {
+        Arc::clone(self.entry(DEFAULT_DB).expect("default db registered").database())
+    }
+
+    /// The name every session starts on.
+    pub fn default_database(&self) -> &'static str {
+        DEFAULT_DB
+    }
+
+    /// Whether `name` is a registered database.
+    pub fn has_database(&self, name: &str) -> bool {
+        self.catalog.contains(name)
+    }
+
+    /// Point-in-time listing of the catalog.
+    pub fn databases(&self) -> Vec<catalog::CatalogRow> {
+        self.catalog.list()
+    }
+
+    /// The catalog listing as text (`.catalog` in the wire protocol).
+    pub fn catalog_report(&self) -> String {
+        catalog::render(&self.catalog.list())
+    }
+
+    /// Loads a file (TLCX snapshot or XML) and publishes it under `name`,
+    /// registering a new database or hot-swapping an existing one. Stale
+    /// cached plans are invalidated before this returns.
+    pub fn open(&self, name: &str, path: &Path) -> Result<Arc<CatalogEntry>, ServiceError> {
+        let entry = self.catalog.open(name, path).map_err(ServiceError::Catalog)?;
+        self.after_swap(&entry);
+        Ok(entry)
+    }
+
+    /// Publishes an in-memory database under `name` (hot swap if the name
+    /// exists). This is the programmatic equivalent of [`Service::open`].
+    pub fn install(
+        &self,
+        name: &str,
+        db: Arc<Database>,
+    ) -> Result<Arc<CatalogEntry>, ServiceError> {
+        let entry = self.catalog.register(name, db).map_err(ServiceError::Catalog)?;
+        self.after_swap(&entry);
+        Ok(entry)
+    }
+
+    /// Re-reads `name`'s source file and hot-swaps the result in. Returns
+    /// the new entry and how many cached plans the swap invalidated.
+    /// In-flight requests finish against the snapshot they resolved.
+    pub fn reload(&self, name: &str) -> Result<(Arc<CatalogEntry>, u64), ServiceError> {
+        let entry = self.catalog.reload(name).map_err(ServiceError::Catalog)?;
+        let invalidated = self.after_swap(&entry);
+        Ok((entry, invalidated))
+    }
+
+    /// Post-publish bookkeeping: purge plans of superseded epochs (the
+    /// epoch-keyed cache could never serve them, but they would squat in
+    /// the LRU) and record the swap. First registrations (epoch 0) are not
+    /// swaps and purge nothing.
+    fn after_swap(&self, entry: &CatalogEntry) -> u64 {
+        if entry.epoch() == 0 {
+            return 0;
+        }
+        let live = cache::epoch_prefix(entry.name(), entry.epoch());
+        let all = cache::db_prefix(entry.name());
+        let invalidated = self
+            .cache
+            .lock()
+            .unwrap()
+            .purge_where(|key| key.starts_with(&all) && !key.starts_with(&live));
+        self.metrics.record_swap(entry.name(), invalidated);
+        invalidated
+    }
+
+    fn entry(&self, db: &str) -> Result<Arc<CatalogEntry>, ServiceError> {
+        self.catalog.resolve(db).map_err(ServiceError::Catalog)
     }
 
     /// The configured engine.
@@ -201,47 +341,68 @@ impl Service {
         self.engine
     }
 
-    /// Compiles `query` (or fetches its cached plan) without executing it.
+    /// Compiles `query` against the default database (or fetches its
+    /// cached plan) without executing it.
     ///
     /// The returned handle can be executed any number of times with
     /// [`Service::execute_prepared`]; textually different spellings of the
-    /// same query (whitespace aside) share one cache entry.
+    /// same query (whitespace aside) share one cache entry. The handle
+    /// pins the snapshot it was compiled against, so it stays valid — and
+    /// keeps answering from that snapshot — across hot swaps.
     pub fn prepare(&self, query: &str) -> Result<PlanHandle, ServiceError> {
-        self.prepare_inner(query).map(|(handle, _)| handle)
+        self.prepare_on(DEFAULT_DB, query)
     }
 
-    /// Like [`Service::prepare`], also reporting whether the plan was cached.
-    fn prepare_inner(&self, query: &str) -> Result<(PlanHandle, bool), ServiceError> {
+    /// Like [`Service::prepare`] against a named catalog database.
+    pub fn prepare_on(&self, db: &str, query: &str) -> Result<PlanHandle, ServiceError> {
+        self.prepare_inner(db, query).map(|(handle, _)| handle)
+    }
+
+    /// Like [`Service::prepare_on`], also reporting whether the plan was
+    /// cached.
+    fn prepare_inner(&self, db: &str, query: &str) -> Result<(PlanHandle, bool), ServiceError> {
         if self.engine == Engine::Nav {
             return Err(ServiceError::Unsupported(
                 "NAV is interpreted per request; nothing to prepare".into(),
             ));
         }
+        let entry = self.entry(db)?;
         let normalized = cache::normalize_query(query);
-        if let Some(plan) = self.cache.lock().unwrap().get(&normalized) {
-            self.metrics.record_cache(true, 0);
-            return Ok((PlanHandle { normalized: normalized.into(), plan }, true));
+        let key = cache::plan_key(entry.name(), entry.epoch(), &normalized);
+        if let Some(plan) = self.cache.lock().unwrap().get(&key) {
+            self.metrics.record_cache(entry.name(), true, 0);
+            return Ok((PlanHandle { entry, normalized: normalized.into(), plan }, true));
         }
         // Compile outside the cache lock: compilation is the expensive part,
         // and holding the lock would serialize concurrent misses. Two racing
         // misses both compile; the loser's insert replaces in place, which
-        // is harmless (plans for the same text are interchangeable).
+        // is harmless (plans for the same text and epoch are
+        // interchangeable). A swap racing this compile is harmless too: the
+        // entry we resolved pins the old snapshot, the insert lands under
+        // the old epoch's key, and no later lookup (which keys on the new
+        // epoch) can retrieve it.
         let plan = Arc::new(
-            baselines::plan_for(self.engine, query, &self.db).map_err(ServiceError::Compile)?,
+            baselines::plan_for(self.engine, query, entry.database())
+                .map_err(ServiceError::Compile)?,
         );
         // Gate the cache behind the static LC dataflow analysis: a plan that
         // fails verification would be served to every later request for the
         // same text, so a poisoned plan must never enter the LRU.
         tlc::analyze::verify(&plan).map_err(|e| ServiceError::Compile(tlc::Error::Analyze(e)))?;
-        let evictions = self.cache.lock().unwrap().insert(&normalized, Arc::clone(&plan));
-        self.metrics.record_cache(false, evictions);
-        Ok((PlanHandle { normalized: normalized.into(), plan }, false))
+        let evictions = self.cache.lock().unwrap().insert(&key, Arc::clone(&plan));
+        self.metrics.record_cache(entry.name(), false, evictions);
+        Ok((PlanHandle { entry, normalized: normalized.into(), plan }, false))
     }
 
-    /// Compiles (through the plan cache) and executes `query` under the
-    /// default deadline.
+    /// Compiles (through the plan cache) and executes `query` against the
+    /// default database under the default deadline.
     pub fn execute(&self, query: &str) -> Result<Response, ServiceError> {
-        self.execute_opts(query, self.default_deadline)
+        self.execute_opts(DEFAULT_DB, query, self.default_deadline)
+    }
+
+    /// Like [`Service::execute`] against a named catalog database.
+    pub fn execute_on(&self, db: &str, query: &str) -> Result<Response, ServiceError> {
+        self.execute_opts(db, query, self.default_deadline)
     }
 
     /// Like [`Service::execute`] with an explicit wall-clock budget for
@@ -251,11 +412,22 @@ impl Service {
         query: &str,
         budget: Duration,
     ) -> Result<Response, ServiceError> {
-        self.execute_opts(query, Some(budget))
+        self.execute_opts(DEFAULT_DB, query, Some(budget))
+    }
+
+    /// Like [`Service::execute_on`] with an explicit wall-clock budget.
+    pub fn execute_on_with_deadline(
+        &self,
+        db: &str,
+        query: &str,
+        budget: Duration,
+    ) -> Result<Response, ServiceError> {
+        self.execute_opts(db, query, Some(budget))
     }
 
     fn execute_opts(
         &self,
+        db: &str,
         query: &str,
         budget: Option<Duration>,
     ) -> Result<Response, ServiceError> {
@@ -263,22 +435,25 @@ impl Service {
         let deadline = budget.map(|b| admitted + b);
         if self.engine == Engine::Nav {
             // Interpreted engine: no plan, no cache; the deadline still
-            // guards queue time (checked at dequeue).
-            let db = Arc::clone(&self.db);
+            // guards queue time (checked at dequeue). The resolved entry
+            // pins the snapshot for the whole interpretation.
+            let entry = self.entry(db)?;
+            let snapshot = Arc::clone(entry.database());
             let text = query.to_string();
             let label = cache::normalize_query(query);
             let work: Box<dyn FnOnce() -> WorkResult + Send> = Box::new(move || {
-                baselines::run(Engine::Nav, &text, &db)
+                baselines::run(Engine::Nav, &text, &snapshot)
                     .map(|out| (out, ExecStats::new()))
                     .map_err(ServiceError::Execute)
             });
-            return self.dispatch(label, false, admitted, deadline, work);
+            return self.dispatch(label, false, &entry, admitted, deadline, work);
         }
-        let (handle, cached) = self.prepare_inner(query)?;
+        let (handle, cached) = self.prepare_inner(db, query)?;
         self.execute_handle(&handle, cached, admitted, deadline)
     }
 
-    /// Executes a prepared plan under the default deadline.
+    /// Executes a prepared plan under the default deadline, against the
+    /// snapshot the handle was compiled on (hot swaps do not redirect it).
     pub fn execute_prepared(&self, handle: &PlanHandle) -> Result<Response, ServiceError> {
         let admitted = Instant::now();
         let deadline = self.default_deadline.map(|b| admitted + b);
@@ -292,7 +467,7 @@ impl Service {
         admitted: Instant,
         deadline: Option<Instant>,
     ) -> Result<Response, ServiceError> {
-        let db = Arc::clone(&self.db);
+        let db = Arc::clone(handle.entry.database());
         let plan = Arc::clone(&handle.plan);
         let work: Box<dyn FnOnce() -> WorkResult + Send> = Box::new(move || {
             let run = match deadline {
@@ -305,13 +480,21 @@ impl Service {
                 Err(e) => Err(ServiceError::Execute(e)),
             }
         });
-        self.dispatch(handle.normalized.to_string(), cached, admitted, deadline, work)
+        self.dispatch(
+            handle.normalized.to_string(),
+            cached,
+            &handle.entry,
+            admitted,
+            deadline,
+            work,
+        )
     }
 
     fn dispatch(
         &self,
         label: String,
         cache_hit: bool,
+        entry: &Arc<CatalogEntry>,
         admitted: Instant,
         deadline: Option<Instant>,
         work: Box<dyn FnOnce() -> WorkResult + Send>,
@@ -323,13 +506,34 @@ impl Service {
             }
             SubmitError::Disconnected => ServiceError::ShuttingDown,
         })?;
-        let reply = rx.recv().map_err(|_| ServiceError::ShuttingDown)?;
+        // Wait for the reply — bounded when a client-side wait deadline is
+        // configured. Giving up leaves the job to finish on its worker
+        // (the reply channel is buffered, so the worker never blocks on a
+        // departed caller).
+        let reply = match self.client_wait {
+            None => rx.recv().map_err(|_| ServiceError::ShuttingDown)?,
+            Some(limit) => match rx.recv_timeout(limit) {
+                Ok(reply) => reply,
+                Err(RecvTimeoutError::Timeout) => {
+                    self.metrics.record_outcome(Outcome::Abandoned);
+                    return Err(ServiceError::Abandoned { waited: limit });
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(ServiceError::ShuttingDown),
+            },
+        };
         let total_time = admitted.elapsed();
         match reply {
             Reply::Done { value: Ok((output, stats)), queue_wait } => {
                 self.metrics.record_queue_wait(queue_wait);
                 self.metrics.record_request(&label, total_time, &stats);
-                Ok(Response { output, stats, cache_hit, total_time })
+                Ok(Response {
+                    output,
+                    stats,
+                    cache_hit,
+                    db_name: entry.shared_name(),
+                    db_epoch: entry.epoch(),
+                    total_time,
+                })
             }
             Reply::Done { value: Err(e), queue_wait } => {
                 self.metrics.record_queue_wait(queue_wait);
@@ -357,9 +561,12 @@ impl Service {
         self.metrics.snapshot()
     }
 
-    /// The full text metrics report (`.metrics` in the wire protocol).
+    /// The full text metrics report (`.metrics` in the wire protocol):
+    /// request/cache/latency counters followed by the catalog listing.
     pub fn metrics_report(&self) -> String {
-        self.metrics.report()
+        let mut report = self.metrics.report();
+        report.push_str(&self.catalog_report());
+        report
     }
 
     /// Number of executor threads.
@@ -378,6 +585,8 @@ const _: () = {
     assert_send_sync::<ExecStats>();
     assert_send_sync::<Service>();
     assert_send_sync::<PlanHandle>();
+    assert_send_sync::<Catalog>();
+    assert_send_sync::<CatalogEntry>();
 };
 
 #[cfg(test)]
@@ -394,10 +603,12 @@ mod tests {
     #[test]
     fn execute_matches_direct_run() {
         let svc = tiny_service(ServiceConfig::default());
-        let direct = baselines::run(Engine::Tlc, Q, svc.database()).unwrap();
+        let direct = baselines::run(Engine::Tlc, Q, &svc.database()).unwrap();
         let resp = svc.execute(Q).unwrap();
         assert_eq!(resp.output, direct);
         assert!(!resp.cache_hit);
+        assert_eq!(&*resp.db_name, DEFAULT_DB);
+        assert_eq!(resp.db_epoch, 0);
         assert!(svc.execute(Q).unwrap().cache_hit);
     }
 
@@ -436,7 +647,7 @@ mod tests {
     fn nav_engine_is_served_uncached() {
         let svc = tiny_service(ServiceConfig { engine: Engine::Nav, ..Default::default() });
         let resp = svc.execute(Q).unwrap();
-        let direct = baselines::run(Engine::Nav, Q, svc.database()).unwrap();
+        let direct = baselines::run(Engine::Nav, Q, &svc.database()).unwrap();
         assert_eq!(resp.output, direct);
         assert!(!resp.cache_hit);
         assert!(matches!(svc.prepare(Q), Err(ServiceError::Unsupported(_))));
@@ -454,5 +665,75 @@ mod tests {
         assert_eq!(snap.ok, 2);
         assert!(snap.exec.pattern_matches > 0);
         assert_eq!(snap.queue_wait.count(), 2);
+        // The catalog listing rides along in the report.
+        assert!(report.contains("catalog: 1 database(s)"), "{report}");
+    }
+
+    #[test]
+    fn install_hot_swaps_and_invalidates_cached_plans() {
+        let svc = tiny_service(ServiceConfig::default());
+        svc.execute(Q).unwrap();
+        assert!(svc.execute(Q).unwrap().cache_hit);
+        let swapped = svc.install(DEFAULT_DB, Arc::new(xmark::auction_database(0.002))).unwrap();
+        assert_eq!(swapped.epoch(), 1);
+        // Same text, new epoch: must recompile against the new snapshot.
+        let resp = svc.execute(Q).unwrap();
+        assert!(!resp.cache_hit, "stale plan served across a hot swap");
+        assert_eq!(resp.db_epoch, 1);
+        let direct = baselines::run(Engine::Tlc, Q, &svc.database()).unwrap();
+        assert_eq!(resp.output, direct);
+        let snap = svc.metrics_snapshot();
+        let counters = snap.db(DEFAULT_DB).expect("per-db counters");
+        assert_eq!(counters.swaps, 1);
+        assert_eq!(counters.invalidated, 1);
+    }
+
+    #[test]
+    fn prepared_handle_pins_its_snapshot_across_swaps() {
+        let svc = tiny_service(ServiceConfig::default());
+        let handle = svc.prepare(Q).unwrap();
+        let before = svc.execute_prepared(&handle).unwrap();
+        svc.install(DEFAULT_DB, Arc::new(xmark::auction_database(0.002))).unwrap();
+        // The handle still answers — from the old snapshot it was compiled
+        // against, which its entry keeps alive.
+        let after = svc.execute_prepared(&handle).unwrap();
+        assert_eq!(before.output, after.output);
+        assert_eq!(after.db_epoch, 0);
+        assert_eq!(svc.execute(Q).unwrap().db_epoch, 1);
+    }
+
+    #[test]
+    fn execute_on_unknown_database_is_a_catalog_error() {
+        let svc = tiny_service(ServiceConfig::default());
+        match svc.execute_on("nope", Q) {
+            Err(ServiceError::Catalog(CatalogError::Unknown(name))) => {
+                assert_eq!(name, "nope");
+            }
+            other => panic!("expected unknown-database error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn client_wait_deadline_abandons_slow_replies() {
+        // A zero client wait can't lose the race reliably on a fast
+        // machine, so retry a few times; one abandonment is enough.
+        let svc =
+            tiny_service(ServiceConfig { client_wait: Some(Duration::ZERO), ..Default::default() });
+        let mut abandoned = false;
+        for _ in 0..32 {
+            if let Err(ServiceError::Abandoned { waited }) = svc.execute(Q) {
+                assert_eq!(waited, Duration::ZERO);
+                abandoned = true;
+                break;
+            }
+        }
+        assert!(abandoned, "zero-wait client never abandoned a reply");
+        assert!(svc.metrics_snapshot().abandoned >= 1);
+        // The pool survives abandonment: a patient caller still gets served.
+        let patient = tiny_service(ServiceConfig {
+            client_wait: Some(Duration::from_secs(60)),
+            ..Default::default()
+        });
+        assert!(patient.execute(Q).is_ok());
     }
 }

@@ -111,6 +111,25 @@ pub enum Outcome {
     Rejected,
     /// Compilation or execution error.
     Error,
+    /// Admitted, but the caller stopped waiting for the reply (its
+    /// client-side wait deadline expired); the job still ran or will run
+    /// on a worker, its result discarded.
+    Abandoned,
+}
+
+/// Per-database counters: plan-cache traffic split by catalog name, plus
+/// the hot-swap activity (`swaps`, and how many cached plans each swap
+/// invalidated). Keyed by database name in [`Snapshot::per_db`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbCounters {
+    /// Plan-cache hits for this database.
+    pub hits: u64,
+    /// Plan-cache misses for this database.
+    pub misses: u64,
+    /// Snapshot hot swaps published for this database.
+    pub swaps: u64,
+    /// Cached plans invalidated by those swaps (superseded epochs purged).
+    pub invalidated: u64,
 }
 
 #[derive(Debug, Default)]
@@ -124,11 +143,13 @@ struct Inner {
     latency: Histogram,
     queue_wait: Histogram,
     per_query: HashMap<Box<str>, QueryEntry>,
+    per_db: HashMap<Box<str>, DbCounters>,
     exec: ExecStats,
     ok: u64,
     deadline: u64,
     rejected: u64,
     errored: u64,
+    abandoned: u64,
     cache_hits: u64,
     cache_misses: u64,
     cache_evictions: u64,
@@ -171,6 +192,7 @@ impl Metrics {
             Outcome::Deadline => m.deadline += 1,
             Outcome::Rejected => m.rejected += 1,
             Outcome::Error => m.errored += 1,
+            Outcome::Abandoned => m.abandoned += 1,
         }
     }
 
@@ -182,8 +204,9 @@ impl Metrics {
         self.inner.lock().unwrap().queue_wait.record(wait);
     }
 
-    /// Records plan-cache traffic (`evictions` is the delta, not a total).
-    pub fn record_cache(&self, hit: bool, evictions: u64) {
+    /// Records plan-cache traffic for one lookup against database `db`
+    /// (`evictions` is the delta, not a total).
+    pub fn record_cache(&self, db: &str, hit: bool, evictions: u64) {
         let mut m = self.inner.lock().unwrap();
         if hit {
             m.cache_hits += 1;
@@ -191,11 +214,29 @@ impl Metrics {
             m.cache_misses += 1;
         }
         m.cache_evictions += evictions;
+        let entry = m.per_db.entry(db.into()).or_default();
+        if hit {
+            entry.hits += 1;
+        } else {
+            entry.misses += 1;
+        }
+    }
+
+    /// Records one snapshot hot swap of database `db` and how many cached
+    /// plans (superseded epochs) the swap invalidated.
+    pub fn record_swap(&self, db: &str, invalidated: u64) {
+        let mut m = self.inner.lock().unwrap();
+        let entry = m.per_db.entry(db.into()).or_default();
+        entry.swaps += 1;
+        entry.invalidated += invalidated;
     }
 
     /// Point-in-time copy of the aggregate numbers.
     pub fn snapshot(&self) -> Snapshot {
         let m = self.inner.lock().unwrap();
+        let mut per_db: Vec<(String, DbCounters)> =
+            m.per_db.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        per_db.sort_by(|a, b| a.0.cmp(&b.0));
         Snapshot {
             latency: m.latency.clone(),
             queue_wait: m.queue_wait.clone(),
@@ -204,9 +245,11 @@ impl Metrics {
             deadline: m.deadline,
             rejected: m.rejected,
             errored: m.errored,
+            abandoned: m.abandoned,
             cache_hits: m.cache_hits,
             cache_misses: m.cache_misses,
             cache_evictions: m.cache_evictions,
+            per_db,
         }
     }
 
@@ -218,8 +261,8 @@ impl Metrics {
         let mut out = String::new();
         out.push_str("== service metrics ==\n");
         out.push_str(&format!(
-            "requests: {} ok, {} deadline-exceeded, {} rejected, {} errored\n",
-            m.ok, m.deadline, m.rejected, m.errored
+            "requests: {} ok, {} deadline-exceeded, {} rejected, {} errored, {} abandoned\n",
+            m.ok, m.deadline, m.rejected, m.errored, m.abandoned
         ));
         let lookups = m.cache_hits + m.cache_misses;
         let rate = if lookups == 0 { 0.0 } else { m.cache_hits as f64 / lookups as f64 * 100.0 };
@@ -227,6 +270,17 @@ impl Metrics {
             "plan cache: {} hits / {} lookups ({rate:.1}% hit rate), {} evictions\n",
             m.cache_hits, lookups, m.cache_evictions
         ));
+        let mut dbs: Vec<(&Box<str>, &DbCounters)> = m.per_db.iter().collect();
+        dbs.sort_by(|a, b| a.0.cmp(b.0));
+        for (name, c) in dbs {
+            out.push_str(&format!(
+                "  db {name}: {} hits / {} lookups, {} swap(s), {} plan(s) invalidated\n",
+                c.hits,
+                c.hits + c.misses,
+                c.swaps,
+                c.invalidated
+            ));
+        }
         out.push_str(&format!(
             "latency: count={} mean={:?} p50={:?} p95={:?} max={:?}\n",
             m.latency.count(),
@@ -298,12 +352,23 @@ pub struct Snapshot {
     pub rejected: u64,
     /// Requests that failed to compile or execute.
     pub errored: u64,
+    /// Requests whose caller gave up waiting (client-side wait deadline).
+    pub abandoned: u64,
     /// Plan-cache hits.
     pub cache_hits: u64,
     /// Plan-cache misses.
     pub cache_misses: u64,
     /// Plan-cache evictions.
     pub cache_evictions: u64,
+    /// Per-database counters, sorted by database name.
+    pub per_db: Vec<(String, DbCounters)>,
+}
+
+impl Snapshot {
+    /// This database's counters, if any request touched it.
+    pub fn db(&self, name: &str) -> Option<&DbCounters> {
+        self.per_db.iter().find(|(n, _)| n == name).map(|(_, c)| c)
+    }
 }
 
 impl Snapshot {
@@ -362,13 +427,32 @@ mod tests {
     #[test]
     fn report_contains_cache_and_latency_lines() {
         let m = Metrics::new();
-        m.record_cache(false, 0);
-        m.record_cache(true, 0);
+        m.record_cache("main", false, 0);
+        m.record_cache("main", true, 0);
         m.record_request("FOR $x ...", Duration::from_millis(2), &ExecStats::new());
         let r = m.report();
         assert!(r.contains("50.0% hit rate"), "{r}");
         assert!(r.contains("p95"), "{r}");
         assert!(r.contains("FOR $x ..."), "{r}");
+    }
+
+    #[test]
+    fn per_db_counters_split_by_name_and_track_swaps() {
+        let m = Metrics::new();
+        m.record_cache("a", false, 0);
+        m.record_cache("a", true, 0);
+        m.record_cache("b", false, 0);
+        m.record_swap("a", 3);
+        m.record_swap("a", 2);
+        m.record_outcome(Outcome::Abandoned);
+        let s = m.snapshot();
+        assert_eq!(s.abandoned, 1);
+        assert_eq!(s.db("a"), Some(&DbCounters { hits: 1, misses: 1, swaps: 2, invalidated: 5 }));
+        assert_eq!(s.db("b"), Some(&DbCounters { hits: 0, misses: 1, swaps: 0, invalidated: 0 }));
+        assert_eq!(s.db("c"), None);
+        let r = m.report();
+        assert!(r.contains("db a: 1 hits / 2 lookups, 2 swap(s), 5 plan(s) invalidated"), "{r}");
+        assert!(r.contains("1 abandoned"), "{r}");
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //!
 //! Dropping the pool closes the job channel; workers drain what was already
 //! admitted and exit, and `Drop` joins them all.
+//!
+//! **Abandonment.** The reply channel is a `sync_channel(1)`, so a worker's
+//! send always succeeds (or observes disconnection) without blocking: a
+//! caller that gave up waiting ([`crate::ServiceConfig::client_wait`]) and
+//! dropped its receiver costs the worker nothing — the job's result is
+//! discarded and the worker moves to the next job. Abandonment is a
+//! client-side decision; the pool itself never cancels running work.
 
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -191,6 +198,35 @@ mod tests {
                 Reply::Done { value, .. } => assert_eq!(value, i as u64),
                 Reply::ExpiredInQueue { .. } => panic!("no deadline"),
             }
+        }
+    }
+
+    #[test]
+    fn worker_survives_an_abandoned_reply_channel() {
+        // The caller drops its receiver before the job runs — the deadlock
+        // risk a rendezvous reply channel would have. The worker must shrug
+        // and keep serving.
+        let pool: Pool<i32> = Pool::new(1, 4);
+        let (block_tx, block_rx) = sync_channel::<()>(0);
+        let gate = pool
+            .submit(
+                None,
+                Box::new(move || {
+                    let _ = block_rx.recv();
+                    0
+                }),
+            )
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20)); // worker is now parked in the gate job
+        let abandoned = pool.submit(None, Box::new(|| 7)).unwrap();
+        drop(abandoned); // caller gives up while the job is still queued
+        block_tx.send(()).unwrap(); // release the worker: it runs the abandoned job next
+        drop(gate);
+        // The same (sole) worker still answers later submissions.
+        let rx = pool.submit(None, Box::new(|| 99)).unwrap();
+        match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
+            Reply::Done { value, .. } => assert_eq!(value, 99),
+            Reply::ExpiredInQueue { .. } => panic!("no deadline"),
         }
     }
 

@@ -2,9 +2,22 @@
 //!
 //! Requests are single lines:
 //!
-//! * a query — any line not starting with `.`;
+//! * a query — any line not starting with `.`, executed against the
+//!   session's current database;
+//! * `.open <name> <file>` — load a TLCX snapshot or XML file into the
+//!   catalog under `name` (hot-swapping if the name exists) and switch
+//!   this session to it;
+//! * `.use <name>` — switch this session to a registered database;
+//! * `.reload [<name>]` — re-read a database's source file and hot-swap
+//!   the result in (defaults to the session's current database);
+//! * `.catalog` — list the registered databases;
 //! * `.metrics` — the service's text metrics report;
 //! * `.quit` — close this connection.
+//!
+//! The *current database* is per-connection state: two clients of one
+//! server can sit on different databases, and `.use` in one session never
+//! disturbs another. Catalog mutations (`.open`, `.reload`) are global —
+//! every session sees the new snapshot on its next query.
 //!
 //! Responses are length-prefixed frames so payloads may span lines:
 //!
@@ -19,6 +32,7 @@
 
 use crate::{Service, ServiceError};
 use std::io::{self, BufRead, Write};
+use std::path::Path;
 use std::sync::Arc;
 
 /// A parsed response frame.
@@ -71,12 +85,16 @@ pub fn read_response(r: &mut impl BufRead) -> io::Result<Frame> {
 
 /// Serves one connection: reads request lines until `.quit` or EOF,
 /// answering each with a frame. Returns the number of queries served.
+///
+/// Every session starts on [`crate::catalog::DEFAULT_DB`]; `.open` and
+/// `.use` move this session only.
 pub fn serve_connection(
     service: &Arc<Service>,
     reader: &mut impl BufRead,
     writer: &mut impl Write,
 ) -> io::Result<u64> {
     let mut served = 0;
+    let mut current = service.default_database().to_string();
     let mut line = String::new();
     loop {
         line.clear();
@@ -88,10 +106,58 @@ pub fn serve_connection(
             "" => continue,
             ".quit" => return Ok(served),
             ".metrics" => write_ok(writer, &service.metrics_report())?,
-            dot if dot.starts_with('.') => write_err(writer, &format!("unknown command: {dot}"))?,
+            ".catalog" => write_ok(writer, &service.catalog_report())?,
+            dot if dot.starts_with('.') => {
+                let mut words = dot.split_whitespace();
+                let cmd = words.next().expect("non-empty dot line");
+                let args: Vec<&str> = words.collect();
+                match (cmd, args.as_slice()) {
+                    (".open", [name, file]) => match service.open(name, Path::new(file)) {
+                        Ok(entry) => {
+                            current = name.to_string();
+                            let db = entry.database();
+                            write_ok(
+                                writer,
+                                &format!(
+                                    "opened {name}: epoch {}, {} document(s), {} nodes",
+                                    entry.epoch(),
+                                    db.document_count(),
+                                    db.node_count()
+                                ),
+                            )?;
+                        }
+                        Err(e) => write_err(writer, &e.to_string())?,
+                    },
+                    (".open", _) => write_err(writer, "usage: .open <name> <file>")?,
+                    (".use", [name]) => {
+                        if service.has_database(name) {
+                            current = name.to_string();
+                            write_ok(writer, &format!("using {name}"))?;
+                        } else {
+                            write_err(writer, &format!("unknown database: {name}"))?;
+                        }
+                    }
+                    (".use", _) => write_err(writer, "usage: .use <name>")?,
+                    (".reload", rest @ ([] | [_])) => {
+                        let name = rest.first().copied().unwrap_or(current.as_str()).to_string();
+                        match service.reload(&name) {
+                            Ok((entry, invalidated)) => write_ok(
+                                writer,
+                                &format!(
+                                    "reloaded {name}: epoch {}, {invalidated} plan(s) invalidated",
+                                    entry.epoch()
+                                ),
+                            )?,
+                            Err(e) => write_err(writer, &e.to_string())?,
+                        }
+                    }
+                    (".reload", _) => write_err(writer, "usage: .reload [<name>]")?,
+                    _ => write_err(writer, &format!("unknown command: {dot}"))?,
+                }
+            }
             query => {
                 served += 1;
-                match service.execute(query) {
+                match service.execute_on(&current, query) {
                     Ok(resp) => write_ok(writer, &resp.output)?,
                     Err(e @ ServiceError::ShuttingDown) => {
                         write_err(writer, &e.to_string())?;
@@ -148,7 +214,7 @@ mod tests {
         let direct = baselines::run(
             baselines::Engine::Tlc,
             "FOR $p IN document(\"auction.xml\")//person RETURN $p/name",
-            svc.database(),
+            &svc.database(),
         )
         .unwrap();
         assert_eq!(read_response(&mut r).unwrap(), Frame::Ok(direct));
@@ -157,5 +223,47 @@ mod tests {
         assert!(
             matches!(read_response(&mut r).unwrap(), Frame::Err(m) if m.contains("unknown command"))
         );
+    }
+
+    #[test]
+    fn session_commands_drive_the_catalog() {
+        let db = Arc::new(xmark::auction_database(0.001));
+        let svc = Arc::new(Service::new(db, ServiceConfig::default()));
+        let dir = std::env::temp_dir();
+        let file = dir.join(format!("tlc_proto_{}.xml", std::process::id()));
+        std::fs::write(&file, "<site><person><name>Zoe</name></person></site>").unwrap();
+        let q = "FOR $p IN document(\"auction.xml\")//person RETURN $p/name";
+        let script = format!(
+            ".open second {}\n{q}\n.use main\n.use nowhere\n.reload second\n.reload\n.catalog\n.open second\n.quit\n",
+            file.display()
+        );
+        let mut reader = BufReader::new(script.as_bytes());
+        let mut out = Vec::new();
+        let served = serve_connection(&svc, &mut reader, &mut out).unwrap();
+        assert_eq!(served, 1);
+        let mut r = BufReader::new(&out[..]);
+        // .open loads the file and switches the session.
+        assert!(
+            matches!(read_response(&mut r).unwrap(), Frame::Ok(m) if m.starts_with("opened second: epoch 0"))
+        );
+        // The query runs against `second`, not `main`.
+        assert_eq!(read_response(&mut r).unwrap(), Frame::Ok("<name>Zoe</name>".into()));
+        assert_eq!(read_response(&mut r).unwrap(), Frame::Ok("using main".into()));
+        assert!(
+            matches!(read_response(&mut r).unwrap(), Frame::Err(m) if m.contains("unknown database"))
+        );
+        // Explicit reload of `second` bumps its epoch.
+        assert!(
+            matches!(read_response(&mut r).unwrap(), Frame::Ok(m) if m.starts_with("reloaded second: epoch 1"))
+        );
+        // Bare .reload targets the current db (`main`), which has no source.
+        assert!(
+            matches!(read_response(&mut r).unwrap(), Frame::Err(m) if m.contains("nothing to reload"))
+        );
+        assert!(
+            matches!(read_response(&mut r).unwrap(), Frame::Ok(m) if m.contains("catalog: 2 database(s)"))
+        );
+        assert_eq!(read_response(&mut r).unwrap(), Frame::Err("usage: .open <name> <file>".into()));
+        std::fs::remove_file(&file).ok();
     }
 }

@@ -1,0 +1,109 @@
+//! Catalog correctness at the service boundary: epoch-keyed plan
+//! invalidation across hot swaps, and multi-database persist round trips.
+
+use baselines::Engine;
+use service::catalog::DEFAULT_DB;
+use service::{Service, ServiceConfig};
+use std::sync::Arc;
+
+const Q: &str = r#"FOR $p IN document("auction.xml")//person RETURN $p/name"#;
+
+/// Builds a database for `xml`, interning `prelude_tags` first so the
+/// document's tags land on different ids than a plain load would assign.
+/// This is the trap a stale plan falls into: compiled plans bind tag *ids*,
+/// so a plan from one store executed against the other matches the wrong
+/// element names entirely.
+fn xml_db(prelude_tags: &[&str], xml: &str) -> xmldb::Database {
+    let db = xmldb::Database::new();
+    for t in prelude_tags {
+        db.interner().intern(t);
+    }
+    let mut db = db;
+    db.load_xml("auction.xml", xml).unwrap();
+    db
+}
+
+#[test]
+fn hot_swap_to_shifted_tag_ids_misses_the_cache_and_recompiles() {
+    let xml_a = "<site><person><name>Ann</name></person></site>";
+    let xml_b = "<site><person><name>Bob</name><name>Cat</name></person></site>";
+    let a = Arc::new(xml_db(&[], xml_a));
+    let b = Arc::new(xml_db(&["pad0", "pad1", "pad2", "pad3"], xml_b));
+    // The precondition that makes this test meaningful: the two loads
+    // assigned different ids to the same element names.
+    assert_ne!(
+        a.interner().lookup("person"),
+        b.interner().lookup("person"),
+        "tag ids must differ between the snapshots"
+    );
+
+    let svc = Service::new(Arc::clone(&a), ServiceConfig::default());
+    let before = svc.execute(Q).unwrap();
+    assert!(!before.cache_hit);
+    assert_eq!(before.output, baselines::run(Engine::Tlc, Q, &a).unwrap());
+    assert!(svc.execute(Q).unwrap().cache_hit, "warm cache before the swap");
+
+    let entry = svc.install(DEFAULT_DB, Arc::clone(&b)).unwrap();
+    assert_eq!(entry.epoch(), 1);
+
+    // Same text after the swap: the epoch in the cache key forces a miss,
+    // and the recompiled plan answers exactly like a fresh single-threaded
+    // compile against the new store. A stale plan would probe the wrong
+    // tag ids and answer garbage here.
+    let after = svc.execute(Q).unwrap();
+    assert!(!after.cache_hit, "stale plan served across the hot swap");
+    assert_eq!(after.db_epoch, 1);
+    assert_eq!(after.output, baselines::run(Engine::Tlc, Q, &b).unwrap());
+    assert_ne!(after.output, before.output, "the two stores answer differently by design");
+
+    // And the swap is visible in the per-database metrics.
+    let snap = svc.metrics_snapshot();
+    let counters = snap.db(DEFAULT_DB).expect("per-db counters");
+    assert_eq!(counters.swaps, 1);
+    assert!(counters.invalidated >= 1, "the pre-swap plan must have been purged");
+}
+
+#[test]
+fn two_document_catalog_round_trips_through_persistence() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let path_a = dir.join(format!("tlc_cat_a_{pid}.tlcx"));
+    let path_b = dir.join(format!("tlc_cat_b_{pid}.xml"));
+
+    let a = xml_db(&[], "<site><person><name>Ann</name></person></site>");
+    xmldb::save_file(&a, &path_a).unwrap();
+    // `b` goes to disk as plain XML: .open must accept both forms.
+    std::fs::write(&path_b, "<site><person><name>Bea</name></person></site>").unwrap();
+
+    let svc = Service::new(Arc::new(xmark::auction_database(0.001)), ServiceConfig::default());
+    svc.open("a", &path_a).unwrap();
+    svc.open("b", &path_b).unwrap();
+    assert_eq!(svc.databases().len(), 3);
+
+    // Both loaded databases serve the standard workload query, each from
+    // its own store, while `main` keeps answering too.
+    let on_a = svc.execute_on("a", Q).unwrap();
+    let on_b = svc.execute_on("b", Q).unwrap();
+    assert_eq!(on_a.output, "<name>Ann</name>");
+    assert_eq!(on_b.output, "<name>Bea</name>");
+    assert!(svc.execute(Q).is_ok());
+
+    // Distinct cache entries per database: re-asking each hits its own.
+    assert!(svc.execute_on("a", Q).unwrap().cache_hit);
+    assert!(svc.execute_on("b", Q).unwrap().cache_hit);
+
+    // Reload `b` after editing its source: the swap is visible at once.
+    std::fs::write(&path_b, "<site><person><name>Bix</name></person></site>").unwrap();
+    let (entry, invalidated) = svc.reload("b").unwrap();
+    assert_eq!(entry.epoch(), 1);
+    assert_eq!(invalidated, 1, "b's cached plan must have been purged");
+    let reloaded = svc.execute_on("b", Q).unwrap();
+    assert!(!reloaded.cache_hit);
+    assert_eq!(reloaded.output, "<name>Bix</name>");
+    // `a` was untouched: its cache entry survived the sibling's swap.
+    assert!(svc.execute_on("a", Q).unwrap().cache_hit);
+
+    for p in [path_a, path_b] {
+        std::fs::remove_file(p).ok();
+    }
+}

@@ -45,5 +45,5 @@ pub use document::{Document, DocumentBuilder};
 pub use error::{Error, Result};
 pub use index::{TagIndex, ValueIndex};
 pub use node::{AxisRel, DocId, NodeId, NodeKind, TempId};
-pub use persist::{load_file, save_file};
+pub use persist::{load_file, load_path, save_file};
 pub use tag::{TagId, TagInterner};
