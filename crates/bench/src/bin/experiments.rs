@@ -6,6 +6,7 @@
 //! experiments fig17 [--factors F1,F2,...]
 //! experiments stats [--factor F]     # per-engine ExecStats (redundancy metrics)
 //! experiments concurrent [--factor F] [--threads N] [--rounds R]
+//! experiments batch [--factor F] [--clients N] [--requests R] [--seed S]
 //! experiments hotswap [--factor F] [--threads N] [--rounds R] [--swap-ms MS]
 //! experiments check [--factor F]     # store invariant check on generated data
 //! experiments all   [--factor F]
@@ -15,6 +16,12 @@
 //! replaying the full workload R times each, and reports QPS and exact
 //! latency percentiles with the plan cache warm versus compiling every
 //! query from scratch.
+//!
+//! `batch` replays a seeded skewed query mix (a hot set takes most of the
+//! traffic) from N closed-loop clients through the batched + match-cached
+//! service and through a per-request baseline (match cache and batching
+//! off), byte-checking every answer against a single-threaded reference.
+//! Exits non-zero on any mismatch, failed request, or a cold match cache.
 //!
 //! `hotswap` soaks the catalog's epoch-versioned snapshot swap: clients
 //! replay the workload while a background thread republishes the database
@@ -56,6 +63,20 @@ fn main() {
                 flag_value(&args, "--factor").and_then(|v| v.parse().ok()).unwrap_or(0.0005);
             run_concurrent(factor, threads, rounds);
         }
+        "batch" => {
+            let clients = flag_value(&args, "--clients").and_then(|v| v.parse().ok()).unwrap_or(8);
+            // Enough requests per client that the cold misses of the first
+            // pass are amortized and the steady-state hit rate dominates.
+            let requests =
+                flag_value(&args, "--requests").and_then(|v| v.parse().ok()).unwrap_or(120);
+            let seed = flag_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(7);
+            // Small database by default: that's the serving regime where
+            // pattern matching dominates the request and the match cache's
+            // effect is cleanly visible.
+            let factor =
+                flag_value(&args, "--factor").and_then(|v| v.parse().ok()).unwrap_or(0.0005);
+            run_batch(factor, clients, requests, seed);
+        }
         "hotswap" => {
             let threads = flag_value(&args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(4);
             let rounds = flag_value(&args, "--rounds").and_then(|v| v.parse().ok()).unwrap_or(10);
@@ -76,7 +97,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other:?}; use fig15|fig16|fig17|stats|concurrent|hotswap|check|all"
+                "unknown command {other:?}; use fig15|fig16|fig17|stats|concurrent|batch|hotswap|check|all"
             );
             std::process::exit(2);
         }
@@ -118,6 +139,30 @@ fn run_concurrent(factor: f64, threads: usize, rounds: usize) {
     );
     let (cached, uncached) = bench::concurrent::cached_vs_uncached(db, threads, rounds);
     print!("{}", bench::concurrent::render_comparison(&cached, &uncached, factor));
+}
+
+/// Batched + match-cached service versus per-request execution on a seeded
+/// skewed mix, every answer byte-checked. Exits non-zero if any answer
+/// mismatched the single-threaded reference, any request failed, or the
+/// match cache never hit (the regression CI guards against).
+fn run_batch(factor: f64, clients: usize, requests: usize, seed: u64) {
+    eprintln!(
+        "generating XMark factor {factor}; {clients} clients x {requests} requests, seed {seed} ..."
+    );
+    let report = bench::batch::batched_vs_per_request(factor, clients, requests, seed);
+    print!("{}", report.render(factor));
+    if !report.clean() {
+        eprintln!(
+            "batch run FAILED: {} mismatch(es), {} / {} error(s)",
+            report.mismatches, report.batched.errors, report.baseline.errors
+        );
+        std::process::exit(1);
+    }
+    if report.hit_rate <= 0.0 {
+        eprintln!("batch run FAILED: the match cache never hit on the hot set");
+        std::process::exit(1);
+    }
+    println!("batch run clean: every answer matched the single-threaded reference");
 }
 
 /// Hot-swap soak: correctness under concurrent snapshot republishes. Any

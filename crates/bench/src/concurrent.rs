@@ -28,6 +28,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xmldb::Database;
 
+use crate::batch::{client_rng, skewed_pick};
+
 /// One load run's results.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
@@ -198,6 +200,29 @@ pub fn hot_swap_soak(
     rounds: usize,
     swap_every: Duration,
 ) -> SoakReport {
+    let config = ServiceConfig { workers: threads, queue_depth: threads * 4, ..Default::default() };
+    hot_swap_soak_with(factor, threads, rounds, swap_every, config, None)
+}
+
+/// [`hot_swap_soak`] with an explicit service configuration and an optional
+/// seeded skewed query mix.
+///
+/// The configuration knob exists so the soak can run with the match cache
+/// and batch dispatch engaged (the default [`ServiceConfig`]) *or* in
+/// per-request mode — the epoch-parity byte check is the property test that
+/// a cached pattern match never survives a snapshot swap. With
+/// `mix_seed: Some(seed)` each client replays the reproducible skewed mix
+/// of [`crate::batch`] instead of the round-robin sweep, so hot templates
+/// are in flight on several clients at once while the snapshot changes
+/// under them — the worst case for a stale cache entry.
+pub fn hot_swap_soak_with(
+    factor: f64,
+    threads: usize,
+    rounds: usize,
+    swap_every: Duration,
+    config: ServiceConfig,
+    mix_seed: Option<u64>,
+) -> SoakReport {
     let variants: [Arc<Database>; 2] =
         [Arc::new(crate::setup(factor)), Arc::new(crate::setup(factor * 2.0))];
     let texts: Vec<&'static str> = all_queries().iter().map(|q| q.text).collect();
@@ -208,10 +233,7 @@ pub fn hot_swap_soak(
             texts.iter().map(|q| baselines::run(Engine::Tlc, q, db).expect("reference")).collect()
         })
         .collect();
-    let svc = Service::new(
-        Arc::clone(&variants[0]),
-        ServiceConfig { workers: threads, queue_depth: threads * 4, ..Default::default() },
-    );
+    let svc = Service::new(Arc::clone(&variants[0]), config);
     let stop = AtomicBool::new(false);
     let swaps = AtomicU64::new(0);
     let errors = AtomicU64::new(0);
@@ -241,11 +263,17 @@ pub fn hot_swap_soak(
                 let errors = &errors;
                 let stale = &stale;
                 s.spawn(move || {
+                    let mut rng = mix_seed.map(|seed| client_rng(seed, t));
                     let mut mine = 0u64;
                     for round in 0..rounds {
                         let offset = (t + round) % texts.len();
                         for i in 0..texts.len() {
-                            let qi = (offset + i) % texts.len();
+                            // Seeded skewed mix when requested, the
+                            // staggered round-robin sweep otherwise.
+                            let qi = match &mut rng {
+                                Some(rng) => skewed_pick(rng, texts.len()),
+                                None => (offset + i) % texts.len(),
+                            };
                             match svc.execute(texts[qi]) {
                                 Ok(resp) => {
                                     let expect = &refs[(resp.db_epoch % 2) as usize][qi];
@@ -319,6 +347,22 @@ mod tests {
         assert!(report.clean(), "soak saw defects: {}", report.summary());
         assert_eq!(report.ok, 4 * 2 * all_queries().len() as u64);
         assert!(report.swaps >= 1, "the swapper never ran");
+    }
+
+    #[test]
+    fn batched_cached_soak_stays_clean_across_mixes_and_swaps() {
+        // The property the epoch-keyed match cache must uphold: with the
+        // cache and batch dispatch fully engaged, every answer still
+        // byte-matches the single-threaded reference for its epoch, across
+        // different seeded skewed mixes and concurrent snapshot swaps.
+        for seed in [1u64, 97] {
+            let config = ServiceConfig { workers: 2, queue_depth: 64, ..Default::default() };
+            let report =
+                hot_swap_soak_with(0.0005, 4, 2, Duration::from_millis(5), config, Some(seed));
+            assert!(report.clean(), "seed {seed} saw defects: {}", report.summary());
+            assert_eq!(report.ok, 4 * 2 * all_queries().len() as u64);
+            assert!(report.swaps >= 1, "the swapper never ran");
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! The same functions back both the `experiments` binary (paper-style
 //! tables on stdout) and the timed bench targets (see [`micro`]).
 
+pub mod batch;
 pub mod concurrent;
 pub mod micro;
 

@@ -19,6 +19,7 @@
 //! .open <name> <file>           load a snapshot/XML as catalog database <name>
 //! .use <name>                   switch the shell to a catalog database
 //! .reload [<name>]              re-read a database's file and hot-swap it
+//! .drop <name>                  unregister a catalog database
 //! .catalog                      list the registered databases
 //! .check                        verify store invariants and indexes
 //! .save <file.tlcx>             snapshot the current database to disk
@@ -254,6 +255,18 @@ impl Shell {
                     Err(e) => println!("error: {e}"),
                 }
             }
+            ".drop" => match parts.next() {
+                Some(name) if name == self.current => {
+                    println!(
+                        "error: cannot drop the shell's current database {name:?}; .use another first"
+                    );
+                }
+                Some(name) => match self.catalog.remove(name) {
+                    Ok(()) => println!("dropped {name}"),
+                    Err(e) => println!("error: {e}"),
+                },
+                None => println!("usage: .drop <name>"),
+            },
             ".catalog" => print!("{}", catalog::render(&self.catalog.list())),
             ".engine" => {
                 if let Some(e) = parts.next() {
@@ -308,6 +321,7 @@ impl Shell {
                      .open <name> <file>           load snapshot/XML as database <name>\n\
                      .use <name>                   switch to a catalog database\n\
                      .reload [<name>]              re-read a database's file, hot-swap\n\
+                     .drop <name>                  unregister a catalog database\n\
                      .catalog                      list registered databases\n\
                      .check                        verify store invariants and indexes\n\
                      .save <file.tlcx>             snapshot the current database\n\
@@ -395,11 +409,14 @@ impl Shell {
                         println!("{}", tlc::serialize_results(&db, &trees));
                         if self.stats {
                             println!(
-                                "-- {} tree(s), {} pattern matches, {} probes, {} nodes inspected, {:?}",
+                                "-- {} tree(s), {} pattern matches, {} probes, {} nodes inspected, \
+                                 {} candidate fetches, {} structural-join comparisons, {:?}",
                                 trees.len(),
                                 stats.pattern_matches,
                                 stats.probes,
                                 stats.nodes_inspected,
+                                stats.candidate_fetches,
+                                stats.struct_cmps,
                                 started.elapsed()
                             );
                         }

@@ -47,6 +47,10 @@ const USAGE: &str = "usage: tlc-serve [OPTIONS]
   --workers N       executor threads
   --queue N         admission queue depth
   --cache N         plan cache capacity in entries
+  --match-cache-mb N  pattern-match cache byte budget in MiB (0 disables;
+                    default 32)
+  --batch-max N     max same-(db,epoch) jobs one worker claims per dispatch
+                    (1 disables batching; default 8)
   --deadline-ms N   default per-request wall-clock budget
   --client-wait-ms N  max time a connection waits for a reply before
                     abandoning it (default: wait forever)
@@ -103,6 +107,16 @@ fn parse_args() -> Result<Options, String> {
             "--cache" => {
                 opts.config.plan_cache_capacity =
                     value("--cache")?.parse().map_err(|e| format!("--cache: {e}"))?
+            }
+            "--match-cache-mb" => {
+                let mb: usize = value("--match-cache-mb")?
+                    .parse()
+                    .map_err(|e| format!("--match-cache-mb: {e}"))?;
+                opts.config.match_cache_bytes = mb << 20;
+            }
+            "--batch-max" => {
+                opts.config.batch_max =
+                    value("--batch-max")?.parse().map_err(|e| format!("--batch-max: {e}"))?
             }
             "--deadline-ms" => {
                 let ms: u64 =

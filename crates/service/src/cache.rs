@@ -24,9 +24,16 @@
 //! eagerly ([`LruCache::purge_where`]) — they could never be *served*
 //! again (the key mismatch guarantees that), but they would otherwise
 //! squat in the LRU until capacity pressure evicted them.
+//!
+//! The same [`LruCache`] (with its optional byte budget) and the same
+//! `(database, epoch)` key-prefix scheme also back the **pattern-match
+//! cache** ([`MatchStore`] / [`ScopedMatchCache`]): APT-fingerprint chain
+//! keys → materialized result-tree sets, consulted by the executor through
+//! [`tlc::MatchCache`].
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Collapses whitespace runs to single spaces and trims the ends — the
 /// cache-key canonicalization.
@@ -83,16 +90,40 @@ pub struct CacheStats {
     pub len: usize,
     /// Configured capacity.
     pub capacity: usize,
+    /// Sum of the resident entries' declared costs (0 unless weighted
+    /// inserts are used).
+    pub bytes: usize,
+    /// Configured byte budget; 0 means entry count is the only bound.
+    pub byte_budget: usize,
+}
+
+/// One resident entry: the shared value, its recency stamp, and the byte
+/// cost it was inserted with (0 for unweighted inserts).
+#[derive(Debug)]
+struct Entry<V> {
+    value: Arc<V>,
+    stamp: u64,
+    cost: usize,
 }
 
 /// A bounded least-recently-used map from normalized query text to shared
 /// values. Recency is tracked with a monotonic stamp per entry plus an
 /// ordered stamp → key index, so get/insert are O(log n).
+///
+/// Two bounds compose: a maximum entry *count* (always on) and an optional
+/// **byte budget** ([`LruCache::with_byte_budget`]) under which each entry
+/// carries a caller-declared cost and inserts evict the LRU tail until the
+/// resident total fits. The byte budget exists for the match cache, whose
+/// values (materialized result-tree sets) vary in size by orders of
+/// magnitude — counting entries alone would let a few giant results hold
+/// the memory of thousands of small ones.
 #[derive(Debug)]
 pub struct LruCache<V> {
     capacity: usize,
+    byte_budget: Option<usize>,
+    bytes: usize,
     next_stamp: u64,
-    entries: HashMap<Box<str>, (Arc<V>, u64)>,
+    entries: HashMap<Box<str>, Entry<V>>,
     by_stamp: std::collections::BTreeMap<u64, Box<str>>,
     hits: u64,
     misses: u64,
@@ -104,6 +135,8 @@ impl<V> LruCache<V> {
     pub fn new(capacity: usize) -> LruCache<V> {
         LruCache {
             capacity: capacity.max(1),
+            byte_budget: None,
+            bytes: 0,
             next_stamp: 0,
             entries: HashMap::new(),
             by_stamp: std::collections::BTreeMap::new(),
@@ -113,12 +146,21 @@ impl<V> LruCache<V> {
         }
     }
 
+    /// Creates a cache bounded by both entry count and a byte budget over
+    /// the costs passed to [`LruCache::insert_weighted`]. An entry whose
+    /// cost alone exceeds the budget is declined rather than cached.
+    pub fn with_byte_budget(capacity: usize, budget: usize) -> LruCache<V> {
+        let mut cache = LruCache::new(capacity);
+        cache.byte_budget = Some(budget.max(1));
+        cache
+    }
+
     fn touch(&mut self, key: &str) {
         let stamp = self.next_stamp;
         self.next_stamp += 1;
-        if let Some((_, old)) = self.entries.get_mut(key) {
-            self.by_stamp.remove(old);
-            *old = stamp;
+        if let Some(e) = self.entries.get_mut(key) {
+            self.by_stamp.remove(&e.stamp);
+            e.stamp = stamp;
             self.by_stamp.insert(stamp, key.into());
         }
     }
@@ -126,8 +168,8 @@ impl<V> LruCache<V> {
     /// Looks `key` up (already normalized), refreshing its recency.
     pub fn get(&mut self, key: &str) -> Option<Arc<V>> {
         match self.entries.get(key) {
-            Some((v, _)) => {
-                let v = Arc::clone(v);
+            Some(e) => {
+                let v = Arc::clone(&e.value);
                 self.hits += 1;
                 self.touch(key);
                 Some(v)
@@ -139,32 +181,67 @@ impl<V> LruCache<V> {
         }
     }
 
-    /// Inserts `value` under `key` (already normalized), evicting the least
-    /// recently used entry if at capacity. Returns the number of evictions
-    /// performed (0 or 1).
+    /// Inserts `value` under `key` (already normalized) with cost 0,
+    /// evicting the least recently used entry if at capacity. Returns the
+    /// number of evictions performed.
     pub fn insert(&mut self, key: &str, value: Arc<V>) -> u64 {
+        self.insert_weighted(key, value, 0)
+    }
+
+    /// Inserts `value` under `key` declaring `cost` bytes, evicting LRU
+    /// entries until both the entry count and the byte budget (when
+    /// configured) are satisfied. An entry larger than the whole budget is
+    /// declined — caching it would empty the cache for one unlikely-to-fit
+    /// tenant. Returns the number of evictions performed.
+    pub fn insert_weighted(&mut self, key: &str, value: Arc<V>, cost: usize) -> u64 {
+        if self.byte_budget.is_some_and(|b| cost > b) {
+            return 0;
+        }
         if self.entries.contains_key(key) {
-            // Replace in place, refresh recency.
+            // Replace in place, refresh recency, re-cost.
             let stamp_key = key.to_owned();
             self.touch(&stamp_key);
-            if let Some((v, _)) = self.entries.get_mut(key) {
-                *v = value;
+            if let Some(e) = self.entries.get_mut(key) {
+                self.bytes = self.bytes - e.cost + cost;
+                e.value = value;
+                e.cost = cost;
             }
-            return 0;
+            return self.evict_while_over_budget();
         }
         let mut evicted = 0;
         if self.entries.len() >= self.capacity {
-            if let Some(oldest) = self.by_stamp.keys().next().copied() {
-                let victim = self.by_stamp.remove(&oldest).expect("stamp present");
-                self.entries.remove(&victim);
-                self.evictions += 1;
-                evicted = 1;
-            }
+            evicted += self.evict_oldest();
+        }
+        while self.byte_budget.is_some_and(|b| self.bytes + cost > b) && !self.entries.is_empty() {
+            evicted += self.evict_oldest();
         }
         let stamp = self.next_stamp;
         self.next_stamp += 1;
-        self.entries.insert(key.into(), (value, stamp));
+        self.bytes += cost;
+        self.entries.insert(key.into(), Entry { value, stamp, cost });
         self.by_stamp.insert(stamp, key.into());
+        evicted
+    }
+
+    fn evict_oldest(&mut self) -> u64 {
+        let Some(oldest) = self.by_stamp.keys().next().copied() else { return 0 };
+        let victim = self.by_stamp.remove(&oldest).expect("stamp present");
+        if let Some(e) = self.entries.remove(&victim) {
+            self.bytes -= e.cost;
+        }
+        self.evictions += 1;
+        1
+    }
+
+    /// Used after an in-place replacement grows an entry: the replaced key
+    /// holds the newest stamp, so the loop sheds colder entries first and
+    /// terminates because a sole remaining entry's cost fits the budget
+    /// (oversized costs were declined up front).
+    fn evict_while_over_budget(&mut self) -> u64 {
+        let mut evicted = 0;
+        while self.byte_budget.is_some_and(|b| self.bytes > b) && self.entries.len() > 1 {
+            evicted += self.evict_oldest();
+        }
         evicted
     }
 
@@ -176,8 +253,9 @@ impl<V> LruCache<V> {
     pub fn purge_where(&mut self, pred: impl Fn(&str) -> bool) -> u64 {
         let victims: Vec<Box<str>> = self.entries.keys().filter(|k| pred(k)).cloned().collect();
         for key in &victims {
-            if let Some((_, stamp)) = self.entries.remove(key) {
-                self.by_stamp.remove(&stamp);
+            if let Some(e) = self.entries.remove(key) {
+                self.by_stamp.remove(&e.stamp);
+                self.bytes -= e.cost;
             }
         }
         victims.len() as u64
@@ -191,7 +269,92 @@ impl<V> LruCache<V> {
             evictions: self.evictions,
             len: self.entries.len(),
             capacity: self.capacity,
+            bytes: self.bytes,
+            byte_budget: self.byte_budget.unwrap_or(0),
         }
+    }
+}
+
+/// Entry-count ceiling for the match store; the byte budget is the bound
+/// that actually matters, this just caps index bookkeeping.
+const MATCH_STORE_MAX_ENTRIES: usize = 65_536;
+
+/// The service-wide **pattern-match cache**: APT-fingerprint chain keys
+/// (see [`tlc::match_chain_key`]) → materialized result-tree sets, shared
+/// by every worker and byte-budgeted because values vary in size by orders
+/// of magnitude.
+///
+/// Keys are scoped with the same `(database, epoch)` prefix scheme as plan
+/// keys ([`epoch_prefix`]), which is the whole soundness story: a hot swap
+/// bumps the epoch, so entries matched against the superseded snapshot can
+/// never be *served* again, and [`MatchStore::purge_where`] drops them
+/// eagerly at swap time (counted as invalidations, not evictions).
+#[derive(Debug)]
+pub struct MatchStore {
+    inner: Mutex<LruCache<Vec<tlc::ResultTree>>>,
+    invalidated: AtomicU64,
+}
+
+impl MatchStore {
+    /// A store bounded by `byte_budget` over the approximate heap size of
+    /// the cached result trees.
+    pub fn new(byte_budget: usize) -> MatchStore {
+        MatchStore {
+            inner: Mutex::new(LruCache::with_byte_budget(MATCH_STORE_MAX_ENTRIES, byte_budget)),
+            invalidated: AtomicU64::new(0),
+        }
+    }
+
+    /// Current cache counters (hits, misses, evictions, bytes, budget).
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().unwrap().stats()
+    }
+
+    /// Entries dropped by invalidation sweeps so far.
+    pub fn invalidated(&self) -> u64 {
+        self.invalidated.load(Ordering::Relaxed)
+    }
+
+    /// Invalidation sweep: removes every entry whose key satisfies `pred`,
+    /// returning how many were dropped.
+    pub fn purge_where(&self, pred: impl Fn(&str) -> bool) -> u64 {
+        let dropped = self.inner.lock().unwrap().purge_where(pred);
+        self.invalidated.fetch_add(dropped, Ordering::Relaxed);
+        dropped
+    }
+}
+
+/// A [`MatchStore`] view scoped to one `(database, epoch)` snapshot — the
+/// object handed to the executor as its [`tlc::MatchCache`]. The executor
+/// keys by APT-fingerprint chain alone; the scope prefixes every key, so
+/// two databases (or two epochs of one) can never exchange entries even
+/// when their queries fingerprint identically.
+#[derive(Debug)]
+pub struct ScopedMatchCache {
+    store: Arc<MatchStore>,
+    prefix: String,
+}
+
+impl ScopedMatchCache {
+    /// A view of `store` for database `db` at `epoch`.
+    pub fn new(store: Arc<MatchStore>, db: &str, epoch: u64) -> ScopedMatchCache {
+        ScopedMatchCache { store, prefix: epoch_prefix(db, epoch) }
+    }
+}
+
+impl tlc::MatchCache for ScopedMatchCache {
+    fn get(&self, key: &str) -> Option<Arc<Vec<tlc::ResultTree>>> {
+        self.store.inner.lock().unwrap().get(&format!("{}{key}", self.prefix))
+    }
+
+    fn put(&self, key: &str, trees: &[tlc::ResultTree]) {
+        let cost = std::mem::size_of::<Vec<tlc::ResultTree>>()
+            + trees.iter().map(tlc::ResultTree::approx_bytes).sum::<usize>();
+        self.store.inner.lock().unwrap().insert_weighted(
+            &format!("{}{key}", self.prefix),
+            Arc::new(trees.to_vec()),
+            cost,
+        );
     }
 }
 
@@ -276,6 +439,82 @@ mod tests {
             c.insert(&format!("fill{i}"), Arc::new(i));
         }
         assert_eq!(c.stats().len, 8);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_until_the_new_entry_fits() {
+        let mut c: LruCache<i32> = LruCache::with_byte_budget(16, 100);
+        assert_eq!(c.insert_weighted("a", Arc::new(1), 40), 0);
+        assert_eq!(c.insert_weighted("b", Arc::new(2), 40), 0);
+        assert!(c.get("a").is_some()); // refresh a: b is now LRU
+                                       // 40 + 40 + 30 > 100 → evicts b (the LRU), keeps a.
+        assert_eq!(c.insert_weighted("c", Arc::new(3), 30), 1);
+        assert!(c.get("a").is_some());
+        assert!(c.get("b").is_none());
+        assert!(c.get("c").is_some());
+        let s = c.stats();
+        assert_eq!((s.bytes, s.byte_budget, s.len, s.evictions), (70, 100, 2, 1));
+    }
+
+    #[test]
+    fn oversized_entries_are_declined_not_cached() {
+        let mut c: LruCache<i32> = LruCache::with_byte_budget(16, 100);
+        c.insert_weighted("small", Arc::new(1), 10);
+        assert_eq!(c.insert_weighted("huge", Arc::new(2), 101), 0);
+        assert!(c.get("huge").is_none());
+        assert!(c.get("small").is_some(), "declining must not disturb residents");
+        assert_eq!(c.stats().bytes, 10);
+    }
+
+    #[test]
+    fn replacement_recosts_and_sheds_colder_entries() {
+        let mut c: LruCache<i32> = LruCache::with_byte_budget(16, 100);
+        c.insert_weighted("a", Arc::new(1), 30);
+        c.insert_weighted("b", Arc::new(2), 30);
+        c.insert_weighted("c", Arc::new(3), 30);
+        // Re-insert c at a larger cost: a (coldest) goes, b and c stay.
+        c.insert_weighted("c", Arc::new(4), 60);
+        assert!(c.get("a").is_none());
+        assert!(c.get("b").is_some());
+        assert_eq!(*c.get("c").unwrap(), 4);
+        assert_eq!(c.stats().bytes, 90);
+    }
+
+    #[test]
+    fn purge_releases_bytes() {
+        let mut c: LruCache<i32> = LruCache::with_byte_budget(16, 100);
+        c.insert_weighted(&plan_key("a", 0, "q"), Arc::new(1), 40);
+        c.insert_weighted(&plan_key("b", 0, "q"), Arc::new(2), 25);
+        assert_eq!(c.purge_where(|k| k.starts_with(&db_prefix("a"))), 1);
+        assert_eq!(c.stats().bytes, 25);
+    }
+
+    #[test]
+    fn scoped_match_caches_isolate_databases_and_epochs() {
+        use tlc::MatchCache as _;
+        let store = Arc::new(MatchStore::new(1 << 20));
+        let a0 = ScopedMatchCache::new(Arc::clone(&store), "a", 0);
+        let a1 = ScopedMatchCache::new(Arc::clone(&store), "a", 1);
+        let b0 = ScopedMatchCache::new(Arc::clone(&store), "b", 0);
+        a0.put("Sfp", &[]);
+        assert!(a0.get("Sfp").is_some());
+        assert!(a1.get("Sfp").is_none(), "epochs must not share entries");
+        assert!(b0.get("Sfp").is_none(), "databases must not share entries");
+        // Swap `a` to epoch 1: purge its superseded entries only.
+        let live = epoch_prefix("a", 1);
+        let all = db_prefix("a");
+        assert_eq!(store.purge_where(|k| k.starts_with(&all) && !k.starts_with(&live)), 1);
+        assert_eq!(store.invalidated(), 1);
+        assert!(a0.get("Sfp").is_none());
+        assert_eq!(store.stats().bytes, 0);
+    }
+
+    #[test]
+    fn unweighted_cache_reports_zero_budget() {
+        let mut c: LruCache<i32> = LruCache::new(2);
+        c.insert("a", Arc::new(1));
+        let s = c.stats();
+        assert_eq!((s.bytes, s.byte_budget), (0, 0));
     }
 
     #[test]

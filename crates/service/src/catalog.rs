@@ -190,6 +190,16 @@ impl Catalog {
         self.install(name, Arc::new(db), None)
     }
 
+    /// Unregisters `name`, dropping its slot. In-flight work holding the
+    /// entry keeps its snapshot alive until it finishes; later resolves
+    /// fail with [`CatalogError::Unknown`].
+    pub fn remove(&self, name: &str) -> Result<(), CatalogError> {
+        if self.slots.write().unwrap().remove(name).is_none() {
+            return Err(CatalogError::Unknown(name.to_string()));
+        }
+        Ok(())
+    }
+
     /// Resolves the current entry for `name` (clone-on-read: the returned
     /// `Arc` stays valid across any later swap).
     pub fn resolve(&self, name: &str) -> Result<Arc<CatalogEntry>, CatalogError> {
@@ -341,6 +351,21 @@ mod tests {
         assert_eq!(old.database().nodes_with_tag("x").len(), 1);
         assert_eq!(cat.resolve("d").unwrap().database().nodes_with_tag("x").len(), 3);
         assert_eq!(cat.list()[0].swaps, 1);
+    }
+
+    #[test]
+    fn remove_drops_the_slot_but_pins_held_entries() {
+        let cat = Catalog::new();
+        cat.register("gone", tiny_db("<r><x/></r>")).unwrap();
+        let held = cat.resolve("gone").unwrap();
+        cat.remove("gone").unwrap();
+        assert!(!cat.contains("gone"));
+        assert!(matches!(cat.resolve("gone"), Err(CatalogError::Unknown(_))));
+        assert!(matches!(cat.remove("gone"), Err(CatalogError::Unknown(_))));
+        // The held entry still reads its snapshot.
+        assert_eq!(held.database().nodes_with_tag("x").len(), 1);
+        // Re-registering starts a fresh slot at epoch 0.
+        assert_eq!(cat.register("gone", tiny_db("<r/>")).unwrap().epoch(), 0);
     }
 
     #[test]

@@ -22,9 +22,20 @@
 //!   swap sound: plans bind tag ids of the store they were compiled
 //!   against, and a superseded epoch's entries can never be served again
 //!   (they are also purged eagerly at swap time).
+//! * **match cache** ([`cache::MatchStore`]) — an epoch-keyed,
+//!   byte-budgeted LRU of *pattern-match results*: the executor consults it
+//!   through [`tlc::MatchCache`] keyed by canonical APT fingerprints
+//!   ([`tlc::match_chain_key`]), so repeated templates skip the structural
+//!   joins entirely, not just compilation. Keys carry the same
+//!   `(database, epoch)` prefix as plan keys, making stale hits across hot
+//!   swaps impossible; swaps purge superseded entries eagerly.
 //! * **worker pool** ([`pool`]) — a fixed set of executor threads behind a
 //!   bounded admission queue. A full queue rejects new work immediately
 //!   ([`ServiceError::Overloaded`]) instead of queueing without bound.
+//!   Dispatch is **batch-aware**: a worker picking up a job also claims
+//!   queued jobs of the same `(database, epoch)` group (up to
+//!   [`ServiceConfig::batch_max`]) and runs them back to back, sharing the
+//!   snapshot's warm match-cache entries and index postings.
 //! * **deadlines** — every request can carry a wall-clock budget; time
 //!   spent queued counts against it. The TLC executor checks the deadline
 //!   between operators ([`tlc::execute_with_deadline`]), so an over-budget
@@ -99,6 +110,17 @@ pub struct ServiceConfig {
     /// the job to completion and discards the reply. Abandoned requests
     /// are counted in [`metrics::Snapshot::abandoned`].
     pub client_wait: Option<Duration>,
+    /// Byte budget for the epoch-keyed pattern-match cache shared by all
+    /// workers (approximate heap bytes of the cached result trees). `0`
+    /// disables the cache entirely — every request then re-runs its
+    /// structural matches, which is the right baseline for benchmarking.
+    pub match_cache_bytes: usize,
+    /// Upper bound on how many same-`(database, epoch)` jobs one worker
+    /// claims per dispatch (see [`pool::Pool::batched`]). `1` disables
+    /// batching; batching never delays admission, it only co-locates
+    /// already-queued work so consecutive executions share the snapshot's
+    /// warm match-cache entries and index postings.
+    pub batch_max: usize,
 }
 
 impl Default for ServiceConfig {
@@ -111,6 +133,8 @@ impl Default for ServiceConfig {
             plan_cache_capacity: 128,
             default_deadline: None,
             client_wait: None,
+            match_cache_bytes: 32 << 20,
+            batch_max: 8,
         }
     }
 }
@@ -233,6 +257,7 @@ pub struct Service {
     catalog: Catalog,
     engine: Engine,
     cache: Mutex<LruCache<Plan>>,
+    matches: Option<Arc<cache::MatchStore>>,
     metrics: Metrics,
     pool: Pool<WorkResult>,
     default_deadline: Option<Duration>,
@@ -246,12 +271,15 @@ impl Service {
     pub fn new(db: Arc<Database>, config: ServiceConfig) -> Service {
         let catalog = Catalog::new();
         catalog.register(DEFAULT_DB, db).expect("default name is valid");
+        let matches = (config.match_cache_bytes > 0)
+            .then(|| Arc::new(cache::MatchStore::new(config.match_cache_bytes)));
         Service {
             catalog,
             engine: config.engine,
             cache: Mutex::new(LruCache::new(config.plan_cache_capacity)),
+            matches,
             metrics: Metrics::new(),
-            pool: Pool::new(config.workers, config.queue_depth),
+            pool: Pool::batched(config.workers, config.queue_depth, config.batch_max),
             default_deadline: config.default_deadline,
             client_wait: config.client_wait,
             queue_depth: config.queue_depth,
@@ -313,23 +341,42 @@ impl Service {
         Ok((entry, invalidated))
     }
 
-    /// Post-publish bookkeeping: purge plans of superseded epochs (the
-    /// epoch-keyed cache could never serve them, but they would squat in
-    /// the LRU) and record the swap. First registrations (epoch 0) are not
-    /// swaps and purge nothing.
+    /// Post-publish bookkeeping: purge plans *and match-cache entries* of
+    /// superseded epochs (the epoch-keyed caches could never serve them,
+    /// but they would squat in their LRUs) and record the swap. First
+    /// registrations (epoch 0) are not swaps and purge nothing.
     fn after_swap(&self, entry: &CatalogEntry) -> u64 {
         if entry.epoch() == 0 {
             return 0;
         }
         let live = cache::epoch_prefix(entry.name(), entry.epoch());
         let all = cache::db_prefix(entry.name());
-        let invalidated = self
-            .cache
-            .lock()
-            .unwrap()
-            .purge_where(|key| key.starts_with(&all) && !key.starts_with(&live));
+        let stale = |key: &str| key.starts_with(&all) && !key.starts_with(&live);
+        let invalidated = self.cache.lock().unwrap().purge_where(stale);
+        if let Some(store) = &self.matches {
+            store.purge_where(stale);
+        }
         self.metrics.record_swap(entry.name(), invalidated);
         invalidated
+    }
+
+    /// Unregisters `name` from the catalog and purges every cached plan
+    /// and match-cache entry it owned, returning `(plans, match entries)`
+    /// purged. The default database cannot be dropped — the service is
+    /// constructed around it and every session starts there. In-flight
+    /// requests holding the entry finish against their pinned snapshot.
+    pub fn drop_database(&self, name: &str) -> Result<(u64, u64), ServiceError> {
+        if name == DEFAULT_DB {
+            return Err(ServiceError::Unsupported(format!(
+                "cannot drop the default database {DEFAULT_DB:?}"
+            )));
+        }
+        self.catalog.remove(name).map_err(ServiceError::Catalog)?;
+        let prefix = cache::db_prefix(name);
+        let plans = self.cache.lock().unwrap().purge_where(|k| k.starts_with(&prefix));
+        let entries =
+            self.matches.as_ref().map_or(0, |s| s.purge_where(|k| k.starts_with(&prefix)));
+        Ok((plans, entries))
     }
 
     fn entry(&self, db: &str) -> Result<Arc<CatalogEntry>, ServiceError> {
@@ -469,13 +516,22 @@ impl Service {
     ) -> Result<Response, ServiceError> {
         let db = Arc::clone(handle.entry.database());
         let plan = Arc::clone(&handle.plan);
+        // The executor sees the match store through a view scoped to this
+        // request's `(database, epoch)` — the scoping, not the executor,
+        // is what makes serving across hot swaps impossible.
+        let match_cache: Option<Arc<dyn tlc::MatchCache>> = self.matches.as_ref().map(|store| {
+            Arc::new(cache::ScopedMatchCache::new(
+                Arc::clone(store),
+                handle.entry.name(),
+                handle.entry.epoch(),
+            )) as Arc<dyn tlc::MatchCache>
+        });
         let work: Box<dyn FnOnce() -> WorkResult + Send> = Box::new(move || {
-            let run = match deadline {
-                Some(d) => tlc::execute_with_deadline(&db, &plan, d),
-                None => tlc::execute(&db, &plan),
-            };
-            match run {
-                Ok((trees, stats)) => Ok((tlc::serialize_results(&db, &trees), stats)),
+            let mut ctx = tlc::ExecCtx::new();
+            ctx.deadline = deadline;
+            ctx.cache = match_cache;
+            match tlc::execute_with_ctx(&db, &plan, &mut ctx) {
+                Ok(trees) => Ok((tlc::serialize_results(&db, &trees), ctx.stats)),
                 Err(tlc::Error::DeadlineExceeded) => Err(ServiceError::DeadlineExceeded),
                 Err(e) => Err(ServiceError::Execute(e)),
             }
@@ -499,7 +555,11 @@ impl Service {
         deadline: Option<Instant>,
         work: Box<dyn FnOnce() -> WorkResult + Send>,
     ) -> Result<Response, ServiceError> {
-        let rx = self.pool.submit(deadline, work).map_err(|e| match e {
+        // Group queued jobs by `(database, epoch)`: a worker that drains a
+        // group back to back keeps one snapshot's match-cache entries and
+        // index postings warm instead of interleaving unrelated stores.
+        let group: Arc<str> = Arc::from(format!("{}\u{1}{}", entry.name(), entry.epoch()).as_str());
+        let rx = self.pool.submit_grouped(deadline, Some(group), work).map_err(|e| match e {
             SubmitError::QueueFull => {
                 self.metrics.record_outcome(Outcome::Rejected);
                 ServiceError::Overloaded { queue_depth: self.queue_depth }
@@ -556,15 +616,44 @@ impl Service {
         self.cache.lock().unwrap().stats()
     }
 
+    /// Match-cache counters, or `None` when the cache is disabled
+    /// (`match_cache_bytes == 0`).
+    pub fn match_cache_stats(&self) -> Option<CacheStats> {
+        self.matches.as_ref().map(|s| s.stats())
+    }
+
+    /// Batch-dispatch counters from the worker pool.
+    pub fn batch_stats(&self) -> pool::BatchStats {
+        self.pool.batch_stats()
+    }
+
     /// Aggregate metrics snapshot.
     pub fn metrics_snapshot(&self) -> Snapshot {
         self.metrics.snapshot()
     }
 
     /// The full text metrics report (`.metrics` in the wire protocol):
-    /// request/cache/latency counters followed by the catalog listing.
+    /// request/cache/latency counters, match-cache and batch-dispatch
+    /// lines, followed by the catalog listing.
     pub fn metrics_report(&self) -> String {
         let mut report = self.metrics.report();
+        match self.match_cache_stats() {
+            Some(s) => {
+                let lookups = s.hits + s.misses;
+                let rate = if lookups == 0 { 0.0 } else { s.hits as f64 / lookups as f64 * 100.0 };
+                let invalidated = self.matches.as_ref().map_or(0, |m| m.invalidated());
+                report.push_str(&format!(
+                    "match cache: {} hits / {lookups} lookups ({rate:.1}% hit rate), {} evictions, {invalidated} invalidated, {} entr(ies), {}/{} bytes\n",
+                    s.hits, s.evictions, s.len, s.bytes, s.byte_budget
+                ));
+            }
+            None => report.push_str("match cache: disabled\n"),
+        }
+        let b = self.pool.batch_stats();
+        report.push_str(&format!(
+            "batch dispatch: {} batch(es) over {} job(s), max batch {}\n",
+            b.batches, b.jobs, b.max_batch
+        ));
         report.push_str(&self.catalog_report());
         report
     }
@@ -711,6 +800,101 @@ mod tests {
             }
             other => panic!("expected unknown-database error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn match_cache_serves_repeats_byte_identically() {
+        let svc = tiny_service(ServiceConfig::default());
+        let cold = svc.execute(Q).unwrap();
+        assert!(cold.stats.match_cache_misses > 0, "{:?}", cold.stats);
+        let warm = svc.execute(Q).unwrap();
+        assert_eq!(warm.output, cold.output);
+        assert!(warm.stats.match_cache_hits > 0, "{:?}", warm.stats);
+        assert_eq!(warm.stats.pattern_matches, 0, "warm run must skip structural matching");
+        let s = svc.match_cache_stats().expect("cache enabled by default");
+        assert!(s.hits > 0 && s.bytes > 0, "{s:?}");
+        let report = svc.metrics_report();
+        assert!(report.contains("match cache:"), "{report}");
+        assert!(report.contains("batch dispatch:"), "{report}");
+    }
+
+    #[test]
+    fn disabled_match_cache_rematches_every_request() {
+        let svc = tiny_service(ServiceConfig { match_cache_bytes: 0, ..Default::default() });
+        svc.execute(Q).unwrap();
+        let again = svc.execute(Q).unwrap();
+        assert!(again.cache_hit, "plan cache stays on");
+        assert_eq!(again.stats.match_cache_hits, 0);
+        assert!(again.stats.pattern_matches > 0);
+        assert!(svc.match_cache_stats().is_none());
+        assert!(svc.metrics_report().contains("match cache: disabled"));
+    }
+
+    #[test]
+    fn hot_swap_invalidates_match_entries() {
+        let svc = tiny_service(ServiceConfig::default());
+        svc.execute(Q).unwrap();
+        assert!(svc.match_cache_stats().unwrap().len > 0);
+        svc.install(DEFAULT_DB, Arc::new(xmark::auction_database(0.002))).unwrap();
+        let store = svc.matches.as_ref().unwrap();
+        assert!(store.invalidated() > 0, "swap must purge superseded match entries");
+        assert_eq!(svc.match_cache_stats().unwrap().len, 0);
+        // The first request after the swap re-matches against the new
+        // snapshot and must agree with the single-threaded reference.
+        let resp = svc.execute(Q).unwrap();
+        assert_eq!(resp.db_epoch, 1);
+        assert!(resp.stats.match_cache_hits == 0, "{:?}", resp.stats);
+        let direct = baselines::run(Engine::Tlc, Q, &svc.database()).unwrap();
+        assert_eq!(resp.output, direct);
+    }
+
+    #[test]
+    fn drop_database_purges_both_caches_and_rejects_default() {
+        let svc = tiny_service(ServiceConfig::default());
+        svc.install("side", Arc::new(xmark::auction_database(0.001))).unwrap();
+        svc.execute_on("side", Q).unwrap();
+        let (plans, entries) = svc.drop_database("side").unwrap();
+        assert_eq!(plans, 1);
+        assert!(entries > 0, "match entries for the dropped db must go");
+        assert!(!svc.has_database("side"));
+        assert!(matches!(
+            svc.execute_on("side", Q),
+            Err(ServiceError::Catalog(CatalogError::Unknown(_)))
+        ));
+        assert!(matches!(svc.drop_database(DEFAULT_DB), Err(ServiceError::Unsupported(_))));
+        assert!(matches!(
+            svc.drop_database("never-there"),
+            Err(ServiceError::Catalog(CatalogError::Unknown(_)))
+        ));
+        // The default database is untouched.
+        assert!(svc.execute(Q).is_ok());
+    }
+
+    #[test]
+    fn concurrent_same_template_traffic_batches_and_agrees() {
+        let svc = Arc::new(tiny_service(ServiceConfig {
+            workers: 2,
+            queue_depth: 64,
+            ..Default::default()
+        }));
+        let reference = baselines::run(Engine::Tlc, Q, &svc.database()).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let svc = Arc::clone(&svc);
+                let reference = reference.clone();
+                s.spawn(move || {
+                    for _ in 0..8 {
+                        let resp = svc.execute(Q).unwrap();
+                        assert_eq!(resp.output, reference);
+                    }
+                });
+            }
+        });
+        let b = svc.batch_stats();
+        assert_eq!(b.jobs, 32);
+        assert!(b.batches <= b.jobs);
+        let s = svc.match_cache_stats().unwrap();
+        assert!(s.hits > 0, "{s:?}");
     }
 
     #[test]

@@ -299,9 +299,13 @@ impl Metrics {
         ));
         let e = &m.exec;
         out.push_str(&format!(
-            "executor: {} pattern matches, {} probes, {} nodes inspected, {} trees built, {} subtrees materialized, {} join steps\n",
-            e.pattern_matches, e.probes, e.nodes_inspected, e.trees_built,
-            e.subtrees_materialized, e.join_steps
+            "executor: {} pattern matches, {} probes, {} nodes inspected, {} candidate fetches, {} structural-join comparisons, {} trees built, {} subtrees materialized, {} join steps\n",
+            e.pattern_matches, e.probes, e.nodes_inspected, e.candidate_fetches,
+            e.struct_cmps, e.trees_built, e.subtrees_materialized, e.join_steps
+        ));
+        out.push_str(&format!(
+            "executor match cache: {} hits / {} misses\n",
+            e.match_cache_hits, e.match_cache_misses
         ));
         if !m.per_query.is_empty() {
             out.push_str(&format!(

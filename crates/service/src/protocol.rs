@@ -10,6 +10,9 @@
 //! * `.use <name>` — switch this session to a registered database;
 //! * `.reload [<name>]` — re-read a database's source file and hot-swap
 //!   the result in (defaults to the session's current database);
+//! * `.drop <name>` — unregister a database and purge its cached plans
+//!   and match entries; the session's current database (and the default
+//!   database) cannot be dropped;
 //! * `.catalog` — list the registered databases;
 //! * `.metrics` — the service's text metrics report;
 //! * `.quit` — close this connection.
@@ -152,6 +155,27 @@ pub fn serve_connection(
                         }
                     }
                     (".reload", _) => write_err(writer, "usage: .reload [<name>]")?,
+                    (".drop", [name]) => {
+                        if *name == current {
+                            write_err(
+                                writer,
+                                &format!(
+                                    "cannot drop the session's current database {name:?}; .use another first"
+                                ),
+                            )?;
+                        } else {
+                            match service.drop_database(name) {
+                                Ok((plans, entries)) => write_ok(
+                                    writer,
+                                    &format!(
+                                        "dropped {name}: {plans} plan(s), {entries} match entr(ies) purged"
+                                    ),
+                                )?,
+                                Err(e) => write_err(writer, &e.to_string())?,
+                            }
+                        }
+                    }
+                    (".drop", _) => write_err(writer, "usage: .drop <name>")?,
                     _ => write_err(writer, &format!("unknown command: {dot}"))?,
                 }
             }
@@ -264,6 +288,40 @@ mod tests {
             matches!(read_response(&mut r).unwrap(), Frame::Ok(m) if m.contains("catalog: 2 database(s)"))
         );
         assert_eq!(read_response(&mut r).unwrap(), Frame::Err("usage: .open <name> <file>".into()));
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn drop_command_guards_current_and_default_databases() {
+        let db = Arc::new(xmark::auction_database(0.001));
+        let svc = Arc::new(Service::new(db, ServiceConfig::default()));
+        let dir = std::env::temp_dir();
+        let file = dir.join(format!("tlc_proto_drop_{}.xml", std::process::id()));
+        std::fs::write(&file, "<site><person><name>Zoe</name></person></site>").unwrap();
+        let script = format!(
+            ".open doomed {0}\n.drop doomed\n.use main\n.drop doomed\n.drop main\n.drop\n.quit\n",
+            file.display()
+        );
+        let mut reader = BufReader::new(script.as_bytes());
+        let mut out = Vec::new();
+        serve_connection(&svc, &mut reader, &mut out).unwrap();
+        let mut r = BufReader::new(&out[..]);
+        assert!(
+            matches!(read_response(&mut r).unwrap(), Frame::Ok(m) if m.starts_with("opened doomed"))
+        );
+        // .open switched the session to `doomed`, so dropping it is refused.
+        assert!(
+            matches!(read_response(&mut r).unwrap(), Frame::Err(m) if m.contains("current database"))
+        );
+        assert_eq!(read_response(&mut r).unwrap(), Frame::Ok("using main".into()));
+        // Off the session now: the drop succeeds and reports the purge.
+        assert!(
+            matches!(read_response(&mut r).unwrap(), Frame::Ok(m) if m.starts_with("dropped doomed"))
+        );
+        // `main` is both current and default; either guard refuses it.
+        assert!(matches!(read_response(&mut r).unwrap(), Frame::Err(_)));
+        assert_eq!(read_response(&mut r).unwrap(), Frame::Err("usage: .drop <name>".into()));
+        assert!(!svc.has_database("doomed"));
         std::fs::remove_file(&file).ok();
     }
 }

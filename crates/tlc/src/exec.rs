@@ -2,25 +2,63 @@
 
 use crate::error::{Error, Result};
 use crate::ops;
+use crate::ops::filter::FilterPred;
 use crate::plan::Plan;
 use crate::stats::ExecStats;
 use crate::tree::{ResultTree, TempIdGen};
+use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xmldb::Database;
 
+/// A pluggable store for pattern-match results, consulted by the executor
+/// before running a Select/Filter chain and populated after (see
+/// [`match_chain_key`] for what is cacheable and how it is keyed).
+///
+/// Implementations own their eviction and scoping policy; the executor
+/// treats the store as a pure key → trees map. The query service scopes
+/// keys by `(database, epoch)` so a snapshot hot swap can never serve a
+/// stale answer.
+pub trait MatchCache: Send + Sync {
+    /// Returns the cached result trees for `key`, if present.
+    fn get(&self, key: &str) -> Option<Arc<Vec<ResultTree>>>;
+    /// Stores `trees` under `key`. Implementations may decline (e.g. when
+    /// the entry exceeds a byte budget).
+    fn put(&self, key: &str, trees: &[ResultTree]);
+}
+
+/// How many deadline ticks pass between `Instant::now()` calls inside long
+/// pattern matches. Power of two so the check is a mask.
+const DEADLINE_TICK_PERIOD: u32 = 1024;
+
 /// Execution context: temporary-id generator plus counters.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct ExecCtx {
     /// Temporary node identifier source (paper §5.1, Property 4).
     pub tmp: TempIdGen,
     /// Counters.
     pub stats: ExecStats,
     /// Optional wall-clock cut-off. The executor checks it before every
-    /// operator evaluation; an exceeded deadline aborts the whole plan with
-    /// [`Error::DeadlineExceeded`]. Checks sit at operator boundaries, so
-    /// the granularity is one operator: a plan is never killed mid-operator,
-    /// and no partially-built result escapes.
+    /// operator evaluation and — via [`ExecCtx::tick`] — every
+    /// `DEADLINE_TICK_PERIOD` candidate steps inside pattern matching; an
+    /// exceeded deadline aborts the whole plan with
+    /// [`Error::DeadlineExceeded`]. No partially-built result escapes.
     pub deadline: Option<Instant>,
+    /// Optional pattern-match cache consulted for Select/Filter chains.
+    pub cache: Option<Arc<dyn MatchCache>>,
+    ticks: u32,
+}
+
+impl fmt::Debug for ExecCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecCtx")
+            .field("tmp", &self.tmp)
+            .field("stats", &self.stats)
+            .field("deadline", &self.deadline)
+            .field("cache", &self.cache.is_some())
+            .field("ticks", &self.ticks)
+            .finish()
+    }
 }
 
 impl ExecCtx {
@@ -34,10 +72,43 @@ impl ExecCtx {
         ExecCtx { deadline: Some(deadline), ..ExecCtx::default() }
     }
 
+    /// Attaches a match cache (builder style).
+    pub fn with_cache(mut self, cache: Arc<dyn MatchCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Deadline check at an operator boundary. Free when no deadline is
+    /// set — `Instant::now()` is only evaluated on the `Some` path.
+    #[inline]
     fn check_deadline(&self) -> Result<()> {
         match self.deadline {
-            Some(d) if Instant::now() >= d => Err(Error::DeadlineExceeded),
-            _ => Ok(()),
+            None => Ok(()),
+            Some(d) => {
+                if Instant::now() >= d {
+                    Err(Error::DeadlineExceeded)
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Fine-grained deadline check for long-running matches: a no-op
+    /// without a deadline, and at most one `Instant::now()` per
+    /// `DEADLINE_TICK_PERIOD` calls with one. Pattern matching calls this
+    /// per candidate step so a batched group can abort mid-match instead
+    /// of only at operator boundaries.
+    #[inline]
+    pub fn tick(&mut self) -> Result<()> {
+        if self.deadline.is_none() {
+            return Ok(());
+        }
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks.is_multiple_of(DEADLINE_TICK_PERIOD) {
+            self.check_deadline()
+        } else {
+            Ok(())
         }
     }
 }
@@ -65,10 +136,77 @@ pub fn execute_with_deadline(
     Ok((trees, ctx.stats))
 }
 
+/// Executes a plan under a caller-supplied context — the full-control entry
+/// point: deadline, match cache and counters all live on `ctx`. The other
+/// `execute*` functions are conveniences over this.
+pub fn execute_with_ctx(db: &Database, plan: &Plan, ctx: &mut ExecCtx) -> Result<Vec<ResultTree>> {
+    run(db, plan, ctx)
+}
+
 /// Executes a plan and serializes the result (the typical caller surface).
 pub fn execute_to_string(db: &Database, plan: &Plan) -> Result<String> {
     let (trees, _) = execute(db, plan)?;
     Ok(crate::output::serialize_results(db, &trees))
+}
+
+/// The cache key for a plan whose result the match cache may hold, or
+/// `None` when the plan is not cacheable.
+///
+/// Cacheable plans are the Select/Filter *chains* the translator emits for
+/// pattern matching — a document- or class-rooted `Select`, `Filter`,
+/// `Project` or `DupElim` whose (optional) input is itself a cacheable
+/// chain. Such a chain is a pure function of the database snapshot and its
+/// own shape: none of these operators mint temporary nodes, so their
+/// output embeds only base node ids and class labels, both of which the
+/// key covers (APT fingerprints include labels). Any other operator in the
+/// chain (Join, Aggregate, Construct, …) creates fresh temporary ids per
+/// execution, so those plans are never cached.
+///
+/// The key is a canonical form, not a hash: distinct chains cannot collide.
+/// Callers scope it further (the service prepends `(db, epoch)`).
+pub fn match_chain_key(plan: &Plan) -> Option<String> {
+    match plan {
+        Plan::Select { input, apt } => {
+            let fp = apt.fingerprint();
+            match input {
+                None => Some(format!("S{fp}")),
+                Some(i) => {
+                    let prefix = match_chain_key(i)?;
+                    Some(format!("{prefix}\u{2}S{fp}"))
+                }
+            }
+        }
+        Plan::Filter { input, lcl, pred, mode } => {
+            let prefix = match_chain_key(input)?;
+            let pred = match pred {
+                FilterPred::Content(p) => {
+                    // Literals are length/bit-prefixed so keys stay
+                    // self-delimiting (same rules as APT fingerprints).
+                    match &p.value {
+                        crate::pattern::PredValue::Num(n) => {
+                            format!("{:?}n{:016x}", p.op, n.to_bits())
+                        }
+                        crate::pattern::PredValue::Str(s) => {
+                            format!("{:?}s{}:{s}", p.op, s.len())
+                        }
+                    }
+                }
+                FilterPred::CmpLcl { op, other } => format!("{op:?}c{}", other.0),
+            };
+            Some(format!("{prefix}\u{2}Fc{};{mode:?};{pred}", lcl.0))
+        }
+        Plan::Project { input, keep } => {
+            let prefix = match_chain_key(input)?;
+            let keep: Vec<String> = keep.iter().map(|l| l.0.to_string()).collect();
+            Some(format!("{prefix}\u{2}Pc{}", keep.join(",")))
+        }
+        Plan::DupElim { input, on, kind } => {
+            let prefix = match_chain_key(input)?;
+            let on: Vec<String> = on.iter().map(|l| l.0.to_string()).collect();
+            Some(format!("{prefix}\u{2}D{kind:?}c{}", on.join(",")))
+        }
+        _ => None,
+    }
 }
 
 /// One operator's measurements from a traced execution.
@@ -172,7 +310,7 @@ fn run_traced(
                 Some(i) => eval_input(i, ctx, traces, &mut child_time)?,
                 None => Vec::new(),
             };
-            ops::select(db, apt, inputs, &mut ctx.stats)?
+            ops::select(db, apt, inputs, ctx)?
         }
         Plan::Filter { input, lcl, pred, mode } => {
             let inputs = eval_input(input, ctx, traces, &mut child_time)?;
@@ -239,13 +377,34 @@ fn run_traced(
 
 fn run(db: &Database, plan: &Plan, ctx: &mut ExecCtx) -> Result<Vec<ResultTree>> {
     ctx.check_deadline()?;
+    // Pattern-match chains (Select/Filter and the Project/DupElim glue
+    // between them) are pure functions of the database snapshot, so a
+    // match cache (when attached) can answer them without matching. The
+    // key covers the whole chain below this operator; on a miss the chain
+    // runs normally and each cacheable level populates its own entry.
+    if let Some(cache) = ctx.cache.clone() {
+        if let Some(key) = match_chain_key(plan) {
+            if let Some(hit) = cache.get(&key) {
+                ctx.stats.match_cache_hits += 1;
+                return Ok((*hit).clone());
+            }
+            let trees = run_op(db, plan, ctx)?;
+            ctx.stats.match_cache_misses += 1;
+            cache.put(&key, &trees);
+            return Ok(trees);
+        }
+    }
+    run_op(db, plan, ctx)
+}
+
+fn run_op(db: &Database, plan: &Plan, ctx: &mut ExecCtx) -> Result<Vec<ResultTree>> {
     match plan {
         Plan::Select { input, apt } => {
             let inputs = match input {
                 Some(i) => run(db, i, ctx)?,
                 None => Vec::new(),
             };
-            ops::select(db, apt, inputs, &mut ctx.stats)
+            ops::select(db, apt, inputs, ctx)
         }
         Plan::Filter { input, lcl, pred, mode } => {
             let inputs = run(db, input, ctx)?;
@@ -347,6 +506,106 @@ mod tests {
         let future = Instant::now() + Duration::from_secs(60);
         let (trees, _) = execute_with_deadline(&db, &plan, future).unwrap();
         assert_eq!(trees.len(), 1);
+    }
+
+    /// Toy in-memory MatchCache for tests.
+    #[derive(Default)]
+    struct MapCache {
+        map: std::sync::Mutex<std::collections::HashMap<String, Arc<Vec<ResultTree>>>>,
+    }
+
+    impl MatchCache for MapCache {
+        fn get(&self, key: &str) -> Option<Arc<Vec<ResultTree>>> {
+            self.map.lock().unwrap().get(key).cloned()
+        }
+        fn put(&self, key: &str, trees: &[ResultTree]) {
+            self.map.lock().unwrap().insert(key.to_string(), Arc::new(trees.to_vec()));
+        }
+    }
+
+    #[test]
+    fn match_cache_serves_select_filter_chains_byte_identically() {
+        let mut db = Database::new();
+        db.load_xml("e.xml", "<r><p><age>30</age></p><p><age>10</age></p></r>").unwrap();
+        let plan = crate::compile(
+            r#"FOR $p IN document("e.xml")//p WHERE $p/age > 20 RETURN $p/age"#,
+            &db,
+        )
+        .unwrap();
+        let (fresh, _) = execute(&db, &plan).unwrap();
+        let expected = crate::output::serialize_results(&db, &fresh);
+
+        let cache = Arc::new(MapCache::default());
+        let mut cold = ExecCtx::new().with_cache(cache.clone());
+        let got = execute_with_ctx(&db, &plan, &mut cold).unwrap();
+        assert_eq!(crate::output::serialize_results(&db, &got), expected);
+        assert_eq!(cold.stats.match_cache_hits, 0);
+        assert!(cold.stats.match_cache_misses > 0, "cacheable chain must probe");
+        assert!(cold.stats.pattern_matches > 0);
+
+        let mut warm = ExecCtx::new().with_cache(cache);
+        let got = execute_with_ctx(&db, &plan, &mut warm).unwrap();
+        assert_eq!(crate::output::serialize_results(&db, &got), expected);
+        assert!(warm.stats.match_cache_hits > 0, "second run must hit");
+        assert_eq!(
+            warm.stats.pattern_matches, 0,
+            "a hit at the top of the chain skips all matching"
+        );
+        assert_eq!(warm.stats.candidate_fetches, 0, "no index fetches on a full hit");
+    }
+
+    #[test]
+    fn match_chain_key_covers_chains_and_rejects_other_operators() {
+        let mut db = Database::new();
+        db.load_xml("e.xml", "<r><p><age>30</age></p></r>").unwrap();
+        let chain =
+            crate::compile(r#"FOR $p IN document("e.xml")//p WHERE $p/age > 20 RETURN $p"#, &db)
+                .unwrap();
+        // The full plan ends in Construct (not cacheable) but its Select/
+        // Filter spine below must key.
+        assert!(match_chain_key(&chain).is_none());
+        let mut spine = &chain;
+        while let Plan::Construct { input, .. } | Plan::Sort { input, .. } = spine {
+            spine = input;
+        }
+        assert!(
+            match_chain_key(spine).is_some(),
+            "Select/Filter spine should be cacheable: {}",
+            spine.display(Some(&db))
+        );
+        // Two compiles of the same text share a key (stable fingerprints).
+        let again =
+            crate::compile(r#"FOR $p IN document("e.xml")//p WHERE $p/age > 20 RETURN $p"#, &db)
+                .unwrap();
+        let mut spine2 = &again;
+        while let Plan::Construct { input, .. } | Plan::Sort { input, .. } = spine2 {
+            spine2 = input;
+        }
+        assert_eq!(match_chain_key(spine), match_chain_key(spine2));
+    }
+
+    #[test]
+    fn deadline_aborts_mid_match_through_ticks() {
+        let mut db = Database::new();
+        // Enough nodes that one Select performs > DEADLINE_TICK_PERIOD
+        // candidate steps.
+        let mut xml = String::from("<r>");
+        for i in 0..3000 {
+            xml.push_str(&format!("<p><age>{}</age></p>", i % 90));
+        }
+        xml.push_str("</r>");
+        db.load_xml("big.xml", &xml).unwrap();
+        let p = db.interner().lookup("p").unwrap();
+        let mut apt = Apt::for_document("big.xml", LclId(1));
+        apt.add(None, AxisRel::Descendant, MSpec::One, p, None, LclId(2));
+        // Calling the operator directly skips the operator-boundary check,
+        // so only the per-candidate ticks can observe the expired deadline.
+        let mut ctx = ExecCtx::with_deadline(Instant::now() - Duration::from_millis(1));
+        let got = ops::select(&db, &apt, Vec::new(), &mut ctx);
+        assert_eq!(got.unwrap_err(), Error::DeadlineExceeded);
+        // Without a deadline the same match ticks for free and completes.
+        let mut free = ExecCtx::new();
+        assert_eq!(ops::select(&db, &apt, Vec::new(), &mut free).unwrap().len(), 3000);
     }
 
     #[test]

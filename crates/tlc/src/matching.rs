@@ -20,10 +20,10 @@
 //! simply contribute nothing).
 
 use crate::error::{Error, Result};
+use crate::exec::ExecCtx;
 use crate::logical_class::LclId;
 use crate::pattern::{Apt, AptNode, AptRoot, ContentPred, MSpec, PredValue};
 use crate::physical::structural::{candidates_in, INode};
-use crate::stats::ExecStats;
 use crate::tree::{RNodeId, RSource, ResultTree};
 use std::cmp::Ordering;
 use xmldb::{AxisRel, Database, NodeId};
@@ -39,20 +39,16 @@ struct Frag {
 
 /// Matches an APT anchored at a document root, producing one witness tree
 /// per match alternative (Select on base data).
-pub fn match_apt_database(
-    db: &Database,
-    apt: &Apt,
-    stats: &mut ExecStats,
-) -> Result<Vec<ResultTree>> {
+pub fn match_apt_database(db: &Database, apt: &Apt, ctx: &mut ExecCtx) -> Result<Vec<ResultTree>> {
     let AptRoot::Document { name, lcl } = &apt.root else {
         return Err(Error::Unsupported("database match requires a document-rooted APT".into()));
     };
     let doc_id = db.document_by_name(name).map_err(|_| Error::UnknownDocument(name.clone()))?;
-    stats.pattern_matches += 1;
+    ctx.stats.pattern_matches += 1;
     let root = db.root(doc_id);
     let anchor = INode::of(db, root);
-    let mut m = Matcher::new(db, apt, stats);
-    let Some(alts) = m.expand(None, &anchor) else {
+    let mut m = Matcher::new(db, apt, ctx);
+    let Some(alts) = m.expand(None, &anchor)? else {
         return Ok(Vec::new());
     };
     let mut out = Vec::with_capacity(alts.len());
@@ -63,7 +59,7 @@ pub fn match_apt_database(
         attach_frags(&mut tree, tree_root, &alt, apt);
         out.push(tree);
     }
-    m.stats.trees_built += out.len() as u64;
+    m.ctx.stats.trees_built += out.len() as u64;
     Ok(out)
 }
 
@@ -74,13 +70,13 @@ pub fn match_apt_extend(
     db: &Database,
     apt: &Apt,
     inputs: Vec<ResultTree>,
-    stats: &mut ExecStats,
+    ctx: &mut ExecCtx,
 ) -> Result<Vec<ResultTree>> {
     let AptRoot::Lcl(lcl) = &apt.root else {
         return Err(Error::Unsupported("extension match requires an LCL-rooted APT".into()));
     };
-    stats.pattern_matches += 1;
-    let mut m = Matcher::new(db, apt, stats);
+    ctx.stats.pattern_matches += 1;
+    let mut m = Matcher::new(db, apt, ctx);
     let mut out = Vec::with_capacity(inputs.len());
     'tree: for tree in inputs {
         let anchors = tree.members(*lcl);
@@ -92,7 +88,7 @@ pub fn match_apt_extend(
                 RSource::Temp { .. } => return Err(Error::TempAnchor(*lcl)),
             };
             let anchor = INode::of(db, base);
-            match m.expand(None, &anchor) {
+            match m.expand(None, &anchor)? {
                 Some(alts) => per_anchor.push((a, alts)),
                 // A required (non-optional) edge failed for this anchor: the
                 // whole input tree is filtered out.
@@ -117,7 +113,7 @@ pub fn match_apt_extend(
             for (anchor, alt) in combo {
                 attach_frags(&mut t, anchor, &alt, apt);
             }
-            m.stats.trees_built += 1;
+            m.ctx.stats.trees_built += 1;
             out.push(t);
         }
     }
@@ -135,41 +131,54 @@ fn attach_frags(tree: &mut ResultTree, under: RNodeId, frags: &[Frag], apt: &Apt
 struct Matcher<'a> {
     db: &'a Database,
     apt: &'a Apt,
-    stats: &'a mut ExecStats,
+    ctx: &'a mut ExecCtx,
     /// Per-pattern-node value-index postings, computed once per match run.
     /// Without this cache a value-index lookup would be re-materialized for
     /// every (bound node, pattern child) probe, turning selective patterns
     /// quadratic.
     postings: Vec<Option<Option<Vec<NodeId>>>>,
+    /// Canonical per-node forms ([`Apt::canonical_forms`]), the final
+    /// tiebreak of the child evaluation order. With a declaration-order
+    /// tiebreak two APTs equal up to sibling reordering could enumerate
+    /// witness trees in different orders, which would make the shared match
+    /// cache (keyed by the order-insensitive fingerprint) unsound.
+    forms: Vec<String>,
 }
 
 impl<'a> Matcher<'a> {
-    fn new(db: &'a Database, apt: &'a Apt, stats: &'a mut ExecStats) -> Self {
+    fn new(db: &'a Database, apt: &'a Apt, ctx: &'a mut ExecCtx) -> Self {
         let postings = vec![None; apt.nodes.len()];
-        Matcher { db, apt, stats, postings }
+        let forms = apt.canonical_forms();
+        Matcher { db, apt, ctx, postings, forms }
     }
 }
 
 impl Matcher<'_> {
     /// Alternatives for the children of pattern node `parent_pat` when it is
-    /// bound to `x`. `None` = a required edge failed, killing this binding.
+    /// bound to `x`. `Ok(None)` = a required edge failed, killing this
+    /// binding; `Err` propagates a deadline expiry out of the match.
     ///
     /// Children are evaluated in a selectivity-driven order (required edges
-    /// before optional ones, smaller tag-posting lists first) so that a
-    /// binding destined to fail a required edge is discarded before the
-    /// expensive branches run — the join-order concern the paper defers to
-    /// an optimizer (§5.2, citing reference \[19\]). The order of evaluation
-    /// does not affect the produced witness trees: per-class member order
-    /// comes from the document-ordered candidate streams.
-    fn expand(&mut self, parent_pat: Option<usize>, x: &INode) -> Option<Vec<Vec<Frag>>> {
+    /// before optional ones, smaller tag-posting lists first, canonical form
+    /// as the tiebreak) so that a binding destined to fail a required edge
+    /// is discarded before the expensive branches run — the join-order
+    /// concern the paper defers to an optimizer (§5.2, citing reference
+    /// \[19\]). The order is a function of the pattern's canonical form
+    /// alone, never of declaration order, so reordered-sibling APTs produce
+    /// byte-identical results; per-class member order still comes from the
+    /// document-ordered candidate streams.
+    fn expand(&mut self, parent_pat: Option<usize>, x: &INode) -> Result<Option<Vec<Vec<Frag>>>> {
         let mut alts: Vec<Vec<Frag>> = vec![Vec::new()];
         let mut kids: Vec<usize> = self.apt.children_of(parent_pat).collect();
-        kids.sort_by_key(|&v| {
+        let key = |v: usize| {
             let n = &self.apt.nodes[v];
             (n.mspec.optional(), self.db.tag_index().get(n.tag).len())
-        });
+        };
+        kids.sort_by(|&a, &b| key(a).cmp(&key(b)).then_with(|| self.forms[a].cmp(&self.forms[b])));
         for v in kids {
-            let options = self.child_options(v, x)?;
+            let Some(options) = self.child_options(v, x)? else {
+                return Ok(None);
+            };
             let mut next = Vec::with_capacity(alts.len().saturating_mul(options.len()));
             for a in &alts {
                 for o in &options {
@@ -181,13 +190,13 @@ impl Matcher<'_> {
             }
             alts = next;
         }
-        Some(alts)
+        Ok(Some(alts))
     }
 
     /// Options contributed by pattern child `v` for a parent bound to `x`.
     /// Each option is the set of `v`-fragments present in one witness tree.
-    fn child_options(&mut self, v: usize, x: &INode) -> Option<Vec<Vec<Frag>>> {
-        let cands = self.candidates(v, x);
+    fn child_options(&mut self, v: usize, x: &INode) -> Result<Option<Vec<Vec<Frag>>>> {
+        let cands = self.candidates(v, x)?;
         let pat = &self.apt.nodes[v];
         // Fast path for leaf pattern nodes (the common case for grouped
         // aggregate arguments like `count($s//item)`): every candidate is a
@@ -196,7 +205,7 @@ impl Matcher<'_> {
             let frags = |cands: Vec<NodeId>| -> Vec<Frag> {
                 cands.into_iter().map(|c| Frag { pat: v, node: c, children: Vec::new() }).collect()
             };
-            return match pat.mspec {
+            return Ok(match pat.mspec {
                 MSpec::One | MSpec::Opt => {
                     if cands.is_empty() {
                         if pat.mspec == MSpec::Opt {
@@ -215,17 +224,17 @@ impl Matcher<'_> {
                         Some(vec![frags(cands)])
                     }
                 }
-            };
+            });
         }
         // Recursively match below each candidate; failed candidates drop out.
         let mut per_cand: Vec<(NodeId, Vec<Vec<Frag>>)> = Vec::with_capacity(cands.len());
         for c in cands {
             let c_inode = INode::of(self.db, c);
-            if let Some(sub) = self.expand(Some(v), &c_inode) {
+            if let Some(sub) = self.expand(Some(v), &c_inode)? {
                 per_cand.push((c, sub));
             }
         }
-        match pat.mspec {
+        Ok(match pat.mspec {
             MSpec::One | MSpec::Opt => {
                 let mut opts = Vec::new();
                 for (c, subs) in per_cand {
@@ -245,46 +254,68 @@ impl Matcher<'_> {
             }
             MSpec::Plus | MSpec::Star => {
                 if per_cand.is_empty() {
-                    return if pat.mspec == MSpec::Star { Some(vec![Vec::new()]) } else { None };
-                }
-                // All candidates cluster into each option; candidates with
-                // several sub-alternatives multiply the options.
-                let mut opts: Vec<Vec<Frag>> = vec![Vec::new()];
-                for (c, subs) in per_cand {
-                    let mut next = Vec::with_capacity(opts.len() * subs.len());
-                    for o in &opts {
-                        for sub in &subs {
-                            let mut merged = o.clone();
-                            merged.push(Frag { pat: v, node: c, children: sub.clone() });
-                            next.push(merged);
-                        }
+                    if pat.mspec == MSpec::Star {
+                        Some(vec![Vec::new()])
+                    } else {
+                        None
                     }
-                    opts = next;
+                } else {
+                    // All candidates cluster into each option; candidates
+                    // with several sub-alternatives multiply the options.
+                    let mut opts: Vec<Vec<Frag>> = vec![Vec::new()];
+                    for (c, subs) in per_cand {
+                        let mut next = Vec::with_capacity(opts.len() * subs.len());
+                        for o in &opts {
+                            for sub in &subs {
+                                let mut merged = o.clone();
+                                merged.push(Frag { pat: v, node: c, children: sub.clone() });
+                                next.push(merged);
+                            }
+                        }
+                        opts = next;
+                    }
+                    Some(opts)
                 }
-                Some(opts)
             }
-        }
+        })
     }
 
     /// Candidate data nodes for pattern node `v` under `x`, in document
     /// order: an interval slice of the appropriate index postings, filtered
-    /// by axis and any non-index-served predicate.
-    fn candidates(&mut self, v: usize, x: &INode) -> Vec<NodeId> {
+    /// by axis and any non-index-served predicate. Fails only on deadline
+    /// expiry (checked every few hundred candidates via [`ExecCtx::tick`]).
+    fn candidates(&mut self, v: usize, x: &INode) -> Result<Vec<NodeId>> {
         let pat = &self.apt.nodes[v];
-        self.stats.probes += 1;
+        self.ctx.stats.probes += 1;
         if self.postings[v].is_none() {
-            self.postings[v] = Some(indexed_postings(self.db, pat));
+            let value_list = indexed_postings(self.db, pat);
+            if value_list.is_some() {
+                // Materializing value-index postings is the fetch; later
+                // probes reuse the per-run copy.
+                self.ctx.stats.candidate_fetches += 1;
+            }
+            self.postings[v] = Some(value_list);
         }
         let value_postings = self.postings[v].as_ref().expect("just filled");
         let (slice, pred_served): (Vec<NodeId>, bool) = match value_postings {
             // Value-index postings cover the whole database; restrict to x.
-            Some(list) => (candidates_in(list, x).to_vec(), true),
-            None => (candidates_in(self.db.tag_index().get(pat.tag), x).to_vec(), false),
+            Some(list) => {
+                self.ctx.stats.struct_cmps += interval_search_cmps(list.len());
+                (candidates_in(list, x).to_vec(), true)
+            }
+            None => {
+                let postings = self.db.tag_index().get(pat.tag);
+                self.ctx.stats.candidate_fetches += 1;
+                self.ctx.stats.struct_cmps += interval_search_cmps(postings.len());
+                (candidates_in(postings, x).to_vec(), false)
+            }
         };
         let mut out = Vec::with_capacity(slice.len());
         let pat = &self.apt.nodes[v];
         for id in slice {
-            self.stats.nodes_inspected += 1;
+            self.ctx.tick()?;
+            self.ctx.stats.nodes_inspected += 1;
+            self.ctx.stats.struct_cmps += 1;
             if pat.axis == AxisRel::Child {
                 let level = self.db.node(id).level();
                 if level != x.level + 1 {
@@ -300,8 +331,14 @@ impl Matcher<'_> {
             }
             out.push(id);
         }
-        out
+        Ok(out)
     }
+}
+
+/// Comparisons performed by the two interval binary searches that slice a
+/// postings list to a subtree window (`candidates_in`): ~2·log₂(n).
+fn interval_search_cmps(n: usize) -> u64 {
+    2 * u64::from(usize::BITS - n.leading_zeros())
 }
 
 /// Returns value-index postings serving this pattern node's predicate, when
@@ -390,8 +427,8 @@ mod tests {
     fn figure_4_match_shape() {
         let db = fig4_db();
         let apt = fig4_apt(&db);
-        let mut stats = ExecStats::new();
-        let trees = match_apt_database(&db, &apt, &mut stats).unwrap();
+        let mut ctx = ExecCtx::new();
+        let trees = match_apt_database(&db, &apt, &mut ctx).unwrap();
         // First B: A1 (has E) qualifies for '+'; A2 (no E) is dropped from
         // the cluster; D1, D2 fan out via '?' → two witness trees.
         // Second B: one witness tree (no D ⇒ optional edge lets it through).
@@ -408,7 +445,7 @@ mod tests {
         let e_counts: Vec<usize> = trees.iter().map(|t| t.members(LclId(4)).len()).collect();
         assert_eq!(e_counts.iter().filter(|&&c| c == 2).count(), 2);
         assert_eq!(e_counts.iter().filter(|&&c| c == 1).count(), 1);
-        assert!(stats.pattern_matches == 1 && stats.probes > 0);
+        assert!(ctx.stats.pattern_matches == 1 && ctx.stats.probes > 0);
     }
 
     #[test]
@@ -417,8 +454,8 @@ mod tests {
         let mut apt = Apt::for_document("fig4.xml", LclId(1));
         let b = apt.add(None, AxisRel::Descendant, MSpec::One, tag(&db, "B"), None, LclId(2));
         apt.add(Some(b), AxisRel::Child, MSpec::One, tag(&db, "D"), None, LclId(3));
-        let mut stats = ExecStats::new();
-        let trees = match_apt_database(&db, &apt, &mut stats).unwrap();
+        let mut ctx = ExecCtx::new();
+        let trees = match_apt_database(&db, &apt, &mut ctx).unwrap();
         // Only the first B has D children; two of them fan out.
         assert_eq!(trees.len(), 2);
     }
@@ -429,8 +466,8 @@ mod tests {
         let mut apt = Apt::for_document("fig4.xml", LclId(1));
         let b = apt.add(None, AxisRel::Descendant, MSpec::One, tag(&db, "B"), None, LclId(2));
         apt.add(Some(b), AxisRel::Child, MSpec::Plus, tag(&db, "D"), None, LclId(3));
-        let mut stats = ExecStats::new();
-        let trees = match_apt_database(&db, &apt, &mut stats).unwrap();
+        let mut ctx = ExecCtx::new();
+        let trees = match_apt_database(&db, &apt, &mut ctx).unwrap();
         assert_eq!(trees.len(), 1, "only the D-bearing B survives '+'");
         assert_eq!(trees[0].members(LclId(3)).len(), 2, "both Ds clustered");
     }
@@ -441,8 +478,8 @@ mod tests {
         let mut apt = Apt::for_document("fig4.xml", LclId(1));
         let b = apt.add(None, AxisRel::Descendant, MSpec::One, tag(&db, "B"), None, LclId(2));
         apt.add(Some(b), AxisRel::Child, MSpec::Star, tag(&db, "D"), None, LclId(3));
-        let mut stats = ExecStats::new();
-        let trees = match_apt_database(&db, &apt, &mut stats).unwrap();
+        let mut ctx = ExecCtx::new();
+        let trees = match_apt_database(&db, &apt, &mut ctx).unwrap();
         assert_eq!(trees.len(), 2);
         let mut counts: Vec<usize> = trees.iter().map(|t| t.members(LclId(3)).len()).collect();
         counts.sort_unstable();
@@ -463,8 +500,8 @@ mod tests {
             Some(ContentPred { op: CmpOp::Gt, value: PredValue::Num(25.0) }),
             LclId(3),
         );
-        let mut stats = ExecStats::new();
-        let trees = match_apt_database(&db, &apt, &mut stats).unwrap();
+        let mut ctx = ExecCtx::new();
+        let trees = match_apt_database(&db, &apt, &mut ctx).unwrap();
         assert_eq!(trees.len(), 1);
     }
 
@@ -474,13 +511,13 @@ mod tests {
         // Base select: each B.
         let mut base = Apt::for_document("fig4.xml", LclId(1));
         base.add(None, AxisRel::Descendant, MSpec::One, tag(&db, "B"), None, LclId(2));
-        let mut stats = ExecStats::new();
-        let trees = match_apt_database(&db, &base, &mut stats).unwrap();
+        let mut ctx = ExecCtx::new();
+        let trees = match_apt_database(&db, &base, &mut ctx).unwrap();
         assert_eq!(trees.len(), 2);
         // Extension: cluster all A children of class (2) with '*'.
         let mut ext = Apt::extending(LclId(2));
         ext.add(None, AxisRel::Child, MSpec::Star, tag(&db, "A"), None, LclId(7));
-        let extended = match_apt_extend(&db, &ext, trees, &mut stats).unwrap();
+        let extended = match_apt_extend(&db, &ext, trees, &mut ctx).unwrap();
         assert_eq!(extended.len(), 2);
         let mut counts: Vec<usize> = extended.iter().map(|t| t.members(LclId(7)).len()).collect();
         counts.sort_unstable();
@@ -495,11 +532,11 @@ mod tests {
         let db = fig4_db();
         let mut base = Apt::for_document("fig4.xml", LclId(1));
         base.add(None, AxisRel::Descendant, MSpec::One, tag(&db, "B"), None, LclId(2));
-        let mut stats = ExecStats::new();
-        let trees = match_apt_database(&db, &base, &mut stats).unwrap();
+        let mut ctx = ExecCtx::new();
+        let trees = match_apt_database(&db, &base, &mut ctx).unwrap();
         let mut ext = Apt::extending(LclId(2));
         ext.add(None, AxisRel::Child, MSpec::One, tag(&db, "D"), None, LclId(7));
-        let extended = match_apt_extend(&db, &ext, trees, &mut stats).unwrap();
+        let extended = match_apt_extend(&db, &ext, trees, &mut ctx).unwrap();
         // Only the first B has Ds; '-' fans out to two extended trees.
         assert_eq!(extended.len(), 2);
         for t in &extended {
@@ -511,11 +548,8 @@ mod tests {
     fn unknown_document_is_an_error() {
         let db = fig4_db();
         let apt = Apt::for_document("nope.xml", LclId(1));
-        let mut stats = ExecStats::new();
-        assert!(matches!(
-            match_apt_database(&db, &apt, &mut stats),
-            Err(Error::UnknownDocument(_))
-        ));
+        let mut ctx = ExecCtx::new();
+        assert!(matches!(match_apt_database(&db, &apt, &mut ctx), Err(Error::UnknownDocument(_))));
     }
 
     #[test]
@@ -532,8 +566,8 @@ mod tests {
             Some(ContentPred { op: CmpOp::Eq, value: PredValue::Str("a".into()) }),
             LclId(3),
         );
-        let mut stats = ExecStats::new();
-        let trees = match_apt_database(&db, &apt, &mut stats).unwrap();
+        let mut ctx = ExecCtx::new();
+        let trees = match_apt_database(&db, &apt, &mut ctx).unwrap();
         assert_eq!(trees.len(), 2);
     }
 }

@@ -257,6 +257,87 @@ impl Apt {
     pub fn display<'a>(&'a self, db: Option<&'a Database>) -> AptDisplay<'a> {
         AptDisplay { apt: self, db }
     }
+
+    /// Canonical structural form of the subtree rooted at each pattern node
+    /// (one string per node, indexed like `self.nodes`). Sibling subtrees
+    /// are sorted lexicographically by their forms, so two APTs that differ
+    /// only in sibling declaration order have identical forms. The form
+    /// covers axis, matching spec, tag, content predicate (operator and
+    /// exact literal — numeric literals by bit pattern) and class label.
+    pub fn canonical_forms(&self) -> Vec<String> {
+        let mut memo: Vec<Option<String>> = vec![None; self.nodes.len()];
+        for v in 0..self.nodes.len() {
+            self.canonical_form(v, &mut memo);
+        }
+        memo.into_iter().map(|m| m.expect("all nodes visited")).collect()
+    }
+
+    fn canonical_form(&self, v: usize, memo: &mut Vec<Option<String>>) -> String {
+        if let Some(s) = &memo[v] {
+            return s.clone();
+        }
+        let n = &self.nodes[v];
+        let mut kids: Vec<String> =
+            self.children_of(Some(v)).map(|c| self.canonical_form(c, memo)).collect();
+        kids.sort_unstable();
+        let axis = match n.axis {
+            AxisRel::Child => '/',
+            AxisRel::Descendant => '%',
+        };
+        let s = format!(
+            "{axis}{}t{}{}c{}[{}]",
+            n.mspec.symbol(),
+            n.tag.0,
+            pred_form(n.pred.as_ref()),
+            n.lcl.0,
+            kids.join(",")
+        );
+        memo[v] = Some(s.clone());
+        s
+    }
+
+    /// A canonical structural fingerprint of the whole APT: identical for
+    /// APTs equal up to sibling reordering, different whenever any axis,
+    /// matching spec, tag, predicate or class label differs. Class labels
+    /// are part of the fingerprint on purpose — cached match results embed
+    /// them, so only label-identical patterns may share an entry. The
+    /// fingerprint is a full canonical *form* (not a hash), so distinct
+    /// patterns can never collide.
+    pub fn fingerprint(&self) -> String {
+        let forms = self.canonical_forms();
+        let mut anchored: Vec<&str> = self.children_of(None).map(|v| forms[v].as_str()).collect();
+        anchored.sort_unstable();
+        let root = match &self.root {
+            // Length-prefix the document name so it cannot be confused with
+            // a pattern form that happens to share its tail.
+            AptRoot::Document { name, lcl } => format!("d{}:{name}@c{}", name.len(), lcl.0),
+            AptRoot::Lcl(lcl) => format!("x@c{}", lcl.0),
+        };
+        format!("{root}[{}]", anchored.join(","))
+    }
+}
+
+/// Canonical form of an optional content predicate, used by
+/// [`Apt::fingerprint`]. Numeric literals render by IEEE-754 bit pattern
+/// (so `NaN`s and signed zeros key conservatively apart); string literals
+/// are length-prefixed so no literal can forge form structure.
+fn pred_form(pred: Option<&ContentPred>) -> String {
+    let Some(p) = pred else {
+        return String::new();
+    };
+    let op = match p.op {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::Lt => "lt",
+        CmpOp::Le => "le",
+        CmpOp::Gt => "gt",
+        CmpOp::Ge => "ge",
+        CmpOp::Contains => "has",
+    };
+    match &p.value {
+        PredValue::Num(n) => format!("°{op}n{:016x}", n.to_bits()),
+        PredValue::Str(s) => format!("°{op}s{}:{s}", s.len()),
+    }
 }
 
 /// Display adapter for [`Apt`].
@@ -383,5 +464,89 @@ mod tests {
         let s = apt.display(None).to_string();
         assert!(s.starts_with("doc(a.xml)(2)["), "{s}");
         assert!(s.contains("//-#10(3)"), "{s}");
+    }
+
+    /// The sample APT with its two leaf siblings declared in the opposite
+    /// order.
+    fn sample_reordered() -> Apt {
+        let mut apt = Apt::for_document("a.xml", LclId(2));
+        let person = apt.add(None, AxisRel::Descendant, MSpec::One, TagId(10), None, LclId(3));
+        apt.add(
+            Some(person),
+            AxisRel::Child,
+            MSpec::One,
+            TagId(12),
+            Some(ContentPred { op: CmpOp::Gt, value: PredValue::Num(25.0) }),
+            LclId(10),
+        );
+        apt.add(Some(person), AxisRel::Child, MSpec::One, TagId(11), None, LclId(7));
+        apt
+    }
+
+    #[test]
+    fn fingerprint_is_sibling_order_insensitive() {
+        assert_ne!(sample().nodes, sample_reordered().nodes, "declaration orders differ");
+        assert_eq!(sample().fingerprint(), sample_reordered().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_splits_on_every_component() {
+        let base = sample();
+        // Predicate value.
+        let mut p = sample();
+        p.nodes[2].pred = Some(ContentPred { op: CmpOp::Gt, value: PredValue::Num(26.0) });
+        assert_ne!(base.fingerprint(), p.fingerprint());
+        // Predicate operator.
+        let mut op = sample();
+        op.nodes[2].pred = Some(ContentPred { op: CmpOp::Ge, value: PredValue::Num(25.0) });
+        assert_ne!(base.fingerprint(), op.fingerprint());
+        // Predicate dropped entirely.
+        let mut none = sample();
+        none.nodes[2].pred = None;
+        assert_ne!(base.fingerprint(), none.fingerprint());
+        // Matching spec.
+        let mut m = sample();
+        m.nodes[1].mspec = MSpec::Star;
+        assert_ne!(base.fingerprint(), m.fingerprint());
+        // Axis.
+        let mut a = sample();
+        a.nodes[1].axis = AxisRel::Descendant;
+        assert_ne!(base.fingerprint(), a.fingerprint());
+        // Tag.
+        let mut t = sample();
+        t.nodes[1].tag = TagId(99);
+        assert_ne!(base.fingerprint(), t.fingerprint());
+        // Class label (cached results embed labels).
+        let mut l = sample();
+        l.nodes[1].lcl = LclId(42);
+        assert_ne!(base.fingerprint(), l.fingerprint());
+        // Anchor: document name and anchor kind.
+        let mut doc = sample();
+        doc.root = AptRoot::Document { name: "b.xml".into(), lcl: LclId(2) };
+        assert_ne!(base.fingerprint(), doc.fingerprint());
+        assert_ne!(
+            Apt::extending(LclId(2)).fingerprint(),
+            Apt::for_document("x", LclId(2)).fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_string_predicates_unambiguously() {
+        // Same concatenation, different (op, literal) splits must not
+        // collide: length prefixes keep literals self-delimiting.
+        let mk = |s: &str| {
+            let mut apt = Apt::extending(LclId(1));
+            apt.add(
+                None,
+                AxisRel::Child,
+                MSpec::One,
+                TagId(5),
+                Some(ContentPred { op: CmpOp::Eq, value: PredValue::Str(s.into()) }),
+                LclId(2),
+            );
+            apt
+        };
+        assert_ne!(mk("ab").fingerprint(), mk("a").fingerprint());
+        assert_eq!(mk("ab").fingerprint(), mk("ab").fingerprint());
     }
 }

@@ -22,6 +22,19 @@ pub struct ExecStats {
     pub subtrees_materialized: u64,
     /// Value-join key comparisons/merge steps.
     pub join_steps: u64,
+    /// Candidate lists fetched from a tag or value index by pattern
+    /// matching (one per index access, before interval slicing). This is
+    /// the work a match-cache hit amortizes away — the denominator that
+    /// makes hit rates interpretable.
+    pub candidate_fetches: u64,
+    /// Structural-join element comparisons: interval binary-search steps
+    /// plus per-candidate axis/level tests inside pattern matching.
+    pub struct_cmps: u64,
+    /// Select/Filter evaluations answered from the match cache.
+    pub match_cache_hits: u64,
+    /// Select/Filter evaluations that probed the match cache and ran the
+    /// structural match (populating the cache afterwards).
+    pub match_cache_misses: u64,
 }
 
 impl ExecStats {
@@ -38,6 +51,10 @@ impl ExecStats {
         self.trees_built += other.trees_built;
         self.subtrees_materialized += other.subtrees_materialized;
         self.join_steps += other.join_steps;
+        self.candidate_fetches += other.candidate_fetches;
+        self.struct_cmps += other.struct_cmps;
+        self.match_cache_hits += other.match_cache_hits;
+        self.match_cache_misses += other.match_cache_misses;
     }
 }
 
@@ -54,10 +71,18 @@ mod tests {
             trees_built: 4,
             subtrees_materialized: 5,
             join_steps: 6,
+            candidate_fetches: 7,
+            struct_cmps: 8,
+            match_cache_hits: 9,
+            match_cache_misses: 10,
         };
         let b = a;
         a.absorb(&b);
         assert_eq!(a.probes, 2);
         assert_eq!(a.join_steps, 12);
+        assert_eq!(a.candidate_fetches, 14);
+        assert_eq!(a.struct_cmps, 16);
+        assert_eq!(a.match_cache_hits, 18);
+        assert_eq!(a.match_cache_misses, 20);
     }
 }

@@ -140,6 +140,26 @@ impl ResultTree {
         self.nodes.is_empty()
     }
 
+    /// Approximate resident size in bytes: arena nodes plus their child /
+    /// class vectors, inline temporary content, and the class map. Used by
+    /// byte-budgeted caches; an estimate, not an accounting.
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes =
+            std::mem::size_of::<ResultTree>() + self.nodes.len() * std::mem::size_of::<RNode>();
+        for n in &self.nodes {
+            bytes += n.children.len() * std::mem::size_of::<RNodeId>();
+            bytes += n.lcls.len() * std::mem::size_of::<LclId>();
+            if let RSource::Temp { content: Some(c), .. } = &n.source {
+                bytes += c.len();
+            }
+        }
+        for members in self.classes.values() {
+            bytes += std::mem::size_of::<(LclId, Vec<RNodeId>)>()
+                + members.len() * std::mem::size_of::<RNodeId>();
+        }
+        bytes
+    }
+
     /// Appends a child node under `parent`; returns its id.
     pub fn add_node(&mut self, parent: RNodeId, source: RSource) -> RNodeId {
         let id = RNodeId(self.nodes.len() as u32);

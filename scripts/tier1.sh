@@ -28,10 +28,26 @@ out="$smoke_dir/out.txt"
     printf '.reload second\n'
     printf 'FOR $p IN document("auction.xml")//person RETURN $p/name\n'
     printf '.catalog\n'
+    printf '.use main\n'
+    printf '.drop second\n'
+    printf '.catalog\n'
     printf '.quit\n'
 } | ./target/release/tlc-serve --factor 0.001 > "$out" 2>/dev/null
 grep -q '<name>Ann</name>' "$out"       # pre-swap answer from `second`
 grep -q 'reloaded second: epoch 1' "$out"
 grep -q '<name>Bea</name>' "$out"       # post-swap answer sees the edit
 grep -q 'catalog: 2 database(s)' "$out"
+grep -q 'dropped second' "$out"         # .drop purges the plan + match caches
+grep -q 'catalog: 1 database(s)' "$out"
 echo "tier1: catalog smoke test passed"
+
+# Batched-execution smoke: the skewed-mix replay must byte-match the
+# single-threaded reference on every answer and actually hit the match
+# cache (the binary exits non-zero on either defect); assert the nonzero
+# hit rate in the output too so a silent format change cannot mask it.
+batch_out="$smoke_dir/batch.txt"
+./target/release/experiments batch --factor 0.0005 --clients 4 --requests 40 \
+    > "$batch_out" 2>/dev/null
+grep -q 'byte mismatches vs single-threaded reference: 0' "$batch_out"
+grep -Eq 'match cache hit rate: ([1-9][0-9]*\.[0-9]|0\.[1-9])%' "$batch_out"
+echo "tier1: batched execution smoke test passed"
