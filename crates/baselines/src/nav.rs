@@ -258,7 +258,7 @@ impl<'a> Nav<'a> {
         match item {
             Item::Node(n) => {
                 let node = self.db.node(*n);
-                self.stats.nodes_visited += u64::from(node.end() - n.pre) + 1;
+                self.stats.nodes_visited += node.subtree_size() as u64;
                 node.string_value()
             }
             Item::Tree(t) => {

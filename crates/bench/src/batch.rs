@@ -92,6 +92,25 @@ impl BatchReport {
         self.mismatches == 0 && self.batched.errors == 0 && self.baseline.errors == 0
     }
 
+    /// The `BENCH_batch.json` document for this comparison (hand-rolled;
+    /// the workspace carries no serialization dependency).
+    pub fn to_json(&self, factor: f64, clients: usize, requests: usize, seed: u64) -> String {
+        format!(
+            "{{\"experiment\":\"batch\",\"factor\":{factor},\"clients\":{clients},\
+             \"requests\":{requests},\"seed\":{seed},\
+             \"batched\":{},\"per_request\":{},\"speedup\":{:.2},\
+             \"match_cache_hit_rate\":{:.4},\"batches\":{},\"max_batch\":{},\
+             \"mismatches\":{}}}\n",
+            crate::rw::load_report_json(&self.batched),
+            crate::rw::load_report_json(&self.baseline),
+            self.speedup(),
+            self.hit_rate,
+            self.batches,
+            self.max_batch,
+            self.mismatches,
+        )
+    }
+
     /// The text block `experiments batch` prints.
     pub fn render(&self, factor: f64) -> String {
         format!(

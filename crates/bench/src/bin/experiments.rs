@@ -6,7 +6,8 @@
 //! experiments fig17 [--factors F1,F2,...]
 //! experiments stats [--factor F]     # per-engine ExecStats (redundancy metrics)
 //! experiments concurrent [--factor F] [--threads N] [--rounds R]
-//! experiments batch [--factor F] [--clients N] [--requests R] [--seed S]
+//! experiments batch [--factor F] [--clients N] [--requests R] [--seed S] [--json FILE]
+//! experiments rw [--factor F] [--ops N] [--seed S] [--write-fractions F1,F2,...] [--json FILE]
 //! experiments hotswap [--factor F] [--threads N] [--rounds R] [--swap-ms MS]
 //! experiments check [--factor F]     # store invariant check on generated data
 //! experiments all   [--factor F]
@@ -22,6 +23,17 @@
 //! service and through a per-request baseline (match cache and batching
 //! off), byte-checking every answer against a single-threaded reference.
 //! Exits non-zero on any mismatch, failed request, or a cold match cache.
+//!
+//! `rw` drives a seeded mixed read/write stream through the in-place
+//! update engine at each configured write fraction: writes go through the
+//! copy-on-write commit (epoch bump + footprint-based cache seeding),
+//! reads replay the workload queries, and every read answer is
+//! byte-checked against a from-scratch reference obtained by serializing
+//! the current snapshot back to XML and reparsing it. Exits non-zero on
+//! any mismatch, failed op, or store-invariant violation. `--json FILE`
+//! additionally writes the machine-readable report (`BENCH_rw.json` in
+//! CI); `batch --json FILE` does the same for its comparison
+//! (`BENCH_batch.json`).
 //!
 //! `hotswap` soaks the catalog's epoch-versioned snapshot swap: clients
 //! replay the workload while a background thread republishes the database
@@ -75,7 +87,21 @@ fn main() {
             // effect is cleanly visible.
             let factor =
                 flag_value(&args, "--factor").and_then(|v| v.parse().ok()).unwrap_or(0.0005);
-            run_batch(factor, clients, requests, seed);
+            let json = flag_value(&args, "--json");
+            run_batch(factor, clients, requests, seed, json);
+        }
+        "rw" => {
+            let ops = flag_value(&args, "--ops").and_then(|v| v.parse().ok()).unwrap_or(200);
+            let seed = flag_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(11);
+            // Small database: reference reparses after every write stay
+            // cheap, and the cache-carry effect on reads is most visible.
+            let factor =
+                flag_value(&args, "--factor").and_then(|v| v.parse().ok()).unwrap_or(0.0005);
+            let fractions: Vec<f64> = flag_value(&args, "--write-fractions")
+                .map(|v| v.split(',').filter_map(|s| s.parse().ok()).collect())
+                .unwrap_or_else(|| vec![0.05, 0.2, 0.5]);
+            let json = flag_value(&args, "--json");
+            run_rw(factor, ops, seed, &fractions, json);
         }
         "hotswap" => {
             let threads = flag_value(&args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(4);
@@ -97,7 +123,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other:?}; use fig15|fig16|fig17|stats|concurrent|batch|hotswap|check|all"
+                "unknown command {other:?}; use fig15|fig16|fig17|stats|concurrent|batch|rw|hotswap|check|all"
             );
             std::process::exit(2);
         }
@@ -145,12 +171,15 @@ fn run_concurrent(factor: f64, threads: usize, rounds: usize) {
 /// skewed mix, every answer byte-checked. Exits non-zero if any answer
 /// mismatched the single-threaded reference, any request failed, or the
 /// match cache never hit (the regression CI guards against).
-fn run_batch(factor: f64, clients: usize, requests: usize, seed: u64) {
+fn run_batch(factor: f64, clients: usize, requests: usize, seed: u64, json: Option<&str>) {
     eprintln!(
         "generating XMark factor {factor}; {clients} clients x {requests} requests, seed {seed} ..."
     );
     let report = bench::batch::batched_vs_per_request(factor, clients, requests, seed);
     print!("{}", report.render(factor));
+    if let Some(path) = json {
+        write_json(path, &report.to_json(factor, clients, requests, seed));
+    }
     if !report.clean() {
         eprintln!(
             "batch run FAILED: {} mismatch(es), {} / {} error(s)",
@@ -163,6 +192,49 @@ fn run_batch(factor: f64, clients: usize, requests: usize, seed: u64) {
         std::process::exit(1);
     }
     println!("batch run clean: every answer matched the single-threaded reference");
+}
+
+fn write_json(path: &str, doc: &str) {
+    match std::fs::write(path, doc) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Mixed read/write streams through the update engine, one per write
+/// fraction, every read byte-checked against a reparse-from-scratch
+/// reference and every commit followed by a store-invariant check. Exits
+/// non-zero on any defect; `--json` writes the machine-readable report.
+fn run_rw(factor: f64, ops: usize, seed: u64, fractions: &[f64], json: Option<&str>) {
+    eprintln!(
+        "generating XMark factor {factor}; {ops} ops at write fractions {fractions:?}, seed {seed} ..."
+    );
+    let runs = bench::rw::sweep(factor, ops, seed, fractions);
+    println!("Mixed read/write streams, XMark factor {factor}, {ops} ops, seed {seed}");
+    for run in &runs {
+        print!("{}", run.render());
+    }
+    if let Some(path) = json {
+        write_json(path, &bench::rw::sweep_json(factor, ops, seed, &runs));
+    }
+    let defects: Vec<&bench::rw::RwReport> = runs.iter().filter(|r| !r.clean()).collect();
+    if !defects.is_empty() {
+        for d in defects {
+            eprintln!(
+                "rw run FAILED at write fraction {}: {} mismatch(es), {} error(s), {} check failure(s)",
+                d.write_fraction, d.mismatches, d.errors, d.check_failures
+            );
+        }
+        std::process::exit(1);
+    }
+    if runs.iter().all(|r| r.writes == 0 || r.plans_seeded == 0) {
+        eprintln!("rw run FAILED: no plan ever carried across a mutation epoch");
+        std::process::exit(1);
+    }
+    println!("rw run clean: every read matched the reparse-from-scratch reference");
 }
 
 /// Hot-swap soak: correctness under concurrent snapshot republishes. Any

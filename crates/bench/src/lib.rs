@@ -22,6 +22,7 @@
 pub mod batch;
 pub mod concurrent;
 pub mod micro;
+pub mod rw;
 
 use baselines::Engine;
 use queries::{all_queries, query, QuerySpec};

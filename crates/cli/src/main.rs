@@ -22,6 +22,9 @@
 //! .drop <name>                  unregister a catalog database
 //! .catalog                      list the registered databases
 //! .check                        verify store invariants and indexes
+//! .insert <doc> <parent-ord> <xml>  append a parsed fragment under a node
+//! .delete <doc> <ord>           delete a subtree
+//! .settext <doc> <ord> [<text>] replace an element's text content
 //! .save <file.tlcx>             snapshot the current database to disk
 //! .serve <addr>                 share this database over TCP (tlc-serve protocol)
 //! .help  .quit
@@ -199,6 +202,25 @@ fn client(addr: &str) -> i32 {
     }
 }
 
+/// Splits up to `n` whitespace-separated words off `s`, returning them and
+/// the raw (trimmed) remainder — `.insert` fragments and `.settext`
+/// payloads may themselves contain spaces, so they must not be word-split.
+fn split_words(s: &str, n: usize) -> (Vec<&str>, &str) {
+    let mut words = Vec::new();
+    let mut rest = s.trim_start();
+    while words.len() < n {
+        let Some(end) = rest.find(char::is_whitespace) else {
+            if !rest.is_empty() {
+                words.push(rest);
+            }
+            return (words, "");
+        };
+        words.push(&rest[..end]);
+        rest = rest[end..].trim_start();
+    }
+    (words, rest.trim_end())
+}
+
 fn parse_engine(s: &str) -> Engine {
     match s.to_ascii_lowercase().as_str() {
         "opt" => Engine::TlcOpt,
@@ -297,6 +319,37 @@ impl Shell {
                 Ok(report) => println!("{report}"),
                 Err(e) => println!("error: {e}"),
             },
+            ".insert" => {
+                let tail = cmd.strip_prefix(".insert").unwrap_or_default();
+                let (head, xml) = split_words(tail, 2);
+                match (head.as_slice(), xml) {
+                    ([doc, parent], xml) if !xml.is_empty() => match parent.parse::<u32>() {
+                        Ok(parent) => {
+                            self.mutate(doc, |db, d| xmldb::insert_subtree(db, d, parent, xml))
+                        }
+                        Err(_) => println!("error: parent must be a pre ordinal (u32)"),
+                    },
+                    _ => println!("usage: .insert <doc> <parent-ord> <xml-fragment>"),
+                }
+            }
+            ".delete" => match (parts.next(), parts.next()) {
+                (Some(doc), Some(ord)) => match ord.parse::<u32>() {
+                    Ok(pre) => self.mutate(doc, |db, d| xmldb::delete_subtree(db, d, pre)),
+                    Err(_) => println!("error: ord must be a pre ordinal (u32)"),
+                },
+                _ => println!("usage: .delete <doc> <ord>"),
+            },
+            ".settext" => {
+                let tail = cmd.strip_prefix(".settext").unwrap_or_default();
+                let (head, text) = split_words(tail, 2);
+                match head.as_slice() {
+                    [doc, ord] => match ord.parse::<u32>() {
+                        Ok(pre) => self.mutate(doc, |db, d| xmldb::set_text(db, d, pre, text)),
+                        Err(_) => println!("error: ord must be a pre ordinal (u32)"),
+                    },
+                    _ => println!("usage: .settext <doc> <ord> [<text>]"),
+                }
+            }
             ".queries" => {
                 for q in queries::all_queries() {
                     println!("{:<6} {}", q.name, q.comment);
@@ -324,6 +377,9 @@ impl Shell {
                      .drop <name>                  unregister a catalog database\n\
                      .catalog                      list registered databases\n\
                      .check                        verify store invariants and indexes\n\
+                     .insert <doc> <parent-ord> <xml>  append a fragment under a node\n\
+                     .delete <doc> <ord>           delete a subtree\n\
+                     .settext <doc> <ord> [<text>] replace an element's text\n\
                      .save <file.tlcx>             snapshot the current database\n\
                      .serve <host:port>            share this database over TCP\n\
                      .quit                         leave"
@@ -332,6 +388,39 @@ impl Shell {
             other => println!("unknown command {other}; try .help"),
         }
         true
+    }
+
+    /// Copy-on-write mutation of the current database: clone the published
+    /// snapshot, apply `op` to document `doc` in the clone, publish it as
+    /// the next epoch. A concurrent `.serve` reader mid-query keeps the
+    /// snapshot it pinned; the next resolve sees the new one.
+    fn mutate(
+        &self,
+        doc: &str,
+        op: impl FnOnce(&mut xmldb::Database, xmldb::DocId) -> xmldb::Result<xmldb::UpdateSummary>,
+    ) {
+        let mut next: xmldb::Database = (*self.db()).clone();
+        let result = next.document_by_name(doc).and_then(|d| op(&mut next, d));
+        match result {
+            Ok(summary) => match self.catalog.register(&self.current, Arc::new(next)) {
+                Ok(entry) => {
+                    let renumbered = if summary.renumbered > 0 {
+                        format!(", {} node(s) renumbered", summary.renumbered)
+                    } else {
+                        String::new()
+                    };
+                    println!(
+                        "updated {}: epoch {}, +{}/-{} node(s){renumbered}",
+                        self.current,
+                        entry.epoch(),
+                        summary.nodes_added,
+                        summary.nodes_removed
+                    );
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            Err(e) => println!("error: {e}"),
+        }
     }
 
     /// Shares this shell's database over TCP in the background; the local

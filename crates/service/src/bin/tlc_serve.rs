@@ -14,26 +14,67 @@
 //! ```
 //!
 //! Requests are one query per line; `.open`/`.use`/`.reload`/`.catalog`
-//! drive the database catalog, `.metrics` prints the metrics report,
-//! `.quit` ends the connection. In TCP mode the process runs until killed.
+//! drive the database catalog, `.insert`/`.delete`/`.settext` mutate the
+//! current database, `.metrics` prints the metrics report, `.quit` ends
+//! the connection. In TCP mode the process runs until killed.
 //! The generated or `--load`ed database is catalog entry `main`; every
-//! `--open NAME=FILE` (repeatable) registers another.
+//! `--open NAME=FILE` (repeatable) registers another. With
+//! `--manifest FILE` the catalog (every database with a reload source,
+//! plus its epoch) is written to FILE after startup and after each
+//! connection closes, and restored from it on the next start.
 
 use baselines::Engine;
-use service::{protocol, Service, ServiceConfig};
+use service::{manifest, protocol, Service, ServiceConfig};
 use std::io::{BufReader, BufWriter};
 use std::net::TcpListener;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 struct Options {
     factor: f64,
     load: Option<String>,
     open: Vec<(String, String)>,
+    manifest: Option<String>,
     tcp: Option<String>,
     config: ServiceConfig,
+}
+
+/// Serializes manifest writes (TCP connection threads race otherwise)
+/// and remembers where to write. `None` path disables persistence.
+struct ManifestKeeper {
+    path: Option<PathBuf>,
+    lock: Mutex<()>,
+}
+
+impl ManifestKeeper {
+    fn save(&self, service: &Service) {
+        let Some(path) = &self.path else { return };
+        let _guard = self.lock.lock().unwrap();
+        if let Err(e) = manifest::save(path, &service.databases()) {
+            eprintln!("tlc-serve: manifest {}: {e}", path.display());
+        }
+    }
+
+    fn restore(&self, service: &Service) {
+        let Some(path) = &self.path else { return };
+        if !path.exists() {
+            return;
+        }
+        match manifest::load(path) {
+            Ok(entries) => {
+                let (restored, failures) = manifest::restore(service, &entries);
+                if restored > 0 {
+                    eprintln!("tlc-serve: restored {restored} database(s) from manifest");
+                }
+                for failure in failures {
+                    eprintln!("tlc-serve: manifest restore: {failure}");
+                }
+            }
+            Err(e) => eprintln!("tlc-serve: manifest {}: {e}", path.display()),
+        }
+    }
 }
 
 const USAGE: &str = "usage: tlc-serve [OPTIONS]
@@ -42,6 +83,8 @@ const USAGE: &str = "usage: tlc-serve [OPTIONS]
   --load FILE       serve FILE (registered as document(\"auction.xml\")) instead
   --open NAME=FILE  register FILE (TLCX snapshot or XML) as catalog database
                     NAME; repeatable
+  --manifest FILE   persist the catalog (every sourced database + epoch) to
+                    FILE and restore it at startup
   --tcp ADDR        listen on ADDR (e.g. 127.0.0.1:7001) instead of stdin
   --engine NAME     tlc | opt | costed | gtp | tax | nav (default tlc)
   --workers N       executor threads
@@ -73,6 +116,7 @@ fn parse_args() -> Result<Options, String> {
         factor: 0.05,
         load: None,
         open: Vec::new(),
+        manifest: None,
         tcp: None,
         config: ServiceConfig::default(),
     };
@@ -90,6 +134,7 @@ fn parse_args() -> Result<Options, String> {
                     spec.split_once('=').ok_or(format!("--open wants NAME=FILE, got {spec:?}"))?;
                 opts.open.push((name.to_string(), file.to_string()));
             }
+            "--manifest" => opts.manifest = Some(value("--manifest")?),
             "--tcp" => opts.tcp = Some(value("--tcp")?),
             "--engine" => {
                 let name = value("--engine")?;
@@ -164,7 +209,14 @@ fn main() -> ExitCode {
         }
     };
     let engine = opts.config.engine;
+    let keeper = Arc::new(ManifestKeeper {
+        path: opts.manifest.as_ref().map(PathBuf::from),
+        lock: Mutex::new(()),
+    });
     let service = Arc::new(Service::new(db, opts.config));
+    // Manifest first, explicit --open flags second: a flag naming a
+    // restored database swaps it, so the command line always wins.
+    keeper.restore(&service);
     for (name, file) in &opts.open {
         match service.open(name, Path::new(file)) {
             Ok(entry) => eprintln!(
@@ -184,6 +236,7 @@ fn main() -> ExitCode {
         service.database().node_count(),
         service.databases().len(),
     );
+    keeper.save(&service);
 
     match &opts.tcp {
         None => {
@@ -191,7 +244,9 @@ fn main() -> ExitCode {
             let stdout = std::io::stdout();
             let mut reader = stdin.lock();
             let mut writer = BufWriter::new(stdout.lock());
-            match protocol::serve_connection(&service, &mut reader, &mut writer) {
+            let outcome = protocol::serve_connection(&service, &mut reader, &mut writer);
+            keeper.save(&service);
+            match outcome {
                 Ok(served) => {
                     eprintln!("tlc-serve: served {served} queries");
                     ExitCode::SUCCESS
@@ -223,6 +278,7 @@ fn main() -> ExitCode {
                     }
                 };
                 let service = Arc::clone(&service);
+                let keeper = Arc::clone(&keeper);
                 let id = next_id;
                 next_id += 1;
                 let spawned = std::thread::Builder::new()
@@ -237,6 +293,9 @@ fn main() -> ExitCode {
                             }
                             Err(e) => eprintln!("tlc-serve: {peer:?} io error: {e}"),
                         }
+                        // The connection may have opened/reloaded/updated
+                        // databases; snapshot the catalog it left behind.
+                        keeper.save(&service);
                     });
                 if let Err(e) = spawned {
                     eprintln!("tlc-serve: spawn: {e}");

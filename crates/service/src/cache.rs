@@ -245,6 +245,27 @@ impl<V> LruCache<V> {
         evicted
     }
 
+    /// Looks `key` up without refreshing recency or counting a hit/miss,
+    /// returning the value and its declared cost. This is the inspection
+    /// path used when *carrying* entries across an update epoch — a carry
+    /// is bookkeeping, not workload traffic, so it must not skew the hit
+    /// rate or the LRU order.
+    pub fn peek(&self, key: &str) -> Option<(Arc<V>, usize)> {
+        self.entries.get(key).map(|e| (Arc::clone(&e.value), e.cost))
+    }
+
+    /// Snapshots every resident entry whose key starts with `prefix`, as
+    /// `(key, value)` pairs. Like [`LruCache::peek`], this touches neither
+    /// the counters nor the recency order; it exists so the service can
+    /// enumerate one epoch's entries and decide which survive a mutation.
+    pub fn collect_prefixed(&self, prefix: &str) -> Vec<(Box<str>, Arc<V>)> {
+        self.entries
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, e)| (k.clone(), Arc::clone(&e.value)))
+            .collect()
+    }
+
     /// Removes every entry whose key satisfies `pred`, returning how many
     /// were dropped. This is the hot-swap invalidation hook: after a new
     /// epoch is published, the service purges the superseded epoch's plans
@@ -293,6 +314,7 @@ const MATCH_STORE_MAX_ENTRIES: usize = 65_536;
 pub struct MatchStore {
     inner: Mutex<LruCache<Vec<tlc::ResultTree>>>,
     invalidated: AtomicU64,
+    seeded: AtomicU64,
 }
 
 impl MatchStore {
@@ -302,6 +324,7 @@ impl MatchStore {
         MatchStore {
             inner: Mutex::new(LruCache::with_byte_budget(MATCH_STORE_MAX_ENTRIES, byte_budget)),
             invalidated: AtomicU64::new(0),
+            seeded: AtomicU64::new(0),
         }
     }
 
@@ -313,6 +336,32 @@ impl MatchStore {
     /// Entries dropped by invalidation sweeps so far.
     pub fn invalidated(&self) -> u64 {
         self.invalidated.load(Ordering::Relaxed)
+    }
+
+    /// Entries carried into a later epoch by [`MatchStore::carry`] so far.
+    pub fn seeded(&self) -> u64 {
+        self.seeded.load(Ordering::Relaxed)
+    }
+
+    /// Carries match entries across an update epoch: for each bare chain
+    /// key in `chain_keys`, if `{from_prefix}{key}` is resident its value
+    /// is re-inserted under `{to_prefix}{key}` at the same cost. Returns
+    /// how many entries were carried. The caller is responsible for only
+    /// passing chain keys whose entries provably survive the mutation (see
+    /// [`tlc::match_chain_keys`] and [`tlc::Footprint`]); this method is
+    /// pure key plumbing.
+    pub fn carry(&self, from_prefix: &str, to_prefix: &str, chain_keys: &[String]) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        let mut carried = 0u64;
+        for key in chain_keys {
+            if let Some((value, cost)) = inner.peek(&format!("{from_prefix}{key}")) {
+                inner.insert_weighted(&format!("{to_prefix}{key}"), value, cost);
+                carried += 1;
+            }
+        }
+        drop(inner);
+        self.seeded.fetch_add(carried, Ordering::Relaxed);
+        carried
     }
 
     /// Invalidation sweep: removes every entry whose key satisfies `pred`,
@@ -507,6 +556,43 @@ mod tests {
         assert_eq!(store.invalidated(), 1);
         assert!(a0.get("Sfp").is_none());
         assert_eq!(store.stats().bytes, 0);
+    }
+
+    #[test]
+    fn peek_and_collect_disturb_neither_stats_nor_recency() {
+        let mut c: LruCache<i32> = LruCache::new(2);
+        c.insert("a", Arc::new(1));
+        c.insert("b", Arc::new(2));
+        assert_eq!(c.peek("a").map(|(v, cost)| (*v, cost)), Some((1, 0)));
+        assert!(c.peek("zzz").is_none());
+        let mut keys: Vec<Box<str>> = c.collect_prefixed("").into_iter().map(|(k, _)| k).collect();
+        keys.sort();
+        assert_eq!(keys, vec!["a".into(), "b".into()]);
+        assert_eq!(c.collect_prefixed("a").len(), 1);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (0, 0), "peeks must not count as lookups");
+        // `a` was peeked but not touched, so it is still the LRU victim.
+        c.insert("c", Arc::new(3));
+        assert!(c.peek("a").is_none());
+        assert!(c.peek("b").is_some());
+    }
+
+    #[test]
+    fn carry_copies_entries_under_the_new_epoch_prefix() {
+        use tlc::MatchCache as _;
+        let store = Arc::new(MatchStore::new(1 << 20));
+        let e0 = ScopedMatchCache::new(Arc::clone(&store), "db", 0);
+        let e1 = ScopedMatchCache::new(Arc::clone(&store), "db", 1);
+        e0.put("Sfp", &[]);
+        e0.put("Sother", &[]);
+        let keys = vec!["Sfp".to_string(), "Snever-cached".to_string()];
+        let carried = store.carry(&epoch_prefix("db", 0), &epoch_prefix("db", 1), &keys);
+        assert_eq!(carried, 1, "only resident keys carry");
+        assert_eq!(store.seeded(), 1);
+        assert!(e1.get("Sfp").is_some(), "carried entry must serve the new epoch");
+        assert!(e1.get("Sother").is_none(), "uncarried keys stay stale-only");
+        // The old epoch's copies still exist until the caller purges them.
+        assert!(e0.get("Sfp").is_some());
     }
 
     #[test]

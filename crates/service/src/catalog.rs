@@ -168,10 +168,26 @@ impl Catalog {
     /// it under `name` — registering a new database or hot-swapping an
     /// existing one. The path is remembered as the slot's reload source.
     pub fn open(&self, name: &str, path: &Path) -> Result<Arc<CatalogEntry>, CatalogError> {
+        self.open_at(name, path, 0)
+    }
+
+    /// Like [`Catalog::open`], but when the name is *new* its first entry
+    /// is published at `epoch` instead of 0. This is the manifest-restore
+    /// path (see [`crate::manifest`]): a restarted server re-publishes each
+    /// database at the epoch it last reached, so epochs stay monotonic for
+    /// any client that recorded `(name, epoch)` pairs across the restart.
+    /// If the name already exists, `epoch` is ignored and this is an
+    /// ordinary hot swap.
+    pub fn open_at(
+        &self,
+        name: &str,
+        path: &Path,
+        epoch: u64,
+    ) -> Result<Arc<CatalogEntry>, CatalogError> {
         validate(name)?;
         let db = xmldb::load_path(path)
             .map_err(|e| CatalogError::Load { name: name.to_string(), message: e.to_string() })?;
-        self.install(name, Arc::new(db), Some(path.to_path_buf()))
+        self.install_at(name, Arc::new(db), Some(path.to_path_buf()), epoch)
     }
 
     /// Re-reads `name`'s source file and publishes the result as the next
@@ -265,6 +281,18 @@ impl Catalog {
         db: Arc<Database>,
         source: Option<PathBuf>,
     ) -> Result<Arc<CatalogEntry>, CatalogError> {
+        self.install_at(name, db, source, 0)
+    }
+
+    /// As [`Catalog::install`], with a caller-chosen epoch for the *first*
+    /// publication of a new name (swaps of existing names ignore it).
+    fn install_at(
+        &self,
+        name: &str,
+        db: Arc<Database>,
+        source: Option<PathBuf>,
+        start_epoch: u64,
+    ) -> Result<Arc<CatalogEntry>, CatalogError> {
         validate(name)?;
         let mut slots = self.slots.write().unwrap();
         if let Some(slot) = slots.get(name) {
@@ -286,7 +314,7 @@ impl Catalog {
             }
             Ok(entry)
         } else {
-            let entry = Arc::new(CatalogEntry { name: name.into(), epoch: 0, db });
+            let entry = Arc::new(CatalogEntry { name: name.into(), epoch: start_epoch, db });
             let slot = Arc::new(Slot {
                 current: Mutex::new(Arc::clone(&entry)),
                 source: Mutex::new(source),
@@ -406,6 +434,20 @@ mod tests {
             cat.open("nope", std::path::Path::new("/nonexistent/x.xml")),
             Err(CatalogError::Load { .. })
         ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_at_restores_a_recorded_epoch_for_new_names_only() {
+        let path = std::env::temp_dir().join(format!("catalog_openat_{}.xml", std::process::id()));
+        std::fs::write(&path, "<r><v>1</v></r>").unwrap();
+        let cat = Catalog::new();
+        let restored = cat.open_at("hist", &path, 7).unwrap();
+        assert_eq!(restored.epoch(), 7);
+        // A later swap continues from there.
+        assert_eq!(cat.open("hist", &path).unwrap().epoch(), 8);
+        // open_at on an existing name is an ordinary swap: epoch ignored.
+        assert_eq!(cat.open_at("hist", &path, 3).unwrap().epoch(), 9);
         std::fs::remove_file(&path).ok();
     }
 

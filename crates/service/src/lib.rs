@@ -69,6 +69,7 @@
 
 pub mod cache;
 pub mod catalog;
+pub mod manifest;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
@@ -166,6 +167,9 @@ pub enum ServiceError {
     /// The operation is not supported for the configured engine (e.g.
     /// preparing a plan for the interpreted NAV engine).
     Unsupported(String),
+    /// An in-place update ([`Service::apply_update`]) was rejected by the
+    /// update engine or referenced an unknown document.
+    Update(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -183,6 +187,7 @@ impl fmt::Display for ServiceError {
                 write!(f, "caller abandoned the request after waiting {waited:?}")
             }
             ServiceError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            ServiceError::Update(m) => write!(f, "update error: {m}"),
         }
     }
 }
@@ -248,6 +253,70 @@ pub struct Response {
 
 type WorkResult = Result<(String, ExecStats), ServiceError>;
 
+/// One node-level mutation for [`Service::apply_update`]. Documents are
+/// addressed by logical name, nodes by their pre ordinal within the
+/// document (the `pre` component of [`xmldb::NodeId`], as reported by
+/// query results and the shell's node listings).
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// Parse `xml` (one rooted fragment) and splice it in as the **last
+    /// child** of the node at `parent`.
+    Insert {
+        /// Logical document name within the target database.
+        doc: String,
+        /// Pre ordinal of the element the fragment becomes a child of.
+        parent: u32,
+        /// The fragment text; must parse to a single rooted element.
+        xml: String,
+    },
+    /// Remove the node at `pre` and its entire subtree.
+    Delete {
+        /// Logical document name within the target database.
+        doc: String,
+        /// Pre ordinal of the subtree root to remove.
+        pre: u32,
+    },
+    /// Replace the text content of the node at `pre` (a text node, an
+    /// attribute, or a leaf element).
+    SetText {
+        /// Logical document name within the target database.
+        doc: String,
+        /// Pre ordinal of the node whose content is replaced.
+        pre: u32,
+        /// The new content.
+        text: String,
+    },
+}
+
+impl UpdateOp {
+    /// The logical document name the operation targets.
+    pub fn doc(&self) -> &str {
+        match self {
+            UpdateOp::Insert { doc, .. }
+            | UpdateOp::Delete { doc, .. }
+            | UpdateOp::SetText { doc, .. } => doc,
+        }
+    }
+}
+
+/// What one committed update did: the new catalog entry, the update
+/// engine's summary, and how the selective-invalidation pass treated the
+/// caches (see [`Service::apply_update`]).
+#[derive(Debug, Clone)]
+pub struct UpdateOutcome {
+    /// The entry published for the post-update epoch.
+    pub entry: Arc<CatalogEntry>,
+    /// The update engine's account of the mutation.
+    pub summary: xmldb::UpdateSummary,
+    /// Cached plans carried into the new epoch (footprint provably
+    /// disjoint from the mutation).
+    pub plans_seeded: u64,
+    /// Match-cache entries carried into the new epoch.
+    pub matches_seeded: u64,
+    /// Plan-cache entries of superseded epochs purged after seeding.
+    pub plans_invalidated: u64,
+}
+
 /// The concurrent query service. See the crate docs for the architecture.
 ///
 /// `Service` is `Send + Sync`; wrap it in an `Arc` to share across
@@ -263,6 +332,10 @@ pub struct Service {
     default_deadline: Option<Duration>,
     client_wait: Option<Duration>,
     queue_depth: usize,
+    /// Serializes [`Service::apply_update`] commits so two concurrent
+    /// updates cannot clone the same base snapshot and silently lose one
+    /// of the two mutations. Reads never take this lock.
+    commit: Mutex<()>,
 }
 
 impl Service {
@@ -283,6 +356,7 @@ impl Service {
             default_deadline: config.default_deadline,
             client_wait: config.client_wait,
             queue_depth: config.queue_depth,
+            commit: Mutex::new(()),
         }
     }
 
@@ -317,6 +391,26 @@ impl Service {
     pub fn open(&self, name: &str, path: &Path) -> Result<Arc<CatalogEntry>, ServiceError> {
         let entry = self.catalog.open(name, path).map_err(ServiceError::Catalog)?;
         self.after_swap(&entry);
+        Ok(entry)
+    }
+
+    /// Like [`Service::open`], but a *new* name is published at `epoch`
+    /// instead of 0 — the manifest-restore path ([`crate::manifest`]),
+    /// which keeps epochs monotonic across a server restart. Existing
+    /// names hot-swap as usual (the epoch argument is ignored).
+    pub fn open_at(
+        &self,
+        name: &str,
+        path: &Path,
+        epoch: u64,
+    ) -> Result<Arc<CatalogEntry>, ServiceError> {
+        // A restored first publication has nothing cached to purge and is
+        // not a swap; only a pre-existing name takes the swap bookkeeping.
+        let existed = self.catalog.contains(name);
+        let entry = self.catalog.open_at(name, path, epoch).map_err(ServiceError::Catalog)?;
+        if existed {
+            self.after_swap(&entry);
+        }
         Ok(entry)
     }
 
@@ -377,6 +471,83 @@ impl Service {
         let entries =
             self.matches.as_ref().map_or(0, |s| s.purge_where(|k| k.starts_with(&prefix)));
         Ok((plans, entries))
+    }
+
+    /// Commits one node-level mutation against database `db` as a
+    /// **copy-on-write epoch**: the current snapshot is cloned, the update
+    /// engine ([`xmldb::update`]) mutates the clone in place (maintaining
+    /// both indexes incrementally), and the result is published as the
+    /// next epoch. In-flight readers keep the snapshot they resolved;
+    /// nothing they hold changes under them.
+    ///
+    /// Unlike a wholesale hot swap, an update knows exactly what it
+    /// touched, so the caches are **selectively** invalidated rather than
+    /// flushed: every cached plan of the superseded epoch whose static
+    /// [`tlc::Footprint`] is provably disjoint from the mutation — it
+    /// never reads the mutated document, or none of the mutation's
+    /// affected tags appears in its patterns — is carried into the new
+    /// epoch's key space, together with its match-cache entries
+    /// ([`tlc::match_chain_keys`]). Match entries additionally embed node
+    /// ordinals, so when the update had to renumber
+    /// ([`xmldb::UpdateSummary::renumbered`]) nothing in the mutated
+    /// document's match entries survives, while plans (which bind only tag
+    /// ids and document names) still carry. Everything not carried is
+    /// purged.
+    ///
+    /// Updates serialize against each other on an internal commit lock;
+    /// queries never take it.
+    pub fn apply_update(&self, db: &str, op: &UpdateOp) -> Result<UpdateOutcome, ServiceError> {
+        let _commit = self.commit.lock().unwrap();
+        let base = self.entry(db)?;
+        let mut next: Database = (**base.database()).clone();
+        let doc =
+            next.document_by_name(op.doc()).map_err(|e| ServiceError::Update(e.to_string()))?;
+        let summary = match op {
+            UpdateOp::Insert { parent, xml, .. } => {
+                xmldb::insert_subtree(&mut next, doc, *parent, xml)
+            }
+            UpdateOp::Delete { pre, .. } => xmldb::delete_subtree(&mut next, doc, *pre),
+            UpdateOp::SetText { pre, text, .. } => xmldb::set_text(&mut next, doc, *pre, text),
+        }
+        .map_err(|e| ServiceError::Update(e.to_string()))?;
+        let entry = self.catalog.register(db, Arc::new(next)).map_err(ServiceError::Catalog)?;
+        // Seed the new epoch before purging the old one, so a plan or
+        // match entry that survives is never even transiently absent.
+        let old_prefix = cache::epoch_prefix(entry.name(), base.epoch());
+        let new_prefix = cache::epoch_prefix(entry.name(), entry.epoch());
+        let all = cache::db_prefix(entry.name());
+        let stale = |key: &str| key.starts_with(&all) && !key.starts_with(&new_prefix);
+        let mut plans_seeded = 0u64;
+        let mut carry_keys: Vec<String> = Vec::new();
+        let plans_invalidated = {
+            let mut plans = self.cache.lock().unwrap();
+            for (key, plan) in plans.collect_prefixed(&old_prefix) {
+                let fp = tlc::plan_footprint(&plan);
+                let disjoint = !fp.overlaps(op.doc(), &summary.affected_tags);
+                if disjoint {
+                    let text = &key[old_prefix.len()..];
+                    plans.insert(&format!("{new_prefix}{text}"), plan.clone());
+                    plans_seeded += 1;
+                }
+                // Match entries embed node ordinals; a renumbering update
+                // invalidates every entry reading the mutated document,
+                // footprint disjointness notwithstanding.
+                if !fp.docs.contains(op.doc()) || (summary.renumbered == 0 && disjoint) {
+                    carry_keys.extend(tlc::match_chain_keys(&plan));
+                }
+            }
+            plans.purge_where(stale)
+        };
+        let matches_seeded = self.matches.as_ref().map_or(0, |store| {
+            carry_keys.sort();
+            carry_keys.dedup();
+            let carried = store.carry(&old_prefix, &new_prefix, &carry_keys);
+            store.purge_where(stale);
+            carried
+        });
+        self.metrics.record_swap(entry.name(), plans_invalidated);
+        self.metrics.record_update(entry.name(), plans_seeded, matches_seeded);
+        Ok(UpdateOutcome { entry, summary, plans_seeded, matches_seeded, plans_invalidated })
     }
 
     fn entry(&self, db: &str) -> Result<Arc<CatalogEntry>, ServiceError> {
@@ -895,6 +1066,102 @@ mod tests {
         assert!(b.batches <= b.jobs);
         let s = svc.match_cache_stats().unwrap();
         assert!(s.hits > 0, "{s:?}");
+    }
+
+    #[test]
+    fn apply_update_seeds_disjoint_plans_and_match_entries() {
+        let svc = tiny_service(ServiceConfig::default());
+        const QB: &str = r#"FOR $i IN document("auction.xml")//item RETURN $i/location"#;
+        svc.execute(Q).unwrap();
+        svc.execute(QB).unwrap();
+        assert!(svc.execute(QB).unwrap().cache_hit);
+        let person = svc.database().nodes_with_tag("person")[0];
+        let op = UpdateOp::Insert {
+            doc: "auction.xml".into(),
+            parent: person.pre,
+            xml: "<phone>555-0100</phone>".into(),
+        };
+        let outcome = svc.apply_update(DEFAULT_DB, &op).unwrap();
+        assert_eq!(outcome.entry.epoch(), 1);
+        assert!(outcome.summary.nodes_added >= 1);
+        assert_eq!(outcome.plans_seeded, 1, "only the item/location plan is disjoint");
+        assert!(outcome.matches_seeded > 0, "its match entries must carry too");
+        // The disjoint query survives the epoch with both caches warm: the
+        // plan is served from the seeded entry and the match cache skips
+        // structural matching entirely.
+        let warm = svc.execute(QB).unwrap();
+        assert!(warm.cache_hit, "seeded plan must hit across the update epoch");
+        assert_eq!(warm.db_epoch, 1);
+        assert!(warm.stats.match_cache_hits > 0, "{:?}", warm.stats);
+        assert_eq!(warm.stats.pattern_matches, 0, "carried match entry skips matching");
+        // The overlapping query (person is on the mutation's ancestor
+        // chain) must recompile and re-match.
+        let qa = svc.execute(Q).unwrap();
+        assert!(!qa.cache_hit, "overlapping plan must not survive the mutation");
+        // Both answers agree with the single-threaded reference against
+        // the post-update snapshot.
+        assert_eq!(warm.output, baselines::run(Engine::Tlc, QB, &svc.database()).unwrap());
+        assert_eq!(qa.output, baselines::run(Engine::Tlc, Q, &svc.database()).unwrap());
+        // And the new snapshot actually contains the inserted node.
+        assert!(!svc.database().nodes_with_tag("phone").is_empty());
+        let snap = svc.metrics_snapshot();
+        let c = snap.db(DEFAULT_DB).expect("per-db counters");
+        assert_eq!((c.updates, c.plans_seeded), (1, 1));
+        assert!(c.matches_seeded > 0);
+        assert!(svc.metrics_report().contains("carried across epochs"));
+    }
+
+    #[test]
+    fn renumbering_update_carries_plans_but_drops_match_entries() {
+        let svc = tiny_service(ServiceConfig::default());
+        let mut db = Database::new();
+        db.load_xml("t.xml", "<r><a>seed</a><b>keep</b></r>").unwrap();
+        svc.install("side", Arc::new(db)).unwrap();
+        let qb = r#"FOR $b IN document("t.xml")//b RETURN $b"#;
+        let reference = svc.execute_on("side", qb).unwrap().output;
+        // Hammer inserts under <a> until the gap numbering is exhausted
+        // and the engine renumbers.
+        let mut renumber = None;
+        for _ in 0..64 {
+            let a = svc.entry("side").unwrap().database().nodes_with_tag("a")[0];
+            let op = UpdateOp::Insert { doc: "t.xml".into(), parent: a.pre, xml: "<x/>".into() };
+            let outcome = svc.apply_update("side", &op).unwrap();
+            if outcome.summary.renumbered > 0 {
+                renumber = Some(outcome);
+                break;
+            }
+            // Until then, the disjoint <b> plan and its match entries ride
+            // along every epoch.
+            assert_eq!(outcome.plans_seeded, 1);
+            assert!(outcome.matches_seeded > 0);
+        }
+        let outcome = renumber.expect("64 inserts under one parent must renumber");
+        // Plans bind only tag ids and document names, so the <b> plan
+        // still carries; match entries embed node ordinals, which the
+        // renumbering moved, so none survive.
+        assert_eq!(outcome.plans_seeded, 1);
+        assert_eq!(outcome.matches_seeded, 0, "renumbering must drop match entries");
+        let resp = svc.execute_on("side", qb).unwrap();
+        assert!(resp.cache_hit, "plan survives the renumbering epoch");
+        assert_eq!(resp.stats.match_cache_hits, 0, "{:?}", resp.stats);
+        assert!(resp.stats.pattern_matches > 0, "must re-match against new ordinals");
+        assert_eq!(resp.output, reference, "<b> subtree is untouched by the updates");
+    }
+
+    #[test]
+    fn apply_update_rejections_are_typed() {
+        let svc = tiny_service(ServiceConfig::default());
+        let bad_doc = UpdateOp::Delete { doc: "nope.xml".into(), pre: 1 };
+        assert!(matches!(svc.apply_update(DEFAULT_DB, &bad_doc), Err(ServiceError::Update(_))));
+        let root = UpdateOp::Delete { doc: "auction.xml".into(), pre: 0 };
+        assert!(matches!(svc.apply_update(DEFAULT_DB, &root), Err(ServiceError::Update(_))));
+        let no_db = UpdateOp::SetText { doc: "auction.xml".into(), pre: 1, text: "x".into() };
+        assert!(matches!(
+            svc.apply_update("ghost", &no_db),
+            Err(ServiceError::Catalog(CatalogError::Unknown(_)))
+        ));
+        // A failed update publishes nothing.
+        assert_eq!(svc.entry(DEFAULT_DB).unwrap().epoch(), 0);
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! The persistent catalog manifest: which databases a server had open,
+//! where they came from, and what epoch each had reached.
+//!
+//! `tlc-serve --manifest FILE` makes the catalog survive restarts: the
+//! server writes the manifest after startup and whenever a connection
+//! that may have changed the catalog closes, and on the next start it
+//! reopens every recorded database from its source file — at its recorded
+//! epoch, so `(name, epoch)` pairs a client noted before the restart stay
+//! monotonic ([`crate::catalog::Catalog::open_at`]).
+//!
+//! The format is one header comment plus one tab-separated line per
+//! database with a reload source:
+//!
+//! ```text
+//! # tlc-serve catalog manifest: name<TAB>epoch<TAB>source
+//! auction <TAB> 3 <TAB> /data/auction.tlcx
+//! side    <TAB> 0 <TAB> /data/side.xml
+//! ```
+//!
+//! Purely in-memory databases (the generated default `main`, anything
+//! published with [`crate::Service::install`]) have no source file to
+//! reopen from and are deliberately absent — a manifest records what a
+//! restart can actually reconstruct, nothing more. In-place updates
+//! ([`crate::Service::apply_update`]) bump a database's epoch without
+//! touching its source file, so a restart reloads the *file* content at
+//! the recorded epoch; durability of the mutations themselves is the
+//! caller's business (save a snapshot, then `.open` it).
+
+use crate::catalog::CatalogRow;
+use crate::Service;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One manifest line: a database the server can reopen after a restart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Catalog name.
+    pub name: String,
+    /// Epoch the database had reached when the manifest was written.
+    pub epoch: u64,
+    /// File to reload it from.
+    pub source: PathBuf,
+}
+
+/// Writes the manifest for `rows` (a [`crate::Service::databases`]
+/// listing) to `path`, returning how many databases were recorded.
+/// Sourceless databases are skipped. The write goes through a sibling
+/// temp file and a rename, so a crash mid-write never leaves a truncated
+/// manifest behind.
+pub fn save(path: &Path, rows: &[CatalogRow]) -> io::Result<usize> {
+    let mut out = String::from("# tlc-serve catalog manifest: name\tepoch\tsource\n");
+    let mut recorded = 0;
+    for row in rows {
+        if let Some(source) = &row.source {
+            out.push_str(&format!("{}\t{}\t{}\n", row.name, row.epoch, source.display()));
+            recorded += 1;
+        }
+    }
+    let tmp = path.with_extension("manifest.tmp");
+    std::fs::write(&tmp, out)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(recorded)
+}
+
+/// Parses a manifest file. Blank lines and `#` comments are ignored;
+/// malformed lines are an error (a manifest is machine-written — damage
+/// should be loud, not silently dropped).
+pub fn load(path: &Path) -> io::Result<Vec<ManifestEntry>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut entries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        let (name, epoch, source) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(n), Some(e), Some(s)) if !n.is_empty() && !s.is_empty() => (n, e, s),
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("manifest line {}: want name\\tepoch\\tsource", lineno + 1),
+                ))
+            }
+        };
+        let epoch: u64 = epoch.parse().map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("manifest line {}: bad epoch {epoch:?}", lineno + 1),
+            )
+        })?;
+        entries.push(ManifestEntry {
+            name: name.to_string(),
+            epoch,
+            source: PathBuf::from(source),
+        });
+    }
+    Ok(entries)
+}
+
+/// Reopens every manifest entry into `service`'s catalog at its recorded
+/// epoch. Returns `(restored, failures)`; a failure (missing file, parse
+/// error, name collision handled as swap) does not stop the rest — a
+/// restarted server should come up with whatever it can still serve.
+pub fn restore(service: &Service, entries: &[ManifestEntry]) -> (usize, Vec<String>) {
+    let mut restored = 0;
+    let mut failures = Vec::new();
+    for e in entries {
+        match service.open_at(&e.name, &e.source, e.epoch) {
+            Ok(_) => restored += 1,
+            Err(err) => failures.push(format!("{} ({}): {err}", e.name, e.source.display())),
+        }
+    }
+    (restored, failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Service, ServiceConfig};
+    use std::sync::Arc;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tlc_manifest_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_sourced_databases_and_their_epochs() {
+        let xml_a = tmp("a.xml");
+        let xml_b = tmp("b.xml");
+        std::fs::write(&xml_a, "<r><v>1</v></r>").unwrap();
+        std::fs::write(&xml_b, "<r><w>2</w></r>").unwrap();
+        let svc = Service::new(Arc::new(xmark::auction_database(0.001)), ServiceConfig::default());
+        svc.open("a", &xml_a).unwrap();
+        svc.open("b", &xml_b).unwrap();
+        svc.reload("b").unwrap(); // epoch 1
+        let manifest = tmp("catalog.manifest");
+        // `main` is in-memory, so only a and b are recorded.
+        assert_eq!(save(&manifest, &svc.databases()).unwrap(), 2);
+
+        // A fresh service restores both, at their recorded epochs.
+        let entries = load(&manifest).unwrap();
+        assert_eq!(entries.len(), 2);
+        let fresh =
+            Service::new(Arc::new(xmark::auction_database(0.001)), ServiceConfig::default());
+        let (restored, failures) = restore(&fresh, &entries);
+        assert_eq!((restored, failures.len()), (2, 0));
+        assert!(fresh.has_database("a") && fresh.has_database("b"));
+        let rows = fresh.databases();
+        let b = rows.iter().find(|r| r.name == "b").unwrap();
+        assert_eq!(b.epoch, 1, "restored epoch must continue from the manifest");
+        // XML sources register under the workload's document name.
+        let resp =
+            fresh.execute_on("b", r#"FOR $w IN document("auction.xml")//w RETURN $w"#).unwrap();
+        assert_eq!(resp.output, "<w>2</w>");
+        assert_eq!(resp.db_epoch, 1);
+        for p in [&xml_a, &xml_b, &manifest] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn restore_skips_missing_sources_but_keeps_going() {
+        let xml = tmp("ok.xml");
+        std::fs::write(&xml, "<r/>").unwrap();
+        let entries = vec![
+            ManifestEntry { name: "gone".into(), epoch: 2, source: PathBuf::from("/nope/x.xml") },
+            ManifestEntry { name: "ok".into(), epoch: 5, source: xml.clone() },
+        ];
+        let svc = Service::new(Arc::new(xmark::auction_database(0.001)), ServiceConfig::default());
+        let (restored, failures) = restore(&svc, &entries);
+        assert_eq!(restored, 1);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].starts_with("gone"), "{failures:?}");
+        assert!(svc.has_database("ok") && !svc.has_database("gone"));
+        std::fs::remove_file(&xml).ok();
+    }
+
+    #[test]
+    fn damaged_manifests_are_loud() {
+        let p = tmp("bad.manifest");
+        std::fs::write(&p, "# header\nonly-one-field\n").unwrap();
+        assert!(load(&p).is_err());
+        std::fs::write(&p, "name\tnot-a-number\t/x.xml\n").unwrap();
+        assert!(load(&p).is_err());
+        std::fs::write(&p, "# empty is fine\n\n").unwrap();
+        assert_eq!(load(&p).unwrap(), Vec::new());
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -130,6 +130,13 @@ pub struct DbCounters {
     pub swaps: u64,
     /// Cached plans invalidated by those swaps (superseded epochs purged).
     pub invalidated: u64,
+    /// In-place updates committed against this database.
+    pub updates: u64,
+    /// Cached plans carried (re-seeded) into post-update epochs because
+    /// their footprint was provably disjoint from the mutation.
+    pub plans_seeded: u64,
+    /// Match-cache entries carried into post-update epochs.
+    pub matches_seeded: u64,
 }
 
 #[derive(Debug, Default)]
@@ -231,6 +238,17 @@ impl Metrics {
         entry.invalidated += invalidated;
     }
 
+    /// Records one committed in-place update against `db` and how many
+    /// plan-cache entries / match-cache entries the selective-invalidation
+    /// pass carried into the new epoch instead of dropping.
+    pub fn record_update(&self, db: &str, plans_seeded: u64, matches_seeded: u64) {
+        let mut m = self.inner.lock().unwrap();
+        let entry = m.per_db.entry(db.into()).or_default();
+        entry.updates += 1;
+        entry.plans_seeded += plans_seeded;
+        entry.matches_seeded += matches_seeded;
+    }
+
     /// Point-in-time copy of the aggregate numbers.
     pub fn snapshot(&self) -> Snapshot {
         let m = self.inner.lock().unwrap();
@@ -280,6 +298,12 @@ impl Metrics {
                 c.swaps,
                 c.invalidated
             ));
+            if c.updates > 0 {
+                out.push_str(&format!(
+                    "  db {name}: {} update(s), {} plan(s) and {} match entr(ies) carried across epochs\n",
+                    c.updates, c.plans_seeded, c.matches_seeded
+                ));
+            }
         }
         out.push_str(&format!(
             "latency: count={} mean={:?} p50={:?} p95={:?} max={:?}\n",
@@ -451,12 +475,33 @@ mod tests {
         m.record_outcome(Outcome::Abandoned);
         let s = m.snapshot();
         assert_eq!(s.abandoned, 1);
-        assert_eq!(s.db("a"), Some(&DbCounters { hits: 1, misses: 1, swaps: 2, invalidated: 5 }));
-        assert_eq!(s.db("b"), Some(&DbCounters { hits: 0, misses: 1, swaps: 0, invalidated: 0 }));
+        assert_eq!(
+            s.db("a"),
+            Some(&DbCounters {
+                hits: 1,
+                misses: 1,
+                swaps: 2,
+                invalidated: 5,
+                ..Default::default()
+            })
+        );
+        assert_eq!(s.db("b"), Some(&DbCounters { misses: 1, ..Default::default() }));
         assert_eq!(s.db("c"), None);
         let r = m.report();
         assert!(r.contains("db a: 1 hits / 2 lookups, 2 swap(s), 5 plan(s) invalidated"), "{r}");
         assert!(r.contains("1 abandoned"), "{r}");
+    }
+
+    #[test]
+    fn update_counters_track_seeding() {
+        let m = Metrics::new();
+        m.record_update("a", 3, 7);
+        m.record_update("a", 1, 0);
+        let s = m.snapshot();
+        let c = s.db("a").unwrap();
+        assert_eq!((c.updates, c.plans_seeded, c.matches_seeded), (2, 4, 7));
+        let r = m.report();
+        assert!(r.contains("db a: 2 update(s), 4 plan(s) and 7 match entr(ies) carried"), "{r}");
     }
 
     #[test]

@@ -13,6 +13,14 @@
 //! * `.drop <name>` — unregister a database and purge its cached plans
 //!   and match entries; the session's current database (and the default
 //!   database) cannot be dropped;
+//! * `.insert <doc> <parent-ord> <xml-fragment>` — commit an in-place
+//!   insert against the session's current database: the fragment becomes
+//!   the last child of the node at `parent-ord` in document `doc`
+//!   (see [`crate::Service::apply_update`]). The fragment is the raw rest
+//!   of the line and may contain spaces;
+//! * `.delete <doc> <ord>` — delete the subtree rooted at `ord`;
+//! * `.settext <doc> <ord> [<text>]` — replace the node's text content
+//!   (the raw rest of the line; empty clears it);
 //! * `.catalog` — list the registered databases;
 //! * `.metrics` — the service's text metrics report;
 //! * `.quit` — close this connection.
@@ -33,10 +41,65 @@
 //! reader/writer pair (stdin/stdout or a TCP stream); [`read_response`] is
 //! the client-side frame parser.
 
-use crate::{Service, ServiceError};
+use crate::{Service, ServiceError, UpdateOp};
 use std::io::{self, BufRead, Write};
 use std::path::Path;
 use std::sync::Arc;
+
+/// Splits up to `n` leading whitespace-delimited words off `s`, returning
+/// them plus the raw remainder (leading whitespace trimmed). The update
+/// commands use this because their final argument — an XML fragment or
+/// text content — may itself contain spaces that tokenizing would destroy.
+fn split_words(s: &str, n: usize) -> (Vec<&str>, &str) {
+    let mut rest = s.trim_start();
+    let mut words = Vec::with_capacity(n);
+    for _ in 0..n {
+        if rest.is_empty() {
+            break;
+        }
+        match rest.find(char::is_whitespace) {
+            Some(i) => {
+                words.push(&rest[..i]);
+                rest = rest[i..].trim_start();
+            }
+            None => {
+                words.push(rest);
+                rest = "";
+            }
+        }
+    }
+    (words, rest)
+}
+
+/// Runs one update op against `db` and writes the outcome frame.
+fn run_update(
+    service: &Arc<Service>,
+    writer: &mut impl Write,
+    db: &str,
+    op: &UpdateOp,
+) -> io::Result<()> {
+    match service.apply_update(db, op) {
+        Ok(o) => {
+            let renumbered = if o.summary.renumbered > 0 {
+                format!(", {} node(s) renumbered", o.summary.renumbered)
+            } else {
+                String::new()
+            };
+            write_ok(
+                writer,
+                &format!(
+                    "updated {db}: epoch {}, +{}/-{} node(s){renumbered}, {} plan(s) and {} match entr(ies) carried",
+                    o.entry.epoch(),
+                    o.summary.nodes_added,
+                    o.summary.nodes_removed,
+                    o.plans_seeded,
+                    o.matches_seeded
+                ),
+            )
+        }
+        Err(e) => write_err(writer, &e.to_string()),
+    }
+}
 
 /// A parsed response frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -176,6 +239,55 @@ pub fn serve_connection(
                         }
                     }
                     (".drop", _) => write_err(writer, "usage: .drop <name>")?,
+                    (".insert", _) => {
+                        let tail = dot.strip_prefix(".insert").expect("matched cmd");
+                        match split_words(tail, 2) {
+                            (head, xml) if head.len() == 2 && !xml.is_empty() => {
+                                match head[1].parse::<u32>() {
+                                    Ok(parent) => {
+                                        let op = UpdateOp::Insert {
+                                            doc: head[0].to_string(),
+                                            parent,
+                                            xml: xml.to_string(),
+                                        };
+                                        run_update(service, writer, &current, &op)?;
+                                    }
+                                    Err(_) => {
+                                        write_err(writer, "parent must be a pre ordinal (u32)")?
+                                    }
+                                }
+                            }
+                            _ => write_err(
+                                writer,
+                                "usage: .insert <doc> <parent-ord> <xml-fragment>",
+                            )?,
+                        }
+                    }
+                    (".delete", [doc, ord]) => match ord.parse::<u32>() {
+                        Ok(pre) => {
+                            let op = UpdateOp::Delete { doc: doc.to_string(), pre };
+                            run_update(service, writer, &current, &op)?;
+                        }
+                        Err(_) => write_err(writer, "ord must be a pre ordinal (u32)")?,
+                    },
+                    (".delete", _) => write_err(writer, "usage: .delete <doc> <ord>")?,
+                    (".settext", _) => {
+                        let tail = dot.strip_prefix(".settext").expect("matched cmd");
+                        match split_words(tail, 2) {
+                            (head, text) if head.len() == 2 => match head[1].parse::<u32>() {
+                                Ok(pre) => {
+                                    let op = UpdateOp::SetText {
+                                        doc: head[0].to_string(),
+                                        pre,
+                                        text: text.to_string(),
+                                    };
+                                    run_update(service, writer, &current, &op)?;
+                                }
+                                Err(_) => write_err(writer, "ord must be a pre ordinal (u32)")?,
+                            },
+                            _ => write_err(writer, "usage: .settext <doc> <ord> [<text>]")?,
+                        }
+                    }
                     _ => write_err(writer, &format!("unknown command: {dot}"))?,
                 }
             }
@@ -289,6 +401,70 @@ mod tests {
         );
         assert_eq!(read_response(&mut r).unwrap(), Frame::Err("usage: .open <name> <file>".into()));
         std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn update_commands_mutate_the_current_database() {
+        let db = Arc::new(xmark::auction_database(0.001));
+        let svc = Arc::new(Service::new(db, ServiceConfig::default()));
+        let people = svc.database().nodes_with_tag("person").to_vec();
+        assert!(people.len() >= 2, "scale 0.001 must have at least two persons");
+        // The first <name> in document order after person[0] is its child
+        // (xmark uses <name> under categories and items too).
+        let name = *svc
+            .database()
+            .nodes_with_tag("name")
+            .iter()
+            .find(|n| n.pre > people[0].pre)
+            .expect("person has a name");
+        let script = format!(
+            concat!(
+                ".insert auction.xml {} <memo>hello world</memo>\n",
+                "FOR $m IN document(\"auction.xml\")//memo RETURN $m\n",
+                ".settext auction.xml {} Renamed\n",
+                ".delete auction.xml {}\n",
+                "FOR $p IN document(\"auction.xml\")//person RETURN $p/name\n",
+                ".delete auction.xml abc\n",
+                ".insert auction.xml 1\n",
+                ".settext auction.xml\n",
+                ".quit\n",
+            ),
+            people[0].pre, name.pre, people[1].pre
+        );
+        let mut reader = BufReader::new(script.as_bytes());
+        let mut out = Vec::new();
+        serve_connection(&svc, &mut reader, &mut out).unwrap();
+        let mut r = BufReader::new(&out[..]);
+        // Insert commits epoch 1; the fragment keeps its inner space.
+        assert!(
+            matches!(read_response(&mut r).unwrap(), Frame::Ok(m) if m.starts_with("updated main: epoch 1"))
+        );
+        assert_eq!(read_response(&mut r).unwrap(), Frame::Ok("<memo>hello world</memo>".into()));
+        assert!(
+            matches!(read_response(&mut r).unwrap(), Frame::Ok(m) if m.starts_with("updated main: epoch 2"))
+        );
+        assert!(
+            matches!(read_response(&mut r).unwrap(), Frame::Ok(m) if m.starts_with("updated main: epoch 3"))
+        );
+        // The surviving person list reflects both the rename and the delete.
+        match read_response(&mut r).unwrap() {
+            Frame::Ok(m) => assert!(m.contains("<name>Renamed</name>"), "{m}"),
+            other => panic!("expected name list, got {other:?}"),
+        }
+        assert_eq!(
+            read_response(&mut r).unwrap(),
+            Frame::Err("ord must be a pre ordinal (u32)".into())
+        );
+        assert_eq!(
+            read_response(&mut r).unwrap(),
+            Frame::Err("usage: .insert <doc> <parent-ord> <xml-fragment>".into())
+        );
+        assert_eq!(
+            read_response(&mut r).unwrap(),
+            Frame::Err("usage: .settext <doc> <ord> [<text>]".into())
+        );
+        // Three committed updates, each its own epoch.
+        assert_eq!(svc.databases()[0].epoch, 3);
     }
 
     #[test]

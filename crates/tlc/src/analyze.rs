@@ -33,6 +33,7 @@ use crate::pattern::{Apt, AptRoot, MSpec};
 use crate::plan::Plan;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use xmldb::TagId;
 
 /// Per-tree cardinality of a logical class, abstracted from the matching
 /// specifications along its APT path (Definition 1).
@@ -410,6 +411,80 @@ pub fn verify(plan: &Plan) -> Result<(), AnalyzeError> {
     analyze(plan).map(|_| ())
 }
 
+/// The data a plan can possibly read: which documents its selects are
+/// anchored at and which tags its pattern nodes test.
+///
+/// This is a *conservative* static over-approximation used for selective
+/// cache invalidation: a mutation whose affected-tag set (see
+/// `xmldb::update::UpdateSummary`) is disjoint from a cached plan's tag
+/// footprint — or that touches a document the plan never reads — provably
+/// cannot change that plan's result, so the cached entry can be carried
+/// into the post-mutation epoch instead of being dropped.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Logical names of the documents the plan's selects are anchored at.
+    pub docs: BTreeSet<String>,
+    /// Tags tested anywhere in the plan's pattern trees.
+    pub tags: BTreeSet<TagId>,
+}
+
+impl Footprint {
+    /// Can a mutation of `doc` with the given affected tags change this
+    /// plan's result? False only when provably not: either the plan never
+    /// reads `doc`, or none of the affected tags appears in its patterns.
+    pub fn overlaps(&self, doc: &str, affected_tags: &[TagId]) -> bool {
+        self.docs.contains(doc) && affected_tags.iter().any(|t| self.tags.contains(t))
+    }
+
+    fn absorb_apt(&mut self, apt: &Apt) {
+        if let AptRoot::Document { name, .. } = &apt.root {
+            self.docs.insert(name.clone());
+        }
+        for node in &apt.nodes {
+            self.tags.insert(node.tag);
+        }
+    }
+}
+
+/// Computes the [`Footprint`] of a plan by walking every operator and
+/// collecting the document anchors and tag tests of all its selects.
+pub fn plan_footprint(plan: &Plan) -> Footprint {
+    let mut fp = Footprint::default();
+    collect_footprint(plan, &mut fp);
+    fp
+}
+
+fn collect_footprint(plan: &Plan, fp: &mut Footprint) {
+    match plan {
+        Plan::Select { input, apt } => {
+            fp.absorb_apt(apt);
+            if let Some(input) = input {
+                collect_footprint(input, fp);
+            }
+        }
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::DupElim { input, .. }
+        | Plan::Aggregate { input, .. }
+        | Plan::Construct { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Flatten { input, .. }
+        | Plan::Shadow { input, .. }
+        | Plan::Illuminate { input, .. }
+        | Plan::GroupBy { input, .. }
+        | Plan::Materialize { input, .. } => collect_footprint(input, fp),
+        Plan::Join { left, right, .. } => {
+            collect_footprint(left, fp);
+            collect_footprint(right, fp);
+        }
+        Plan::Union { inputs, .. } => {
+            for i in inputs {
+                collect_footprint(i, fp);
+            }
+        }
+    }
+}
+
 /// Defines the classes of every pattern node of `apt` (anchor excluded),
 /// deriving each node's cardinality from the matching specifications along
 /// its path from the anchor.
@@ -716,6 +791,32 @@ mod tests {
             analyze(&broken).unwrap_err(),
             AnalyzeError::MissingClass { op: "Construct", lcl: LclId(42) }
         );
+    }
+
+    #[test]
+    fn footprint_collects_docs_and_tags_and_tests_overlap() {
+        let left = doc_select(); // a.xml, tags 10/11
+        let mut apt = Apt::for_document("b.xml", LclId(10));
+        apt.add(None, AxisRel::Descendant, MSpec::One, TagId(20), None, LclId(11));
+        let right = Plan::Select { input: None, apt };
+        let p = Plan::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            spec: JoinSpec {
+                root_lcl: LclId(20),
+                right_mspec: MSpec::One,
+                pred: Some(JoinPred::value(LclId(2), CmpOp::Eq, LclId(11))),
+                dedup_right_on: None,
+            },
+        };
+        let fp = plan_footprint(&p);
+        assert!(fp.docs.contains("a.xml") && fp.docs.contains("b.xml"));
+        for t in [10, 11, 20] {
+            assert!(fp.tags.contains(&TagId(t)));
+        }
+        assert!(fp.overlaps("a.xml", &[TagId(10)]));
+        assert!(!fp.overlaps("c.xml", &[TagId(10)]), "unread document never overlaps");
+        assert!(!fp.overlaps("a.xml", &[TagId(99)]), "disjoint tags never overlap");
     }
 
     #[test]

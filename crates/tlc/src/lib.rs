@@ -67,11 +67,11 @@ pub mod stats;
 pub mod translate;
 pub mod tree;
 
-pub use analyze::{analyze, verify, AnalyzeError, Card, PlanType};
+pub use analyze::{analyze, plan_footprint, verify, AnalyzeError, Card, Footprint, PlanType};
 pub use error::{Error, Result};
 pub use exec::{
     execute, execute_to_string, execute_traced, execute_with_ctx, execute_with_deadline,
-    match_chain_key, render_trace, ExecCtx, MatchCache, OpTrace,
+    match_chain_key, match_chain_keys, render_trace, ExecCtx, MatchCache, OpTrace,
 };
 pub use logical_class::{LclGen, LclId};
 pub use optimizer::{optimize_costed, optimize_costed_with, CostModel};

@@ -71,7 +71,7 @@ pub fn grouping_procedure(
         for t in cluster {
             if let crate::tree::RSource::Base(id) = &t.node(t.root()).source {
                 let n = db.node(*id);
-                stats.nodes_inspected += u64::from(n.end() - n.id().pre) + 1;
+                stats.nodes_inspected += n.subtree_size() as u64;
             } else {
                 stats.nodes_inspected += t.len() as u64;
             }

@@ -228,11 +228,11 @@ pub fn validate(db: &Database, doc: DocId) -> Vec<Violation> {
     let models = models();
     let document = db.document(doc);
     let mut violations = Vec::new();
-    for pre in 0..document.len() as u32 {
-        let rec = document.record(pre);
+    for rec in document.records() {
         if rec.kind != NodeKind::Element {
             continue;
         }
+        let pre = rec.pre;
         let tag = db.interner().name(rec.tag);
         let Some(model) = models.get(&*tag) else {
             violations.push(Violation { pre, message: format!("unknown element <{tag}>") });

@@ -58,67 +58,84 @@ pub fn check_document(doc: &Document) -> Result<()> {
 
 /// [`check_document`] over a raw record arena (what snapshot loading and the
 /// tests hand-build).
+///
+/// Pre ords are sparse (gap numbering, see [`crate::document`]): the walk
+/// verifies they strictly increase in arena order, that every interval is
+/// properly nested inside — and disjoint within — its parent's, and that a
+/// node's `end` slack never swallows a following node.
 pub fn check_records(name: &str, records: &[NodeRecord]) -> Result<()> {
     let corrupt =
-        |pre: usize, detail: String| Err(Error::Corrupt(format!("{name:?} node {pre}: {detail}")));
+        |pre: u32, detail: String| Err(Error::Corrupt(format!("{name:?} node {pre}: {detail}")));
     let Some(root) = records.first() else {
         return Err(Error::Corrupt(format!("{name:?}: document has no records")));
     };
     if root.kind != NodeKind::DocRoot {
         return corrupt(0, format!("node 0 must be the document root, found {:?}", root.kind));
     }
-    if root.parent != u32::MAX || root.level != 0 {
-        return corrupt(0, "document root must have no parent and level 0".into());
+    if root.pre != 0 || root.parent != u32::MAX || root.level != 0 {
+        return corrupt(0, "document root must have ord 0, no parent, and level 0".into());
     }
-    if root.end as usize != records.len() - 1 {
-        return corrupt(0, format!("root interval ends at {} of {}", root.end, records.len() - 1));
+    if root.end < records.last().expect("non-empty").pre {
+        return corrupt(
+            0,
+            format!(
+                "root interval ends at {} before last node ord {}",
+                root.end,
+                records.last().expect("non-empty").pre
+            ),
+        );
     }
-    // The stack holds the chain of open intervals (ancestors of the current
-    // node), innermost last.
-    let mut stack: Vec<u32> = vec![0];
+    // The stack holds the arena indexes of the open intervals (ancestors of
+    // the current node), innermost last.
+    let mut stack: Vec<usize> = vec![0];
     for (i, rec) in records.iter().enumerate().skip(1) {
-        let pre = i as u32;
+        let pre = rec.pre;
         if rec.kind == NodeKind::DocRoot {
-            return corrupt(i, "only node 0 may be a document root".into());
+            return corrupt(pre, "only node 0 may be a document root".into());
+        }
+        if pre <= records[i - 1].pre {
+            return corrupt(pre, format!("pre ord not above predecessor {}", records[i - 1].pre));
         }
         // Property 1 (well-formed interval).
-        if rec.end < pre || rec.end as usize >= records.len() {
-            return corrupt(i, format!("bad interval end {}", rec.end));
+        if rec.end < pre {
+            return corrupt(pre, format!("bad interval end {}", rec.end));
         }
         // Close every interval that ended before this node.
-        while records[*stack.last().expect("root never popped") as usize].end < pre {
+        while records[*stack.last().expect("root never popped")].end < pre {
             stack.pop();
         }
-        let top = *stack.last().expect("root interval spans the document");
+        let top = &records[*stack.last().expect("root interval spans the document")];
         // Property 2: the recorded parent must be the innermost open
         // interval. Combined with the nesting check below, this makes
         // interval containment coincide with ancestorship and forces sibling
         // intervals apart (a sibling's interval is closed before ours opens).
-        if rec.parent != top {
+        if rec.parent != top.pre {
             return corrupt(
-                i,
-                format!("parent is {} but innermost open interval is {top}", rec.parent),
+                pre,
+                format!("parent is {} but innermost open interval is {}", rec.parent, top.pre),
             );
         }
-        if rec.end > records[top as usize].end {
-            return corrupt(i, format!("interval [{pre}, {}] escapes parent's", rec.end));
+        if rec.end > top.end {
+            return corrupt(pre, format!("interval [{pre}, {}] escapes parent's", rec.end));
         }
         // Property 3/4 bookkeeping: levels count the open ancestors.
         if rec.level as usize != stack.len() {
-            return corrupt(i, format!("level {} but depth {}", rec.level, stack.len()));
+            return corrupt(pre, format!("level {} but depth {}", rec.level, stack.len()));
         }
         match rec.kind {
             NodeKind::Attribute | NodeKind::Text => {
-                if rec.end != pre {
-                    return corrupt(i, format!("{:?} node must be a leaf", rec.kind));
+                // Leaves may carry end slack, but no descendant: the next
+                // arena record must fall outside the interval.
+                if records.get(i + 1).is_some_and(|n| n.pre <= rec.end) {
+                    return corrupt(pre, format!("{:?} node must be a leaf", rec.kind));
                 }
                 if rec.content.is_none() {
-                    return corrupt(i, format!("{:?} node must carry content", rec.kind));
+                    return corrupt(pre, format!("{:?} node must carry content", rec.kind));
                 }
             }
             NodeKind::Element | NodeKind::DocRoot => {}
         }
-        stack.push(pre);
+        stack.push(i);
     }
     Ok(())
 }
@@ -136,11 +153,12 @@ pub fn check_database(db: &Database) -> Result<CheckReport> {
         report.documents += 1;
         report.nodes += doc.len();
         // Forward sweep: every indexable node must be in its index.
-        for (pre, rec) in doc.records().iter().enumerate() {
+        for rec in doc.records() {
             if rec.kind == NodeKind::DocRoot {
                 continue;
             }
-            let id = NodeId::new(doc_id, pre as u32);
+            let pre = rec.pre;
+            let id = NodeId::new(doc_id, pre);
             if db.tag_index().get(rec.tag).binary_search(&id).is_err() {
                 return Err(Error::Corrupt(format!(
                     "{:?} node {pre}: missing from the tag index under its tag",
@@ -245,17 +263,30 @@ mod tests {
     }
 
     fn rec(kind: NodeKind, parent: u32, end: u32, level: u16, content: Option<&str>) -> NodeRecord {
-        NodeRecord { tag: TagId(1), kind, content: content.map(Into::into), parent, end, level }
+        NodeRecord {
+            tag: TagId(1),
+            kind,
+            content: content.map(Into::into),
+            pre: 0,
+            parent,
+            end,
+            level,
+        }
     }
 
     fn valid_records() -> Vec<NodeRecord> {
-        // doc_root [ a [ b, c ] ]  (b, c leaves with content)
-        vec![
+        // doc_root [ a [ b, c ] ]  (b, c leaves with content); dense ords
+        // (pre == arena index) are a valid special case of gap numbering.
+        let mut records = vec![
             rec(NodeKind::DocRoot, u32::MAX, 3, 0, None),
             rec(NodeKind::Element, 0, 3, 1, None),
             rec(NodeKind::Element, 1, 2, 2, Some("x")),
             rec(NodeKind::Text, 1, 3, 2, Some("y")),
-        ]
+        ];
+        for (i, r) in records.iter_mut().enumerate() {
+            r.pre = i as u32;
+        }
+        records
     }
 
     #[test]
@@ -289,10 +320,12 @@ mod tests {
 
     #[test]
     fn non_leaf_text_is_caught() {
-        // Give text node 3 a child of its own: its interval is no longer a
-        // point, which the leaf rule must reject.
+        // Give text node 3 a child of its own: its interval is no longer
+        // empty, which the leaf rule must reject.
         let mut r = valid_records();
-        r.push(rec(NodeKind::Element, 3, 4, 3, None));
+        let mut child = rec(NodeKind::Element, 3, 4, 3, None);
+        child.pre = 4;
+        r.push(child);
         r[0].end = 4;
         r[1].end = 4;
         r[3].end = 4;
@@ -311,6 +344,7 @@ mod tests {
     fn content_free_attribute_is_caught() {
         let mut r = valid_records();
         r[2] = rec(NodeKind::Attribute, 1, 2, 2, None);
+        r[2].pre = 2;
         let err = check_records("bad.xml", &r).unwrap_err();
         assert!(err.to_string().contains("content"), "{err}");
     }

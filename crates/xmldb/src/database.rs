@@ -9,7 +9,11 @@ use std::collections::HashMap;
 
 /// A native XML database: documents, a shared tag interner, and the two
 /// access-path indexes of the paper's evaluation (tag index + value index).
-#[derive(Debug)]
+///
+/// `Clone` deep-copies everything — the copy-on-write commit path in the
+/// service clones the database, applies [`crate::update`] mutations to the
+/// copy, and publishes it as the next epoch.
+#[derive(Debug, Clone)]
 pub struct Database {
     interner: TagInterner,
     docs: Vec<Document>,
@@ -53,8 +57,8 @@ impl Database {
             return Err(Error::DuplicateDocumentName(doc.name().to_string()));
         }
         let doc_id = DocId(self.docs.len() as u32);
-        for (pre, rec) in doc.records().iter().enumerate() {
-            let id = NodeId::new(doc_id, pre as u32);
+        for rec in doc.records() {
+            let id = NodeId::new(doc_id, rec.pre);
             match rec.kind {
                 NodeKind::DocRoot => {}
                 NodeKind::Element | NodeKind::Attribute | NodeKind::Text => {
@@ -131,6 +135,15 @@ impl Database {
         }
     }
 
+    /// Mutable access to one document's arena plus both indexes, for the
+    /// in-crate update engine (which must keep them consistent).
+    pub(crate) fn update_parts(
+        &mut self,
+        doc: DocId,
+    ) -> (&mut Document, &mut TagIndex, &mut ValueIndex) {
+        (&mut self.docs[doc.0 as usize], &mut self.tag_index, &mut self.value_index)
+    }
+
     /// Structural test: is `a` a proper ancestor of `d`?
     #[inline]
     pub fn is_ancestor(&self, a: NodeId, d: NodeId) -> bool {
@@ -187,9 +200,15 @@ impl<'a> NodeRef<'a> {
         self.doc().record(self.id.pre).level
     }
 
-    /// End of the interval (pre rank of the last descendant).
+    /// Ord-space end of the subtree interval (may carry slack beyond the
+    /// last descendant's ord; see [`crate::document`]).
     pub fn end(&self) -> u32 {
         self.doc().record(self.id.pre).end
+    }
+
+    /// Number of nodes in this subtree, including self.
+    pub fn subtree_size(&self) -> usize {
+        self.doc().subtree_size(self.id.pre)
     }
 
     /// Inline content, if the node has one.

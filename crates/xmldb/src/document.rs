@@ -1,18 +1,39 @@
 //! Pre-order arena documents and the streaming builder that creates them.
 //!
 //! A [`Document`] stores its nodes in a single vector laid out in document
-//! (pre-) order: the vector index of a node is its pre-order rank, which is
-//! also its [`crate::NodeId::pre`]. Together with the stored `(end, level)`
-//! interval this gives O(1) structural-relationship tests (Property 2 of the
-//! paper's Figure 13) and free document ordering (Property 3).
+//! (pre-) order. Each node carries a sparse *pre ord* ([`NodeRecord::pre`]):
+//! a number that preserves pre-order but is assigned with gaps ([`GAP`]-spaced
+//! at build time) so in-place insertion ([`crate::update`]) can usually label
+//! new nodes without touching their neighbours' identifiers. Together with
+//! the stored `(end, level)` interval this gives O(1) structural-relationship
+//! tests (Property 2 of the paper's Figure 13) and document ordering by ord
+//! comparison (Property 3) — both are pure comparisons, so they stay valid
+//! under sparse numbering.
 //!
-//! Child navigation needs no explicit links: the first child of `i` is `i+1`
-//! (when the interval is non-empty) and the next sibling of a child `c` is
-//! `c.end + 1` (when still inside the parent's interval).
+//! `end` is an ord-space upper bound on the subtree: every descendant's ord
+//! is `<= end`, every following node's ord is `> end`. Leaves keep slack
+//! (`end >= pre`) for future insertions below them; the slack never contains
+//! another node's ord, so interval tests are unaffected.
+//!
+//! Child navigation needs no explicit links: children of a node are found by
+//! scanning forward in the arena and skipping each child's subtree (a
+//! binary-search hop over its interval).
 
 use crate::error::{Error, Result};
 use crate::node::{DocId, NodeId, NodeKind};
 use crate::tag::{TagId, TagInterner};
+
+/// Gap left between consecutive pre ords at document build time. Each gap
+/// absorbs up to `GAP - 1` nodes inserted after the labelled node before the
+/// update engine has to renumber locally.
+pub const GAP: u32 = 32;
+
+/// The build-time gap for a document of `len` records: [`GAP`], shrunk when
+/// `len * GAP` would overflow the `u32` ord space.
+pub(crate) fn gap_for(len: usize) -> u32 {
+    let len = (len as u32).max(1);
+    GAP.min(u32::MAX / len).max(1)
+}
 
 /// One stored node. Kept deliberately small; see the perf notes in DESIGN.md.
 #[derive(Debug, Clone)]
@@ -25,9 +46,13 @@ pub struct NodeRecord {
     /// whose only non-attribute child was a single text run (collapsed at
     /// build time, the common case for leaf elements like `<age>25</age>`).
     pub content: Option<Box<str>>,
-    /// Pre rank of the parent; `u32::MAX` for the document root.
+    /// Sparse pre ord: strictly increasing in document order, with gaps.
+    pub pre: u32,
+    /// Pre ord of the parent; `u32::MAX` for the document root.
     pub parent: u32,
-    /// Pre rank of the last descendant (== own pre for leaves).
+    /// Ord-space end of the subtree interval (`>= pre`; may carry slack
+    /// beyond the last descendant's ord, but never reaches the next
+    /// non-descendant's ord).
     pub end: u32,
     /// Depth; the document root is level 0.
     pub level: u16,
@@ -61,20 +86,55 @@ impl Document {
         self.records.len() <= 1
     }
 
-    /// Borrow a record by pre rank.
+    /// Arena index of the node with pre ord `pre`. O(1) for documents still
+    /// carrying their build-time [`GAP`] spacing (the guess probe hits);
+    /// falls back to binary search over the sorted ords after mutations.
     #[inline]
-    pub fn record(&self, pre: u32) -> &NodeRecord {
-        &self.records[pre as usize]
+    pub fn idx_of(&self, pre: u32) -> Option<usize> {
+        let guess = (pre / GAP) as usize;
+        if let Some(r) = self.records.get(guess) {
+            if r.pre == pre {
+                return Some(guess);
+            }
+        }
+        self.records.binary_search_by_key(&pre, |r| r.pre).ok()
     }
 
-    /// Fallible record lookup.
+    /// Borrow a record by pre ord.
+    ///
+    /// # Panics
+    /// Panics if no node has ord `pre`.
+    #[inline]
+    pub fn record(&self, pre: u32) -> &NodeRecord {
+        match self.idx_of(pre) {
+            Some(idx) => &self.records[idx],
+            None => panic!("{:?} has no node with pre ord {pre}", self.name),
+        }
+    }
+
+    /// Fallible record lookup by pre ord.
     pub fn try_record(&self, pre: u32) -> Option<&NodeRecord> {
-        self.records.get(pre as usize)
+        self.idx_of(pre).map(|i| &self.records[i])
     }
 
     /// All records in pre order.
     pub fn records(&self) -> &[NodeRecord] {
         &self.records
+    }
+
+    /// Mutable arena access for the in-crate update engine.
+    pub(crate) fn records_mut(&mut self) -> &mut Vec<NodeRecord> {
+        &mut self.records
+    }
+
+    /// Every node's pre ord, in document order.
+    pub fn pres(&self) -> impl Iterator<Item = u32> + '_ {
+        self.records.iter().map(|r| r.pre)
+    }
+
+    /// Pre ord of the node at arena index `idx`.
+    pub fn pre_at(&self, idx: usize) -> u32 {
+        self.records[idx].pre
     }
 
     /// Parent pre rank, or `None` at the document root.
@@ -87,8 +147,9 @@ impl Document {
     /// Iterates the direct children of `pre` in document order
     /// (attributes first — they are built before other children).
     pub fn children(&self, pre: u32) -> ChildIter<'_> {
-        let rec = self.record(pre);
-        ChildIter { doc: self, next: pre + 1, end: rec.end }
+        let idx = self.idx_of(pre).unwrap_or(self.records.len());
+        let end = self.records.get(idx).map_or(0, |r| r.end);
+        ChildIter { doc: self, next_idx: idx.saturating_add(1), end }
     }
 
     /// Number of direct children.
@@ -96,9 +157,29 @@ impl Document {
         self.children(pre).count()
     }
 
-    /// Iterates every node in the subtree rooted at `pre` (inclusive).
+    /// Arena index range `[start, end)` of the subtree rooted at ord `pre`;
+    /// empty if no such node.
+    pub(crate) fn subtree_idx_range(&self, pre: u32) -> (usize, usize) {
+        let Some(idx) = self.idx_of(pre) else {
+            return (0, 0);
+        };
+        let end = self.records[idx].end;
+        let rest = &self.records[idx + 1..];
+        (idx, idx + 1 + rest.partition_point(|r| r.pre <= end))
+    }
+
+    /// Iterates every node in the subtree rooted at `pre` (inclusive), by
+    /// pre ord in document order.
     pub fn subtree(&self, pre: u32) -> impl Iterator<Item = u32> + '_ {
-        pre..=self.record(pre).end
+        let (start, end) = self.subtree_idx_range(pre);
+        self.records[start..end].iter().map(|r| r.pre)
+    }
+
+    /// Number of nodes in the subtree rooted at `pre` (inclusive). Under
+    /// sparse ords this is a real count, not `end - pre + 1`.
+    pub fn subtree_size(&self, pre: u32) -> usize {
+        let (start, end) = self.subtree_idx_range(pre);
+        end - start
     }
 
     /// True iff `anc` is a proper ancestor of `desc`.
@@ -110,11 +191,11 @@ impl Document {
     /// The concatenated text content of the subtree rooted at `pre`
     /// (inline contents plus text-node contents, in document order).
     pub fn string_value(&self, pre: u32) -> String {
+        let (start, end) = self.subtree_idx_range(pre);
         let mut out = String::new();
-        for p in self.subtree(pre) {
-            let rec = self.record(p);
+        for (i, rec) in self.records[start..end].iter().enumerate() {
             // Attribute values are not part of an element's string value.
-            if rec.kind == NodeKind::Attribute && p != pre {
+            if rec.kind == NodeKind::Attribute && i != 0 {
                 continue;
             }
             if let Some(c) = &rec.content {
@@ -148,29 +229,35 @@ impl Document {
         if self.records.is_empty() {
             return fail("document has no root".into());
         }
-        if self.records[0].kind != NodeKind::DocRoot {
+        let root = &self.records[0];
+        if root.kind != NodeKind::DocRoot {
             return fail("node 0 must be the synthetic document root".into());
         }
-        for (i, rec) in self.records.iter().enumerate() {
-            let i = i as u32;
-            if (rec.end as usize) >= self.records.len() || rec.end < i {
-                return fail(format!("node {i} has bad interval end {}", rec.end));
+        if root.pre != 0 || root.parent != NO_PARENT || root.level != 0 {
+            return fail("root must have ord 0, no parent, and level 0".into());
+        }
+        if root.end < self.records.last().expect("non-empty").pre {
+            return fail("root interval must span the document".into());
+        }
+        for (i, rec) in self.records.iter().enumerate().skip(1) {
+            if rec.pre <= self.records[i - 1].pre {
+                return fail(format!("pre ords not increasing at arena index {i}"));
             }
-            if i == 0 {
-                if rec.parent != NO_PARENT || rec.level != 0 {
-                    return fail("root must have no parent and level 0".into());
-                }
-                if rec.end as usize != self.records.len() - 1 {
-                    return fail("root interval must span the document".into());
-                }
-                continue;
+            if rec.end < rec.pre {
+                return fail(format!("node {} has bad interval end {}", rec.pre, rec.end));
             }
-            let parent = self.record(rec.parent);
-            if !(rec.parent < i && i <= parent.end) {
-                return fail(format!("node {i} outside parent interval"));
+            let Some(pidx) = self.idx_of(rec.parent) else {
+                return fail(format!("node {} has unknown parent ord {}", rec.pre, rec.parent));
+            };
+            let parent = &self.records[pidx];
+            if !(parent.pre < rec.pre && rec.pre <= parent.end) {
+                return fail(format!("node {} outside parent interval", rec.pre));
+            }
+            if rec.end > parent.end {
+                return fail(format!("node {} escapes parent interval", rec.pre));
             }
             if rec.level != parent.level + 1 {
-                return fail(format!("node {i} has non-adjacent level"));
+                return fail(format!("node {} has non-adjacent level", rec.pre));
             }
         }
         Ok(())
@@ -180,7 +267,7 @@ impl Document {
 /// Iterator over direct children (see [`Document::children`]).
 pub struct ChildIter<'a> {
     doc: &'a Document,
-    next: u32,
+    next_idx: usize,
     end: u32,
 }
 
@@ -188,12 +275,15 @@ impl Iterator for ChildIter<'_> {
     type Item = u32;
 
     fn next(&mut self) -> Option<u32> {
-        if self.next > self.end {
+        let rec = self.doc.records.get(self.next_idx)?;
+        if rec.pre > self.end {
             return None;
         }
-        let cur = self.next;
-        self.next = self.doc.record(cur).end + 1;
-        Some(cur)
+        // Hop over this child's subtree: advance to the first arena slot
+        // whose ord falls outside the child's interval.
+        let rest = &self.doc.records[self.next_idx + 1..];
+        self.next_idx += 1 + rest.partition_point(|r| r.pre <= rec.end);
+        Some(rec.pre)
     }
 }
 
@@ -202,11 +292,14 @@ impl Iterator for ChildIter<'_> {
 /// Usage: `start_element` / `attribute` / `text` / `end_element`, then
 /// [`DocumentBuilder::finish`]. The builder collapses a single trailing text
 /// run into inline element content (so `<age>25</age>` becomes one node).
+///
+/// While building, `pre`/`parent`/`end` hold dense arena indexes;
+/// [`DocumentBuilder::finish`] remaps them into [`GAP`]-spaced ord space.
 #[derive(Debug)]
 pub struct DocumentBuilder {
     name: Box<str>,
     records: Vec<NodeRecord>,
-    /// Stack of open element pre ranks.
+    /// Stack of open element arena indexes.
     stack: Vec<u32>,
     /// Per open element: number of non-attribute children so far.
     child_counts: Vec<u32>,
@@ -220,6 +313,7 @@ impl DocumentBuilder {
             tag: interner.doc_tag(),
             kind: NodeKind::DocRoot,
             content: None,
+            pre: 0,
             parent: NO_PARENT,
             end: 0,
             level: 0,
@@ -245,6 +339,7 @@ impl DocumentBuilder {
             tag,
             kind: NodeKind::Element,
             content: None,
+            pre,
             parent,
             end: pre,
             level,
@@ -265,6 +360,7 @@ impl DocumentBuilder {
             tag,
             kind: NodeKind::Attribute,
             content: Some(value.into()),
+            pre,
             parent,
             end: pre,
             level,
@@ -281,6 +377,7 @@ impl DocumentBuilder {
             tag: interner.text_tag(),
             kind: NodeKind::Text,
             content: Some(value.into()),
+            pre,
             parent,
             end: pre,
             level,
@@ -322,15 +419,33 @@ impl DocumentBuilder {
         Ok(pre)
     }
 
-    /// Finalizes the document. Fails if elements are still open.
+    /// Finalizes the document, remapping the dense build-time indexes into
+    /// [`GAP`]-spaced pre ords. Fails if elements are still open.
     pub fn finish(mut self) -> Result<Document> {
         if self.stack.len() != 1 {
             return Err(Error::Builder(format!("{} unclosed element(s)", self.stack.len() - 1)));
         }
         self.records[0].end = self.records.len() as u32 - 1;
+        remap_dense_to_ords(&mut self.records);
         let doc = Document { name: self.name, records: self.records };
-        debug_assert!(doc.check_invariants().is_ok());
+        debug_assert!(doc.check_invariants().is_ok(), "{:?}", doc.check_invariants());
         Ok(doc)
+    }
+}
+
+/// Remaps records whose `pre`/`parent`/`end` hold dense arena indexes (the
+/// builder's working representation, also persistence format v1) into
+/// gap-spaced ord space: `pre = idx * gap`, `end = (end_idx + 1) * gap - 1`.
+/// A node's end slack stops just short of the next non-descendant's ord, so
+/// interval containment is preserved exactly.
+pub(crate) fn remap_dense_to_ords(records: &mut [NodeRecord]) {
+    let gap = u64::from(gap_for(records.len()));
+    for (idx, rec) in records.iter_mut().enumerate() {
+        rec.pre = (idx as u64 * gap) as u32;
+        if rec.parent != NO_PARENT {
+            rec.parent = (u64::from(rec.parent) * gap) as u32;
+        }
+        rec.end = ((u64::from(rec.end) + 1) * gap - 1) as u32;
     }
 }
 
@@ -394,21 +509,38 @@ mod tests {
         doc.check_invariants().unwrap();
     }
 
+    fn find_tag(doc: &Document, tag: TagId) -> u32 {
+        doc.pres().find(|&p| doc.record(p).tag == tag).unwrap()
+    }
+
     #[test]
     fn leaf_text_is_collapsed_inline() {
         let (doc, i) = build_sample();
         let age = i.lookup("age").unwrap();
-        let node = (0..doc.len() as u32).find(|&p| doc.record(p).tag == age).unwrap();
+        let node = find_tag(&doc, age);
         assert_eq!(doc.record(node).content.as_deref(), Some("25"));
-        assert_eq!(doc.record(node).end, node, "collapsed leaf spans itself");
+        assert_eq!(doc.subtree_size(node), 1, "collapsed leaf has no descendants");
         assert_eq!(doc.num_value(node), Some(25.0));
+    }
+
+    #[test]
+    fn pre_ords_are_gap_spaced() {
+        let (doc, _) = build_sample();
+        let pres: Vec<u32> = doc.pres().collect();
+        assert_eq!(pres[0], 0, "root keeps ord 0");
+        for (idx, &p) in pres.iter().enumerate() {
+            assert_eq!(p, idx as u32 * GAP);
+            assert_eq!(doc.idx_of(p), Some(idx));
+        }
+        assert_eq!(doc.idx_of(1), None, "slack ords resolve to no node");
     }
 
     #[test]
     fn children_iterates_in_document_order() {
         let (doc, i) = build_sample();
         let person = i.lookup("person").unwrap();
-        let site_children: Vec<u32> = doc.children(1).collect();
+        let site = find_tag(&doc, i.lookup("site").unwrap());
+        let site_children: Vec<u32> = doc.children(site).collect();
         assert_eq!(site_children.len(), 2);
         assert!(site_children.iter().all(|&c| doc.record(c).tag == person));
         assert!(site_children[0] < site_children[1]);
@@ -417,8 +549,7 @@ mod tests {
     #[test]
     fn attributes_come_before_element_children() {
         let (doc, i) = build_sample();
-        let person = i.lookup("person").unwrap();
-        let p0 = (0..doc.len() as u32).find(|&p| doc.record(p).tag == person).unwrap();
+        let p0 = find_tag(&doc, i.lookup("person").unwrap());
         let kids: Vec<NodeKind> = doc.children(p0).map(|c| doc.record(c).kind).collect();
         assert_eq!(kids[0], NodeKind::Attribute);
         assert!(kids[1..].iter().all(|k| *k == NodeKind::Element));
@@ -427,16 +558,15 @@ mod tests {
     #[test]
     fn string_value_concatenates_descendant_text_not_attributes() {
         let (doc, i) = build_sample();
-        let person = i.lookup("person").unwrap();
-        let p0 = (0..doc.len() as u32).find(|&p| doc.record(p).tag == person).unwrap();
+        let p0 = find_tag(&doc, i.lookup("person").unwrap());
         assert_eq!(doc.string_value(p0), "25Ann");
     }
 
     #[test]
     fn ancestor_test_matches_navigation() {
         let (doc, _) = build_sample();
-        for a in 0..doc.len() as u32 {
-            for d in 0..doc.len() as u32 {
+        for a in doc.pres() {
+            for d in doc.pres() {
                 let nav = {
                     let mut cur = doc.parent(d);
                     let mut found = false;
@@ -471,10 +601,12 @@ mod tests {
         b.end_element().unwrap();
         let doc = b.finish().unwrap();
         doc.check_invariants().unwrap();
-        assert_eq!(doc.record(1).content, None, "li keeps no stolen content");
-        assert_eq!(doc.string_value(1), "headkwtail");
+        let li_pre = find_tag(&doc, li);
+        let t_pre = find_tag(&doc, t);
+        assert_eq!(doc.record(li_pre).content, None, "li keeps no stolen content");
+        assert_eq!(doc.string_value(li_pre), "headkwtail");
         // t has three children: text, k, text.
-        assert_eq!(doc.child_count(2), 3);
+        assert_eq!(doc.child_count(t_pre), 3);
     }
 
     #[test]
@@ -491,10 +623,15 @@ mod tests {
     #[test]
     fn subtree_covers_interval() {
         let (doc, i) = build_sample();
-        let person = i.lookup("person").unwrap();
-        let p0 = (0..doc.len() as u32).find(|&p| doc.record(p).tag == person).unwrap();
+        let p0 = find_tag(&doc, i.lookup("person").unwrap());
         let sub: Vec<u32> = doc.subtree(p0).collect();
         assert_eq!(sub.first(), Some(&p0));
-        assert_eq!(*sub.last().unwrap(), doc.record(p0).end);
+        assert_eq!(sub.len(), doc.subtree_size(p0));
+        // Every subtree ord is inside the interval; the end may carry slack.
+        assert!(sub.iter().all(|&p| p <= doc.record(p0).end));
+        // Everything outside the arena range is outside the interval.
+        for p in doc.pres().filter(|p| !sub.contains(p)) {
+            assert!(p < p0 || p > doc.record(p0).end);
+        }
     }
 }

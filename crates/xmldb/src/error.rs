@@ -31,6 +31,9 @@ pub enum Error {
     /// violation: the interval encoding, arena layout, or a derived index
     /// disagrees with the data.
     Corrupt(String),
+    /// An in-place mutation ([`mod@crate::update`]) was rejected — e.g.
+    /// deleting a document root or inserting under a text node.
+    Update(String),
 }
 
 impl fmt::Display for Error {
@@ -47,6 +50,7 @@ impl fmt::Display for Error {
             Error::DuplicateDocumentName(n) => write!(f, "document named {n:?} already loaded"),
             Error::Builder(m) => write!(f, "document builder misuse: {m}"),
             Error::Corrupt(m) => write!(f, "store corruption: {m}"),
+            Error::Update(m) => write!(f, "update rejected: {m}"),
         }
     }
 }

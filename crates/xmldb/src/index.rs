@@ -20,7 +20,7 @@ use crate::tag::TagId;
 use std::collections::{BTreeMap, HashMap};
 
 /// Tag-name index: interned tag → node ids in global document order.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TagIndex {
     map: HashMap<TagId, Vec<NodeId>>,
     empty: Vec<NodeId>,
@@ -61,6 +61,33 @@ impl TagIndex {
     pub fn tags(&self) -> impl Iterator<Item = (TagId, &[NodeId])> {
         self.map.iter().map(|(t, v)| (*t, v.as_slice()))
     }
+
+    /// Registers a node at its document-order position — the incremental
+    /// counterpart of [`TagIndex::insert`] for in-place updates. Only the
+    /// mutated tag's posting list is touched.
+    pub fn insert_sorted(&mut self, tag: TagId, id: NodeId) {
+        let list = self.map.entry(tag).or_default();
+        match list.binary_search(&id) {
+            Ok(_) => debug_assert!(false, "tag index already holds {id:?}"),
+            Err(pos) => list.insert(pos, id),
+        }
+    }
+
+    /// Removes one posting; returns whether it was present. Empty posting
+    /// lists are dropped so the index holds no stray tags.
+    pub fn remove(&mut self, tag: TagId, id: NodeId) -> bool {
+        let Some(list) = self.map.get_mut(&tag) else {
+            return false;
+        };
+        let Ok(pos) = list.binary_search(&id) else {
+            return false;
+        };
+        list.remove(pos);
+        if list.is_empty() {
+            self.map.remove(&tag);
+        }
+        true
+    }
 }
 
 /// Totally ordered `f64` wrapper so numbers can key a `BTreeMap`.
@@ -81,7 +108,7 @@ impl Ord for OrdF64 {
 
 /// Content-value index over nodes with inline content (leaf elements,
 /// attributes and text nodes).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ValueIndex {
     /// Exact string match: `(tag, value) → ids` (document order).
     exact: HashMap<(TagId, Box<str>), Vec<NodeId>>,
@@ -104,6 +131,55 @@ impl ValueIndex {
         if let Ok(n) = content.trim().parse::<f64>() {
             self.numeric.entry(tag).or_default().entry(OrdF64(n)).or_default().push(id);
         }
+    }
+
+    /// Registers a node's inline content at its document-order position —
+    /// the incremental counterpart of [`ValueIndex::insert`] for in-place
+    /// updates.
+    pub fn insert_sorted(&mut self, tag: TagId, id: NodeId, content: &str) {
+        let list = self.exact.entry((tag, content.into())).or_default();
+        if let Err(pos) = list.binary_search(&id) {
+            list.insert(pos, id);
+        }
+        if let Ok(n) = content.trim().parse::<f64>() {
+            let list = self.numeric.entry(tag).or_default().entry(OrdF64(n)).or_default();
+            if let Err(pos) = list.binary_search(&id) {
+                list.insert(pos, id);
+            }
+        }
+    }
+
+    /// Removes one node's content postings (exact and, when the content is
+    /// numeric, the numeric tree); returns whether the exact posting was
+    /// present. Emptied entries are dropped.
+    pub fn remove(&mut self, tag: TagId, id: NodeId, content: &str) -> bool {
+        let key = (tag, Box::from(content));
+        let Some(list) = self.exact.get_mut(&key) else {
+            return false;
+        };
+        let Ok(pos) = list.binary_search(&id) else {
+            return false;
+        };
+        list.remove(pos);
+        if list.is_empty() {
+            self.exact.remove(&key);
+        }
+        if let Ok(n) = content.trim().parse::<f64>() {
+            if let Some(tree) = self.numeric.get_mut(&tag) {
+                if let Some(list) = tree.get_mut(&OrdF64(n)) {
+                    if let Ok(pos) = list.binary_search(&id) {
+                        list.remove(pos);
+                    }
+                    if list.is_empty() {
+                        tree.remove(&OrdF64(n));
+                    }
+                }
+                if tree.is_empty() {
+                    self.numeric.remove(&tag);
+                }
+            }
+        }
+        true
     }
 
     /// Total number of exact-match postings (one per indexed node). Used by

@@ -38,6 +38,7 @@ pub mod parse;
 pub mod persist;
 pub mod serialize;
 pub mod tag;
+pub mod update;
 
 pub use check::{check_database, check_document, CheckReport};
 pub use database::{Database, NodeRef};
@@ -47,3 +48,4 @@ pub use index::{TagIndex, ValueIndex};
 pub use node::{AxisRel, DocId, NodeId, NodeKind, TempId};
 pub use persist::{load_file, load_path, save_file};
 pub use tag::{TagId, TagInterner};
+pub use update::{delete_subtree, insert_subtree, set_text, UpdateSummary};

@@ -3,13 +3,16 @@
 //! The paper's §5.1 (Figure 13) lists four properties a node identifier must
 //! satisfy:
 //!
-//! 1. **Uniqueness** — `(document, pre-order rank)` is unique by construction.
+//! 1. **Uniqueness** — `(document, pre ord)` is unique by construction.
 //! 2. **Structural relationship** — with the interval encoding `(pre, end,
 //!    level)`, ancestor/descendant is two comparisons and parent/child adds a
 //!    level check; this is what makes merge-based structural joins possible.
-//! 3. **Absolute document order** — pre-order rank *is* document order, so a
-//!    sequence of trees can be re-sorted into document order by root id alone
-//!    (the paper's "sort-merge-sort" join relies on this).
+//! 3. **Absolute document order** — pre ords increase strictly in document
+//!    order, so a sequence of trees can be re-sorted into document order by
+//!    root id alone (the paper's "sort-merge-sort" join relies on this).
+//!    Ords are assigned sparsely (gap numbering, see [`crate::document`]) so
+//!    in-place updates can usually label new nodes without renumbering —
+//!    every property here is a pure comparison and survives the gaps.
 //! 4. **Order within a class** — temporary nodes created during execution
 //!    (join roots, aggregate results, constructed elements) only need to be
 //!    sortable among members of the same logical class; [`TempId`] provides a
@@ -22,7 +25,7 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DocId(pub u32);
 
-/// Identifier of a base (stored) node: document plus pre-order rank.
+/// Identifier of a base (stored) node: document plus sparse pre ord.
 ///
 /// Ordering on `NodeId` is `(doc, pre)`, i.e. global document order with
 /// documents ordered by load time — Property 3 of Figure 13.
@@ -30,7 +33,8 @@ pub struct DocId(pub u32);
 pub struct NodeId {
     /// The owning document.
     pub doc: DocId,
-    /// Pre-order rank within the document; also the arena index.
+    /// Sparse pre ord within the document (strictly increasing in document
+    /// order; resolved to an arena slot via [`crate::Document::idx_of`]).
     pub pre: u32,
 }
 

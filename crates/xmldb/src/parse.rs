@@ -269,7 +269,7 @@ mod tests {
         d.check_invariants().unwrap();
         assert_eq!(d.len(), 4); // #doc, a, b, c
         let b = i.lookup("b").unwrap();
-        let bn = (0..d.len() as u32).find(|&p| d.record(p).tag == b).unwrap();
+        let bn = d.pres().find(|&p| d.record(p).tag == b).unwrap();
         assert_eq!(d.record(bn).content.as_deref(), Some("hi"));
     }
 
@@ -277,7 +277,7 @@ mod tests {
     fn attributes_and_quotes() {
         let (d, i) = parse(r#"<a x="1" y='two'/>"#);
         let ax = i.lookup("@x").unwrap();
-        let n = (0..d.len() as u32).find(|&p| d.record(p).tag == ax).unwrap();
+        let n = d.pres().find(|&p| d.record(p).tag == ax).unwrap();
         assert_eq!(d.record(n).kind, NodeKind::Attribute);
         assert_eq!(d.record(n).content.as_deref(), Some("1"));
         assert!(i.lookup("@y").is_some());
@@ -287,7 +287,7 @@ mod tests {
     fn entities_are_unescaped() {
         let (d, i) = parse("<a>fish &amp; chips &lt;tasty&gt; &#65;&#x42;</a>");
         let a = i.lookup("a").unwrap();
-        let n = (0..d.len() as u32).find(|&p| d.record(p).tag == a).unwrap();
+        let n = d.pres().find(|&p| d.record(p).tag == a).unwrap();
         assert_eq!(d.record(n).content.as_deref(), Some("fish & chips <tasty> AB"));
     }
 
@@ -301,7 +301,7 @@ mod tests {
     fn cdata_is_preserved_verbatim() {
         let (d, i) = parse("<a><![CDATA[1 < 2 & so]]></a>");
         let a = i.lookup("a").unwrap();
-        let n = (0..d.len() as u32).find(|&p| d.record(p).tag == a).unwrap();
+        let n = d.pres().find(|&p| d.record(p).tag == a).unwrap();
         assert_eq!(d.record(n).content.as_deref(), Some("1 < 2 & so"));
     }
 
@@ -309,12 +309,13 @@ mod tests {
     fn mixed_content_keeps_text_nodes() {
         let (d, i) = parse("<a>one<b/>two</a>");
         let text = i.text_tag();
-        let texts: Vec<&str> = (0..d.len() as u32)
+        let texts: Vec<&str> = d
+            .pres()
             .filter(|&p| d.record(p).tag == text)
             .map(|p| d.record(p).content.as_deref().unwrap())
             .collect();
         assert_eq!(texts, vec!["one", "two"]);
-        assert_eq!(d.string_value(1), "onetwo");
+        assert_eq!(d.string_value(d.pre_at(1)), "onetwo");
     }
 
     #[test]
@@ -350,6 +351,6 @@ mod tests {
         let (d, _) = parse(&xml);
         d.check_invariants().unwrap();
         assert_eq!(d.len(), 201);
-        assert_eq!(d.record(200).level, 200);
+        assert_eq!(d.record(d.pre_at(200)).level, 200);
     }
 }

@@ -1,6 +1,6 @@
 //! Binary persistence for the database.
 //!
-//! A compact little-endian format (`TLCX`, version 1) holding the interner
+//! A compact little-endian format (`TLCX`, version 2) holding the interner
 //! and every document's record arena; the tag and value indexes are rebuilt
 //! on load (they are derived data). Useful for snapshotting generated XMark
 //! databases so benchmark runs and shell sessions skip regeneration.
@@ -13,19 +13,23 @@
 //! documents: count:u32, then per document:
 //!   name: len:u32, bytes
 //!   records: count:u32, then per record:
-//!     tag:u32 kind:u8 parent:u32 end:u32 level:u16
+//!     pre:u32 tag:u32 kind:u8 parent:u32 end:u32 level:u16
 //!     content: flag:u8 [len:u32, bytes]
 //! ```
+//!
+//! Version 1 (no `pre` field; `parent`/`end` are dense arena indexes) is
+//! still read: its records are remapped into gap-spaced ord space on load,
+//! exactly as the document builder numbers a fresh parse.
 
 use crate::database::Database;
-use crate::document::{Document, NodeRecord};
+use crate::document::{remap_dense_to_ords, Document, NodeRecord};
 use crate::error::{Error, Result};
 use crate::node::NodeKind;
 use crate::tag::TagId;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"TLCX";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 fn io_err(e: io::Error) -> Error {
     Error::Parse { offset: 0, message: format!("persistence I/O: {e}") }
@@ -97,6 +101,7 @@ pub fn save(db: &Database, w: &mut impl Write) -> Result<()> {
         w_str(w, doc.name())?;
         w_u32(w, doc.len() as u32)?;
         for rec in doc.records() {
+            w_u32(w, rec.pre)?;
             w_u32(w, rec.tag.0)?;
             w_u8(w, kind_code(rec.kind))?;
             w_u32(w, rec.parent)?;
@@ -122,7 +127,7 @@ pub fn load(r: &mut impl Read) -> Result<Database> {
         return Err(bad("not a TLCX snapshot"));
     }
     let version = r_u32(r)?;
-    if version != VERSION {
+    if version == 0 || version > VERSION {
         return Err(bad(format!("unsupported snapshot version {version}")));
     }
     let db = Database::new();
@@ -140,7 +145,8 @@ pub fn load(r: &mut impl Read) -> Result<Database> {
         let name = r_str(r)?;
         let rec_count = r_u32(r)? as usize;
         let mut records = Vec::with_capacity(rec_count);
-        for _ in 0..rec_count {
+        for idx in 0..rec_count {
+            let pre = if version >= 2 { r_u32(r)? } else { idx as u32 };
             let tag = TagId(r_u32(r)?);
             if tag.0 >= tag_count {
                 return Err(bad("record references an unknown tag"));
@@ -154,7 +160,10 @@ pub fn load(r: &mut impl Read) -> Result<Database> {
                 1 => Some(r_str(r)?.into()),
                 _ => return Err(bad("bad content flag")),
             };
-            records.push(NodeRecord { tag, kind, content, parent, end, level });
+            records.push(NodeRecord { tag, kind, content, pre, parent, end, level });
+        }
+        if version == 1 {
+            remap_dense_to_ords(&mut records);
         }
         let doc = Document::from_parts(&name, records)?;
         db.insert(doc)?;
@@ -257,6 +266,50 @@ mod tests {
         let report = crate::check::check_database(&loaded).unwrap();
         assert_eq!(report.nodes, db.node_count());
         assert_eq!(crate::check::check_database(&db).unwrap(), report);
+    }
+
+    #[test]
+    fn version_1_snapshots_are_remapped_to_ords() {
+        // Hand-built v1 stream (dense indexes, no pre field):
+        // interner [#doc, #text, a], one document <a>x</a>.
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        for tag in ["#doc", "#text", "a"] {
+            buf.extend_from_slice(&(tag.len() as u32).to_le_bytes());
+            buf.extend_from_slice(tag.as_bytes());
+        }
+        buf.extend_from_slice(&1u32.to_le_bytes()); // one document
+        let name = "v1.xml";
+        buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(name.as_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes()); // two records
+                                                    // root: tag 0, DocRoot, parent MAX, end 1, level 0, no content
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.push(0);
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.push(0);
+        // element a: tag 2, Element, parent 0, end 1, level 1, content "x"
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.push(1);
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.push(1);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(b'x');
+        let db = load(&mut buf.as_slice()).unwrap();
+        crate::check::check_database(&db).unwrap();
+        let a = db.nodes_with_tag("a");
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].pre, crate::document::GAP, "dense index 1 remapped to one gap");
+        assert_eq!(
+            crate::serialize::serialize_subtree(&db, db.root(crate::node::DocId(0))),
+            "<a>x</a>"
+        );
     }
 
     #[test]

@@ -74,7 +74,10 @@ fn write_subtree(db: &Database, id: NodeId, out: &mut String) {
                     out.push_str("=\"");
                     escape_attr(c.content().unwrap_or(""), out);
                     out.push('"');
-                } else {
+                } else if !(c.kind() == NodeKind::Text && c.content().unwrap_or("").is_empty()) {
+                    // Empty text nodes (a `set_text` with "") produce no
+                    // bytes; skipping them keeps the self-closing
+                    // canonicalization below stable across a reparse.
                     element_children.push(c.id());
                 }
             }
@@ -127,6 +130,24 @@ mod tests {
         db.load_xml("t.xml", "<a><b c=\"1\">x</b><b c=\"2\">y</b></a>").unwrap();
         let b1 = db.nodes_with_tag("b")[1];
         assert_eq!(serialize_subtree(&db, b1), "<b c=\"2\">y</b>");
+    }
+
+    #[test]
+    fn empty_text_children_do_not_block_self_closing() {
+        let mut db = Database::new();
+        let d = db.load_xml("t.xml", "<a><c>x<d/></c></a>").unwrap();
+        // Blank the explicit text node, then delete its sibling: `c` is
+        // left with only an empty text child, which a reparse cannot
+        // represent — serialization must canonicalize to `<c/>`.
+        let text = db.nodes_with_tag("#text")[0];
+        crate::update::set_text(&mut db, d, text.pre, "").unwrap();
+        let dd = db.nodes_with_tag("d")[0];
+        crate::update::delete_subtree(&mut db, d, dd.pre).unwrap();
+        let out = serialize_subtree(&db, db.root(d));
+        assert_eq!(out, "<a><c/></a>");
+        let mut db2 = Database::new();
+        let d2 = db2.load_xml("t.xml", &out).unwrap();
+        assert_eq!(serialize_subtree(&db2, db2.root(d2)), out);
     }
 
     #[test]

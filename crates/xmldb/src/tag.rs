@@ -31,7 +31,14 @@ pub struct TagInterner {
     inner: RwLock<InternerInner>,
 }
 
-#[derive(Debug, Default)]
+impl Clone for TagInterner {
+    fn clone(&self) -> Self {
+        let inner = self.inner.read().unwrap();
+        TagInterner { inner: RwLock::new(inner.clone()) }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
 struct InternerInner {
     map: HashMap<Box<str>, TagId>,
     names: Vec<Box<str>>,

@@ -126,9 +126,8 @@ fn serialization_round_trip() {
 fn interval_encoding_matches_navigation() {
     for_random_docs(0xD0C_0003, 48, 3, |db| {
         let doc = db.document(xmldb::DocId(0));
-        let n = doc.len() as u32;
-        for a in 0..n {
-            for d in 0..n {
+        for a in doc.pres() {
+            for d in doc.pres() {
                 let nav = {
                     let mut cur = doc.parent(d);
                     let mut found = false;
@@ -156,8 +155,7 @@ fn tag_index_is_complete_and_ordered() {
             let indexed = db.nodes_with_tag(t);
             assert!(indexed.windows(2).all(|w| w[0] < w[1]));
             let Some(tag) = db.interner().lookup(t) else { continue };
-            let scanned: Vec<u32> =
-                (0..doc.len() as u32).filter(|&p| doc.record(p).tag == tag).collect();
+            let scanned: Vec<u32> = doc.pres().filter(|&p| doc.record(p).tag == tag).collect();
             let indexed_pres: Vec<u32> = indexed.iter().map(|n| n.pre).collect();
             assert_eq!(indexed_pres, scanned);
         }
