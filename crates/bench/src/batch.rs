@@ -41,7 +41,7 @@ const HOT_TRAFFIC_PCT: u32 = 80;
 const HOT_SET: [usize; 4] = [14, 15, 16, 22];
 
 /// Draws the next query index of the skewed mix: `HOT_TRAFFIC_PCT`% of
-/// draws pick uniformly from [`HOT_SET`], the rest uniformly from the whole
+/// draws pick uniformly from `HOT_SET`, the rest uniformly from the whole
 /// workload. Falls back to uniform when the workload is smaller than the
 /// hot set assumes.
 pub fn skewed_pick(rng: &mut StdRng, n: usize) -> usize {

@@ -1,14 +1,15 @@
 //! Paper-style experiment driver.
 //!
 //! ```text
-//! experiments fig15 [--factor F] [--budget SECS]
+//! experiments fig15 [--factor F] [--budget SECS] [--json FILE]
 //! experiments fig16 [--factor F]
 //! experiments fig17 [--factors F1,F2,...]
 //! experiments stats [--factor F]     # per-engine ExecStats (redundancy metrics)
-//! experiments concurrent [--factor F] [--threads N] [--rounds R]
+//! experiments concurrent [--factor F] [--threads N] [--rounds R] [--json FILE]
 //! experiments batch [--factor F] [--clients N] [--requests R] [--seed S] [--json FILE]
 //! experiments rw [--factor F] [--ops N] [--seed S] [--write-fractions F1,F2,...] [--json FILE]
-//! experiments hotswap [--factor F] [--threads N] [--rounds R] [--swap-ms MS]
+//! experiments hotswap [--factor F] [--threads N] [--rounds R] [--swap-ms MS] [--json FILE]
+//! experiments lintcheck [--factor F] [--plans N] [--seed S] [--json FILE]
 //! experiments check [--factor F]     # store invariant check on generated data
 //! experiments all   [--factor F]
 //! ```
@@ -40,6 +41,16 @@
 //! every `--swap-ms` milliseconds; every answer is byte-checked against a
 //! single-threaded reference for the epoch it reports. Exits non-zero on
 //! any failed request or wrong-snapshot answer.
+//!
+//! `lintcheck` is the static-analysis soundness oracle: N seeded random
+//! plans (default 300), each checked for runtime conformance to its
+//! inferred type, liveness-pruning byte-identity, empty-select lint
+//! truthfulness, and footprint-based cache-carry correctness under a
+//! seeded mutation. Exits non-zero on any soundness violation.
+//!
+//! `fig15 --json`, `concurrent --json` and `hotswap --json` write
+//! machine-readable reports (`BENCH_fig15.json`, `BENCH_concurrent.json`,
+//! `BENCH_hotswap.json` in CI), mirroring `batch`/`rw`.
 
 use baselines::Engine;
 use bench::{
@@ -61,7 +72,7 @@ fn main() {
         .unwrap_or_else(|| FIG17_FACTORS.to_vec());
 
     match cmd {
-        "fig15" => run_fig15(factor, budget),
+        "fig15" => run_fig15(factor, budget, flag_value(&args, "--json")),
         "fig16" => run_fig16(factor, budget),
         "fig17" => run_fig17(&factors, budget),
         "stats" => run_stats(factor),
@@ -73,7 +84,7 @@ fn main() {
             // is at its most visible.
             let factor =
                 flag_value(&args, "--factor").and_then(|v| v.parse().ok()).unwrap_or(0.0005);
-            run_concurrent(factor, threads, rounds);
+            run_concurrent(factor, threads, rounds, flag_value(&args, "--json"));
         }
         "batch" => {
             let clients = flag_value(&args, "--clients").and_then(|v| v.parse().ok()).unwrap_or(8);
@@ -109,11 +120,26 @@ fn main() {
             let factor =
                 flag_value(&args, "--factor").and_then(|v| v.parse().ok()).unwrap_or(0.0005);
             let swap_ms = flag_value(&args, "--swap-ms").and_then(|v| v.parse().ok()).unwrap_or(10);
-            run_hotswap(factor, threads, rounds, Duration::from_millis(swap_ms));
+            run_hotswap(
+                factor,
+                threads,
+                rounds,
+                Duration::from_millis(swap_ms),
+                flag_value(&args, "--json"),
+            );
+        }
+        "lintcheck" => {
+            let plans = flag_value(&args, "--plans").and_then(|v| v.parse().ok()).unwrap_or(300);
+            let seed = flag_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(17);
+            // Small database: hundreds of plans each execute every subplan
+            // and replay a mutation, so per-plan cost must stay tiny.
+            let factor =
+                flag_value(&args, "--factor").and_then(|v| v.parse().ok()).unwrap_or(0.0005);
+            run_lintcheck(factor, plans, seed, flag_value(&args, "--json"));
         }
         "check" => run_check(factor),
         "all" => {
-            run_fig15(factor, budget);
+            run_fig15(factor, budget, None);
             println!();
             run_fig16(factor, budget);
             println!();
@@ -123,7 +149,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other:?}; use fig15|fig16|fig17|stats|concurrent|batch|rw|hotswap|check|all"
+                "unknown command {other:?}; use fig15|fig16|fig17|stats|concurrent|batch|rw|hotswap|lintcheck|check|all"
             );
             std::process::exit(2);
         }
@@ -134,12 +160,15 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
-fn run_fig15(factor: f64, budget: Duration) {
+fn run_fig15(factor: f64, budget: Duration, json: Option<&str>) {
     eprintln!("generating XMark factor {factor} ...");
     let db = setup(factor);
     eprintln!("database: {} nodes", db.node_count());
     let rows = fig15(&db, budget);
     print!("{}", render_fig15(&rows, factor));
+    if let Some(path) = json {
+        write_json(path, &bench::fig15_json(&rows, factor, budget));
+    }
 }
 
 fn run_fig16(factor: f64, budget: Duration) {
@@ -155,7 +184,7 @@ fn run_fig17(factors: &[f64], budget: Duration) {
 
 /// Concurrent service load: QPS and exact latency percentiles, plan cache
 /// warm versus compile-every-time.
-fn run_concurrent(factor: f64, threads: usize, rounds: usize) {
+fn run_concurrent(factor: f64, threads: usize, rounds: usize, json: Option<&str>) {
     eprintln!("generating XMark factor {factor} ...");
     let db = std::sync::Arc::new(setup(factor));
     eprintln!(
@@ -165,6 +194,9 @@ fn run_concurrent(factor: f64, threads: usize, rounds: usize) {
     );
     let (cached, uncached) = bench::concurrent::cached_vs_uncached(db, threads, rounds);
     print!("{}", bench::concurrent::render_comparison(&cached, &uncached, factor));
+    if let Some(path) = json {
+        write_json(path, &bench::concurrent::comparison_json(&cached, &uncached, factor, rounds));
+    }
 }
 
 /// Batched + match-cached service versus per-request execution on a seeded
@@ -239,7 +271,13 @@ fn run_rw(factor: f64, ops: usize, seed: u64, fractions: &[f64], json: Option<&s
 
 /// Hot-swap soak: correctness under concurrent snapshot republishes. Any
 /// failed request or answer from the wrong snapshot exits non-zero.
-fn run_hotswap(factor: f64, threads: usize, rounds: usize, swap_every: Duration) {
+fn run_hotswap(
+    factor: f64,
+    threads: usize,
+    rounds: usize,
+    swap_every: Duration,
+    json: Option<&str>,
+) {
     eprintln!(
         "soaking hot swap: XMark factors {factor} / {}, {threads} clients x {rounds} rounds, \
          swap every {swap_every:?} ...",
@@ -247,6 +285,9 @@ fn run_hotswap(factor: f64, threads: usize, rounds: usize, swap_every: Duration)
     );
     let report = bench::concurrent::hot_swap_soak(factor, threads, rounds, swap_every);
     println!("{}", report.summary());
+    if let Some(path) = json {
+        write_json(path, &bench::concurrent::soak_json(&report, factor, rounds, swap_every));
+    }
     if !report.clean() {
         eprintln!(
             "hot swap soak FAILED: {} error(s), {} stale answer(s)",
@@ -255,6 +296,22 @@ fn run_hotswap(factor: f64, threads: usize, rounds: usize, swap_every: Duration)
         std::process::exit(1);
     }
     println!("hot swap soak clean: every answer matched its epoch's reference");
+}
+
+/// Static-analysis soundness oracle over seeded random plans. Exits
+/// non-zero on any violation; `--json` writes the machine-readable report.
+fn run_lintcheck(factor: f64, plans: usize, seed: u64, json: Option<&str>) {
+    eprintln!("generating XMark factor {factor}; checking {plans} random plans, seed {seed} ...");
+    let report = bench::lintcheck::run(factor, plans, seed);
+    print!("{}", report.render(factor, seed));
+    if let Some(path) = json {
+        write_json(path, &report.to_json(factor, seed));
+    }
+    if !report.clean() {
+        eprintln!("lintcheck FAILED: the analyzer made a claim the runtime disproved");
+        std::process::exit(1);
+    }
+    println!("lintcheck clean: {plans} random plans, zero soundness violations");
 }
 
 /// Generates XMark data at the given factor and runs the full store

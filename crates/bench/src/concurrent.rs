@@ -308,6 +308,42 @@ pub fn hot_swap_soak_with(
     }
 }
 
+/// The full `BENCH_concurrent.json` document for one cached-vs-uncached
+/// comparison (hand-rolled; the workspace carries no serialization
+/// dependency).
+pub fn comparison_json(
+    cached: &LoadReport,
+    uncached: &LoadReport,
+    factor: f64,
+    rounds: usize,
+) -> String {
+    let speedup = if uncached.qps() > 0.0 { cached.qps() / uncached.qps() } else { 0.0 };
+    format!(
+        "{{\"experiment\":\"concurrent\",\"factor\":{factor},\"threads\":{},\"rounds\":{rounds},\
+         \"cached\":{},\"uncached\":{},\"speedup\":{speedup:.2}}}\n",
+        cached.threads,
+        crate::rw::load_report_json(cached),
+        crate::rw::load_report_json(uncached),
+    )
+}
+
+/// The full `BENCH_hotswap.json` document for one soak run.
+pub fn soak_json(report: &SoakReport, factor: f64, rounds: usize, swap_every: Duration) -> String {
+    format!(
+        "{{\"experiment\":\"hotswap\",\"factor\":{factor},\"threads\":{},\"rounds\":{rounds},\
+         \"swap_ms\":{},\"swaps\":{},\"ok\":{},\"errors\":{},\"stale\":{},\
+         \"elapsed_us\":{},\"clean\":{}}}\n",
+        report.threads,
+        swap_every.as_millis(),
+        report.swaps,
+        report.ok,
+        report.errors,
+        report.stale,
+        report.elapsed.as_micros(),
+        report.clean(),
+    )
+}
+
 /// Renders the comparison as a small text table.
 pub fn render_comparison(cached: &LoadReport, uncached: &LoadReport, factor: f64) -> String {
     let speedup = if uncached.qps() > 0.0 { cached.qps() / uncached.qps() } else { f64::INFINITY };

@@ -21,6 +21,7 @@
 
 pub mod batch;
 pub mod concurrent;
+pub mod lintcheck;
 pub mod micro;
 pub mod rw;
 
@@ -215,6 +216,39 @@ pub fn render_fig15(rows: &[Fig15Row], factor: f64) -> String {
         ));
     }
     out
+}
+
+/// One [`Measurement`] as a JSON value: seconds as a number, `"DNF"` or
+/// `"ERR"` as a string otherwise.
+pub fn measurement_json(m: &Measurement) -> String {
+    match m {
+        Measurement::Time(d) => format!("{:.6}", d.as_secs_f64()),
+        Measurement::DidNotFinish => "\"DNF\"".to_string(),
+        Measurement::Failed => "\"ERR\"".to_string(),
+    }
+}
+
+/// The full `BENCH_fig15.json` document: per-query TLC/GTP/TAX/NAV times.
+pub fn fig15_json(rows: &[Fig15Row], factor: f64, budget: Duration) -> String {
+    let rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"query\":\"{}\",\"tlc\":{},\"gtp\":{},\"tax\":{},\"nav\":{}}}",
+                r.name,
+                measurement_json(&r.cells[0]),
+                measurement_json(&r.cells[1]),
+                measurement_json(&r.cells[2]),
+                measurement_json(&r.cells[3]),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"experiment\":\"fig15\",\"factor\":{factor},\"budget_secs\":{},\
+         \"rows\":[{}]}}\n",
+        budget.as_secs_f64(),
+        rows.join(",")
+    )
 }
 
 /// Renders the Figure 16 comparison.

@@ -71,6 +71,10 @@ pub struct RwReport {
     pub plans_seeded: u64,
     /// Match-cache entries carried into new epochs.
     pub matches_seeded: u64,
+    /// Of those, chain entries carried *only* because the precise
+    /// per-chain footprints proved them safe — the conservative
+    /// whole-plan guard would have dropped them.
+    pub matches_extra: u64,
     /// Epoch the default database reached.
     pub final_epoch: u64,
     /// Sorted read latencies.
@@ -120,8 +124,8 @@ impl RwReport {
         format!(
             "write fraction {:.0}%: {} reads / {} writes (ins {} / set {} / del {}), epoch {}\n\
              \x20 read qps {:.1}, p50 {:.1?}, p95 {:.1?}; write p50 {:.1?}, p95 {:.1?}\n\
-             \x20 plan cache hit rate {:.1}%, {} plan(s) and {} match entr(ies) carried, \
-             {} node(s) renumbered\n\
+             \x20 plan cache hit rate {:.1}%, {} plan(s) and {} match entr(ies) carried \
+             (+{} by precise footprints alone), {} node(s) renumbered\n\
              \x20 mismatches {}, errors {}, check failures {}\n",
             self.write_fraction * 100.0,
             self.reads,
@@ -138,6 +142,7 @@ impl RwReport {
             self.plan_hit_rate() * 100.0,
             self.plans_seeded,
             self.matches_seeded,
+            self.matches_extra,
             self.renumbered,
             self.mismatches,
             self.errors,
@@ -153,7 +158,7 @@ impl RwReport {
              \"mismatches\":{},\"check_failures\":{},\
              \"inserts\":{},\"settexts\":{},\"deletes\":{},\
              \"renumbered\":{},\"plans_seeded\":{},\"matches_seeded\":{},\
-             \"final_epoch\":{},\"read_qps\":{:.1},\
+             \"matches_extra\":{},\"final_epoch\":{},\"read_qps\":{:.1},\
              \"read_p50_us\":{},\"read_p95_us\":{},\
              \"write_p50_us\":{},\"write_p95_us\":{},\
              \"plan_cache\":{},\"match_cache\":{},\"exec_stats\":{}}}",
@@ -169,6 +174,7 @@ impl RwReport {
             self.renumbered,
             self.plans_seeded,
             self.matches_seeded,
+            self.matches_extra,
             self.final_epoch,
             self.read_qps(),
             Self::quantile(&self.read_latencies, 0.50).as_micros(),
@@ -318,6 +324,7 @@ pub fn run_on(db: Arc<Database>, cfg: &RwConfig) -> RwReport {
         renumbered: 0,
         plans_seeded: 0,
         matches_seeded: 0,
+        matches_extra: 0,
         final_epoch: 0,
         read_latencies: Vec::new(),
         write_latencies: Vec::new(),
@@ -343,6 +350,7 @@ pub fn run_on(db: Arc<Database>, cfg: &RwConfig) -> RwReport {
                     report.renumbered += outcome.summary.renumbered as u64;
                     report.plans_seeded += outcome.plans_seeded;
                     report.matches_seeded += outcome.matches_seeded;
+                    report.matches_extra += outcome.matches_extra;
                     report.final_epoch = outcome.entry.epoch();
                     let snapshot = svc.database();
                     if xmldb::check_database(&snapshot).is_err() {

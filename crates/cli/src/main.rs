@@ -11,7 +11,9 @@
 //!
 //! ```text
 //! .engine tlc|opt|costed|gtp|tax|nav  switch evaluator
-//! .explain                      toggle plan display
+//! .explain [<query>]            toggle plan display, or print the static
+//!                               analysis report (type, footprint, liveness,
+//!                               lints) for one query without running it
 //! .stats                        toggle execution counters
 //! .analyze                      toggle per-operator timings
 //! .bench <name>                 run a Figure 15 workload query by name
@@ -221,6 +223,17 @@ fn split_words(s: &str, n: usize) -> (Vec<&str>, &str) {
     (words, rest.trim_end())
 }
 
+/// Comma-joins `items`, or renders `(none)` for an empty sequence —
+/// keeps the `.explain` report's footprint lines readable.
+fn join_or_none(items: impl Iterator<Item = String>) -> String {
+    let joined: Vec<String> = items.collect();
+    if joined.is_empty() {
+        "(none)".to_string()
+    } else {
+        joined.join(", ")
+    }
+}
+
 fn parse_engine(s: &str) -> Engine {
     match s.to_ascii_lowercase().as_str() {
         "opt" => Engine::TlcOpt,
@@ -297,8 +310,13 @@ impl Shell {
                 println!("engine: {}", self.engine.name());
             }
             ".explain" => {
-                self.explain = !self.explain;
-                println!("explain: {}", self.explain);
+                let tail = cmd.strip_prefix(".explain").unwrap_or_default().trim();
+                if tail.is_empty() {
+                    self.explain = !self.explain;
+                    println!("explain: {}", self.explain);
+                } else {
+                    self.explain_query(tail);
+                }
             }
             ".stats" => {
                 self.stats = !self.stats;
@@ -366,7 +384,7 @@ impl Shell {
             ".help" => {
                 println!(
                     ".engine tlc|opt|costed|gtp|tax|nav  switch evaluator\n\
-                     .explain                      toggle plan display\n\
+                     .explain [<query>]            toggle plan display, or analyze a query\n\
                      .stats                        toggle execution counters\n\
                      .analyze                      toggle per-operator timings\n\
                      .bench <name>                 run a workload query\n\
@@ -451,6 +469,79 @@ impl Shell {
                 });
             }
         });
+    }
+
+    /// Prints the static analysis report for `query` — typed plan, read
+    /// footprint, liveness-pruning outcome, and lint warnings — without
+    /// executing it. Mirrors the server's `.explain <query>` report.
+    fn explain_query(&self, query: &str) {
+        if self.engine == Engine::Nav {
+            println!("error: NAV is interpreted per request; nothing to explain");
+            return;
+        }
+        let db = self.db();
+        let plan = match baselines::plan_for(self.engine, query, &db) {
+            Ok(plan) => plan,
+            Err(e) => {
+                println!("error: {e}");
+                return;
+            }
+        };
+        let t = match tlc::analyze(&plan) {
+            Ok(t) => t,
+            Err(e) => {
+                println!("error: {}", tlc::Error::Analyze(e));
+                return;
+            }
+        };
+        let fp = tlc::plan_footprint(&plan);
+        let (pruned, report) = tlc::prune_with_report(&plan);
+        let lints = tlc::lint(&plan, &db);
+        let interner = db.interner();
+        println!("== plan ({} operator(s), engine {:?}) ==", plan.operator_count(), self.engine);
+        print!("{}", plan.display(Some(&db)));
+        let classes: Vec<String> = t.classes.iter().map(|(l, c)| format!("{l}:{c:?}")).collect();
+        println!("== type ==");
+        println!(
+            "classes: {}",
+            if classes.is_empty() { "(none)".to_string() } else { classes.join(" ") }
+        );
+        println!("root: {}", t.root.map_or_else(|| "(none)".to_string(), |r| r.to_string()));
+        println!("order: {:?}", t.order);
+        println!("== footprint ==");
+        println!("docs: {}", join_or_none(fp.docs.iter().cloned()));
+        for (doc, tags) in &fp.doc_tags {
+            let names = join_or_none(tags.iter().map(|&t| interner.name(t).to_string()));
+            println!("tags[{doc}]: {names}");
+        }
+        println!(
+            "steps: {} child, {} descendant; {} value predicate(s)",
+            fp.child_steps,
+            fp.descendant_steps,
+            fp.preds.len()
+        );
+        println!("== liveness ==");
+        if report.changed() {
+            println!(
+                "pruned: {} DupElim(s) removed, {} select(s) eliminated, {} star subtree(s) dropped, {} dead Project column(s)",
+                report.dupelims_removed,
+                report.selects_eliminated,
+                report.star_subtrees_pruned,
+                report.dead_project_columns.len()
+            );
+            println!("pruned plan:");
+            print!("{}", pruned.display(Some(&db)));
+        } else {
+            println!("nothing to prune");
+        }
+        println!("== lints ==");
+        if lints.is_empty() {
+            println!("no warnings");
+        } else {
+            for l in &lints {
+                println!("{l}");
+            }
+        }
     }
 
     fn run(&mut self, query: &str) {

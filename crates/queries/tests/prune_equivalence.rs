@@ -1,0 +1,34 @@
+//! Regression test for the class-liveness pruning pass: over the whole
+//! adapted workload (x1–x20, Q1, Q2, x10a) and all four plan-producing
+//! engines, a pruned plan must verify and serialize byte-identically to
+//! the unpruned plan. Together with the seeded random plans of
+//! `experiments lintcheck` this pins the pruner to observable behaviour on
+//! both hand-written and machine-generated plan shapes.
+
+use baselines::Engine;
+
+#[test]
+fn pruned_workload_plans_are_byte_identical_on_every_engine() {
+    let db = xmark::auction_database(0.002);
+    let mut pruned_any = false;
+    for q in queries::all_queries() {
+        for engine in [Engine::Tlc, Engine::TlcOpt, Engine::Gtp, Engine::Tax] {
+            let plan = baselines::plan_for(engine, q.text, &db)
+                .unwrap_or_else(|e| panic!("{} on {engine:?}: compile failed: {e}", q.name));
+            let (pruned, report) = tlc::prune_with_report(&plan);
+            if !report.changed() {
+                continue;
+            }
+            pruned_any = true;
+            tlc::verify(&pruned).unwrap_or_else(|e| {
+                panic!("{} on {engine:?}: pruned plan fails verification: {e:?}", q.name)
+            });
+            let before = tlc::execute_to_string(&db, &plan)
+                .unwrap_or_else(|e| panic!("{} on {engine:?}: unpruned failed: {e}", q.name));
+            let after = tlc::execute_to_string(&db, &pruned)
+                .unwrap_or_else(|e| panic!("{} on {engine:?}: pruned failed: {e}", q.name));
+            assert_eq!(before, after, "{} on {engine:?}: pruning changed the output", q.name);
+        }
+    }
+    assert!(pruned_any, "liveness pruning never fired on the whole workload");
+}

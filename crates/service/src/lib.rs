@@ -313,6 +313,10 @@ pub struct UpdateOutcome {
     pub plans_seeded: u64,
     /// Match-cache entries carried into the new epoch.
     pub matches_seeded: u64,
+    /// Of those, entries only the per-chain precise footprints could prove
+    /// safe — the conservative whole-plan footprint would have dropped
+    /// them.
+    pub matches_extra: u64,
     /// Plan-cache entries of superseded epochs purged after seeding.
     pub plans_invalidated: u64,
 }
@@ -519,6 +523,7 @@ impl Service {
         let stale = |key: &str| key.starts_with(&all) && !key.starts_with(&new_prefix);
         let mut plans_seeded = 0u64;
         let mut carry_keys: Vec<String> = Vec::new();
+        let mut extra_keys: Vec<String> = Vec::new();
         let plans_invalidated = {
             let mut plans = self.cache.lock().unwrap();
             for (key, plan) in plans.collect_prefixed(&old_prefix) {
@@ -534,24 +539,125 @@ impl Service {
                 // footprint disjointness notwithstanding.
                 if !fp.docs.contains(op.doc()) || (summary.renumbered == 0 && disjoint) {
                     carry_keys.extend(tlc::match_chain_keys(&plan));
+                } else {
+                    // The whole-plan footprint overlaps the mutation, but a
+                    // plan mixes chains over several documents and tag sets:
+                    // the per-chain precise footprints can still prove
+                    // individual cached chains untouched.
+                    for (chain_key, cfp) in tlc::match_chain_footprints(&plan) {
+                        let chain_disjoint = !cfp.overlaps(op.doc(), &summary.affected_tags);
+                        if !cfp.docs.contains(op.doc())
+                            || (summary.renumbered == 0 && chain_disjoint)
+                        {
+                            extra_keys.push(chain_key);
+                        }
+                    }
                 }
             }
             plans.purge_where(stale)
         };
-        let matches_seeded = self.matches.as_ref().map_or(0, |store| {
+        let (matches_seeded, matches_extra) = self.matches.as_ref().map_or((0, 0), |store| {
             carry_keys.sort();
             carry_keys.dedup();
+            extra_keys.sort();
+            extra_keys.dedup();
+            extra_keys.retain(|k| carry_keys.binary_search(k).is_err());
             let carried = store.carry(&old_prefix, &new_prefix, &carry_keys);
+            let extra = store.carry(&old_prefix, &new_prefix, &extra_keys);
             store.purge_where(stale);
-            carried
+            (carried + extra, extra)
         });
         self.metrics.record_swap(entry.name(), plans_invalidated);
-        self.metrics.record_update(entry.name(), plans_seeded, matches_seeded);
-        Ok(UpdateOutcome { entry, summary, plans_seeded, matches_seeded, plans_invalidated })
+        self.metrics.record_update(entry.name(), plans_seeded, matches_seeded, matches_extra);
+        Ok(UpdateOutcome {
+            entry,
+            summary,
+            plans_seeded,
+            matches_seeded,
+            matches_extra,
+            plans_invalidated,
+        })
     }
 
     fn entry(&self, db: &str) -> Result<Arc<CatalogEntry>, ServiceError> {
         self.catalog.resolve(db).map_err(ServiceError::Catalog)
+    }
+
+    /// Compiles `query` against `db` and renders the static-analysis view
+    /// (`.explain` in the wire protocol): the compiled plan, its inferred
+    /// type (per-class cardinalities, root, order), its read-effect
+    /// footprint, what class-liveness pruning removes, and every lint
+    /// warning. The plan cache is bypassed so the report always describes
+    /// the *unpruned* translation of what the user wrote.
+    pub fn explain(&self, db: &str, query: &str) -> Result<String, ServiceError> {
+        if self.engine == Engine::Nav {
+            return Err(ServiceError::Unsupported(
+                "NAV is interpreted per request; nothing to explain".into(),
+            ));
+        }
+        let entry = self.entry(db)?;
+        let database = entry.database();
+        let plan =
+            baselines::plan_for(self.engine, query, database).map_err(ServiceError::Compile)?;
+        let t = tlc::analyze(&plan).map_err(|e| ServiceError::Compile(tlc::Error::Analyze(e)))?;
+        let fp = tlc::plan_footprint(&plan);
+        let (pruned, report) = tlc::prune_with_report(&plan);
+        let lints = tlc::lint(&plan, database);
+        self.metrics.record_analysis(
+            entry.name(),
+            report.changed(),
+            report.ops_eliminated() as u64,
+            lints.len() as u64,
+        );
+        let interner = database.interner();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== plan ({} operator(s), engine {:?}) ==\n{}",
+            plan.operator_count(),
+            self.engine,
+            plan.display(Some(database))
+        ));
+        let classes: Vec<String> = t.classes.iter().map(|(l, c)| format!("{l}:{c:?}")).collect();
+        out.push_str(&format!(
+            "== type ==\nclasses: {}\nroot: {}\norder: {:?}\n",
+            if classes.is_empty() { "(none)".to_string() } else { classes.join(" ") },
+            t.root.map_or_else(|| "(none)".to_string(), |r| r.to_string()),
+            t.order
+        ));
+        out.push_str("== footprint ==\n");
+        out.push_str(&format!("docs: {}\n", join_or_none(fp.docs.iter().cloned())));
+        for (doc, tags) in &fp.doc_tags {
+            let names = join_or_none(tags.iter().map(|&t| interner.name(t).to_string()));
+            out.push_str(&format!("tags[{doc}]: {names}\n"));
+        }
+        out.push_str(&format!(
+            "steps: {} child, {} descendant; {} value predicate(s)\n",
+            fp.child_steps,
+            fp.descendant_steps,
+            fp.preds.len()
+        ));
+        out.push_str("== liveness ==\n");
+        if report.changed() {
+            out.push_str(&format!(
+                "pruned: {} DupElim(s) removed, {} select(s) eliminated, {} star subtree(s) dropped, {} dead Project column(s)\n",
+                report.dupelims_removed,
+                report.selects_eliminated,
+                report.star_subtrees_pruned,
+                report.dead_project_columns.len()
+            ));
+            out.push_str(&format!("pruned plan:\n{}", pruned.display(Some(database))));
+        } else {
+            out.push_str("nothing to prune\n");
+        }
+        out.push_str("== lints ==\n");
+        if lints.is_empty() {
+            out.push_str("no warnings\n");
+        } else {
+            for l in &lints {
+                out.push_str(&format!("{l}\n"));
+            }
+        }
+        Ok(out)
     }
 
     /// The configured engine.
@@ -607,6 +713,16 @@ impl Service {
         // fails verification would be served to every later request for the
         // same text, so a poisoned plan must never enter the LRU.
         tlc::analyze::verify(&plan).map_err(|e| ServiceError::Compile(tlc::Error::Analyze(e)))?;
+        // Liveness-prune the compiled plan before caching — for every
+        // engine, not just the optimizing ones: the rewrite only removes
+        // provably dead work and is re-verified here, and the equivalence
+        // suite pins byte-identical output. Lints are counted against the
+        // *unpruned* plan (they describe what the user wrote).
+        let lints = tlc::lint(&plan, entry.database()).len() as u64;
+        let (pruned, report) = tlc::prune_with_report(&plan);
+        let changed = report.changed() && tlc::analyze::verify(&pruned).is_ok();
+        self.metrics.record_analysis(entry.name(), changed, report.ops_eliminated() as u64, lints);
+        let plan = if changed { Arc::new(pruned) } else { plan };
         let evictions = self.cache.lock().unwrap().insert(&key, Arc::clone(&plan));
         self.metrics.record_cache(entry.name(), false, evictions);
         Ok((PlanHandle { entry, normalized: normalized.into(), plan }, false))
@@ -832,6 +948,15 @@ impl Service {
     /// Number of executor threads.
     pub fn workers(&self) -> usize {
         self.pool.workers()
+    }
+}
+
+fn join_or_none(items: impl Iterator<Item = String>) -> String {
+    let v: Vec<String> = items.collect();
+    if v.is_empty() {
+        "(none)".to_string()
+    } else {
+        v.join(", ")
     }
 }
 

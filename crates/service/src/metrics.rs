@@ -137,6 +137,18 @@ pub struct DbCounters {
     pub plans_seeded: u64,
     /// Match-cache entries carried into post-update epochs.
     pub matches_seeded: u64,
+    /// Of [`DbCounters::matches_seeded`], the entries only the *per-chain*
+    /// precise footprints could prove safe — the whole-plan conservative
+    /// footprint would have dropped them.
+    pub matches_extra: u64,
+    /// Compiled plans the liveness analysis rewrote (dead classes pruned)
+    /// before caching.
+    pub plans_pruned: u64,
+    /// Operators (redundant DupElims, emptied Selects) the pruning pass
+    /// removed outright across those plans.
+    pub ops_eliminated: u64,
+    /// Lint warnings raised while compiling plans for this database.
+    pub lints: u64,
 }
 
 #[derive(Debug, Default)]
@@ -241,12 +253,33 @@ impl Metrics {
     /// Records one committed in-place update against `db` and how many
     /// plan-cache entries / match-cache entries the selective-invalidation
     /// pass carried into the new epoch instead of dropping.
-    pub fn record_update(&self, db: &str, plans_seeded: u64, matches_seeded: u64) {
+    /// `matches_extra` is the subset of `matches_seeded` that only the
+    /// per-chain precise footprints — not the conservative whole-plan
+    /// check — could justify carrying.
+    pub fn record_update(
+        &self,
+        db: &str,
+        plans_seeded: u64,
+        matches_seeded: u64,
+        matches_extra: u64,
+    ) {
         let mut m = self.inner.lock().unwrap();
         let entry = m.per_db.entry(db.into()).or_default();
         entry.updates += 1;
         entry.plans_seeded += plans_seeded;
         entry.matches_seeded += matches_seeded;
+        entry.matches_extra += matches_extra;
+    }
+
+    /// Records one compile-time analysis of a plan bound to `db`: whether
+    /// the liveness pass pruned it, how many operators the pruning removed,
+    /// and how many lint warnings the plan carries.
+    pub fn record_analysis(&self, db: &str, pruned: bool, ops_eliminated: u64, lints: u64) {
+        let mut m = self.inner.lock().unwrap();
+        let entry = m.per_db.entry(db.into()).or_default();
+        entry.plans_pruned += u64::from(pruned);
+        entry.ops_eliminated += ops_eliminated;
+        entry.lints += lints;
     }
 
     /// Point-in-time copy of the aggregate numbers.
@@ -302,6 +335,12 @@ impl Metrics {
                 out.push_str(&format!(
                     "  db {name}: {} update(s), {} plan(s) and {} match entr(ies) carried across epochs\n",
                     c.updates, c.plans_seeded, c.matches_seeded
+                ));
+            }
+            if c.plans_pruned > 0 || c.ops_eliminated > 0 || c.lints > 0 || c.matches_extra > 0 {
+                out.push_str(&format!(
+                    "  db {name}: analyzer pruned {} plan(s) ({} operator(s) eliminated), {} lint(s) raised, {} match entr(ies) carried by precise footprints alone\n",
+                    c.plans_pruned, c.ops_eliminated, c.lints, c.matches_extra
                 ));
             }
         }
@@ -495,13 +534,33 @@ mod tests {
     #[test]
     fn update_counters_track_seeding() {
         let m = Metrics::new();
-        m.record_update("a", 3, 7);
-        m.record_update("a", 1, 0);
+        m.record_update("a", 3, 7, 2);
+        m.record_update("a", 1, 0, 0);
         let s = m.snapshot();
         let c = s.db("a").unwrap();
-        assert_eq!((c.updates, c.plans_seeded, c.matches_seeded), (2, 4, 7));
+        assert_eq!((c.updates, c.plans_seeded, c.matches_seeded, c.matches_extra), (2, 4, 7, 2));
         let r = m.report();
         assert!(r.contains("db a: 2 update(s), 4 plan(s) and 7 match entr(ies) carried"), "{r}");
+        assert!(r.contains("2 match entr(ies) carried by precise footprints alone"), "{r}");
+    }
+
+    #[test]
+    fn analysis_counters_only_report_when_nonzero() {
+        let m = Metrics::new();
+        m.record_cache("a", false, 0);
+        assert!(!m.report().contains("analyzer pruned"), "no analysis recorded yet");
+        m.record_analysis("a", true, 2, 3);
+        m.record_analysis("a", false, 0, 1);
+        let c = m.snapshot();
+        let c = c.db("a").unwrap();
+        assert_eq!((c.plans_pruned, c.ops_eliminated, c.lints), (1, 2, 4));
+        let r = m.report();
+        assert!(
+            r.contains(
+                "db a: analyzer pruned 1 plan(s) (2 operator(s) eliminated), 4 lint(s) raised"
+            ),
+            "{r}"
+        );
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //! * `.delete <doc> <ord>` — delete the subtree rooted at `ord`;
 //! * `.settext <doc> <ord> [<text>]` — replace the node's text content
 //!   (the raw rest of the line; empty clears it);
+//! * `.explain <query>` — compile the query (raw rest of the line)
+//!   against the session's current database without executing it and
+//!   report the static-analysis view: the typed plan, its read-effect
+//!   footprint, what class-liveness pruning removes, and lint warnings
+//!   (see [`crate::Service::explain`]);
 //! * `.catalog` — list the registered databases;
 //! * `.metrics` — the service's text metrics report;
 //! * `.quit` — close this connection.
@@ -263,6 +268,17 @@ pub fn serve_connection(
                             )?,
                         }
                     }
+                    (".explain", _) => {
+                        let tail = dot.strip_prefix(".explain").expect("matched cmd").trim_start();
+                        if tail.is_empty() {
+                            write_err(writer, "usage: .explain <query>")?;
+                        } else {
+                            match service.explain(&current, tail) {
+                                Ok(report) => write_ok(writer, &report)?,
+                                Err(e) => write_err(writer, &e.to_string())?,
+                            }
+                        }
+                    }
                     (".delete", [doc, ord]) => match ord.parse::<u32>() {
                         Ok(pre) => {
                             let op = UpdateOp::Delete { doc: doc.to_string(), pre };
@@ -465,6 +481,58 @@ mod tests {
         );
         // Three committed updates, each its own epoch.
         assert_eq!(svc.databases()[0].epoch, 3);
+    }
+
+    #[test]
+    fn explain_command_reports_plan_and_lints() {
+        let db = Arc::new(xmark::auction_database(0.001));
+        let svc = Arc::new(Service::new(db, ServiceConfig::default()));
+        let script = concat!(
+            // absent tag on a required path → statically empty
+            ".explain FOR $z IN document(\"auction.xml\")//zzz RETURN $z\n",
+            // single-variable FOR → the translator's DupElim is a no-op
+            ".explain FOR $s IN document(\"auction.xml\")/site RETURN $s\n",
+            // $n is bound but never returned → dead Project column
+            ".explain FOR $p IN document(\"auction.xml\")//person LET $n := $p/name RETURN <r>{$p/age}</r>\n",
+            ".explain\n",
+            ".explain NOT A QUERY\n",
+            ".metrics\n",
+            ".quit\n",
+        );
+        let mut reader = BufReader::new(script.as_bytes());
+        let mut out = Vec::new();
+        let served = serve_connection(&svc, &mut reader, &mut out).unwrap();
+        assert_eq!(served, 0, ".explain compiles but never executes");
+        let mut r = BufReader::new(&out[..]);
+        match read_response(&mut r).unwrap() {
+            Frame::Ok(m) => {
+                assert!(m.contains("== plan"), "{m}");
+                assert!(m.contains("== footprint =="), "{m}");
+                assert!(m.contains("warning[empty-select]"), "{m}");
+                assert!(m.contains("statically empty"), "{m}");
+            }
+            other => panic!("expected explain report, got {other:?}"),
+        }
+        match read_response(&mut r).unwrap() {
+            Frame::Ok(m) => {
+                assert!(m.contains("warning[redundant-dupelim]"), "{m}");
+                assert!(m.contains("DupElim(s) removed"), "{m}");
+            }
+            other => panic!("expected explain report, got {other:?}"),
+        }
+        match read_response(&mut r).unwrap() {
+            Frame::Ok(m) => {
+                assert!(m.contains("warning[dead-project-column]"), "{m}");
+            }
+            other => panic!("expected explain report, got {other:?}"),
+        }
+        assert_eq!(read_response(&mut r).unwrap(), Frame::Err("usage: .explain <query>".into()));
+        assert!(matches!(read_response(&mut r).unwrap(), Frame::Err(m) if m.contains("compile")));
+        // The analyses feed the per-db metrics counters.
+        match read_response(&mut r).unwrap() {
+            Frame::Ok(m) => assert!(m.contains("lint(s) raised"), "{m}"),
+            other => panic!("expected metrics report, got {other:?}"),
+        }
     }
 
     #[test]

@@ -14,11 +14,28 @@
 //! the plan's output ordering. [`verify`] is the boolean form. Three places
 //! run it:
 //!
-//! * [`crate::translate`] verifies every freshly compiled plan;
+//! * [`crate::translate()`] verifies every freshly compiled plan;
 //! * [`crate::rewrite::optimize`] re-verifies after *every individual
 //!   rewrite pass* (the differential rewrite oracle — see
 //!   [`crate::rewrite::optimize_verified`]);
 //! * the service layer checks plans before they enter its cache.
+//!
+//! Beyond the verifier, this module is the home of the *analysis framework*:
+//! independent passes over verified plans that downstream consumers exploit.
+//!
+//! * [`plan_footprint`] — per-operator read-effect analysis (documents,
+//!   per-document tag sets, axis step counts, value-predicate domains) used
+//!   by the service's selective cache invalidation;
+//! * [`distinctness`] — per-tree membership bounds plus cross-tree
+//!   identity-distinctness facts, which justify removing provably redundant
+//!   `DupElim` operators (see `crate::rewrite::prune_dead_classes`);
+//! * [`temp_classes`] — classes whose members are executor temporaries
+//!   rather than store nodes, which the liveness pruner must treat as
+//!   serialization-opaque;
+//! * `crate::exec::check_conformance` — the runtime half: debug builds
+//!   assert every operator's observed output against the inferred
+//!   [`PlanType`], and the `experiments lintcheck` oracle does the same for
+//!   hundreds of seeded random plans per run.
 //!
 //! The analysis is deliberately *permissive where the executor is*: it
 //! over-approximates the classes surviving a Construct (copied subtrees
@@ -28,12 +45,14 @@
 
 use crate::logical_class::LclId;
 use crate::ops::construct::{ConstructItem, ConstructValue};
+use crate::ops::dupelim::DedupKind;
 use crate::ops::filter::FilterPred;
-use crate::pattern::{Apt, AptRoot, MSpec};
+use crate::pattern::{Apt, AptRoot, MSpec, PredValue};
 use crate::plan::Plan;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use xmldb::TagId;
+use xquery::CmpOp;
 
 /// Per-tree cardinality of a logical class, abstracted from the matching
 /// specifications along its APT path (Definition 1).
@@ -411,55 +430,126 @@ pub fn verify(plan: &Plan) -> Result<(), AnalyzeError> {
     analyze(plan).map(|_| ())
 }
 
-/// The data a plan can possibly read: which documents its selects are
-/// anchored at and which tags its pattern nodes test.
+/// One value-predicate domain a plan reads: a comparison applied to the
+/// string content of nodes carrying a specific tag. Collected from APT node
+/// predicates and from `Filter` content predicates whose class is labelled
+/// by a pattern node (so the tag is statically known).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredDomain {
+    /// Tag of the nodes whose content the predicate reads.
+    pub tag: TagId,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal the content is compared against.
+    pub value: PredValue,
+}
+
+/// The data a plan can possibly read: per-operator read effects collected
+/// over the whole plan — document anchors, the tags tested *per document*,
+/// axis step counts, and the value-predicate domains.
 ///
 /// This is a *conservative* static over-approximation used for selective
 /// cache invalidation: a mutation whose affected-tag set (see
 /// `xmldb::update::UpdateSummary`) is disjoint from a cached plan's tag
 /// footprint — or that touches a document the plan never reads — provably
 /// cannot change that plan's result, so the cached entry can be carried
-/// into the post-mutation epoch instead of being dropped.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// into the post-mutation epoch instead of being dropped. Unlike the
+/// earlier plan-global tag set, tags are attributed to the documents whose
+/// selects test them, so a mutation of one document of a multi-document
+/// join invalidates only when *that document's* tags overlap.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Footprint {
     /// Logical names of the documents the plan's selects are anchored at.
     pub docs: BTreeSet<String>,
-    /// Tags tested anywhere in the plan's pattern trees.
+    /// Tags tested by pattern nodes, per document whose data they match.
+    pub doc_tags: BTreeMap<String, BTreeSet<TagId>>,
+    /// Tags tested by pattern nodes that could not be attributed to any
+    /// document (defensive; empty for every verifiable plan, since each
+    /// select chain bottoms out at a document anchor).
     pub tags: BTreeSet<TagId>,
+    /// Number of child-axis pattern edges in the plan.
+    pub child_steps: u32,
+    /// Number of descendant-axis pattern edges in the plan.
+    pub descendant_steps: u32,
+    /// Value-predicate domains the plan evaluates.
+    pub preds: Vec<PredDomain>,
 }
 
 impl Footprint {
     /// Can a mutation of `doc` with the given affected tags change this
     /// plan's result? False only when provably not: either the plan never
-    /// reads `doc`, or none of the affected tags appears in its patterns.
+    /// reads `doc`, or none of the affected tags is tested against `doc`'s
+    /// data.
     pub fn overlaps(&self, doc: &str, affected_tags: &[TagId]) -> bool {
-        self.docs.contains(doc) && affected_tags.iter().any(|t| self.tags.contains(t))
+        self.docs.contains(doc)
+            && affected_tags.iter().any(|t| {
+                self.doc_tags.get(doc).is_some_and(|s| s.contains(t)) || self.tags.contains(t)
+            })
     }
 
-    fn absorb_apt(&mut self, apt: &Apt) {
-        if let AptRoot::Document { name, .. } = &apt.root {
-            self.docs.insert(name.clone());
-        }
+    /// Absorbs one APT: attributes its node tags to the documents the
+    /// pattern matches against (`input_docs` for extension selects) and
+    /// returns the document set flowing out of the select.
+    fn absorb_apt(&mut self, apt: &Apt, input_docs: &BTreeSet<String>) -> BTreeSet<String> {
+        let docs: BTreeSet<String> = match &apt.root {
+            AptRoot::Document { name, .. } => {
+                self.docs.insert(name.clone());
+                std::iter::once(name.clone()).collect()
+            }
+            AptRoot::Lcl(_) => input_docs.clone(),
+        };
         for node in &apt.nodes {
-            self.tags.insert(node.tag);
+            match node.axis {
+                xmldb::AxisRel::Child => self.child_steps += 1,
+                xmldb::AxisRel::Descendant => self.descendant_steps += 1,
+            }
+            if docs.is_empty() {
+                self.tags.insert(node.tag);
+            } else {
+                for d in &docs {
+                    self.doc_tags.entry(d.clone()).or_default().insert(node.tag);
+                }
+            }
+            if let Some(p) = &node.pred {
+                self.preds.push(PredDomain { tag: node.tag, op: p.op, value: p.value.clone() });
+            }
         }
+        docs
     }
 }
 
-/// Computes the [`Footprint`] of a plan by walking every operator and
-/// collecting the document anchors and tag tests of all its selects.
+/// Computes the [`Footprint`] of a plan by walking every operator,
+/// attributing each select's tag tests to the documents its input chain is
+/// anchored at.
 pub fn plan_footprint(plan: &Plan) -> Footprint {
+    let mut tag_of = BTreeMap::new();
+    collect_node_tags(plan, &mut tag_of);
     let mut fp = Footprint::default();
-    collect_footprint(plan, &mut fp);
+    collect_footprint(plan, &mut fp, &tag_of);
     fp
 }
 
-fn collect_footprint(plan: &Plan, fp: &mut Footprint) {
+/// Maps every pattern-node class to its tag, for attributing `Filter`
+/// content predicates to a tag domain.
+fn collect_node_tags(plan: &Plan, out: &mut BTreeMap<LclId, TagId>) {
+    if let Plan::Select { apt, .. } = plan {
+        for node in &apt.nodes {
+            out.insert(node.lcl, node.tag);
+        }
+    }
     match plan {
-        Plan::Select { input, apt } => {
-            fp.absorb_apt(apt);
-            if let Some(input) = input {
-                collect_footprint(input, fp);
+        Plan::Select { input, .. } => {
+            if let Some(i) = input {
+                collect_node_tags(i, out);
+            }
+        }
+        Plan::Join { left, right, .. } => {
+            collect_node_tags(left, out);
+            collect_node_tags(right, out);
+        }
+        Plan::Union { inputs, .. } => {
+            for i in inputs {
+                collect_node_tags(i, out);
             }
         }
         Plan::Filter { input, .. }
@@ -472,16 +562,289 @@ fn collect_footprint(plan: &Plan, fp: &mut Footprint) {
         | Plan::Shadow { input, .. }
         | Plan::Illuminate { input, .. }
         | Plan::GroupBy { input, .. }
-        | Plan::Materialize { input, .. } => collect_footprint(input, fp),
+        | Plan::Materialize { input, .. } => collect_node_tags(input, out),
+    }
+}
+
+/// Recursive collection; returns the set of documents the subtree reads so
+/// extension selects can attribute their tags.
+fn collect_footprint(
+    plan: &Plan,
+    fp: &mut Footprint,
+    tag_of: &BTreeMap<LclId, TagId>,
+) -> BTreeSet<String> {
+    match plan {
+        Plan::Select { input, apt } => {
+            let in_docs = match input {
+                Some(i) => collect_footprint(i, fp, tag_of),
+                None => BTreeSet::new(),
+            };
+            fp.absorb_apt(apt, &in_docs)
+        }
+        Plan::Filter { input, lcl, pred, .. } => {
+            let docs = collect_footprint(input, fp, tag_of);
+            if let FilterPred::Content(p) = pred {
+                if let Some(&tag) = tag_of.get(lcl) {
+                    fp.preds.push(PredDomain { tag, op: p.op, value: p.value.clone() });
+                }
+            }
+            docs
+        }
+        Plan::Project { input, .. }
+        | Plan::DupElim { input, .. }
+        | Plan::Aggregate { input, .. }
+        | Plan::Construct { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Flatten { input, .. }
+        | Plan::Shadow { input, .. }
+        | Plan::Illuminate { input, .. }
+        | Plan::GroupBy { input, .. }
+        | Plan::Materialize { input, .. } => collect_footprint(input, fp, tag_of),
         Plan::Join { left, right, .. } => {
-            collect_footprint(left, fp);
-            collect_footprint(right, fp);
+            let mut docs = collect_footprint(left, fp, tag_of);
+            docs.extend(collect_footprint(right, fp, tag_of));
+            docs
+        }
+        Plan::Union { inputs, .. } => {
+            let mut docs = BTreeSet::new();
+            for i in inputs {
+                docs.extend(collect_footprint(i, fp, tag_of));
+            }
+            docs
+        }
+    }
+}
+
+/// Statically derived duplicate structure of a plan's output: which classes
+/// are per-tree singletons-or-empty, and which class *sets* have pairwise
+/// distinct member-identity tuples across the output trees.
+///
+/// `DupElim` keys on [`crate::tree::ResultTree::members_all`] (shadowed
+/// members count, `None` for an empty class) and errors on more than one
+/// member, so `atmost_one` here means "at most one member per tree counting
+/// shadowed members" — exactly the domain on which identity tuples are
+/// well defined.
+#[derive(Debug, Clone, Default)]
+pub struct Distinctness {
+    /// Classes with at most one member per output tree (shadowed included).
+    pub atmost_one: BTreeSet<LclId>,
+    /// Class sets whose member-identity tuples are pairwise distinct across
+    /// the output trees. An empty set is a valid fact: it asserts the plan
+    /// produces at most one tree.
+    pub facts: Vec<BTreeSet<LclId>>,
+}
+
+impl Distinctness {
+    /// True when node-identity duplicate elimination over `on` is a provable
+    /// no-op: every key class is a per-tree at-most-singleton (so the key is
+    /// well defined) and some known-distinct fact is covered by the key set
+    /// (distinct on a subset implies distinct on the whole key).
+    pub fn proves_distinct_on(&self, on: &[LclId]) -> bool {
+        let on_set: BTreeSet<LclId> = on.iter().copied().collect();
+        on.iter().all(|l| self.atmost_one.contains(l))
+            && self.facts.iter().any(|f| f.is_subset(&on_set))
+    }
+}
+
+/// Infers the [`Distinctness`] of a plan's output.
+///
+/// The core facts: a document select produces one tree per embedding of its
+/// *non-grouped* pattern nodes (grouped `+`/`*` members collect under one
+/// tree), so the One/Opt-cardinality classes form a distinct tuple; a Join,
+/// Aggregate, or Construct attaches a fresh temporary per output tree; a
+/// `DupElim` makes its own key distinct by construction. Everything not
+/// provable is dropped — the analysis is conservative by design and its
+/// claims are cross-checked by the `experiments lintcheck` oracle.
+pub fn distinctness(plan: &Plan) -> Distinctness {
+    match plan {
+        Plan::Select { input: None, apt } => {
+            let mut d = Distinctness::default();
+            if let AptRoot::Document { lcl, .. } = &apt.root {
+                // The document root is the same node in every tree: a
+                // per-tree singleton that adds nothing to distinctness, so
+                // it stays out of the fact.
+                d.atmost_one.insert(*lcl);
+            }
+            let fact = absorb_apt_distinctness(&mut d, apt, Card::One);
+            d.facts.push(fact);
+            d
+        }
+        Plan::Select { input: Some(input), apt } => {
+            let mut d = distinctness(input);
+            if let AptRoot::Lcl(anchor) = &apt.root {
+                let anchor_card =
+                    if d.atmost_one.contains(anchor) { Card::One } else { Card::Many };
+                let fresh = absorb_apt_distinctness(&mut d, apt, anchor_card);
+                if anchor_card == Card::One {
+                    // Outputs fanned out from one input differ on at least
+                    // one non-grouped new node; outputs from different
+                    // inputs differ on the old fact.
+                    for f in &mut d.facts {
+                        f.extend(fresh.iter().copied());
+                    }
+                } else {
+                    // Fan-out per anchor member: the new nodes cannot
+                    // witness which member anchored the extension.
+                    d.facts.clear();
+                }
+            }
+            d
+        }
+        Plan::Filter { input, .. } | Plan::Sort { input, .. } => distinctness(input),
+        Plan::Materialize { input, .. } | Plan::Illuminate { input, .. } => distinctness(input),
+        Plan::Project { input, keep } => {
+            let mut d = distinctness(input);
+            let keep_set: BTreeSet<LclId> = keep.iter().copied().collect();
+            d.atmost_one.retain(|l| keep_set.contains(l));
+            d.facts.retain(|f| f.is_subset(&keep_set));
+            d
+        }
+        Plan::DupElim { input, on, kind } => {
+            let mut d = distinctness(input);
+            if *kind == DedupKind::NodeId {
+                d.facts.push(on.iter().copied().collect());
+            }
+            d
+        }
+        Plan::Join { left, right, spec } => {
+            let lt = distinctness(left);
+            let rt = distinctness(right);
+            let mut d = Distinctness { atmost_one: lt.atmost_one, ..Default::default() };
+            if matches!(spec.right_mspec, MSpec::One | MSpec::Opt) {
+                d.atmost_one.extend(rt.atmost_one);
+            }
+            d.atmost_one.insert(spec.root_lcl);
+            // Every output tree is rooted at a freshly created temporary.
+            d.facts.push(std::iter::once(spec.root_lcl).collect());
+            d
+        }
+        Plan::Aggregate { input, new_lcl, .. } => {
+            let mut d = distinctness(input);
+            d.atmost_one.insert(*new_lcl);
+            // One fresh temporary per tree — distinct by construction.
+            d.facts.push(std::iter::once(*new_lcl).collect());
+            d
+        }
+        Plan::Flatten { input, child, .. } => {
+            let mut d = distinctness(input);
+            d.atmost_one.insert(*child);
+            // Trees fanned out from one input differ in the kept child.
+            for f in &mut d.facts {
+                f.insert(*child);
+            }
+            d
+        }
+        Plan::Shadow { input, .. } => {
+            // Fan-out copies differ only in shadow flags: identity tuples
+            // repeat across outputs (members_all is unchanged).
+            let mut d = distinctness(input);
+            d.facts.clear();
+            d
+        }
+        Plan::Construct { input, spec } => {
+            // Output trees are rebuilt; copied members may duplicate, so
+            // only the spec's own element classes (one fresh temporary per
+            // tree) survive.
+            let _ = distinctness(input);
+            let mut d = Distinctness::default();
+            let mut root = None;
+            collect_element_lcls(spec, &mut d.atmost_one, &mut root);
+            if let Some(r) = root {
+                d.facts.push(std::iter::once(r).collect());
+            }
+            d
+        }
+        // Grouping grafts members across trees and union concatenates
+        // branches that may repeat each other: nothing provable.
+        Plan::GroupBy { .. } | Plan::Union { .. } => Distinctness::default(),
+    }
+}
+
+/// Adds the One/Opt-cardinality classes of `apt` to `d.atmost_one` and
+/// returns them (the non-grouped embedding witnesses).
+fn absorb_apt_distinctness(d: &mut Distinctness, apt: &Apt, anchor_card: Card) -> BTreeSet<LclId> {
+    let mut fresh = BTreeSet::new();
+    let mut cards: Vec<Card> = Vec::with_capacity(apt.nodes.len());
+    for node in &apt.nodes {
+        let parent_card = match node.parent {
+            None => anchor_card,
+            Some(p) => cards[p],
+        };
+        let card = parent_card.step(node.mspec);
+        if card != Card::Many {
+            d.atmost_one.insert(node.lcl);
+            fresh.insert(node.lcl);
+        }
+        cards.push(card);
+    }
+    fresh
+}
+
+fn collect_element_lcls(
+    spec: &[ConstructItem],
+    out: &mut BTreeSet<LclId>,
+    root: &mut Option<LclId>,
+) {
+    for item in spec {
+        if let ConstructItem::Element { lcl, children, .. } = item {
+            if let Some(l) = lcl {
+                out.insert(*l);
+                if root.is_none() {
+                    *root = Some(*l);
+                }
+            }
+            let mut child_root = None;
+            collect_element_lcls(children, out, &mut child_root);
+        }
+    }
+}
+
+/// Classes whose members are executor-created *temporaries* rather than
+/// store nodes: Join output roots, Aggregate result classes, and Construct
+/// element classes. Temporary nodes serialize their result-tree children
+/// (store nodes serialize their stored subtree), so the liveness pruner
+/// must treat trees reachable through them as fully observable.
+pub fn temp_classes(plan: &Plan) -> BTreeSet<LclId> {
+    let mut out = BTreeSet::new();
+    collect_temp_classes(plan, &mut out);
+    out
+}
+
+fn collect_temp_classes(plan: &Plan, out: &mut BTreeSet<LclId>) {
+    match plan {
+        Plan::Select { input, .. } => {
+            if let Some(i) = input {
+                collect_temp_classes(i, out);
+            }
+        }
+        Plan::Join { left, right, spec } => {
+            out.insert(spec.root_lcl);
+            collect_temp_classes(left, out);
+            collect_temp_classes(right, out);
+        }
+        Plan::Aggregate { input, new_lcl, .. } => {
+            out.insert(*new_lcl);
+            collect_temp_classes(input, out);
+        }
+        Plan::Construct { input, spec } => {
+            let mut root = None;
+            collect_element_lcls(spec, out, &mut root);
+            collect_temp_classes(input, out);
         }
         Plan::Union { inputs, .. } => {
             for i in inputs {
-                collect_footprint(i, fp);
+                collect_temp_classes(i, out);
             }
         }
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::DupElim { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Flatten { input, .. }
+        | Plan::Shadow { input, .. }
+        | Plan::Illuminate { input, .. }
+        | Plan::GroupBy { input, .. }
+        | Plan::Materialize { input, .. } => collect_temp_classes(input, out),
     }
 }
 
@@ -811,12 +1174,108 @@ mod tests {
         };
         let fp = plan_footprint(&p);
         assert!(fp.docs.contains("a.xml") && fp.docs.contains("b.xml"));
-        for t in [10, 11, 20] {
-            assert!(fp.tags.contains(&TagId(t)));
+        for t in [10, 11] {
+            assert!(fp.doc_tags["a.xml"].contains(&TagId(t)));
         }
+        assert!(fp.doc_tags["b.xml"].contains(&TagId(20)));
         assert!(fp.overlaps("a.xml", &[TagId(10)]));
         assert!(!fp.overlaps("c.xml", &[TagId(10)]), "unread document never overlaps");
         assert!(!fp.overlaps("a.xml", &[TagId(99)]), "disjoint tags never overlap");
+        // Per-document attribution: b.xml's tag does not spill into a.xml.
+        assert!(!fp.overlaps("a.xml", &[TagId(20)]), "tags attribute to their own document");
+        assert!(fp.overlaps("b.xml", &[TagId(20)]));
+        // Axis steps: one descendant edge per side, one child edge on the left.
+        assert_eq!(fp.descendant_steps, 2);
+        assert_eq!(fp.child_steps, 1);
+    }
+
+    #[test]
+    fn footprint_attributes_extension_and_filter_preds() {
+        use crate::ops::filter::FilterMode;
+        use crate::pattern::ContentPred;
+        let mut ext = Apt::extending(LclId(2));
+        ext.add(
+            None,
+            AxisRel::Child,
+            MSpec::Opt,
+            TagId(12),
+            Some(ContentPred { op: CmpOp::Gt, value: PredValue::Num(25.0) }),
+            LclId(4),
+        );
+        let p = Plan::Filter {
+            input: Box::new(Plan::Select { input: Some(Box::new(doc_select())), apt: ext }),
+            lcl: LclId(2),
+            pred: FilterPred::Content(ContentPred {
+                op: CmpOp::Eq,
+                value: PredValue::Str("x".into()),
+            }),
+            mode: FilterMode::Every,
+        };
+        let fp = plan_footprint(&p);
+        // The extension select's tag is attributed to the chain's document.
+        assert!(fp.doc_tags["a.xml"].contains(&TagId(12)));
+        assert!(fp.tags.is_empty(), "every tag is attributable in a verifiable plan");
+        assert_eq!(fp.preds.len(), 2);
+        assert!(fp.preds.iter().any(|p| p.tag == TagId(12) && p.op == CmpOp::Gt));
+        assert!(fp.preds.iter().any(|p| p.tag == TagId(10) && p.op == CmpOp::Eq));
+    }
+
+    #[test]
+    fn distinctness_tracks_singletons_and_facts() {
+        // doc select: classes 2 (One) distinct witness; 3 (Many) not.
+        let d = distinctness(&doc_select());
+        assert!(d.atmost_one.contains(&LclId(1)) && d.atmost_one.contains(&LclId(2)));
+        assert!(!d.atmost_one.contains(&LclId(3)));
+        assert!(d.proves_distinct_on(&[LclId(2)]));
+        assert!(!d.proves_distinct_on(&[LclId(3)]), "grouped classes never prove distinctness");
+        assert!(!d.proves_distinct_on(&[LclId(1)]), "the shared document root is no witness");
+
+        // A NodeId DupElim over class 2 is therefore provably redundant…
+        let de = Plan::DupElim {
+            input: Box::new(doc_select()),
+            on: vec![LclId(2)],
+            kind: DedupKind::NodeId,
+        };
+        assert!(distinctness(&Plan::Project { input: Box::new(de.clone()), keep: vec![LclId(2)] })
+            .proves_distinct_on(&[LclId(2)]));
+
+        // …but a Content DupElim proves nothing about identity.
+        let dc = Plan::DupElim {
+            input: Box::new(Plan::Shadow {
+                input: Box::new(doc_select()),
+                parent: LclId(2),
+                child: LclId(3),
+            }),
+            on: vec![LclId(2)],
+            kind: DedupKind::Content,
+        };
+        assert!(
+            !distinctness(&dc).proves_distinct_on(&[LclId(2)]),
+            "shadow fan-out repeats identity tuples"
+        );
+    }
+
+    #[test]
+    fn temp_classes_cover_join_aggregate_construct() {
+        use xquery::AggFunc;
+        let agg = Plan::Aggregate {
+            input: Box::new(doc_select()),
+            func: AggFunc::Count,
+            over: LclId(3),
+            new_lcl: LclId(4),
+        };
+        let c = Plan::Construct {
+            input: Box::new(agg),
+            spec: vec![ConstructItem::Element {
+                tag: "out".into(),
+                lcl: Some(LclId(5)),
+                attrs: vec![],
+                children: vec![ConstructItem::LclRef { lcl: LclId(3), hidden: false }],
+            }],
+        };
+        let temps = temp_classes(&c);
+        assert!(temps.contains(&LclId(4)) && temps.contains(&LclId(5)));
+        assert!(!temps.contains(&LclId(2)), "pattern classes are store-sourced");
     }
 
     #[test]

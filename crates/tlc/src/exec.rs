@@ -259,6 +259,92 @@ fn collect_chain_keys(plan: &Plan, out: &mut Vec<String>) {
     }
 }
 
+/// Every match-cache key an execution of `plan` can touch, paired with the
+/// precise [`crate::Footprint`] of exactly the chain that entry answers
+/// for. A chain's footprint is a subset of the whole plan's, so the query
+/// service can carry a *chain* entry across an update epoch even when the
+/// enclosing plan as a whole reads mutated data. Sorted and deduplicated
+/// by key.
+pub fn match_chain_footprints(plan: &Plan) -> Vec<(String, crate::analyze::Footprint)> {
+    let mut out = Vec::new();
+    collect_chain_footprints(plan, &mut out);
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out.dedup_by(|a, b| a.0 == b.0);
+    out
+}
+
+fn collect_chain_footprints(plan: &Plan, out: &mut Vec<(String, crate::analyze::Footprint)>) {
+    if let Some(key) = match_chain_key(plan) {
+        out.push((key, crate::analyze::plan_footprint(plan)));
+    }
+    for input in plan.inputs() {
+        collect_chain_footprints(input, out);
+    }
+}
+
+/// Checks an observed result set against the plan's statically inferred
+/// [`crate::PlanType`] — the runtime half of the analyzer soundness oracle.
+///
+/// Verified claims:
+/// - a class inferred [`crate::Card::One`] has exactly one visible member
+///   in every output tree, and [`crate::Card::Opt`] at most one;
+/// - when the analyzer claims [`crate::analyze::Order::Document`], result
+///   roots are non-decreasing in document order.
+///
+/// Plans containing `Construct` or `GroupBy` are skipped entirely:
+/// Construct may copy a member into several constructed elements and
+/// GroupBy grafts members across trees, so per-tree member counts
+/// legitimately diverge from the per-class cards. Plans containing `Union`
+/// skip only the order check (branch concatenation interleaves documents).
+/// An unanalyzable plan trivially conforms. Debug builds run this check on
+/// every executed (sub)plan, so the whole test suite doubles as a
+/// differential test of the analyzer.
+pub fn check_conformance(plan: &Plan, trees: &[ResultTree]) -> std::result::Result<(), String> {
+    let t = match crate::analyze::analyze(plan) {
+        Ok(t) => t,
+        Err(_) => return Ok(()),
+    };
+    if contains(plan, &mut |p| matches!(p, Plan::Construct { .. } | Plan::GroupBy { .. })) {
+        return Ok(());
+    }
+    for (i, tree) in trees.iter().enumerate() {
+        for (&lcl, &card) in &t.classes {
+            let n = tree.members(lcl).len();
+            let ok = match card {
+                crate::analyze::Card::One => n == 1,
+                crate::analyze::Card::Opt => n <= 1,
+                crate::analyze::Card::Many => true,
+            };
+            if !ok {
+                return Err(format!(
+                    "tree {i}: class {lcl} has {n} member(s) but the analyzer claims {card:?}"
+                ));
+            }
+        }
+    }
+    if t.order == crate::analyze::Order::Document
+        && !contains(plan, &mut |p| matches!(p, Plan::Union { .. }))
+    {
+        let mut prev = None;
+        for (i, tree) in trees.iter().enumerate() {
+            let key = tree.order_key();
+            if let Some(p) = prev {
+                if key < p {
+                    return Err(format!(
+                        "tree {i} breaks the claimed document order (root {key:?} < {p:?})"
+                    ));
+                }
+            }
+            prev = Some(key);
+        }
+    }
+    Ok(())
+}
+
+fn contains(plan: &Plan, pred: &mut impl FnMut(&Plan) -> bool) -> bool {
+    pred(plan) || plan.inputs().into_iter().any(|i| contains(i, pred))
+}
+
 /// One operator's measurements from a traced execution.
 #[derive(Debug, Clone)]
 pub struct OpTrace {
@@ -438,13 +524,26 @@ fn run(db: &Database, plan: &Plan, ctx: &mut ExecCtx) -> Result<Vec<ResultTree>>
                 ctx.stats.match_cache_hits += 1;
                 return Ok((*hit).clone());
             }
-            let trees = run_op(db, plan, ctx)?;
+            let trees = run_checked(db, plan, ctx)?;
             ctx.stats.match_cache_misses += 1;
             cache.put(&key, &trees);
             return Ok(trees);
         }
     }
-    run_op(db, plan, ctx)
+    run_checked(db, plan, ctx)
+}
+
+/// Runs one operator and, in debug builds, checks the observed output
+/// against the analyzer's claims ([`check_conformance`]) — every executed
+/// subplan in the test suite exercises the soundness oracle. Cache hits are
+/// not re-checked: the entry conformed when it was produced.
+fn run_checked(db: &Database, plan: &Plan, ctx: &mut ExecCtx) -> Result<Vec<ResultTree>> {
+    let trees = run_op(db, plan, ctx)?;
+    #[cfg(debug_assertions)]
+    if let Err(msg) = check_conformance(plan, &trees) {
+        panic!("analyzer conformance violation: {msg}\nplan:\n{}", plan.display(Some(db)));
+    }
+    Ok(trees)
 }
 
 fn run_op(db: &Database, plan: &Plan, ctx: &mut ExecCtx) -> Result<Vec<ResultTree>> {

@@ -1,0 +1,405 @@
+//! Seeded random generation of *valid* TLC plans.
+//!
+//! The generator is the supply side of the differential soundness oracle
+//! (`experiments lintcheck`): it produces hundreds of structurally diverse
+//! plans per run, every one of which passes [`crate::analyze::verify`] by
+//! construction, so the oracle can compare what the static analyses claim
+//! (cardinalities, distinctness, liveness, footprints) against what actually
+//! happens when the plan executes. The same generator feeds the negative
+//! plan-mutation tests: a valid plan is the starting point that mutations
+//! then break.
+//!
+//! Generation strategy: start from a document-anchored Select whose APT is
+//! grown randomly (axes, matching specifications, tags drawn from the
+//! database's interner — including tags that occur in *other* documents,
+//! which is what exercises the statically-empty-select lint), then attempt
+//! up to four wrapper operators (Filter, extension Select, Project, DupElim,
+//! Sort, Aggregate, Union, value Join) and optionally a final Construct.
+//! Every candidate wrapper is gated by the verifier; rejected candidates are
+//! simply skipped, so the output is always a well-typed plan. Class labels
+//! are drawn from one monotone counter, keeping them plan-wide unique even
+//! across the two sides of a Join.
+//!
+//! Determinism: the only entropy source is an inline splitmix64 stream
+//! seeded by the caller, so a `(database, document, seed)` triple always
+//! yields the same plan — which is what lets the oracle print reproducible
+//! seeds for any violation it finds.
+
+use crate::analyze::{self, Card};
+use crate::logical_class::LclId;
+use crate::ops::construct::ConstructItem;
+use crate::ops::dupelim::DedupKind;
+use crate::ops::filter::{FilterMode, FilterPred};
+use crate::ops::join::{JoinPred, JoinSpec};
+use crate::ops::sort::SortKey;
+use crate::pattern::{Apt, ContentPred, MSpec, PredValue};
+use crate::plan::Plan;
+use xmldb::{AxisRel, Database, TagId};
+use xquery::{AggFunc, CmpOp};
+
+/// A generated plan plus the bookkeeping the oracle reports on.
+#[derive(Debug, Clone)]
+pub struct GenPlan {
+    /// The plan; verified (`analyze::verify(..).is_ok()`) by construction.
+    pub plan: Plan,
+    /// How many wrapper operators were accepted on top of the base Select.
+    pub wrappers: usize,
+    /// The seed that produced this plan (echoed for reproducibility).
+    pub seed: u64,
+}
+
+/// Generates one random, verifier-approved plan over `doc`.
+///
+/// `doc` must name a document loaded in `db` (the generator cannot
+/// enumerate documents itself). Tags are drawn from the whole interner, so
+/// patterns may test tags that never occur under `doc` — deliberately: those
+/// are the plans the statically-empty-select lint must be sound on.
+pub fn random_plan(db: &Database, doc: &str, seed: u64) -> GenPlan {
+    let mut rng = Rng(seed);
+    let tags = element_tags(db);
+    let mut next = 1u32;
+    let root_lcl = fresh(&mut next);
+    let mut apt = Apt::for_document(doc, root_lcl);
+    if !tags.is_empty() {
+        grow_apt(&mut rng, &mut apt, &tags, &mut next, 3);
+    }
+    let mut plan = Plan::Select { input: None, apt };
+    let mut wrappers = 0;
+    for _ in 0..rng.below(5) {
+        let Ok(t) = analyze::analyze(&plan) else { break };
+        let temps = analyze::temp_classes(&plan);
+        let classes: Vec<LclId> = t.classes.keys().copied().collect();
+        let singles: Vec<LclId> =
+            t.classes.iter().filter(|&(_, c)| *c != Card::Many).map(|(l, _)| *l).collect();
+        let base: Vec<LclId> = classes.iter().copied().filter(|l| !temps.contains(l)).collect();
+        let cand = match rng.below(8) {
+            0 => wrap_filter(&mut rng, &plan, &classes, &singles),
+            1 => wrap_ext_select(&mut rng, &plan, &tags, &base, &mut next),
+            2 => wrap_project(&mut rng, &plan, &classes),
+            3 => wrap_dupelim(&mut rng, &plan, &singles),
+            4 => wrap_sort(&mut rng, &plan, &singles),
+            5 => wrap_aggregate(&mut rng, &plan, &classes, &mut next),
+            6 => wrap_union(&mut rng, &plan, &singles),
+            _ => wrap_join(&mut rng, &plan, doc, &tags, &singles, &mut next),
+        };
+        if let Some(c) = cand {
+            if analyze::verify(&c).is_ok() {
+                plan = c;
+                wrappers += 1;
+            }
+        }
+    }
+    if rng.chance(30) {
+        if let Some(c) = wrap_construct(&mut rng, &plan, &mut next) {
+            if analyze::verify(&c).is_ok() {
+                plan = c;
+                wrappers += 1;
+            }
+        }
+    }
+    debug_assert!(analyze::verify(&plan).is_ok());
+    GenPlan { plan, wrappers, seed }
+}
+
+/// splitmix64 — the usual 64-bit mixer; tiny, dependency-free, and good
+/// enough for structural fuzzing.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn chance(&mut self, pct: usize) -> bool {
+        self.below(100) < pct
+    }
+}
+
+fn fresh(next: &mut u32) -> LclId {
+    let l = LclId(*next);
+    *next += 1;
+    l
+}
+
+fn pick<T: Copy>(rng: &mut Rng, xs: &[T]) -> Option<T> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs[rng.below(xs.len())])
+    }
+}
+
+/// Every interned element tag: the document/text sentinels and attribute
+/// tags (`@…`) are excluded, absent-in-this-document tags are kept.
+fn element_tags(db: &Database) -> Vec<TagId> {
+    let it = db.interner();
+    let (doc, text) = (it.doc_tag(), it.text_tag());
+    (0..it.len() as u32)
+        .map(TagId)
+        .filter(|&t| t != doc && t != text && !it.name(t).starts_with('@'))
+        .collect()
+}
+
+fn random_pred(rng: &mut Rng) -> ContentPred {
+    let op = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][rng.below(6)];
+    let value = if rng.chance(70) {
+        PredValue::Num(rng.below(200) as f64)
+    } else {
+        PredValue::Str(["1", "a", "person0"][rng.below(3)].into())
+    };
+    ContentPred { op, value }
+}
+
+fn random_mspec(rng: &mut Rng) -> MSpec {
+    match rng.below(100) {
+        x if x < 35 => MSpec::One,
+        x if x < 55 => MSpec::Opt,
+        x if x < 85 => MSpec::Star,
+        _ => MSpec::Plus,
+    }
+}
+
+/// Adds 1..=`max_new` random pattern nodes, each attached to the anchor or
+/// to a previously added node.
+fn grow_apt(rng: &mut Rng, apt: &mut Apt, tags: &[TagId], next: &mut u32, max_new: usize) {
+    let n = 1 + rng.below(max_new);
+    let mut parents: Vec<Option<usize>> = vec![None];
+    for _ in 0..n {
+        let parent = parents[rng.below(parents.len())];
+        let axis = if rng.chance(60) { AxisRel::Descendant } else { AxisRel::Child };
+        let tag = tags[rng.below(tags.len())];
+        let pred = if rng.chance(20) { Some(random_pred(rng)) } else { None };
+        let lcl = fresh(next);
+        let i = apt.add(parent, axis, random_mspec(rng), tag, pred, lcl);
+        parents.push(Some(i));
+    }
+}
+
+fn wrap_filter(rng: &mut Rng, plan: &Plan, classes: &[LclId], singles: &[LclId]) -> Option<Plan> {
+    let lcl = pick(rng, classes)?;
+    let mode = [FilterMode::Every, FilterMode::Alo, FilterMode::Ex][rng.below(3)];
+    let pred = if rng.chance(20) && singles.len() >= 2 {
+        // within-tree value comparison; `other` must be a singleton class
+        let other = pick(rng, singles)?;
+        let op = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Gt][rng.below(4)];
+        FilterPred::CmpLcl { op, other }
+    } else {
+        FilterPred::Content(random_pred(rng))
+    };
+    Some(Plan::Filter { input: Box::new(plan.clone()), lcl, pred, mode })
+}
+
+fn wrap_ext_select(
+    rng: &mut Rng,
+    plan: &Plan,
+    tags: &[TagId],
+    base: &[LclId],
+    next: &mut u32,
+) -> Option<Plan> {
+    if tags.is_empty() {
+        return None;
+    }
+    // anchor on a base-data class only: temp members have no stored subtree
+    // to navigate from
+    let anchor = pick(rng, base)?;
+    let mut apt = Apt::extending(anchor);
+    grow_apt(rng, &mut apt, tags, next, 2);
+    Some(Plan::Select { input: Some(Box::new(plan.clone())), apt })
+}
+
+fn wrap_project(rng: &mut Rng, plan: &Plan, classes: &[LclId]) -> Option<Plan> {
+    let mut keep: Vec<LclId> = classes.iter().copied().filter(|_| rng.chance(60)).collect();
+    if keep.is_empty() {
+        keep.push(pick(rng, classes)?);
+    }
+    Some(Plan::Project { input: Box::new(plan.clone()), keep })
+}
+
+fn wrap_dupelim(rng: &mut Rng, plan: &Plan, singles: &[LclId]) -> Option<Plan> {
+    // keys are drawn from One/Opt-card classes so the executor's singleton
+    // requirement is met by the analyzer's own claim (which the conformance
+    // oracle independently checks)
+    let first = pick(rng, singles)?;
+    let mut on = vec![first];
+    if singles.len() > 1 && rng.chance(40) {
+        let second = pick(rng, singles)?;
+        if second != first {
+            on.push(second);
+        }
+    }
+    on.sort();
+    let kind = if rng.chance(80) { DedupKind::NodeId } else { DedupKind::Content };
+    Some(Plan::DupElim { input: Box::new(plan.clone()), on, kind })
+}
+
+fn wrap_sort(rng: &mut Rng, plan: &Plan, singles: &[LclId]) -> Option<Plan> {
+    let n = 1 + rng.below(2);
+    let mut keys = Vec::new();
+    for _ in 0..n {
+        keys.push(SortKey { lcl: pick(rng, singles)?, descending: rng.chance(30) });
+    }
+    Some(Plan::Sort { input: Box::new(plan.clone()), keys })
+}
+
+fn wrap_aggregate(rng: &mut Rng, plan: &Plan, classes: &[LclId], next: &mut u32) -> Option<Plan> {
+    let over = pick(rng, classes)?;
+    let func = if rng.chance(70) { AggFunc::Count } else { AggFunc::Sum };
+    let new_lcl = fresh(next);
+    Some(Plan::Aggregate { input: Box::new(plan.clone()), func, over, new_lcl })
+}
+
+fn wrap_union(rng: &mut Rng, plan: &Plan, singles: &[LclId]) -> Option<Plan> {
+    let dedup_on = if rng.chance(50) {
+        pick(rng, singles).map(|l| vec![l]).unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    Some(Plan::Union { inputs: vec![plan.clone(), plan.clone()], dedup_on })
+}
+
+fn wrap_join(
+    rng: &mut Rng,
+    plan: &Plan,
+    doc: &str,
+    tags: &[TagId],
+    singles: &[LclId],
+    next: &mut u32,
+) -> Option<Plan> {
+    if tags.is_empty() {
+        return None;
+    }
+    let left_key = pick(rng, singles)?;
+    let mut right_apt = Apt::for_document(doc, fresh(next));
+    grow_apt(rng, &mut right_apt, tags, next, 2);
+    let right = Plan::Select { input: None, apt: right_apt };
+    let rt = analyze::analyze(&right).ok()?;
+    let right_singles: Vec<LclId> =
+        rt.classes.iter().filter(|&(_, c)| *c != Card::Many).map(|(l, _)| *l).collect();
+    let right_key = pick(rng, &right_singles)?;
+    let root_lcl = fresh(next);
+    let right_mspec = [MSpec::One, MSpec::Opt, MSpec::Star, MSpec::Plus][rng.below(4)];
+    // biased toward Eq: inequality joins are near-cross-products
+    let op = if rng.chance(70) { CmpOp::Eq } else { [CmpOp::Lt, CmpOp::Gt][rng.below(2)] };
+    Some(Plan::Join {
+        left: Box::new(plan.clone()),
+        right: Box::new(right),
+        spec: JoinSpec {
+            root_lcl,
+            right_mspec,
+            pred: Some(JoinPred::value(left_key, op, right_key)),
+            dedup_right_on: None,
+        },
+    })
+}
+
+fn wrap_construct(rng: &mut Rng, plan: &Plan, next: &mut u32) -> Option<Plan> {
+    let t = analyze::analyze(plan).ok()?;
+    // never reference the current tree root: for a plain document select that
+    // is the doc root, and copying a whole document dwarfs everything else
+    let picks: Vec<LclId> = t.classes.keys().copied().filter(|l| Some(*l) != t.root).collect();
+    let content = pick(rng, &picks)?;
+    let elem_lcl = fresh(next);
+    let child = if rng.chance(60) {
+        ConstructItem::LclRef { lcl: content, hidden: false }
+    } else {
+        ConstructItem::LclText(content)
+    };
+    let spec = vec![ConstructItem::Element {
+        tag: "result".into(),
+        lcl: Some(elem_lcl),
+        attrs: Vec::new(),
+        children: vec![child],
+    }];
+    Some(Plan::Construct { input: Box::new(plan.clone()), spec })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.load_xml(
+            "auction.xml",
+            r#"<site><people>
+                 <person id="person0"><name>Ann</name><age>30</age></person>
+                 <person id="person1"><name>Bo</name><age>17</age></person>
+                 <person id="person2"><name>Cy</name></person>
+               </people>
+               <regions><europe>
+                 <item id="item0"><name>gold watch</name><price>120</price></item>
+                 <item id="item1"><name>tin cup</name><price>1</price></item>
+               </europe></regions></site>"#,
+        )
+        .unwrap();
+        // a second document so the tag pool contains names absent from
+        // auction.xml — the statically-empty-select scenario
+        db.load_xml("other.xml", "<catalog><entry>x</entry></catalog>").unwrap();
+        db
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let db = db();
+        for seed in 0..20 {
+            let a = random_plan(&db, "auction.xml", seed);
+            let b = random_plan(&db, "auction.xml", seed);
+            assert_eq!(a.plan, b.plan, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_generated_plan_verifies() {
+        let db = db();
+        for seed in 0..300 {
+            let g = random_plan(&db, "auction.xml", seed);
+            assert!(
+                analyze::verify(&g.plan).is_ok(),
+                "seed {seed} produced an unverifiable plan:\n{}",
+                g.plan.display(Some(&db))
+            );
+        }
+    }
+
+    #[test]
+    fn generated_plans_execute_and_prune_byte_identically() {
+        let db = db();
+        for seed in 0..120 {
+            let g = random_plan(&db, "auction.xml", seed);
+            // execution runs the debug conformance hook on every operator
+            let out = crate::execute_to_string(&db, &g.plan)
+                .unwrap_or_else(|e| panic!("seed {seed} failed at runtime: {e}"));
+            let (pruned, _) = crate::rewrite::prune_with_report(&g.plan);
+            assert!(analyze::verify(&pruned).is_ok(), "seed {seed}: pruned plan unverifiable");
+            let pruned_out = crate::execute_to_string(&db, &pruned)
+                .unwrap_or_else(|e| panic!("seed {seed} pruned failed at runtime: {e}"));
+            assert_eq!(out, pruned_out, "seed {seed}: pruning changed the output");
+        }
+    }
+
+    #[test]
+    fn generator_covers_wrappers_and_construct() {
+        let db = db();
+        let mut multi_wrapper = 0;
+        let mut constructs = 0;
+        for seed in 0..300 {
+            let g = random_plan(&db, "auction.xml", seed);
+            if g.wrappers >= 2 {
+                multi_wrapper += 1;
+            }
+            if matches!(g.plan, Plan::Construct { .. }) {
+                constructs += 1;
+            }
+        }
+        assert!(multi_wrapper > 30, "only {multi_wrapper} plans had ≥2 wrappers");
+        assert!(constructs > 10, "only {constructs} plans ended in Construct");
+    }
+}

@@ -24,9 +24,17 @@
 //!   covering the Figure 5 fragment including nested FLWOR.
 //! * [`rewrite`] — the Flatten and Shadow/Illuminate rewrite rules (§4.2,
 //!   §4.3).
-//! * [`mod@analyze`] — static LC dataflow analysis: type-checks every
-//!   operator's class references and acts as a differential oracle for the
-//!   rewrite passes.
+//! * [`mod@analyze`] — the multi-pass static analysis framework:
+//!   type-checks every operator's class references (the dataflow verifier
+//!   and differential oracle for the rewrite passes), infers per-operator
+//!   read-effect footprints for cache carry-over, and proves distinctness
+//!   facts that justify dead-code pruning.
+//! * [`mod@lint`] — structured diagnostics over verified plans (statically
+//!   empty selects, contradictory predicates, redundant DupElims, dead
+//!   Project columns), surfaced through the service's `.explain` command.
+//! * [`generator`] — a seeded random generator of *valid* plans, shared by
+//!   the negative plan-mutation tests and the `experiments lintcheck`
+//!   soundness oracle.
 //! * [`optimizer`] — a cost model over index statistics that decides when
 //!   the rewrites pay off (the decision the paper defers to an optimizer).
 //! * [`output`] — result serialization.
@@ -53,7 +61,9 @@
 pub mod analyze;
 pub mod error;
 pub mod exec;
+pub mod generator;
 pub mod guide;
+pub mod lint;
 pub mod logical_class;
 pub mod matching;
 pub mod ops;
@@ -67,18 +77,27 @@ pub mod stats;
 pub mod translate;
 pub mod tree;
 
-pub use analyze::{analyze, plan_footprint, verify, AnalyzeError, Card, Footprint, PlanType};
+pub use analyze::{
+    analyze, distinctness, plan_footprint, temp_classes, verify, AnalyzeError, Card, Distinctness,
+    Footprint, PlanType, PredDomain,
+};
 pub use error::{Error, Result};
 pub use exec::{
-    execute, execute_to_string, execute_traced, execute_with_ctx, execute_with_deadline,
-    match_chain_key, match_chain_keys, render_trace, ExecCtx, MatchCache, OpTrace,
+    check_conformance, execute, execute_to_string, execute_traced, execute_with_ctx,
+    execute_with_deadline, match_chain_footprints, match_chain_key, match_chain_keys, render_trace,
+    ExecCtx, MatchCache, OpTrace,
 };
+pub use generator::{random_plan, GenPlan};
+pub use lint::{lint, Lint, LintCode};
 pub use logical_class::{LclGen, LclId};
 pub use optimizer::{optimize_costed, optimize_costed_with, CostModel};
 pub use output::{serialize_results, serialize_tree};
 pub use pattern::{Apt, AptRoot, ContentPred, MSpec, PredValue};
 pub use plan::Plan;
-pub use rewrite::{optimize, optimize_verified, RewriteViolation};
+pub use rewrite::{
+    optimize, optimize_verified, prune_dead_classes, prune_with_report, PruneReport,
+    RewriteViolation,
+};
 pub use stats::ExecStats;
 pub use translate::{translate, translate_with_style, Style};
 pub use tree::{RNodeId, RSource, ResultTree, TempIdGen};

@@ -1,0 +1,404 @@
+//! Static lint diagnostics over verified plans.
+//!
+//! Where [`mod@crate::analyze`] rejects *invalid* plans, the linter warns about
+//! *suspicious-but-valid* ones: work the plan provably does not need, or
+//! patterns that can never produce a result against the target database.
+//! Each warning is a structured [`Lint`] so callers (the `.explain`
+//! protocol command, `.metrics` counters) can render or count them without
+//! parsing text. Lints never change a plan — the analysis-justified
+//! rewrites in [`crate::rewrite`] do that, and the overlap is intentional:
+//! a lint names what the optimizer *would* remove.
+
+use crate::analyze;
+use crate::logical_class::LclId;
+use crate::ops::dupelim::DedupKind;
+use crate::ops::filter::FilterPred;
+use crate::pattern::{Apt, AptRoot, PredValue};
+use crate::plan::Plan;
+use crate::rewrite;
+use std::fmt;
+use xmldb::Database;
+use xquery::CmpOp;
+
+/// The category of a lint warning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintCode {
+    /// A Select matches a tag with no occurrence in the database's tag
+    /// index: the pattern node can never match, and if it sits on a
+    /// required (`-`/`+`) path the whole query is statically empty.
+    EmptySelect,
+    /// Two value predicates over the same class are mutually
+    /// unsatisfiable (e.g. `= 3` and `> 5`).
+    ContradictoryPredicates,
+    /// A NodeId DupElim whose input [`analyze::distinctness`] proves
+    /// already distinct on the key — a provable no-op.
+    RedundantDupElim,
+    /// A Project keeps a class no downstream operator reads.
+    DeadProjectColumn,
+}
+
+impl LintCode {
+    /// Stable kebab-case slug used in rendered diagnostics.
+    pub fn slug(self) -> &'static str {
+        match self {
+            LintCode::EmptySelect => "empty-select",
+            LintCode::ContradictoryPredicates => "contradictory-predicates",
+            LintCode::RedundantDupElim => "redundant-dupelim",
+            LintCode::DeadProjectColumn => "dead-project-column",
+        }
+    }
+}
+
+/// One structured lint warning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// What kind of problem this is.
+    pub code: LintCode,
+    /// Human-readable description naming the offending class/tag.
+    pub message: String,
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "warning[{}]: {}", self.code.slug(), self.message)
+    }
+}
+
+/// Runs every lint over `plan` against `db`'s indexes. Order is stable:
+/// empty selects, contradictory predicates, redundant DupElims, dead
+/// Project columns.
+pub fn lint(plan: &Plan, db: &Database) -> Vec<Lint> {
+    let mut out = Vec::new();
+    lint_empty_selects(plan, db, &mut out);
+    lint_contradictory_predicates(plan, db, &mut out);
+    lint_redundant_dupelims(plan, &mut out);
+    lint_dead_project_columns(plan, &mut out);
+    out
+}
+
+fn for_each_op(plan: &Plan, f: &mut impl FnMut(&Plan)) {
+    f(plan);
+    for i in plan.inputs() {
+        for_each_op(i, f);
+    }
+}
+
+// ---------------------------------------------------------------------
+// empty-select
+// ---------------------------------------------------------------------
+
+fn lint_empty_selects(plan: &Plan, db: &Database, out: &mut Vec<Lint>) {
+    for_each_op(plan, &mut |p| {
+        let Plan::Select { input, apt } = p else { return };
+        for (i, node) in apt.nodes.iter().enumerate() {
+            let name = db.interner().name(node.tag);
+            if !db.nodes_with_tag(&name).is_empty() {
+                continue;
+            }
+            let required =
+                required_path(apt, i) && anchor_always_present(&apt.root, input.as_deref());
+            let consequence = if required {
+                "the pattern is on a required path, so the result is statically empty"
+            } else {
+                "the branch can never match"
+            };
+            let target = match &apt.root {
+                AptRoot::Document { name, .. } => format!("document {name}"),
+                AptRoot::Lcl(l) => format!("extension of class {l}"),
+            };
+            out.push(Lint {
+                code: LintCode::EmptySelect,
+                message: format!(
+                    "select over {target} matches tag '{name}' (class {}) which is absent \
+                     from the tag index; {consequence}",
+                    node.lcl
+                ),
+            });
+        }
+    });
+}
+
+/// Whether every input tree is guaranteed to contain an anchor member for
+/// the select's pattern. Document-rooted selects always anchor (the match
+/// starts at the document root); extension selects only when the input
+/// type pins the anchor class to exactly one member per tree. Without this
+/// guarantee a tree with *no* anchor member passes through the select
+/// vacuously, so even an unmatchable required pattern does not make the
+/// result statically empty — the differential oracle caught exactly that
+/// over-claim on random plans with `?`-card anchors.
+fn anchor_always_present(root: &AptRoot, input: Option<&Plan>) -> bool {
+    match root {
+        AptRoot::Document { .. } => true,
+        AptRoot::Lcl(anchor) => input
+            .and_then(|p| analyze::analyze(p).ok())
+            .is_some_and(|t| t.classes.get(anchor) == Some(&analyze::Card::One)),
+    }
+}
+
+/// Is node `i` reachable from the anchor over non-optional (`-`/`+`)
+/// edges only? Then zero matches for it drop every tree.
+fn required_path(apt: &Apt, i: usize) -> bool {
+    let mut cur = Some(i);
+    while let Some(c) = cur {
+        if apt.nodes[c].mspec.optional() {
+            return false;
+        }
+        cur = apt.nodes[c].parent;
+    }
+    true
+}
+
+// ---------------------------------------------------------------------
+// contradictory-predicates
+// ---------------------------------------------------------------------
+
+fn lint_contradictory_predicates(plan: &Plan, db: &Database, out: &mut Vec<Lint>) {
+    // Gather every (op, value) constraint per class: APT node predicates
+    // (members satisfy them by construction) plus content Filters.
+    let mut preds: Vec<(LclId, CmpOp, PredValue)> = Vec::new();
+    for_each_op(plan, &mut |p| match p {
+        Plan::Select { apt, .. } => {
+            for node in &apt.nodes {
+                if let Some(pr) = &node.pred {
+                    preds.push((node.lcl, pr.op, pr.value.clone()));
+                }
+            }
+            lint_sibling_contradictions(apt, db, out);
+        }
+        Plan::Filter { lcl, pred: FilterPred::Content(pr), .. } => {
+            preds.push((*lcl, pr.op, pr.value.clone()));
+        }
+        _ => {}
+    });
+    let mut classes: Vec<LclId> = preds.iter().map(|(l, _, _)| *l).collect();
+    classes.sort();
+    classes.dedup();
+    for lcl in classes {
+        let own: Vec<(CmpOp, PredValue)> =
+            preds.iter().filter(|(l, _, _)| *l == lcl).map(|(_, op, v)| (*op, v.clone())).collect();
+        if let Some((a, b)) = find_contradiction(&own) {
+            out.push(Lint {
+                code: LintCode::ContradictoryPredicates,
+                message: format!(
+                    "class {lcl} has mutually unsatisfiable value predicates: \
+                     {} vs {}",
+                    render_pred(&a),
+                    render_pred(&b)
+                ),
+            });
+        }
+    }
+}
+
+/// The translator gives every path expression its own pattern node, so
+/// `$p/age > 40 AND $p/age < 10` becomes two *sibling* APT nodes over the
+/// same tag whose predicates draw from one candidate set. Flag sibling
+/// same-tag nodes under the same parent with jointly unsatisfiable
+/// predicates: no single element can satisfy both (distinct siblings still
+/// could, hence a warning, not a rewrite).
+fn lint_sibling_contradictions(apt: &Apt, db: &Database, out: &mut Vec<Lint>) {
+    use std::collections::BTreeMap;
+    // Grouping key: (parent slot, descendant axis?, tag id).
+    type SiblingKey = (Option<usize>, bool, u32);
+    let mut groups: BTreeMap<SiblingKey, Vec<(CmpOp, PredValue)>> = BTreeMap::new();
+    for node in &apt.nodes {
+        if let Some(pr) = &node.pred {
+            let desc = matches!(node.axis, xmldb::AxisRel::Descendant);
+            groups
+                .entry((node.parent, desc, node.tag.0))
+                .or_default()
+                .push((pr.op, pr.value.clone()));
+        }
+    }
+    for ((_, _, tag), own) in groups {
+        if own.len() < 2 {
+            continue;
+        }
+        if let Some((a, b)) = find_contradiction(&own) {
+            let name = db.interner().name(xmldb::TagId(tag));
+            out.push(Lint {
+                code: LintCode::ContradictoryPredicates,
+                message: format!(
+                    "sibling pattern nodes on tag '{name}' carry mutually unsatisfiable \
+                     predicates ({} vs {}): no single element satisfies both",
+                    render_pred(&a),
+                    render_pred(&b)
+                ),
+            });
+        }
+    }
+}
+
+fn render_pred((op, v): &(CmpOp, PredValue)) -> String {
+    let sym = match op {
+        CmpOp::Eq => "=",
+        CmpOp::Ne => "!=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+        CmpOp::Contains => "contains",
+    };
+    match v {
+        PredValue::Num(n) => format!("{sym} {n}"),
+        PredValue::Str(s) => format!("{sym} '{s}'"),
+    }
+}
+
+type PredPair = ((CmpOp, PredValue), (CmpOp, PredValue));
+
+/// Finds one pair of jointly unsatisfiable constraints, if any: two
+/// distinct equalities, or an empty numeric interval.
+fn find_contradiction(preds: &[(CmpOp, PredValue)]) -> Option<PredPair> {
+    for (i, a) in preds.iter().enumerate() {
+        for b in &preds[i + 1..] {
+            let clash = match (a, b) {
+                ((CmpOp::Eq, x), (CmpOp::Eq, y)) => {
+                    std::mem::discriminant(x) == std::mem::discriminant(y) && x != y
+                }
+                _ => numeric_clash(a, b),
+            };
+            if clash {
+                return Some((a.clone(), b.clone()));
+            }
+        }
+    }
+    None
+}
+
+/// Do two numeric range constraints exclude each other?
+fn numeric_clash(a: &(CmpOp, PredValue), b: &(CmpOp, PredValue)) -> bool {
+    let bounds = |p: &(CmpOp, PredValue)| -> Option<(f64, bool, f64, bool)> {
+        let PredValue::Num(n) = p.1 else { return None };
+        // (lower, lower-strict, upper, upper-strict)
+        Some(match p.0 {
+            CmpOp::Eq => (n, false, n, false),
+            CmpOp::Gt => (n, true, f64::INFINITY, false),
+            CmpOp::Ge => (n, false, f64::INFINITY, false),
+            CmpOp::Lt => (f64::NEG_INFINITY, false, n, true),
+            CmpOp::Le => (f64::NEG_INFINITY, false, n, false),
+            CmpOp::Ne | CmpOp::Contains => return None,
+        })
+    };
+    let (Some((alo, als, ahi, ahs)), Some((blo, bls, bhi, bhs))) = (bounds(a), bounds(b)) else {
+        return false;
+    };
+    let lo = alo.max(blo);
+    let lo_strict = (als && lo == alo) || (bls && lo == blo);
+    let hi = ahi.min(bhi);
+    let hi_strict = (ahs && hi == ahi) || (bhs && hi == bhi);
+    lo > hi || (lo == hi && (lo_strict || hi_strict))
+}
+
+// ---------------------------------------------------------------------
+// redundant-dupelim / dead-project-column
+// ---------------------------------------------------------------------
+
+fn lint_redundant_dupelims(plan: &Plan, out: &mut Vec<Lint>) {
+    for_each_op(plan, &mut |p| {
+        let Plan::DupElim { input, on, kind } = p else { return };
+        if *kind == DedupKind::NodeId && analyze::distinctness(input).proves_distinct_on(on) {
+            let keys: Vec<String> = on.iter().map(|l| l.to_string()).collect();
+            out.push(Lint {
+                code: LintCode::RedundantDupElim,
+                message: format!(
+                    "duplicate elimination on [{}] is a provable no-op: the input is \
+                     already distinct on the key",
+                    keys.join(", ")
+                ),
+            });
+        }
+    });
+}
+
+fn lint_dead_project_columns(plan: &Plan, out: &mut Vec<Lint>) {
+    let (_, report) = rewrite::prune_with_report(plan);
+    for lcl in report.dead_project_columns {
+        out.push(Lint {
+            code: LintCode::DeadProjectColumn,
+            message: format!("Project keeps class {lcl} but nothing downstream reads it"),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.load_xml("a.xml", "<site><person><age>30</age><name>Ann</name></person></site>")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn empty_select_fires_on_absent_tag() {
+        let db = db();
+        // Interning works through `&self`, so compiling a query over an
+        // unknown tag succeeds — the tag just has no postings.
+        let plan = crate::compile(r#"FOR $z IN document("a.xml")//zzz RETURN $z"#, &db).unwrap();
+        let lints = lint(&plan, &db);
+        let empty: Vec<_> = lints.iter().filter(|l| l.code == LintCode::EmptySelect).collect();
+        assert!(!empty.is_empty(), "{lints:?}");
+        assert!(empty[0].message.contains("statically empty"), "{}", empty[0].message);
+    }
+
+    #[test]
+    fn contradictory_predicates_fire_across_select_and_filter() {
+        let db = db();
+        let plan = crate::compile(
+            r#"FOR $p IN document("a.xml")//person WHERE $p/age > 40 AND $p/age < 10 RETURN $p"#,
+            &db,
+        )
+        .unwrap();
+        let lints = lint(&plan, &db);
+        assert!(lints.iter().any(|l| l.code == LintCode::ContradictoryPredicates), "{lints:?}");
+    }
+
+    #[test]
+    fn equal_string_predicates_do_not_clash_with_themselves() {
+        assert!(find_contradiction(&[
+            (CmpOp::Eq, PredValue::Str("a".into())),
+            (CmpOp::Eq, PredValue::Str("a".into())),
+        ])
+        .is_none());
+        assert!(find_contradiction(&[
+            (CmpOp::Eq, PredValue::Str("a".into())),
+            (CmpOp::Eq, PredValue::Str("b".into())),
+        ])
+        .is_some());
+        // Feasible and infeasible intervals.
+        assert!(find_contradiction(&[
+            (CmpOp::Gt, PredValue::Num(3.0)),
+            (CmpOp::Le, PredValue::Num(9.0)),
+        ])
+        .is_none());
+        assert!(find_contradiction(&[
+            (CmpOp::Gt, PredValue::Num(3.0)),
+            (CmpOp::Lt, PredValue::Num(3.0)),
+        ])
+        .is_some());
+        assert!(find_contradiction(&[
+            (CmpOp::Ge, PredValue::Num(3.0)),
+            (CmpOp::Le, PredValue::Num(3.0)),
+        ])
+        .is_none());
+        assert!(find_contradiction(&[
+            (CmpOp::Eq, PredValue::Num(5.0)),
+            (CmpOp::Gt, PredValue::Num(5.0)),
+        ])
+        .is_some());
+    }
+
+    #[test]
+    fn redundant_dupelim_fires_on_single_variable_query() {
+        let db = db();
+        let plan = crate::compile(r#"FOR $s IN document("a.xml")/site RETURN $s"#, &db).unwrap();
+        let lints = lint(&plan, &db);
+        assert!(lints.iter().any(|l| l.code == LintCode::RedundantDupElim), "{lints:?}");
+        // A display round trip carries the slug.
+        let rendered = lints.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n");
+        assert!(rendered.contains("warning[redundant-dupelim]"), "{rendered}");
+    }
+}

@@ -182,6 +182,28 @@ impl Plan {
         }
     }
 
+    /// The operator's direct input plans, in left-to-right order (empty for
+    /// a document-rooted Select). The uniform child accessor every plan
+    /// walker builds on.
+    pub fn inputs(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Select { input, .. } => input.as_deref().into_iter().collect(),
+            Plan::Join { left, right, .. } => vec![left, right],
+            Plan::Union { inputs, .. } => inputs.iter().collect(),
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::DupElim { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Construct { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Flatten { input, .. }
+            | Plan::Shadow { input, .. }
+            | Plan::Illuminate { input, .. }
+            | Plan::GroupBy { input, .. }
+            | Plan::Materialize { input, .. } => vec![input],
+        }
+    }
+
     /// Pretty multi-line rendering (operators indented, bottom-up order like
     /// the paper's figures read top-down here).
     pub fn display<'a>(&'a self, db: Option<&'a Database>) -> PlanDisplay<'a> {

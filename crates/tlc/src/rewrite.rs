@@ -22,10 +22,11 @@
 use crate::analyze::{self, AnalyzeError};
 use crate::logical_class::LclId;
 use crate::ops::construct::{ConstructItem, ConstructValue};
+use crate::ops::dupelim::DedupKind;
 use crate::ops::filter::FilterPred;
 use crate::pattern::{Apt, AptRoot, MSpec};
 use crate::plan::Plan;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// A rewrite pass produced a plan that fails the static LC dataflow
@@ -78,6 +79,7 @@ pub fn optimize_verified(plan: &Plan) -> Result<Plan, (Plan, RewriteViolation)> 
     for (pass, rewrite) in [
         ("flatten_rewrite", flatten_rewrite as fn(&Plan) -> (Plan, bool)),
         ("shadow_rewrite", shadow_rewrite),
+        ("prune_dead_classes", prune_dead_classes),
     ] {
         loop {
             let (next, changed) = rewrite(&p);
@@ -695,6 +697,376 @@ fn widen_projects(plan: &Plan, add: &[LclId]) -> Plan {
     })
 }
 
+// ---------------------------------------------------------------------
+// Class-liveness pruning (analysis-justified dead-code elimination)
+// ---------------------------------------------------------------------
+
+/// What the pruning pass removed from a plan. Produced by
+/// [`prune_with_report`]; the query service surfaces the counts in
+/// `.metrics` and `tlc::lint` turns dead Project columns into diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct PruneReport {
+    /// Project columns no downstream operator reads (the classes removed
+    /// from `keep` lists).
+    pub dead_project_columns: Vec<LclId>,
+    /// NodeId `DupElim`s removed because [`analyze::distinctness`] proves
+    /// their input already distinct on the key.
+    pub dupelims_removed: usize,
+    /// Extension selects removed because every pattern node they matched
+    /// was dead.
+    pub selects_eliminated: usize,
+    /// `*`-annotated pattern subtrees removed from Select APTs because no
+    /// live class needed their matches.
+    pub star_subtrees_pruned: usize,
+}
+
+impl PruneReport {
+    /// Did the pass change the plan at all?
+    pub fn changed(&self) -> bool {
+        !self.dead_project_columns.is_empty()
+            || self.ops_eliminated() > 0
+            || self.star_subtrees_pruned > 0
+    }
+
+    /// Whole operators removed from the plan.
+    pub fn ops_eliminated(&self) -> usize {
+        self.dupelims_removed + self.selects_eliminated
+    }
+}
+
+/// What a subplan's output is consumed *through* — the backward liveness
+/// lattice. Flows root-to-leaf; each operator translates the demand on its
+/// output into demand on its inputs.
+///
+/// The three levels encode how much of a result tree is observable:
+///
+/// * [`Demand::All`]: a structure-sensitive consumer (Flatten, Shadow,
+///   GroupBy, or a Construct copying a temporary/document-root class) sits
+///   above — the whole tree may be walked, nothing is prunable.
+/// * [`Demand::Serialize`]: the trees are serialized raw (the plan root) and
+///   the named classes are additionally read as operator parameters.
+///   Serialization renders a store node by its *stored* subtree and ignores
+///   result-tree children, so pattern subtrees attached below a non-root
+///   match are invisible to it — but children of the tree root are not.
+/// * [`Demand::Only`]: a Construct upstream rebuilds the output from copies
+///   of the named classes; raw serialization of these trees never happens,
+///   so *only* the named classes' members (their identities and stored
+///   values) are observable.
+#[derive(Debug, Clone)]
+enum Demand {
+    All,
+    Serialize(BTreeSet<LclId>),
+    Only(BTreeSet<LclId>),
+}
+
+impl Demand {
+    fn with(&self, extra: impl IntoIterator<Item = LclId>) -> Demand {
+        match self {
+            Demand::All => Demand::All,
+            Demand::Serialize(s) => {
+                let mut s = s.clone();
+                s.extend(extra);
+                Demand::Serialize(s)
+            }
+            Demand::Only(s) => {
+                let mut s = s.clone();
+                s.extend(extra);
+                Demand::Only(s)
+            }
+        }
+    }
+
+    fn needs(&self, lcl: LclId) -> bool {
+        match self {
+            Demand::All => true,
+            Demand::Serialize(s) | Demand::Only(s) => s.contains(&lcl),
+        }
+    }
+}
+
+struct PruneCtx {
+    /// Classes whose members are executor temporaries (their copies and
+    /// serializations expose result-tree children).
+    temps: BTreeSet<LclId>,
+    /// `temps` plus document-root classes — everything whose copy exposes
+    /// attached result-tree children.
+    opaque: BTreeSet<LclId>,
+    report: PruneReport,
+}
+
+/// The class-liveness pruning pass: removes dead `*` pattern subtrees,
+/// Project columns nothing reads, extension selects whose every node is
+/// dead, and NodeId DupElims whose input is provably distinct already.
+/// Registered in [`optimize_verified`], so every application is re-checked
+/// by the dataflow analyzer; the `experiments lintcheck` oracle additionally
+/// checks byte-identity of pruned vs unpruned output on random plans.
+pub fn prune_dead_classes(plan: &Plan) -> (Plan, bool) {
+    let (out, report) = prune_with_report(plan);
+    let changed = report.changed();
+    (out, changed)
+}
+
+/// [`prune_dead_classes`] with the full [`PruneReport`] exposed (the lint
+/// pass reports dead Project columns from it).
+pub fn prune_with_report(plan: &Plan) -> (Plan, PruneReport) {
+    let temps = analyze::temp_classes(plan);
+    let mut opaque = temps.clone();
+    walk(plan, &mut |p| {
+        if let Plan::Select { apt, .. } = p {
+            if matches!(apt.root, AptRoot::Document { .. }) {
+                opaque.insert(apt.root_lcl());
+            }
+        }
+    });
+    let mut cx = PruneCtx { temps, opaque, report: PruneReport::default() };
+    // The plan root's trees are serialized raw with no extra class reads.
+    let out = prune(plan, Demand::Serialize(BTreeSet::new()), &mut cx);
+    (out, cx.report)
+}
+
+fn prune(plan: &Plan, d: Demand, cx: &mut PruneCtx) -> Plan {
+    match plan {
+        Plan::Select { input, apt } => {
+            let mut apt = apt.clone();
+            if !matches!(d, Demand::All) {
+                // Remove `*` subtrees no live class needs. A `*` node never
+                // constrains tree existence (zero matches still keep the
+                // tree) and grouped matches never fan trees out, so removal
+                // preserves the tree list and every surviving member.
+                loop {
+                    let candidate = (0..apt.nodes.len()).find(|&i| {
+                        if apt.nodes[i].mspec != MSpec::Star {
+                            return false;
+                        }
+                        if apt.subtree_indexes(i).iter().any(|&j| d.needs(apt.nodes[j].lcl)) {
+                            return false;
+                        }
+                        if apt.nodes[i].parent.is_some() {
+                            // Matches attach below a non-root store match,
+                            // which serialization and copies render from
+                            // the store — invisible either way.
+                            return true;
+                        }
+                        // Top-level matches attach to the tree root / the
+                        // anchor's members, which are observable when the
+                        // output is serialized raw or the anchor is a
+                        // temporary or itself read downstream.
+                        match &d {
+                            Demand::Only(s) => {
+                                let anchor = apt.root_lcl();
+                                !cx.temps.contains(&anchor) && !s.contains(&anchor)
+                            }
+                            _ => false,
+                        }
+                    });
+                    match candidate {
+                        Some(i) => {
+                            apt = apt.without_subtree(i);
+                            cx.report.star_subtrees_pruned += 1;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            if apt.nodes.is_empty() && matches!(apt.root, AptRoot::Lcl(_)) {
+                if let Some(i) = input {
+                    // Every node this extension select matched was dead: the
+                    // select passed each input tree through unchanged.
+                    cx.report.selects_eliminated += 1;
+                    return prune(i, d, cx);
+                }
+            }
+            let anchor = apt.root_lcl();
+            Plan::Select {
+                input: input.as_ref().map(|i| Box::new(prune(i, d.with([anchor]), cx))),
+                apt,
+            }
+        }
+        Plan::Filter { input, lcl, pred, mode } => {
+            let mut extra = vec![*lcl];
+            if let FilterPred::CmpLcl { other, .. } = pred {
+                extra.push(*other);
+            }
+            Plan::Filter {
+                input: Box::new(prune(input, d.with(extra), cx)),
+                lcl: *lcl,
+                pred: pred.clone(),
+                mode: *mode,
+            }
+        }
+        Plan::Join { left, right, spec } => {
+            let mut extra = Vec::new();
+            if let Some(p) = &spec.pred {
+                extra.push(p.left);
+                extra.push(p.right);
+            }
+            extra.extend(spec.dedup_right_on);
+            let below = match &d {
+                Demand::All => Demand::All,
+                // The join root is a fresh temporary whose serialization
+                // renders both input trees raw.
+                Demand::Serialize(s) => {
+                    let mut s = s.clone();
+                    s.extend(extra);
+                    Demand::Serialize(s)
+                }
+                Demand::Only(s) => {
+                    let mut s = s.clone();
+                    s.remove(&spec.root_lcl);
+                    s.extend(extra);
+                    Demand::Only(s)
+                }
+            };
+            Plan::Join {
+                left: Box::new(prune(left, below.clone(), cx)),
+                right: Box::new(prune(right, below, cx)),
+                spec: spec.clone(),
+            }
+        }
+        Plan::Project { input, keep } => match d.clone() {
+            Demand::All => {
+                Plan::Project { input: Box::new(prune(input, Demand::All, cx)), keep: keep.clone() }
+            }
+            Demand::Only(s) => {
+                let (kept, dead): (Vec<LclId>, Vec<LclId>) =
+                    keep.iter().copied().partition(|l| s.contains(l));
+                cx.report.dead_project_columns.extend(dead);
+                let mut below = s;
+                below.extend(kept.iter().copied());
+                Plan::Project { input: Box::new(prune(input, Demand::Only(below), cx)), keep: kept }
+            }
+            Demand::Serialize(s) => {
+                // Project rebuilds each tree around the kept members (plus
+                // the root), so what gets serialized above depends only on
+                // those classes — the demand below drops to `Only`, unless
+                // a kept class or the root is a temporary (whose rendering
+                // walks result-tree structure).
+                let root = analyze::analyze(input).ok().and_then(|t| t.root);
+                let gate = keep.iter().any(|l| cx.temps.contains(l))
+                    || root.is_none_or(|r| cx.temps.contains(&r));
+                let below = if gate {
+                    Demand::All
+                } else {
+                    let mut n = s;
+                    n.extend(keep.iter().copied());
+                    Demand::Only(n)
+                };
+                Plan::Project { input: Box::new(prune(input, below, cx)), keep: keep.clone() }
+            }
+        },
+        Plan::DupElim { input, on, kind } => {
+            if *kind == DedupKind::NodeId && analyze::distinctness(input).proves_distinct_on(on) {
+                // Provably the identity: every key class is a per-tree
+                // singleton and the input is already distinct on a subset
+                // of the key. Removal is exact under any demand.
+                cx.report.dupelims_removed += 1;
+                return prune(input, d, cx);
+            }
+            Plan::DupElim {
+                input: Box::new(prune(input, d.with(on.iter().copied()), cx)),
+                on: on.clone(),
+                kind: *kind,
+            }
+        }
+        Plan::Aggregate { input, func, over, new_lcl } => {
+            let below = match &d {
+                // Aggregate grafts its temporary into the input tree; a raw
+                // serialization above therefore renders the whole input
+                // tree — no pruning below.
+                Demand::All | Demand::Serialize(_) => Demand::All,
+                Demand::Only(s) => {
+                    let mut s = s.clone();
+                    s.remove(new_lcl);
+                    s.insert(*over);
+                    Demand::Only(s)
+                }
+            };
+            Plan::Aggregate {
+                input: Box::new(prune(input, below, cx)),
+                func: *func,
+                over: *over,
+                new_lcl: *new_lcl,
+            }
+        }
+        Plan::Construct { input, spec } => {
+            let mut refs = Vec::new();
+            for item in spec {
+                construct_refs(item, &mut refs);
+            }
+            let below = if refs.iter().any(|l| cx.opaque.contains(l)) {
+                // Copying a temporary or document root renders its
+                // result-tree children — full structure demand.
+                Demand::All
+            } else {
+                match &d {
+                    Demand::All => Demand::All,
+                    // The construct rebuilds output trees from copies of
+                    // the referenced classes: below it, only those classes
+                    // (plus whatever survives the construct for operators
+                    // above it) are observable.
+                    Demand::Serialize(s) | Demand::Only(s) => {
+                        let mut n = s.clone();
+                        n.extend(refs.iter().copied());
+                        let mut defined = BTreeSet::new();
+                        construct_defined_lcls(spec, &mut defined);
+                        for l in &defined {
+                            n.remove(l);
+                        }
+                        Demand::Only(n)
+                    }
+                }
+            };
+            Plan::Construct { input: Box::new(prune(input, below, cx)), spec: spec.clone() }
+        }
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(prune(input, d.with(keys.iter().map(|k| k.lcl)), cx)),
+            keys: keys.clone(),
+        },
+        // Flatten/Shadow/GroupBy rebuild or graft result-tree structure:
+        // everything below them is observable.
+        Plan::Flatten { input, parent, child } => Plan::Flatten {
+            input: Box::new(prune(input, Demand::All, cx)),
+            parent: *parent,
+            child: *child,
+        },
+        Plan::Shadow { input, parent, child } => Plan::Shadow {
+            input: Box::new(prune(input, Demand::All, cx)),
+            parent: *parent,
+            child: *child,
+        },
+        Plan::GroupBy { input, by, collect } => Plan::GroupBy {
+            input: Box::new(prune(input, Demand::All, cx)),
+            by: *by,
+            collect: *collect,
+        },
+        Plan::Illuminate { input, lcl } => {
+            Plan::Illuminate { input: Box::new(prune(input, d.with([*lcl]), cx)), lcl: *lcl }
+        }
+        Plan::Materialize { input, lcls } => Plan::Materialize {
+            input: Box::new(prune(input, d.with(lcls.iter().copied()), cx)),
+            lcls: lcls.clone(),
+        },
+        Plan::Union { inputs, dedup_on } => {
+            let below = d.with(dedup_on.iter().copied());
+            Plan::Union {
+                inputs: inputs.iter().map(|i| prune(i, below.clone(), cx)).collect(),
+                dedup_on: dedup_on.clone(),
+            }
+        }
+    }
+}
+
+fn construct_defined_lcls(spec: &[ConstructItem], out: &mut BTreeSet<LclId>) {
+    for item in spec {
+        if let ConstructItem::Element { lcl, children, .. } = item {
+            if let Some(l) = lcl {
+                out.insert(*l);
+            }
+            construct_defined_lcls(children, out);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -799,6 +1171,141 @@ mod tests {
         assert!(!c1);
         let (_, c2) = shadow_rewrite(&p1);
         assert!(!c2);
+    }
+
+    #[test]
+    fn prune_removes_provably_redundant_dupelim() {
+        let db = db();
+        // One FOR variable, no predicate structure: the translator's
+        // NodeId DupElim on $s is provably the identity.
+        let q = r#"FOR $s IN document("auction.xml")/site RETURN $s"#;
+        let plan = crate::compile(q, &db).unwrap();
+        let (pruned, report) = prune_with_report(&plan);
+        assert!(report.dupelims_removed >= 1, "{report:?}");
+        assert!(analyze::verify(&pruned).is_ok());
+        assert_eq!(
+            execute_to_string(&db, &plan).unwrap(),
+            execute_to_string(&db, &pruned).unwrap()
+        );
+    }
+
+    #[test]
+    fn prune_keeps_load_bearing_dupelim() {
+        let db = db();
+        // Two FOR variables: the DupElim collapses binding multiplicity and
+        // must survive.
+        let q = r#"
+            FOR $p IN document("auction.xml")//person
+            FOR $o IN document("auction.xml")//open_auction
+            RETURN <pair/>"#;
+        let plan = crate::compile(q, &db).unwrap();
+        let mut kept = 0;
+        walk(&prune_dead_classes(&plan).0, &mut |p| {
+            if matches!(p, Plan::DupElim { .. }) {
+                kept += 1;
+            }
+        });
+        assert!(kept >= 1, "join-shaped dedup must not be pruned");
+    }
+
+    #[test]
+    fn prune_drops_dead_star_subtree_and_preserves_bytes() {
+        let db = db();
+        use crate::logical_class::LclId;
+        use crate::ops::construct::{ConstructItem, ConstructValue};
+        use xmldb::AxisRel;
+        let person = db.interner().lookup("person").unwrap();
+        let age = db.interner().lookup("age").unwrap();
+        let bidder = db.interner().lookup("bidder").unwrap();
+        let mut apt = Apt::for_document("auction.xml", LclId(1));
+        let p = apt.add(None, AxisRel::Descendant, MSpec::One, person, None, LclId(2));
+        apt.add(Some(p), AxisRel::Child, MSpec::One, age, None, LclId(3));
+        // A grouped subtree nothing downstream reads.
+        apt.add(None, AxisRel::Descendant, MSpec::Star, bidder, None, LclId(4));
+        let plan = Plan::Construct {
+            input: Box::new(Plan::Select { input: None, apt }),
+            spec: vec![ConstructItem::Element {
+                tag: "hit".into(),
+                lcl: None,
+                attrs: vec![("age".into(), ConstructValue::LclText(LclId(3)))],
+                children: vec![],
+            }],
+        };
+        analyze::verify(&plan).unwrap();
+        let (pruned, report) = prune_with_report(&plan);
+        assert_eq!(report.star_subtrees_pruned, 1, "{report:?}");
+        assert!(analyze::verify(&pruned).is_ok());
+        assert_eq!(
+            execute_to_string(&db, &plan).unwrap(),
+            execute_to_string(&db, &pruned).unwrap()
+        );
+        // The dead subtree must not be pruned when the output is serialized
+        // raw (its matches hang off the tree root).
+        let raw = Plan::Select {
+            input: None,
+            apt: match &plan {
+                Plan::Construct { input, .. } => match &**input {
+                    Plan::Select { apt, .. } => apt.clone(),
+                    _ => unreachable!(),
+                },
+                _ => unreachable!(),
+            },
+        };
+        let (_, raw_report) = prune_with_report(&raw);
+        assert_eq!(raw_report.star_subtrees_pruned, 0, "{raw_report:?}");
+    }
+
+    #[test]
+    fn prune_narrows_dead_project_columns() {
+        let db = db();
+        use crate::logical_class::LclId;
+        use crate::ops::construct::{ConstructItem, ConstructValue};
+        use xmldb::AxisRel;
+        let person = db.interner().lookup("person").unwrap();
+        let age = db.interner().lookup("age").unwrap();
+        let name = db.interner().lookup("name").unwrap();
+        let mut apt = Apt::for_document("auction.xml", LclId(1));
+        let p = apt.add(None, AxisRel::Descendant, MSpec::One, person, None, LclId(2));
+        apt.add(Some(p), AxisRel::Child, MSpec::One, age, None, LclId(3));
+        apt.add(Some(p), AxisRel::Child, MSpec::One, name, None, LclId(4));
+        // Project keeps age + name but the construct reads only age: name
+        // is a dead column.
+        let plan = Plan::Construct {
+            input: Box::new(Plan::Project {
+                input: Box::new(Plan::Select { input: None, apt }),
+                keep: vec![LclId(3), LclId(4)],
+            }),
+            spec: vec![ConstructItem::Element {
+                tag: "hit".into(),
+                lcl: None,
+                attrs: vec![("age".into(), ConstructValue::LclText(LclId(3)))],
+                children: vec![],
+            }],
+        };
+        analyze::verify(&plan).unwrap();
+        let (pruned, report) = prune_with_report(&plan);
+        assert_eq!(report.dead_project_columns, vec![LclId(4)], "{report:?}");
+        assert!(analyze::verify(&pruned).is_ok());
+        assert_eq!(
+            execute_to_string(&db, &plan).unwrap(),
+            execute_to_string(&db, &pruned).unwrap()
+        );
+    }
+
+    #[test]
+    fn optimize_runs_prune_and_stays_byte_identical() {
+        let db = db();
+        let q = r#"FOR $s IN document("auction.xml")/site RETURN $s"#;
+        let plan = crate::compile(q, &db).unwrap();
+        let opt = optimize(&plan);
+        assert_eq!(execute_to_string(&db, &plan).unwrap(), execute_to_string(&db, &opt).unwrap());
+        let mut dupelims = 0;
+        walk(&opt, &mut |p| {
+            if matches!(p, Plan::DupElim { .. }) {
+                dupelims += 1;
+            }
+        });
+        assert_eq!(dupelims, 0, "optimize must apply the prune pass");
     }
 
     /// Regression: x9-shaped query — two LET subqueries where the Shadow

@@ -1,0 +1,133 @@
+//! Generator-backed verifier tests: every seeded random plan the generator
+//! emits verifies and executes, and systematic class-breaking mutations of
+//! those same plans are rejected by `tlc::verify`.
+//!
+//! The hand-written negative tests in `analyze.rs` pin down *which* error
+//! each violation maps to; these tests sweep the same properties across
+//! hundreds of structurally diverse plans from the shared seeded generator
+//! (the supply side of `experiments lintcheck`), so the verifier's negative
+//! surface is exercised far from the handful of shapes a human thinks of.
+//!
+//! Debug builds additionally run the runtime conformance oracle inside
+//! every `tlc::execute`, so the positive sweep below doubles as a
+//! cardinality/order soundness check of the analyzer.
+
+use tlc::ops::dupelim::DedupKind;
+use tlc::ops::join::JoinSpec;
+use tlc::ops::sort::SortKey;
+use tlc::{LclId, MSpec, Plan};
+
+const SEEDS: u64 = 120;
+
+fn database() -> xmldb::Database {
+    xmark::auction_database(0.0005)
+}
+
+/// A class label no generated plan uses: the generator hands out ids from a
+/// small monotone counter, so anything this large is unbound everywhere.
+const UNBOUND: LclId = LclId(900_000);
+
+#[test]
+fn every_random_plan_verifies_and_executes() {
+    let db = database();
+    for seed in 0..SEEDS {
+        let gp = tlc::random_plan(&db, "auction.xml", seed);
+        tlc::verify(&gp.plan).expect("generated plan must verify");
+        // In debug builds this also runs check_conformance on every subplan.
+        tlc::execute(&db, &gp.plan)
+            .unwrap_or_else(|e| panic!("seed {seed}: execution failed: {e}"));
+    }
+}
+
+#[test]
+fn sorting_on_an_unbound_class_is_rejected() {
+    let db = database();
+    for seed in 0..SEEDS {
+        let plan = tlc::random_plan(&db, "auction.xml", seed).plan;
+        let bad = Plan::Sort {
+            input: Box::new(plan),
+            keys: vec![SortKey { lcl: UNBOUND, descending: false }],
+        };
+        assert!(tlc::verify(&bad).is_err(), "seed {seed}: unbound sort key accepted");
+    }
+}
+
+#[test]
+fn dupelim_on_an_unbound_class_is_rejected() {
+    let db = database();
+    for seed in 0..SEEDS {
+        let plan = tlc::random_plan(&db, "auction.xml", seed).plan;
+        let bad =
+            Plan::DupElim { input: Box::new(plan), on: vec![UNBOUND], kind: DedupKind::NodeId };
+        assert!(tlc::verify(&bad).is_err(), "seed {seed}: unbound dedup key accepted");
+    }
+}
+
+#[test]
+fn self_join_without_relabeling_is_rejected() {
+    let db = database();
+    for seed in 0..SEEDS {
+        let plan = tlc::random_plan(&db, "auction.xml", seed).plan;
+        let bad = Plan::Join {
+            left: Box::new(plan.clone()),
+            right: Box::new(plan),
+            spec: JoinSpec {
+                root_lcl: UNBOUND,
+                right_mspec: MSpec::One,
+                pred: None,
+                dedup_right_on: None,
+            },
+        };
+        assert!(
+            tlc::verify(&bad).is_err(),
+            "seed {seed}: self-join with colliding classes accepted"
+        );
+    }
+}
+
+#[test]
+fn relabeling_a_pattern_node_onto_its_root_is_rejected() {
+    let db = database();
+    let mut mutated = 0u32;
+    for seed in 0..SEEDS {
+        let mut plan = tlc::random_plan(&db, "auction.xml", seed).plan;
+        // Relabel the first document select's first pattern node with the
+        // class of its own anchor — a duplicate definition in one APT.
+        if !collide_first_select(&mut plan) {
+            continue;
+        }
+        assert!(tlc::verify(&plan).is_err(), "seed {seed}: duplicate class label accepted");
+        mutated += 1;
+    }
+    assert!(mutated > SEEDS as u32 / 2, "mutation applied to too few plans: {mutated}");
+}
+
+/// Sets the first pattern node's class equal to the anchor class of the
+/// first document-rooted select found; returns whether a mutation landed.
+fn collide_first_select(plan: &mut Plan) -> bool {
+    match plan {
+        Plan::Select { apt, input } => {
+            if let tlc::AptRoot::Document { lcl, .. } = &apt.root {
+                let root = *lcl;
+                if let Some(node) = apt.nodes.first_mut() {
+                    node.lcl = root;
+                    return true;
+                }
+            }
+            input.as_deref_mut().is_some_and(collide_first_select)
+        }
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::DupElim { input, .. }
+        | Plan::Aggregate { input, .. }
+        | Plan::Construct { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Flatten { input, .. }
+        | Plan::Shadow { input, .. }
+        | Plan::Illuminate { input, .. }
+        | Plan::GroupBy { input, .. }
+        | Plan::Materialize { input, .. } => collide_first_select(input),
+        Plan::Join { left, right, .. } => collide_first_select(left) || collide_first_select(right),
+        Plan::Union { inputs, .. } => inputs.iter_mut().any(collide_first_select),
+    }
+}

@@ -97,3 +97,28 @@ rwexp_out="$smoke_dir/rwexp.txt"
 grep -q 'rw run clean' "$rwexp_out"
 grep -q 'mismatches 0, errors 0, check failures 0' "$rwexp_out"
 echo "tier1: read/write experiment smoke test passed"
+
+# Static-analysis smoke: `.explain <query>` through the protocol must
+# report the crafted lints (statically-empty select, redundant DupElim,
+# dead Project column) plus the footprint and liveness sections.
+explain_out="$smoke_dir/explain.txt"
+{
+    printf '.explain FOR $z IN document("auction.xml")//zzz RETURN $z\n'
+    printf '.explain FOR $p IN document("auction.xml")//person LET $n := $p/name RETURN <r>{$p/age}</r>\n'
+    printf '.quit\n'
+} | ./target/release/tlc-serve --factor 0.001 > "$explain_out" 2>/dev/null
+grep -q 'warning\[empty-select\]' "$explain_out"
+grep -q 'warning\[redundant-dupelim\]' "$explain_out"
+grep -q 'warning\[dead-project-column\]' "$explain_out"
+grep -q '== footprint ==' "$explain_out"
+grep -q '== liveness ==' "$explain_out"
+echo "tier1: explain/lint smoke test passed"
+
+# Differential soundness oracle: seeded random plans, every static claim
+# (cardinality, liveness-pruning byte-identity, empty-select lints,
+# footprint-based cache carry) checked against execution. The binary
+# exits non-zero on any violation.
+lint_out="$smoke_dir/lintcheck.txt"
+./target/release/experiments lintcheck --factor 0.0005 --plans 60 > "$lint_out" 2>/dev/null
+grep -q 'lintcheck clean' "$lint_out"
+echo "tier1: lintcheck oracle smoke test passed"

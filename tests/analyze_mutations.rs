@@ -200,6 +200,59 @@ fn emptying_a_union_is_rejected() {
 }
 
 #[test]
+fn generated_plans_reject_the_same_mutations() {
+    // The `experiments lintcheck` oracle's seeded generator supplies plan
+    // shapes the compiled corpus never reaches (deep wrapper stacks,
+    // unions over clones, aggregates over joins); the same structural
+    // mutations must be rejected on those too, so the negative surface is
+    // shared between hand-compiled and machine-generated plans.
+    let db = xmark_db();
+    let mut relabeled = 0;
+    let mut joins = 0;
+    for seed in 0..150u64 {
+        let plan = tlc::random_plan(&db, "auction.xml", seed).plan;
+        let mut mutant = plan.clone();
+        if mutate_first(&mut mutant, &mut |p| {
+            if let Plan::Select { apt, .. } = p {
+                if !apt.nodes.is_empty() {
+                    // Relabel the first pattern node with its own anchor.
+                    apt.nodes[0].lcl = apt.root_lcl();
+                    return true;
+                }
+            }
+            false
+        }) {
+            relabeled += 1;
+            assert!(
+                matches!(analyze::verify(&mutant), Err(AnalyzeError::DuplicateClass { .. })),
+                "seed {seed}: duplicate pattern label accepted"
+            );
+        }
+        let mut mutant = plan;
+        if mutate_first(&mut mutant, &mut |p| {
+            if let Plan::Join { spec, .. } = p {
+                if let Some(pred) = &mut spec.pred {
+                    pred.right = BOGUS;
+                    return true;
+                }
+            }
+            false
+        }) {
+            joins += 1;
+            match analyze::verify(&mutant) {
+                Err(AnalyzeError::JoinSideMissing { side, lcl }) => {
+                    assert_eq!(side, "right", "seed {seed}");
+                    assert_eq!(lcl, BOGUS, "seed {seed}");
+                }
+                other => panic!("seed {seed}: expected JoinSideMissing, got {other:?}"),
+            }
+        }
+    }
+    assert!(relabeled >= 100, "generator produced too few selects: {relabeled}");
+    assert!(joins >= 10, "generator produced too few join predicates: {joins}");
+}
+
+#[test]
 fn duplicating_a_pattern_label_is_rejected() {
     let db = xmark_db();
     let mut seen = 0;
