@@ -10,7 +10,20 @@
 //!   same-`(database, epoch)` batch dispatch on;
 //! * **per-request** — match cache disabled (`match_cache_bytes = 0`),
 //!   batching disabled (`batch_max = 1`); the plan cache stays on in both,
-//!   so the delta isolates match caching + batching, not compilation.
+//!   so the delta isolates match caching + batching, not compilation;
+//! * **cached per-request** — match cache on, batching off, register IR
+//!   on: every request executes individually against the warm shared
+//!   match cache;
+//! * **tree-walk** — the cached per-request configuration with the
+//!   register-IR backend forced off (`ir = false`). The cached/tree-walk
+//!   QPS ratio isolates what [`tlc::vm`] buys per request: with a warm
+//!   match cache the kernels barely run, so the delta is exactly the
+//!   per-request work the compiler hoisted out — the walker re-derives
+//!   every chain's cache key (APT fingerprints — string canonicalization
+//!   at every cacheable node) on each execution, while the compiled
+//!   program carries its keys from lowering. Batching is off on both
+//!   sides because batch coalescing would amortize that per-request work
+//!   across whole batches and mask the comparison.
 //!
 //! Every answer from *both* services is byte-compared against a
 //! single-threaded reference computed up front; any mismatch is a
@@ -64,8 +77,18 @@ pub fn client_rng(seed: u64, client: usize) -> StdRng {
 pub struct BatchReport {
     /// The batched + match-cached side.
     pub batched: LoadReport,
-    /// The per-request side (no match cache, no batching).
+    /// The per-request side (no match cache, no batching; register-IR
+    /// backend on, like every other side).
     pub baseline: LoadReport,
+    /// The cached per-request side: match cache on, batching off,
+    /// register IR on.
+    pub cached: LoadReport,
+    /// The cached per-request side with the register-IR backend forced
+    /// off — identical to `cached` except every execution walks the plan
+    /// tree. The `cached`/`tree_walk` QPS ratio isolates what the IR buys
+    /// per request (chiefly: cache keys are compiled into the program
+    /// instead of re-derived per execution).
+    pub tree_walk: LoadReport,
     /// Answers (either side) that did not byte-match the single-threaded
     /// reference. Must be zero.
     pub mismatches: u64,
@@ -87,9 +110,23 @@ impl BatchReport {
         }
     }
 
-    /// No mismatched answers and no failed requests on either side.
+    /// Cached per-request QPS with the IR backend on over the same
+    /// configuration with it off (tree walk) — the isolated IR win.
+    pub fn ir_speedup(&self) -> f64 {
+        if self.tree_walk.qps() > 0.0 {
+            self.cached.qps() / self.tree_walk.qps()
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// No mismatched answers and no failed requests on any side.
     pub fn clean(&self) -> bool {
-        self.mismatches == 0 && self.batched.errors == 0 && self.baseline.errors == 0
+        self.mismatches == 0
+            && self.batched.errors == 0
+            && self.baseline.errors == 0
+            && self.cached.errors == 0
+            && self.tree_walk.errors == 0
     }
 
     /// The `BENCH_batch.json` document for this comparison (hand-rolled;
@@ -98,12 +135,17 @@ impl BatchReport {
         format!(
             "{{\"experiment\":\"batch\",\"factor\":{factor},\"clients\":{clients},\
              \"requests\":{requests},\"seed\":{seed},\
-             \"batched\":{},\"per_request\":{},\"speedup\":{:.2},\
+             \"batched\":{},\"per_request\":{},\"cached_per_request\":{},\
+             \"tree_walk\":{},\"speedup\":{:.2},\
+             \"ir_speedup\":{:.2},\
              \"match_cache_hit_rate\":{:.4},\"batches\":{},\"max_batch\":{},\
              \"mismatches\":{}}}\n",
             crate::rw::load_report_json(&self.batched),
             crate::rw::load_report_json(&self.baseline),
+            crate::rw::load_report_json(&self.cached),
+            crate::rw::load_report_json(&self.tree_walk),
             self.speedup(),
+            self.ir_speedup(),
             self.hit_rate,
             self.batches,
             self.max_batch,
@@ -117,13 +159,21 @@ impl BatchReport {
             "Skewed-mix replay ({HOT_TRAFFIC_PCT}% of traffic on {} hot queries), XMark factor {factor}\n\
              batched+cached : {}\n\
              per-request    : {}\n\
+             cached (ir on) : {}\n\
+             tree-walk (ir off): {}\n\
              throughput gain from match cache + batching: {:.2}x\n\
+             per-request gain from register IR (ir on vs off): {:.2}x\n\
+             ir non-regression: {}\n\
              match cache hit rate: {:.1}%  batches: {}  max batch: {}\n\
              byte mismatches vs single-threaded reference: {}\n",
             HOT_SET.len(),
             self.batched.summary(),
             self.baseline.summary(),
+            self.cached.summary(),
+            self.tree_walk.summary(),
             self.speedup(),
+            self.ir_speedup(),
+            if self.ir_speedup() >= 0.85 { "ok" } else { "REGRESSED" },
             self.hit_rate * 100.0,
             self.batches,
             self.max_batch,
@@ -134,6 +184,11 @@ impl BatchReport {
 
 /// Replays the skewed mix from `clients` closed-loop threads, `requests`
 /// requests each, byte-checking every answer against `refs`.
+///
+/// Before the clock starts, every template is executed once so the timed
+/// window measures warm steady state: plan-cache compiles, register-IR
+/// lowering and (where enabled) match-cache cold misses all land in the
+/// warmup, not in the comparison.
 fn run_mix(
     svc: &Service,
     clients: usize,
@@ -143,6 +198,9 @@ fn run_mix(
     refs: &[String],
     mismatches: &AtomicU64,
 ) -> LoadReport {
+    for text in texts {
+        let _ = svc.execute(text);
+    }
     let errors = AtomicU64::new(0);
     let started = Instant::now();
     let mut latencies: Vec<_> = std::thread::scope(|s| {
@@ -216,6 +274,8 @@ pub fn batched_vs_per_request_on(
     let batched_cfg =
         ServiceConfig { workers, queue_depth: clients.max(4) * 4, ..ServiceConfig::default() };
     let baseline_cfg = ServiceConfig { match_cache_bytes: 0, batch_max: 1, ..batched_cfg.clone() };
+    let cached_cfg = ServiceConfig { batch_max: 1, ..batched_cfg.clone() };
+    let tree_walk_cfg = ServiceConfig { ir: false, ..cached_cfg.clone() };
     let mismatches = AtomicU64::new(0);
 
     let batched_svc = Service::new(Arc::clone(&db), batched_cfg);
@@ -225,12 +285,20 @@ pub fn batched_vs_per_request_on(
     let hit_rate = if lookups == 0 { 0.0 } else { cache.hits as f64 / lookups as f64 };
     let pool = batched_svc.batch_stats();
 
-    let baseline_svc = Service::new(db, baseline_cfg);
+    let baseline_svc = Service::new(Arc::clone(&db), baseline_cfg);
     let baseline = run_mix(&baseline_svc, clients, requests, seed, &texts, &refs, &mismatches);
+
+    let cached_svc = Service::new(Arc::clone(&db), cached_cfg);
+    let cached = run_mix(&cached_svc, clients, requests, seed, &texts, &refs, &mismatches);
+
+    let tree_walk_svc = Service::new(db, tree_walk_cfg);
+    let tree_walk = run_mix(&tree_walk_svc, clients, requests, seed, &texts, &refs, &mismatches);
 
     BatchReport {
         batched,
         baseline,
+        cached,
+        tree_walk,
         mismatches: mismatches.into_inner(),
         hit_rate,
         batches: pool.batches,
@@ -274,10 +342,17 @@ mod tests {
     fn batch_experiment_is_clean_and_hits_the_match_cache() {
         let report = batched_vs_per_request(0.0005, 4, 30, 7);
         assert!(report.clean(), "defects: {}", report.render(0.0005));
-        assert_eq!(report.batched.ok + report.baseline.ok, 2 * 4 * 30);
+        assert_eq!(
+            report.batched.ok + report.baseline.ok + report.cached.ok + report.tree_walk.ok,
+            4 * 4 * 30
+        );
         assert!(report.hit_rate > 0.0, "hot set never hit the match cache");
         assert!(report.batches > 0);
         let rendered = report.render(0.0005);
         assert!(rendered.contains("match cache hit rate"), "{rendered}");
+        assert!(rendered.contains("register IR"), "{rendered}");
+        let json = report.to_json(0.0005, 4, 30, 7);
+        assert!(json.contains("\"tree_walk\":"), "{json}");
+        assert!(json.contains("\"ir_speedup\":"), "{json}");
     }
 }

@@ -21,9 +21,12 @@
 //!
 //! `batch` replays a seeded skewed query mix (a hot set takes most of the
 //! traffic) from N closed-loop clients through the batched + match-cached
-//! service and through a per-request baseline (match cache and batching
-//! off), byte-checking every answer against a single-threaded reference.
-//! Exits non-zero on any mismatch, failed request, or a cold match cache.
+//! service, through a per-request baseline (match cache and batching
+//! off), and through the same per-request baseline with the register-IR
+//! backend forced off (`ir = false`) — the per-request/tree-walk QPS
+//! ratio isolates the IR win — byte-checking every answer against a
+//! single-threaded reference. Exits non-zero on any mismatch, failed
+//! request, or a cold match cache.
 //!
 //! `rw` drives a seeded mixed read/write stream through the in-place
 //! update engine at each configured write fraction: writes go through the
@@ -45,8 +48,9 @@
 //! `lintcheck` is the static-analysis soundness oracle: N seeded random
 //! plans (default 300), each checked for runtime conformance to its
 //! inferred type, liveness-pruning byte-identity, empty-select lint
-//! truthfulness, and footprint-based cache-carry correctness under a
-//! seeded mutation. Exits non-zero on any soundness violation.
+//! truthfulness, footprint-based cache-carry correctness under a seeded
+//! mutation, and register-IR/tree-walk byte equality (no cache, cold
+//! cache, and warm cache). Exits non-zero on any soundness violation.
 //!
 //! `fig15 --json`, `concurrent --json` and `hotswap --json` write
 //! machine-readable reports (`BENCH_fig15.json`, `BENCH_concurrent.json`,
@@ -214,8 +218,11 @@ fn run_batch(factor: f64, clients: usize, requests: usize, seed: u64, json: Opti
     }
     if !report.clean() {
         eprintln!(
-            "batch run FAILED: {} mismatch(es), {} / {} error(s)",
-            report.mismatches, report.batched.errors, report.baseline.errors
+            "batch run FAILED: {} mismatch(es), {} / {} / {} error(s)",
+            report.mismatches,
+            report.batched.errors,
+            report.baseline.errors,
+            report.tree_walk.errors
         );
         std::process::exit(1);
     }

@@ -472,8 +472,9 @@ impl Shell {
     }
 
     /// Prints the static analysis report for `query` — typed plan, read
-    /// footprint, liveness-pruning outcome, and lint warnings — without
-    /// executing it. Mirrors the server's `.explain <query>` report.
+    /// footprint, liveness-pruning outcome, lint warnings, and the
+    /// register-IR listing — without executing it. Mirrors the server's
+    /// `.explain <query>` report.
     fn explain_query(&self, query: &str) {
         if self.engine == Engine::Nav {
             println!("error: NAV is interpreted per request; nothing to explain");
@@ -541,6 +542,11 @@ impl Shell {
             for l in &lints {
                 println!("{l}");
             }
+        }
+        println!("== ir ==");
+        match tlc::vm::lower(&plan) {
+            Ok(prog) => print!("{}", prog.display(Some(&db))),
+            Err(e) => println!("not lowered ({e}); this plan executes on the tree walker"),
         }
     }
 

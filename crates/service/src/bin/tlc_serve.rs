@@ -94,6 +94,8 @@ const USAGE: &str = "usage: tlc-serve [OPTIONS]
                     default 32)
   --batch-max N     max same-(db,epoch) jobs one worker claims per dispatch
                     (1 disables batching; default 8)
+  --ir on|off       execute cached plans through the register-IR backend
+                    (lowered once per plan, byte-identical output; default on)
   --deadline-ms N   default per-request wall-clock budget
   --client-wait-ms N  max time a connection waits for a reply before
                     abandoning it (default: wait forever)
@@ -162,6 +164,13 @@ fn parse_args() -> Result<Options, String> {
             "--batch-max" => {
                 opts.config.batch_max =
                     value("--batch-max")?.parse().map_err(|e| format!("--batch-max: {e}"))?
+            }
+            "--ir" => {
+                opts.config.ir = match value("--ir")?.as_str() {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    other => return Err(format!("--ir wants on|off, got {other:?}")),
+                }
             }
             "--deadline-ms" => {
                 let ms: u64 =

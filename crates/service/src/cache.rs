@@ -33,7 +33,8 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Collapses whitespace runs to single spaces and trims the ends — the
 /// cache-key canonicalization.
@@ -75,6 +76,52 @@ pub fn epoch_prefix(db: &str, epoch: u64) -> String {
 /// The key prefix shared by every entry of database `db`, any epoch.
 pub fn db_prefix(db: &str) -> String {
     format!("{db}\u{1}")
+}
+
+/// A plan-cache value: the compiled, verified plan plus its lazily-lowered
+/// register program (see [`tlc::vm`]).
+///
+/// The program is compiled at most once per cache entry — i.e. once per
+/// `(database, epoch, normalized text)` — on the first request that
+/// executes the entry with the IR backend enabled, and shared by every
+/// later request through the `Arc`. Because the whole `CachedPlan` is the
+/// `Arc`ed cache value, an entry carried across an update epoch (the
+/// footprint-disjointness carry in [`crate::Service::apply_update`])
+/// brings its compiled program along for free. A plan the lowerer rejects
+/// records `None` once and the service falls back to the tree walker for
+/// that entry without retrying per request.
+#[derive(Debug)]
+pub struct CachedPlan {
+    plan: Arc<tlc::Plan>,
+    program: OnceLock<Option<Arc<tlc::vm::Program>>>,
+}
+
+impl CachedPlan {
+    /// Wraps a freshly compiled plan; the program is lowered on demand.
+    pub fn new(plan: Arc<tlc::Plan>) -> CachedPlan {
+        CachedPlan { plan, program: OnceLock::new() }
+    }
+
+    /// The verified logical plan.
+    pub fn plan(&self) -> &Arc<tlc::Plan> {
+        &self.plan
+    }
+
+    /// The lowered register program, compiling it on first call (`None`
+    /// when the lowerer declined the plan). The second component is the
+    /// time *this* call spent compiling — `Some` exactly when this call
+    /// performed the one-time lowering, so the caller can record the
+    /// compile in its metrics without double counting.
+    pub fn program(&self) -> (Option<Arc<tlc::vm::Program>>, Option<Duration>) {
+        let mut compile_time = None;
+        let program = self.program.get_or_init(|| {
+            let started = Instant::now();
+            let compiled = tlc::vm::lower(&self.plan).ok().map(Arc::new);
+            compile_time = Some(started.elapsed());
+            compiled
+        });
+        (program.clone(), compile_time)
+    }
 }
 
 /// Counters the cache maintains; read through [`LruCache::stats`].

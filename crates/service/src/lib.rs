@@ -75,7 +75,7 @@ pub mod pool;
 pub mod protocol;
 
 use baselines::Engine;
-use cache::{CacheStats, LruCache};
+use cache::{CacheStats, CachedPlan, LruCache};
 use catalog::{Catalog, CatalogEntry, CatalogError, DEFAULT_DB};
 use metrics::{Metrics, Outcome, Snapshot};
 use pool::{Pool, Reply, SubmitError};
@@ -122,6 +122,14 @@ pub struct ServiceConfig {
     /// already-queued work so consecutive executions share the snapshot's
     /// warm match-cache entries and index postings.
     pub batch_max: usize,
+    /// Execute cached plans through the register-IR backend ([`tlc::vm`]):
+    /// each plan-cache entry is lowered once into a verified
+    /// [`tlc::vm::Program`] (fused operator spines, compiled match-cache
+    /// probes) and every execution replays it, byte-identical to the tree
+    /// walker. `false` forces the tree-walking executor — the comparison
+    /// baseline for benchmarking. Plans the lowerer declines fall back to
+    /// the tree walk either way.
+    pub ir: bool,
 }
 
 impl Default for ServiceConfig {
@@ -136,6 +144,7 @@ impl Default for ServiceConfig {
             client_wait: None,
             match_cache_bytes: 32 << 20,
             batch_max: 8,
+            ir: true,
         }
     }
 }
@@ -204,7 +213,7 @@ impl std::error::Error for ServiceError {}
 pub struct PlanHandle {
     entry: Arc<CatalogEntry>,
     normalized: Arc<str>,
-    plan: Arc<Plan>,
+    cached: Arc<CachedPlan>,
 }
 
 impl PlanHandle {
@@ -216,7 +225,7 @@ impl PlanHandle {
 
     /// The compiled plan.
     pub fn plan(&self) -> &Plan {
-        &self.plan
+        self.cached.plan()
     }
 
     /// The catalog name of the database this plan binds.
@@ -329,7 +338,8 @@ pub struct UpdateOutcome {
 pub struct Service {
     catalog: Catalog,
     engine: Engine,
-    cache: Mutex<LruCache<Plan>>,
+    ir: bool,
+    cache: Mutex<LruCache<CachedPlan>>,
     matches: Option<Arc<cache::MatchStore>>,
     metrics: Metrics,
     pool: Pool<WorkResult>,
@@ -353,6 +363,7 @@ impl Service {
         Service {
             catalog,
             engine: config.engine,
+            ir: config.ir,
             cache: Mutex::new(LruCache::new(config.plan_cache_capacity)),
             matches,
             metrics: Metrics::new(),
@@ -526,25 +537,30 @@ impl Service {
         let mut extra_keys: Vec<String> = Vec::new();
         let plans_invalidated = {
             let mut plans = self.cache.lock().unwrap();
-            for (key, plan) in plans.collect_prefixed(&old_prefix) {
-                let fp = tlc::plan_footprint(&plan);
+            for (key, cached) in plans.collect_prefixed(&old_prefix) {
+                let fp = tlc::plan_footprint(cached.plan());
                 let disjoint = !fp.overlaps(op.doc(), &summary.affected_tags);
                 if disjoint {
                     let text = &key[old_prefix.len()..];
-                    plans.insert(&format!("{new_prefix}{text}"), plan.clone());
+                    // Re-seeding the same `Arc<CachedPlan>` carries the
+                    // lazily-lowered IR program across the epoch for free:
+                    // plans (and programs) bind tag ids and document
+                    // names, never node ordinals, so footprint
+                    // disjointness covers both.
+                    plans.insert(&format!("{new_prefix}{text}"), cached.clone());
                     plans_seeded += 1;
                 }
                 // Match entries embed node ordinals; a renumbering update
                 // invalidates every entry reading the mutated document,
                 // footprint disjointness notwithstanding.
                 if !fp.docs.contains(op.doc()) || (summary.renumbered == 0 && disjoint) {
-                    carry_keys.extend(tlc::match_chain_keys(&plan));
+                    carry_keys.extend(tlc::match_chain_keys(cached.plan()));
                 } else {
                     // The whole-plan footprint overlaps the mutation, but a
                     // plan mixes chains over several documents and tag sets:
                     // the per-chain precise footprints can still prove
                     // individual cached chains untouched.
-                    for (chain_key, cfp) in tlc::match_chain_footprints(&plan) {
+                    for (chain_key, cfp) in tlc::match_chain_footprints(cached.plan()) {
                         let chain_disjoint = !cfp.overlaps(op.doc(), &summary.affected_tags);
                         if !cfp.docs.contains(op.doc())
                             || (summary.renumbered == 0 && chain_disjoint)
@@ -657,6 +673,17 @@ impl Service {
                 out.push_str(&format!("{l}\n"));
             }
         }
+        out.push_str("== ir ==\n");
+        if !self.ir {
+            out.push_str("ir backend disabled; this plan executes on the tree walker\n");
+        } else {
+            match tlc::vm::lower(&plan) {
+                Ok(prog) => out.push_str(&prog.display(Some(database))),
+                Err(e) => out.push_str(&format!(
+                    "not lowered ({e}); this plan executes on the tree walker\n"
+                )),
+            }
+        }
         Ok(out)
     }
 
@@ -693,9 +720,9 @@ impl Service {
         let entry = self.entry(db)?;
         let normalized = cache::normalize_query(query);
         let key = cache::plan_key(entry.name(), entry.epoch(), &normalized);
-        if let Some(plan) = self.cache.lock().unwrap().get(&key) {
+        if let Some(cached) = self.cache.lock().unwrap().get(&key) {
             self.metrics.record_cache(entry.name(), true, 0);
-            return Ok((PlanHandle { entry, normalized: normalized.into(), plan }, true));
+            return Ok((PlanHandle { entry, normalized: normalized.into(), cached }, true));
         }
         // Compile outside the cache lock: compilation is the expensive part,
         // and holding the lock would serialize concurrent misses. Two racing
@@ -723,9 +750,14 @@ impl Service {
         let changed = report.changed() && tlc::analyze::verify(&pruned).is_ok();
         self.metrics.record_analysis(entry.name(), changed, report.ops_eliminated() as u64, lints);
         let plan = if changed { Arc::new(pruned) } else { plan };
-        let evictions = self.cache.lock().unwrap().insert(&key, Arc::clone(&plan));
+        // The cache entry couples the plan with its lazily-lowered IR
+        // program: whoever executes the entry first pays the one-time
+        // lowering, every later request (and every epoch the entry is
+        // carried into) reuses it through the shared Arc.
+        let cached = Arc::new(CachedPlan::new(plan));
+        let evictions = self.cache.lock().unwrap().insert(&key, Arc::clone(&cached));
         self.metrics.record_cache(entry.name(), false, evictions);
-        Ok((PlanHandle { entry, normalized: normalized.into(), plan }, false))
+        Ok((PlanHandle { entry, normalized: normalized.into(), cached }, false))
     }
 
     /// Compiles (through the plan cache) and executes `query` against the
@@ -802,7 +834,23 @@ impl Service {
         deadline: Option<Instant>,
     ) -> Result<Response, ServiceError> {
         let db = Arc::clone(handle.entry.database());
-        let plan = Arc::clone(&handle.plan);
+        let plan = Arc::clone(handle.cached.plan());
+        // Resolve the IR program on the caller's thread: lowering happens
+        // at most once per cache entry ([`CachedPlan::program`]), and doing
+        // it here keeps the worker pool's throughput independent of
+        // compile spikes. `None` (IR off, or the lowerer declined the
+        // plan) falls back to the tree walker below.
+        let program = if self.ir {
+            let (program, compile_time) = handle.cached.program();
+            match compile_time {
+                Some(took) => self.metrics.record_ir_compile(took),
+                None if program.is_some() => self.metrics.record_ir_cache_hit(),
+                None => {}
+            }
+            program
+        } else {
+            None
+        };
         // The executor sees the match store through a view scoped to this
         // request's `(database, epoch)` — the scoping, not the executor,
         // is what makes serving across hot swaps impossible.
@@ -817,7 +865,11 @@ impl Service {
             let mut ctx = tlc::ExecCtx::new();
             ctx.deadline = deadline;
             ctx.cache = match_cache;
-            match tlc::execute_with_ctx(&db, &plan, &mut ctx) {
+            let result = match &program {
+                Some(prog) => tlc::vm::run(&db, prog, &mut ctx),
+                None => tlc::execute_with_ctx(&db, &plan, &mut ctx),
+            };
+            match result {
                 Ok(trees) => Ok((tlc::serialize_results(&db, &trees), ctx.stats)),
                 Err(tlc::Error::DeadlineExceeded) => Err(ServiceError::DeadlineExceeded),
                 Err(e) => Err(ServiceError::Execute(e)),
@@ -972,6 +1024,8 @@ const _: () = {
     assert_send_sync::<PlanHandle>();
     assert_send_sync::<Catalog>();
     assert_send_sync::<CatalogEntry>();
+    assert_send_sync::<CachedPlan>();
+    assert_send_sync::<tlc::vm::Program>();
 };
 
 #[cfg(test)]
@@ -1287,6 +1341,66 @@ mod tests {
         ));
         // A failed update publishes nothing.
         assert_eq!(svc.entry(DEFAULT_DB).unwrap().epoch(), 0);
+    }
+
+    #[test]
+    fn ir_backend_serves_byte_identically_and_compiles_once() {
+        let svc = tiny_service(ServiceConfig::default());
+        let direct = baselines::run(Engine::Tlc, Q, &svc.database()).unwrap();
+        let cold = svc.execute(Q).unwrap();
+        let warm = svc.execute(Q).unwrap();
+        assert_eq!(cold.output, direct);
+        assert_eq!(warm.output, direct);
+        let snap = svc.metrics_snapshot();
+        assert_eq!(snap.ir_compiles, 1, "one lowering per cache entry");
+        assert!(snap.ir_cache_hits >= 1, "repeat must reuse the program");
+        assert_eq!(snap.ir_compile.count(), 1);
+        assert!(svc.metrics_report().contains("ir: 1 program(s) compiled"));
+    }
+
+    #[test]
+    fn ir_off_forces_the_tree_walker() {
+        let on = tiny_service(ServiceConfig::default());
+        let off = tiny_service(ServiceConfig { ir: false, ..Default::default() });
+        assert_eq!(on.execute(Q).unwrap().output, off.execute(Q).unwrap().output);
+        let snap = off.metrics_snapshot();
+        assert_eq!((snap.ir_compiles, snap.ir_cache_hits), (0, 0));
+        assert!(!off.metrics_report().contains("ir:"), "no IR line without IR traffic");
+    }
+
+    #[test]
+    fn ir_program_rides_plan_carry_across_update_epochs() {
+        let svc = tiny_service(ServiceConfig::default());
+        const QB: &str = r#"FOR $i IN document("auction.xml")//item RETURN $i/location"#;
+        svc.execute(QB).unwrap();
+        assert_eq!(svc.metrics_snapshot().ir_compiles, 1);
+        let person = svc.database().nodes_with_tag("person")[0];
+        let op = UpdateOp::Insert {
+            doc: "auction.xml".into(),
+            parent: person.pre,
+            xml: "<phone>555-0100</phone>".into(),
+        };
+        let outcome = svc.apply_update(DEFAULT_DB, &op).unwrap();
+        assert_eq!(outcome.plans_seeded, 1);
+        let warm = svc.execute(QB).unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(warm.db_epoch, 1);
+        assert_eq!(warm.output, baselines::run(Engine::Tlc, QB, &svc.database()).unwrap());
+        let snap = svc.metrics_snapshot();
+        assert_eq!(snap.ir_compiles, 1, "carried entry must not re-lower");
+        assert!(snap.ir_cache_hits >= 1, "post-update execution reuses the carried program");
+    }
+
+    #[test]
+    fn explain_renders_the_ir_section() {
+        let svc = tiny_service(ServiceConfig::default());
+        let report = svc.explain(DEFAULT_DB, Q).unwrap();
+        assert!(report.contains("== ir =="), "{report}");
+        assert!(report.contains("program:"), "{report}");
+        assert!(report.contains("registers:"), "{report}");
+        let off = tiny_service(ServiceConfig { ir: false, ..Default::default() });
+        let report = off.explain(DEFAULT_DB, Q).unwrap();
+        assert!(report.contains("ir backend disabled"), "{report}");
     }
 
     #[test]

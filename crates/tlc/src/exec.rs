@@ -81,7 +81,7 @@ impl ExecCtx {
     /// Deadline check at an operator boundary. Free when no deadline is
     /// set — `Instant::now()` is only evaluated on the `Some` path.
     #[inline]
-    fn check_deadline(&self) -> Result<()> {
+    pub(crate) fn check_deadline(&self) -> Result<()> {
         match self.deadline {
             None => Ok(()),
             Some(d) => {

@@ -37,6 +37,10 @@
 //!   soundness oracle.
 //! * [`optimizer`] — a cost model over index statistics that decides when
 //!   the rewrites pay off (the decision the paper defers to an optimizer).
+//! * [`vm`] — the register-IR compiler and bytecode evaluator: verified
+//!   plans lower once into a flat, verified [`vm::Program`] (fused
+//!   Select/Filter spines, compiled match-cache probes) that replays the
+//!   tree walker byte-identically without per-operator dispatch.
 //! * [`output`] — result serialization.
 //!
 //! ## Quick start
@@ -76,6 +80,7 @@ pub mod rewrite;
 pub mod stats;
 pub mod translate;
 pub mod tree;
+pub mod vm;
 
 pub use analyze::{
     analyze, distinctness, plan_footprint, temp_classes, verify, AnalyzeError, Card, Distinctness,

@@ -1,0 +1,271 @@
+//! The lowering compiler: analyzer-verified [`Plan`] → flat [`Program`].
+//!
+//! Lowering is a post-order, left-to-right walk — the exact order the
+//! tree-walking executor evaluates operators in — so a program replays the
+//! tree walk's kernel invocation sequence instruction by instruction.
+//! Because temporary node ids are minted in kernel invocation order
+//! (paper §5.1, Property 4), this is what makes VM output byte-identical
+//! to [`crate::execute_with_ctx`].
+//!
+//! Two lowering rules beyond the per-operator 1:1 mapping:
+//!
+//! 1. **Fusion.** A maximal Select/Filter/Project/DupElim run whose bottom
+//!    is *not* a document-rooted Select has no cacheable level (see
+//!    [`crate::match_chain_key`]) — the tree walker would never probe
+//!    inside it. The whole run fuses into one [`Instr::Spine`] whose steps
+//!    share a single rolling tree set: no per-operator register traffic,
+//!    no per-level dispatch.
+//! 2. **Compiled cache protocol.** A run that *does* bottom out at a
+//!    document-rooted Select is cacheable at every level. Each level keeps
+//!    its own register and canonical chain key (computed here, at compile
+//!    time — the tree walker re-formats these strings per request), and
+//!    the run is emitted as a probe bracket:
+//!
+//!    ```text
+//!     0: probe k2 -> r2, hit -> 8     (top level first, like the walker)
+//!     1: probe k1 -> r1, hit -> 6
+//!     2: probe k0 -> r0, hit -> 4
+//!     3: spine r0 <- match S[...]
+//!     4: store k0 <- r0
+//!     5: spine r1 <- r0: filter[...]
+//!     6: store k1 <- r1
+//!     7: spine r2 <- r1: project[...]
+//!     8: store k2 <- r2
+//!     9: return r2
+//!    ```
+//!
+//!    A hit at level `j` jumps past level `j`'s store; the levels above
+//!    recompute from the cached set and publish their own entries — the
+//!    same probe/store sequence, hit/miss counts and cache content as the
+//!    tree walker on every path, including "no cache attached" (probes
+//!    fall through, stores are no-ops).
+
+use super::{verify, Instr, KeyId, Program, RegId, SpineOp, VmError};
+use crate::analyze::{analyze, PlanType};
+use crate::exec::match_chain_key;
+use crate::plan::Plan;
+
+/// Compiles a plan into a verified [`Program`].
+///
+/// The plan is analyzed first ([`VmError::Analyze`] on failure), lowered,
+/// and the result is run through the IR verifier before being returned —
+/// an ill-formed program can never escape this function.
+pub fn lower(plan: &Plan) -> Result<Program, VmError> {
+    analyze(plan).map_err(VmError::Analyze)?;
+    let mut c = Compiler::default();
+    let result = c.lower_node(plan)?;
+    c.instrs.push(Instr::Return { src: result });
+    let prog = Program::new(c.instrs, c.keys, c.regs);
+    verify::verify(&prog)?;
+    Ok(prog)
+}
+
+#[derive(Default)]
+struct Compiler {
+    instrs: Vec<Instr>,
+    keys: Vec<String>,
+    regs: Vec<PlanType>,
+}
+
+fn is_chain_op(plan: &Plan) -> bool {
+    matches!(
+        plan,
+        Plan::Select { .. } | Plan::Filter { .. } | Plan::Project { .. } | Plan::DupElim { .. }
+    )
+}
+
+/// The [`SpineOp`] for one chain operator (its input is carried by the
+/// rolling set, not the step).
+fn spine_op(plan: &Plan) -> SpineOp {
+    match plan {
+        Plan::Select { input: None, apt } => SpineOp::Match(apt.clone()),
+        Plan::Select { input: Some(_), apt } => SpineOp::Extend(apt.clone()),
+        Plan::Filter { lcl, pred, mode, .. } => {
+            SpineOp::Filter { lcl: *lcl, pred: pred.clone(), mode: *mode }
+        }
+        Plan::Project { keep, .. } => SpineOp::Project { keep: keep.clone() },
+        Plan::DupElim { on, kind, .. } => SpineOp::DupElim { on: on.clone(), kind: *kind },
+        _ => unreachable!("spine_op is only called on chain operators"),
+    }
+}
+
+impl Compiler {
+    /// Allocates the register that will hold `plan`'s result, recording the
+    /// analyzer's type as the slot schema.
+    fn alloc(&mut self, plan: &Plan) -> Result<RegId, VmError> {
+        let t = analyze(plan).map_err(VmError::Analyze)?;
+        if self.regs.len() >= u16::MAX as usize {
+            return Err(VmError::Malformed {
+                at: self.instrs.len(),
+                reason: "register file overflow (more than 65534 operators)".to_string(),
+            });
+        }
+        let id = RegId(self.regs.len() as u16);
+        self.regs.push(t);
+        Ok(id)
+    }
+
+    /// Interns a chain key, reusing an existing slot for repeated chains
+    /// (e.g. the same Select in both branches of a self-join).
+    fn intern(&mut self, key: String) -> Result<KeyId, VmError> {
+        if let Some(i) = self.keys.iter().position(|k| *k == key) {
+            return Ok(KeyId(i as u16));
+        }
+        if self.keys.len() >= u16::MAX as usize {
+            return Err(VmError::Malformed {
+                at: self.instrs.len(),
+                reason: "chain-key pool overflow".to_string(),
+            });
+        }
+        let id = KeyId(self.keys.len() as u16);
+        self.keys.push(key);
+        Ok(id)
+    }
+
+    fn lower_node(&mut self, plan: &Plan) -> Result<RegId, VmError> {
+        match plan {
+            p if is_chain_op(p) => self.lower_spine(p),
+            Plan::Join { left, right, spec } => {
+                let l = self.lower_node(left)?;
+                let r = self.lower_node(right)?;
+                let dst = self.alloc(plan)?;
+                self.instrs.push(Instr::Join { left: l, right: r, spec: spec.clone(), dst });
+                Ok(dst)
+            }
+            Plan::Aggregate { input, func, over, new_lcl } => {
+                let input = self.lower_node(input)?;
+                let dst = self.alloc(plan)?;
+                self.instrs.push(Instr::Aggregate {
+                    input,
+                    func: *func,
+                    over: *over,
+                    new_lcl: *new_lcl,
+                    dst,
+                });
+                Ok(dst)
+            }
+            Plan::Construct { input, spec } => {
+                let input = self.lower_node(input)?;
+                let dst = self.alloc(plan)?;
+                self.instrs.push(Instr::Construct { input, spec: spec.clone(), dst });
+                Ok(dst)
+            }
+            Plan::Sort { input, keys } => {
+                let input = self.lower_node(input)?;
+                let dst = self.alloc(plan)?;
+                self.instrs.push(Instr::Sort { input, keys: keys.clone(), dst });
+                Ok(dst)
+            }
+            Plan::Flatten { input, parent, child } => {
+                let input = self.lower_node(input)?;
+                let dst = self.alloc(plan)?;
+                self.instrs.push(Instr::Flatten { input, parent: *parent, child: *child, dst });
+                Ok(dst)
+            }
+            Plan::Shadow { input, parent, child } => {
+                let input = self.lower_node(input)?;
+                let dst = self.alloc(plan)?;
+                self.instrs.push(Instr::Shadow { input, parent: *parent, child: *child, dst });
+                Ok(dst)
+            }
+            Plan::Illuminate { input, lcl } => {
+                let input = self.lower_node(input)?;
+                let dst = self.alloc(plan)?;
+                self.instrs.push(Instr::Illuminate { input, lcl: *lcl, dst });
+                Ok(dst)
+            }
+            Plan::GroupBy { input, by, collect } => {
+                let input = self.lower_node(input)?;
+                let dst = self.alloc(plan)?;
+                self.instrs.push(Instr::GroupBy { input, by: *by, collect: *collect, dst });
+                Ok(dst)
+            }
+            Plan::Materialize { input, lcls } => {
+                let input = self.lower_node(input)?;
+                let dst = self.alloc(plan)?;
+                self.instrs.push(Instr::Materialize { input, lcls: lcls.clone(), dst });
+                Ok(dst)
+            }
+            Plan::Union { inputs, dedup_on } => {
+                let mut regs = Vec::with_capacity(inputs.len());
+                for p in inputs {
+                    regs.push(self.lower_node(p)?);
+                }
+                let dst = self.alloc(plan)?;
+                self.instrs.push(Instr::Union { inputs: regs, dedup_on: dedup_on.clone(), dst });
+                Ok(dst)
+            }
+            _ => unreachable!("chain operators are handled above"),
+        }
+    }
+
+    /// Lowers the maximal chain run ending at `top`.
+    fn lower_spine(&mut self, top: &Plan) -> Result<RegId, VmError> {
+        // Collect the run, then orient it bottom-up.
+        let mut run: Vec<&Plan> = Vec::new();
+        let mut cur = top;
+        let base: Option<&Plan> = loop {
+            run.push(cur);
+            let input = match cur {
+                Plan::Select { input, .. } => match input {
+                    None => break None,
+                    Some(i) => i.as_ref(),
+                },
+                Plan::Filter { input, .. }
+                | Plan::Project { input, .. }
+                | Plan::DupElim { input, .. } => input.as_ref(),
+                _ => unreachable!("lower_spine is only called on chain operators"),
+            };
+            if is_chain_op(input) {
+                cur = input;
+            } else {
+                break Some(input);
+            }
+        };
+        run.reverse();
+        match base {
+            // No cacheable level anywhere in the run: fuse it whole.
+            Some(b) => {
+                let input = self.lower_node(b)?;
+                let steps = run.iter().map(|p| spine_op(p)).collect();
+                let dst = self.alloc(top)?;
+                self.instrs.push(Instr::Spine { input: Some(input), steps, dst });
+                Ok(dst)
+            }
+            None => self.lower_cacheable_chain(&run),
+        }
+    }
+
+    /// Emits the probe bracket for a document-rooted chain (`run` is
+    /// bottom-up; every level has a chain key by construction).
+    fn lower_cacheable_chain(&mut self, run: &[&Plan]) -> Result<RegId, VmError> {
+        let n = run.len();
+        let mut regs = Vec::with_capacity(n);
+        let mut keys = Vec::with_capacity(n);
+        for node in run {
+            regs.push(self.alloc(node)?);
+            let key = match_chain_key(node).ok_or_else(|| VmError::Malformed {
+                at: self.instrs.len(),
+                reason: "document-rooted chain level without a chain key".to_string(),
+            })?;
+            keys.push(self.intern(key)?);
+        }
+        // Probes top-down (the walker checks the outermost key first), with
+        // placeholder targets patched once each level's store lands.
+        let mut probe_at = vec![0usize; n];
+        for j in (0..n).rev() {
+            probe_at[j] = self.instrs.len();
+            self.instrs.push(Instr::Probe { key: keys[j], dst: regs[j], target: 0 });
+        }
+        for j in 0..n {
+            let input = if j == 0 { None } else { Some(regs[j - 1]) };
+            self.instrs.push(Instr::Spine { input, steps: vec![spine_op(run[j])], dst: regs[j] });
+            self.instrs.push(Instr::Store { key: keys[j], src: regs[j] });
+            let target = self.instrs.len() as u32;
+            if let Instr::Probe { target: t, .. } = &mut self.instrs[probe_at[j]] {
+                *t = target;
+            }
+        }
+        Ok(regs[n - 1])
+    }
+}

@@ -1,0 +1,307 @@
+//! The IR verifier: re-runs the LC dataflow analysis over a lowered
+//! program before it can be cached or executed.
+//!
+//! Three passes, all on the straight-line "every probe misses" path (the
+//! path that computes everything — hit paths only skip recomputation of
+//! values the structural pass proves are stored under the same key):
+//!
+//! 1. **Structural** — a single trailing `Return`; every register and key
+//!    index in range; every `Probe` jumps forward to the instruction just
+//!    past a `Store` of the *same key* whose source is the probe's own
+//!    destination register (so the hit path lands exactly where the miss
+//!    path would have left the same value in the same register).
+//! 2. **Liveness** — registers are single-assignment, written before read,
+//!    and moved out exactly once; `Store` reads non-destructively; no
+//!    register is dead. Together with pass 1 this guarantees the evaluator
+//!    can never read an empty slot on any path.
+//! 3. **Semantic** — the instruction stream is decompiled back into a
+//!    [`Plan`] (probes and stores are cache transparency and contribute no
+//!    operators) and every register's rebuilt subplan is re-analyzed with
+//!    [`crate::analyze::analyze`]; its classes, cardinalities, root and
+//!    ordering must equal the [`crate::PlanType`] recorded as the slot's
+//!    schema, and every `Store`'s interned key must equal the
+//!    [`crate::match_chain_key`] of the subplan it publishes.
+
+use super::{Instr, Program, RegId, SpineOp, VmError};
+use crate::analyze::analyze;
+use crate::exec::match_chain_key;
+use crate::plan::Plan;
+use std::collections::HashMap;
+
+pub(crate) fn verify(prog: &Program) -> Result<(), VmError> {
+    structural(prog)?;
+    liveness(prog)?;
+    semantic(prog).map(|_| ())
+}
+
+/// Rebuilds the plan the program computes (used by the semantic pass and
+/// by tests asserting lowering round-trips).
+pub(crate) fn decompile(prog: &Program) -> Result<Plan, VmError> {
+    structural(prog)?;
+    semantic(prog)
+}
+
+fn err(at: usize, reason: impl Into<String>) -> VmError {
+    VmError::Malformed { at, reason: reason.into() }
+}
+
+fn structural(prog: &Program) -> Result<(), VmError> {
+    let instrs = prog.instrs();
+    if instrs.is_empty() {
+        return Err(err(0, "empty program"));
+    }
+    if !matches!(instrs.last(), Some(Instr::Return { .. })) {
+        return Err(err(instrs.len() - 1, "program does not end in Return"));
+    }
+    let regs = prog.reg_count();
+    let keys = prog.key_count();
+    let reg_ok = |r: RegId| (r.0 as usize) < regs;
+    for (i, instr) in instrs.iter().enumerate() {
+        if let Some(d) = instr.dst() {
+            if !reg_ok(d) {
+                return Err(err(i, format!("destination register {d} out of range")));
+            }
+        }
+        for r in instr.consumes() {
+            if !reg_ok(r) {
+                return Err(err(i, format!("source register {r} out of range")));
+            }
+        }
+        match instr {
+            Instr::Return { .. } if i + 1 != instrs.len() => {
+                return Err(err(i, "Return before the end of the program"));
+            }
+            Instr::Store { key, src } => {
+                if key.0 as usize >= keys {
+                    return Err(err(i, format!("key {key} out of range")));
+                }
+                if !reg_ok(*src) {
+                    return Err(err(i, format!("source register {src} out of range")));
+                }
+            }
+            Instr::Probe { key, dst, target } => {
+                if key.0 as usize >= keys {
+                    return Err(err(i, format!("key {key} out of range")));
+                }
+                let t = *target as usize;
+                if t <= i || t >= instrs.len() {
+                    return Err(err(i, format!("probe target {t} is not a forward instruction")));
+                }
+                match &instrs[t - 1] {
+                    Instr::Store { key: sk, src } if sk == key && src == dst => {}
+                    _ => {
+                        return Err(err(
+                            i,
+                            "probe hit path does not land just past a Store of the same \
+                             key into the same register",
+                        ));
+                    }
+                }
+            }
+            Instr::Spine { input, steps, .. } => {
+                if steps.is_empty() {
+                    return Err(err(i, "spine with no steps"));
+                }
+                if let Some(r) = input {
+                    if !reg_ok(*r) {
+                        return Err(err(i, format!("source register {r} out of range")));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn liveness(prog: &Program) -> Result<(), VmError> {
+    let n = prog.reg_count();
+    let mut written = vec![false; n];
+    let mut consumed = vec![false; n];
+    for (i, instr) in prog.instrs().iter().enumerate() {
+        for r in instr.consumes() {
+            let r = r.0 as usize;
+            if !written[r] {
+                return Err(err(i, format!("r{r} read before it is written")));
+            }
+            if consumed[r] {
+                return Err(err(i, format!("r{r} read after it was moved out")));
+            }
+            consumed[r] = true;
+        }
+        if let Instr::Store { src, .. } = instr {
+            let r = src.0 as usize;
+            if !written[r] || consumed[r] {
+                return Err(err(i, format!("store reads r{r} which holds no live value")));
+            }
+        }
+        // A probe's write only happens on the hit path; the miss path must
+        // produce the same register itself, so probes don't count here.
+        if !matches!(instr, Instr::Probe { .. }) {
+            if let Some(d) = instr.dst() {
+                let d = d.0 as usize;
+                if written[d] {
+                    return Err(err(i, format!("second write to r{d} (registers are SSA)")));
+                }
+                written[d] = true;
+            }
+        }
+    }
+    for r in 0..n {
+        if !written[r] {
+            return Err(err(0, format!("r{r} is never written on the miss path")));
+        }
+        if !consumed[r] {
+            return Err(err(0, format!("r{r} is written but never consumed (dead value)")));
+        }
+    }
+    Ok(())
+}
+
+fn take_plan(bound: &mut HashMap<u16, Plan>, r: RegId, at: usize) -> Result<Plan, VmError> {
+    bound.remove(&r.0).ok_or_else(|| err(at, format!("instruction consumes unbound register {r}")))
+}
+
+fn semantic(prog: &Program) -> Result<Plan, VmError> {
+    let mut bound: HashMap<u16, Plan> = HashMap::new();
+    for (i, instr) in prog.instrs().iter().enumerate() {
+        let plan =
+            match instr {
+                Instr::Probe { .. } => continue,
+                Instr::Store { key, src } => {
+                    let p = bound
+                        .get(&src.0)
+                        .ok_or_else(|| err(i, format!("store reads unbound register {src}")))?;
+                    let want = match_chain_key(p).ok_or_else(|| {
+                        err(i, "store publishes a plan that is not a cacheable chain")
+                    })?;
+                    if want != prog.key(*key) {
+                        return Err(err(
+                            i,
+                            format!("stored key {:?} != chain key {want:?}", prog.key(*key)),
+                        ));
+                    }
+                    continue;
+                }
+                Instr::Spine { input, steps, .. } => {
+                    let mut acc: Option<Plan> = match input {
+                        Some(r) => Some(take_plan(&mut bound, *r, i)?),
+                        None => None,
+                    };
+                    for step in steps {
+                        acc =
+                            Some(match step {
+                                SpineOp::Match(apt) => {
+                                    if acc.is_some() {
+                                        return Err(err(i, "Match step atop a live rolling set"));
+                                    }
+                                    Plan::Select { input: None, apt: apt.clone() }
+                                }
+                                SpineOp::Extend(apt) => Plan::Select {
+                                    input: Some(Box::new(acc.take().ok_or_else(|| {
+                                        err(i, "Extend step with no rolling set")
+                                    })?)),
+                                    apt: apt.clone(),
+                                },
+                                SpineOp::Filter { lcl, pred, mode } => Plan::Filter {
+                                    input: Box::new(acc.take().ok_or_else(|| {
+                                        err(i, "Filter step with no rolling set")
+                                    })?),
+                                    lcl: *lcl,
+                                    pred: pred.clone(),
+                                    mode: *mode,
+                                },
+                                SpineOp::Project { keep } => Plan::Project {
+                                    input: Box::new(acc.take().ok_or_else(|| {
+                                        err(i, "Project step with no rolling set")
+                                    })?),
+                                    keep: keep.clone(),
+                                },
+                                SpineOp::DupElim { on, kind } => Plan::DupElim {
+                                    input: Box::new(acc.take().ok_or_else(|| {
+                                        err(i, "DupElim step with no rolling set")
+                                    })?),
+                                    on: on.clone(),
+                                    kind: *kind,
+                                },
+                            });
+                    }
+                    acc.ok_or_else(|| err(i, "spine produced no plan"))?
+                }
+                Instr::Join { left, right, spec, .. } => Plan::Join {
+                    left: Box::new(take_plan(&mut bound, *left, i)?),
+                    right: Box::new(take_plan(&mut bound, *right, i)?),
+                    spec: spec.clone(),
+                },
+                Instr::Aggregate { input, func, over, new_lcl, .. } => Plan::Aggregate {
+                    input: Box::new(take_plan(&mut bound, *input, i)?),
+                    func: *func,
+                    over: *over,
+                    new_lcl: *new_lcl,
+                },
+                Instr::Construct { input, spec, .. } => Plan::Construct {
+                    input: Box::new(take_plan(&mut bound, *input, i)?),
+                    spec: spec.clone(),
+                },
+                Instr::Sort { input, keys, .. } => Plan::Sort {
+                    input: Box::new(take_plan(&mut bound, *input, i)?),
+                    keys: keys.clone(),
+                },
+                Instr::Flatten { input, parent, child, .. } => Plan::Flatten {
+                    input: Box::new(take_plan(&mut bound, *input, i)?),
+                    parent: *parent,
+                    child: *child,
+                },
+                Instr::Shadow { input, parent, child, .. } => Plan::Shadow {
+                    input: Box::new(take_plan(&mut bound, *input, i)?),
+                    parent: *parent,
+                    child: *child,
+                },
+                Instr::Illuminate { input, lcl, .. } => Plan::Illuminate {
+                    input: Box::new(take_plan(&mut bound, *input, i)?),
+                    lcl: *lcl,
+                },
+                Instr::GroupBy { input, by, collect, .. } => Plan::GroupBy {
+                    input: Box::new(take_plan(&mut bound, *input, i)?),
+                    by: *by,
+                    collect: *collect,
+                },
+                Instr::Materialize { input, lcls, .. } => Plan::Materialize {
+                    input: Box::new(take_plan(&mut bound, *input, i)?),
+                    lcls: lcls.clone(),
+                },
+                Instr::Union { inputs, dedup_on, .. } => {
+                    let mut branches = Vec::with_capacity(inputs.len());
+                    for r in inputs {
+                        branches.push(take_plan(&mut bound, *r, i)?);
+                    }
+                    Plan::Union { inputs: branches, dedup_on: dedup_on.clone() }
+                }
+                Instr::Return { src } => {
+                    let p = take_plan(&mut bound, *src, i)?;
+                    if !bound.is_empty() {
+                        return Err(err(i, "registers still bound at Return (dead values)"));
+                    }
+                    return Ok(p);
+                }
+            };
+        let dst = instr.dst().expect("value-producing instructions have a destination");
+        let t = analyze(&plan)
+            .map_err(|e| err(i, format!("decompiled subplan fails LC analysis: {e}")))?;
+        let want = prog.reg_type(dst);
+        if t.classes != want.classes
+            || t.seen != want.seen
+            || t.root != want.root
+            || t.order != want.order
+        {
+            return Err(err(
+                i,
+                format!(
+                    "register {dst} schema mismatch: lowered as {want:?}, re-analysis gives {t:?}"
+                ),
+            ));
+        }
+        bound.insert(dst.0, plan);
+    }
+    Err(err(prog.instrs().len().saturating_sub(1), "program has no Return"))
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Compares the throughput figures of a fresh `experiments ... --json`
+# report against a checked-in baseline (scripts/baselines/), failing when
+# any QPS figure drops below TOLERANCE x its baseline value.
+#
+#   usage: check_qps.sh BASELINE.json FRESH.json [TOLERANCE]
+#
+# Figures are matched positionally: every `"qps"` / `"read_qps"` field, in
+# document order (batch reports carry batched / per-request / tree-walk
+# sides; rw reports carry one read_qps per write fraction), so baseline
+# and fresh runs must use the same experiment configuration. The default
+# tolerance of 0.5 guards against collapses — a regression that halves
+# throughput — not run-to-run jitter; hardware differences are expected
+# to stay well inside it.
+set -euo pipefail
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 BASELINE.json FRESH.json [TOLERANCE]" >&2
+    exit 2
+fi
+baseline="$1"
+fresh="$2"
+tolerance="${3:-0.5}"
+
+extract() {
+    grep -oE '"(read_)?qps":[0-9]+(\.[0-9]+)?' "$1" | cut -d: -f2
+}
+
+base_vals="$(extract "$baseline")"
+fresh_vals="$(extract "$fresh")"
+
+if [ -z "$base_vals" ] || [ -z "$fresh_vals" ]; then
+    echo "check_qps: no qps figures found in $baseline or $fresh" >&2
+    exit 2
+fi
+if [ "$(echo "$base_vals" | wc -l)" != "$(echo "$fresh_vals" | wc -l)" ]; then
+    echo "check_qps: $baseline and $fresh carry different numbers of qps figures;" \
+         "regenerate the baseline with the current report format" >&2
+    exit 2
+fi
+
+paste <(echo "$base_vals") <(echo "$fresh_vals") | awk -v tol="$tolerance" '
+    {
+        floor = $1 * tol
+        status = ($2 >= floor) ? "ok" : "REGRESSED"
+        printf "check_qps: figure %d: baseline %.1f qps, fresh %.1f qps (floor %.1f): %s\n",
+               NR, $1, $2, floor, status
+        if ($2 < floor) bad++
+    }
+    END { exit (bad > 0) ? 1 : 0 }
+'
+echo "check_qps: all figures within tolerance $tolerance of $baseline"

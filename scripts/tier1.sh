@@ -45,11 +45,15 @@ echo "tier1: catalog smoke test passed"
 # single-threaded reference on every answer and actually hit the match
 # cache (the binary exits non-zero on either defect); assert the nonzero
 # hit rate in the output too so a silent format change cannot mask it.
+# The same run replays identical traffic with the register-IR backend on
+# and off — the report must show a non-regressing IR QPS ratio.
 batch_out="$smoke_dir/batch.txt"
 ./target/release/experiments batch --factor 0.0005 --clients 4 --requests 40 \
-    > "$batch_out" 2>/dev/null
+    --json "$smoke_dir/batch.json" > "$batch_out" 2>/dev/null
 grep -q 'byte mismatches vs single-threaded reference: 0' "$batch_out"
 grep -Eq 'match cache hit rate: ([1-9][0-9]*\.[0-9]|0\.[1-9])%' "$batch_out"
+grep -q 'ir non-regression: ok' "$batch_out"
+grep -q '"ir_speedup":' "$smoke_dir/batch.json"
 echo "tier1: batched execution smoke test passed"
 
 # In-place update smoke: mutate a tiny catalog database through the line
@@ -112,13 +116,26 @@ grep -q 'warning\[redundant-dupelim\]' "$explain_out"
 grep -q 'warning\[dead-project-column\]' "$explain_out"
 grep -q '== footprint ==' "$explain_out"
 grep -q '== liveness ==' "$explain_out"
+grep -q '== ir ==' "$explain_out"
 echo "tier1: explain/lint smoke test passed"
 
 # Differential soundness oracle: seeded random plans, every static claim
 # (cardinality, liveness-pruning byte-identity, empty-select lints,
-# footprint-based cache carry) checked against execution. The binary
-# exits non-zero on any violation.
+# footprint-based cache carry, register-IR vs tree-walk byte equality)
+# checked against execution. The binary exits non-zero on any violation.
 lint_out="$smoke_dir/lintcheck.txt"
 ./target/release/experiments lintcheck --factor 0.0005 --plans 60 > "$lint_out" 2>/dev/null
 grep -q 'lintcheck clean' "$lint_out"
+grep -Eq 'register IR: [1-9][0-9]* program\(s\) lowered and replayed' "$lint_out"
 echo "tier1: lintcheck oracle smoke test passed"
+
+# Throughput non-regression against the checked-in baselines: re-run the
+# batch and rw sweeps at baseline configuration and compare every QPS
+# figure (scripts/check_qps.sh fails on a drop past tolerance).
+./target/release/experiments batch --json "$smoke_dir/bench_batch.json" \
+    > /dev/null 2>&1
+./scripts/check_qps.sh scripts/baselines/BENCH_batch.json "$smoke_dir/bench_batch.json"
+./target/release/experiments rw --json "$smoke_dir/bench_rw.json" \
+    > /dev/null 2>&1
+./scripts/check_qps.sh scripts/baselines/BENCH_rw.json "$smoke_dir/bench_rw.json"
+echo "tier1: QPS baseline check passed"
