@@ -189,7 +189,7 @@ impl BatchReport {
 /// window measures warm steady state: plan-cache compiles, register-IR
 /// lowering and (where enabled) match-cache cold misses all land in the
 /// warmup, not in the comparison.
-fn run_mix(
+pub(crate) fn run_mix(
     svc: &Service,
     clients: usize,
     requests: usize,

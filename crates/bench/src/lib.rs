@@ -23,6 +23,7 @@ pub mod batch;
 pub mod concurrent;
 pub mod lintcheck;
 pub mod micro;
+pub mod parallel;
 pub mod rw;
 
 use baselines::Engine;

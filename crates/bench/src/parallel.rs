@@ -1,0 +1,399 @@
+//! Intra-query parallel execution sweep (`experiments parallel`).
+//!
+//! Two layers, both byte-checked against the single-threaded reference:
+//!
+//! 1. **Engine sweep** — each heavy workload query is compiled once and
+//!    executed through `tlc::par` at shard counts 1/2/4/8, on the
+//!    tree-walk backend and (where the plan lowers) the register-IR
+//!    backend. The 1-shard point runs the full shard machinery over a
+//!    single full-document window, so it isolates the machinery's
+//!    overhead against the plain sequential run.
+//! 2. **Service composition** — the same heavy mix replayed by closed-loop
+//!    clients through a sharded service (`shard_max` over the batched
+//!    worker pool) and through an otherwise-identical sequential service,
+//!    reporting QPS for both.
+//!
+//! A run is `clean()` when every answer matched and the sharded service
+//! actually sharded; speedup itself is *reported, never gated* — it is
+//! bounded by the host's core count, which the report prints.
+
+use crate::concurrent::LoadReport;
+use baselines::Engine;
+use queries::all_queries;
+use service::{Service, ServiceConfig};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tlc::par::{execute_sharded, execute_sharded_vm, plan_shards, ShardPlan, ShardPolicy};
+use xmldb::{Database, OrdRange};
+
+/// Shard counts the engine sweep measures.
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Heavy workload queries: large candidate sets and big outputs, so
+/// per-shard work dominates planning and merge.
+pub const HEAVY_QUERIES: [&str; 2] = ["x10", "Q2"];
+
+/// One measured shard-count configuration of one query.
+pub struct ShardPoint {
+    /// Requested shard count.
+    pub shards: usize,
+    /// Final-wave windows the planner actually produced (clamped to the
+    /// candidate count).
+    pub windows: usize,
+    /// Total shard jobs of the staged tree-walk execution.
+    pub jobs: usize,
+    /// Tree-walk sharded wall clock (execute + merge + serialize).
+    pub walk: Duration,
+    /// Register-IR sharded wall clock; `None` when the plan does not lower.
+    pub vm: Option<Duration>,
+}
+
+/// The shard-count curve of one query.
+pub struct QuerySweep {
+    /// Workload query name (e.g. `x10`).
+    pub name: &'static str,
+    /// Plain single-threaded `tlc::execute` wall clock (the speedup
+    /// denominator for the tree-walk points).
+    pub sequential: Duration,
+    /// One point per measured shard count, ascending.
+    pub points: Vec<ShardPoint>,
+}
+
+impl QuerySweep {
+    /// Tree-walk speedup of the point at `shards`, vs the sequential run.
+    pub fn walk_speedup(&self, shards: usize) -> Option<f64> {
+        let p = self.points.iter().find(|p| p.shards == shards)?;
+        Some(self.sequential.as_secs_f64() / p.walk.as_secs_f64().max(1e-9))
+    }
+
+    /// Register-IR speedup of the point at `shards`, vs the 1-shard IR run
+    /// (same backend, so the ratio isolates the sharding effect).
+    pub fn vm_speedup(&self, shards: usize) -> Option<f64> {
+        let base = self.points.iter().find(|p| p.shards == 1)?.vm?;
+        let p = self.points.iter().find(|p| p.shards == shards)?.vm?;
+        Some(base.as_secs_f64() / p.as_secs_f64().max(1e-9))
+    }
+}
+
+/// The full `experiments parallel` result.
+pub struct ParallelReport {
+    /// XMark scale factor the run was measured at.
+    pub factor: f64,
+    /// `std::thread::available_parallelism()` — the speedup ceiling.
+    pub parallelism: usize,
+    /// Per-query shard-count curves.
+    pub sweeps: Vec<QuerySweep>,
+    /// Heavy mix through the sharded service (shards over the batched pool).
+    pub sharded: LoadReport,
+    /// The same mix through an otherwise-identical sequential service.
+    pub sequential: LoadReport,
+    /// Shard jobs the sharded service executed (from `.metrics`).
+    pub shard_jobs: u64,
+    /// Requests the sharded service fell back to sequential execution.
+    pub fallbacks: u64,
+    /// Shard waves the pool admitted.
+    pub waves: u64,
+    /// Answers compared against the single-threaded reference.
+    pub checked: u64,
+    /// Answers that differed from the reference (must be zero).
+    pub mismatches: u64,
+}
+
+impl ParallelReport {
+    /// True when every byte check passed, no request failed, and the
+    /// sharded service actually executed shard jobs.
+    pub fn clean(&self) -> bool {
+        self.mismatches == 0
+            && self.sharded.errors == 0
+            && self.sequential.errors == 0
+            && self.shard_jobs > 0
+    }
+
+    /// QPS ratio of the sharded service over the sequential service.
+    pub fn service_speedup(&self) -> f64 {
+        let base = self.sequential.qps();
+        if base <= 0.0 {
+            0.0
+        } else {
+            self.sharded.qps() / base
+        }
+    }
+
+    /// Machine-readable report; the two `"qps"` fields (sharded first,
+    /// sequential second) are what `scripts/check_qps.sh` compares.
+    pub fn to_json(&self, clients: usize, requests: usize) -> String {
+        let mut queries = String::new();
+        for (i, sw) in self.sweeps.iter().enumerate() {
+            if i > 0 {
+                queries.push(',');
+            }
+            let mut points = String::new();
+            for (j, p) in sw.points.iter().enumerate() {
+                if j > 0 {
+                    points.push(',');
+                }
+                points.push_str(&format!(
+                    "{{\"shards\":{},\"windows\":{},\"jobs\":{},\"walk_ms\":{:.2},\
+                     \"walk_speedup\":{:.3}",
+                    p.shards,
+                    p.windows,
+                    p.jobs,
+                    p.walk.as_secs_f64() * 1e3,
+                    sw.walk_speedup(p.shards).unwrap_or(0.0),
+                ));
+                if let Some(vm) = p.vm {
+                    points.push_str(&format!(
+                        ",\"vm_ms\":{:.2},\"vm_speedup\":{:.3}",
+                        vm.as_secs_f64() * 1e3,
+                        sw.vm_speedup(p.shards).unwrap_or(0.0),
+                    ));
+                }
+                points.push('}');
+            }
+            queries.push_str(&format!(
+                "{{\"query\":\"{}\",\"seq_ms\":{:.2},\"points\":[{points}]}}",
+                sw.name,
+                sw.sequential.as_secs_f64() * 1e3,
+            ));
+        }
+        format!(
+            "{{\"experiment\":\"parallel\",\"factor\":{},\"available_parallelism\":{},\
+             \"clients\":{clients},\"requests\":{requests},\
+             \"queries\":[{queries}],\
+             \"sharded\":{},\"sequential\":{},\"service_speedup\":{:.3},\
+             \"shard_jobs\":{},\"fallbacks\":{},\"waves\":{},\
+             \"checked\":{},\"mismatches\":{}}}\n",
+            self.factor,
+            self.parallelism,
+            crate::rw::load_report_json(&self.sharded),
+            crate::rw::load_report_json(&self.sequential),
+            self.service_speedup(),
+            self.shard_jobs,
+            self.fallbacks,
+            self.waves,
+            self.checked,
+            self.mismatches,
+        )
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Intra-query parallel sharding, XMark factor {}\n\
+             available parallelism: {} core(s) — shard speedups are bounded by the host\n",
+            self.factor, self.parallelism
+        );
+        for sw in &self.sweeps {
+            out.push_str(&format!("\n{}: sequential {:.1?}\n", sw.name, sw.sequential));
+            for p in &sw.points {
+                out.push_str(&format!(
+                    "  shards={:<2} windows={:<2} jobs={:<3} walk {:>9.1?} ({:.2}x)",
+                    p.shards,
+                    p.windows,
+                    p.jobs,
+                    p.walk,
+                    sw.walk_speedup(p.shards).unwrap_or(0.0),
+                ));
+                match p.vm {
+                    Some(vm) => out.push_str(&format!(
+                        "   vm {:>9.1?} ({:.2}x vs 1-shard vm)\n",
+                        vm,
+                        sw.vm_speedup(p.shards).unwrap_or(0.0),
+                    )),
+                    None => out.push_str("   vm —\n"),
+                }
+            }
+        }
+        out.push_str(&format!(
+            "\nservice mix (shard dispatch over the batched pool) vs sequential service:\n\
+             \x20 sharded:    {}\n\
+             \x20 sequential: {}\n\
+             \x20 service speedup: {:.2}x; {} shard job(s), {} wave(s), {} fallback(s)\n\
+             byte checks: {} answer(s) compared, {} mismatch(es)\n",
+            self.sharded.summary(),
+            self.sequential.summary(),
+            self.service_speedup(),
+            self.shard_jobs,
+            self.waves,
+            self.fallbacks,
+            self.checked,
+            self.mismatches,
+        ));
+        out
+    }
+}
+
+/// Collapses every wave of `sp` to one full-document window — the
+/// degenerate 1-shard execution that isolates the shard machinery's
+/// overhead from actual partitioning.
+fn single_window(sp: &ShardPlan) -> ShardPlan {
+    let mut sp = sp.clone();
+    sp.ranges = vec![OrdRange::full(sp.doc)];
+    for stage in &mut sp.stages {
+        stage.ranges = vec![OrdRange::full(sp.doc)];
+    }
+    sp
+}
+
+/// Measures one query's shard-count curve, byte-checking every answer.
+fn sweep_query(
+    db: &Database,
+    name: &'static str,
+    text: &str,
+    checked: &mut u64,
+    mismatches: &mut u64,
+) -> QuerySweep {
+    let plan = tlc::compile(text, db).expect("heavy query compiles");
+    // Warm the allocator and page cache before anything is timed.
+    let reference = tlc::execute_to_string(db, &plan).expect("reference");
+    let started = Instant::now();
+    let sequential_out = tlc::execute_to_string(db, &plan).expect("reference");
+    let sequential = started.elapsed();
+    assert_eq!(sequential_out, reference, "sequential rerun diverged");
+    let prog = tlc::vm::lower(&plan).ok();
+
+    let mut points = Vec::new();
+    for &k in &SHARD_COUNTS {
+        // The planner refuses below 2 shards; plan at 2 and collapse for
+        // the 1-shard overhead point.
+        let policy = ShardPolicy { max_shards: k.max(2), min_candidates: 1 };
+        let Ok(planned) = plan_shards(db, &plan, policy) else {
+            continue;
+        };
+        let sp = if k == 1 { single_window(&planned) } else { planned };
+
+        let started = Instant::now();
+        let (trees, _, jobs) = execute_sharded(db, &plan, &sp, None)
+            .unwrap_or_else(|e| panic!("{name} k={k}: walk shards failed: {e}"));
+        let out = tlc::serialize_results(db, &trees);
+        let walk = started.elapsed();
+        *checked += 1;
+        if out != reference {
+            *mismatches += 1;
+            eprintln!("MISMATCH: {name} k={k} tree-walk shards diverged from reference");
+        }
+
+        let vm = prog.as_ref().map(|prog| {
+            let started = Instant::now();
+            let (trees, _, _) = execute_sharded_vm(db, prog, &sp, None)
+                .unwrap_or_else(|e| panic!("{name} k={k}: vm shards failed: {e}"));
+            let out = tlc::serialize_results(db, &trees);
+            let elapsed = started.elapsed();
+            *checked += 1;
+            if out != reference {
+                *mismatches += 1;
+                eprintln!("MISMATCH: {name} k={k} register-IR shards diverged from reference");
+            }
+            elapsed
+        });
+
+        points.push(ShardPoint { shards: k, windows: sp.ranges.len(), jobs, walk, vm });
+    }
+    QuerySweep { name, sequential, points }
+}
+
+/// The `experiments parallel` experiment: engine-level shard-count sweep
+/// plus the composed service scenario, every answer byte-checked.
+pub fn sweep(factor: f64, clients: usize, requests: usize, seed: u64) -> ParallelReport {
+    let db = Arc::new(crate::setup(factor));
+    let parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let heavy: Vec<_> = all_queries().iter().filter(|q| HEAVY_QUERIES.contains(&q.name)).collect();
+    assert_eq!(heavy.len(), HEAVY_QUERIES.len(), "heavy query missing from workload");
+
+    let mut checked = 0u64;
+    let mut mismatches = 0u64;
+    let sweeps: Vec<QuerySweep> = heavy
+        .iter()
+        .map(|q| sweep_query(&db, q.name, q.text, &mut checked, &mut mismatches))
+        .collect();
+
+    // Composed scenario: the same heavy mix through shard dispatch over
+    // the batched pool, and through an otherwise-identical sequential
+    // service. Worker count covers a full 4-shard wave even on small
+    // hosts; the cost threshold is dropped so smoke-scale databases
+    // exercise the shard path too.
+    let texts: Vec<&str> = heavy.iter().map(|q| q.text).collect();
+    let refs: Vec<String> = texts
+        .iter()
+        .map(|t| baselines::run(Engine::Tlc, t, &db).expect("single-threaded reference"))
+        .collect();
+    let sharded_cfg = ServiceConfig {
+        workers: 4,
+        queue_depth: clients.max(4) * 8,
+        shard_max: 4,
+        shard_min_candidates: 1,
+        ..ServiceConfig::default()
+    };
+    let sequential_cfg = ServiceConfig { shard_max: 0, ..sharded_cfg.clone() };
+    let svc_mismatches = AtomicU64::new(0);
+
+    let sharded_svc = Service::new(Arc::clone(&db), sharded_cfg);
+    let sharded = crate::batch::run_mix(
+        &sharded_svc,
+        clients,
+        requests,
+        seed,
+        &texts,
+        &refs,
+        &svc_mismatches,
+    );
+    let snap = sharded_svc.metrics_snapshot();
+    let waves = sharded_svc.shard_stats().waves;
+
+    let sequential_svc = Service::new(db, sequential_cfg);
+    let sequential = crate::batch::run_mix(
+        &sequential_svc,
+        clients,
+        requests,
+        seed,
+        &texts,
+        &refs,
+        &svc_mismatches,
+    );
+
+    checked += sharded.ok + sequential.ok;
+    ParallelReport {
+        factor,
+        parallelism,
+        sweeps,
+        sharded,
+        sequential,
+        shard_jobs: snap.shards_executed,
+        fallbacks: snap.shard_fallback_sequential,
+        waves,
+        checked,
+        mismatches: mismatches + svc_mismatches.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_sweep_is_clean_on_a_small_database() {
+        let report = sweep(0.002, 2, 3, 7);
+        assert!(report.clean(), "mismatches or errors: {}", report.render());
+        assert_eq!(report.mismatches, 0);
+        assert!(report.checked > 0);
+        // Every heavy query produced all four shard-count points.
+        for sw in &report.sweeps {
+            assert_eq!(
+                sw.points.iter().map(|p| p.shards).collect::<Vec<_>>(),
+                SHARD_COUNTS.to_vec(),
+                "{} missed shard counts",
+                sw.name
+            );
+            // More requested shards never yields fewer windows.
+            for pair in sw.points.windows(2) {
+                assert!(pair[0].windows <= pair[1].windows);
+            }
+        }
+        let json = report.to_json(2, 3);
+        assert_eq!(json.matches("\"qps\":").count(), 2, "check_qps expects two qps fields");
+        assert!(json.contains("\"mismatches\":0"));
+        assert!(report.render().contains("available parallelism"));
+    }
+}

@@ -96,6 +96,11 @@ const USAGE: &str = "usage: tlc-serve [OPTIONS]
                     (1 disables batching; default 8)
   --ir on|off       execute cached plans through the register-IR backend
                     (lowered once per plan, byte-identical output; default on)
+  --shards N        split eligible queries into up to N interval-range shards
+                    executed as parallel pool jobs and merged in document
+                    order (0 disables; default 0)
+  --shard-min N     anchor-candidate count below which a shardable query
+                    still runs sequentially (default 512)
   --deadline-ms N   default per-request wall-clock budget
   --client-wait-ms N  max time a connection waits for a reply before
                     abandoning it (default: wait forever)
@@ -171,6 +176,14 @@ fn parse_args() -> Result<Options, String> {
                     "off" | "false" | "0" => false,
                     other => return Err(format!("--ir wants on|off, got {other:?}")),
                 }
+            }
+            "--shards" => {
+                opts.config.shard_max =
+                    value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?
+            }
+            "--shard-min" => {
+                opts.config.shard_min_candidates =
+                    value("--shard-min")?.parse().map_err(|e| format!("--shard-min: {e}"))?
             }
             "--deadline-ms" => {
                 let ms: u64 =

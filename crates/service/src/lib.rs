@@ -81,10 +81,12 @@ use metrics::{Metrics, Outcome, Snapshot};
 use pool::{Pool, Reply, SubmitError};
 use std::fmt;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use tlc::{ExecStats, Plan};
+use tlc::par::{plan_shards, resolve_path, run_shard, run_shard_vm, ShardPlan, ShardPolicy};
+use tlc::{AnchorRange, ExecStats, Plan, ResultTree};
 use xmldb::Database;
 
 /// Configuration for a [`Service`].
@@ -130,6 +132,17 @@ pub struct ServiceConfig {
     /// baseline for benchmarking. Plans the lowerer declines fall back to
     /// the tree walk either way.
     pub ir: bool,
+    /// Upper bound on intra-query shards per execution wave
+    /// ([`tlc::par::ShardPolicy::max_shards`]). `0` (the default) disables
+    /// sharding entirely; values of 2+ let eligible requests split their
+    /// anchor candidates into up to this many range windows, executed as
+    /// independent pool jobs and merged back in document order. Plans the
+    /// shard planner declines run sequentially either way.
+    pub shard_max: usize,
+    /// Anchor-candidate count below which a shardable plan still executes
+    /// sequentially — per-shard setup cannot amortize on small inputs
+    /// ([`tlc::par::ShardPolicy::min_candidates`]).
+    pub shard_min_candidates: usize,
 }
 
 impl Default for ServiceConfig {
@@ -145,6 +158,8 @@ impl Default for ServiceConfig {
             match_cache_bytes: 32 << 20,
             batch_max: 8,
             ir: true,
+            shard_max: 0,
+            shard_min_candidates: 512,
         }
     }
 }
@@ -262,6 +277,58 @@ pub struct Response {
 
 type WorkResult = Result<(String, ExecStats), ServiceError>;
 
+/// Shard jobs flow through the same pool as whole requests, so they share
+/// [`WorkResult`]; their tree slices travel through a side slot instead of
+/// the reply's string (which stays empty), because only the caller — which
+/// holds every shard of the wave — can merge and serialize them.
+type ShardSlot = Arc<Mutex<Option<Vec<ResultTree>>>>;
+type ShardWork = Box<dyn FnOnce() -> WorkResult + Send>;
+
+/// Why a shard wave did not produce a merged result.
+enum ShardFail {
+    /// The queue could not take the whole wave; run sequentially instead.
+    Overflow,
+    /// A real failure to surface to the caller (deadline, execution error,
+    /// shutdown, abandonment).
+    Fatal(ServiceError),
+}
+
+/// Stores a finished shard's trees in its side slot (success) or raises
+/// the shared cancel flag (failure) — on the worker thread, so siblings
+/// start winding down before the caller even sees the reply.
+fn deposit(
+    result: tlc::Result<(Vec<ResultTree>, ExecStats)>,
+    slot: &ShardSlot,
+    cancel: &AtomicBool,
+) -> WorkResult {
+    match result {
+        Ok((trees, st)) => {
+            *slot.lock().unwrap() = Some(trees);
+            Ok((String::new(), st))
+        }
+        Err(e) => {
+            cancel.store(true, Ordering::Relaxed);
+            Err(match e {
+                tlc::Error::DeadlineExceeded => ServiceError::DeadlineExceeded,
+                other => ServiceError::Execute(other),
+            })
+        }
+    }
+}
+
+/// Keeps the most informative of two shard errors: the first root cause
+/// beats later ones, and anything beats a sibling's `Cancelled` (which
+/// only says *someone else* failed first).
+fn prefer_root_cause(first: &mut Option<ServiceError>, e: ServiceError) {
+    let cancelled =
+        |err: &ServiceError| matches!(err, ServiceError::Execute(tlc::Error::Cancelled));
+    match first {
+        None => *first = Some(e),
+        Some(cur) if cancelled(cur) && !cancelled(&e) => *first = Some(e),
+        Some(_) => {}
+    }
+}
+
 /// One node-level mutation for [`Service::apply_update`]. Documents are
 /// addressed by logical name, nodes by their pre ordinal within the
 /// document (the `pre` component of [`xmldb::NodeId`], as reported by
@@ -346,6 +413,11 @@ pub struct Service {
     default_deadline: Option<Duration>,
     client_wait: Option<Duration>,
     queue_depth: usize,
+    shard_max: usize,
+    shard_min_candidates: usize,
+    /// Monotonic per-request suffix for shard batching groups, so one
+    /// request's shards batch together without coalescing with another's.
+    shard_seq: AtomicU64,
     /// Serializes [`Service::apply_update`] commits so two concurrent
     /// updates cannot clone the same base snapshot and silently lose one
     /// of the two mutations. Reads never take this lock.
@@ -371,6 +443,9 @@ impl Service {
             default_deadline: config.default_deadline,
             client_wait: config.client_wait,
             queue_depth: config.queue_depth,
+            shard_max: config.shard_max,
+            shard_min_candidates: config.shard_min_candidates,
+            shard_seq: AtomicU64::new(0),
             commit: Mutex::new(()),
         }
     }
@@ -851,6 +926,34 @@ impl Service {
         } else {
             None
         };
+        // Intra-query sharding: decided on the caller's thread, before any
+        // pool submission, so shard jobs are ordinary pool work and a
+        // worker never blocks waiting on work it would itself have to run.
+        if self.shard_max >= 2 {
+            let policy = ShardPolicy {
+                max_shards: self.shard_max,
+                min_candidates: self.shard_min_candidates,
+            };
+            match plan_shards(handle.entry.database(), handle.cached.plan(), policy) {
+                Ok(sp) => {
+                    match self.execute_sharded_handle(
+                        handle,
+                        &sp,
+                        program.clone(),
+                        cached,
+                        admitted,
+                        deadline,
+                    ) {
+                        Ok(resp) => return Ok(resp),
+                        // A full queue rejects the whole wave; the request
+                        // still runs, sequentially, below.
+                        Err(ShardFail::Overflow) => self.metrics.record_shard_fallback(),
+                        Err(ShardFail::Fatal(e)) => return Err(e),
+                    }
+                }
+                Err(_) => self.metrics.record_shard_fallback(),
+            }
+        }
         // The executor sees the match store through a view scoped to this
         // request's `(database, epoch)` — the scoping, not the executor,
         // is what makes serving across hot swaps impossible.
@@ -883,6 +986,259 @@ impl Service {
             deadline,
             work,
         )
+    }
+
+    /// Runs one request through the intra-query sharding path: stage waves
+    /// (each join's right child, computed once) through the worker pool,
+    /// then the final anchor-sharded wave with stage results injected, then
+    /// the document-order merge on the caller's thread. The register-IR
+    /// backend runs whole programs per shard instead of staging. Output is
+    /// byte-identical to the sequential path.
+    fn execute_sharded_handle(
+        &self,
+        handle: &PlanHandle,
+        sp: &ShardPlan,
+        program: Option<Arc<tlc::vm::Program>>,
+        cache_hit: bool,
+        admitted: Instant,
+        deadline: Option<Instant>,
+    ) -> Result<Response, ShardFail> {
+        let db = Arc::clone(handle.entry.database());
+        let plan = Arc::clone(handle.cached.plan());
+        let cancel = Arc::new(AtomicBool::new(false));
+        let seq = self.shard_seq.fetch_add(1, Ordering::Relaxed);
+        let group: Arc<str> = Arc::from(
+            format!("{}\u{1}{}\u{1}shard-{seq}", handle.entry.name(), handle.entry.epoch())
+                .as_str(),
+        );
+        let mut stats = ExecStats::new();
+        let mut shard_jobs = 0u64;
+        let mut tmp_slot = 1u64; // slot 0 is the sequential path's
+        let parts: Vec<Vec<ResultTree>> = match program {
+            Some(prog) => {
+                // Whole program per shard: a lowered program has no
+                // injection point, so each shard re-derives the right
+                // sides under its own anchor window.
+                let lcl = sp.anchor_lcl;
+                let wave: Vec<(ShardSlot, ShardWork)> = sp
+                    .ranges
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| {
+                        let slot: ShardSlot = Arc::new(Mutex::new(None));
+                        let (db, prog, cancel, slot2) = (
+                            Arc::clone(&db),
+                            Arc::clone(&prog),
+                            Arc::clone(&cancel),
+                            Arc::clone(&slot),
+                        );
+                        let anchor = AnchorRange { lcl, range: *r };
+                        let tmp = tmp_slot + i as u64;
+                        let work: ShardWork = Box::new(move || {
+                            deposit(
+                                run_shard_vm(
+                                    &db,
+                                    &prog,
+                                    anchor,
+                                    tmp,
+                                    deadline,
+                                    Some(Arc::clone(&cancel)),
+                                ),
+                                &slot2,
+                                &cancel,
+                            )
+                        });
+                        (slot, work)
+                    })
+                    .collect();
+                shard_jobs += wave.len() as u64;
+                self.shard_wave(&group, deadline, &cancel, wave, &mut stats)?
+            }
+            None => {
+                let mut injected: Vec<(usize, Arc<Vec<ResultTree>>)> = Vec::new();
+                for stage in &sp.stages {
+                    let key = std::ptr::from_ref(resolve_path(&plan, &stage.path)) as usize;
+                    let windows: Vec<Option<AnchorRange>> = match stage.anchor_lcl {
+                        Some(lcl) => stage
+                            .ranges
+                            .iter()
+                            .map(|r| Some(AnchorRange { lcl, range: *r }))
+                            .collect(),
+                        None => vec![None],
+                    };
+                    let wave = self.walk_wave_jobs(
+                        &db,
+                        &plan,
+                        &stage.path,
+                        &windows,
+                        &injected,
+                        tmp_slot,
+                        deadline,
+                        &cancel,
+                    );
+                    tmp_slot += wave.len() as u64;
+                    shard_jobs += wave.len() as u64;
+                    let stage_parts =
+                        self.shard_wave(&group, deadline, &cancel, wave, &mut stats)?;
+                    let trees: Vec<ResultTree> = stage_parts.into_iter().flatten().collect();
+                    injected.push((key, Arc::new(trees)));
+                }
+                let lcl = sp.anchor_lcl;
+                let windows: Vec<Option<AnchorRange>> =
+                    sp.ranges.iter().map(|r| Some(AnchorRange { lcl, range: *r })).collect();
+                let wave = self.walk_wave_jobs(
+                    &db,
+                    &plan,
+                    &[],
+                    &windows,
+                    &injected,
+                    tmp_slot,
+                    deadline,
+                    &cancel,
+                );
+                shard_jobs += wave.len() as u64;
+                self.shard_wave(&group, deadline, &cancel, wave, &mut stats)?
+            }
+        };
+        // The document-order merge: concatenate the per-shard tree slices
+        // in window order and serialize centrally, exactly once — the same
+        // serializer call the sequential path makes, on the same tree
+        // sequence, so the bytes cannot differ.
+        let merge_start = Instant::now();
+        let trees: Vec<ResultTree> = parts.into_iter().flatten().collect();
+        let output = tlc::serialize_results(&db, &trees);
+        self.metrics.record_sharded(handle.entry.name(), shard_jobs, merge_start.elapsed());
+        let total_time = admitted.elapsed();
+        self.metrics.record_request(&handle.normalized, total_time, &stats);
+        Ok(Response {
+            output,
+            stats,
+            cache_hit,
+            db_name: handle.entry.shared_name(),
+            db_epoch: handle.entry.epoch(),
+            total_time,
+        })
+    }
+
+    /// Builds one tree-walk shard wave: one job per anchor window (or a
+    /// single unwindowed job), each resolving `path` inside the shared
+    /// plan and running with the stage results gathered so far injected.
+    #[allow(clippy::too_many_arguments)]
+    fn walk_wave_jobs(
+        &self,
+        db: &Arc<Database>,
+        plan: &Arc<Plan>,
+        path: &[usize],
+        windows: &[Option<AnchorRange>],
+        injected: &[(usize, Arc<Vec<ResultTree>>)],
+        tmp_slot_base: u64,
+        deadline: Option<Instant>,
+        cancel: &Arc<AtomicBool>,
+    ) -> Vec<(ShardSlot, ShardWork)> {
+        windows
+            .iter()
+            .enumerate()
+            .map(|(i, anchor)| {
+                let slot: ShardSlot = Arc::new(Mutex::new(None));
+                let (db, plan, cancel, slot2) =
+                    (Arc::clone(db), Arc::clone(plan), Arc::clone(cancel), Arc::clone(&slot));
+                let (path, injected, anchor) = (path.to_vec(), injected.to_vec(), *anchor);
+                let tmp = tmp_slot_base + i as u64;
+                let work: ShardWork = Box::new(move || {
+                    let sub = resolve_path(&plan, &path);
+                    deposit(
+                        run_shard(
+                            &db,
+                            sub,
+                            anchor,
+                            injected,
+                            tmp,
+                            deadline,
+                            Some(Arc::clone(&cancel)),
+                        ),
+                        &slot2,
+                        &cancel,
+                    )
+                });
+                (slot, work)
+            })
+            .collect()
+    }
+
+    /// Submits one wave of shard jobs atomically and awaits every reply,
+    /// returning the per-shard tree slices in window order. Any failure
+    /// (including a deadline expiry in the queue) raises the shared cancel
+    /// flag so running siblings stop at tick granularity; every reply is
+    /// still awaited before the error propagates, so no shard work is left
+    /// orphaned. When several shards fail, the first *root-cause* error
+    /// wins — a sibling's `Cancelled` is only reported if nothing better
+    /// arrives.
+    fn shard_wave(
+        &self,
+        group: &Arc<str>,
+        deadline: Option<Instant>,
+        cancel: &Arc<AtomicBool>,
+        wave: Vec<(ShardSlot, ShardWork)>,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<Vec<ResultTree>>, ShardFail> {
+        let (slots, works): (Vec<_>, Vec<_>) = wave.into_iter().unzip();
+        let receivers = self.pool.submit_shards(deadline, Some(Arc::clone(group)), works).map_err(
+            |e| match e {
+                SubmitError::QueueFull => ShardFail::Overflow,
+                SubmitError::Disconnected => ShardFail::Fatal(ServiceError::ShuttingDown),
+            },
+        )?;
+        let mut first_err: Option<ServiceError> = None;
+        let mut parts: Vec<Vec<ResultTree>> = Vec::with_capacity(slots.len());
+        for (rx, slot) in receivers.into_iter().zip(slots) {
+            let reply = match self.client_wait {
+                None => match rx.recv() {
+                    Ok(reply) => reply,
+                    Err(_) => return Err(ShardFail::Fatal(ServiceError::ShuttingDown)),
+                },
+                Some(limit) => match rx.recv_timeout(limit) {
+                    Ok(reply) => reply,
+                    Err(RecvTimeoutError::Timeout) => {
+                        // Stop waiting for the whole request; the flag makes
+                        // still-running siblings bail out early, and workers
+                        // shrug at the dropped reply channels.
+                        cancel.store(true, Ordering::Relaxed);
+                        self.metrics.record_outcome(Outcome::Abandoned);
+                        return Err(ShardFail::Fatal(ServiceError::Abandoned { waited: limit }));
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(ShardFail::Fatal(ServiceError::ShuttingDown))
+                    }
+                },
+            };
+            match reply {
+                Reply::Done { value: Ok((_, st)), queue_wait } => {
+                    self.metrics.record_queue_wait(queue_wait);
+                    stats.absorb(&st);
+                    parts.push(slot.lock().unwrap().take().unwrap_or_default());
+                }
+                Reply::Done { value: Err(e), queue_wait } => {
+                    self.metrics.record_queue_wait(queue_wait);
+                    cancel.store(true, Ordering::Relaxed);
+                    prefer_root_cause(&mut first_err, e);
+                }
+                Reply::ExpiredInQueue { queue_wait } => {
+                    self.metrics.record_queue_wait(queue_wait);
+                    cancel.store(true, Ordering::Relaxed);
+                    prefer_root_cause(&mut first_err, ServiceError::DeadlineExceeded);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => {
+                self.metrics.record_outcome(match e {
+                    ServiceError::DeadlineExceeded => Outcome::Deadline,
+                    _ => Outcome::Error,
+                });
+                Err(ShardFail::Fatal(e))
+            }
+            None => Ok(parts),
+        }
     }
 
     fn dispatch(
@@ -966,6 +1322,11 @@ impl Service {
         self.pool.batch_stats()
     }
 
+    /// Shard-admission counters from the worker pool.
+    pub fn shard_stats(&self) -> pool::ShardStats {
+        self.pool.shard_stats()
+    }
+
     /// Aggregate metrics snapshot.
     pub fn metrics_snapshot(&self) -> Snapshot {
         self.metrics.snapshot()
@@ -993,6 +1354,13 @@ impl Service {
             "batch dispatch: {} batch(es) over {} job(s), max batch {}\n",
             b.batches, b.jobs, b.max_batch
         ));
+        let sh = self.pool.shard_stats();
+        if sh.waves > 0 || sh.rejected_waves > 0 {
+            report.push_str(&format!(
+                "shard dispatch: {} wave(s) over {} shard job(s), max wave {}, {} wave(s) rejected\n",
+                sh.waves, sh.jobs, sh.max_wave, sh.rejected_waves
+            ));
+        }
         report.push_str(&self.catalog_report());
         report
     }
@@ -1425,5 +1793,110 @@ mod tests {
             ..Default::default()
         });
         assert!(patient.execute(Q).is_ok());
+    }
+
+    fn sharded_config(ir: bool) -> ServiceConfig {
+        ServiceConfig {
+            shard_max: 4,
+            shard_min_candidates: 1,
+            workers: 2,
+            queue_depth: 32,
+            ir,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sharded_execution_is_byte_identical_on_both_backends() {
+        const QJ: &str = r#"FOR $p IN document("auction.xml")//person
+                            WHERE $p/age > 25 RETURN $p/name"#;
+        for ir in [false, true] {
+            let svc = tiny_service(sharded_config(ir));
+            for q in [Q, QJ] {
+                let direct = baselines::run(Engine::Tlc, q, &svc.database()).unwrap();
+                let resp = svc.execute(q).unwrap();
+                assert_eq!(resp.output, direct, "ir={ir}: sharded output diverged");
+            }
+            let snap = svc.metrics_snapshot();
+            assert!(snap.shards_executed >= 2, "ir={ir}: no shards ran: {snap:?}");
+            assert_eq!(snap.merge.count(), snap.db(DEFAULT_DB).unwrap().parallel_requests);
+            assert!(snap.db(DEFAULT_DB).unwrap().parallel_requests >= 1);
+            let sh = svc.shard_stats();
+            assert!(sh.waves >= 1 && sh.jobs == snap.shards_executed, "{sh:?}");
+            let report = svc.metrics_report();
+            assert!(report.contains("parallel:"), "{report}");
+            assert!(report.contains("shard dispatch:"), "{report}");
+            assert!(report.contains("shard merge:"), "{report}");
+        }
+    }
+
+    #[test]
+    fn unshardable_plans_fall_back_sequentially() {
+        const SORTED: &str = r#"FOR $p IN document("auction.xml")//person
+                                ORDER BY $p/name RETURN $p/name"#;
+        let svc = tiny_service(sharded_config(true));
+        let direct = baselines::run(Engine::Tlc, SORTED, &svc.database()).unwrap();
+        let resp = svc.execute(SORTED).unwrap();
+        assert_eq!(resp.output, direct);
+        let snap = svc.metrics_snapshot();
+        assert!(snap.shard_fallback_sequential >= 1, "{snap:?}");
+        assert_eq!(snap.shards_executed, 0, "a sort must never shard");
+    }
+
+    #[test]
+    fn sharded_zero_budget_deadline_exceeds_without_orphans() {
+        let svc = tiny_service(sharded_config(false));
+        match svc.execute_with_deadline(Q, Duration::ZERO) {
+            Err(ServiceError::DeadlineExceeded) => {}
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+        // Every admitted shard job was awaited (expired in queue or
+        // cancelled), so the pool is idle and healthy for the next request.
+        let ok = svc.execute(Q).unwrap();
+        assert!(!ok.output.is_empty());
+        assert!(svc.metrics_snapshot().deadline >= 1);
+    }
+
+    #[test]
+    fn update_mid_sweep_never_tears_sharded_reads() {
+        // A writer bumps the epoch via in-place updates while sharded
+        // readers sweep; every answer must match the single-threaded
+        // reference for the exact epoch that served it — a torn read
+        // (shards straddling two snapshots) could match neither.
+        let svc = Arc::new(tiny_service(sharded_config(false)));
+        let mut snapshots: Vec<(u64, Arc<Database>)> = vec![(0, svc.database())];
+        let answers: Vec<(u64, String)> = std::thread::scope(|s| {
+            let readers: Vec<_> = (0..2)
+                .map(|_| {
+                    let svc = Arc::clone(&svc);
+                    s.spawn(move || {
+                        let mut seen = Vec::new();
+                        for _ in 0..20 {
+                            let resp = svc.execute(Q).unwrap();
+                            seen.push((resp.db_epoch, resp.output));
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            for i in 0..6 {
+                let parent = svc.database().nodes_with_tag("person")[i].pre;
+                let op = UpdateOp::Insert {
+                    doc: "auction.xml".into(),
+                    parent,
+                    xml: format!("<phone>555-{i:04}</phone>"),
+                };
+                let outcome = svc.apply_update(DEFAULT_DB, &op).unwrap();
+                snapshots.push((outcome.entry.epoch(), Arc::clone(outcome.entry.database())));
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            readers.into_iter().flat_map(|r| r.join().unwrap()).collect()
+        });
+        assert!(!answers.is_empty());
+        for (epoch, output) in answers {
+            let snapshot = &snapshots.iter().find(|(e, _)| *e == epoch).unwrap().1;
+            let reference = baselines::run(Engine::Tlc, Q, snapshot).unwrap();
+            assert_eq!(output, reference, "epoch {epoch}: torn or stale sharded read");
+        }
     }
 }

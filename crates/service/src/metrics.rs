@@ -149,6 +149,9 @@ pub struct DbCounters {
     pub ops_eliminated: u64,
     /// Lint warnings raised while compiling plans for this database.
     pub lints: u64,
+    /// Requests served by the intra-query sharding path (the per-database
+    /// parallel-QPS numerator; the caller divides by its own wall clock).
+    pub parallel_requests: u64,
 }
 
 #[derive(Debug, Default)]
@@ -175,6 +178,9 @@ struct Inner {
     ir_compiles: u64,
     ir_cache_hits: u64,
     ir_compile: Histogram,
+    shards_executed: u64,
+    shard_fallback_sequential: u64,
+    merge: Histogram,
 }
 
 /// Thread-safe metrics registry; one per [`crate::Service`].
@@ -289,6 +295,23 @@ impl Metrics {
         self.inner.lock().unwrap().ir_cache_hits += 1;
     }
 
+    /// Records one request served by the intra-query sharding path: how
+    /// many shard jobs it ran and how long the document-order merge
+    /// (concatenation + central serialization) took.
+    pub fn record_sharded(&self, db: &str, shard_jobs: u64, merge: Duration) {
+        let mut m = self.inner.lock().unwrap();
+        m.shards_executed += shard_jobs;
+        m.merge.record(merge);
+        m.per_db.entry(db.into()).or_default().parallel_requests += 1;
+    }
+
+    /// Records one request that a sharding-enabled service executed
+    /// sequentially anyway — the planner declined the plan, the anchor was
+    /// too small, or the queue could not take the whole shard wave.
+    pub fn record_shard_fallback(&self) {
+        self.inner.lock().unwrap().shard_fallback_sequential += 1;
+    }
+
     /// Records one compile-time analysis of a plan bound to `db`: whether
     /// the liveness pass pruned it, how many operators the pruning removed,
     /// and how many lint warnings the plan carries.
@@ -321,6 +344,9 @@ impl Metrics {
             ir_compiles: m.ir_compiles,
             ir_cache_hits: m.ir_cache_hits,
             ir_compile: m.ir_compile.clone(),
+            shards_executed: m.shards_executed,
+            shard_fallback_sequential: m.shard_fallback_sequential,
+            merge: m.merge.clone(),
             per_db,
         }
     }
@@ -356,6 +382,12 @@ impl Metrics {
                 out.push_str(&format!(
                     "  db {name}: {} update(s), {} plan(s) and {} match entr(ies) carried across epochs\n",
                     c.updates, c.plans_seeded, c.matches_seeded
+                ));
+            }
+            if c.parallel_requests > 0 {
+                out.push_str(&format!(
+                    "  db {name}: {} request(s) served by intra-query shards\n",
+                    c.parallel_requests
                 ));
             }
             if c.plans_pruned > 0 || c.ops_eliminated > 0 || c.lints > 0 || c.matches_extra > 0 {
@@ -400,6 +432,22 @@ impl Metrics {
                 m.ir_compile.mean(),
                 m.ir_compile.quantile(0.95),
                 m.ir_compile.max()
+            ));
+        }
+        if m.merge.count() > 0 || m.shard_fallback_sequential > 0 {
+            out.push_str(&format!(
+                "parallel: {} sharded request(s), {} shard job(s) executed, {} sequential fallback(s)\n",
+                m.merge.count(),
+                m.shards_executed,
+                m.shard_fallback_sequential
+            ));
+            out.push_str(&format!(
+                "shard merge: count={} mean={:?} p50={:?} p95={:?} max={:?}\n",
+                m.merge.count(),
+                m.merge.mean(),
+                m.merge.quantile(0.50),
+                m.merge.quantile(0.95),
+                m.merge.max()
             ));
         }
         if !m.per_query.is_empty() {
@@ -466,6 +514,17 @@ pub struct Snapshot {
     pub ir_cache_hits: u64,
     /// Per-lowering compile-time histogram.
     pub ir_compile: Histogram,
+    /// Shard jobs run by the intra-query sharding path, summed over every
+    /// sharded request (stage jobs included).
+    pub shards_executed: u64,
+    /// Requests a sharding-enabled service ran sequentially anyway
+    /// (unshardable plan, anchor below the cost threshold, or a full
+    /// queue rejecting the shard wave).
+    pub shard_fallback_sequential: u64,
+    /// Per-request document-order merge times (shard-output concatenation
+    /// plus central serialization); `merge.count()` is the number of
+    /// sharded requests served.
+    pub merge: Histogram,
     /// Per-database counters, sorted by database name.
     pub per_db: Vec<(String, DbCounters)>,
 }
@@ -613,6 +672,25 @@ mod tests {
         assert_eq!((s.ir_compiles, s.ir_cache_hits, s.ir_compile.count()), (1, 2, 1));
         let r = m.report();
         assert!(r.contains("ir: 1 program(s) compiled, 2 compiled-program reuse(s)"), "{r}");
+    }
+
+    #[test]
+    fn shard_counters_track_jobs_fallbacks_and_merge_times() {
+        let m = Metrics::new();
+        assert!(!m.report().contains("parallel:"), "no shard activity recorded yet");
+        m.record_sharded("a", 5, Duration::from_micros(120));
+        m.record_sharded("a", 9, Duration::from_micros(80));
+        m.record_shard_fallback();
+        let s = m.snapshot();
+        assert_eq!((s.shards_executed, s.shard_fallback_sequential, s.merge.count()), (14, 1, 2));
+        assert_eq!(s.db("a").unwrap().parallel_requests, 2);
+        let r = m.report();
+        assert!(
+            r.contains("parallel: 2 sharded request(s), 14 shard job(s) executed, 1 sequential fallback(s)"),
+            "{r}"
+        );
+        assert!(r.contains("shard merge: count=2"), "{r}");
+        assert!(r.contains("db a: 2 request(s) served by intra-query shards"), "{r}");
     }
 
     #[test]

@@ -89,6 +89,22 @@ pub struct BatchStats {
     pub max_batch: u64,
 }
 
+/// Cumulative shard-admission counters; read through [`Pool::shard_stats`].
+/// A *wave* is one [`Pool::submit_shards`] call — the shard jobs of one
+/// request admitted atomically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard waves admitted.
+    pub waves: u64,
+    /// Shard jobs admitted across all waves.
+    pub jobs: u64,
+    /// Largest wave admitted so far.
+    pub max_wave: u64,
+    /// Waves rejected whole because the queue could not take every job
+    /// (the caller falls back to sequential execution).
+    pub rejected_waves: u64,
+}
+
 struct State<T> {
     jobs: VecDeque<Job<T>>,
     open: bool,
@@ -101,6 +117,10 @@ struct Shared<T> {
     batches: AtomicU64,
     batched_jobs: AtomicU64,
     max_batch: AtomicU64,
+    shard_waves: AtomicU64,
+    shard_jobs: AtomicU64,
+    max_wave: AtomicU64,
+    shard_rejected: AtomicU64,
 }
 
 /// Fixed-size worker pool over a bounded job queue with same-group
@@ -129,6 +149,10 @@ impl<T: Send + 'static> Pool<T> {
             batches: AtomicU64::new(0),
             batched_jobs: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
+            shard_waves: AtomicU64::new(0),
+            shard_jobs: AtomicU64::new(0),
+            max_wave: AtomicU64::new(0),
+            shard_rejected: AtomicU64::new(0),
         });
         let handles = (0..workers.max(1))
             .map(|i| {
@@ -177,6 +201,46 @@ impl<T: Send + 'static> Pool<T> {
         Ok(reply_rx)
     }
 
+    /// Queues one request's shard jobs **atomically**: either every job is
+    /// admitted (in order, as one contiguous run) or none is and the whole
+    /// wave is rejected with [`SubmitError::QueueFull`] — a partially
+    /// admitted wave would wedge its caller, which must await every shard
+    /// before it can merge. All jobs share `group`, so batch-aware dispatch
+    /// lets one worker claim several shards of the same request back to
+    /// back instead of interleaving unrelated work between them.
+    pub fn submit_shards(
+        &self,
+        deadline: Option<Instant>,
+        group: Option<Arc<str>>,
+        works: Vec<Box<dyn FnOnce() -> T + Send>>,
+    ) -> Result<Vec<Receiver<Reply<T>>>, SubmitError> {
+        let submitted = Instant::now();
+        let mut receivers = Vec::with_capacity(works.len());
+        let mut jobs = Vec::with_capacity(works.len());
+        for work in works {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            receivers.push(reply_rx);
+            jobs.push(Job { deadline, submitted, group: group.clone(), work, reply: reply_tx });
+        }
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            if !st.open {
+                return Err(SubmitError::Disconnected);
+            }
+            if st.jobs.len() + jobs.len() > self.queue_depth {
+                self.shared.shard_rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::QueueFull);
+            }
+            let n = jobs.len() as u64;
+            self.shared.shard_waves.fetch_add(1, Ordering::Relaxed);
+            self.shared.shard_jobs.fetch_add(n, Ordering::Relaxed);
+            self.shared.max_wave.fetch_max(n, Ordering::Relaxed);
+            st.jobs.extend(jobs);
+        }
+        self.shared.available.notify_all();
+        Ok(receivers)
+    }
+
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()
@@ -188,6 +252,16 @@ impl<T: Send + 'static> Pool<T> {
             batches: self.shared.batches.load(Ordering::Relaxed),
             jobs: self.shared.batched_jobs.load(Ordering::Relaxed),
             max_batch: self.shared.max_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cumulative shard-admission counters.
+    pub fn shard_stats(&self) -> ShardStats {
+        ShardStats {
+            waves: self.shared.shard_waves.load(Ordering::Relaxed),
+            jobs: self.shared.shard_jobs.load(Ordering::Relaxed),
+            max_wave: self.shared.max_wave.load(Ordering::Relaxed),
+            rejected_waves: self.shared.shard_rejected.load(Ordering::Relaxed),
         }
     }
 }
@@ -484,6 +558,71 @@ mod tests {
             Reply::ExpiredInQueue { .. }
         ));
         drop(gate);
+    }
+
+    #[test]
+    fn shard_wave_admits_all_or_nothing() {
+        // One worker parked in a gate job, queue depth 2: a 3-job wave must
+        // be rejected whole (no partial admission), then a 2-job wave fits.
+        let pool: Pool<usize> = Pool::new(1, 2);
+        let (block_tx, block_rx) = sync_channel::<()>(0);
+        let _gate = pool
+            .submit(
+                None,
+                Box::new(move || {
+                    let _ = block_rx.recv();
+                    0
+                }),
+            )
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let works = |n: usize| -> Vec<Box<dyn FnOnce() -> usize + Send>> {
+            (0..n).map(|i| Box::new(move || i) as Box<dyn FnOnce() -> usize + Send>).collect()
+        };
+        let g: Arc<str> = Arc::from("db\u{1}0\u{1}shard-1");
+        let rejected = pool.submit_shards(None, Some(Arc::clone(&g)), works(3));
+        assert_eq!(rejected.unwrap_err(), SubmitError::QueueFull);
+        let admitted = pool.submit_shards(None, Some(Arc::clone(&g)), works(2)).unwrap();
+        block_tx.send(()).unwrap();
+        for (i, rx) in admitted.into_iter().enumerate() {
+            match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
+                Reply::Done { value, .. } => assert_eq!(value, i),
+                Reply::ExpiredInQueue { .. } => panic!("no deadline"),
+            }
+        }
+        let s = pool.shard_stats();
+        assert_eq!((s.waves, s.jobs, s.max_wave, s.rejected_waves), (1, 2, 2, 1));
+    }
+
+    #[test]
+    fn shard_wave_batches_onto_one_worker_dispatch() {
+        // Shard jobs share their group, so one freed worker claims the
+        // whole wave as a single batch dispatch.
+        let pool: Pool<usize> = Pool::batched(1, 16, 8);
+        let (block_tx, block_rx) = sync_channel::<()>(0);
+        let _gate = pool
+            .submit(
+                None,
+                Box::new(move || {
+                    let _ = block_rx.recv();
+                    0
+                }),
+            )
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let g: Arc<str> = Arc::from("db\u{1}0\u{1}shard-2");
+        let works: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..3usize).map(|i| Box::new(move || i) as Box<dyn FnOnce() -> usize + Send>).collect();
+        let receivers = pool.submit_shards(None, Some(g), works).unwrap();
+        block_tx.send(()).unwrap();
+        for rx in receivers {
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+                Reply::Done { .. }
+            ));
+        }
+        let s = pool.batch_stats();
+        assert_eq!((s.batches, s.jobs, s.max_batch), (2, 4, 3)); // gate + one 3-shard batch
     }
 
     #[test]

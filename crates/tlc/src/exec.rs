@@ -1,15 +1,17 @@
 //! Plan execution: set-at-a-time, bottom-up, pipelined (paper §5).
 
 use crate::error::{Error, Result};
+use crate::logical_class::LclId;
 use crate::ops;
 use crate::ops::filter::FilterPred;
 use crate::plan::Plan;
 use crate::stats::ExecStats;
 use crate::tree::{ResultTree, TempIdGen};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use xmldb::Database;
+use xmldb::{Database, OrdRange};
 
 /// A pluggable store for pattern-match results, consulted by the executor
 /// before running a Select/Filter chain and populated after (see
@@ -28,8 +30,25 @@ pub trait MatchCache: Send + Sync {
 }
 
 /// How many deadline ticks pass between `Instant::now()` calls inside long
-/// pattern matches. Power of two so the check is a mask.
+/// pattern matches. Power of two so the check is a mask. Cooperative
+/// cancellation ([`ExecCtx::cancel`]) is observed at the same period, so a
+/// shard aborts with the same candidate granularity the single-threaded
+/// deadline path has.
 const DEADLINE_TICK_PERIOD: u32 = 1024;
+
+/// Restriction of one pattern class's candidates to a pre-order window —
+/// the executor-side half of intra-query sharding ([`mod@crate::par`]).
+/// The matcher applies it to candidates of the class labelled `lcl` only;
+/// every other class matches unrestricted, so matching *below* a shard's
+/// anchors (and the whole right side of any join) is identical to the
+/// sequential execution.
+#[derive(Debug, Clone, Copy)]
+pub struct AnchorRange {
+    /// The class whose candidates are restricted (the shard anchor).
+    pub lcl: LclId,
+    /// The pre-order ordinal window.
+    pub range: OrdRange,
+}
 
 /// Execution context: temporary-id generator plus counters.
 #[derive(Default)]
@@ -46,6 +65,19 @@ pub struct ExecCtx {
     pub deadline: Option<Instant>,
     /// Optional pattern-match cache consulted for Select/Filter chains.
     pub cache: Option<Arc<dyn MatchCache>>,
+    /// Optional shard anchor-range restriction (see [`mod@crate::par`]).
+    pub anchor_range: Option<AnchorRange>,
+    /// Optional cooperative cancellation flag shared by the sibling shards
+    /// of one request: a shard that fails raises it, and every other shard
+    /// observes it at deadline-tick granularity and aborts with
+    /// [`Error::Cancelled`] — no orphaned shard work survives an error.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Pre-computed stage results injected by plan-node identity (see
+    /// [`mod@crate::par`]): when execution reaches a plan node whose
+    /// address matches a key, the stored trees are returned instead of
+    /// evaluating that subplan. Keys are only meaningful for the exact
+    /// plan allocation the caller executes.
+    pub injected: Vec<(usize, Arc<Vec<ResultTree>>)>,
     ticks: u32,
 }
 
@@ -56,6 +88,9 @@ impl fmt::Debug for ExecCtx {
             .field("stats", &self.stats)
             .field("deadline", &self.deadline)
             .field("cache", &self.cache.is_some())
+            .field("anchor_range", &self.anchor_range)
+            .field("cancel", &self.cancel.is_some())
+            .field("injected", &self.injected.len())
             .field("ticks", &self.ticks)
             .finish()
     }
@@ -78,10 +113,16 @@ impl ExecCtx {
         self
     }
 
-    /// Deadline check at an operator boundary. Free when no deadline is
-    /// set — `Instant::now()` is only evaluated on the `Some` path.
+    /// Deadline and cancellation check at an operator boundary. Free when
+    /// neither is set — `Instant::now()` is only evaluated on the `Some`
+    /// path, and the cancel flag is one relaxed load.
     #[inline]
     pub(crate) fn check_deadline(&self) -> Result<()> {
+        if let Some(cancel) = &self.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                return Err(Error::Cancelled);
+            }
+        }
         match self.deadline {
             None => Ok(()),
             Some(d) => {
@@ -94,14 +135,15 @@ impl ExecCtx {
         }
     }
 
-    /// Fine-grained deadline check for long-running matches: a no-op
-    /// without a deadline, and at most one `Instant::now()` per
-    /// `DEADLINE_TICK_PERIOD` calls with one. Pattern matching calls this
-    /// per candidate step so a batched group can abort mid-match instead
-    /// of only at operator boundaries.
+    /// Fine-grained deadline/cancellation check for long-running matches: a
+    /// no-op when neither is set, and at most one `Instant::now()` per
+    /// `DEADLINE_TICK_PERIOD` calls otherwise. Pattern matching calls this
+    /// per candidate step so a batched group — or a shard whose sibling
+    /// already failed — can abort mid-match instead of only at operator
+    /// boundaries.
     #[inline]
     pub fn tick(&mut self) -> Result<()> {
-        if self.deadline.is_none() {
+        if self.deadline.is_none() && self.cancel.is_none() {
             return Ok(());
         }
         self.ticks = self.ticks.wrapping_add(1);
@@ -513,6 +555,15 @@ fn run_traced(
 
 fn run(db: &Database, plan: &Plan, ctx: &mut ExecCtx) -> Result<Vec<ResultTree>> {
     ctx.check_deadline()?;
+    // Stage injection (intra-query sharding): a final-wave shard receives
+    // the pre-computed result of each join's right subplan and returns it
+    // by plan-node identity instead of re-evaluating the subtree.
+    if !ctx.injected.is_empty() {
+        let key = std::ptr::from_ref(plan) as usize;
+        if let Some((_, trees)) = ctx.injected.iter().find(|(k, _)| *k == key) {
+            return Ok(trees.as_ref().clone());
+        }
+    }
     // Pattern-match chains (Select/Filter and the Project/DupElim glue
     // between them) are pure functions of the database snapshot, so a
     // match cache (when attached) can answer them without matching. The

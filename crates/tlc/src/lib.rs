@@ -73,6 +73,7 @@ pub mod matching;
 pub mod ops;
 pub mod optimizer;
 pub mod output;
+pub mod par;
 pub mod pattern;
 pub mod physical;
 pub mod plan;
@@ -90,7 +91,7 @@ pub use error::{Error, Result};
 pub use exec::{
     check_conformance, execute, execute_to_string, execute_traced, execute_with_ctx,
     execute_with_deadline, match_chain_footprints, match_chain_key, match_chain_keys, render_trace,
-    ExecCtx, MatchCache, OpTrace,
+    AnchorRange, ExecCtx, MatchCache, OpTrace,
 };
 pub use generator::{random_plan, GenPlan};
 pub use lint::{lint, Lint, LintCode};

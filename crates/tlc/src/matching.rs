@@ -312,10 +312,20 @@ impl Matcher<'_> {
         };
         let mut out = Vec::with_capacity(slice.len());
         let pat = &self.apt.nodes[v];
+        // Shard anchor-range restriction (see crate::par): candidates of
+        // the shard anchor class outside this shard's pre-order window
+        // belong to sibling shards. Class labels are plan-unique, so no
+        // other pattern node can be filtered by accident.
+        let range = self.ctx.anchor_range.filter(|ar| ar.lcl == pat.lcl).map(|ar| ar.range);
         for id in slice {
             self.ctx.tick()?;
             self.ctx.stats.nodes_inspected += 1;
             self.ctx.stats.struct_cmps += 1;
+            if let Some(r) = range {
+                if !r.contains(id) {
+                    continue;
+                }
+            }
             if pat.axis == AxisRel::Child {
                 let level = self.db.node(id).level();
                 if level != x.level + 1 {

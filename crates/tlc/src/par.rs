@@ -1,0 +1,644 @@
+//! Intra-query parallel execution: interval-range sharding with
+//! document-order merge.
+//!
+//! The interval encoding makes every tag-index candidate list
+//! range-partitionable for free ([`xmldb::RangePartition`]): splitting the
+//! *anchor* class's candidates by pre-order window yields shards whose
+//! merge-based structural joins run independently, and whose outputs
+//! concatenate back in document order with no cross-shard communication.
+//! This module is the planner and the per-shard execution primitives; the
+//! query service drives the same primitives through its worker pool, and
+//! [`execute_sharded`] / [`execute_sharded_vm`] are self-contained
+//! scoped-thread drivers for tests and `experiments parallel`.
+//!
+//! # What shards
+//!
+//! [`plan_shards`] walks the plan's *left spine* — root down through
+//! single-input operators and each join's left child — to the bottom
+//! document-rooted `Select`. The spine's **anchor** is the pattern child
+//! the matcher evaluates slowest-varying (its candidates group the witness
+//! trees, so a range split of exactly that class concatenates back to the
+//! sequential tree order). Execution is byte-identical to sequential
+//! because every spine operator is per-tree (`Filter`, `Project`,
+//! extension `Select`s, `Aggregate`, `Construct`, …), a `DupElim` is
+//! admitted only when it keys on the anchor class (equal keys then never
+//! span shards), and a `Join` emits in left-input order, so concatenating
+//! left-sharded join outputs over an identical right input reproduces the
+//! sequential output. Anything else — `Sort`, `GroupBy`, `Union`,
+//! node-identity joins — falls back to sequential execution.
+//!
+//! # Stages
+//!
+//! Each join's right child is a self-contained subplan (its leaves are
+//! document-rooted). Rather than re-evaluating it inside every shard, it
+//! becomes a **stage**: computed once per request — itself range-sharded
+//! when its own spine analysis allows — and injected into the final-wave
+//! shards by plan-node identity ([`ExecCtx::injected`]). The register-IR
+//! backend runs whole programs per shard instead (no injection point in a
+//! lowered program), trading some repeated right-side work for the same
+//! byte-identical merge.
+//!
+//! # Soundness knobs on [`ExecCtx`]
+//!
+//! Shard contexts never carry a match cache: chain keys do not encode
+//! ranges, so a range-restricted result under an unrestricted key would
+//! poison the cache. Sibling shards share a cancellation flag — the first
+//! failure (or deadline expiry) aborts the others at deadline-tick
+//! granularity — and disjoint [`TempIdGen`] ranges, so temporary idents
+//! minted concurrently can never alias.
+
+use crate::error::{Error, Result};
+use crate::exec::{execute_with_ctx, AnchorRange, ExecCtx};
+use crate::logical_class::LclId;
+use crate::ops::join::JoinKeyKind;
+use crate::pattern::{Apt, AptRoot, MSpec};
+use crate::plan::Plan;
+use crate::stats::ExecStats;
+use crate::tree::{ResultTree, TempIdGen};
+use crate::vm;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use xmldb::{Database, DocId, OrdRange, RangePartition};
+
+/// Temporary-id generators of sibling shards are spaced this far apart;
+/// 2^40 ids per shard is unreachable within one request, and ids are
+/// per-request scratch (they never persist or serialize).
+const SHARD_TMP_STRIDE_BITS: u32 = 40;
+
+/// Shard-count policy: how aggressively to split, and when not to bother.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPolicy {
+    /// Upper bound on shards per execution wave; values below 2 disable
+    /// sharding entirely.
+    pub max_shards: usize,
+    /// Anchor-candidate count below which execution stays sequential — the
+    /// cost threshold under which per-shard setup cannot amortize.
+    pub min_candidates: usize,
+}
+
+impl Default for ShardPolicy {
+    fn default() -> Self {
+        ShardPolicy { max_shards: 8, min_candidates: 512 }
+    }
+}
+
+/// Why a plan fell back to sequential execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Unshardable {
+    /// Sharding is disabled by policy (`max_shards < 2`).
+    Disabled,
+    /// The spine contains an operator whose output depends on the whole
+    /// tree set at once (named here), so a range split would reorder or
+    /// merge incorrectly.
+    Op(&'static str),
+    /// A spine `DupElim` keys on classes other than the shard anchor;
+    /// equal keys could then span shards and survive deduplication.
+    DupElimKey,
+    /// The bottom of the spine is not a shardable document-rooted select
+    /// (reason named).
+    Anchor(&'static str),
+    /// The anchor has fewer candidates than the policy threshold.
+    FewCandidates(usize),
+}
+
+impl std::fmt::Display for Unshardable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Unshardable::Disabled => write!(f, "sharding disabled by policy"),
+            Unshardable::Op(op) => write!(f, "non-shardable operator: {op}"),
+            Unshardable::DupElimKey => write!(f, "duplicate elimination keys off the anchor"),
+            Unshardable::Anchor(why) => write!(f, "no shardable anchor: {why}"),
+            Unshardable::FewCandidates(n) => {
+                write!(f, "only {n} anchor candidate(s), below the cost threshold")
+            }
+        }
+    }
+}
+
+/// One pre-computed join right-child subplan of a sharded execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stage {
+    /// Path of input indexes from the plan root to the stage subplan (the
+    /// join's right child), resolvable via [`resolve_path`]. Paths — not
+    /// raw pointers — keep the descriptor independent of any particular
+    /// plan allocation's lifetime.
+    pub path: Vec<usize>,
+    /// The stage's own shard anchor when its spine analysis succeeded;
+    /// `None` runs the stage as one sequential unit.
+    pub anchor_lcl: Option<LclId>,
+    /// Per-shard windows for the stage (one full-document window when the
+    /// stage runs sequentially).
+    pub ranges: Vec<OrdRange>,
+}
+
+/// The shard set planned for one verified plan against one snapshot.
+///
+/// Valid only for the exact plan and database snapshot it was planned
+/// against — window boundaries come from the snapshot's posting lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// The class whose candidates are range-restricted per shard.
+    pub anchor_lcl: LclId,
+    /// The document the anchor select reads.
+    pub doc: DocId,
+    /// Anchor-candidate count in `doc` (the shard-count driver).
+    pub candidates: usize,
+    /// Final-wave windows: disjoint, covering, in document order.
+    pub ranges: Vec<OrdRange>,
+    /// Join right-child stages, outermost join first.
+    pub stages: Vec<Stage>,
+}
+
+impl ShardPlan {
+    /// Total shard jobs a staged (tree-walk) execution runs.
+    pub fn job_count(&self) -> usize {
+        self.ranges.len() + self.stages.iter().map(|s| s.ranges.len()).sum::<usize>()
+    }
+}
+
+/// Resolves a [`Stage::path`] back to its subplan node.
+///
+/// Panics if the path does not exist in `plan` — paths are only meaningful
+/// for the plan they were produced from.
+pub fn resolve_path<'p>(plan: &'p Plan, path: &[usize]) -> &'p Plan {
+    let mut cur = plan;
+    for &i in path {
+        cur = cur.inputs()[i];
+    }
+    cur
+}
+
+/// What one left-spine walk found.
+struct SpineScan<'p> {
+    /// The bottom document-rooted select's APT.
+    anchor_apt: &'p Apt,
+    /// Paths to every join's right child, outermost first.
+    stage_paths: Vec<Vec<usize>>,
+    /// Key-class lists of every `DupElim` on the spine, validated against
+    /// the anchor class once it is known.
+    dupelim_keys: Vec<&'p [LclId]>,
+}
+
+/// Walks the left spine of `plan` down to its anchor select, collecting
+/// stages and checking every operator against the order-preserving set.
+fn scan_spine(plan: &Plan) -> std::result::Result<SpineScan<'_>, Unshardable> {
+    let mut cur = plan;
+    let mut path = Vec::new();
+    let mut stage_paths = Vec::new();
+    let mut dupelim_keys = Vec::new();
+    loop {
+        match cur {
+            Plan::Select { input, apt } => match &apt.root {
+                AptRoot::Document { .. } => {
+                    if input.is_some() {
+                        return Err(Unshardable::Anchor("document select with an input"));
+                    }
+                    return Ok(SpineScan { anchor_apt: apt, stage_paths, dupelim_keys });
+                }
+                AptRoot::Lcl(_) => match input {
+                    Some(i) => {
+                        path.push(0);
+                        cur = i;
+                    }
+                    None => return Err(Unshardable::Anchor("extension select without input")),
+                },
+            },
+            Plan::DupElim { input, on, .. } => {
+                dupelim_keys.push(on.as_slice());
+                path.push(0);
+                cur = input;
+            }
+            Plan::Join { left, spec, .. } => {
+                if matches!(&spec.pred, Some(p) if p.key == JoinKeyKind::NodeId) {
+                    return Err(Unshardable::Op("node-identity join"));
+                }
+                let mut right_path = path.clone();
+                right_path.push(1);
+                stage_paths.push(right_path);
+                path.push(0);
+                cur = left;
+            }
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Construct { input, .. }
+            | Plan::Flatten { input, .. }
+            | Plan::Shadow { input, .. }
+            | Plan::Illuminate { input, .. }
+            | Plan::Materialize { input, .. } => {
+                path.push(0);
+                cur = input;
+            }
+            Plan::Sort { .. } => return Err(Unshardable::Op("sort")),
+            Plan::GroupBy { .. } => return Err(Unshardable::Op("group-by")),
+            Plan::Union { .. } => return Err(Unshardable::Op("union")),
+        }
+    }
+}
+
+/// Picks the shard anchor of a document-rooted APT: the top-level pattern
+/// child the matcher evaluates slowest-varying (first in its
+/// selectivity-driven order — required before optional, smaller posting
+/// lists first, canonical form as the tiebreak). Witness trees group by
+/// that child's candidates in document order, which is exactly what makes
+/// range-concatenation equal the sequential order. The edge must be `-`
+/// (fan-out, required): grouping edges cluster all candidates into one
+/// tree, and optional edges emit an empty witness when nothing matches —
+/// both would multiply per shard.
+fn pick_anchor(db: &Database, apt: &Apt) -> std::result::Result<(usize, LclId), Unshardable> {
+    let mut kids: Vec<usize> = apt.children_of(None).collect();
+    if kids.is_empty() {
+        return Err(Unshardable::Anchor("pattern has no top-level children"));
+    }
+    let forms = apt.canonical_forms();
+    let key = |v: usize| {
+        let n = &apt.nodes[v];
+        (n.mspec.optional(), db.tag_index().get(n.tag).len())
+    };
+    kids.sort_by(|&a, &b| key(a).cmp(&key(b)).then_with(|| forms[a].cmp(&forms[b])));
+    let top = kids[0];
+    if apt.nodes[top].mspec != MSpec::One {
+        return Err(Unshardable::Anchor("slowest-varying edge is not a '-' fan-out"));
+    }
+    Ok((top, apt.nodes[top].lcl))
+}
+
+/// Range-plans the anchor of one spine: candidate count and equal-count
+/// windows over the anchor's tag postings in its document.
+fn anchor_windows(
+    db: &Database,
+    apt: &Apt,
+    anchor_node: usize,
+    shards: usize,
+) -> std::result::Result<(DocId, usize, Vec<OrdRange>), Unshardable> {
+    let AptRoot::Document { name, .. } = &apt.root else {
+        return Err(Unshardable::Anchor("not document-rooted"));
+    };
+    let doc = db.document_by_name(name).map_err(|_| Unshardable::Anchor("unknown document"))?;
+    let postings = db.tag_index().get(apt.nodes[anchor_node].tag);
+    let candidates = OrdRange::full(doc).slice(postings).len();
+    let k = shards.min(candidates.max(1));
+    let part = RangePartition::split_postings(postings, doc, k);
+    Ok((doc, candidates, part.ranges().to_vec()))
+}
+
+/// Plans a shard set for `plan` against `db`, or reports why execution
+/// should stay sequential. The result is tied to this exact snapshot (its
+/// posting lists set the window boundaries) and — through [`Stage::path`] —
+/// to this plan's shape.
+pub fn plan_shards(
+    db: &Database,
+    plan: &Plan,
+    policy: ShardPolicy,
+) -> std::result::Result<ShardPlan, Unshardable> {
+    if policy.max_shards < 2 {
+        return Err(Unshardable::Disabled);
+    }
+    let scan = scan_spine(plan)?;
+    let (anchor_node, anchor_lcl) = pick_anchor(db, scan.anchor_apt)?;
+    if scan.dupelim_keys.iter().any(|on| !on.iter().all(|l| *l == anchor_lcl)) {
+        return Err(Unshardable::DupElimKey);
+    }
+    let (doc, candidates, _) = anchor_windows(db, scan.anchor_apt, anchor_node, 1)?;
+    if candidates < policy.min_candidates {
+        return Err(Unshardable::FewCandidates(candidates));
+    }
+    let (_, _, ranges) = anchor_windows(db, scan.anchor_apt, anchor_node, policy.max_shards)?;
+    let stages =
+        scan.stage_paths.into_iter().map(|path| stage_plan(db, plan, path, policy)).collect();
+    Ok(ShardPlan { anchor_lcl, doc, candidates, ranges, stages })
+}
+
+/// Plans one stage: sharded by its own spine when that analysis succeeds
+/// and the stage is itself heavy enough (nested stages are not expanded —
+/// a stage containing its own join runs as one sequential unit).
+fn stage_plan(db: &Database, plan: &Plan, path: Vec<usize>, policy: ShardPolicy) -> Stage {
+    let sub = resolve_path(plan, &path);
+    let sharded = scan_spine(sub).ok().filter(|s| s.stage_paths.is_empty()).and_then(|scan| {
+        let (anchor_node, anchor_lcl) = pick_anchor(db, scan.anchor_apt).ok()?;
+        if scan.dupelim_keys.iter().any(|on| !on.iter().all(|l| *l == anchor_lcl)) {
+            return None;
+        }
+        let (_, candidates, _) = anchor_windows(db, scan.anchor_apt, anchor_node, 1).ok()?;
+        if candidates < policy.min_candidates {
+            return None;
+        }
+        let (_, _, ranges) =
+            anchor_windows(db, scan.anchor_apt, anchor_node, policy.max_shards).ok()?;
+        Some((anchor_lcl, ranges))
+    });
+    match sharded {
+        Some((lcl, ranges)) => Stage { path, anchor_lcl: Some(lcl), ranges },
+        None => Stage { path, anchor_lcl: None, ranges: Vec::new() },
+    }
+}
+
+/// Builds the context one shard job runs under: no match cache (chain keys
+/// do not encode ranges), a disjoint temp-id base, and the request's
+/// deadline and shared cancellation flag.
+fn shard_ctx(
+    tmp_slot: u64,
+    anchor: Option<AnchorRange>,
+    injected: Vec<(usize, Arc<Vec<ResultTree>>)>,
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+) -> ExecCtx {
+    let mut ctx = ExecCtx::new();
+    ctx.tmp = TempIdGen::starting_at(tmp_slot << SHARD_TMP_STRIDE_BITS);
+    ctx.deadline = deadline;
+    ctx.cancel = cancel;
+    ctx.anchor_range = anchor;
+    ctx.injected = injected;
+    ctx
+}
+
+/// Runs one tree-walk shard on the calling thread, returning its slice of
+/// the result sequence. `tmp_slot` must be unique per shard within one
+/// request (slot 0 is conventionally left to sequential execution).
+pub fn run_shard(
+    db: &Database,
+    plan: &Plan,
+    anchor: Option<AnchorRange>,
+    injected: Vec<(usize, Arc<Vec<ResultTree>>)>,
+    tmp_slot: u64,
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+) -> Result<(Vec<ResultTree>, ExecStats)> {
+    let mut ctx = shard_ctx(tmp_slot, anchor, injected, deadline, cancel);
+    let trees = execute_with_ctx(db, plan, &mut ctx)?;
+    Ok((trees, ctx.stats))
+}
+
+/// Runs one register-IR shard: the whole program under an anchor-range
+/// restriction (stages are a tree-walk concept; a lowered program has no
+/// injection point, so each shard re-derives the right sides).
+pub fn run_shard_vm(
+    db: &Database,
+    prog: &vm::Program,
+    anchor: AnchorRange,
+    tmp_slot: u64,
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+) -> Result<(Vec<ResultTree>, ExecStats)> {
+    let mut ctx = shard_ctx(tmp_slot, Some(anchor), Vec::new(), deadline, cancel);
+    let trees = vm::run(db, prog, &mut ctx)?;
+    Ok((trees, ctx.stats))
+}
+
+/// Runs one wave of shard jobs on scoped OS threads and concatenates their
+/// outputs in window order — the document-order merge. A failing shard
+/// raises `cancel` itself (before this thread even observes the failure),
+/// so siblings stop at tick granularity; every join is still awaited, so
+/// no orphaned shard work survives the wave.
+fn run_wave(
+    work: impl Fn(u64, OrdRange) -> Result<(Vec<ResultTree>, ExecStats)> + Sync + Send,
+    ranges: &[OrdRange],
+    tmp_slot_base: u64,
+    cancel: &Arc<AtomicBool>,
+    stats: &mut ExecStats,
+) -> Result<Vec<ResultTree>> {
+    let results: Vec<Result<(Vec<ResultTree>, ExecStats)>> = std::thread::scope(|s| {
+        let work = &work;
+        let handles: Vec<_> = ranges
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let cancel = Arc::clone(cancel);
+                let range = *r;
+                s.spawn(move || {
+                    let out = work(tmp_slot_base + i as u64, range);
+                    if out.is_err() {
+                        cancel.store(true, Ordering::Relaxed);
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
+    });
+    let mut merged = Vec::new();
+    let mut first_err: Option<Error> = None;
+    for r in results {
+        match r {
+            Ok((trees, st)) => {
+                stats.absorb(&st);
+                merged.extend(trees);
+            }
+            Err(e) => {
+                if first_err.is_none() || matches!(first_err, Some(Error::Cancelled)) {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(merged),
+    }
+}
+
+/// Executes `plan` under `sp` across scoped OS threads — stage waves
+/// first, then the final anchor-sharded wave with stage results injected —
+/// and returns the merged document-order result with summed counters and
+/// the number of shard jobs run. Byte-identical (after serialization) to
+/// [`crate::execute`].
+pub fn execute_sharded(
+    db: &Database,
+    plan: &Plan,
+    sp: &ShardPlan,
+    deadline: Option<Instant>,
+) -> Result<(Vec<ResultTree>, ExecStats, usize)> {
+    let cancel = Arc::new(AtomicBool::new(false));
+    let mut stats = ExecStats::new();
+    let mut jobs = 0usize;
+    let mut slot = 1u64;
+    let mut injected: Vec<(usize, Arc<Vec<ResultTree>>)> = Vec::new();
+    for stage in &sp.stages {
+        let sub = resolve_path(plan, &stage.path);
+        let key = std::ptr::from_ref(sub) as usize;
+        let trees = match stage.anchor_lcl {
+            Some(lcl) => {
+                let out = run_wave(
+                    |tmp_slot, range| {
+                        run_shard(
+                            db,
+                            sub,
+                            Some(AnchorRange { lcl, range }),
+                            Vec::new(),
+                            tmp_slot,
+                            deadline,
+                            Some(Arc::clone(&cancel)),
+                        )
+                    },
+                    &stage.ranges,
+                    slot,
+                    &cancel,
+                    &mut stats,
+                )?;
+                jobs += stage.ranges.len();
+                slot += stage.ranges.len() as u64;
+                out
+            }
+            None => {
+                let (trees, st) = run_shard(
+                    db,
+                    sub,
+                    None,
+                    Vec::new(),
+                    slot,
+                    deadline,
+                    Some(Arc::clone(&cancel)),
+                )?;
+                stats.absorb(&st);
+                jobs += 1;
+                slot += 1;
+                trees
+            }
+        };
+        injected.push((key, Arc::new(trees)));
+    }
+    let lcl = sp.anchor_lcl;
+    let merged = run_wave(
+        |tmp_slot, range| {
+            run_shard(
+                db,
+                plan,
+                Some(AnchorRange { lcl, range }),
+                injected.clone(),
+                tmp_slot,
+                deadline,
+                Some(Arc::clone(&cancel)),
+            )
+        },
+        &sp.ranges,
+        slot,
+        &cancel,
+        &mut stats,
+    )?;
+    jobs += sp.ranges.len();
+    Ok((merged, stats, jobs))
+}
+
+/// The register-IR counterpart of [`execute_sharded`]: one wave of
+/// whole-program shards under anchor-range restrictions.
+pub fn execute_sharded_vm(
+    db: &Database,
+    prog: &vm::Program,
+    sp: &ShardPlan,
+    deadline: Option<Instant>,
+) -> Result<(Vec<ResultTree>, ExecStats, usize)> {
+    let cancel = Arc::new(AtomicBool::new(false));
+    let mut stats = ExecStats::new();
+    let lcl = sp.anchor_lcl;
+    let merged = run_wave(
+        |tmp_slot, range| {
+            run_shard_vm(
+                db,
+                prog,
+                AnchorRange { lcl, range },
+                tmp_slot,
+                deadline,
+                Some(Arc::clone(&cancel)),
+            )
+        },
+        &sp.ranges,
+        1,
+        &cancel,
+        &mut stats,
+    )?;
+    Ok((merged, stats, sp.ranges.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::serialize_results;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let people: String = (0..32)
+            .map(|i| format!("<person id=\"{i}\"><name>p{i}</name><age>{}</age></person>", 20 + i))
+            .collect();
+        db.load_xml("t.xml", &format!("<site>{people}</site>")).unwrap();
+        db
+    }
+
+    fn compile(db: &Database, q: &str) -> Plan {
+        crate::compile(q, db).unwrap()
+    }
+
+    #[test]
+    fn select_plans_shard_and_merge_byte_identically() {
+        let db = db();
+        let plan = compile(&db, "FOR $p IN document(\"t.xml\")//person RETURN $p/name");
+        let reference = crate::execute_to_string(&db, &plan).unwrap();
+        for k in [1, 2, 3, 7, 64] {
+            let sp =
+                plan_shards(&db, &plan, ShardPolicy { max_shards: k.max(2), min_candidates: 1 })
+                    .unwrap_or_else(|e| panic!("k={k}: {e}"));
+            assert_eq!(sp.candidates, 32);
+            let (trees, _, _) = execute_sharded(&db, &plan, &sp, None).unwrap();
+            assert_eq!(serialize_results(&db, &trees), reference, "k={k}");
+        }
+    }
+
+    #[test]
+    fn vm_shards_match_the_walker() {
+        let db = db();
+        let plan =
+            compile(&db, "FOR $p IN document(\"t.xml\")//person WHERE $p/age > 30 RETURN $p/name");
+        let reference = crate::execute_to_string(&db, &plan).unwrap();
+        let prog = vm::lower(&plan).unwrap();
+        let sp = plan_shards(&db, &plan, ShardPolicy { max_shards: 4, min_candidates: 1 }).unwrap();
+        let (trees, _, jobs) = execute_sharded_vm(&db, &prog, &sp, None).unwrap();
+        assert_eq!(jobs, 4);
+        assert_eq!(serialize_results(&db, &trees), reference);
+    }
+
+    #[test]
+    fn policy_thresholds_fall_back() {
+        let db = db();
+        let plan = compile(&db, "FOR $p IN document(\"t.xml\")//person RETURN $p/name");
+        assert_eq!(
+            plan_shards(&db, &plan, ShardPolicy { max_shards: 1, min_candidates: 1 }),
+            Err(Unshardable::Disabled)
+        );
+        assert_eq!(
+            plan_shards(&db, &plan, ShardPolicy { max_shards: 4, min_candidates: 1000 }),
+            Err(Unshardable::FewCandidates(32))
+        );
+    }
+
+    #[test]
+    fn sorts_fall_back_sequential() {
+        let db = db();
+        let plan =
+            compile(&db, "FOR $p IN document(\"t.xml\")//person ORDER BY $p/age RETURN $p/name");
+        assert!(matches!(
+            plan_shards(&db, &plan, ShardPolicy { max_shards: 4, min_candidates: 1 }),
+            Err(Unshardable::Op("sort"))
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_aborts_every_shard() {
+        let db = db();
+        let plan = compile(&db, "FOR $p IN document(\"t.xml\")//person RETURN $p/name");
+        let sp = plan_shards(&db, &plan, ShardPolicy { max_shards: 4, min_candidates: 1 }).unwrap();
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let err = execute_sharded(&db, &plan, &sp, Some(past)).unwrap_err();
+        assert_eq!(err, Error::DeadlineExceeded);
+    }
+
+    #[test]
+    fn cancelled_siblings_report_the_real_error() {
+        // A pre-raised cancel flag makes every shard abort; the wave must
+        // surface Cancelled (there is no richer error to prefer).
+        let db = db();
+        let plan = compile(&db, "FOR $p IN document(\"t.xml\")//person RETURN $p/name");
+        let cancel = Arc::new(AtomicBool::new(true));
+        let err = run_shard(&db, &plan, None, Vec::new(), 1, None, Some(cancel)).unwrap_err();
+        assert_eq!(err, Error::Cancelled);
+    }
+}

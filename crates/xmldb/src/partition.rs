@@ -1,0 +1,183 @@
+//! Range views over a snapshot's posting lists (intra-query sharding).
+//!
+//! The interval encoding (Fig. 13, DESIGN.md §3.1) makes every doc-ordered
+//! posting list range-partitionable for free: a pre-order ordinal boundary
+//! splits the list with two binary searches, so a shard is described by a
+//! `(doc, lo, hi)` triple — no copying, no per-shard index structures.
+//! [`RangePartition`] is that descriptor: a set of disjoint [`OrdRange`]s
+//! that together cover a document (or one range per catalog document).
+//! Shards borrow the same `Arc<Database>` snapshot a sequential execution
+//! would read; a partition never outlives or mutates it.
+
+use crate::database::Database;
+use crate::node::{DocId, NodeId};
+
+/// A half-open pre-order ordinal window `[lo, hi)` within one document.
+///
+/// Ordinals are the sparse `pre` values of [`NodeId`], so a range selects a
+/// contiguous document-order run of nodes without enumerating them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrdRange {
+    /// The document the window lies in.
+    pub doc: DocId,
+    /// Inclusive lower pre-order ordinal.
+    pub lo: u32,
+    /// Exclusive upper pre-order ordinal.
+    pub hi: u32,
+}
+
+impl OrdRange {
+    /// The window covering all of `doc`.
+    pub fn full(doc: DocId) -> OrdRange {
+        OrdRange { doc, lo: 0, hi: u32::MAX }
+    }
+
+    /// Whether `id` falls inside this window.
+    #[inline]
+    pub fn contains(&self, id: NodeId) -> bool {
+        id.doc == self.doc && self.lo <= id.pre && id.pre < self.hi
+    }
+
+    /// Restricts a doc-ordered posting list to this window: two binary
+    /// searches returning a borrowed subslice — the "range view".
+    pub fn slice<'a>(&self, postings: &'a [NodeId]) -> &'a [NodeId] {
+        let lo = postings.partition_point(|n| (n.doc, n.pre) < (self.doc, self.lo));
+        let hi = postings.partition_point(|n| (n.doc, n.pre) < (self.doc, self.hi));
+        &postings[lo..hi]
+    }
+}
+
+/// A set of disjoint, covering [`OrdRange`]s in document order — the cheap
+/// shard descriptor an intra-query executor hands to its workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangePartition {
+    ranges: Vec<OrdRange>,
+}
+
+impl RangePartition {
+    /// The shard windows, in document order.
+    pub fn ranges(&self) -> &[OrdRange] {
+        &self.ranges
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the partition has no shards (only possible for an empty
+    /// catalog under [`RangePartition::by_document`]).
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// One full-document range per catalog document: the coarsest split,
+    /// useful when a query spans several comparable documents.
+    pub fn by_document(db: &Database) -> RangePartition {
+        let ranges = (0..db.document_count()).map(|i| OrdRange::full(DocId(i as u32))).collect();
+        RangePartition { ranges }
+    }
+
+    /// Splits `doc`'s slice of a doc-ordered posting list into `shards`
+    /// equal-count pre-order windows. Boundaries sit on posting ordinals, so
+    /// shard `i` sees exactly postings `[i·n/k, (i+1)·n/k)`; the first
+    /// window opens at ordinal 0 and the last closes at `u32::MAX`, so the
+    /// windows cover the whole document, not just the postings. When
+    /// `shards` exceeds the posting count the tail windows come out empty —
+    /// degenerate but valid (their slices are empty).
+    pub fn split_postings(postings: &[NodeId], doc: DocId, shards: usize) -> RangePartition {
+        let in_doc = OrdRange::full(doc).slice(postings);
+        let k = shards.max(1);
+        let n = in_doc.len();
+        let mut ranges = Vec::with_capacity(k);
+        let mut lo = 0u32;
+        for i in 1..=k {
+            let hi = if i == k {
+                u32::MAX
+            } else {
+                let idx = i * n / k;
+                if idx >= n {
+                    u32::MAX
+                } else {
+                    in_doc[idx].pre
+                }
+            };
+            ranges.push(OrdRange { doc, lo, hi });
+            lo = hi;
+        }
+        RangePartition { ranges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with(xml: &str) -> Database {
+        let mut db = Database::new();
+        db.load_xml("t.xml", xml).unwrap();
+        db
+    }
+
+    #[test]
+    fn split_is_disjoint_and_covering() {
+        let db = db_with("<r><a/><a/><a/><a/><a/><a/><a/></r>");
+        let doc = db.document_by_name("t.xml").unwrap();
+        let postings = db.nodes_with_tag("a");
+        for k in [1, 2, 3, 7, 20] {
+            let part = RangePartition::split_postings(postings, doc, k);
+            assert_eq!(part.len(), k);
+            // Windows tile [0, MAX) without gaps or overlap.
+            assert_eq!(part.ranges()[0].lo, 0);
+            assert_eq!(part.ranges()[k - 1].hi, u32::MAX);
+            for w in part.ranges().windows(2) {
+                assert_eq!(w[0].hi, w[1].lo);
+            }
+            // Slice concatenation reproduces the doc's postings exactly.
+            let rejoined: Vec<NodeId> =
+                part.ranges().iter().flat_map(|r| r.slice(postings).to_vec()).collect();
+            assert_eq!(rejoined, OrdRange::full(doc).slice(postings));
+            // Equal-count split: shard sizes differ by at most one.
+            let sizes: Vec<usize> = part.ranges().iter().map(|r| r.slice(postings).len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            if k <= postings.len() {
+                assert!(max - min <= 1, "k={k}: uneven split {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_postings_yields_empty_tails() {
+        let db = db_with("<r><a/><a/></r>");
+        let doc = db.document_by_name("t.xml").unwrap();
+        let postings = db.nodes_with_tag("a");
+        let part = RangePartition::split_postings(postings, doc, 5);
+        assert_eq!(part.len(), 5);
+        let total: usize = part.ranges().iter().map(|r| r.slice(postings).len()).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn contains_respects_doc_and_window() {
+        let db = db_with("<r><a/><b/></r>");
+        let doc = db.document_by_name("t.xml").unwrap();
+        let a = db.nodes_with_tag("a")[0];
+        let r = OrdRange { doc, lo: a.pre, hi: a.pre + 1 };
+        assert!(r.contains(a));
+        assert!(!r.contains(NodeId { doc: DocId(9), pre: a.pre }));
+        assert!(!OrdRange { doc, lo: a.pre + 1, hi: u32::MAX }.contains(a));
+    }
+
+    #[test]
+    fn by_document_covers_the_catalog() {
+        let mut db = Database::new();
+        db.load_xml("a.xml", "<r><x/></r>").unwrap();
+        db.load_xml("b.xml", "<r><x/><x/></r>").unwrap();
+        let part = RangePartition::by_document(&db);
+        assert_eq!(part.len(), 2);
+        let all: Vec<NodeId> = db.nodes_with_tag("x").to_vec();
+        let rejoined: Vec<NodeId> =
+            part.ranges().iter().flat_map(|r| r.slice(&all).to_vec()).collect();
+        assert_eq!(rejoined, all);
+    }
+}

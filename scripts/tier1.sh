@@ -129,13 +129,29 @@ grep -q 'lintcheck clean' "$lint_out"
 grep -Eq 'register IR: [1-9][0-9]* program\(s\) lowered and replayed' "$lint_out"
 echo "tier1: lintcheck oracle smoke test passed"
 
+# Intra-query sharding smoke: the heavy queries run through the shard
+# machinery at shard counts 1/2/4/8 on both backends, plus the same mix
+# through a sharded service — every answer byte-checked against the
+# single-threaded reference. The binary exits non-zero on any mismatch,
+# failed request, or a shard path that never engaged.
+par_out="$smoke_dir/parallel.txt"
+./target/release/experiments parallel --factor 0.005 --clients 2 --requests 4 \
+    --json "$smoke_dir/parallel.json" > "$par_out" 2>/dev/null
+grep -q 'parallel run clean' "$par_out"
+grep -q '0 mismatch(es)' "$par_out"
+grep -q '"mismatches":0' "$smoke_dir/parallel.json"
+echo "tier1: parallel sharding smoke test passed"
+
 # Throughput non-regression against the checked-in baselines: re-run the
-# batch and rw sweeps at baseline configuration and compare every QPS
-# figure (scripts/check_qps.sh fails on a drop past tolerance).
+# batch, rw and parallel sweeps at baseline configuration and compare
+# every QPS figure (scripts/check_qps.sh fails on a drop past tolerance).
 ./target/release/experiments batch --json "$smoke_dir/bench_batch.json" \
     > /dev/null 2>&1
 ./scripts/check_qps.sh scripts/baselines/BENCH_batch.json "$smoke_dir/bench_batch.json"
 ./target/release/experiments rw --json "$smoke_dir/bench_rw.json" \
     > /dev/null 2>&1
 ./scripts/check_qps.sh scripts/baselines/BENCH_rw.json "$smoke_dir/bench_rw.json"
+./target/release/experiments parallel --json "$smoke_dir/bench_parallel.json" \
+    > /dev/null 2>&1
+./scripts/check_qps.sh scripts/baselines/BENCH_parallel.json "$smoke_dir/bench_parallel.json"
 echo "tier1: QPS baseline check passed"
