@@ -74,6 +74,12 @@ use bench::{
 };
 use std::time::Duration;
 
+// Measure, don't estimate: the experiment driver counts heap allocations
+// (one relaxed atomic per alloc), so `batch --json` reports measured
+// allocations per request and scripts/check_qps.sh can gate on the count.
+#[global_allocator]
+static COUNTING_ALLOC: bench::alloc::CountingAlloc = bench::alloc::CountingAlloc;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
@@ -249,6 +255,16 @@ fn run_batch(factor: f64, clients: usize, requests: usize, seed: u64, json: Opti
     }
     if report.hit_rate <= 0.0 {
         eprintln!("batch run FAILED: the match cache never hit on the hot set");
+        std::process::exit(1);
+    }
+    if report.no_arena_allocs_per_request > 0.0
+        && report.allocs_per_request >= report.no_arena_allocs_per_request
+    {
+        eprintln!(
+            "batch run FAILED: the execution arena did not reduce heap allocations per \
+             request ({:.0} with arenas vs {:.0} without)",
+            report.allocs_per_request, report.no_arena_allocs_per_request
+        );
         std::process::exit(1);
     }
     println!("batch run clean: every answer matched the single-threaded reference");

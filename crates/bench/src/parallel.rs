@@ -98,6 +98,9 @@ pub struct ParallelReport {
     pub checked: u64,
     /// Answers that differed from the reference (must be zero).
     pub mismatches: u64,
+    /// Arena-pool recycling counters of the sharded service (each shard
+    /// job checks out its own disjoint arena).
+    pub arena: service::pool::ArenaPoolStats,
 }
 
 impl ParallelReport {
@@ -163,6 +166,7 @@ impl ParallelReport {
              \"queries\":[{queries}],\
              \"sharded\":{},\"sequential\":{},\"service_speedup\":{:.3},\
              \"shard_jobs\":{},\"fallbacks\":{},\"waves\":{},\
+             \"arena_checkouts\":{},\"arena_reuses\":{},\"arena_discards\":{},\
              \"checked\":{},\"mismatches\":{}}}\n",
             self.factor,
             self.parallelism,
@@ -172,6 +176,9 @@ impl ParallelReport {
             self.shard_jobs,
             self.fallbacks,
             self.waves,
+            self.arena.checkouts,
+            self.arena.reuses,
+            self.arena.discards,
             self.checked,
             self.mismatches,
         )
@@ -210,6 +217,7 @@ impl ParallelReport {
              \x20 sharded:    {}\n\
              \x20 sequential: {}\n\
              \x20 service speedup: {:.2}x; {} shard job(s), {} wave(s), {} fallback(s)\n\
+             \x20 arena pool: {} checkout(s), {} reuse(s), {} discard(s)\n\
              byte checks: {} answer(s) compared, {} mismatch(es)\n",
             self.sharded.summary(),
             self.sequential.summary(),
@@ -217,6 +225,9 @@ impl ParallelReport {
             self.shard_jobs,
             self.waves,
             self.fallbacks,
+            self.arena.checkouts,
+            self.arena.reuses,
+            self.arena.discards,
             self.checked,
             self.mismatches,
         ));
@@ -341,6 +352,7 @@ pub fn sweep(factor: f64, clients: usize, requests: usize, seed: u64) -> Paralle
     );
     let snap = sharded_svc.metrics_snapshot();
     let waves = sharded_svc.shard_stats().waves;
+    let arena = sharded_svc.arena_stats();
 
     let sequential_svc = Service::new(db, sequential_cfg);
     let sequential = crate::batch::run_mix(
@@ -365,6 +377,7 @@ pub fn sweep(factor: f64, clients: usize, requests: usize, seed: u64) -> Paralle
         waves,
         checked,
         mismatches: mismatches + svc_mismatches.into_inner(),
+        arena,
     }
 }
 
@@ -391,9 +404,13 @@ mod tests {
                 assert!(pair[0].windows <= pair[1].windows);
             }
         }
+        // Every shard job checked out a pool arena.
+        assert!(report.arena.checkouts > 0, "sharded service never checked out an arena");
         let json = report.to_json(2, 3);
         assert_eq!(json.matches("\"qps\":").count(), 2, "check_qps expects two qps fields");
         assert!(json.contains("\"mismatches\":0"));
+        assert!(json.contains("\"arena_checkouts\":"), "{json}");
         assert!(report.render().contains("available parallelism"));
+        assert!(report.render().contains("arena pool:"));
     }
 }

@@ -101,6 +101,9 @@ const USAGE: &str = "usage: tlc-serve [OPTIONS]
                     order (0 disables; default 0)
   --shard-min N     anchor-candidate count below which a shardable query
                     still runs sequentially (default 512)
+  --arena-kb N      per-request execution arena: retained-capacity budget in
+                    KiB for the pooled buffer arenas workers recycle across
+                    requests (0 disables pooling; default 256)
   --deadline-ms N   default per-request wall-clock budget
   --client-wait-ms N  max time a connection waits for a reply before
                     abandoning it (default: wait forever)
@@ -184,6 +187,10 @@ fn parse_args() -> Result<Options, String> {
             "--shard-min" => {
                 opts.config.shard_min_candidates =
                     value("--shard-min")?.parse().map_err(|e| format!("--shard-min: {e}"))?
+            }
+            "--arena-kb" => {
+                opts.config.arena_kb =
+                    value("--arena-kb")?.parse().map_err(|e| format!("--arena-kb: {e}"))?
             }
             "--deadline-ms" => {
                 let ms: u64 =

@@ -85,7 +85,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use tlc::par::{plan_shards, resolve_path, run_shard, run_shard_vm, ShardPlan, ShardPolicy};
+use tlc::par::{
+    plan_shards, resolve_path, run_shard, run_shard_vm, ShardEnv, ShardPlan, ShardPolicy,
+};
 use tlc::{AnchorRange, ExecStats, Plan, ResultTree};
 use xmldb::Database;
 
@@ -143,6 +145,13 @@ pub struct ServiceConfig {
     /// sequentially — per-shard setup cannot amortize on small inputs
     /// ([`tlc::par::ShardPolicy::min_candidates`]).
     pub shard_min_candidates: usize,
+    /// Retained-byte budget, in KiB, of each pooled execution arena
+    /// ([`tlc::ExecArena`]); the `--arena-kb` flag. Every request (and
+    /// every shard job) checks a private arena out of a service-wide
+    /// [`pool::ArenaPool`] and successful jobs return it reset-not-freed,
+    /// so one request's buffer allocations become the next one's capacity.
+    /// `0` disables recycling entirely — the seed allocation behavior.
+    pub arena_kb: usize,
 }
 
 impl Default for ServiceConfig {
@@ -160,6 +169,7 @@ impl Default for ServiceConfig {
             ir: true,
             shard_max: 0,
             shard_min_candidates: 512,
+            arena_kb: tlc::DEFAULT_ARENA_BYTES / 1024,
         }
     }
 }
@@ -295,18 +305,24 @@ enum ShardFail {
 
 /// Stores a finished shard's trees in its side slot (success) or raises
 /// the shared cancel flag (failure) — on the worker thread, so siblings
-/// start winding down before the caller even sees the reply.
+/// start winding down before the caller even sees the reply. A successful
+/// shard's arena goes back to the pool; a failed (or cancelled) shard's
+/// arena already died with its context, so only the discard is recorded —
+/// no arena is ever reused across a cancelled shard wave.
 fn deposit(
-    result: tlc::Result<(Vec<ResultTree>, ExecStats)>,
+    result: tlc::Result<(Vec<ResultTree>, ExecStats, tlc::ExecArena)>,
     slot: &ShardSlot,
     cancel: &AtomicBool,
+    arenas: &pool::ArenaPool,
 ) -> WorkResult {
     match result {
-        Ok((trees, st)) => {
+        Ok((trees, st, arena)) => {
+            arenas.restore(arena);
             *slot.lock().unwrap() = Some(trees);
             Ok((String::new(), st))
         }
         Err(e) => {
+            arenas.discard();
             cancel.store(true, Ordering::Relaxed);
             Err(match e {
                 tlc::Error::DeadlineExceeded => ServiceError::DeadlineExceeded,
@@ -415,6 +431,9 @@ pub struct Service {
     queue_depth: usize,
     shard_max: usize,
     shard_min_candidates: usize,
+    /// Recycles per-request execution arenas across batched jobs and shard
+    /// waves (reset, don't free). Shared with every work closure.
+    arenas: Arc<pool::ArenaPool>,
     /// Monotonic per-request suffix for shard batching groups, so one
     /// request's shards batch together without coalescing with another's.
     shard_seq: AtomicU64,
@@ -445,6 +464,10 @@ impl Service {
             queue_depth: config.queue_depth,
             shard_max: config.shard_max,
             shard_min_candidates: config.shard_min_candidates,
+            arenas: Arc::new(pool::ArenaPool::new(
+                config.arena_kb.saturating_mul(1024),
+                config.workers.max(1),
+            )),
             shard_seq: AtomicU64::new(0),
             commit: Mutex::new(()),
         }
@@ -964,18 +987,37 @@ impl Service {
                 handle.entry.epoch(),
             )) as Arc<dyn tlc::MatchCache>
         });
+        let arenas = Arc::clone(&self.arenas);
         let work: Box<dyn FnOnce() -> WorkResult + Send> = Box::new(move || {
+            let (arena, recycled) = arenas.checkout();
             let mut ctx = tlc::ExecCtx::new();
             ctx.deadline = deadline;
             ctx.cache = match_cache;
+            ctx.arena = arena;
+            ctx.stats.arena_resets = recycled as u64;
             let result = match &program {
                 Some(prog) => tlc::vm::run(&db, prog, &mut ctx),
                 None => tlc::execute_with_ctx(&db, &plan, &mut ctx),
             };
             match result {
-                Ok(trees) => Ok((tlc::serialize_results(&db, &trees), ctx.stats)),
-                Err(tlc::Error::DeadlineExceeded) => Err(ServiceError::DeadlineExceeded),
-                Err(e) => Err(ServiceError::Execute(e)),
+                Ok(trees) => {
+                    let output = tlc::serialize_results(&db, &trees);
+                    // Park the result buffer and capture the counters only
+                    // then, so the reported high-water mark covers it; the
+                    // arena goes back to the pool for the next request.
+                    ctx.free_trees(trees);
+                    let stats = ctx.stats;
+                    arenas.restore(std::mem::take(&mut ctx.arena));
+                    Ok((output, stats))
+                }
+                Err(e) => {
+                    // Failed or cancelled: the arena dies with the context.
+                    arenas.discard();
+                    Err(match e {
+                        tlc::Error::DeadlineExceeded => ServiceError::DeadlineExceeded,
+                        other => ServiceError::Execute(other),
+                    })
+                }
             }
         });
         self.dispatch(
@@ -1026,27 +1068,32 @@ impl Service {
                     .enumerate()
                     .map(|(i, r)| {
                         let slot: ShardSlot = Arc::new(Mutex::new(None));
-                        let (db, prog, cancel, slot2) = (
+                        let (db, prog, cancel, slot2, arenas) = (
                             Arc::clone(&db),
                             Arc::clone(&prog),
                             Arc::clone(&cancel),
                             Arc::clone(&slot),
+                            Arc::clone(&self.arenas),
                         );
                         let anchor = AnchorRange { lcl, range: *r };
                         let tmp = tmp_slot + i as u64;
                         let work: ShardWork = Box::new(move || {
-                            deposit(
-                                run_shard_vm(
-                                    &db,
-                                    &prog,
-                                    anchor,
-                                    tmp,
-                                    deadline,
-                                    Some(Arc::clone(&cancel)),
-                                ),
-                                &slot2,
-                                &cancel,
-                            )
+                            // Each shard checks out its own arena — sibling
+                            // shards stay allocation-disjoint.
+                            let (arena, recycled) = arenas.checkout();
+                            let env = ShardEnv {
+                                tmp_slot: tmp,
+                                deadline,
+                                cancel: Some(Arc::clone(&cancel)),
+                                arena,
+                            };
+                            let result = run_shard_vm(&db, &prog, anchor, env).map(
+                                |(trees, mut st, arena)| {
+                                    st.arena_resets = recycled as u64;
+                                    (trees, st, arena)
+                                },
+                            );
+                            deposit(result, &slot2, &cancel, &arenas)
                         });
                         (slot, work)
                     })
@@ -1140,25 +1187,30 @@ impl Service {
             .enumerate()
             .map(|(i, anchor)| {
                 let slot: ShardSlot = Arc::new(Mutex::new(None));
-                let (db, plan, cancel, slot2) =
-                    (Arc::clone(db), Arc::clone(plan), Arc::clone(cancel), Arc::clone(&slot));
+                let (db, plan, cancel, slot2, arenas) = (
+                    Arc::clone(db),
+                    Arc::clone(plan),
+                    Arc::clone(cancel),
+                    Arc::clone(&slot),
+                    Arc::clone(&self.arenas),
+                );
                 let (path, injected, anchor) = (path.to_vec(), injected.to_vec(), *anchor);
                 let tmp = tmp_slot_base + i as u64;
                 let work: ShardWork = Box::new(move || {
                     let sub = resolve_path(&plan, &path);
-                    deposit(
-                        run_shard(
-                            &db,
-                            sub,
-                            anchor,
-                            injected,
-                            tmp,
-                            deadline,
-                            Some(Arc::clone(&cancel)),
-                        ),
-                        &slot2,
-                        &cancel,
-                    )
+                    let (arena, recycled) = arenas.checkout();
+                    let env = ShardEnv {
+                        tmp_slot: tmp,
+                        deadline,
+                        cancel: Some(Arc::clone(&cancel)),
+                        arena,
+                    };
+                    let result =
+                        run_shard(&db, sub, anchor, injected, env).map(|(trees, mut st, arena)| {
+                            st.arena_resets = recycled as u64;
+                            (trees, st, arena)
+                        });
+                    deposit(result, &slot2, &cancel, &arenas)
                 });
                 (slot, work)
             })
@@ -1327,6 +1379,11 @@ impl Service {
         self.pool.shard_stats()
     }
 
+    /// Arena-pool recycling counters.
+    pub fn arena_stats(&self) -> pool::ArenaPoolStats {
+        self.arenas.stats()
+    }
+
     /// Aggregate metrics snapshot.
     pub fn metrics_snapshot(&self) -> Snapshot {
         self.metrics.snapshot()
@@ -1359,6 +1416,18 @@ impl Service {
             report.push_str(&format!(
                 "shard dispatch: {} wave(s) over {} shard job(s), max wave {}, {} wave(s) rejected\n",
                 sh.waves, sh.jobs, sh.max_wave, sh.rejected_waves
+            ));
+        }
+        if self.arenas.limit_bytes() == 0 {
+            report.push_str("arena pool: disabled (arena-kb 0)\n");
+        } else {
+            let a = self.arenas.stats();
+            let rate =
+                if a.checkouts == 0 { 0.0 } else { a.reuses as f64 / a.checkouts as f64 * 100.0 };
+            report.push_str(&format!(
+                "arena pool: {} checkout(s), {} reuse(s) ({rate:.1}% reuse rate), {} discard(s), {} KiB/arena limit\n",
+                a.checkouts, a.reuses, a.discards,
+                self.arenas.limit_bytes() / 1024
             ));
         }
         report.push_str(&self.catalog_report());
@@ -1394,6 +1463,7 @@ const _: () = {
     assert_send_sync::<CatalogEntry>();
     assert_send_sync::<CachedPlan>();
     assert_send_sync::<tlc::vm::Program>();
+    assert_send_sync::<pool::ArenaPool>();
 };
 
 #[cfg(test)]

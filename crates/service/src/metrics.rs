@@ -181,6 +181,8 @@ struct Inner {
     shards_executed: u64,
     shard_fallback_sequential: u64,
     merge: Histogram,
+    arena_requests: u64,
+    arena_hwm_sum: u64,
 }
 
 /// Thread-safe metrics registry; one per [`crate::Service`].
@@ -203,6 +205,10 @@ impl Metrics {
         m.latency.record(latency);
         m.exec.absorb(stats);
         m.ok += 1;
+        if stats.arena_bytes > 0 {
+            m.arena_requests += 1;
+            m.arena_hwm_sum = m.arena_hwm_sum.saturating_add(stats.arena_bytes);
+        }
         let entry = if m.per_query.len() >= MAX_QUERY_ENTRIES && !m.per_query.contains_key(label) {
             m.per_query.entry("(other)".into()).or_default()
         } else {
@@ -347,6 +353,8 @@ impl Metrics {
             shards_executed: m.shards_executed,
             shard_fallback_sequential: m.shard_fallback_sequential,
             merge: m.merge.clone(),
+            arena_requests: m.arena_requests,
+            arena_hwm_sum: m.arena_hwm_sum,
             per_db,
         }
     }
@@ -423,6 +431,21 @@ impl Metrics {
             "executor match cache: {} hits / {} misses\n",
             e.match_cache_hits, e.match_cache_misses
         ));
+        if m.arena_requests > 0 || e.fallback_allocs > 0 {
+            let mean_kib = if m.arena_requests == 0 {
+                0.0
+            } else {
+                m.arena_hwm_sum as f64 / m.arena_requests as f64 / 1024.0
+            };
+            out.push_str(&format!(
+                "executor arena: {} arena-backed request(s), high-water mean {:.1} KiB / max {:.1} KiB, {} fallback alloc(s), {} recycled checkout(s)\n",
+                m.arena_requests,
+                mean_kib,
+                e.arena_bytes as f64 / 1024.0,
+                e.fallback_allocs,
+                e.arena_resets
+            ));
+        }
         if m.ir_compiles > 0 || m.ir_cache_hits > 0 {
             out.push_str(&format!(
                 "ir: {} program(s) compiled, {} compiled-program reuse(s), compile count={} mean={:?} p95={:?} max={:?}\n",
@@ -525,6 +548,12 @@ pub struct Snapshot {
     /// plus central serialization); `merge.count()` is the number of
     /// sharded requests served.
     pub merge: Histogram,
+    /// Requests whose executor drew from a live arena (`arena_bytes > 0`).
+    pub arena_requests: u64,
+    /// Sum of per-request arena high-water marks in bytes (divide by
+    /// [`Snapshot::arena_requests`] for the mean; the max is
+    /// `exec.arena_bytes`, which absorbs by maximum).
+    pub arena_hwm_sum: u64,
     /// Per-database counters, sorted by database name.
     pub per_db: Vec<(String, DbCounters)>,
 }
@@ -691,6 +720,27 @@ mod tests {
         );
         assert!(r.contains("shard merge: count=2"), "{r}");
         assert!(r.contains("db a: 2 request(s) served by intra-query shards"), "{r}");
+    }
+
+    #[test]
+    fn arena_counters_only_report_when_active() {
+        let m = Metrics::new();
+        m.record_request("q", Duration::from_micros(10), &ExecStats::new());
+        assert!(!m.report().contains("executor arena:"), "no arena activity recorded yet");
+        let mut st = ExecStats::new();
+        st.arena_bytes = 2048;
+        st.fallback_allocs = 5;
+        st.arena_resets = 1;
+        m.record_request("q", Duration::from_micros(10), &st);
+        let s = m.snapshot();
+        assert_eq!((s.arena_requests, s.arena_hwm_sum), (1, 2048));
+        let r = m.report();
+        assert!(
+            r.contains(
+                "executor arena: 1 arena-backed request(s), high-water mean 2.0 KiB / max 2.0 KiB, 5 fallback alloc(s), 1 recycled checkout(s)"
+            ),
+            "{r}"
+        );
     }
 
     #[test]

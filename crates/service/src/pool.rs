@@ -277,6 +277,107 @@ impl<T: Send + 'static> Drop for Pool<T> {
     }
 }
 
+/// Cumulative arena-recycling counters; read through [`ArenaPool::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaPoolStats {
+    /// Arenas handed out (recycled and fresh combined).
+    pub checkouts: u64,
+    /// Checkouts served by resetting a previously restored arena.
+    pub reuses: u64,
+    /// Arenas dropped instead of recycled: failed or cancelled jobs (see
+    /// [`ArenaPool::discard`]) plus restores past the pool's capacity.
+    pub discards: u64,
+}
+
+/// Recycles [`tlc::ExecArena`]s across requests and shard jobs.
+///
+/// Reset, don't free: a restored arena keeps its parked buffers, so one
+/// request's allocations become the next request's capacity. Every job —
+/// sequential request or single shard of a wave — checks out its own
+/// arena, which keeps sibling shards allocation-disjoint (the PR 9
+/// byte-identity argument never sees the arena). Jobs that fail or are
+/// cancelled must [`ArenaPool::discard`] instead of restoring: their
+/// arena died with the job's context and is never reused.
+///
+/// A `limit_bytes` of 0 disables recycling entirely — checkouts hand out
+/// [`tlc::ExecArena::disabled`] instances, reproducing the seed
+/// allocation behavior (the `--arena-kb 0` escape hatch).
+pub struct ArenaPool {
+    limit_bytes: usize,
+    /// Most arenas kept parked; sized to the worker count, since at most
+    /// that many jobs run (and restore) concurrently.
+    capacity: usize,
+    free: Mutex<Vec<tlc::ExecArena>>,
+    checkouts: AtomicU64,
+    reuses: AtomicU64,
+    discards: AtomicU64,
+}
+
+impl ArenaPool {
+    /// A pool handing out arenas capped at `limit_bytes` retained bytes,
+    /// parking at most `capacity` of them between jobs.
+    pub fn new(limit_bytes: usize, capacity: usize) -> ArenaPool {
+        ArenaPool {
+            limit_bytes,
+            capacity: capacity.max(1),
+            free: Mutex::new(Vec::new()),
+            checkouts: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+            discards: AtomicU64::new(0),
+        }
+    }
+
+    /// An arena for one job, plus whether it was recycled (reset) rather
+    /// than freshly built.
+    pub fn checkout(&self) -> (tlc::ExecArena, bool) {
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        if self.limit_bytes == 0 {
+            return (tlc::ExecArena::disabled(), false);
+        }
+        match self.free.lock().unwrap().pop() {
+            Some(mut arena) => {
+                arena.reset();
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                (arena, true)
+            }
+            None => (tlc::ExecArena::with_limit(self.limit_bytes), false),
+        }
+    }
+
+    /// Returns a successful job's arena for reuse. Past capacity (or with
+    /// recycling disabled) the arena is dropped and counted as a discard.
+    pub fn restore(&self, arena: tlc::ExecArena) {
+        if self.limit_bytes > 0 {
+            let mut free = self.free.lock().unwrap();
+            if free.len() < self.capacity {
+                free.push(arena);
+                return;
+            }
+        }
+        self.discards.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records that a job's arena died with it (error, cancellation, or
+    /// deadline expiry) — the no-reuse-after-failure rule.
+    pub fn discard(&self) {
+        self.discards.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cumulative recycling counters.
+    pub fn stats(&self) -> ArenaPoolStats {
+        ArenaPoolStats {
+            checkouts: self.checkouts.load(Ordering::Relaxed),
+            reuses: self.reuses.load(Ordering::Relaxed),
+            discards: self.discards.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The retained-byte cap of every arena this pool hands out.
+    pub fn limit_bytes(&self) -> usize {
+        self.limit_bytes
+    }
+}
+
 fn worker_loop<T>(shared: Arc<Shared<T>>) {
     loop {
         let mut batch = {
@@ -623,6 +724,48 @@ mod tests {
         }
         let s = pool.batch_stats();
         assert_eq!((s.batches, s.jobs, s.max_batch), (2, 4, 3)); // gate + one 3-shard batch
+    }
+
+    #[test]
+    fn arena_pool_recycles_restored_capacity() {
+        let pool = ArenaPool::new(64 * 1024, 2);
+        let (mut a, recycled) = pool.checkout();
+        assert!(!recycled, "first checkout has nothing to recycle");
+        let (mut buf, _) = a.take_nodes();
+        buf.reserve(16);
+        a.give_nodes(buf);
+        pool.restore(a);
+        let (a2, recycled) = pool.checkout();
+        assert!(recycled);
+        assert!(a2.retained_bytes() > 0, "parked capacity survives the pooled reset");
+        pool.discard();
+        let s = pool.stats();
+        assert_eq!((s.checkouts, s.reuses, s.discards), (2, 1, 1));
+    }
+
+    #[test]
+    fn disabled_arena_pool_hands_out_seed_arenas() {
+        let pool = ArenaPool::new(0, 4);
+        let (a, recycled) = pool.checkout();
+        assert!(!recycled);
+        assert_eq!(a.limit(), 0, "arena_kb 0 must reproduce the no-arena seed path");
+        pool.restore(a); // dropped, not parked
+        let (b, recycled) = pool.checkout();
+        assert!(!recycled, "nothing is ever recycled at limit 0");
+        assert_eq!(b.limit(), 0);
+        assert_eq!(pool.stats().discards, 1);
+    }
+
+    #[test]
+    fn arena_pool_capacity_bounds_parked_arenas() {
+        let pool = ArenaPool::new(64 * 1024, 1);
+        let (a, _) = pool.checkout();
+        let (b, _) = pool.checkout();
+        pool.restore(a);
+        pool.restore(b); // over capacity: dropped and counted
+        assert_eq!(pool.stats().discards, 1);
+        let (_, recycled) = pool.checkout();
+        assert!(recycled, "the one parked arena is still served");
     }
 
     #[test]

@@ -81,6 +81,7 @@ fn split_words(s: &str, n: usize) -> (Vec<&str>, &str) {
 fn run_update(
     service: &Arc<Service>,
     writer: &mut impl Write,
+    frame: &mut FrameBuf,
     db: &str,
     op: &UpdateOp,
 ) -> io::Result<()> {
@@ -91,7 +92,7 @@ fn run_update(
             } else {
                 String::new()
             };
-            write_ok(
+            frame.write_ok(
                 writer,
                 &format!(
                     "updated {db}: epoch {}, +{}/-{} node(s){renumbered}, {} plan(s) and {} match entr(ies) carried",
@@ -120,6 +121,40 @@ pub enum Frame {
 pub fn write_ok(w: &mut impl Write, payload: &str) -> io::Result<()> {
     write!(w, "OK {}\n{payload}\n", payload.len())?;
     w.flush()
+}
+
+/// Per-connection reusable response buffer: the `OK <len>\n<payload>\n`
+/// envelope is assembled here and handed to the writer as one
+/// `write_all`, and the buffer's capacity is recycled across replies
+/// instead of re-formatting each frame into fresh allocations. One
+/// instance lives for the whole [`serve_connection`] loop, so a
+/// connection's largest reply sizes the buffer once.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: String,
+}
+
+impl FrameBuf {
+    /// Empty buffer; grows to the connection's largest reply and stays.
+    pub fn new() -> FrameBuf {
+        FrameBuf::default()
+    }
+
+    /// Writes an `OK` frame through the reusable buffer.
+    pub fn write_ok(&mut self, w: &mut impl Write, payload: &str) -> io::Result<()> {
+        use std::fmt::Write as _;
+        self.buf.clear();
+        let _ = writeln!(self.buf, "OK {}", payload.len());
+        self.buf.push_str(payload);
+        self.buf.push('\n');
+        w.write_all(self.buf.as_bytes())?;
+        w.flush()
+    }
+
+    /// Bytes currently retained for reuse.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
 }
 
 /// Writes an `ERR` frame; newlines in the message are flattened to keep the
@@ -168,6 +203,7 @@ pub fn serve_connection(
     let mut served = 0;
     let mut current = service.default_database().to_string();
     let mut line = String::new();
+    let mut frame = FrameBuf::new();
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
@@ -177,8 +213,8 @@ pub fn serve_connection(
         match request {
             "" => continue,
             ".quit" => return Ok(served),
-            ".metrics" => write_ok(writer, &service.metrics_report())?,
-            ".catalog" => write_ok(writer, &service.catalog_report())?,
+            ".metrics" => frame.write_ok(writer, &service.metrics_report())?,
+            ".catalog" => frame.write_ok(writer, &service.catalog_report())?,
             dot if dot.starts_with('.') => {
                 let mut words = dot.split_whitespace();
                 let cmd = words.next().expect("non-empty dot line");
@@ -188,7 +224,7 @@ pub fn serve_connection(
                         Ok(entry) => {
                             current = name.to_string();
                             let db = entry.database();
-                            write_ok(
+                            frame.write_ok(
                                 writer,
                                 &format!(
                                     "opened {name}: epoch {}, {} document(s), {} nodes",
@@ -204,7 +240,7 @@ pub fn serve_connection(
                     (".use", [name]) => {
                         if service.has_database(name) {
                             current = name.to_string();
-                            write_ok(writer, &format!("using {name}"))?;
+                            frame.write_ok(writer, &format!("using {name}"))?;
                         } else {
                             write_err(writer, &format!("unknown database: {name}"))?;
                         }
@@ -213,7 +249,7 @@ pub fn serve_connection(
                     (".reload", rest @ ([] | [_])) => {
                         let name = rest.first().copied().unwrap_or(current.as_str()).to_string();
                         match service.reload(&name) {
-                            Ok((entry, invalidated)) => write_ok(
+                            Ok((entry, invalidated)) => frame.write_ok(
                                 writer,
                                 &format!(
                                     "reloaded {name}: epoch {}, {invalidated} plan(s) invalidated",
@@ -234,7 +270,7 @@ pub fn serve_connection(
                             )?;
                         } else {
                             match service.drop_database(name) {
-                                Ok((plans, entries)) => write_ok(
+                                Ok((plans, entries)) => frame.write_ok(
                                     writer,
                                     &format!(
                                         "dropped {name}: {plans} plan(s), {entries} match entr(ies) purged"
@@ -256,7 +292,7 @@ pub fn serve_connection(
                                             parent,
                                             xml: xml.to_string(),
                                         };
-                                        run_update(service, writer, &current, &op)?;
+                                        run_update(service, writer, &mut frame, &current, &op)?;
                                     }
                                     Err(_) => {
                                         write_err(writer, "parent must be a pre ordinal (u32)")?
@@ -275,7 +311,7 @@ pub fn serve_connection(
                             write_err(writer, "usage: .explain <query>")?;
                         } else {
                             match service.explain(&current, tail) {
-                                Ok(report) => write_ok(writer, &report)?,
+                                Ok(report) => frame.write_ok(writer, &report)?,
                                 Err(e) => write_err(writer, &e.to_string())?,
                             }
                         }
@@ -283,7 +319,7 @@ pub fn serve_connection(
                     (".delete", [doc, ord]) => match ord.parse::<u32>() {
                         Ok(pre) => {
                             let op = UpdateOp::Delete { doc: doc.to_string(), pre };
-                            run_update(service, writer, &current, &op)?;
+                            run_update(service, writer, &mut frame, &current, &op)?;
                         }
                         Err(_) => write_err(writer, "ord must be a pre ordinal (u32)")?,
                     },
@@ -298,7 +334,7 @@ pub fn serve_connection(
                                         pre,
                                         text: text.to_string(),
                                     };
-                                    run_update(service, writer, &current, &op)?;
+                                    run_update(service, writer, &mut frame, &current, &op)?;
                                 }
                                 Err(_) => write_err(writer, "ord must be a pre ordinal (u32)")?,
                             },
@@ -311,7 +347,7 @@ pub fn serve_connection(
             query => {
                 served += 1;
                 match service.execute_on(&current, query) {
-                    Ok(resp) => write_ok(writer, &resp.output)?,
+                    Ok(resp) => frame.write_ok(writer, &resp.output)?,
                     Err(e @ ServiceError::ShuttingDown) => {
                         write_err(writer, &e.to_string())?;
                         return Ok(served);
@@ -337,6 +373,26 @@ mod tests {
         let mut r = BufReader::new(&buf[..]);
         assert_eq!(read_response(&mut r).unwrap(), Frame::Ok("<name>Ann</name>".into()));
         assert_eq!(read_response(&mut r).unwrap(), Frame::Err("multi line message".into()));
+    }
+
+    #[test]
+    fn frame_buf_matches_write_ok_and_reuses_capacity() {
+        let mut plain = Vec::new();
+        write_ok(&mut plain, "<a>1</a>").unwrap();
+        write_ok(&mut plain, "x\ny").unwrap();
+        let mut pooled = Vec::new();
+        let mut frame = FrameBuf::new();
+        frame.write_ok(&mut pooled, "<a>1</a>").unwrap();
+        let cap = frame.capacity();
+        assert!(cap > 0);
+        frame.write_ok(&mut pooled, "x\ny").unwrap();
+        // Byte-identical wire format, and the second (smaller) frame reused
+        // the first frame's buffer instead of allocating.
+        assert_eq!(plain, pooled);
+        assert_eq!(frame.capacity(), cap);
+        let mut r = BufReader::new(&pooled[..]);
+        assert_eq!(read_response(&mut r).unwrap(), Frame::Ok("<a>1</a>".into()));
+        assert_eq!(read_response(&mut r).unwrap(), Frame::Ok("x\ny".into()));
     }
 
     #[test]

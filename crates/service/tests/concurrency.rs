@@ -49,12 +49,17 @@ fn eight_threads_match_single_threaded_baselines() {
         }
     });
 
-    // Every query ran THREADS times; all but the first arrival of each
-    // text were cache hits.
+    // Every query ran THREADS times; after the first arrival of each text
+    // the rest were cache hits — modulo the deliberate miss race: lookup
+    // and insert don't hold the cache lock across the compile, so two
+    // threads arriving at an uncached text together may both miss and both
+    // compile (the loser's insert replaces in place). Allow one racing
+    // compile per text on top of the cold miss; more than that means the
+    // cache stopped being consulted.
     let cache = svc.cache_stats();
     let suite_len = queries::all_queries().len() as u64;
     assert_eq!(cache.hits + cache.misses, suite_len * THREADS as u64);
-    assert!(cache.hits >= suite_len * (THREADS as u64 - 1), "cache barely hit: {cache:?}");
+    assert!(cache.misses <= suite_len * 2, "cache barely hit: {cache:?}");
     let snap = svc.metrics_snapshot();
     assert_eq!(snap.ok, suite_len * THREADS as u64);
 }

@@ -1,0 +1,345 @@
+//! Request-scoped execution memory: recycled buffer pools with bump-style
+//! reset semantics.
+//!
+//! The executor's hot paths — candidate generation in [`crate::matching`],
+//! the operator kernels reached through [`crate::ops::select()`], and the
+//! register frame of [`crate::vm`] — used to allocate a fresh `Vec` for
+//! every intermediate buffer and drop it at request end. Under batched
+//! dispatch and shard waves that churn multiplies per worker. An
+//! [`ExecArena`] breaks the cycle: buffers are *taken* from typed free
+//! lists and *given* back when their contents are consumed, so one
+//! request's allocations become the next request's capacity. The service
+//! recycles whole arenas across requests through a per-pool checkout
+//! (reset, don't free); a standalone [`crate::ExecCtx`] carries a private
+//! arena so even single-shot executions reuse buffers *within* a request.
+//!
+//! # Rules
+//!
+//! * **Reset, don't free.** [`ExecArena::reset`] keeps every parked buffer
+//!   and its capacity; only the per-request counters restart. Memory is
+//!   bounded by the retained-byte `limit`: a give that would exceed it
+//!   drops the buffer instead of parking it.
+//! * **Never observable.** A taken buffer is always empty; parking clears
+//!   contents eagerly, so no data survives into the next request. Output
+//!   bytes, cache content and every pre-existing [`crate::ExecStats`]
+//!   counter are identical with the arena on, off, or at any limit — only
+//!   the three arena counters differ.
+//! * **Errors discard.** Buffers in flight when an execution fails are
+//!   simply dropped; the service additionally discards the whole arena of
+//!   a failed or cancelled job (see `service`'s arena pool), so no arena
+//!   is ever reused across a cancelled shard wave.
+
+use crate::tree::ResultTree;
+use xmldb::NodeId;
+
+/// Default retained-byte budget per arena (the `--arena-kb` default).
+pub const DEFAULT_ARENA_BYTES: usize = 256 * 1024;
+
+/// One register-frame buffer (see [`crate::vm`]).
+pub type RegFrame = Vec<Option<Vec<ResultTree>>>;
+
+/// Typed recycled-buffer free lists with bump-style reset semantics.
+///
+/// `take_*` pops a cleared buffer (or falls back to a fresh allocation);
+/// `give_*` parks a spent buffer for reuse while the retained capacity
+/// stays under the byte limit. `ExecArena::disabled()` (limit 0) never
+/// parks and never serves — byte-for-byte the pre-arena allocation
+/// behavior, which the equivalence tests use as the seed path.
+#[derive(Debug)]
+pub struct ExecArena {
+    /// Retained-byte cap; 0 disables recycling entirely.
+    limit: usize,
+    /// Candidate/posting buffers (pattern matching).
+    nodes: Vec<Vec<NodeId>>,
+    /// Intermediate witness-tree lists (operator inputs/outputs).
+    trees: Vec<Vec<ResultTree>>,
+    /// VM register frames.
+    frames: Vec<RegFrame>,
+    /// Capacity bytes currently parked across all free lists.
+    retained: usize,
+    /// High-water mark of `retained` since the last reset.
+    hwm: usize,
+    /// Lifetime reset count (one per recycled checkout).
+    resets: u64,
+    /// Takes served from a free list since the last reset.
+    reuses: u64,
+    /// Takes that fell back to a fresh allocation since the last reset.
+    fallbacks: u64,
+}
+
+impl Default for ExecArena {
+    fn default() -> Self {
+        ExecArena::with_limit(DEFAULT_ARENA_BYTES)
+    }
+}
+
+fn take_from<T>(list: &mut Vec<Vec<T>>, retained: &mut usize) -> Option<Vec<T>> {
+    let buf = list.pop()?;
+    *retained -= buf.capacity() * std::mem::size_of::<T>();
+    debug_assert!(buf.is_empty(), "parked buffers are cleared");
+    Some(buf)
+}
+
+fn give_to<T>(
+    list: &mut Vec<Vec<T>>,
+    retained: &mut usize,
+    hwm: &mut usize,
+    limit: usize,
+    mut buf: Vec<T>,
+) {
+    let bytes = buf.capacity() * std::mem::size_of::<T>();
+    if bytes == 0 || *retained + bytes > limit {
+        return; // nothing worth parking, or over budget: drop
+    }
+    buf.clear();
+    *retained += bytes;
+    *hwm = (*hwm).max(*retained);
+    list.push(buf);
+}
+
+impl ExecArena {
+    /// An arena that parks at most `limit` capacity bytes.
+    pub fn with_limit(limit: usize) -> Self {
+        ExecArena {
+            limit,
+            nodes: Vec::new(),
+            trees: Vec::new(),
+            frames: Vec::new(),
+            retained: 0,
+            hwm: 0,
+            resets: 0,
+            reuses: 0,
+            fallbacks: 0,
+        }
+    }
+
+    /// An arena that never recycles — every take is a fresh allocation and
+    /// every give drops, exactly the pre-arena allocation behavior.
+    pub fn disabled() -> Self {
+        ExecArena::with_limit(0)
+    }
+
+    /// Prepares a recycled arena for its next request: parked buffers and
+    /// their capacity survive, the per-request counters restart.
+    pub fn reset(&mut self) {
+        self.resets += 1;
+        self.reuses = 0;
+        self.fallbacks = 0;
+        self.hwm = self.retained;
+    }
+
+    fn count(&mut self, served: bool) -> bool {
+        if served {
+            self.reuses += 1;
+        } else {
+            self.fallbacks += 1;
+        }
+        !served
+    }
+
+    /// A cleared candidate buffer; the flag is `true` when the take fell
+    /// back to a fresh allocation.
+    pub fn take_nodes(&mut self) -> (Vec<NodeId>, bool) {
+        let buf = take_from(&mut self.nodes, &mut self.retained);
+        let fresh = self.count(buf.is_some());
+        (buf.unwrap_or_default(), fresh)
+    }
+
+    /// Parks a spent candidate buffer (dropped when over budget).
+    pub fn give_nodes(&mut self, buf: Vec<NodeId>) {
+        give_to(&mut self.nodes, &mut self.retained, &mut self.hwm, self.limit, buf);
+    }
+
+    /// A cleared witness-tree list; flag as in [`ExecArena::take_nodes`].
+    pub fn take_trees(&mut self) -> (Vec<ResultTree>, bool) {
+        let buf = take_from(&mut self.trees, &mut self.retained);
+        let fresh = self.count(buf.is_some());
+        (buf.unwrap_or_default(), fresh)
+    }
+
+    /// Parks a spent witness-tree list (contents are dropped eagerly).
+    pub fn give_trees(&mut self, buf: Vec<ResultTree>) {
+        give_to(&mut self.trees, &mut self.retained, &mut self.hwm, self.limit, buf);
+    }
+
+    /// A cleared VM register frame; flag as in [`ExecArena::take_nodes`].
+    pub fn take_frame(&mut self) -> (RegFrame, bool) {
+        let buf = take_from(&mut self.frames, &mut self.retained);
+        let fresh = self.count(buf.is_some());
+        (buf.unwrap_or_default(), fresh)
+    }
+
+    /// Parks a spent register frame (register contents are dropped).
+    pub fn give_frame(&mut self, buf: RegFrame) {
+        give_to(&mut self.frames, &mut self.retained, &mut self.hwm, self.limit, buf);
+    }
+
+    /// Capacity bytes currently parked.
+    pub fn retained_bytes(&self) -> usize {
+        self.retained
+    }
+
+    /// High-water mark of parked capacity bytes since the last reset.
+    pub fn high_water(&self) -> usize {
+        self.hwm
+    }
+
+    /// The retained-byte cap this arena was built with.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Lifetime reset count (one per recycled checkout).
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Takes served from a free list since the last reset.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Takes that hit the global allocator since the last reset.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldb::DocId;
+
+    #[test]
+    fn buffers_cycle_and_stay_cleared() {
+        let mut a = ExecArena::with_limit(1 << 20);
+        let (mut buf, fresh) = a.take_nodes();
+        assert!(fresh, "first take has nothing to serve");
+        buf.extend([NodeId::new(DocId(0), 1), NodeId::new(DocId(0), 2)]);
+        let cap = buf.capacity();
+        a.give_nodes(buf);
+        assert_eq!(a.retained_bytes(), cap * std::mem::size_of::<NodeId>());
+        assert!(a.high_water() >= a.retained_bytes());
+        let (again, fresh) = a.take_nodes();
+        assert!(!fresh, "second take reuses the parked buffer");
+        assert!(again.is_empty(), "parked contents must not leak");
+        assert_eq!(again.capacity(), cap);
+        assert_eq!(a.retained_bytes(), 0, "in-flight buffers are not retained");
+        assert_eq!((a.reuses(), a.fallbacks()), (1, 1));
+    }
+
+    #[test]
+    fn disabled_arena_never_parks() {
+        let mut a = ExecArena::disabled();
+        let (mut buf, fresh) = a.take_nodes();
+        assert!(fresh);
+        buf.push(NodeId::new(DocId(0), 1));
+        a.give_nodes(buf);
+        assert_eq!(a.retained_bytes(), 0);
+        let (_, fresh) = a.take_nodes();
+        assert!(fresh, "limit 0 must never serve a recycled buffer");
+        assert_eq!(a.reuses(), 0);
+    }
+
+    #[test]
+    fn limit_bounds_retained_capacity() {
+        let mut a = ExecArena::with_limit(64);
+        let mut big = Vec::with_capacity(1024);
+        big.push(NodeId::new(DocId(0), 1));
+        a.give_nodes(big);
+        assert_eq!(a.retained_bytes(), 0, "an over-budget give drops the buffer");
+        let mut small = Vec::with_capacity(4);
+        small.push(NodeId::new(DocId(0), 1));
+        a.give_nodes(small);
+        assert!(a.retained_bytes() > 0 && a.retained_bytes() <= 64);
+    }
+
+    #[test]
+    fn reset_keeps_capacity_but_restarts_counters() {
+        let mut a = ExecArena::with_limit(1 << 20);
+        let (mut buf, _) = a.take_nodes();
+        buf.push(NodeId::new(DocId(0), 1));
+        a.give_nodes(buf);
+        let parked = a.retained_bytes();
+        a.reset();
+        assert_eq!(a.retained_bytes(), parked, "reset must not free parked buffers");
+        assert_eq!((a.reuses(), a.fallbacks()), (0, 0));
+        assert_eq!(a.resets(), 1);
+        assert_eq!(a.high_water(), parked);
+        let (_, fresh) = a.take_nodes();
+        assert!(!fresh, "capacity survives the reset");
+    }
+
+    /// The never-observable rule, end to end: a default arena and a
+    /// disabled one produce byte-identical output and identical non-arena
+    /// counters on both backends, and the default arena actually recycles.
+    #[test]
+    fn arena_execution_matches_the_disabled_seed_path() {
+        use crate::exec::ExecCtx;
+        use crate::output::serialize_results;
+
+        let mut db = xmldb::Database::new();
+        let people: String = (0..24)
+            .map(|i| format!("<person id=\"{i}\"><name>p{i}</name><age>{}</age></person>", 18 + i))
+            .collect();
+        db.load_xml("a.xml", &format!("<site>{people}</site>")).unwrap();
+        let queries = [
+            "FOR $p IN document(\"a.xml\")//person RETURN $p/name",
+            "FOR $p IN document(\"a.xml\")//person WHERE $p/age > 30 RETURN $p/name",
+        ];
+        for q in queries {
+            let plan = crate::compile(q, &db).unwrap();
+            let prog = crate::vm::lower(&plan).unwrap();
+            let mut on = ExecCtx::new();
+            let got = crate::execute_with_ctx(&db, &plan, &mut on).unwrap();
+            let mut off = ExecCtx::new();
+            off.arena = ExecArena::disabled();
+            let want = crate::execute_with_ctx(&db, &plan, &mut off).unwrap();
+            assert_eq!(
+                serialize_results(&db, &got),
+                serialize_results(&db, &want),
+                "walker bytes diverged for {q}"
+            );
+            assert_eq!(
+                on.stats.without_arena_counters(),
+                off.stats.without_arena_counters(),
+                "walker stats diverged for {q}"
+            );
+            assert!(on.arena.reuses() > 0, "default arena must recycle within a request: {q}");
+            assert!(
+                on.stats.fallback_allocs < off.stats.fallback_allocs,
+                "arena must cut fresh buffer allocations: {q}"
+            );
+
+            let mut vm_on = ExecCtx::new();
+            let vm_got = crate::vm::run(&db, &prog, &mut vm_on).unwrap();
+            let mut vm_off = ExecCtx::new();
+            vm_off.arena = ExecArena::disabled();
+            let vm_want = crate::vm::run(&db, &prog, &mut vm_off).unwrap();
+            assert_eq!(
+                serialize_results(&db, &vm_got),
+                serialize_results(&db, &vm_want),
+                "vm bytes diverged for {q}"
+            );
+            assert_eq!(
+                vm_on.stats.without_arena_counters(),
+                vm_off.stats.without_arena_counters(),
+                "vm stats diverged for {q}"
+            );
+            assert!(vm_on.arena.reuses() > 0, "vm arena must recycle within a request: {q}");
+        }
+    }
+
+    #[test]
+    fn typed_lists_are_independent() {
+        let mut a = ExecArena::with_limit(1 << 20);
+        let (mut f, _) = a.take_frame();
+        f.push(Some(Vec::new()));
+        a.give_frame(f);
+        let (_, fresh) = a.take_trees();
+        assert!(fresh, "a parked frame cannot serve a tree-list take");
+        let (f2, fresh) = a.take_frame();
+        assert!(!fresh);
+        assert!(f2.is_empty());
+    }
+}

@@ -1,5 +1,6 @@
 //! Plan execution: set-at-a-time, bottom-up, pipelined (paper §5).
 
+use crate::arena::{ExecArena, RegFrame};
 use crate::error::{Error, Result};
 use crate::logical_class::LclId;
 use crate::ops;
@@ -11,7 +12,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use xmldb::{Database, OrdRange};
+use xmldb::{Database, NodeId, OrdRange};
 
 /// A pluggable store for pattern-match results, consulted by the executor
 /// before running a Select/Filter chain and populated after (see
@@ -78,6 +79,13 @@ pub struct ExecCtx {
     /// evaluating that subplan. Keys are only meaningful for the exact
     /// plan allocation the caller executes.
     pub injected: Vec<(usize, Arc<Vec<ResultTree>>)>,
+    /// Request-scoped buffer recycling for matching, the operator kernels
+    /// and the VM register frame (see [`mod@crate::arena`]). The default is
+    /// a private arena with the stock byte budget; the query service
+    /// installs pooled arenas recycled across requests, and
+    /// [`ExecArena::disabled`] reproduces the pre-arena allocation behavior
+    /// byte- and counter-identically (minus the arena counters).
+    pub arena: ExecArena,
     ticks: u32,
 }
 
@@ -91,6 +99,7 @@ impl fmt::Debug for ExecCtx {
             .field("anchor_range", &self.anchor_range)
             .field("cancel", &self.cancel.is_some())
             .field("injected", &self.injected.len())
+            .field("arena", &self.arena)
             .field("ticks", &self.ticks)
             .finish()
     }
@@ -111,6 +120,55 @@ impl ExecCtx {
     pub fn with_cache(mut self, cache: Arc<dyn MatchCache>) -> Self {
         self.cache = Some(cache);
         self
+    }
+
+    /// Takes a recycled candidate buffer from the arena, counting a
+    /// fallback allocation when none is parked.
+    #[inline]
+    pub fn alloc_nodes(&mut self) -> Vec<NodeId> {
+        let (buf, fresh) = self.arena.take_nodes();
+        self.stats.fallback_allocs += fresh as u64;
+        buf
+    }
+
+    /// Returns a spent candidate buffer to the arena and tracks the
+    /// request's retained-byte high-water mark.
+    #[inline]
+    pub fn free_nodes(&mut self, buf: Vec<NodeId>) {
+        self.arena.give_nodes(buf);
+        self.stats.arena_bytes = self.stats.arena_bytes.max(self.arena.high_water() as u64);
+    }
+
+    /// Takes a recycled witness-tree list (see [`ExecCtx::alloc_nodes`]).
+    #[inline]
+    pub fn alloc_trees(&mut self) -> Vec<ResultTree> {
+        let (buf, fresh) = self.arena.take_trees();
+        self.stats.fallback_allocs += fresh as u64;
+        buf
+    }
+
+    /// Returns a spent witness-tree list to the arena; its contents are
+    /// dropped eagerly (see [`ExecCtx::free_nodes`]).
+    #[inline]
+    pub fn free_trees(&mut self, buf: Vec<ResultTree>) {
+        self.arena.give_trees(buf);
+        self.stats.arena_bytes = self.stats.arena_bytes.max(self.arena.high_water() as u64);
+    }
+
+    /// Takes a recycled VM register frame (see [`ExecCtx::alloc_nodes`]).
+    #[inline]
+    pub fn alloc_frame(&mut self) -> RegFrame {
+        let (buf, fresh) = self.arena.take_frame();
+        self.stats.fallback_allocs += fresh as u64;
+        buf
+    }
+
+    /// Returns a spent register frame to the arena (see
+    /// [`ExecCtx::free_nodes`]).
+    #[inline]
+    pub fn free_frame(&mut self, buf: RegFrame) {
+        self.arena.give_frame(buf);
+        self.stats.arena_bytes = self.stats.arena_bytes.max(self.arena.high_water() as u64);
     }
 
     /// Deadline and cancellation check at an operator boundary. Free when
@@ -573,7 +631,12 @@ fn run(db: &Database, plan: &Plan, ctx: &mut ExecCtx) -> Result<Vec<ResultTree>>
         if let Some(key) = match_chain_key(plan) {
             if let Some(hit) = cache.get(&key) {
                 ctx.stats.match_cache_hits += 1;
-                return Ok((*hit).clone());
+                // Each tree must be cloned out of the shared entry, but
+                // the list holding them comes from the arena — on warm
+                // caches this is the request's dominant allocation site.
+                let mut out = ctx.alloc_trees();
+                out.extend(hit.iter().cloned());
+                return Ok(out);
             }
             let trees = run_checked(db, plan, ctx)?;
             ctx.stats.match_cache_misses += 1;

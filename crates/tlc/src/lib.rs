@@ -20,6 +20,8 @@
 //!   Duplicate-Elimination, Aggregate, Construct, Sort, Union, and the
 //!   redundancy-eliminating **Flatten / Shadow / Illuminate** (§4).
 //! * [`plan`], [`exec`] — logical plans and the set-at-a-time executor.
+//! * [`arena`] — request-scoped execution memory: recycled buffer pools
+//!   with bump-style reset, threaded through [`exec::ExecCtx`].
 //! * [`mod@translate`] — the **XQuery → TLC** translation algorithm (Figure 6),
 //!   covering the Figure 5 fragment including nested FLWOR.
 //! * [`rewrite`] — the Flatten and Shadow/Illuminate rewrite rules (§4.2,
@@ -63,6 +65,7 @@
 //! ```
 
 pub mod analyze;
+pub mod arena;
 pub mod error;
 pub mod exec;
 pub mod generator;
@@ -87,6 +90,7 @@ pub use analyze::{
     analyze, distinctness, plan_footprint, temp_classes, verify, AnalyzeError, Card, Distinctness,
     Footprint, PlanType, PredDomain,
 };
+pub use arena::{ExecArena, RegFrame, DEFAULT_ARENA_BYTES};
 pub use error::{Error, Result};
 pub use exec::{
     check_conformance, execute, execute_to_string, execute_traced, execute_with_ctx,

@@ -47,11 +47,13 @@ pub fn match_apt_database(db: &Database, apt: &Apt, ctx: &mut ExecCtx) -> Result
     ctx.stats.pattern_matches += 1;
     let root = db.root(doc_id);
     let anchor = INode::of(db, root);
+    let mut out = ctx.alloc_trees();
     let mut m = Matcher::new(db, apt, ctx);
     let Some(alts) = m.expand(None, &anchor)? else {
-        return Ok(Vec::new());
+        m.finish();
+        return Ok(out);
     };
-    let mut out = Vec::with_capacity(alts.len());
+    out.reserve(alts.len());
     for alt in alts {
         let mut tree = ResultTree::with_root(RSource::Base(root));
         tree.assign_lcl(tree.root(), *lcl);
@@ -60,6 +62,7 @@ pub fn match_apt_database(db: &Database, apt: &Apt, ctx: &mut ExecCtx) -> Result
         out.push(tree);
     }
     m.ctx.stats.trees_built += out.len() as u64;
+    m.finish();
     Ok(out)
 }
 
@@ -69,16 +72,17 @@ pub fn match_apt_database(db: &Database, apt: &Apt, ctx: &mut ExecCtx) -> Result
 pub fn match_apt_extend(
     db: &Database,
     apt: &Apt,
-    inputs: Vec<ResultTree>,
+    mut inputs: Vec<ResultTree>,
     ctx: &mut ExecCtx,
 ) -> Result<Vec<ResultTree>> {
     let AptRoot::Lcl(lcl) = &apt.root else {
         return Err(Error::Unsupported("extension match requires an LCL-rooted APT".into()));
     };
     ctx.stats.pattern_matches += 1;
+    let mut out = ctx.alloc_trees();
+    out.reserve(inputs.len());
     let mut m = Matcher::new(db, apt, ctx);
-    let mut out = Vec::with_capacity(inputs.len());
-    'tree: for tree in inputs {
+    'tree: for tree in inputs.drain(..) {
         let anchors = tree.members(*lcl);
         // Per-anchor alternatives; the tree fans out over their product.
         let mut per_anchor: Vec<(RNodeId, Vec<Vec<Frag>>)> = Vec::with_capacity(anchors.len());
@@ -117,6 +121,8 @@ pub fn match_apt_extend(
             out.push(t);
         }
     }
+    m.ctx.free_trees(inputs);
+    m.finish();
     Ok(out)
 }
 
@@ -150,6 +156,18 @@ impl<'a> Matcher<'a> {
         let postings = vec![None; apt.nodes.len()];
         let forms = apt.canonical_forms();
         Matcher { db, apt, ctx, postings, forms }
+    }
+
+    /// Donates the per-run value-posting buffers to the arena's candidate
+    /// free list — they are plain `NodeId` vectors, so later candidate
+    /// takes reuse their capacity. Stats-neutral: the buffers were
+    /// allocated by the index lookups, not taken from the arena.
+    fn finish(mut self) {
+        for slot in self.postings.drain(..) {
+            if let Some(Some(buf)) = slot {
+                self.ctx.arena.give_nodes(buf);
+            }
+        }
     }
 }
 
@@ -196,16 +214,14 @@ impl Matcher<'_> {
     /// Options contributed by pattern child `v` for a parent bound to `x`.
     /// Each option is the set of `v`-fragments present in one witness tree.
     fn child_options(&mut self, v: usize, x: &INode) -> Result<Option<Vec<Vec<Frag>>>> {
-        let cands = self.candidates(v, x)?;
+        let mut cands = self.candidates(v, x)?;
         let pat = &self.apt.nodes[v];
         // Fast path for leaf pattern nodes (the common case for grouped
         // aggregate arguments like `count($s//item)`): every candidate is a
         // complete match, no recursion or sub-alternative bookkeeping.
         if self.apt.children_of(Some(v)).next().is_none() {
-            let frags = |cands: Vec<NodeId>| -> Vec<Frag> {
-                cands.into_iter().map(|c| Frag { pat: v, node: c, children: Vec::new() }).collect()
-            };
-            return Ok(match pat.mspec {
+            let frag = |c: NodeId| Frag { pat: v, node: c, children: Vec::new() };
+            let opts = match pat.mspec {
                 MSpec::One | MSpec::Opt => {
                     if cands.is_empty() {
                         if pat.mspec == MSpec::Opt {
@@ -214,26 +230,29 @@ impl Matcher<'_> {
                             None
                         }
                     } else {
-                        Some(frags(cands).into_iter().map(|f| vec![f]).collect())
+                        Some(cands.drain(..).map(|c| vec![frag(c)]).collect())
                     }
                 }
                 MSpec::Plus | MSpec::Star => {
                     if cands.is_empty() && pat.mspec == MSpec::Plus {
                         None
                     } else {
-                        Some(vec![frags(cands)])
+                        Some(vec![cands.drain(..).map(frag).collect()])
                     }
                 }
-            });
+            };
+            self.ctx.free_nodes(cands);
+            return Ok(opts);
         }
         // Recursively match below each candidate; failed candidates drop out.
         let mut per_cand: Vec<(NodeId, Vec<Vec<Frag>>)> = Vec::with_capacity(cands.len());
-        for c in cands {
+        for c in cands.drain(..) {
             let c_inode = INode::of(self.db, c);
             if let Some(sub) = self.expand(Some(v), &c_inode)? {
                 per_cand.push((c, sub));
             }
         }
+        self.ctx.free_nodes(cands);
         Ok(match pat.mspec {
             MSpec::One | MSpec::Opt => {
                 let mut opts = Vec::new();
@@ -285,10 +304,14 @@ impl Matcher<'_> {
     /// by axis and any non-index-served predicate. Fails only on deadline
     /// expiry (checked every few hundred candidates via [`ExecCtx::tick`]).
     fn candidates(&mut self, v: usize, x: &INode) -> Result<Vec<NodeId>> {
+        // `db` and `apt` are `&'a` fields, so borrows through them detach
+        // from `self` — `pat` and the tag-index slice stay live across the
+        // `self.ctx`/`self.postings` borrows below.
+        let db = self.db;
         let pat = &self.apt.nodes[v];
         self.ctx.stats.probes += 1;
         if self.postings[v].is_none() {
-            let value_list = indexed_postings(self.db, pat);
+            let value_list = indexed_postings(db, pat);
             if value_list.is_some() {
                 // Materializing value-index postings is the fetch; later
                 // probes reuse the per-run copy.
@@ -297,27 +320,27 @@ impl Matcher<'_> {
             self.postings[v] = Some(value_list);
         }
         let value_postings = self.postings[v].as_ref().expect("just filled");
-        let (slice, pred_served): (Vec<NodeId>, bool) = match value_postings {
+        let (slice, pred_served): (&[NodeId], bool) = match value_postings {
             // Value-index postings cover the whole database; restrict to x.
             Some(list) => {
                 self.ctx.stats.struct_cmps += interval_search_cmps(list.len());
-                (candidates_in(list, x).to_vec(), true)
+                (candidates_in(list, x), true)
             }
             None => {
-                let postings = self.db.tag_index().get(pat.tag);
+                let postings = db.tag_index().get(pat.tag);
                 self.ctx.stats.candidate_fetches += 1;
                 self.ctx.stats.struct_cmps += interval_search_cmps(postings.len());
-                (candidates_in(postings, x).to_vec(), false)
+                (candidates_in(postings, x), false)
             }
         };
-        let mut out = Vec::with_capacity(slice.len());
-        let pat = &self.apt.nodes[v];
+        let mut out = self.ctx.alloc_nodes();
+        out.reserve(slice.len());
         // Shard anchor-range restriction (see crate::par): candidates of
         // the shard anchor class outside this shard's pre-order window
         // belong to sibling shards. Class labels are plan-unique, so no
         // other pattern node can be filtered by accident.
         let range = self.ctx.anchor_range.filter(|ar| ar.lcl == pat.lcl).map(|ar| ar.range);
-        for id in slice {
+        for &id in slice {
             self.ctx.tick()?;
             self.ctx.stats.nodes_inspected += 1;
             self.ctx.stats.struct_cmps += 1;
@@ -327,14 +350,14 @@ impl Matcher<'_> {
                 }
             }
             if pat.axis == AxisRel::Child {
-                let level = self.db.node(id).level();
+                let level = db.node(id).level();
                 if level != x.level + 1 {
                     continue;
                 }
             }
             if !pred_served {
                 if let Some(p) = &pat.pred {
-                    if !p.eval_node(self.db, id) {
+                    if !p.eval_node(db, id) {
                         continue;
                     }
                 }

@@ -47,6 +47,7 @@
 //! granularity — and disjoint [`TempIdGen`] ranges, so temporary idents
 //! minted concurrently can never alias.
 
+use crate::arena::ExecArena;
 use crate::error::{Error, Result};
 use crate::exec::{execute_with_ctx, AnchorRange, ExecCtx};
 use crate::logical_class::LclId;
@@ -334,56 +335,68 @@ fn stage_plan(db: &Database, plan: &Plan, path: Vec<usize>, policy: ShardPolicy)
     }
 }
 
+/// The per-shard runtime inputs shared by [`run_shard`] and
+/// [`run_shard_vm`]: a temp-id slot unique within the request (slot 0 is
+/// conventionally left to sequential execution), the request's deadline
+/// and shared cancellation flag, and a shard-private execution arena
+/// (disjoint arenas keep sibling shards allocation-independent).
+pub struct ShardEnv {
+    /// Temp-id slot; shifted into the high bits of the shard's id stride.
+    pub tmp_slot: u64,
+    /// The request's wall-clock budget, if any.
+    pub deadline: Option<Instant>,
+    /// Raised by the first failing sibling; observed at tick granularity.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Buffer arena this shard draws from; returned on success only.
+    pub arena: ExecArena,
+}
+
 /// Builds the context one shard job runs under: no match cache (chain keys
-/// do not encode ranges), a disjoint temp-id base, and the request's
-/// deadline and shared cancellation flag.
+/// do not encode ranges) plus everything in [`ShardEnv`].
 fn shard_ctx(
-    tmp_slot: u64,
+    env: ShardEnv,
     anchor: Option<AnchorRange>,
     injected: Vec<(usize, Arc<Vec<ResultTree>>)>,
-    deadline: Option<Instant>,
-    cancel: Option<Arc<AtomicBool>>,
 ) -> ExecCtx {
     let mut ctx = ExecCtx::new();
-    ctx.tmp = TempIdGen::starting_at(tmp_slot << SHARD_TMP_STRIDE_BITS);
-    ctx.deadline = deadline;
-    ctx.cancel = cancel;
+    ctx.tmp = TempIdGen::starting_at(env.tmp_slot << SHARD_TMP_STRIDE_BITS);
+    ctx.deadline = env.deadline;
+    ctx.cancel = env.cancel;
     ctx.anchor_range = anchor;
     ctx.injected = injected;
+    ctx.arena = env.arena;
     ctx
 }
 
 /// Runs one tree-walk shard on the calling thread, returning its slice of
-/// the result sequence. `tmp_slot` must be unique per shard within one
-/// request (slot 0 is conventionally left to sequential execution).
+/// the result sequence. The arena comes back in the success tuple so a
+/// pooling caller can recycle it; on error it is dropped here — a failed
+/// or cancelled shard's arena is never reused (see `crate::arena`).
 pub fn run_shard(
     db: &Database,
     plan: &Plan,
     anchor: Option<AnchorRange>,
     injected: Vec<(usize, Arc<Vec<ResultTree>>)>,
-    tmp_slot: u64,
-    deadline: Option<Instant>,
-    cancel: Option<Arc<AtomicBool>>,
-) -> Result<(Vec<ResultTree>, ExecStats)> {
-    let mut ctx = shard_ctx(tmp_slot, anchor, injected, deadline, cancel);
+    env: ShardEnv,
+) -> Result<(Vec<ResultTree>, ExecStats, ExecArena)> {
+    let mut ctx = shard_ctx(env, anchor, injected);
     let trees = execute_with_ctx(db, plan, &mut ctx)?;
-    Ok((trees, ctx.stats))
+    Ok((trees, ctx.stats, ctx.arena))
 }
 
 /// Runs one register-IR shard: the whole program under an anchor-range
 /// restriction (stages are a tree-walk concept; a lowered program has no
-/// injection point, so each shard re-derives the right sides).
+/// injection point, so each shard re-derives the right sides). Arena
+/// semantics as in [`run_shard`].
 pub fn run_shard_vm(
     db: &Database,
     prog: &vm::Program,
     anchor: AnchorRange,
-    tmp_slot: u64,
-    deadline: Option<Instant>,
-    cancel: Option<Arc<AtomicBool>>,
-) -> Result<(Vec<ResultTree>, ExecStats)> {
-    let mut ctx = shard_ctx(tmp_slot, Some(anchor), Vec::new(), deadline, cancel);
+    env: ShardEnv,
+) -> Result<(Vec<ResultTree>, ExecStats, ExecArena)> {
+    let mut ctx = shard_ctx(env, Some(anchor), Vec::new());
     let trees = vm::run(db, prog, &mut ctx)?;
-    Ok((trees, ctx.stats))
+    Ok((trees, ctx.stats, ctx.arena))
 }
 
 /// Runs one wave of shard jobs on scoped OS threads and concatenates their
@@ -392,13 +405,13 @@ pub fn run_shard_vm(
 /// so siblings stop at tick granularity; every join is still awaited, so
 /// no orphaned shard work survives the wave.
 fn run_wave(
-    work: impl Fn(u64, OrdRange) -> Result<(Vec<ResultTree>, ExecStats)> + Sync + Send,
+    work: impl Fn(u64, OrdRange) -> Result<(Vec<ResultTree>, ExecStats, ExecArena)> + Sync + Send,
     ranges: &[OrdRange],
     tmp_slot_base: u64,
     cancel: &Arc<AtomicBool>,
     stats: &mut ExecStats,
 ) -> Result<Vec<ResultTree>> {
-    let results: Vec<Result<(Vec<ResultTree>, ExecStats)>> = std::thread::scope(|s| {
+    let results: Vec<Result<(Vec<ResultTree>, ExecStats, ExecArena)>> = std::thread::scope(|s| {
         let work = &work;
         let handles: Vec<_> = ranges
             .iter()
@@ -421,7 +434,9 @@ fn run_wave(
     let mut first_err: Option<Error> = None;
     for r in results {
         match r {
-            Ok((trees, st)) => {
+            // This self-contained driver has no pool to restore into; the
+            // shard arena is simply dropped with the wave.
+            Ok((trees, st, _arena)) => {
                 stats.absorb(&st);
                 merged.extend(trees);
             }
@@ -466,9 +481,12 @@ pub fn execute_sharded(
                             sub,
                             Some(AnchorRange { lcl, range }),
                             Vec::new(),
-                            tmp_slot,
-                            deadline,
-                            Some(Arc::clone(&cancel)),
+                            ShardEnv {
+                                tmp_slot,
+                                deadline,
+                                cancel: Some(Arc::clone(&cancel)),
+                                arena: ExecArena::default(),
+                            },
                         )
                     },
                     &stage.ranges,
@@ -481,14 +499,17 @@ pub fn execute_sharded(
                 out
             }
             None => {
-                let (trees, st) = run_shard(
+                let (trees, st, _arena) = run_shard(
                     db,
                     sub,
                     None,
                     Vec::new(),
-                    slot,
-                    deadline,
-                    Some(Arc::clone(&cancel)),
+                    ShardEnv {
+                        tmp_slot: slot,
+                        deadline,
+                        cancel: Some(Arc::clone(&cancel)),
+                        arena: ExecArena::default(),
+                    },
                 )?;
                 stats.absorb(&st);
                 jobs += 1;
@@ -506,9 +527,12 @@ pub fn execute_sharded(
                 plan,
                 Some(AnchorRange { lcl, range }),
                 injected.clone(),
-                tmp_slot,
-                deadline,
-                Some(Arc::clone(&cancel)),
+                ShardEnv {
+                    tmp_slot,
+                    deadline,
+                    cancel: Some(Arc::clone(&cancel)),
+                    arena: ExecArena::default(),
+                },
             )
         },
         &sp.ranges,
@@ -537,9 +561,12 @@ pub fn execute_sharded_vm(
                 db,
                 prog,
                 AnchorRange { lcl, range },
-                tmp_slot,
-                deadline,
-                Some(Arc::clone(&cancel)),
+                ShardEnv {
+                    tmp_slot,
+                    deadline,
+                    cancel: Some(Arc::clone(&cancel)),
+                    arena: ExecArena::default(),
+                },
             )
         },
         &sp.ranges,
@@ -638,7 +665,13 @@ mod tests {
         let db = db();
         let plan = compile(&db, "FOR $p IN document(\"t.xml\")//person RETURN $p/name");
         let cancel = Arc::new(AtomicBool::new(true));
-        let err = run_shard(&db, &plan, None, Vec::new(), 1, None, Some(cancel)).unwrap_err();
+        let env = ShardEnv {
+            tmp_slot: 1,
+            deadline: None,
+            cancel: Some(cancel),
+            arena: ExecArena::default(),
+        };
+        let err = run_shard(&db, &plan, None, Vec::new(), env).unwrap_err();
         assert_eq!(err, Error::Cancelled);
     }
 }

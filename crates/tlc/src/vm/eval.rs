@@ -39,7 +39,11 @@ fn peek(regs: &[Option<Vec<ResultTree>>], r: RegId) -> Result<&[ResultTree]> {
 /// content) matches the tree walker's exactly.
 pub fn run(db: &Database, prog: &Program, ctx: &mut ExecCtx) -> Result<Vec<ResultTree>> {
     let instrs = prog.instrs();
-    let mut regs: Vec<Option<Vec<ResultTree>>> = (0..prog.reg_count()).map(|_| None).collect();
+    // Register frames are recycled through the context's arena: one take
+    // per run instead of a fresh allocation. Error paths just drop the
+    // frame (errors discard; see `crate::arena`).
+    let mut regs = ctx.alloc_frame();
+    regs.resize_with(prog.reg_count(), || None);
     let mut ip = 0usize;
     while ip < instrs.len() {
         ctx.check_deadline()?;
@@ -48,7 +52,12 @@ pub fn run(db: &Database, prog: &Program, ctx: &mut ExecCtx) -> Result<Vec<Resul
                 if let Some(cache) = ctx.cache.clone() {
                     if let Some(hit) = cache.get(prog.key(*key)) {
                         ctx.stats.match_cache_hits += 1;
-                        regs[dst.0 as usize] = Some((*hit).clone());
+                        // Clone the trees out of the shared entry into an
+                        // arena-recycled list (mirrors the walker's hit
+                        // path, so bytes and counters stay identical).
+                        let mut out = ctx.alloc_trees();
+                        out.extend(hit.iter().cloned());
+                        regs[dst.0 as usize] = Some(out);
                         ip = *target as usize;
                         continue;
                     }
@@ -142,7 +151,11 @@ pub fn run(db: &Database, prog: &Program, ctx: &mut ExecCtx) -> Result<Vec<Resul
                 let out = ops::union_all(db, branches, dedup_on, &mut ctx.stats)?;
                 regs[dst.0 as usize] = Some(out);
             }
-            Instr::Return { src } => return take(&mut regs, *src),
+            Instr::Return { src } => {
+                let out = take(&mut regs, *src);
+                ctx.free_frame(regs);
+                return out;
+            }
         }
         ip += 1;
     }

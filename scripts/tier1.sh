@@ -46,7 +46,10 @@ echo "tier1: catalog smoke test passed"
 # cache (the binary exits non-zero on either defect); assert the nonzero
 # hit rate in the output too so a silent format change cannot mask it.
 # The same run replays identical traffic with the register-IR backend on
-# and off — the report must show a non-regressing IR QPS ratio.
+# and off — the report must show a non-regressing IR QPS ratio — and with
+# the execution arena disabled, gating the counting allocator's measured
+# allocations-per-request (the binary exits non-zero when arenas fail to
+# reduce them; check_qps.sh gates the figures against the baseline too).
 batch_out="$smoke_dir/batch.txt"
 ./target/release/experiments batch --factor 0.0005 --clients 4 --requests 40 \
     --json "$smoke_dir/batch.json" > "$batch_out" 2>/dev/null
@@ -54,6 +57,10 @@ grep -q 'byte mismatches vs single-threaded reference: 0' "$batch_out"
 grep -Eq 'match cache hit rate: ([1-9][0-9]*\.[0-9]|0\.[1-9])%' "$batch_out"
 grep -q 'ir non-regression: ok' "$batch_out"
 grep -q '"ir_speedup":' "$smoke_dir/batch.json"
+grep -q 'heap allocs/request' "$batch_out"
+grep -q 'arena pool:' "$batch_out"
+grep -q '"batched_allocs_per_request":' "$smoke_dir/batch.json"
+grep -q '"arena_reuse_rate":' "$smoke_dir/batch.json"
 echo "tier1: batched execution smoke test passed"
 
 # In-place update smoke: mutate a tiny catalog database through the line
